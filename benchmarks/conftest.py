@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each experiment module benchmarks its operations with pytest-benchmark
+(timings land in the standard benchmark table) and records its result
+rows — the reproduction of the experiment's "table" — through
+:func:`report`.  A ``pytest_terminal_summary`` hook prints all recorded
+experiment tables after the run, so they appear in
+``pytest benchmarks/ --benchmark-only`` output alongside the timings.
+"""
+
+from __future__ import annotations
+
+__all__ = ["report"]
+
+_tables: list[tuple[str, list[str]]] = []
+
+
+def report(header: str, rows: list[str]) -> None:
+    """Record one experiment's result rows for the terminal summary."""
+    _tables.append((header, list(rows)))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _tables:
+        return
+    terminalreporter.write_sep("=", "experiment result tables")
+    for header, rows in _tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {header}")
+        for row in rows:
+            terminalreporter.write_line(f"    {row}")

@@ -1,0 +1,85 @@
+"""Experiment B10 (extension) — the §5 relational synergy at scale.
+
+"A relationally complete query language makes possible a wide range of
+interesting questions."  Rows: find-all-references latency across
+project sizes, split into relation materialization (scan the hypertext)
+versus the algebra (select/project/join on in-memory relations).
+Expected shape: materialization grows with project size and dominates;
+the algebra is cheap — supporting §5's conclusion that the two models
+complement rather than replace each other.
+"""
+
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.relational import HypertextRelations, find_all_references
+from repro.workloads.case_project import ProjectShape, build_case_project
+
+PROJECT_SIZES = [2, 6, 18]  # modules (6 procedures each)
+
+
+def _project(modules):
+    ham = HAM.ephemeral()
+    build_case_project(ham, ProjectShape(
+        modules=modules, procedures_per_module=6, seed=modules))
+    return ham
+
+
+@pytest.fixture(scope="module")
+def projects():
+    return {size: _project(size) for size in PROJECT_SIZES}
+
+
+@pytest.mark.benchmark(group="B10 relational synergy")
+@pytest.mark.parametrize("size", PROJECT_SIZES)
+def test_b10_find_all_references(benchmark, projects, size):
+    ham = projects[size]
+    result = benchmark(find_all_references, ham, "Proc0_0")
+    assert result.columns == ("node", "kind")
+
+
+@pytest.mark.benchmark(group="B10 relational synergy")
+@pytest.mark.parametrize("size", PROJECT_SIZES)
+def test_b10_materialize_references(benchmark, projects, size):
+    """The hypertext-scan half: building the references relation."""
+    ham = projects[size]
+    views = HypertextRelations(ham)
+    relation = benchmark(views.references)
+    assert len(relation) > 0
+
+
+@pytest.mark.benchmark(group="B10 relational synergy")
+def test_b10_cost_split_table(benchmark, projects):
+    def measure():
+        rows = []
+        for size in PROJECT_SIZES:
+            ham = projects[size]
+            views = HypertextRelations(ham)
+            start = clock.perf_counter()
+            references = views.references()
+            attrs = views.node_attributes()
+            materialize = clock.perf_counter() - start
+            start = clock.perf_counter()
+            owners = (attrs.where(attribute="responsible")
+                      .project("node", "value"))
+            hits = (references.where(symbol="Proc0_0")
+                    .project("node").join(owners))
+            algebra = clock.perf_counter() - start
+            rows.append((size * 6, materialize, algebra, len(hits)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'procedures':>11}  {'materialize':>12}  {'algebra':>9}"]
+    for procedures, materialize, algebra, __ in rows:
+        lines.append(f"{procedures:>11}  {materialize * 1e3:>10.2f}ms  "
+                     f"{algebra * 1e3:>7.2f}ms")
+    report("B10 relational synergy: materialize vs query (extension)",
+           lines)
+
+    # Shape: materialization grows with project size and dominates.
+    assert rows[-1][1] > rows[0][1]
+    assert all(materialize > algebra
+               for __, materialize, algebra, ___ in rows)

@@ -1,0 +1,79 @@
+"""Experiment B11 (extension) — Neptune under a realistic session load.
+
+An overall characterization: the mixed operation stream of an editing
+workstation (55% reads, 20% check-ins, queries, traversals, annotations,
+structure edits) against (a) the in-process HAM and (b) the same HAM
+over RPC.  Expected shape: the RPC session pays roughly the B6 per-call
+wire tax on every operation, compressing throughput by a small constant
+factor; the mix completes with zero failed operations either way.
+"""
+
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.server import HAMServer, RemoteHAM
+from repro.workloads.session import SessionMix, run_session
+
+MIX = SessionMix(operations=150)
+
+
+@pytest.mark.benchmark(group="B11 mixed session")
+def test_b11_local_session(benchmark):
+    def run():
+        ham = HAM.ephemeral()
+        return run_session(ham, MIX)
+
+    session_report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert session_report.total == MIX.operations
+
+
+@pytest.mark.benchmark(group="B11 mixed session")
+def test_b11_remote_session(benchmark):
+    def run():
+        ham = HAM.ephemeral()
+        with HAMServer(ham) as server:
+            with RemoteHAM(*server.address) as client:
+                return run_session(client, MIX)
+
+    session_report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert session_report.total == MIX.operations
+
+
+@pytest.mark.benchmark(group="B11 mixed session")
+def test_b11_throughput_table(benchmark):
+    def measure():
+        rows = []
+        ham = HAM.ephemeral()
+        start = clock.perf_counter()
+        local_report = run_session(ham, MIX)
+        local_elapsed = clock.perf_counter() - start
+        rows.append(("local", MIX.operations / local_elapsed,
+                     local_report))
+        remote_ham = HAM.ephemeral()
+        with HAMServer(remote_ham) as server:
+            with RemoteHAM(*server.address) as client:
+                start = clock.perf_counter()
+                remote_report = run_session(client, MIX)
+                remote_elapsed = clock.perf_counter() - start
+        rows.append(("rpc", MIX.operations / remote_elapsed,
+                     remote_report))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'session':>8}  {'ops/s':>9}  mix"]
+    for label, throughput, session_report in rows:
+        mix_text = " ".join(f"{name}={count}" for name, count
+                            in sorted(session_report.counts.items()))
+        lines.append(f"{label:>8}  {throughput:>9.0f}  {mix_text}")
+    report("B11 mixed editing-session throughput (extension)", lines)
+
+    # Shape: both complete the full mix; RPC costs a constant factor,
+    # not an order of magnitude.
+    local_rate = rows[0][1]
+    remote_rate = rows[1][1]
+    assert remote_rate > local_rate / 50
+    for __, ___, session_report in rows:
+        assert session_report.total == MIX.operations

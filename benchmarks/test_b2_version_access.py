@@ -1,0 +1,102 @@
+"""Experiment B2 — "rapid access to any version of a hypergraph" (§3).
+
+Series: time to open a node's contents at the current version versus K
+versions back.  The backward-delta design makes the current version
+O(1) (it is stored whole) while older versions pay K delta
+applications — the asymmetry the paper accepted deliberately, because
+current-version access dominates.  The full-copy baseline is flat but
+pays B1's storage bill.
+"""
+
+import pytest
+
+from conftest import report
+from repro.storage.deltas import (
+    DeltaStore,
+    FullCopyStore,
+    KeyframeDeltaStore,
+)
+from repro.workloads.trace import EditTrace, generate_versions
+
+HISTORY = 100
+DEPTHS = [0, 10, 50, 99]
+KEYFRAME_INTERVAL = 10
+
+
+@pytest.fixture(scope="module")
+def stores():
+    versions = generate_versions(
+        EditTrace(initial_lines=300, versions=HISTORY,
+                  edits_per_version=3))
+    delta = DeltaStore(versions[0], time=1)
+    copies = FullCopyStore(versions[0], time=1)
+    keyframed = KeyframeDeltaStore(versions[0], time=1,
+                                   interval=KEYFRAME_INTERVAL)
+    for position, contents in enumerate(versions[1:], start=2):
+        delta.check_in(contents, time=position)
+        copies.check_in(contents, time=position)
+        keyframed.check_in(contents, time=position)
+    return delta, copies, versions, keyframed
+
+
+@pytest.mark.benchmark(group="B2 version access")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_b2_delta_access_by_depth(benchmark, stores, depth):
+    delta, __, versions, ___ = stores
+    target_time = len(versions) - depth  # time of the version K back
+    contents = benchmark(delta.get, target_time)
+    assert contents == versions[target_time - 1]
+
+
+@pytest.mark.benchmark(group="B2 version access")
+@pytest.mark.parametrize("depth", [0, 99])
+def test_b2_full_copy_access_by_depth(benchmark, stores, depth):
+    __, copies, versions, ___ = stores
+    target_time = len(versions) - depth
+    contents = benchmark(copies.get, target_time)
+    assert contents == versions[target_time - 1]
+
+
+@pytest.mark.benchmark(group="B2 version access")
+@pytest.mark.parametrize("depth", [10, 50, 99])
+def test_b2_keyframed_access_by_depth(benchmark, stores, depth):
+    """Ablation: keyframes every 10 versions bound reconstruction."""
+    __, ___, versions, keyframed = stores
+    target_time = len(versions) - depth
+    contents = benchmark(keyframed.get, target_time)
+    assert contents == versions[target_time - 1]
+
+
+@pytest.mark.benchmark(group="B2 version access")
+def test_b2_access_cost_series(benchmark, stores):
+    """The series itself: delta applications grow linearly with depth
+    for the pure chain; the keyframed chain plateaus (the ablation)."""
+    delta, __, versions, keyframed = stores
+
+    def measure():
+        import time as clock
+        rows = []
+        for depth in DEPTHS:
+            target_time = len(versions) - depth
+            timings = []
+            for store in (delta, keyframed):
+                start = clock.perf_counter()
+                for ___ in range(20):
+                    store.get(target_time)
+                timings.append((clock.perf_counter() - start) / 20)
+            rows.append((depth, timings[0], timings[1]))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'depth':>6}  {'backward':>11}  {'keyframed/10':>13}"]
+    for depth, pure, keyframe in rows:
+        lines.append(f"{depth:>6}  {pure * 1e6:>9.1f}us  "
+                     f"{keyframe * 1e6:>11.1f}us")
+    report("B2  version access vs depth: pure vs keyframed deltas", lines)
+
+    # Shape: pure chain grows with depth; keyframed is bounded, so at
+    # the deepest point it wins decisively.
+    current = rows[0][1]
+    deepest = rows[-1][1]
+    assert deepest > current * 3
+    assert rows[-1][2] < rows[-1][1] / 2

@@ -1,0 +1,108 @@
+"""Experiment B3 — getGraphQuery performance: scan vs attribute index.
+
+The paper wants minimal semantics in the HAM "but still maintain
+performance" (§3); every CASE convention in §4.2 is an attribute-equality
+query.  Series: query latency across graph sizes, with the full scan as
+the baseline and the inverted attribute-value index as the design point.
+Expected shape: scan grows linearly with graph size; the index stays
+near-flat, so the gap widens with scale.
+"""
+
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.workloads.generator import GraphShape, build_random_graph
+
+GRAPH_SIZES = [100, 400, 1600]
+PREDICATE = "document = value0 and status = value1"
+
+
+def _build(size):
+    ham = HAM.ephemeral()
+    build_random_graph(ham, GraphShape(
+        nodes=size, extra_links=size // 2, values_per_attribute=5,
+        seed=size))
+    return ham
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {size: _build(size) for size in GRAPH_SIZES}
+
+
+@pytest.mark.benchmark(group="B3 query")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+def test_b3_indexed_query(benchmark, graphs, size):
+    ham = graphs[size]
+    result = benchmark(ham.get_graph_query, 0, PREDICATE)
+    assert result.node_indexes  # selectivity 1/25 leaves matches
+
+
+@pytest.mark.benchmark(group="B3 query")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+def test_b3_scan_query(benchmark, graphs, size):
+    ham = graphs[size]
+    index = ham._index
+    ham._index = None  # ablation: force the full scan
+    try:
+        result = benchmark(ham.get_graph_query, 0, PREDICATE)
+    finally:
+        ham._index = index
+    assert result.node_indexes
+
+
+@pytest.mark.benchmark(group="B3 index write overhead")
+@pytest.mark.parametrize("indexed", [True, False],
+                         ids=["with-index", "without-index"])
+def test_b3_index_maintenance_ablation(benchmark, indexed):
+    """Ablation: what the eager inverted index costs on the write path
+    (every setNodeAttributeValue updates postings)."""
+    ham = HAM.ephemeral(use_attribute_index=indexed)
+    node, __ = ham.add_node()
+    attr = ham.get_attribute_index("status")
+    state = {"counter": 0}
+
+    def write():
+        state["counter"] += 1
+        ham.set_node_attribute_value(
+            node=node, attribute=attr, value=f"v{state['counter']}")
+
+    benchmark(write)
+
+
+@pytest.mark.benchmark(group="B3 query")
+def test_b3_crossover_table(benchmark, graphs):
+    def measure():
+        rows = []
+        for size in GRAPH_SIZES:
+            ham = graphs[size]
+            start = clock.perf_counter()
+            for __ in range(5):
+                indexed = ham.get_graph_query(0, PREDICATE)
+            indexed_time = (clock.perf_counter() - start) / 5
+            saved, ham._index = ham._index, None
+            start = clock.perf_counter()
+            for __ in range(5):
+                scanned = ham.get_graph_query(0, PREDICATE)
+            scan_time = (clock.perf_counter() - start) / 5
+            ham._index = saved
+            assert indexed.nodes == scanned.nodes
+            rows.append((size, indexed_time, scan_time))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'nodes':>6}  {'indexed':>10}  {'scan':>10}  {'speedup':>8}"]
+    for size, indexed_time, scan_time in rows:
+        lines.append(
+            f"{size:>6}  {indexed_time * 1e3:>8.2f}ms  "
+            f"{scan_time * 1e3:>8.2f}ms  "
+            f"{scan_time / indexed_time:>7.1f}x")
+    report("B3  getGraphQuery: inverted index vs full scan", lines)
+
+    # Shape: the index wins at the largest size and the win grows.
+    speedups = [scan / indexed for __, indexed, scan in rows]
+    assert speedups[-1] > 1.5
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,72 @@
+"""Experiment B4 — linearizeGraph scaling.
+
+linearizeGraph is the workhorse of the document browser panes and of
+hardcopy extraction (§4).  Series: traversal latency over document trees
+of growing size and varying fanout.  Expected shape: linear in the
+number of sections, insensitive to fanout at equal node count.
+"""
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.workloads.generator import (
+    DocumentShape,
+    build_hierarchical_document,
+)
+
+SHAPES = {
+    "40 nodes deep":    DocumentShape(depth=5, fanout=2, body_lines=2),
+    "121 nodes bushy":  DocumentShape(depth=2, fanout=10, body_lines=2),
+    "364 nodes medium": DocumentShape(depth=5, fanout=3, body_lines=2),
+}
+
+
+@pytest.fixture(scope="module")
+def documents():
+    built = {}
+    for label, shape in SHAPES.items():
+        ham = HAM.ephemeral()
+        document, nodes = build_hierarchical_document(ham, shape)
+        built[label] = (ham, document, nodes)
+    return built
+
+
+@pytest.mark.benchmark(group="B4 linearizeGraph")
+@pytest.mark.parametrize("label", list(SHAPES))
+def test_b4_traversal(benchmark, documents, label):
+    ham, document, nodes = documents[label]
+    result = benchmark(
+        ham.linearize_graph, document.root, 0, None,
+        "relation = isPartOf")
+    assert len(result.node_indexes) == len(nodes)
+
+
+@pytest.mark.benchmark(group="B4 linearizeGraph")
+def test_b4_scaling_table(benchmark, documents):
+    import time as clock
+
+    def measure():
+        rows = []
+        for label in SHAPES:
+            ham, document, nodes = documents[label]
+            start = clock.perf_counter()
+            for __ in range(3):
+                ham.linearize_graph(document.root, 0, None,
+                                    "relation = isPartOf")
+            elapsed = (clock.perf_counter() - start) / 3
+            rows.append((label, len(nodes), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'workload':<18}  {'nodes':>6}  {'latency':>10}  "
+             f"{'nodes/s':>10}"]
+    for label, count, elapsed in rows:
+        lines.append(f"{label:<18}  {count:>6}  "
+                     f"{elapsed * 1e3:>8.2f}ms  {count / elapsed:>10.0f}")
+    report("B4  linearizeGraph scaling", lines)
+
+    # Shape: cost per node stays in the same ballpark across shapes
+    # (traversal is linear in visited nodes).
+    per_node = [elapsed / count for __, count, elapsed in rows]
+    assert max(per_node) < min(per_node) * 12

@@ -1,0 +1,101 @@
+"""Experiment B8 — contexts: multiple version threads (§5 extension).
+
+"…the need for an individual to try out tentative designs in that
+individual's own 'private world' and then eventually to merge the chosen
+design back with the main design database."  Rows: merge cost as a
+function of edited-node count, for fast-forward merges (base unchanged)
+versus three-way merges (base diverged).  Expected shape: linear in
+edited nodes; three-way pays a constant diff3 factor per node.
+"""
+
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import ContextManager, HAM
+
+
+def _graph_with_nodes(count):
+    ham = HAM.ephemeral()
+    nodes = []
+    with ham.begin() as txn:
+        for position in range(count):
+            node, time = ham.add_node(txn)
+            body = "".join(
+                f"line {line} of node {position}\n"
+                for line in range(20)).encode()
+            ham.modify_node(txn, node=node, expected_time=time,
+                            contents=body)
+            nodes.append(node)
+    return ham, nodes
+
+
+def _merge_workload(count, diverge):
+    ham, nodes = _graph_with_nodes(count)
+    manager = ContextManager(ham)
+    context = manager.create("bench")
+    for node in nodes:
+        base = context.read_node(node)
+        context.modify_node(node, base.replace(b"line 3", b"LINE 3"))
+    if diverge:
+        for node in nodes:
+            current = ham.get_node_timestamp(node)
+            contents = ham.open_node(node)[0]
+            ham.modify_node(
+                node=node, expected_time=current,
+                contents=contents.replace(b"line 15", b"Line 15"))
+    return manager, context
+
+
+@pytest.mark.benchmark(group="B8 contexts")
+@pytest.mark.parametrize("count", [5, 20])
+def test_b8_fast_forward_merge(benchmark, count):
+    def run():
+        manager, context = _merge_workload(count, diverge=False)
+        report_obj = manager.merge(context)
+        assert report_obj.clean
+        assert len(report_obj.merged_nodes) == count
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="B8 contexts")
+@pytest.mark.parametrize("count", [5, 20])
+def test_b8_three_way_merge(benchmark, count):
+    def run():
+        manager, context = _merge_workload(count, diverge=True)
+        report_obj = manager.merge(context)
+        assert report_obj.clean  # disjoint lines merge cleanly
+        assert len(report_obj.three_way_nodes) == count
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="B8 contexts")
+def test_b8_merge_cost_table(benchmark):
+    def measure():
+        rows = []
+        for count in (5, 20, 60):
+            for diverge in (False, True):
+                manager, context = _merge_workload(count, diverge)
+                start = clock.perf_counter()
+                manager.merge(context)
+                elapsed = clock.perf_counter() - start
+                rows.append((count, diverge, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'edited nodes':>13}  {'kind':<12}  {'merge time':>11}"]
+    for count, diverge, elapsed in rows:
+        kind = "three-way" if diverge else "fast-forward"
+        lines.append(f"{count:>13}  {kind:<12}  {elapsed * 1e3:>9.1f}ms")
+    report("B8  context merge cost", lines)
+
+    # Shape: merge cost grows with the edited set; three-way is the
+    # more expensive flavour at equal size.
+    fast = {count: elapsed for count, diverge, elapsed in rows
+            if not diverge}
+    three = {count: elapsed for count, diverge, elapsed in rows if diverge}
+    assert fast[60] > fast[5]
+    assert three[60] >= fast[60]

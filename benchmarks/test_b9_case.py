@@ -1,0 +1,101 @@
+"""Experiment B9 — incremental vs full recompilation in the CASE layer.
+
+§4.2: "a compiler may be able to recompile a changed procedure
+individually, that is without recompiling the entire module … the unit
+of incrementality of the compiler should be used to determine what
+syntactic code fragment the source code nodes represent."  Rows: after
+one procedure edit, fragments recompiled and wall time, incremental vs
+the full-module baseline, across module sizes.  Expected shape:
+incremental is O(1) in module size; full grows linearly, so the gap
+widens — exactly why the paper sizes nodes at the unit of
+incrementality.
+"""
+
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import HAM, DemonRegistry
+from repro.apps.compiler import IncrementalCompiler
+from repro.workloads.case_project import ProjectShape, build_case_project
+
+MODULE_SIZES = [4, 12, 36]
+
+
+def _project(procedures_per_module, incremental):
+    ham = HAM.ephemeral(demons=DemonRegistry())
+    case, modules, procedures = build_case_project(
+        ham, ProjectShape(modules=1,
+                          procedures_per_module=procedures_per_module,
+                          seed=procedures_per_module))
+    module = modules[0]
+    compiler = IncrementalCompiler(case, incremental=incremental)
+    compiler.build_module(module)
+    compiler.log.clear()
+    compiler.watch_module(module)
+    target = procedures[module.node][0]
+    return ham, compiler, target
+
+
+def _edit(ham, target):
+    current = ham.get_node_timestamp(target)
+    contents = ham.open_node(target)[0]
+    ham.modify_node(node=target, expected_time=current,
+                    contents=contents + b"  temp := temp + 1;\n")
+
+
+@pytest.mark.benchmark(group="B9 CASE recompilation")
+@pytest.mark.parametrize("size", MODULE_SIZES)
+def test_b9_incremental_edit(benchmark, size):
+    ham, compiler, target = _project(size, incremental=True)
+    benchmark(_edit, ham, target)
+    # Every edit recompiled exactly one fragment.
+    assert all(entry.node == target for entry in compiler.log)
+
+
+@pytest.mark.benchmark(group="B9 CASE recompilation")
+@pytest.mark.parametrize("size", [4, 12])
+def test_b9_full_rebuild_edit(benchmark, size):
+    ham, compiler, target = _project(size, incremental=False)
+    benchmark(_edit, ham, target)
+    # Each edit recompiled the whole module (module node + procedures).
+    edits = max(1, len(compiler.log) // (size + 1))
+    assert len(compiler.log) == edits * (size + 1)
+
+
+@pytest.mark.benchmark(group="B9 CASE recompilation")
+def test_b9_fragments_table(benchmark):
+    def measure():
+        rows = []
+        for size in MODULE_SIZES:
+            for incremental in (True, False):
+                ham, compiler, target = _project(size, incremental)
+                start = clock.perf_counter()
+                _edit(ham, target)
+                elapsed = clock.perf_counter() - start
+                rows.append((size, incremental, len(compiler.log),
+                             elapsed))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'module size':>12}  {'strategy':<12}  "
+             f"{'fragments':>10}  {'edit latency':>13}"]
+    for size, incremental, fragments, elapsed in rows:
+        strategy = "incremental" if incremental else "full"
+        lines.append(f"{size:>12}  {strategy:<12}  {fragments:>10}  "
+                     f"{elapsed * 1e3:>11.1f}ms")
+    report("B9  recompilation after one procedure edit", lines)
+
+    # Shape: incremental compiles 1 fragment regardless of size; full
+    # compiles size+1 and its latency grows with the module.
+    incremental_fragments = [fragments for size, inc, fragments, __ in rows
+                             if inc]
+    full_fragments = {size: fragments for size, inc, fragments, __ in rows
+                      if not inc}
+    assert incremental_fragments == [1, 1, 1]
+    for size in MODULE_SIZES:
+        assert full_fragments[size] == size + 1
+    full_times = {size: elapsed for size, inc, __, elapsed in rows
+                  if not inc}
+    assert full_times[36] > full_times[4]

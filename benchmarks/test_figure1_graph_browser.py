@@ -1,0 +1,48 @@
+"""Experiment F1 — Figure 1: the graph browser viewing this paper.
+
+The paper's Figure 1 is a screenshot of the graph browser over the
+paper's own hyperdocument.  This benchmark builds that hyperdocument,
+renders the browser (the functional reproduction, printed below), and
+times the render path (getGraphQuery + layout + drawing).
+"""
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.browsers import GraphBrowser
+from repro.workloads.paper import PAPER_SECTIONS, build_paper_document
+
+
+@pytest.fixture(scope="module")
+def paper():
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    return ham, document, by_title
+
+
+@pytest.mark.benchmark(group="F1 graph browser")
+def test_figure1_render(benchmark, paper):
+    ham, document, by_title = paper
+    browser = GraphBrowser(ham, link_predicate="relation = isPartOf")
+    text = benchmark(browser.render)
+
+    # Functional checks: every paper section appears as a boxed icon and
+    # the structure edges are drawn.
+    for __, title, ___ in PAPER_SECTIONS:
+        assert f"| {title} |" in text
+    assert "v" in text and "+--" in text  # drawn edge connectors
+    report("F1  Figure 1: graph browser over the paper",
+           [line for line in text.splitlines()])
+
+
+@pytest.mark.benchmark(group="F1 graph browser")
+def test_figure1_visibility_predicates(benchmark, paper):
+    """The lower-right panes: node/link visibility predicates filter
+    the pictorial view (the browser's defining feature)."""
+    ham, document, by_title = paper
+    browser = GraphBrowser(ham, node_predicate="icon = Introduction")
+
+    nodes, edges = benchmark(browser.visible_subgraph)
+    assert nodes == [by_title["Introduction"]]
+    assert edges == []

@@ -1,0 +1,57 @@
+"""Experiment F2 — Figure 2: the document browser viewing this paper.
+
+Five panes: the upper-left from getGraphQuery, each pane to the right
+from linearizeGraph on the selection, the bottom a node browser.  We
+reproduce the figure's selection state (paper root selected, a chapter
+and a subsection drilled into) and time pane refresh — the interactive
+operation the figure demonstrates.
+"""
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.browsers import DocumentBrowser
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture(scope="module")
+def browser_state():
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    browser = DocumentBrowser(ham)
+    browser.select(0, document.root)
+    browser.select(1, by_title["Hypertext"])
+    browser.select(2, by_title["Properties of Hypertext Systems"])
+    return ham, document, by_title, browser
+
+
+@pytest.mark.benchmark(group="F2 document browser")
+def test_figure2_render(benchmark, browser_state):
+    ham, document, by_title, browser = browser_state
+    text = benchmark(browser.render)
+
+    assert "pane 1" in text and "pane 4" in text
+    # The selection chain drills root → Hypertext → Properties.
+    assert ">Hypertext" in text
+    assert "Existing Hypertext Sys" in text  # children of the selection
+    report("F2  Figure 2: document browser over the paper",
+           [line for line in text.splitlines()])
+
+
+@pytest.mark.benchmark(group="F2 document browser")
+def test_figure2_pane_refresh(benchmark, browser_state):
+    """Refreshing the pane lists = one getGraphQuery + linearizeGraphs."""
+    ham, document, by_title, browser = browser_state
+    panes = benchmark(browser.pane_contents)
+    assert panes[0]  # the query pane has results
+    assert by_title["Introduction"] in panes[1]
+
+
+@pytest.mark.benchmark(group="F2 document browser")
+def test_figure2_children_via_linearize(benchmark, browser_state):
+    """Each right pane is "the immediate descendents of the selected
+    node … via the linearizeGraph HAM operation"."""
+    ham, document, by_title, browser = browser_state
+    children = benchmark(browser.children_of, document.root)
+    assert by_title["Hypertext"] in children

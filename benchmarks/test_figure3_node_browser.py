@@ -1,0 +1,42 @@
+"""Experiment F3 — Figure 3: the node browser with inline link icons.
+
+The figure shows a node's text with link icons embedded at their
+attachment offsets.  We reproduce it over the paper's Introduction node
+(which carries an annotation link) and time the openNode + icon-splicing
+path.
+"""
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.browsers import NodeBrowser
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture(scope="module")
+def paper():
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    return ham, document, by_title
+
+
+@pytest.mark.benchmark(group="F3 node browser")
+def test_figure3_render(benchmark, paper):
+    ham, document, by_title = paper
+    browser = NodeBrowser(ham, by_title["Introduction"])
+    text = benchmark(browser.render)
+
+    assert "Node Browser" in text
+    assert "{annotation}" in text  # the inline link icon
+    assert "annotate" in text      # the command pane
+    report("F3  Figure 3: node browser over the paper's Introduction",
+           [line for line in text.splitlines()])
+
+
+@pytest.mark.benchmark(group="F3 node browser")
+def test_figure3_icon_splicing(benchmark, paper):
+    ham, document, by_title = paper
+    browser = NodeBrowser(ham, by_title["Introduction"])
+    text = benchmark(browser.text_with_icons)
+    assert text.count("{annotation}") == 1

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: the Hypertext Abstract Machine in five minutes.
+
+Creates a graph on disk, builds a tiny hyperdocument, revises a node,
+travels back in time, and runs both query mechanisms — the core loop of
+the paper's Appendix operations.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+from repro import HAM, LinkPt
+
+
+def main() -> None:
+    # A Neptune graph lives in a directory; createGraph returns the
+    # ProjectId needed to open (or destroy) it later.
+    directory = tempfile.mkdtemp(prefix="neptune-quickstart-")
+    project_id, created = HAM.create_graph(directory)
+    print(f"created graph {project_id} in {directory} at t={created}")
+
+    ham = HAM.open_graph(project_id, directory)
+
+    # Everything mutating happens in transactions.
+    with ham.begin() as txn:
+        paper, t_paper = ham.add_node(txn)
+        ham.modify_node(txn, node=paper, expected_time=t_paper,
+                        contents=b"Neptune overview\n")
+        section, t_section = ham.add_node(txn)
+        ham.modify_node(txn, node=section, expected_time=t_section,
+                        contents=b"The HAM is a transaction-based server.\n")
+        link, __ = ham.add_link(txn, from_pt=LinkPt(paper, position=8),
+                                to_pt=LinkPt(section))
+        relation = ham.get_attribute_index("relation", txn)
+        ham.set_link_attribute_value(txn, link=link, attribute=relation,
+                                     value="isPartOf")
+        icon = ham.get_attribute_index("icon", txn)
+        ham.set_node_attribute_value(txn, node=paper, attribute=icon,
+                                     value="Overview")
+
+    # Read a node: contents, attached link points, requested attribute
+    # values, and the current version time.
+    icon = ham.get_attribute_index("icon")
+    contents, link_points, values, version = ham.open_node(
+        paper, attributes=[icon])
+    print(f"\nopenNode({paper}) -> {contents!r}")
+    print(f"  attachments: {link_points}")
+    print(f"  icon={values[0]!r}  current version t={version}")
+
+    # Revise with the optimistic check: expected_time must match.
+    before_edit = ham.now
+    new_version = ham.modify_node(
+        txn=None, node=section, expected_time=ham.get_node_timestamp(section),
+        contents=b"The HAM keeps a complete version history of "
+                 b"everything.\n",
+        explanation="rewrote for clarity")
+    print(f"\nrevised node {section}; new version t={new_version}")
+
+    # Time travel: any version of the hypergraph stays addressable.
+    old = ham.open_node(section, time=before_edit)[0]
+    new = ham.open_node(section)[0]
+    print(f"  then: {old!r}")
+    print(f"  now:  {new!r}")
+    print(f"  differences: {ham.get_node_differences(section, before_edit, 0)}")
+
+    # Queries: structural traversal and associative access.
+    traversal = ham.linearize_graph(paper)
+    print(f"\nlinearizeGraph({paper}) visits nodes "
+          f"{traversal.node_indexes}")
+    hits = ham.get_graph_query(node_predicate="icon = Overview")
+    print(f"getGraphQuery(icon = Overview) -> {hits.node_indexes}")
+
+    ham.close()
+
+    # The graph is durable: reopen and read the history again.
+    with HAM.open_graph(project_id, directory) as reopened:
+        major, minor = reopened.get_node_versions(section)
+        print(f"\nreopened graph; node {section} has "
+              f"{len(major)} content versions, {len(minor)} minor versions")
+        for version in major:
+            print(f"  t={version.time}: {version.explanation or '(created)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Drive the Neptune shell — the scriptable UI layer.
+
+Builds the paper hyperdocument, then runs the kind of session a Neptune
+user would have had at a Tektronix workstation: list nodes, browse,
+annotate, edit, check versions and differences, record a trail.
+
+Run:  python examples/shell_session.py
+(For an interactive prompt: python -m repro.browsers.shell)
+"""
+
+from repro import HAM
+from repro.browsers.shell import NeptuneShell
+from repro.workloads.paper import build_paper_document
+
+
+def main() -> None:
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    shell = NeptuneShell(ham)
+    intro = by_title["Introduction"]
+
+    script = f"""
+        # what's in the database?
+        nodes
+        time
+
+        # browse the paper
+        doc {document.root}
+        open {intro}
+
+        # leave a review note and revise the text
+        annotate {intro} 6 cite Bush 1945 here
+        append {intro} CAD systems need version control most of all.
+        set {intro} status reviewed
+
+        # inspect the history we just made
+        versions {intro}
+        attrs {intro}
+        query status = reviewed
+
+        # record a reading trail for the next reviewer
+        trail start {document.root}
+        trail save first-pass-review
+        trail list
+    """
+
+    for line in script.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            print(f"\n{line}")
+            continue
+        print(f"neptune> {line}")
+        output = shell.execute(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

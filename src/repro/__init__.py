@@ -1,0 +1,54 @@
+"""Reproduction of *Neptune: a Hypertext System for CAD Applications*
+(Delisle & Schwartz, SIGMOD 1986).
+
+The public API mirrors the paper's layers:
+
+- :class:`repro.HAM` — the Hypertext Abstract Machine (Appendix spec):
+  versioned nodes/links/attributes/demons, transactions, queries.
+- :mod:`repro.server` — the central HAM server and its RPC client
+  ("accessible over a local area network from a variety of workstations").
+- :mod:`repro.apps` — application layers: documentation and CASE.
+- :mod:`repro.browsers` — the user-interface layer, rendered as text.
+- :mod:`repro.workloads` — synthetic workload generators for benchmarks.
+
+Quickstart::
+
+    from repro import HAM, LinkPt
+
+    ham = HAM.ephemeral()
+    with ham.begin() as txn:
+        section, t = ham.add_node(txn)
+        ham.modify_node(txn, node=section, expected_time=t,
+                        contents=b"1. Introduction\\n")
+"""
+
+from repro.core.ham import HAM
+from repro.core.types import (
+    CURRENT,
+    LinkPt,
+    NodeKind,
+    Protections,
+    Version,
+)
+from repro.core.demons import DemonEvent, DemonRegistry, EventKind
+from repro.core.contexts import Context, ContextManager, MergeReport
+from repro.errors import NeptuneError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HAM",
+    "CURRENT",
+    "LinkPt",
+    "NodeKind",
+    "Protections",
+    "Version",
+    "DemonEvent",
+    "DemonRegistry",
+    "EventKind",
+    "Context",
+    "ContextManager",
+    "MergeReport",
+    "NeptuneError",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Application layers built on the HAM (paper §4).
+
+"Typically, one or more application layers are built on top of the HAM
+and a user interface layer is built on top of the application layers."
+
+- :mod:`repro.apps.documents` — the generic documentation application:
+  hierarchical documents, the bundled *annotate* command, cross
+  references (§4.1 conventions).
+- :mod:`repro.apps.case` — the CASE application for a Modula-2-style
+  software project, using the attribute conventions of §4.2
+  (``contentType``, ``codeType``, ``relation``).
+- :mod:`repro.apps.compiler` — a toy incremental compiler wired to the
+  HAM through demons: modifying a procedure node recompiles just that
+  procedure (§4.2's "unit of incrementality").
+- :mod:`repro.apps.publishing` — hardcopy extraction: ``linearizeGraph``
+  flattens a document hierarchy to numbered text.
+"""
+
+from repro.apps.documents import DocumentApplication, DocumentHandle
+from repro.apps.case import CaseApplication, ModuleKind
+from repro.apps.compiler import IncrementalCompiler, CompilationResult
+from repro.apps.publishing import render_hardcopy, HardcopyOptions
+from repro.apps.trails import Trail, TrailRecorder
+from repro.apps.configurations import ConfigurationManager
+
+__all__ = [
+    "ConfigurationManager",
+    "DocumentApplication",
+    "DocumentHandle",
+    "CaseApplication",
+    "ModuleKind",
+    "IncrementalCompiler",
+    "CompilationResult",
+    "render_hardcopy",
+    "HardcopyOptions",
+    "Trail",
+    "TrailRecorder",
+]

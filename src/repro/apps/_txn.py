@@ -1,0 +1,30 @@
+"""Transaction scoping helper shared by the application layers.
+
+Applications accept an optional caller transaction (so several commands
+can be bundled into one unit, like the paper's *annotate*); when none is
+given they open, commit, and on error abort their own.  Works with both
+the in-process :class:`repro.core.ham.HAM` and the RPC
+:class:`repro.server.client.RemoteHAM`, which share begin/commit/abort.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["in_txn"]
+
+
+@contextmanager
+def in_txn(ham, txn=None, read_only: bool = False):
+    """Yield ``txn`` if given, else a fresh transaction managed here."""
+    if txn is not None:
+        yield txn
+        return
+    owned = ham.begin(read_only=read_only)
+    try:
+        yield owned
+    except BaseException:
+        owned.abort()
+        raise
+    else:
+        owned.commit()

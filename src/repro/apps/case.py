@@ -1,0 +1,261 @@
+"""The CASE application layer: a Modula-2 project database (paper §4.2).
+
+Attribute conventions, verbatim from the paper:
+
+- every node carries ``contentType`` — values include ``text``,
+  ``graphics``, ``Modula-2 source code``, ``Modula-2 object code``,
+  ``Modula-2 symbol table``;
+- source nodes additionally carry ``codeType`` — ``definitionModule``,
+  ``implementationModule``, or ``procedure``;
+- every link carries ``relation`` — ``isPartOf``, ``annotates``,
+  ``references``, ``compilesInto``, plus ``imports`` for Modula-2 import
+  lists ("Associated with each import list in a module is a link that
+  points to the node representing the module being imported");
+- management attributes like ``responsible`` (which team member owns the
+  node) support the §4.2 query examples.
+
+Structure: "a program requires a directed graph to represent its static
+structure.  Each module can be represented by a simple tree" — module
+node at the root, procedure nodes as ``isPartOf`` children, ``imports``
+links between modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.apps._txn import in_txn
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkIndex, LinkPt, NodeIndex, Time
+
+__all__ = ["CaseApplication", "ModuleKind", "ModuleHandle",
+           "CONTENT_TYPE", "CODE_TYPE", "RELATION_VALUES"]
+
+CONTENT_TYPE = "contentType"
+CODE_TYPE = "codeType"
+SOURCE_TYPE = "Modula-2 source code"
+OBJECT_TYPE = "Modula-2 object code"
+SYMBOL_TYPE = "Modula-2 symbol table"
+
+#: Every ``relation`` value the CASE layer uses.
+RELATION_VALUES = ("isPartOf", "annotates", "references", "compilesInto",
+                   "imports")
+
+
+class ModuleKind(enum.Enum):
+    """The ``codeType`` of a module node."""
+
+    DEFINITION = "definitionModule"
+    IMPLEMENTATION = "implementationModule"
+
+
+@dataclass(frozen=True)
+class ModuleHandle:
+    """A created module: its node, name, and kind."""
+
+    node: NodeIndex
+    name: str
+    kind: ModuleKind
+
+
+class CaseApplication:
+    """A software-project database over a HAM."""
+
+    def __init__(self, ham: HAM, project: str = "project"):
+        self.ham = ham
+        self.project = project
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _attr(self, name: str, txn=None) -> int:
+        return self.ham.get_attribute_index(name, txn)
+
+    def _set(self, txn, node: NodeIndex, name: str, value: str) -> None:
+        self.ham.set_node_attribute_value(
+            txn, node=node, attribute=self._attr(name, txn), value=value)
+
+    def _set_link(self, txn, link: LinkIndex, name: str, value: str) -> None:
+        self.ham.set_link_attribute_value(
+            txn, link=link, attribute=self._attr(name, txn), value=value)
+
+    # ------------------------------------------------------------------
+    # project construction
+
+    def create_module(self, name: str, kind: ModuleKind,
+                      source: bytes = b"", responsible: str = "",
+                      txn=None) -> ModuleHandle:
+        """Create a module node with the §4.2 conventions attached."""
+        with in_txn(self.ham, txn) as t:
+            node, time = self.ham.add_node(t)
+            header = f"MODULE {name};\n".encode()
+            self.ham.modify_node(
+                t, node=node, expected_time=time,
+                contents=header + bytes(source),
+                explanation=f"module {name} created")
+            self._set(t, node, "icon", name)
+            self._set(t, node, CONTENT_TYPE, SOURCE_TYPE)
+            self._set(t, node, CODE_TYPE, kind.value)
+            self._set(t, node, "document", self.project)
+            if responsible:
+                self._set(t, node, "responsible", responsible)
+            return ModuleHandle(node, name, kind)
+
+    def add_procedure(self, module: ModuleHandle, name: str,
+                      source: bytes, responsible: str = "",
+                      txn=None) -> NodeIndex:
+        """Add a procedure node as an ``isPartOf`` child of its module.
+
+        The procedure is the compiler's unit of incrementality (§4.2):
+        one node per recompilable fragment.
+        """
+        with in_txn(self.ham, txn) as t:
+            node, time = self.ham.add_node(t)
+            self.ham.modify_node(
+                t, node=node, expected_time=time, contents=bytes(source),
+                explanation=f"procedure {name} created")
+            self._set(t, node, "icon", name)
+            self._set(t, node, CONTENT_TYPE, SOURCE_TYPE)
+            self._set(t, node, CODE_TYPE, "procedure")
+            self._set(t, node, "document", self.project)
+            if responsible:
+                self._set(t, node, "responsible", responsible)
+            offset = len(self.procedures(module.node, txn=t))
+            link, __ = self.ham.add_link(
+                t, from_pt=LinkPt(module.node, position=offset),
+                to_pt=LinkPt(node))
+            self._set_link(t, link, "relation", "isPartOf")
+            return node
+
+    def import_module(self, importer: ModuleHandle,
+                      imported: ModuleHandle, txn=None) -> LinkIndex:
+        """Record an import: a link from importer to imported module."""
+        with in_txn(self.ham, txn) as t:
+            link, __ = self.ham.add_link(
+                t, from_pt=LinkPt(importer.node),
+                to_pt=LinkPt(imported.node))
+            self._set_link(t, link, "relation", "imports")
+            return link
+
+    def attach_object_code(self, source_node: NodeIndex,
+                           object_code: bytes, symbol_table: bytes,
+                           txn=None) -> tuple[NodeIndex, NodeIndex]:
+        """Store compiler output: object-code and symbol-table nodes
+        linked to the source via ``compilesInto`` (§4.2: "A compiler
+        integrated with hypertext can use nodes for object code and
+        symbol tables; links can be used to associate these objects with
+        their source code").
+
+        Re-invoked after a recompile, the same output nodes get new
+        *versions* rather than new nodes.
+        """
+        with in_txn(self.ham, txn) as t:
+            existing = self.compiled_outputs(source_node, txn=t)
+            if existing is None:
+                object_node, otime = self.ham.add_node(t)
+                symbol_node, stime = self.ham.add_node(t)
+                self._set(t, object_node, CONTENT_TYPE, OBJECT_TYPE)
+                self._set(t, symbol_node, CONTENT_TYPE, SYMBOL_TYPE)
+                self._set(t, object_node, "document", self.project)
+                self._set(t, symbol_node, "document", self.project)
+                for target in (object_node, symbol_node):
+                    link, __ = self.ham.add_link(
+                        t, from_pt=LinkPt(source_node),
+                        to_pt=LinkPt(target))
+                    self._set_link(t, link, "relation", "compilesInto")
+            else:
+                object_node, symbol_node = existing
+                otime = self.ham.get_node_timestamp(object_node)
+                stime = self.ham.get_node_timestamp(symbol_node)
+            self.ham.modify_node(
+                t, node=object_node, expected_time=otime,
+                contents=object_code, explanation="recompiled")
+            self.ham.modify_node(
+                t, node=symbol_node, expected_time=stime,
+                contents=symbol_table, explanation="recompiled")
+            return object_node, symbol_node
+
+    # ------------------------------------------------------------------
+    # project queries (the §4.2 examples)
+
+    def procedures(self, module_node: NodeIndex,
+                   time: Time = CURRENT, txn=None) -> list[NodeIndex]:
+        """Procedure nodes of a module, in offset order."""
+        result = self.ham.linearize_graph(
+            module_node, time, txn=txn,
+            node_predicate=f"{CODE_TYPE} = procedure or "
+                           f"{CODE_TYPE} = definitionModule or "
+                           f"{CODE_TYPE} = implementationModule",
+            link_predicate="relation = isPartOf")
+        return [index for index in result.node_indexes
+                if index != module_node]
+
+    def compiled_outputs(self, source_node: NodeIndex, txn=None,
+                         ) -> tuple[NodeIndex, NodeIndex] | None:
+        """(object node, symbol-table node) for a source, if compiled."""
+        content = self._attr(CONTENT_TYPE, txn)
+        __, link_points, ___, ____ = self.ham.open_node(source_node,
+                                                        txn=txn)
+        object_node = symbol_node = None
+        for link_index, end, __ in link_points:
+            if end != "from":
+                continue
+            attrs = dict(
+                (name, value) for name, ___, value
+                in self.ham.get_link_attributes(link_index))
+            if attrs.get("relation") != "compilesInto":
+                continue
+            target, __ = self.ham.get_to_node(link_index)
+            kind = self.ham.get_node_attribute_value(target, content)
+            if kind == OBJECT_TYPE:
+                object_node = target
+            elif kind == SYMBOL_TYPE:
+                symbol_node = target
+        if object_node is None or symbol_node is None:
+            return None
+        return object_node, symbol_node
+
+    def imports_of(self, module_node: NodeIndex,
+                   time: Time = CURRENT) -> list[NodeIndex]:
+        """Modules this module imports."""
+        __, link_points, ___, ____ = self.ham.open_node(module_node, time)
+        found = []
+        for link_index, end, __ in link_points:
+            if end != "from":
+                continue
+            attrs = dict(
+                (name, value) for name, ___, value
+                in self.ham.get_link_attributes(link_index, time))
+            if attrs.get("relation") == "imports":
+                target, __ = self.ham.get_to_node(link_index, time)
+                found.append(target)
+        return sorted(found)
+
+    def importers_of(self, module_node: NodeIndex,
+                     time: Time = CURRENT) -> list[NodeIndex]:
+        """Modules that import this module (reverse dependency set)."""
+        __, link_points, ___, ____ = self.ham.open_node(module_node, time)
+        found = []
+        for link_index, end, __ in link_points:
+            if end != "to":
+                continue
+            attrs = dict(
+                (name, value) for name, ___, value
+                in self.ham.get_link_attributes(link_index, time))
+            if attrs.get("relation") == "imports":
+                source, __ = self.ham.get_from_node(link_index, time)
+                found.append(source)
+        return sorted(found)
+
+    def nodes_responsible_to(self, member: str) -> list[NodeIndex]:
+        """§4.2 management query: nodes owned by one team member."""
+        return self.ham.get_graph_query(
+            node_predicate=f'responsible = "{member}"').node_indexes
+
+    def source_nodes(self, time: Time = CURRENT) -> list[NodeIndex]:
+        """Every Modula-2 source node in the project."""
+        return self.ham.get_graph_query(
+            time,
+            node_predicate=f'{CONTENT_TYPE} = "{SOURCE_TYPE}"'
+        ).node_indexes

@@ -1,0 +1,200 @@
+"""Configuration management over pinned links (paper §3 and §5).
+
+§3: a link attachment "may refer to a particular version of a node …
+The former mechanism is a useful primitive for building a configuration
+manager."  §5 adds that contexts serve "for configuration management"
+too.  This module builds that manager:
+
+A *configuration* is a named, frozen snapshot of a set of nodes at
+specific versions — a release, a baseline, a tape that went to
+manufacturing.  It is represented **in the hypertext** as a
+configuration node whose out-links are *pinned* (``LinkPt.time`` set,
+``track_current=False``) to the member versions, exactly the primitive
+the paper names.  Because the configuration is ordinary hypertext, it
+versions, queries, and browses like everything else.
+
+Operations:
+
+- :meth:`ConfigurationManager.freeze` — pin the current (or any) version
+  of each member under a new configuration node;
+- :meth:`ConfigurationManager.members` — resolve a configuration back to
+  ``(node, pinned time)`` pairs;
+- :meth:`ConfigurationManager.checkout` — read every member's contents
+  *as configured*, regardless of later edits;
+- :meth:`ConfigurationManager.diff` — what changed between two
+  configurations (members added/removed/repinned);
+- :meth:`ConfigurationManager.drift` — members whose current version has
+  moved past the configured pin (the "what changed since the release"
+  question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps._txn import in_txn
+from repro.core.ham import HAM
+from repro.core.types import LinkPt, NodeIndex, Time
+from repro.errors import NeptuneError
+
+__all__ = ["ConfigurationManager", "ConfigurationDiff"]
+
+#: contentType value marking configuration nodes.
+CONFIGURATION_CONTENT_TYPE = "configuration"
+#: relation value on pinned membership links.
+MEMBER_RELATION = "configures"
+
+
+@dataclass(frozen=True)
+class ConfigurationDiff:
+    """Membership changes between two configurations."""
+
+    added: tuple[NodeIndex, ...]
+    removed: tuple[NodeIndex, ...]
+    #: (node, old pinned time, new pinned time)
+    repinned: tuple[tuple[NodeIndex, Time, Time], ...]
+
+    @property
+    def identical(self) -> bool:
+        """True when the two configurations pin exactly the same set."""
+        return not (self.added or self.removed or self.repinned)
+
+
+class ConfigurationManager:
+    """Creates and resolves frozen configurations in a HAM graph."""
+
+    def __init__(self, ham: HAM):
+        self.ham = ham
+
+    # ------------------------------------------------------------------
+    # creation
+
+    def freeze(self, name: str,
+               members: list[NodeIndex] | dict[NodeIndex, Time],
+               description: str = "", txn=None) -> NodeIndex:
+        """Create a configuration pinning ``members``.
+
+        A list pins every member at its *current* version; a dict pins
+        each at the given time.  Returns the configuration node.
+        """
+        if isinstance(members, dict):
+            pins = dict(members)
+        else:
+            pins = {node: self.ham.get_node_timestamp(node)
+                    for node in members}
+        if not pins:
+            raise NeptuneError("a configuration needs at least one member")
+        with in_txn(self.ham, txn) as t:
+            config, time = self.ham.add_node(t)
+            body = (f"configuration {name}\n{description}\n").encode()
+            self.ham.modify_node(t, node=config, expected_time=time,
+                                 contents=body,
+                                 explanation=f"configuration {name!r}")
+            content_type = self.ham.get_attribute_index("contentType", t)
+            icon = self.ham.get_attribute_index("icon", t)
+            relation = self.ham.get_attribute_index("relation", t)
+            self.ham.set_node_attribute_value(
+                t, node=config, attribute=content_type,
+                value=CONFIGURATION_CONTENT_TYPE)
+            self.ham.set_node_attribute_value(
+                t, node=config, attribute=icon, value=name)
+            for position, (node, pin_time) in enumerate(
+                    sorted(pins.items())):
+                link, __ = self.ham.add_link(
+                    t, from_pt=LinkPt(config, position=position),
+                    to_pt=LinkPt(node, position=0, time=pin_time,
+                                 track_current=False))
+                self.ham.set_link_attribute_value(
+                    t, link=link, attribute=relation,
+                    value=MEMBER_RELATION)
+            # Record when the configuration was complete, so membership
+            # resolves as-of this time even if members (and their
+            # cascading links) are deleted later — the frozen set is
+            # immutable by definition.
+            frozen_at = self.ham.get_attribute_index("frozenAt", t)
+            self.ham.set_node_attribute_value(
+                t, node=config, attribute=frozen_at,
+                value=str(self.ham.now))
+            return config
+
+    # ------------------------------------------------------------------
+    # resolution
+
+    def configurations(self) -> list[NodeIndex]:
+        """Every configuration node in the graph."""
+        return self.ham.get_graph_query(
+            node_predicate=(
+                f"contentType = {CONFIGURATION_CONTENT_TYPE}")
+        ).node_indexes
+
+    def name_of(self, config: NodeIndex) -> str:
+        """The configuration's icon name."""
+        icon = self.ham.get_attribute_index("icon")
+        return self.ham.get_node_attribute_value(config, icon)
+
+    def members(self, config: NodeIndex) -> dict[NodeIndex, Time]:
+        """``node → pinned version time`` for a configuration.
+
+        Resolved as of the freeze time, so later deletion of a member
+        (which cascades to its links, per ``deleteNode``) cannot mutate
+        the frozen set.
+        """
+        self._require_configuration(config)
+        frozen_attr = self.ham.get_attribute_index("frozenAt")
+        frozen_at = int(self.ham.get_node_attribute_value(
+            config, frozen_attr))
+        __, link_points, ___, ____ = self.ham.open_node(
+            config, time=frozen_at)
+        pins: dict[NodeIndex, Time] = {}
+        for link_index, end, __ in link_points:
+            if end != "from":
+                continue
+            attrs = {name: value for name, ___, value
+                     in self.ham.get_link_attributes(link_index,
+                                                     frozen_at)}
+            if attrs.get("relation") != MEMBER_RELATION:
+                continue
+            node, pin_time = self.ham.get_to_node(link_index, frozen_at)
+            pins[node] = pin_time
+        return pins
+
+    def checkout(self, config: NodeIndex) -> dict[NodeIndex, bytes]:
+        """Every member's contents at its pinned version."""
+        return {
+            node: self.ham.open_node(node, time=pin_time)[0]
+            for node, pin_time in self.members(config).items()
+        }
+
+    # ------------------------------------------------------------------
+    # comparison
+
+    def diff(self, old: NodeIndex, new: NodeIndex) -> ConfigurationDiff:
+        """Membership/pin changes from ``old`` to ``new``."""
+        old_pins = self.members(old)
+        new_pins = self.members(new)
+        added = tuple(sorted(set(new_pins) - set(old_pins)))
+        removed = tuple(sorted(set(old_pins) - set(new_pins)))
+        repinned = tuple(
+            (node, old_pins[node], new_pins[node])
+            for node in sorted(set(old_pins) & set(new_pins))
+            if old_pins[node] != new_pins[node]
+        )
+        return ConfigurationDiff(added, removed, repinned)
+
+    def drift(self, config: NodeIndex) -> list[tuple[NodeIndex, Time, Time]]:
+        """Members whose current version moved past the pin:
+        ``(node, pinned time, current time)`` rows."""
+        drifted = []
+        for node, pin_time in sorted(self.members(config).items()):
+            current = self.ham.get_node_timestamp(node)
+            if current != pin_time:
+                drifted.append((node, pin_time, current))
+        return drifted
+
+    def _require_configuration(self, config: NodeIndex) -> None:
+        content_type = self.ham.get_attribute_index("contentType")
+        attrs = {name: value for name, __, value
+                 in self.ham.get_node_attributes(config)}
+        if attrs.get("contentType") != CONFIGURATION_CONTENT_TYPE:
+            raise NeptuneError(
+                f"node {config} is not a configuration node")

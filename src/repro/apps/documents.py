@@ -1,0 +1,253 @@
+"""The generic documentation application layer (paper §4.1).
+
+Conventions (all plain HAM attributes — the application owns the
+semantics, exactly as §3 prescribes):
+
+- node ``icon`` — the display name browsers use for the node;
+- node ``document`` — which document the node belongs to;
+- node ``contentType`` — ``text`` unless the caller says otherwise;
+- link ``relation`` — ``isPartOf`` for structure, ``annotates`` for
+  annotations, ``references`` for cross references.
+
+Structure links run parent → child with the *from* endpoint's offset
+placing the child within the parent ("This structure can be directly
+expressed in hypertext by using a node to represent each section …with
+links connecting each node to its immediate descendent sections").
+Because ``linearizeGraph`` orders out-links by offset, children linearize
+in offset order — which is how the whole document prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps._txn import in_txn
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkIndex, LinkPt, NodeIndex, Time
+from repro.txn.manager import Transaction
+
+__all__ = ["DocumentApplication", "DocumentHandle",
+           "RELATION", "IS_PART_OF", "ANNOTATES", "REFERENCES"]
+
+#: Link attribute naming the relationship a link denotes (§4.2).
+RELATION = "relation"
+IS_PART_OF = "isPartOf"
+ANNOTATES = "annotates"
+REFERENCES = "references"
+
+
+@dataclass(frozen=True)
+class DocumentHandle:
+    """A created document: its root node and name."""
+
+    root: NodeIndex
+    name: str
+
+
+class DocumentApplication:
+    """Hierarchical documents over a HAM (local or remote)."""
+
+    def __init__(self, ham: HAM):
+        self.ham = ham
+
+    # ------------------------------------------------------------------
+    # attribute plumbing
+
+    def _attr(self, name: str, txn: Transaction | None = None) -> int:
+        return self.ham.get_attribute_index(name, txn)
+
+    def _set_node_attrs(self, txn, node: NodeIndex, **attrs: str) -> None:
+        for name, value in attrs.items():
+            self.ham.set_node_attribute_value(
+                txn, node=node, attribute=self._attr(name, txn), value=value)
+
+    # ------------------------------------------------------------------
+    # document construction
+
+    def create_document(self, name: str,
+                        txn: Transaction | None = None) -> DocumentHandle:
+        """Create a document root node carrying the conventions."""
+        with in_txn(self.ham, txn) as t:
+            root, time = self.ham.add_node(t)
+            self.ham.modify_node(
+                t, node=root, expected_time=time,
+                contents=name.encode() + b"\n",
+                explanation=f"document {name!r} created")
+            self._set_node_attrs(t, root, icon=name, document=name,
+                                 contentType="text")
+            return DocumentHandle(root, name)
+
+    def add_section(self, document: DocumentHandle, parent: NodeIndex,
+                    title: str, contents: bytes = b"",
+                    offset: int | None = None,
+                    txn: Transaction | None = None) -> NodeIndex:
+        """Add a section under ``parent``; returns the new node.
+
+        ``offset`` positions the child within the parent's contents (and
+        therefore within the linearized document); by default children
+        append after the last existing structure link.
+        """
+        with in_txn(self.ham, txn) as t:
+            node, time = self.ham.add_node(t)
+            body = title.encode() + b"\n" + bytes(contents)
+            self.ham.modify_node(
+                t, node=node, expected_time=time, contents=body,
+                explanation=f"section {title!r} created")
+            self._set_node_attrs(t, node, icon=title,
+                                 document=document.name,
+                                 contentType="text")
+            if offset is None:
+                offset = self._next_child_offset(parent, txn=t)
+            link, __ = self.ham.add_link(
+                t, from_pt=LinkPt(parent, position=offset),
+                to_pt=LinkPt(node))
+            self.ham.set_link_attribute_value(
+                t, link=link, attribute=self._attr(RELATION, t),
+                value=IS_PART_OF)
+            return node
+
+    def _next_child_offset(self, parent: NodeIndex, txn=None) -> int:
+        """One past the highest structure-link offset under ``parent``.
+
+        The first child attaches at the end of the parent's contents, so
+        link icons render after the text rather than inside the title.
+        """
+        contents, link_points, __, ___ = self.ham.open_node(parent, txn=txn)
+        highest = -1
+        for __, end, pt in link_points:
+            if end == "from":
+                highest = max(highest, pt.position)
+        if highest < 0:
+            return len(contents)
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    # the bundled commands of §4.1
+
+    def annotate(self, node: NodeIndex, position: int, text: str,
+                 txn: Transaction | None = None,
+                 ) -> tuple[NodeIndex, LinkIndex]:
+        """The *annotate* command: "creates a new node, creates a link
+        from the current cursor position to the new node, attaches
+        attribute values that distinguish the new node and link as an
+        annotation" — one transaction.
+        """
+        with in_txn(self.ham, txn) as t:
+            annotation, time = self.ham.add_node(t)
+            self.ham.modify_node(
+                t, node=annotation, expected_time=time,
+                contents=text.encode(), explanation="annotation created")
+            self._set_node_attrs(t, annotation, icon="annotation",
+                                 contentType="text")
+            link, __ = self.ham.add_link(
+                t, from_pt=LinkPt(node, position=position),
+                to_pt=LinkPt(annotation))
+            self.ham.set_link_attribute_value(
+                t, link=link, attribute=self._attr(RELATION, t),
+                value=ANNOTATES)
+            return annotation, link
+
+    def cross_reference(self, from_node: NodeIndex, position: int,
+                        to_node: NodeIndex,
+                        txn: Transaction | None = None) -> LinkIndex:
+        """Create a ``references`` link (a diversion a reader may follow)."""
+        with in_txn(self.ham, txn) as t:
+            link, __ = self.ham.add_link(
+                t, from_pt=LinkPt(from_node, position=position),
+                to_pt=LinkPt(to_node))
+            self.ham.set_link_attribute_value(
+                t, link=link, attribute=self._attr(RELATION, t),
+                value=REFERENCES)
+            return link
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def structure_predicate(self) -> str:
+        """Link predicate selecting only the structural skeleton."""
+        return f"{RELATION} = {IS_PART_OF}"
+
+    def outline(self, document: DocumentHandle, time: Time = CURRENT,
+                ) -> list[tuple[int, NodeIndex, str]]:
+        """(depth, node, title) rows of the document tree, in order."""
+        icon_attr = self.ham.get_attribute_index("icon")
+        result = self.ham.linearize_graph(
+            document.root, time,
+            link_predicate=self.structure_predicate(),
+            node_attributes=[icon_attr])
+        depths = self._depths(document.root, result, time)
+        return [
+            (depths.get(index, 0), index, values[0] or f"node {index}")
+            for index, values in result.nodes
+        ]
+
+    def _depths(self, root: NodeIndex, result, time: Time,
+                ) -> dict[NodeIndex, int]:
+        parent_of: dict[NodeIndex, NodeIndex] = {}
+        for link_index, __ in result.links:
+            from_node, ___ = self.ham.get_from_node(link_index, time)
+            to_node, ___ = self.ham.get_to_node(link_index, time)
+            parent_of.setdefault(to_node, from_node)
+        depths = {root: 0}
+        for index in result.node_indexes:
+            if index in depths:
+                continue
+            chain = []
+            cursor = index
+            while cursor not in depths and cursor in parent_of:
+                chain.append(cursor)
+                cursor = parent_of[cursor]
+            base = depths.get(cursor, 0)
+            for hop, member in enumerate(reversed(chain), start=1):
+                depths[member] = base + hop
+        return depths
+
+    def children(self, node: NodeIndex, time: Time = CURRENT,
+                 ) -> list[NodeIndex]:
+        """Immediate structural descendants of ``node``, in offset order.
+
+        This is how the document browser fills each pane to the right
+        (§4.1: "accessing the immediate descendents of the selected node
+        … via the linearizeGraph HAM operation").
+        """
+        contents, link_points, __, ___ = self.ham.open_node(node, time)
+        relation_attr = self.ham.get_attribute_index(RELATION)
+        ordered: list[tuple[int, int]] = []
+        for link_index, end, pt in link_points:
+            if end != "from":
+                continue
+            value = self.ham.get_link_attribute_value(
+                link_index, relation_attr, time) if self._has_attr(
+                    link_index, relation_attr, time) else None
+            if value != IS_PART_OF:
+                continue
+            ordered.append((pt.position, link_index))
+        children = []
+        for __, link_index in sorted(ordered):
+            child, ___ = self.ham.get_to_node(link_index, time)
+            children.append(child)
+        return children
+
+    def _has_attr(self, link: LinkIndex, attribute: int,
+                  time: Time) -> bool:
+        return any(index == attribute
+                   for __, index, ___ in self.ham.get_link_attributes(
+                       link, time))
+
+    def annotations(self, node: NodeIndex, time: Time = CURRENT,
+                    ) -> list[tuple[int, NodeIndex]]:
+        """(position, annotation node) pairs attached to ``node``."""
+        relation_attr = self.ham.get_attribute_index(RELATION)
+        __, link_points, ___, ____ = self.ham.open_node(node, time)
+        found = []
+        for link_index, end, pt in link_points:
+            if end != "from":
+                continue
+            if not self._has_attr(link_index, relation_attr, time):
+                continue
+            value = self.ham.get_link_attribute_value(
+                link_index, relation_attr, time)
+            if value == ANNOTATES:
+                target, __ = self.ham.get_to_node(link_index, time)
+                found.append((pt.position, target))
+        return sorted(found)

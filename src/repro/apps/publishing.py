@@ -1,0 +1,63 @@
+"""Hardcopy extraction (paper §4.2): linearize a document to text.
+
+"The HAM's linearizeGraph operation can be used to extract a document
+from the hypertext graph so that hardcopies can be produced."
+
+The renderer walks the structural skeleton (``relation = isPartOf``),
+numbers sections hierarchically (1, 1.1, 1.2, 2 …), and concatenates
+node contents in traversal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.documents import DocumentApplication
+from repro.core.types import CURRENT, NodeIndex, Time
+
+__all__ = ["render_hardcopy", "HardcopyOptions"]
+
+
+@dataclass(frozen=True)
+class HardcopyOptions:
+    """Rendering knobs for :func:`render_hardcopy`."""
+
+    number_sections: bool = True
+    include_root_title: bool = True
+    heading_separator: str = "\n"
+    encoding: str = "utf-8"
+
+
+def render_hardcopy(app: DocumentApplication, root: NodeIndex,
+                    time: Time = CURRENT,
+                    options: HardcopyOptions = HardcopyOptions()) -> str:
+    """Flatten the document rooted at ``root`` into numbered text."""
+    ham = app.ham
+    lines: list[str] = []
+
+    def body_of(node: NodeIndex) -> tuple[str, str]:
+        contents, __, ___, ____ = ham.open_node(node, time)
+        text = contents.decode(options.encoding, errors="replace")
+        title, __, rest = text.partition("\n")
+        return title.strip(), rest
+
+    def walk(node: NodeIndex, numbering: list[int]) -> None:
+        title, body = body_of(node)
+        if numbering:
+            label = ".".join(str(part) for part in numbering)
+            heading = f"{label} {title}" if options.number_sections else title
+        else:
+            heading = title if options.include_root_title else ""
+        if heading:
+            lines.append(heading)
+        if body.strip():
+            lines.append(body.rstrip("\n"))
+        lines.append(options.heading_separator.rstrip("\n"))
+        for position, child in enumerate(app.children(node, time), start=1):
+            walk(child, numbering + [position])
+
+    walk(root, [])
+    # Collapse the trailing separator noise.
+    while lines and not lines[-1].strip():
+        lines.pop()
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,165 @@
+"""Traversal trails: saved reading paths (paper §2.2).
+
+"As a hypertext reader follows link after link … he or she may want to
+keep a trail of which links were followed.  This trail allows other
+readers to follow the same path and makes it easier to resume reading a
+document after a diversion has been followed.  A capability for saving a
+traversal history was a key component of Bush's memex."
+
+A :class:`TrailRecorder` watches one reading session: every ``follow``
+verifies the link really leaves the current node, opens the target, and
+appends a step.  Trails are saved *into the hypertext itself* — a trail
+node whose contents encode the steps and whose ``contentType`` is
+``trail`` — so they version, query, and replicate like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps._txn import in_txn
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkIndex, NodeIndex, Time
+from repro.errors import LinkNotFoundError, NeptuneError
+from repro.storage.serializer import decode_value, encode_value
+
+__all__ = ["Trail", "TrailStep", "TrailRecorder"]
+
+#: The contentType value marking stored trail nodes.
+TRAIL_CONTENT_TYPE = "trail"
+
+
+@dataclass(frozen=True)
+class TrailStep:
+    """One hop of a trail: the link followed and the node reached."""
+
+    link: LinkIndex | None  # None for the starting step
+    node: NodeIndex
+
+    def to_record(self) -> list:
+        return [self.link, self.node]
+
+    @classmethod
+    def from_record(cls, record: list) -> "TrailStep":
+        link, node = record
+        return cls(link=link, node=node)
+
+
+@dataclass(frozen=True)
+class Trail:
+    """A named, replayable reading path."""
+
+    name: str
+    steps: tuple[TrailStep, ...]
+
+    @property
+    def nodes(self) -> list[NodeIndex]:
+        """The nodes visited, in order."""
+        return [step.node for step in self.steps]
+
+    def to_record(self) -> dict:
+        return {"name": self.name,
+                "steps": [step.to_record() for step in self.steps]}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Trail":
+        return cls(name=record["name"],
+                   steps=tuple(TrailStep.from_record(step)
+                               for step in record["steps"]))
+
+
+class TrailRecorder:
+    """Records a reading session and saves/loads/replays trails."""
+
+    def __init__(self, ham: HAM):
+        self.ham = ham
+        self._steps: list[TrailStep] = []
+        self._current: NodeIndex | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+
+    @property
+    def current_node(self) -> NodeIndex | None:
+        """Where the reader is now (None before :meth:`start`)."""
+        return self._current
+
+    def start(self, node: NodeIndex) -> bytes:
+        """Begin reading at ``node``; returns its contents."""
+        contents, __, ___, ____ = self.ham.open_node(node)
+        self._steps = [TrailStep(link=None, node=node)]
+        self._current = node
+        return contents
+
+    def follow(self, link: LinkIndex) -> bytes:
+        """Follow a link out of the current node; returns the target's
+        contents.  The link must actually leave the current node."""
+        if self._current is None:
+            raise NeptuneError("start a trail before following links")
+        from_node, __ = self.ham.get_from_node(link)
+        if from_node != self._current:
+            raise LinkNotFoundError(
+                f"link {link} does not leave node {self._current}")
+        target, __ = self.ham.get_to_node(link)
+        contents, __, ___, ____ = self.ham.open_node(target)
+        self._steps.append(TrailStep(link=link, node=target))
+        self._current = target
+        return contents
+
+    def back(self) -> NodeIndex:
+        """Step back to the previous node (resuming after a diversion)."""
+        if len(self._steps) < 2:
+            raise NeptuneError("nowhere to go back to")
+        self._steps.pop()
+        self._current = self._steps[-1].node
+        return self._current
+
+    def trail(self, name: str) -> Trail:
+        """The session so far, as a named trail."""
+        return Trail(name=name, steps=tuple(self._steps))
+
+    # ------------------------------------------------------------------
+    # persistence in the hypertext
+
+    def save(self, name: str, txn=None) -> NodeIndex:
+        """Store the current session as a trail node; returns its index."""
+        trail = self.trail(name)
+        with in_txn(self.ham, txn) as t:
+            node, time = self.ham.add_node(t)
+            self.ham.modify_node(
+                t, node=node, expected_time=time,
+                contents=encode_value(trail.to_record()),
+                explanation=f"trail {name!r} saved")
+            content_type = self.ham.get_attribute_index("contentType", t)
+            icon = self.ham.get_attribute_index("icon", t)
+            self.ham.set_node_attribute_value(
+                t, node=node, attribute=content_type,
+                value=TRAIL_CONTENT_TYPE)
+            self.ham.set_node_attribute_value(
+                t, node=node, attribute=icon, value=name)
+            return node
+
+    def load(self, trail_node: NodeIndex, time: Time = CURRENT) -> Trail:
+        """Load a trail stored by :meth:`save` (any version of it)."""
+        contents, __, ___, ____ = self.ham.open_node(trail_node, time)
+        record = decode_value(contents)
+        if not isinstance(record, dict) or "steps" not in record:
+            raise NeptuneError(
+                f"node {trail_node} does not contain a trail")
+        return Trail.from_record(record)
+
+    def saved_trails(self) -> list[NodeIndex]:
+        """Every trail node in the graph (a getGraphQuery)."""
+        return self.ham.get_graph_query(
+            node_predicate=f"contentType = {TRAIL_CONTENT_TYPE}"
+        ).node_indexes
+
+    # ------------------------------------------------------------------
+    # replay
+
+    def replay(self, trail: Trail, time: Time = CURRENT):
+        """Yield ``(node, contents)`` along the trail — another reader
+        following the same path (at any version of the hyperdocument)."""
+        for step in trail.steps:
+            contents, __, ___, ____ = self.ham.open_node(step.node, time)
+            yield step.node, contents

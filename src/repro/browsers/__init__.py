@@ -1,0 +1,46 @@
+"""The user-interface layer: every browser of §4.1, rendered as text.
+
+The paper's UI is Smalltalk-80 windows; the figures are screenshots of
+three browsers.  Here each browser renders its pane layout to a plain
+string, which is what the figure-reproduction benchmarks and examples
+print and compare:
+
+- :mod:`repro.browsers.graph_browser` — Figure 1: pictorial sub-graph
+  view with icon-named node boxes and four panes (graph, scroll area,
+  node/link visibility predicate editors).
+- :mod:`repro.browsers.document_browser` — Figure 2: five panes: four
+  miller-column node lists plus an embedded node browser.
+- :mod:`repro.browsers.node_browser` — Figure 3: node contents with link
+  icons placed at their attachment offsets.
+- :mod:`repro.browsers.version_browser` — a node's version history.
+- :mod:`repro.browsers.attribute_browser` — attributes of a node/link.
+- :mod:`repro.browsers.differences_browser` — two versions side-by-side
+  with differences highlighted.
+- :mod:`repro.browsers.demon_browser` — active demons.
+"""
+
+from repro.browsers.render import Pane, frame, columns
+from repro.browsers.graph_browser import GraphBrowser
+from repro.browsers.document_browser import DocumentBrowser
+from repro.browsers.node_browser import NodeBrowser
+from repro.browsers.version_browser import VersionBrowser
+from repro.browsers.attribute_browser import AttributeBrowser
+from repro.browsers.differences_browser import NodeDifferencesBrowser
+from repro.browsers.demon_browser import DemonBrowser
+from repro.browsers.shell import NeptuneShell
+from repro.browsers.editor import NodeEditor
+
+__all__ = [
+    "NeptuneShell",
+    "NodeEditor",
+    "Pane",
+    "frame",
+    "columns",
+    "GraphBrowser",
+    "DocumentBrowser",
+    "NodeBrowser",
+    "VersionBrowser",
+    "AttributeBrowser",
+    "NodeDifferencesBrowser",
+    "DemonBrowser",
+]

@@ -1,0 +1,49 @@
+"""The attribute browser: attribute/value pairs of a node or link.
+
+§4.1 lists "attribute browsers" among Neptune's additional browsers.
+Renders ``getNodeAttributes`` / ``getLinkAttributes`` at any time, which
+also makes it the natural way to eyeball as-of attribute state.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.render import Pane, frame
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, Time
+
+__all__ = ["AttributeBrowser"]
+
+
+class AttributeBrowser:
+    """Lists the attributes of one node or one link."""
+
+    def __init__(self, ham: HAM, node: int | None = None,
+                 link: int | None = None):
+        if (node is None) == (link is None):
+            raise ValueError("give exactly one of node or link")
+        self.ham = ham
+        self.node = node
+        self.link = link
+
+    @property
+    def target_label(self) -> str:
+        """Human-readable name of the browsed entity."""
+        if self.node is not None:
+            return f"node {self.node}"
+        return f"link {self.link}"
+
+    def rows(self, time: Time = CURRENT) -> list[str]:
+        """``name = value`` lines, sorted by attribute name."""
+        if self.node is not None:
+            entries = self.ham.get_node_attributes(self.node, time)
+        else:
+            entries = self.ham.get_link_attributes(self.link, time)
+        return [f"{name} = {value}" for name, __, value in entries]
+
+    def render(self, time: Time = CURRENT) -> str:
+        """The full attribute browser."""
+        when = "now" if time == CURRENT else f"t={time}"
+        pane = Pane(
+            title=f"attributes of {self.target_label} ({when})",
+            lines=self.rows(time) or ["(none)"])
+        return frame([pane], heading="Attribute Browser")

@@ -1,0 +1,41 @@
+"""The demon browser: active demons of the graph and its nodes.
+
+§4.1 lists "demon browsers" among Neptune's additional browsers.  Shows
+``getGraphDemons`` plus ``getNodeDemons`` for every node carrying one.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.render import Pane, frame
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, Time
+
+__all__ = ["DemonBrowser"]
+
+
+class DemonBrowser:
+    """Lists every active demon binding in the graph."""
+
+    def __init__(self, ham: HAM):
+        self.ham = ham
+
+    def graph_rows(self, time: Time = CURRENT) -> list[str]:
+        """``event -> demon`` lines for graph-level demons."""
+        return [f"{event.value} -> {name}"
+                for event, name in self.ham.get_graph_demons(time)]
+
+    def node_rows(self, time: Time = CURRENT) -> list[str]:
+        """``node N: event -> demon`` lines for node-level demons."""
+        lines = []
+        for node in sorted(self.ham.store.node_demons):
+            for event, name in self.ham.get_node_demons(node, time):
+                lines.append(f"node {node}: {event.value} -> {name}")
+        return lines
+
+    def render(self, time: Time = CURRENT) -> str:
+        """The full demon browser."""
+        graph_pane = Pane(title="graph demons",
+                          lines=self.graph_rows(time) or ["(none)"])
+        node_pane = Pane(title="node demons",
+                         lines=self.node_rows(time) or ["(none)"])
+        return frame([graph_pane, node_pane], heading="Demon Browser")

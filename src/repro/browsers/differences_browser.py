@@ -1,0 +1,64 @@
+"""The node differences browser: two versions side by side.
+
+§4.1: "A special browser called a *node differences browser* places two
+node browsers side-by-side, each viewing a specific version of a node
+with highlighting used to show differences between the two versions."
+
+Text highlighting: changed lines are prefixed ``<`` (only in the old
+version), ``>`` (only in the new), and common lines with two spaces.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.render import Pane, columns, frame
+from repro.core.ham import HAM
+from repro.core.types import NodeIndex, Time
+from repro.storage.diff import diff_lines
+
+__all__ = ["NodeDifferencesBrowser"]
+
+
+class NodeDifferencesBrowser:
+    """Compares two versions of one node."""
+
+    def __init__(self, ham: HAM, node: NodeIndex, time1: Time, time2: Time):
+        self.ham = ham
+        self.node = node
+        self.time1 = time1
+        self.time2 = time2
+
+    def _sides(self) -> tuple[list[str], list[str]]:
+        old = self.ham.open_node(self.node, self.time1)[0]
+        new = self.ham.open_node(self.node, self.time2)[0]
+        script = diff_lines(old, new)
+        old_lines = [line.decode("utf-8", errors="replace").rstrip("\n")
+                     for line in old.splitlines(keepends=True)]
+        new_lines = [line.decode("utf-8", errors="replace").rstrip("\n")
+                     for line in new.splitlines(keepends=True)]
+        left = [f"  {line}" for line in old_lines]
+        right = [f"  {line}" for line in new_lines]
+        # Mark edited lines on each side.
+        new_cursor_shift = 0
+        for diff in script:
+            for offset in range(diff.old_length):
+                position = diff.position + offset
+                if 0 <= position < len(left):
+                    left[position] = "<" + left[position][1:]
+            new_position = diff.position + new_cursor_shift
+            for offset in range(diff.new_length):
+                position = new_position + offset
+                if 0 <= position < len(right):
+                    right[position] = ">" + right[position][1:]
+            new_cursor_shift += diff.new_length - diff.old_length
+        return left, right
+
+    def render(self) -> str:
+        """The side-by-side differences browser."""
+        left, right = self._sides()
+        side1 = Pane(title=f"node {self.node} @ t={self.time1}",
+                     lines=left, min_width=20)
+        side2 = Pane(title=f"node {self.node} @ t={self.time2}",
+                     lines=right, min_width=20)
+        body = columns([side1, side2])
+        legend = Pane(title="", lines=["< removed   > added"])
+        return frame([body, legend], heading="Node Differences Browser")

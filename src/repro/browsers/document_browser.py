@@ -1,0 +1,137 @@
+"""The document browser (paper Figure 2): five-pane hierarchy viewer.
+
+"It consists of five panes: the four upper panes contain lists of names
+of nodes, the lower pane is a node browser … The node-list in the
+upper-left pane is formed by executing a getGraphQuery HAM operation …
+The node-list in each pane to the right is formed by accessing the
+immediate descendents of the selected node in the left adjacent pane via
+the linearizeGraph HAM operation.  Commands are available to shift the
+panes in order to view deeply nested hierarchies."
+
+This is the miller-column pattern: pane 1 = query results, panes 2-4 =
+children of the selection to their left; the bottom pane shows the final
+selection's contents through a :class:`NodeBrowser`.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.node_browser import NodeBrowser
+from repro.browsers.render import Pane, columns, frame
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, NodeIndex, Time
+
+__all__ = ["DocumentBrowser"]
+
+#: Number of node-list panes across the top (per Figure 2).
+PANE_COUNT = 4
+
+
+class DocumentBrowser:
+    """Navigates hierarchical hyperdocuments via queries and traversal."""
+
+    def __init__(self, ham: HAM, query_predicate: str | None = None,
+                 structure_predicate: str = "relation = isPartOf"):
+        self.ham = ham
+        #: Predicate building the upper-left pane (a getGraphQuery).
+        self.query_predicate = query_predicate
+        #: Link predicate defining the hierarchy (isPartOf by default).
+        self.structure_predicate = structure_predicate
+        #: Selected node per pane (None = nothing selected yet).
+        self.selection: list[NodeIndex | None] = [None] * PANE_COUNT
+        #: How many levels the panes have been shifted right.
+        self.shift = 0
+
+    # ------------------------------------------------------------------
+    # data
+
+    def icon_of(self, node: NodeIndex, time: Time = CURRENT) -> str:
+        """The node's *icon* attribute, or a default name."""
+        icon = self.ham.get_attribute_index("icon")
+        attrs = dict(
+            (index, value) for __, index, value
+            in self.ham.get_node_attributes(node, time))
+        return attrs.get(icon) or f"node{node}"
+
+    def roots(self, time: Time = CURRENT) -> list[NodeIndex]:
+        """Upper-left pane contents: the getGraphQuery node list."""
+        return self.ham.get_graph_query(
+            time, node_predicate=self.query_predicate).node_indexes
+
+    def children_of(self, node: NodeIndex,
+                    time: Time = CURRENT) -> list[NodeIndex]:
+        """Immediate structural descendants via ``linearizeGraph``.
+
+        The full traversal is depth-first; the browser pane wants only
+        depth-1 nodes, so results are filtered to direct children.
+        """
+        result = self.ham.linearize_graph(
+            node, time, link_predicate=self.structure_predicate)
+        direct: list[NodeIndex] = []
+        for link_index in result.link_indexes:
+            from_node, __ = self.ham.get_from_node(link_index, time)
+            to_node, __ = self.ham.get_to_node(link_index, time)
+            if from_node == node:
+                direct.append(to_node)
+        return direct
+
+    # ------------------------------------------------------------------
+    # interaction
+
+    def select(self, pane: int, node: NodeIndex) -> None:
+        """Select a node in ``pane`` (0-based); clears panes to the right."""
+        if not 0 <= pane < PANE_COUNT:
+            raise ValueError(f"pane must be 0..{PANE_COUNT - 1}")
+        self.selection[pane] = node
+        for position in range(pane + 1, PANE_COUNT):
+            self.selection[position] = None
+
+    def shift_right(self) -> None:
+        """View one level deeper ("commands are available to shift")."""
+        self.shift += 1
+
+    def shift_left(self) -> None:
+        """Back up one level."""
+        if self.shift > 0:
+            self.shift -= 1
+
+    def pane_contents(self, time: Time = CURRENT) -> list[list[NodeIndex]]:
+        """Node lists for the four upper panes, honouring selections."""
+        panes: list[list[NodeIndex]] = []
+        base = self.roots(time)
+        for __ in range(self.shift):
+            # Shifting re-roots the columns at the first selection chain.
+            if base and self.selection[0] is not None:
+                base = self.children_of(self.selection[0], time)
+        panes.append(base)
+        for position in range(1, PANE_COUNT):
+            selected = self.selection[position - 1]
+            if selected is None:
+                panes.append([])
+            else:
+                panes.append(self.children_of(selected, time))
+        return panes
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def render(self, time: Time = CURRENT) -> str:
+        """The full five-pane browser (Figure 2)."""
+        pane_lists = self.pane_contents(time)
+        top_panes = []
+        for position, nodes in enumerate(pane_lists):
+            lines = []
+            for node in nodes:
+                marker = ">" if self.selection[position] == node else " "
+                lines.append(f"{marker}{self.icon_of(node, time)}")
+            top_panes.append(Pane(title=f"pane {position + 1}",
+                                  lines=lines, min_width=14))
+        top = columns(top_panes)
+        viewed = next(
+            (node for node in reversed(self.selection) if node is not None),
+            None)
+        if viewed is not None:
+            bottom = NodeBrowser(self.ham, viewed).content_pane(time)
+        else:
+            bottom = Pane(title="node browser",
+                          lines=["(select a node above)"])
+        return frame([top, bottom], heading="Document Browser")

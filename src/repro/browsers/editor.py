@@ -1,0 +1,163 @@
+"""A node editor model: text edits that carry link attachments along.
+
+§3: link attachments to the current version form "an automatic update
+mechanism: a history of link attachment offsets is saved, allowing the
+link to be attached to different offsets for each version of the node."
+§4.1: "Link icons can be edited just like regular characters using the
+editing operations of the Smalltalk paragraph editor (copy/cut/paste)."
+
+The HAM side of this is ``modifyNode``'s attachment list; *computing*
+the new offsets is the editor's job.  :class:`NodeEditor` is that
+editor: it loads a node's text and its out-link attachment offsets,
+lets the caller insert/delete text and cut/paste link icons, shifts
+every attachment the way a text editor shifts its embedded objects, and
+checks everything in atomically on :meth:`save`.
+
+Offset rules (the ones every embedded-object editor uses):
+
+- insert at p: attachments at offsets >= p shift right by the length;
+- delete [p, p+n): attachments beyond the span shift left by n;
+  attachments *inside* the span collapse to p (the link survives,
+  re-anchored at the cut point — links are first-class and must not be
+  silently destroyed by text edits);
+- cut/paste moves one attachment to an explicit new offset.
+"""
+
+from __future__ import annotations
+
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkIndex, NodeIndex, Time
+from repro.errors import LinkNotFoundError, NeptuneError
+
+__all__ = ["NodeEditor"]
+
+
+class NodeEditor:
+    """In-memory editing session over one node's current version."""
+
+    def __init__(self, ham: HAM, node: NodeIndex,
+                 encoding: str = "utf-8"):
+        self.ham = ham
+        self.node = node
+        self.encoding = encoding
+        contents, link_points, __, version = ham.open_node(node)
+        self._text = contents.decode(encoding)
+        self._base_version: Time = version
+        #: (link, end-name) → current offset, tracking endpoints only.
+        #: openNode returns exactly the endpoints attached to this node,
+        #: so every tracking point belongs in the editing session.
+        self._offsets: dict[tuple[LinkIndex, str], int] = {
+            (link_index, end): pt.position
+            for link_index, end, pt in link_points
+            if pt.track_current
+        }
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # state
+
+    @property
+    def text(self) -> str:
+        """The working text (not yet checked in)."""
+        return self._text
+
+    @property
+    def dirty(self) -> bool:
+        """True when there are unsaved edits."""
+        return self._dirty
+
+    def offset_of(self, link: LinkIndex, end: str = "from") -> int:
+        """Current working offset of one attachment."""
+        try:
+            return self._offsets[(link, end)]
+        except KeyError:
+            raise LinkNotFoundError(
+                f"link {link} ({end}) is not attached to node "
+                f"{self.node}") from None
+
+    def attachments(self) -> list[tuple[LinkIndex, str, int]]:
+        """Every tracked attachment with its working offset."""
+        return sorted(
+            (link, end, offset)
+            for (link, end), offset in self._offsets.items())
+
+    # ------------------------------------------------------------------
+    # editing operations
+
+    def insert(self, position: int, text: str) -> None:
+        """Insert ``text`` at ``position``; attachments at or beyond it
+        shift right."""
+        if not 0 <= position <= len(self._text):
+            raise NeptuneError(
+                f"insert position {position} outside text of length "
+                f"{len(self._text)}")
+        self._text = self._text[:position] + text + self._text[position:]
+        shift = len(text)
+        for key, offset in self._offsets.items():
+            if offset >= position:
+                self._offsets[key] = offset + shift
+        self._dirty = True
+
+    def delete(self, position: int, length: int) -> str:
+        """Delete ``length`` characters at ``position``; returns them.
+
+        Attachments beyond the span shift left; attachments inside it
+        re-anchor at the cut point.
+        """
+        if length < 0 or not 0 <= position <= len(self._text) - length:
+            raise NeptuneError(
+                f"delete [{position}, {position + length}) outside text "
+                f"of length {len(self._text)}")
+        removed = self._text[position:position + length]
+        self._text = self._text[:position] + self._text[position + length:]
+        end_of_span = position + length
+        for key, offset in self._offsets.items():
+            if offset >= end_of_span:
+                self._offsets[key] = offset - length
+            elif offset > position:
+                self._offsets[key] = position
+        self._dirty = True
+        return removed
+
+    def replace(self, position: int, length: int, text: str) -> None:
+        """Delete then insert at the same position."""
+        self.delete(position, length)
+        self.insert(position, text)
+
+    def move_link(self, link: LinkIndex, position: int,
+                  end: str = "from") -> None:
+        """Cut/paste a link icon to a new offset."""
+        if not 0 <= position <= len(self._text):
+            raise NeptuneError(
+                f"link position {position} outside text of length "
+                f"{len(self._text)}")
+        self.offset_of(link, end)  # must exist
+        self._offsets[(link, end)] = position
+        self._dirty = True
+
+    def append(self, text: str) -> None:
+        """Insert at the end of the text."""
+        self.insert(len(self._text), text)
+
+    # ------------------------------------------------------------------
+    # check-in
+
+    def save(self, explanation: str = "edited", txn=None) -> Time:
+        """Check in the text and every shifted attachment atomically.
+
+        Uses the optimistic check: if someone else checked in since this
+        editor opened the node, :class:`repro.errors.StaleVersionError`
+        propagates and nothing changes — re-open and re-apply.
+        """
+        new_time = self.ham.modify_node(
+            txn, node=self.node, expected_time=self._base_version,
+            contents=self._text.encode(self.encoding),
+            attachments=self.attachments(),
+            explanation=explanation)
+        self._base_version = new_time
+        self._dirty = False
+        return new_time
+
+    def reload(self) -> None:
+        """Drop unsaved edits and re-open the current version."""
+        self.__init__(self.ham, self.node, self.encoding)

@@ -1,0 +1,232 @@
+"""The graph browser (paper Figure 1): a pictorial hyperdocument view.
+
+"The graph browser shows a pictorial view of a hyperdocument or a portion
+of a hyperdocument … Each node is represented by an icon that consists of
+a name enclosed in a rectangle.  The user specifies the name associated
+with a node by attaching the attribute *icon* to the node … The graph
+browser itself has four panes: the upper pane contains the view of the
+graph, the lower left pane is a scroll area for zoom and pan operations,
+the two panes on the lower right contain text editors used to define the
+visibility predicates on nodes and links."
+
+The pictorial view uses a layered layout: nodes are placed on rows by
+their depth from the sub-graph roots, boxed with their icon names, and
+edges are listed as ``from --> to`` connector lines (an honest text
+stand-in for Smalltalk line drawing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.browsers.render import Pane, columns, frame
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, NodeIndex, Time
+
+__all__ = ["GraphBrowser"]
+
+
+class _Canvas:
+    """A sparse 2D character grid for line drawing."""
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple[int, int], str] = {}
+
+    def write(self, row: int, column: int, text: str) -> None:
+        """Place ``text`` starting at (row, column), overwriting."""
+        for offset, char in enumerate(text):
+            self._cells[(row, column + offset)] = char
+
+    def line_char(self, row: int, column: int, char: str) -> None:
+        """Place a line character; crossings become ``+``."""
+        existing = self._cells.get((row, column))
+        if existing in ("|", "-", "+") and existing != char:
+            char = "+"
+        self._cells[(row, column)] = char
+
+    def lines(self) -> list[str]:
+        """Render the grid to left-aligned text lines."""
+        if not self._cells:
+            return []
+        max_row = max(row for row, __ in self._cells)
+        rendered = []
+        for row in range(max_row + 1):
+            columns = [column for (r, column) in self._cells if r == row]
+            if not columns:
+                rendered.append("")
+                continue
+            width = max(columns) + 1
+            line = [" "] * width
+            for column in range(width):
+                char = self._cells.get((row, column))
+                if char is not None:
+                    line[column] = char
+            rendered.append("".join(line).rstrip())
+        return rendered
+
+
+class GraphBrowser:
+    """Renders the predicate-filtered sub-graph around a hyperdocument."""
+
+    def __init__(self, ham: HAM,
+                 node_predicate: str | None = None,
+                 link_predicate: str | None = None):
+        self.ham = ham
+        self.node_predicate = node_predicate
+        self.link_predicate = link_predicate
+
+    # ------------------------------------------------------------------
+    # data
+
+    def visible_subgraph(self, time: Time = CURRENT,
+                         focus: NodeIndex | None = None,
+                         radius: int = 2,
+                         ) -> tuple[list[NodeIndex],
+                                    list[tuple[NodeIndex, NodeIndex]]]:
+        """(nodes, edges) admitted by the visibility predicates.
+
+        ``focus`` zooms the view to the BFS ball of ``radius`` hops
+        around one node (both link directions) — the zoom/pan the
+        figure's scroll pane provides, for graphs too big to draw whole.
+        """
+        icon = self.ham.get_attribute_index("icon")
+        result = self.ham.get_graph_query(
+            time, self.node_predicate, self.link_predicate,
+            node_attributes=[icon])
+        nodes = result.node_indexes
+        edges = []
+        for link_index, __ in result.links:
+            from_node, ___ = self.ham.get_from_node(link_index, time)
+            to_node, ___ = self.ham.get_to_node(link_index, time)
+            edges.append((from_node, to_node))
+        if focus is not None:
+            neighbours: dict[NodeIndex, set[NodeIndex]] = {}
+            for from_node, to_node in edges:
+                neighbours.setdefault(from_node, set()).add(to_node)
+                neighbours.setdefault(to_node, set()).add(from_node)
+            ball = {focus}
+            frontier = {focus}
+            for __ in range(radius):
+                frontier = {
+                    nearby
+                    for node in frontier
+                    for nearby in neighbours.get(node, ())
+                } - ball
+                ball |= frontier
+            nodes = [node for node in nodes if node in ball]
+            edges = [(a, b) for a, b in edges if a in ball and b in ball]
+        return nodes, edges
+
+    def icon_of(self, node: NodeIndex, time: Time = CURRENT) -> str:
+        """The node's *icon* attribute, or a default name."""
+        icon = self.ham.get_attribute_index("icon")
+        attrs = dict(
+            (index, value) for __, index, value
+            in self.ham.get_node_attributes(node, time))
+        return attrs.get(icon) or f"node{node}"
+
+    def _layers(self, nodes: list[NodeIndex],
+                edges: list[tuple[NodeIndex, NodeIndex]],
+                ) -> list[list[NodeIndex]]:
+        """Assign nodes to rows by BFS depth from the sub-graph roots."""
+        targets = {to_node for __, to_node in edges}
+        roots = [node for node in nodes if node not in targets] or nodes[:1]
+        children: dict[NodeIndex, list[NodeIndex]] = {}
+        for from_node, to_node in edges:
+            children.setdefault(from_node, []).append(to_node)
+        depth: dict[NodeIndex, int] = {}
+        queue = deque((root, 0) for root in roots)
+        while queue:
+            node, level = queue.popleft()
+            if node in depth:
+                continue
+            depth[node] = level
+            for child in children.get(node, []):
+                queue.append((child, level + 1))
+        for node in nodes:  # disconnected leftovers go to the bottom row
+            depth.setdefault(node, (max(depth.values()) + 1) if depth else 0)
+        layers: list[list[NodeIndex]] = []
+        for node in nodes:
+            level = depth[node]
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(node)
+        return layers
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def graph_pane(self, time: Time = CURRENT,
+                   focus: NodeIndex | None = None,
+                   radius: int = 2) -> Pane:
+        """The upper pane: boxed icons with drawn edge connectors.
+
+        Edges to the next-lower layer are drawn as ``|``/``-`` poly-lines
+        with a ``v`` arrowhead (the text rendition of the figure's line
+        drawing); edges the layout cannot draw (upward, layer-skipping)
+        are listed underneath so no link goes unshown.
+        """
+        nodes, edges = self.visible_subgraph(time, focus, radius)
+        layers = self._layers(nodes, edges)
+        canvas = _Canvas()
+        # Place boxes: each layer a band of 3 rows + 2 connector rows.
+        centers: dict[NodeIndex, tuple[int, int]] = {}
+        layer_of: dict[NodeIndex, int] = {}
+        for layer_index, layer in enumerate(layers):
+            top = layer_index * 6
+            cursor = 0
+            for node in layer:
+                name = self.icon_of(node, time)
+                width = len(name) + 4
+                canvas.write(top, cursor, "+" + "-" * (width - 2) + "+")
+                canvas.write(top + 1, cursor, f"| {name} |")
+                canvas.write(top + 2, cursor, "+" + "-" * (width - 2) + "+")
+                centers[node] = (top, cursor + width // 2)
+                layer_of[node] = layer_index
+                cursor += width + 2
+        undrawn: list[tuple[NodeIndex, NodeIndex]] = []
+        for from_node, to_node in edges:
+            drawable = (
+                from_node in layer_of and to_node in layer_of
+                and layer_of[to_node] == layer_of[from_node] + 1)
+            if not drawable:
+                undrawn.append((from_node, to_node))
+                continue
+            from_top, from_x = centers[from_node]
+            to_top, to_x = centers[to_node]
+            jog_row = from_top + 3          # below the source box
+            canvas.line_char(jog_row, from_x, "|")
+            for x in range(min(from_x, to_x), max(from_x, to_x) + 1):
+                canvas.line_char(jog_row + 1, x, "-")
+            canvas.line_char(jog_row + 1, from_x, "+")
+            canvas.line_char(jog_row + 1, to_x, "+")
+            canvas.write(jog_row + 2, to_x, "v")
+        lines = canvas.lines()
+        if undrawn:
+            lines.append("")
+            lines.append("other links:")
+            for from_node, to_node in undrawn:
+                lines.append(
+                    f"  [{self.icon_of(from_node, time)}] --> "
+                    f"[{self.icon_of(to_node, time)}]")
+        return Pane(title="", lines=lines)
+
+    def render(self, time: Time = CURRENT,
+               focus: NodeIndex | None = None, radius: int = 2) -> str:
+        """The full four-pane browser (Figure 1).
+
+        ``focus``/``radius`` zoom the pictorial pane to a neighbourhood.
+        """
+        graph = self.graph_pane(time, focus, radius)
+        zoom_state = (f"zoom: node {focus} r={radius}"
+                      if focus is not None else "<zoom>")
+        scroll = Pane(title="scroll",
+                      lines=[zoom_state, "<pan >"], min_width=8)
+        node_pred = Pane(
+            title="node visibility",
+            lines=[self.node_predicate or "true"], min_width=20)
+        link_pred = Pane(
+            title="link visibility",
+            lines=[self.link_predicate or "true"], min_width=20)
+        bottom = columns([scroll, node_pred, link_pred], height=2)
+        return frame([graph, bottom], heading="Graph Browser")

@@ -1,0 +1,91 @@
+"""The node browser (paper Figure 3): contents with inline link icons.
+
+"The node browser allows the contents of an individual node to be edited
+and supports both navigation via links and the creation of new links …
+Within a node browser, a link appears as an icon composed using the value
+of the node's *icon* attribute … if the attribute *icon* is attached to
+the link its value will be used to compose the icon, otherwise a default
+icon is used."
+
+Rendering: the node's text with ``{icon}`` markers spliced in at each
+out-link's attachment offset — the text analogue of the Smalltalk
+paragraph editor's embedded link icons.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.render import Pane, frame
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkIndex, NodeIndex, Time
+
+__all__ = ["NodeBrowser"]
+
+
+class NodeBrowser:
+    """Views one node with its link icons placed at their offsets."""
+
+    def __init__(self, ham: HAM, node: NodeIndex):
+        self.ham = ham
+        self.node = node
+
+    # ------------------------------------------------------------------
+    # data
+
+    def link_icon(self, link: LinkIndex, target: NodeIndex,
+                  time: Time = CURRENT) -> str:
+        """Icon text for a link: its own *icon*, the target node's, or a
+        default."""
+        icon = self.ham.get_attribute_index("icon")
+        link_attrs = dict(
+            (index, value) for __, index, value
+            in self.ham.get_link_attributes(link, time))
+        if icon in link_attrs:
+            return link_attrs[icon]
+        node_attrs = dict(
+            (index, value) for __, index, value
+            in self.ham.get_node_attributes(target, time))
+        return node_attrs.get(icon, f"link{link}")
+
+    def text_with_icons(self, time: Time = CURRENT) -> str:
+        """Node contents with ``{icon}`` markers at out-link offsets."""
+        contents, link_points, __, ___ = self.ham.open_node(
+            self.node, time)
+        text = contents.decode("utf-8", errors="replace")
+        markers: list[tuple[int, str]] = []
+        for link_index, end, pt in link_points:
+            if end != "from":
+                continue
+            target, __ = self.ham.get_to_node(link_index, time)
+            markers.append(
+                (pt.position, "{" + self.link_icon(link_index, target,
+                                                   time) + "}"))
+        # Splice right-to-left so earlier offsets stay valid.
+        for position, marker in sorted(markers, reverse=True):
+            position = min(position, len(text))
+            text = text[:position] + marker + text[position:]
+        return text
+
+    def title(self, time: Time = CURRENT) -> str:
+        """The node's own icon name plus its index."""
+        icon = self.ham.get_attribute_index("icon")
+        attrs = dict(
+            (index, value) for __, index, value
+            in self.ham.get_node_attributes(self.node, time))
+        name = attrs.get(icon, f"node{self.node}")
+        return f"{name} (node {self.node})"
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def content_pane(self, time: Time = CURRENT) -> Pane:
+        """The editable-text pane with inline icons."""
+        return Pane(title=self.title(time),
+                    lines=self.text_with_icons(time).splitlines())
+
+    def render(self, time: Time = CURRENT) -> str:
+        """The full node browser (Figure 3)."""
+        commands = Pane(
+            title="commands",
+            lines=["follow link | annotate | new link | versions"])
+        return frame([self.content_pane(time), commands],
+                     heading="Node Browser")

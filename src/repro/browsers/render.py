@@ -1,0 +1,89 @@
+"""Text-rendering primitives: panes, frames, and column layouts.
+
+Every browser composes its display from :class:`Pane` objects — a titled
+block of lines — arranged by :func:`frame` (stacked) and :func:`columns`
+(side by side), drawn with ASCII box characters so output is stable
+across terminals and in test expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Pane", "frame", "columns"]
+
+
+@dataclass
+class Pane:
+    """A titled rectangular block of text lines."""
+
+    title: str
+    lines: list[str] = field(default_factory=list)
+    min_width: int = 0
+
+    @property
+    def width(self) -> int:
+        """Inner width needed to show title and every line.
+
+        Titles get one extra column for the leading space frames add.
+        """
+        content = max((len(line) for line in self.lines), default=0)
+        title_width = len(self.title) + 2 if self.title else 0
+        return max(content, title_width, self.min_width)
+
+    def clipped(self, width: int, height: int | None = None) -> list[str]:
+        """Lines clipped/padded to ``width`` (and ``height`` if given)."""
+        lines = [line[:width].ljust(width) for line in self.lines]
+        if height is not None:
+            lines = lines[:height]
+            while len(lines) < height:
+                lines.append(" " * width)
+        return lines
+
+
+def _bar(width: int, left: str = "+", fill: str = "-",
+         right: str = "+") -> str:
+    return left + fill * width + right
+
+
+def frame(panes: list[Pane], width: int | None = None,
+          heading: str | None = None) -> str:
+    """Stack panes vertically inside one bordered frame."""
+    inner = width if width is not None else max(
+        (pane.width for pane in panes), default=20)
+    inner = max(inner, len(heading or "") + 2)
+    rows: list[str] = []
+    if heading is None:
+        rows.append(_bar(inner))
+    else:
+        label = f" {heading} "
+        rows.append("+" + label + "-" * max(0, inner - len(label)) + "+")
+    for position, pane in enumerate(panes):
+        if pane.title:
+            rows.append("|" + f" {pane.title}".ljust(inner)[:inner] + "|")
+            rows.append("|" + ("-" * inner) + "|")
+        for line in pane.clipped(inner):
+            rows.append("|" + line + "|")
+        if position != len(panes) - 1:
+            rows.append(_bar(inner, "+", "=", "+"))
+    rows.append(_bar(inner))
+    return "\n".join(rows)
+
+
+def columns(panes: list[Pane], height: int | None = None,
+            gap: str = " | ") -> Pane:
+    """Lay panes side by side, producing one combined pane."""
+    if height is None:
+        height = max((len(pane.lines) for pane in panes), default=0)
+    widths = [pane.width for pane in panes]
+    header = gap.join(
+        pane.title.ljust(width)[:width]
+        for pane, width in zip(panes, widths))
+    divider = gap.join("-" * width for width in widths)
+    body_rows = []
+    clipped = [pane.clipped(width, height)
+               for pane, width in zip(panes, widths)]
+    for row in range(height):
+        body_rows.append(gap.join(block[row] for block in clipped))
+    lines = [header, divider] + body_rows
+    return Pane(title="", lines=lines)

@@ -1,0 +1,243 @@
+"""A command shell over the HAM and its browsers.
+
+The paper's user-interface layer provides "a windowed interface for
+browsing and editing hypertext data and for controlling application
+layer programs" (§3).  This is the terminal rendition: one command per
+line, browsers rendered as text, every command scriptable (each returns
+its output as a string, so tests and demos drive it directly).
+
+Commands::
+
+    nodes                       list live nodes with their icons
+    open NODE [TIME]            node browser (optionally as of TIME)
+    graph [NODE-PRED [LINK-PRED]]   graph browser
+    doc ROOT                    document browser rooted at ROOT
+    append NODE TEXT...         append a line to a node (new version)
+    annotate NODE POS TEXT...   the bundled annotate command
+    link FROM POS TO [RELATION] create a link
+    set NODE NAME VALUE         set a node attribute
+    attrs NODE [TIME]           attribute browser
+    versions NODE               version browser
+    blame NODE [TIME]           per-line provenance
+    diff NODE T1 T2             node differences browser
+    query PREDICATE...          getGraphQuery node list
+    linearize NODE [LINK-PRED...]   linearizeGraph node list
+    demons                      demon browser
+    trail start NODE | follow LINK | back | save NAME | list
+    stats                       graph statistics
+    verify                      run the integrity checker
+    time                        current graph time
+    help                        this text
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.apps.documents import DocumentApplication
+from repro.apps.trails import TrailRecorder
+from repro.browsers.attribute_browser import AttributeBrowser
+from repro.browsers.demon_browser import DemonBrowser
+from repro.browsers.differences_browser import NodeDifferencesBrowser
+from repro.browsers.document_browser import DocumentBrowser
+from repro.browsers.graph_browser import GraphBrowser
+from repro.browsers.node_browser import NodeBrowser
+from repro.browsers.version_browser import VersionBrowser
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, LinkPt
+from repro.errors import NeptuneError
+
+__all__ = ["NeptuneShell"]
+
+
+class NeptuneShell:
+    """Executes shell commands against one opened HAM."""
+
+    def __init__(self, ham: HAM):
+        self.ham = ham
+        self.app = DocumentApplication(ham)
+        self.trail = TrailRecorder(ham)
+
+    # ------------------------------------------------------------------
+    # driving
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output (never raises for
+        user errors — they come back as ``error: …`` text)."""
+        words = shlex.split(line)
+        if not words:
+            return ""
+        command, args = words[0], words[1:]
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return f"error: unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except NeptuneError as exc:
+            return f"error: {exc}"
+        except (ValueError, IndexError) as exc:
+            return f"error: bad arguments for {command!r}: {exc}"
+
+    def run(self, script: str) -> str:
+        """Run a multi-line script; returns the concatenated outputs."""
+        outputs = []
+        for line in script.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            output = self.execute(line)
+            if output:
+                outputs.append(output)
+        return "\n".join(outputs)
+
+    # ------------------------------------------------------------------
+    # commands
+
+    def _cmd_help(self, args) -> str:
+        return __doc__.split("Commands::", 1)[1].strip("\n")
+
+    def _cmd_time(self, args) -> str:
+        return f"t={self.ham.now}"
+
+    def _cmd_nodes(self, args) -> str:
+        icon = self.ham.get_attribute_index("icon")
+        hits = self.ham.get_graph_query(node_attributes=[icon])
+        lines = [f"{index:>5}  {values[0] or ''}"
+                 for index, values in hits.nodes]
+        return "\n".join(lines) if lines else "(no nodes)"
+
+    def _cmd_open(self, args) -> str:
+        node = int(args[0])
+        time = int(args[1]) if len(args) > 1 else CURRENT
+        return NodeBrowser(self.ham, node).render(time)
+
+    def _cmd_graph(self, args) -> str:
+        node_pred = args[0] if len(args) > 0 else None
+        link_pred = args[1] if len(args) > 1 else None
+        return GraphBrowser(self.ham, node_pred, link_pred).render()
+
+    def _cmd_doc(self, args) -> str:
+        browser = DocumentBrowser(self.ham)
+        browser.select(0, int(args[0]))
+        return browser.render()
+
+    def _cmd_append(self, args) -> str:
+        node = int(args[0])
+        text = " ".join(args[1:])
+        contents, __, ___, version = self.ham.open_node(node)
+        new_time = self.ham.modify_node(
+            node=node, expected_time=version,
+            contents=contents + text.encode() + b"\n",
+            explanation="appended via shell")
+        return f"node {node} now at t={new_time}"
+
+    def _cmd_annotate(self, args) -> str:
+        node, position = int(args[0]), int(args[1])
+        text = " ".join(args[2:])
+        annotation, link = self.app.annotate(node, position, text)
+        return f"annotation node {annotation} attached via link {link}"
+
+    def _cmd_link(self, args) -> str:
+        from_node, position, to_node = (int(args[0]), int(args[1]),
+                                        int(args[2]))
+        link, __ = self.ham.add_link(
+            from_pt=LinkPt(from_node, position=position),
+            to_pt=LinkPt(to_node))
+        if len(args) > 3:
+            relation = self.ham.get_attribute_index("relation")
+            self.ham.set_link_attribute_value(
+                link=link, attribute=relation, value=args[3])
+        return f"link {link} created"
+
+    def _cmd_set(self, args) -> str:
+        node, name, value = int(args[0]), args[1], args[2]
+        attr = self.ham.get_attribute_index(name)
+        self.ham.set_node_attribute_value(node=node, attribute=attr,
+                                          value=value)
+        return f"node {node}: {name} = {value}"
+
+    def _cmd_attrs(self, args) -> str:
+        node = int(args[0])
+        time = int(args[1]) if len(args) > 1 else CURRENT
+        return AttributeBrowser(self.ham, node=node).render(time)
+
+    def _cmd_versions(self, args) -> str:
+        return VersionBrowser(self.ham, int(args[0])).render()
+
+    def _cmd_blame(self, args) -> str:
+        from repro.versioning.blame import render_blame
+        node = int(args[0])
+        time = int(args[1]) if len(args) > 1 else CURRENT
+        return render_blame(self.ham, node, time)
+
+    def _cmd_diff(self, args) -> str:
+        node, time1, time2 = int(args[0]), int(args[1]), int(args[2])
+        return NodeDifferencesBrowser(self.ham, node, time1,
+                                      time2).render()
+
+    def _cmd_query(self, args) -> str:
+        predicate = " ".join(args)
+        hits = self.ham.get_graph_query(node_predicate=predicate)
+        return f"nodes: {hits.node_indexes}  links: {hits.link_indexes}"
+
+    def _cmd_linearize(self, args) -> str:
+        node = int(args[0])
+        link_pred = " ".join(args[1:]) or None
+        result = self.ham.linearize_graph(node, link_predicate=link_pred)
+        return f"nodes: {result.node_indexes}"
+
+    def _cmd_demons(self, args) -> str:
+        return DemonBrowser(self.ham).render()
+
+    def _cmd_stats(self, args) -> str:
+        from repro.tools.stats import graph_stats
+        return graph_stats(self.ham).render()
+
+    def _cmd_verify(self, args) -> str:
+        from repro.tools.verify import verify_graph
+        violations = verify_graph(self.ham)
+        if not violations:
+            return "graph is healthy (0 violations)"
+        return "\n".join(str(violation) for violation in violations)
+
+    def _cmd_trail(self, args) -> str:
+        action = args[0]
+        if action == "start":
+            contents = self.trail.start(int(args[1]))
+            return (f"reading node {self.trail.current_node}: "
+                    f"{contents.decode(errors='replace').splitlines()[0]!r}"
+                    if contents else
+                    f"reading node {self.trail.current_node}: (empty)")
+        if action == "follow":
+            contents = self.trail.follow(int(args[1]))
+            first = contents.decode(errors="replace").splitlines()
+            return (f"now at node {self.trail.current_node}: "
+                    f"{first[0]!r}" if first else
+                    f"now at node {self.trail.current_node}: (empty)")
+        if action == "back":
+            return f"back at node {self.trail.back()}"
+        if action == "save":
+            node = self.trail.save(args[1])
+            return f"trail saved as node {node}"
+        if action == "list":
+            return f"saved trails: {self.trail.saved_trails()}"
+        return f"error: unknown trail action {action!r}"
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Interactive REPL over an ephemeral graph."""
+    shell = NeptuneShell(HAM.ephemeral())
+    print("Neptune shell over an ephemeral graph — 'help' for commands.")
+    while True:
+        try:
+            line = input("neptune> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = shell.execute(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,42 @@
+"""The version browser: a node's major and minor version history.
+
+§4.1 lists "version browsers" among the additional browsers Neptune
+provides; this one renders ``getNodeVersions`` — content versions
+(major) starred, related updates (minor) dashed — oldest first.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.render import Pane, frame
+from repro.core.ham import HAM
+from repro.core.types import NodeIndex
+from repro.versioning.history import node_history
+
+__all__ = ["VersionBrowser"]
+
+
+class VersionBrowser:
+    """Lists every version of one node."""
+
+    def __init__(self, ham: HAM, node: NodeIndex):
+        self.ham = ham
+        self.node = node
+
+    def rows(self) -> list[str]:
+        """One line per version event, oldest first."""
+        history = node_history(self.ham, self.node)
+        lines = []
+        for version, is_major in history.entries:
+            marker = "*" if is_major else "-"
+            kind = "content" if is_major else "related"
+            text = version.explanation or "(no explanation)"
+            lines.append(f"{marker} t={version.time:<6} {kind:<8} {text}")
+        return lines
+
+    def render(self) -> str:
+        """The full version browser."""
+        pane = Pane(title=f"versions of node {self.node}",
+                    lines=self.rows())
+        legend = Pane(title="",
+                      lines=["* major (content)   - minor (related)"])
+        return frame([pane, legend], heading="Version Browser")

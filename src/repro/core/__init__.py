@@ -1,0 +1,53 @@
+"""The Hypertext Abstract Machine (HAM) — the paper's core contribution.
+
+- :mod:`repro.core.types` — the Appendix's atomic and compound domains
+  (``NodeIndex``, ``LinkIndex``, ``LinkPt``, ``Version``, ``Protections``…).
+- :mod:`repro.core.clock` — the per-graph logical ``Time`` source.
+- :mod:`repro.core.attributes` — versioned attribute/value tables.
+- :mod:`repro.core.node` / :mod:`repro.core.link` — node and link records.
+- :mod:`repro.core.demons` — demon registry and events (with the paper's
+  §5 parameterized-demon extension).
+- :mod:`repro.core.graph` — the hypergraph object store.
+- :mod:`repro.core.contexts` — multiple version threads (§5 extension).
+- :mod:`repro.core.ham` — the public HAM facade implementing every
+  Appendix operation.
+"""
+
+from repro.core.types import (
+    NodeIndex,
+    LinkIndex,
+    AttributeIndex,
+    ContextId,
+    ProjectId,
+    Time,
+    CURRENT,
+    LinkPt,
+    Version,
+    Protections,
+    NodeKind,
+)
+from repro.core.clock import LogicalClock
+from repro.core.demons import DemonEvent, EventKind, DemonRegistry
+from repro.core.ham import HAM
+from repro.core.contexts import ContextManager, MergeReport
+
+__all__ = [
+    "NodeIndex",
+    "LinkIndex",
+    "AttributeIndex",
+    "ContextId",
+    "ProjectId",
+    "Time",
+    "CURRENT",
+    "LinkPt",
+    "Version",
+    "Protections",
+    "NodeKind",
+    "LogicalClock",
+    "DemonEvent",
+    "EventKind",
+    "DemonRegistry",
+    "HAM",
+    "ContextManager",
+    "MergeReport",
+]

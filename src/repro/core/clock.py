@@ -1,0 +1,61 @@
+"""Per-graph logical clock supplying the HAM's ``Time`` values.
+
+The Appendix defines ``Time`` as "a non-negative integer representation
+for a given date and time" and uses 0 to mean "current".  Neptune ran on
+wall-clock time; we use a strictly monotonic logical clock instead so that
+version ordering is total, deterministic, and immune to clock skew —
+wall-clock stamps are recorded alongside for display but never used for
+ordering.
+
+The clock ticks once per mutating HAM operation, so a single ``Time``
+value identifies the graph-wide state between two mutations — this is
+what makes "any version of the hypergraph" addressable (§3).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _wallclock
+
+from repro.core.types import Time
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """Strictly monotonic integer clock.  Thread-safe."""
+
+    def __init__(self, start: Time = 0):
+        if start < 0:
+            raise ValueError("clock cannot start below zero")
+        self._now = start
+        self._lock = threading.Lock()
+        self._wall: dict[Time, float] = {}
+
+    def tick(self) -> Time:
+        """Advance the clock and return the new time (always >= 1)."""
+        with self._lock:
+            self._now += 1
+            self._wall[self._now] = _wallclock.time()
+            return self._now
+
+    @property
+    def now(self) -> Time:
+        """The latest time issued (0 if the clock never ticked)."""
+        with self._lock:
+            return self._now
+
+    def wall_time(self, time: Time) -> float | None:
+        """Wall-clock seconds (epoch) when ``time`` was issued, if known.
+
+        Times restored from disk have no recorded wall time and map to
+        ``None``; callers must treat wall time as advisory display data.
+        """
+        with self._lock:
+            return self._wall.get(time)
+
+    def advance_to(self, time: Time) -> None:
+        """Move the clock forward to at least ``time`` (used on restore)."""
+        with self._lock:
+            if time > self._now:
+                self._now = time

@@ -1,0 +1,230 @@
+"""Demons: code invoked when specific HAM events occur.
+
+The paper (§3): "a demon mechanism is provided that invokes application or
+user code when a specific HAM event occurs, such as an update to a
+particular node."  §5 identifies the original demons as "very weak" and
+prescribes the fix we implement: "a set of parameters associated with each
+demon, such as the demon invoking event, an invocation time-stamp, or an
+identification of the invoking node or graph" — the *parameterized demon*
+extension.  Every demon here receives a :class:`DemonEvent` carrying
+exactly those parameters.
+
+Demon *values* are persisted as names; a process-local
+:class:`DemonRegistry` maps names to Python callables (the stand-in for
+the paper's planned "demons written in Smalltalk, Modula-2, or C").
+Demon tables (graph-level and node-level) are versioned like attributes,
+per ``setGraphDemonValue``/``setNodeDemon``: "Creates a new version of the
+… demon.  If Demon is null then demon is disabled."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.timeline import Timeline
+from repro.core.types import LinkIndex, NodeIndex, ProjectId, Time, CURRENT
+from repro.errors import DemonError, VersionError
+
+__all__ = ["EventKind", "DemonEvent", "DemonTable", "DemonRegistry"]
+
+
+class EventKind(enum.Enum):
+    """HAM events that can trigger demons.
+
+    The Appendix marks these operations with "This operation can trigger
+    a demon"; attribute events are included for the CASE use cases in §5
+    (e.g. "performing special checking code when a node is modified").
+    """
+
+    OPEN_GRAPH = "openGraph"
+    ADD_NODE = "addNode"
+    DELETE_NODE = "deleteNode"
+    ADD_LINK = "addLink"
+    COPY_LINK = "copyLink"
+    DELETE_LINK = "deleteLink"
+    OPEN_NODE = "openNode"
+    MODIFY_NODE = "modifyNode"
+    SET_ATTRIBUTE = "setAttribute"
+    DELETE_ATTRIBUTE = "deleteAttribute"
+
+
+@dataclass(frozen=True)
+class DemonEvent:
+    """The parameter record passed to every demon (§5 extension).
+
+    ``node`` / ``link`` identify the invoking object when the event
+    concerns one; ``transaction`` is the id of the transaction in which
+    the event occurred, letting demons distinguish their own effects.
+    """
+
+    kind: EventKind
+    time: Time
+    project: ProjectId
+    node: NodeIndex | None = None
+    link: LinkIndex | None = None
+    transaction: int | None = None
+    detail: dict = field(default_factory=dict)
+    #: The live Transaction the event occurred in (in-process only).
+    #: Demons that mutate the graph must do so *in this transaction* —
+    #: opening their own would deadlock against the locks it holds.
+    txn_handle: object = field(default=None, compare=False, repr=False)
+
+
+#: A demon implementation: receives the event, returns nothing.
+DemonFn = Callable[[DemonEvent], None]
+
+
+class DemonTable:
+    """Versioned ``Event → demon name`` mapping for a graph or node.
+
+    Each event kind holds a :class:`Timeline` of names; a ``None`` name
+    disables the demon from that time on.
+    """
+
+    def __init__(self) -> None:
+        self._timelines: dict[EventKind, Timeline] = {}
+
+    def set(self, event: EventKind, demon: str | None, time: Time) -> None:
+        """``setGraphDemonValue``/``setNodeDemon`` semantics."""
+        timeline = self._timelines.setdefault(event, Timeline())
+        try:
+            timeline.append(time, demon)
+        except VersionError:
+            raise VersionError(
+                f"demon update at time {time} does not advance past "
+                f"{timeline.latest_time}") from None
+
+    def rollback(self, event: EventKind) -> None:
+        """Drop the latest entry for ``event`` (abort primitive)."""
+        timeline = self._timelines.get(event)
+        if not timeline:
+            raise DemonError(f"no demon timeline for event {event.value}")
+        timeline.pop()
+        if not timeline:
+            del self._timelines[event]
+
+    def demon_at(self, event: EventKind, time: Time = CURRENT) -> str | None:
+        """The demon name active for ``event`` as of ``time``, if any."""
+        timeline = self._timelines.get(event)
+        if timeline is None:
+            return None
+        try:
+            return timeline.at(time)
+        except VersionError:
+            return None  # no binding existed at or before `time`
+
+    def demons_at(self, time: Time = CURRENT) -> list[tuple[EventKind, str]]:
+        """``getGraphDemons``/``getNodeDemons``: active (event, demon)."""
+        result = []
+        for event in self._timelines:
+            name = self.demon_at(event, time)
+            if name is not None:
+                result.append((event, name))
+        return sorted(result, key=lambda pair: pair[0].value)
+
+    def to_record(self) -> dict:
+        """Encodable snapshot."""
+        return {
+            event.value: [[stamp, name] for stamp, name in timeline]
+            for event, timeline in self._timelines.items()
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DemonTable":
+        """Inverse of :meth:`to_record`."""
+        table = cls()
+        for event, entries in record.items():
+            timeline = Timeline()
+            for stamp, name in entries:
+                timeline.append(stamp, name)
+            table._timelines[EventKind(event)] = timeline
+        return table
+
+
+class DemonRegistry:
+    """Process-local mapping from demon names to Python callables.
+
+    Stored demon values are just names; resolution happens at fire time so
+    a database written by one process can be opened by another that
+    registers different implementations (or none — unresolved demons are
+    reported, not silently dropped, unless ``strict`` is off).
+    """
+
+    def __init__(self, strict: bool = False):
+        self._demons: dict[str, DemonFn] = {}
+        self._strict = strict
+        #: Fired events with unresolvable demon names (observability).
+        self.unresolved: list[tuple[str, DemonEvent]] = []
+
+    def register(self, name: str, fn: DemonFn) -> None:
+        """Register (or replace) the implementation of a demon name."""
+        if not name:
+            raise DemonError("demon name must be non-empty")
+        self._demons[name] = fn
+
+    def register_command(self, name: str, argv: list[str],
+                         timeout: float = 10.0) -> None:
+        """Register a demon implemented as an external command.
+
+        The paper planned "parameterized demons … written in Smalltalk,
+        Modula-2, or C" (§5); this is the language-agnostic rendering:
+        the command runs with the event parameters as a JSON document on
+        stdin (kind, time, project, node, link, transaction, detail).
+        A non-zero exit status raises :class:`DemonError`, aborting the
+        surrounding transaction — external demons can veto updates just
+        like in-process checking code.
+        """
+        import json
+        import subprocess
+
+        if not argv:
+            raise DemonError("command demon needs an argv")
+
+        def run_command(event: DemonEvent) -> None:
+            payload = json.dumps({
+                "kind": event.kind.value,
+                "time": event.time,
+                "project": event.project,
+                "node": event.node,
+                "link": event.link,
+                "transaction": event.transaction,
+                "detail": event.detail,
+            })
+            completed = subprocess.run(
+                argv, input=payload.encode(), capture_output=True,
+                timeout=timeout)
+            if completed.returncode != 0:
+                raise DemonError(
+                    f"command demon {name!r} exited "
+                    f"{completed.returncode}: "
+                    f"{completed.stderr.decode(errors='replace')[:200]}")
+
+        self.register(name, run_command)
+
+    def unregister(self, name: str) -> None:
+        """Remove a demon implementation."""
+        if name not in self._demons:
+            raise DemonError(f"demon {name!r} is not registered")
+        del self._demons[name]
+
+    def registered(self, name: str) -> bool:
+        """True when an implementation exists for ``name``."""
+        return name in self._demons
+
+    def fire(self, name: str, event: DemonEvent) -> None:
+        """Invoke the demon ``name`` with ``event``.
+
+        Demon exceptions propagate to the caller: a failing demon aborts
+        the surrounding transaction, matching the §5 use case of demons as
+        "special checking code".
+        """
+        fn = self._demons.get(name)
+        if fn is None:
+            if self._strict:
+                raise DemonError(
+                    f"demon {name!r} fired but is not registered")
+            self.unresolved.append((name, event))
+            return
+        fn(event)

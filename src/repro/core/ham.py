@@ -1,0 +1,1079 @@
+"""The Hypertext Abstract Machine: every operation of the Appendix.
+
+One :class:`HAM` instance is an opened graph — the Appendix's ``Context``
+operand becomes ``self``.  All mutating operations run inside a
+transaction (begin one with :meth:`HAM.begin` or let the operation open a
+single-op transaction itself); reads take shared locks, writes exclusive
+locks, and every mutation is journaled as a logical redo record so a
+crashed process recovers to exactly the committed state on the next
+``openGraph``.
+
+Operation naming: Pythonic ``snake_case`` is primary; every operation
+also has the Appendix's original camelCase name as an alias
+(``ham.linearizeGraph is ham.linearize_graph``), so code can be read
+side-by-side with the paper.
+
+Typical use::
+
+    project_id, _ = HAM.create_graph("/tmp/mygraph")
+    ham = HAM.open_graph(project_id, "/tmp/mygraph")
+    with ham.begin() as txn:
+        node, t = ham.add_node(txn, keep_history=True)
+        ham.modify_node(txn, node, t, b"Section 1\\n")
+    ham.close()
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from typing import Callable, Iterable, Sequence
+
+from repro.core.demons import DemonEvent, DemonRegistry, EventKind
+from repro.core.graph import GraphDirectory, GraphStore
+from repro.core.link import LinkEnd, LinkRecord
+from repro.core.node import NodeRecord
+from repro.core.types import (
+    CURRENT,
+    AttributeIndex,
+    LinkIndex,
+    LinkPt,
+    NodeIndex,
+    NodeKind,
+    ProjectId,
+    Protections,
+    Time,
+    Version,
+)
+from repro.errors import (
+    GraphNotFoundError,
+    TransactionError,
+    VersionError,
+)
+from repro.query.graph_query import QueryResult, get_graph_query
+from repro.query.index import AttributeValueIndex
+from repro.query.parser import parse_predicate
+from repro.query.predicate import Predicate
+from repro.query.traversal import TraversalResult, linearize_graph
+from repro.storage.diff import Difference, diff_bytes
+from repro.storage.log import WriteAheadLog
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.recovery import replay_log
+
+__all__ = ["HAM"]
+
+_GRAPH_RESOURCE = ("graph",)
+
+
+class _NullLog:
+    """Log stand-in for ephemeral (memory-only) graphs."""
+
+    def append(self, record) -> int:  # noqa: D401 - trivial
+        return 0
+
+    def force(self) -> None:
+        pass
+
+    def truncate(self) -> None:
+        pass
+
+    def scan(self):
+        return iter(())
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Logical redo: one apply function per operation.  The live path and
+# crash recovery share these, so replay is the same code that ran first.
+
+_APPLY: dict[str, Callable[[GraphStore, dict], object]] = {}
+
+
+def _applies(name: str):
+    def decorator(fn):
+        _APPLY[name] = fn
+        return fn
+    return decorator
+
+
+@_applies("add_node")
+def _apply_add_node(store: GraphStore, args: dict) -> NodeRecord:
+    index, time = args["index"], args["time"]
+    node = NodeRecord(index, NodeKind(args["kind"]), time)
+    store.nodes[index] = node
+    store.next_node_index = max(store.next_node_index, index + 1)
+    store.clock.advance_to(time)
+    return node
+
+
+@_applies("delete_node")
+def _apply_delete_node(store: GraphStore, args: dict) -> list[LinkIndex]:
+    node = store.node(args["index"])
+    time = args["time"]
+    node.tombstone(time)
+    cascaded = []
+    for link_index in sorted(node.out_links | node.in_links):
+        link = store.link(link_index)
+        if link.alive_at(CURRENT):
+            link.tombstone(time)
+            cascaded.append(link_index)
+    store.clock.advance_to(time)
+    return cascaded
+
+
+@_applies("add_link")
+def _apply_add_link(store: GraphStore, args: dict) -> LinkRecord:
+    index, time = args["index"], args["time"]
+    from_pt = LinkPt.from_record(args["from"])
+    to_pt = LinkPt.from_record(args["to"])
+    link = LinkRecord(index, from_pt, to_pt, time)
+    store.links[index] = link
+    store.next_link_index = max(store.next_link_index, index + 1)
+    from_node = store.node(from_pt.node)
+    to_node = store.node(to_pt.node)
+    from_node.out_links.add(index)
+    to_node.in_links.add(index)
+    from_node.record_minor_event(time, f"link {index} attached (out)")
+    if to_node is not from_node:
+        to_node.record_minor_event(time, f"link {index} attached (in)")
+    store.clock.advance_to(time)
+    return link
+
+
+@_applies("delete_link")
+def _apply_delete_link(store: GraphStore, args: dict) -> None:
+    link = store.link(args["index"])
+    time = args["time"]
+    link.tombstone(time)
+    from_node = store.node(link.from_node)
+    to_node = store.node(link.to_node)
+    from_node.record_minor_event(time, f"link {link.index} removed (out)")
+    if to_node is not from_node:
+        to_node.record_minor_event(time, f"link {link.index} removed (in)")
+    store.clock.advance_to(time)
+
+
+@_applies("modify_node")
+def _apply_modify_node(store: GraphStore, args: dict) -> list:
+    node = store.node(args["index"])
+    time = args["time"]
+    node.modify(args["contents"], args["expected"], time,
+                args.get("explanation", ""))
+    moved = []
+    for link_index, end_value, position in args.get("moves", []):
+        link = store.link(link_index)
+        end = LinkEnd(end_value)
+        link.move_attachment(end, position, time)
+        moved.append((link_index, end))
+    store.clock.advance_to(time)
+    return moved
+
+
+@_applies("intern_attribute")
+def _apply_intern_attribute(store: GraphStore, args: dict) -> bool:
+    name, index, time = args["name"], args["index"], args["time"]
+    created = store.registry.lookup(name) is None
+    store.registry.intern_exact(name, index, time)
+    store.clock.advance_to(time)
+    return created
+
+
+@_applies("set_node_attribute")
+def _apply_set_node_attribute(store: GraphStore, args: dict) -> None:
+    node = store.node(args["node"])
+    time = args["time"]
+    node.attributes.set(args["attribute"], args["value"], time)
+    name = store.registry.name_of(args["attribute"])
+    node.record_minor_event(time, f"attribute {name} set")
+    store.clock.advance_to(time)
+
+
+@_applies("delete_node_attribute")
+def _apply_delete_node_attribute(store: GraphStore, args: dict) -> None:
+    node = store.node(args["node"])
+    time = args["time"]
+    node.attributes.delete(args["attribute"], time)
+    name = store.registry.name_of(args["attribute"])
+    node.record_minor_event(time, f"attribute {name} deleted")
+    store.clock.advance_to(time)
+
+
+@_applies("set_link_attribute")
+def _apply_set_link_attribute(store: GraphStore, args: dict) -> None:
+    link = store.link(args["link"])
+    time = args["time"]
+    link.attributes.set(args["attribute"], args["value"], time)
+    store.clock.advance_to(time)
+
+
+@_applies("delete_link_attribute")
+def _apply_delete_link_attribute(store: GraphStore, args: dict) -> None:
+    link = store.link(args["link"])
+    time = args["time"]
+    link.attributes.delete(args["attribute"], time)
+    store.clock.advance_to(time)
+
+
+@_applies("set_graph_demon")
+def _apply_set_graph_demon(store: GraphStore, args: dict) -> None:
+    time = args["time"]
+    store.graph_demons.set(EventKind(args["event"]), args["demon"], time)
+    store.clock.advance_to(time)
+
+
+@_applies("set_node_demon")
+def _apply_set_node_demon(store: GraphStore, args: dict) -> None:
+    time = args["time"]
+    table = store.demon_table_for_node(args["node"])
+    table.set(EventKind(args["event"]), args["demon"], time)
+    store.clock.advance_to(time)
+
+
+@_applies("change_node_protection")
+def _apply_change_node_protection(store: GraphStore, args: dict) -> None:
+    node = store.node(args["node"])
+    node.protections = Protections(args["protections"])
+    return None
+
+
+class HAM:
+    """An opened hypergraph: the paper's Hypertext Abstract Machine."""
+
+    def __init__(self, store: GraphStore,
+                 directory: GraphDirectory | None,
+                 log: WriteAheadLog | _NullLog,
+                 demons: DemonRegistry | None = None,
+                 synchronous: bool = True,
+                 use_attribute_index: bool = True):
+        self._store = store
+        self._directory = directory
+        self._log = log
+        self._txns = TransactionManager(log, LockManager(),
+                                        synchronous=synchronous)
+        self.demons = demons if demons is not None else DemonRegistry()
+        self._closed = False
+        self._state_lock = threading.RLock()
+        self._index: AttributeValueIndex | None = (
+            AttributeValueIndex() if use_attribute_index else None)
+        if self._index is not None:
+            self._rebuild_index()
+
+    # ==================================================================
+    # Graph operations (Appendix A.1)
+
+    @classmethod
+    def create_graph(cls, directory: str | os.PathLike,
+                     protections: Protections = Protections.READ_WRITE,
+                     ) -> tuple[ProjectId, Time]:
+        """``createGraph``: make a new empty graph in ``directory``.
+
+        Returns the new graph's ``ProjectId`` (needed to open or destroy
+        it later) and its creation ``Time``.
+        """
+        project_id = secrets.randbits(63)
+        created_at = 1
+        GraphDirectory(directory).initialize(
+            project_id, protections.value, created_at)
+        return project_id, created_at
+
+    @classmethod
+    def destroy_graph(cls, project_id: ProjectId,
+                      directory: str | os.PathLike) -> None:
+        """``destroyGraph``: remove the graph's files.
+
+        ``project_id`` must match the value ``createGraph`` returned — the
+        Appendix's safeguard against destroying the wrong directory.
+        """
+        GraphDirectory(directory).destroy(project_id)
+
+    @classmethod
+    def open_graph(cls, project_id: ProjectId,
+                   directory: str | os.PathLike,
+                   machine: str | None = None,
+                   demons: DemonRegistry | None = None,
+                   synchronous: bool = True,
+                   use_attribute_index: bool = True) -> "HAM":
+        """``openGraph``: open an existing graph, recovering if needed.
+
+        Loads the last checkpoint snapshot, replays the committed suffix
+        of the write-ahead log, and fires the graph's OPEN_GRAPH demon.
+        ``machine`` is accepted for Appendix fidelity; remote access goes
+        through :mod:`repro.server` instead.
+        """
+        graph_dir = GraphDirectory(directory)
+        meta = graph_dir.read_meta()
+        if meta["project"] != project_id:
+            raise GraphNotFoundError(
+                f"{directory}: ProjectId does not match "
+                f"(given {project_id}, stored {meta['project']})")
+        store = graph_dir.load_snapshot(meta["snapshot"])
+        log = WriteAheadLog(graph_dir.wal_path)
+        recovered = replay_log(log)
+        for __, operation, op_args in recovered.updates:
+            _APPLY[operation](store, op_args)
+        ham = cls(store, graph_dir, log, demons=demons,
+                  synchronous=synchronous,
+                  use_attribute_index=use_attribute_index)
+        ham._fire_demons(EventKind.OPEN_GRAPH, time=store.clock.now)
+        return ham
+
+    @classmethod
+    def ephemeral(cls, demons: DemonRegistry | None = None,
+                  use_attribute_index: bool = True) -> "HAM":
+        """A memory-only graph (extension; handy for tests and browsers)."""
+        store = GraphStore(project_id=secrets.randbits(63), created_at=1)
+        return cls(store, directory=None, log=_NullLog(), demons=demons,
+                   use_attribute_index=use_attribute_index)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def project_id(self) -> ProjectId:
+        """The graph's unique identification from ``createGraph``."""
+        return self._store.project_id
+
+    @property
+    def now(self) -> Time:
+        """The graph's current logical time."""
+        return self._store.clock.now
+
+    @property
+    def store(self) -> GraphStore:
+        """The underlying object store (read-only use by browsers/query)."""
+        return self._store
+
+    def close(self) -> None:
+        """Checkpoint (when persistent) and release the log."""
+        with self._state_lock:
+            if self._closed:
+                return
+            if self._directory is not None and self._txns.active_count == 0:
+                self.checkpoint()
+            self._log.close()
+            self._closed = True
+
+    def __enter__(self) -> "HAM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def checkpoint(self) -> None:
+        """Persist a full snapshot and truncate the redo log."""
+        if self._directory is None:
+            return
+        with self._state_lock:
+            snapshot_id = self._directory.append_snapshot(self._store)
+            meta = self._directory.read_meta()
+            meta["snapshot"] = snapshot_id
+            self._directory.write_meta(meta)
+            self._txns.checkpoint(snapshot_marker=snapshot_id)
+
+    # ------------------------------------------------------------------
+    # transactions
+
+    def begin(self, read_only: bool = False) -> Transaction:
+        """Start a transaction (commit/abort via the Transaction)."""
+        if self._closed:
+            raise TransactionError("HAM is closed")
+        return self._txns.begin(read_only=read_only)
+
+    transaction = begin  # alias: ``with ham.transaction() as txn:``
+
+    def _in_txn(self, txn: Transaction | None, read_only: bool = False):
+        """Run an operation in ``txn``, or a fresh single-op transaction.
+
+        Returns a context manager yielding the transaction; when it had
+        to create one, it commits on success / aborts on error.
+        """
+        ham = self
+
+        class _Scope:
+            def __enter__(self):
+                self.owned = txn is None
+                self.txn = (ham.begin(read_only=read_only)
+                            if txn is None else txn)
+                return self.txn
+
+            def __exit__(self, exc_type, exc, tb):
+                if self.owned:
+                    if exc_type is None:
+                        self.txn.commit()
+                    else:
+                        self.txn.abort()
+
+        return _Scope()
+
+    # ------------------------------------------------------------------
+    # journaled mutation helper
+
+    def _mutate(self, txn: Transaction, operation: str, args: dict,
+                undo: Callable[[], None]):
+        """Apply + journal one logical operation inside ``txn``."""
+        result = _APPLY[operation](self._store, args)
+        txn.log_update(operation, args, undo)
+        return result
+
+    def _fire_demons(self, kind: EventKind, time: Time,
+                     node: NodeIndex | None = None,
+                     link: LinkIndex | None = None,
+                     txn: Transaction | None = None,
+                     detail: dict | None = None) -> None:
+        event = DemonEvent(
+            kind=kind, time=time, project=self._store.project_id,
+            node=node, link=link,
+            transaction=txn.txn_id if txn is not None else None,
+            detail=detail or {}, txn_handle=txn)
+        names = []
+        graph_demon = self._store.graph_demons.demon_at(kind)
+        if graph_demon is not None:
+            names.append(graph_demon)
+        if node is not None:
+            table = self._store.node_demons.get(node)
+            if table is not None:
+                node_demon = table.demon_at(kind)
+                if node_demon is not None:
+                    names.append(node_demon)
+        for name in names:
+            self.demons.fire(name, event)
+
+    # ==================================================================
+    # Node lifecycle (Appendix A.1 continued)
+
+    def add_node(self, txn: Transaction | None = None,
+                 keep_history: bool = True) -> tuple[NodeIndex, Time]:
+        """``addNode``: create an empty node; returns (index, time).
+
+        ``keep_history=True`` creates an *archive* (full version history);
+        ``False`` creates a *file* (current version only).
+        """
+        with self._in_txn(txn) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            index = self._store.next_node_index
+            time = self._store.clock.tick()
+            kind = NodeKind.ARCHIVE if keep_history else NodeKind.FILE
+            args = {"index": index, "kind": kind.value, "time": time}
+
+            def undo() -> None:
+                self._store.nodes.pop(index, None)
+                self._store.node_demons.pop(index, None)
+                self._store.next_node_index = index
+
+            self._mutate(t, "add_node", args, undo)
+            self._fire_demons(EventKind.ADD_NODE, time, node=index, txn=t)
+            return index, time
+
+    def delete_node(self, txn: Transaction | None = None, *,
+                    node: NodeIndex) -> None:
+        """``deleteNode``: tombstone a node and every attached link."""
+        with self._in_txn(txn) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            record = self._store.node(node)
+            record.require_alive()
+            time = self._store.clock.tick()
+            args = {"index": node, "time": time}
+            store = self._store
+            undo_links: list[LinkIndex] = []
+
+            def undo(record=record) -> None:
+                record.deleted_at = None
+                for link_index in undo_links:
+                    store.links[link_index].deleted_at = None
+                if self._index is not None:
+                    self._reindex_node(record)
+
+            cascaded = self._mutate(t, "delete_node", args, undo)
+            undo_links.extend(cascaded)
+            if self._index is not None:
+                self._index.drop_node(node)
+            self._fire_demons(EventKind.DELETE_NODE, time, node=node, txn=t)
+
+    # ==================================================================
+    # Link lifecycle
+
+    def add_link(self, txn: Transaction | None = None, *,
+                 from_pt: LinkPt, to_pt: LinkPt) -> tuple[LinkIndex, Time]:
+        """``addLink``: create a link between two endpoints.
+
+        "The from and to nodes must exist at their respective times."
+        A zero endpoint time means the link tracks the current version.
+        """
+        with self._in_txn(txn) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            for pt in (from_pt, to_pt):
+                t.lock(("node", pt.node), LockMode.EXCLUSIVE)
+                node = self._store.node(pt.node)
+                node.require_alive(pt.time)
+                if pt.pinned:
+                    # The pinned version must actually exist.
+                    node.contents_at(pt.time)
+            index = self._store.next_link_index
+            time = self._store.clock.tick()
+            args = {"index": index, "from": from_pt.to_record(),
+                    "to": to_pt.to_record(), "time": time}
+            store = self._store
+
+            def undo() -> None:
+                store.links.pop(index, None)
+                from_node = store.nodes[from_pt.node]
+                to_node = store.nodes[to_pt.node]
+                from_node.out_links.discard(index)
+                to_node.in_links.discard(index)
+                from_node.pop_minor_event()
+                if to_node is not from_node:
+                    to_node.pop_minor_event()
+                store.next_link_index = index
+
+            self._mutate(t, "add_link", args, undo)
+            self._fire_demons(EventKind.ADD_LINK, time, link=index, txn=t)
+            return index, time
+
+    def copy_link(self, txn: Transaction | None = None, *,
+                  link: LinkIndex, time: Time = CURRENT,
+                  keep_source: bool = True,
+                  other_pt: LinkPt) -> tuple[LinkIndex, Time]:
+        """``copyLink``: new link sharing one endpoint of an existing link.
+
+        ``keep_source=True`` copies the source endpoint of ``link`` (as of
+        ``time``) and uses ``other_pt`` as destination; ``False`` copies
+        the destination and uses ``other_pt`` as source.
+        """
+        with self._in_txn(txn) as t:
+            t.lock(("link", link), LockMode.SHARED)
+            record = self._store.link(link)
+            record.require_alive(time)
+            end = LinkEnd.FROM if keep_source else LinkEnd.TO
+            shared_pt = record.resolved_endpoint(end, time)
+            if keep_source:
+                from_pt, to_pt = shared_pt, other_pt
+            else:
+                from_pt, to_pt = other_pt, shared_pt
+            new_index, new_time = self.add_link(
+                t, from_pt=from_pt, to_pt=to_pt)
+            self._fire_demons(EventKind.COPY_LINK, new_time, link=new_index,
+                              txn=t, detail={"copied_from": link})
+            return new_index, new_time
+
+    def delete_link(self, txn: Transaction | None = None, *,
+                    link: LinkIndex) -> None:
+        """``deleteLink``: tombstone a link."""
+        with self._in_txn(txn) as t:
+            t.lock(("link", link), LockMode.EXCLUSIVE)
+            record = self._store.link(link)
+            record.require_alive()
+            t.lock(("node", record.from_node), LockMode.EXCLUSIVE)
+            t.lock(("node", record.to_node), LockMode.EXCLUSIVE)
+            time = self._store.clock.tick()
+            args = {"index": link, "time": time}
+            store = self._store
+
+            def undo(record=record) -> None:
+                record.deleted_at = None
+                from_node = store.nodes[record.from_node]
+                to_node = store.nodes[record.to_node]
+                from_node.pop_minor_event()
+                if to_node is not from_node:
+                    to_node.pop_minor_event()
+
+            self._mutate(t, "delete_link", args, undo)
+            self._fire_demons(EventKind.DELETE_LINK, time, link=link, txn=t)
+
+    # ==================================================================
+    # Queries (Appendix A.1 continued)
+
+    def linearize_graph(self, start: NodeIndex, time: Time = CURRENT,
+                        node_predicate: str | Predicate | None = None,
+                        link_predicate: str | Predicate | None = None,
+                        node_attributes: Sequence[AttributeIndex] = (),
+                        link_attributes: Sequence[AttributeIndex] = (),
+                        txn: Transaction | None = None) -> TraversalResult:
+        """``linearizeGraph``: offset-ordered DFS from ``start``."""
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
+            return linearize_graph(
+                self._store, start, time,
+                parse_predicate(node_predicate),
+                parse_predicate(link_predicate),
+                list(node_attributes), list(link_attributes))
+
+    def get_graph_query(self, time: Time = CURRENT,
+                        node_predicate: str | Predicate | None = None,
+                        link_predicate: str | Predicate | None = None,
+                        node_attributes: Sequence[AttributeIndex] = (),
+                        link_attributes: Sequence[AttributeIndex] = (),
+                        txn: Transaction | None = None) -> QueryResult:
+        """``getGraphQuery``: associative access by attribute predicates."""
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
+            return get_graph_query(
+                self._store, time,
+                parse_predicate(node_predicate),
+                parse_predicate(link_predicate),
+                list(node_attributes), list(link_attributes),
+                index=self._index)
+
+    # ==================================================================
+    # Node operations (Appendix A.2)
+
+    def open_node(self, node: NodeIndex, time: Time = CURRENT,
+                  attributes: Sequence[AttributeIndex] = (),
+                  txn: Transaction | None = None,
+                  ) -> tuple[bytes, list[tuple[LinkIndex, str, LinkPt]],
+                             list[str | None], Time]:
+        """``openNode``: contents + attachments + values + current time.
+
+        Returns ``(contents, link_points, attribute_values, current_time)``
+        where ``link_points`` holds ``(link index, 'from'|'to', LinkPt)``
+        for every link attached to the requested version of the node.
+        """
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(("node", node), LockMode.SHARED)
+            record = self._store.node(node)
+            record.require_alive(time)
+            contents = record.contents_at(time)
+            link_points: list[tuple[LinkIndex, str, LinkPt]] = []
+            for link_index in sorted(record.out_links | record.in_links):
+                link = self._store.link(link_index)
+                if not link.alive_at(time):
+                    continue
+                for end in link.ends_attached_to(node):
+                    try:
+                        resolved = link.resolved_endpoint(end, time)
+                    except VersionError:
+                        continue
+                    link_points.append((link_index, end.value, resolved))
+            attached = record.attributes.all_at(time)
+            values = [attached.get(index) for index in attributes]
+            current = record.current_time
+            self._fire_demons(EventKind.OPEN_NODE, self._store.clock.now,
+                              node=node, txn=t)
+            return contents, link_points, values, current
+
+    def modify_node(self, txn: Transaction | None = None, *,
+                    node: NodeIndex, expected_time: Time, contents: bytes,
+                    attachments: Iterable[tuple[LinkIndex, str, int]] | None
+                    = None,
+                    explanation: str = "") -> Time:
+        """``modifyNode``: check in new contents.
+
+        ``expected_time`` must equal the node's current version time (the
+        optimistic check the Appendix mandates).  ``attachments`` supplies
+        the new offset for each tracking link endpoint attached to the
+        node — "there must be a LinkPt for each link associated with the
+        current version"; pass ``None`` to keep every offset unchanged.
+        Returns the new version time.
+        """
+        with self._in_txn(txn) as t:
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            record = self._store.node(node)
+            record.require_alive()
+            previous_contents = None
+            previous_time = record.current_time
+            if not record.is_archive:
+                previous_contents = record.contents_at()
+
+            tracking = self._tracking_endpoints(record)
+            moves: list[list] = []
+            if attachments is not None:
+                supplied = {
+                    (link_index, LinkEnd(end_value)): position
+                    for link_index, end_value, position in attachments
+                }
+                missing = set(tracking) - set(supplied)
+                unknown = set(supplied) - set(tracking)
+                if missing or unknown:
+                    raise VersionError(
+                        f"modifyNode attachments mismatch: missing "
+                        f"{sorted(missing)}, unknown {sorted(unknown)}")
+                for (link_index, end), position in sorted(supplied.items(),
+                                                          key=lambda kv:
+                                                          (kv[0][0],
+                                                           kv[0][1].value)):
+                    current = self._store.link(link_index).position_at(end)
+                    if position != current:
+                        moves.append([link_index, end.value, position])
+            for link_index, __ in tracking:
+                t.lock(("link", link_index), LockMode.EXCLUSIVE)
+
+            time = self._store.clock.tick()
+            args = {"index": node, "expected": expected_time,
+                    "contents": bytes(contents), "time": time,
+                    "explanation": explanation, "moves": moves}
+            store = self._store
+
+            def undo(record=record) -> None:
+                for link_index, end_value, __ in reversed(moves):
+                    store.links[link_index].rollback_attachment(
+                        LinkEnd(end_value))
+                record.rollback_modify(previous_contents or b"",
+                                       previous_time)
+
+            self._mutate(t, "modify_node", args, undo)
+            self._fire_demons(EventKind.MODIFY_NODE, time, node=node, txn=t)
+            return time
+
+    def _tracking_endpoints(self, record: NodeRecord,
+                            ) -> list[tuple[LinkIndex, LinkEnd]]:
+        """Live tracking endpoints attached to ``record``."""
+        found = []
+        for link_index in sorted(record.out_links | record.in_links):
+            link = self._store.link(link_index)
+            if not link.alive_at(CURRENT):
+                continue
+            for end in link.ends_attached_to(record.index):
+                if link.endpoint(end).track_current:
+                    found.append((link_index, end))
+        return found
+
+    def get_node_timestamp(self, node: NodeIndex) -> Time:
+        """``getNodeTimeStamp``: current version time of ``node``."""
+        record = self._store.node(node)
+        record.require_alive()
+        return record.current_time
+
+    def change_node_protection(self, txn: Transaction | None = None, *,
+                               node: NodeIndex,
+                               protections: Protections) -> None:
+        """``changeNodeProtection``: set the node's protection mode."""
+        with self._in_txn(txn) as t:
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            record = self._store.node(node)
+            record.require_alive()
+            previous = record.protections
+            args = {"node": node, "protections": protections.value}
+
+            def undo(record=record, previous=previous) -> None:
+                record.protections = previous
+
+            self._mutate(t, "change_node_protection", args, undo)
+
+    def get_node_versions(self, node: NodeIndex,
+                          ) -> tuple[list[Version], list[Version]]:
+        """``getNodeVersions``: (major versions, minor versions)."""
+        record = self._store.node(node)
+        return record.major_versions(), record.minor_versions()
+
+    def get_node_differences(self, node: NodeIndex, time1: Time,
+                             time2: Time) -> list[Difference]:
+        """``getNodeDifferences``: diff between two versions of a node."""
+        record = self._store.node(node)
+        old = record.contents_at(time1)
+        new = record.contents_at(time2)
+        return diff_bytes(old, new)
+
+    # ==================================================================
+    # Link operations (Appendix A.3)
+
+    def get_to_node(self, link: LinkIndex, time: Time = CURRENT,
+                    ) -> tuple[NodeIndex, Time]:
+        """``getToNode``: destination (node, version time) of ``link``."""
+        return self._link_end_node(link, LinkEnd.TO, time)
+
+    def get_from_node(self, link: LinkIndex, time: Time = CURRENT,
+                      ) -> tuple[NodeIndex, Time]:
+        """``getFromNode``: source (node, version time) of ``link``."""
+        return self._link_end_node(link, LinkEnd.FROM, time)
+
+    def _link_end_node(self, link: LinkIndex, end: LinkEnd,
+                       time: Time) -> tuple[NodeIndex, Time]:
+        record = self._store.link(link)
+        record.require_alive(time)
+        pt = record.endpoint(end)
+        node = self._store.node(pt.node)
+        if pt.pinned:
+            return pt.node, pt.time
+        if time == CURRENT:
+            return pt.node, node.current_time
+        # Version of the node in effect at the requested time.
+        stamps = [s for s in node.content_version_times() if s <= time]
+        if not stamps:
+            raise VersionError(
+                f"node {pt.node} had no version at time {time}")
+        return pt.node, stamps[-1]
+
+    # ==================================================================
+    # Attribute operations (Appendix A.4)
+
+    def get_attributes(self, time: Time = CURRENT,
+                       ) -> list[tuple[str, AttributeIndex]]:
+        """``getAttributes``: every (name, index) existing at ``time``."""
+        return self._store.registry.all_at(time)
+
+    def get_attribute_index(self, name: str,
+                            txn: Transaction | None = None) -> AttributeIndex:
+        """``getAttributeIndex``: look up ``name``, creating it if new."""
+        existing = self._store.registry.lookup(name)
+        if existing is not None:
+            return existing
+        with self._in_txn(txn) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            existing = self._store.registry.lookup(name)
+            if existing is not None:
+                return existing
+            index = self._store.registry.peek_next()
+            time = self._store.clock.tick()
+            args = {"name": name, "index": index, "time": time}
+
+            def undo() -> None:
+                self._store.registry.forget(name)
+
+            self._mutate(t, "intern_attribute", args, undo)
+            return index
+
+    def get_attribute_values(self, attribute: AttributeIndex,
+                             time: Time = CURRENT) -> list[str]:
+        """``getAttributeValues``: all values of an attribute at ``time``.
+
+        Aggregated across every node and link alive at ``time``.
+        """
+        values: set[str] = set()
+        for node in self._store.live_nodes(time):
+            value = node.attributes.value_at(attribute, time, default=None)
+            if value is not None:
+                values.add(value)
+        for link in self._store.live_links(time):
+            value = link.attributes.value_at(attribute, time, default=None)
+            if value is not None:
+                values.add(value)
+        return sorted(values)
+
+    # --- node attributes ---------------------------------------------
+
+    def set_node_attribute_value(self, txn: Transaction | None = None, *,
+                                 node: NodeIndex, attribute: AttributeIndex,
+                                 value: str) -> None:
+        """``setNodeAttributeValue``: set (versioned on archives)."""
+        with self._in_txn(txn) as t:
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            record = self._store.node(node)
+            record.require_alive()
+            name = self._store.registry.name_of(attribute)
+            time = self._store.clock.tick()
+            args = {"node": node, "attribute": attribute, "value": value,
+                    "time": time}
+
+            def undo(record=record) -> None:
+                record.attributes.rollback(attribute)
+                record.pop_minor_event()
+                if self._index is not None:
+                    self._reindex_node_attribute(record, name)
+
+            self._mutate(t, "set_node_attribute", args, undo)
+            if self._index is not None:
+                self._index.set_value(node, name, value)
+            self._fire_demons(EventKind.SET_ATTRIBUTE, time, node=node,
+                              txn=t, detail={"attribute": name,
+                                             "value": value})
+
+    def delete_node_attribute(self, txn: Transaction | None = None, *,
+                              node: NodeIndex,
+                              attribute: AttributeIndex) -> None:
+        """``deleteNodeAttribute``: detach an attribute from a node."""
+        with self._in_txn(txn) as t:
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            record = self._store.node(node)
+            record.require_alive()
+            name = self._store.registry.name_of(attribute)
+            time = self._store.clock.tick()
+            args = {"node": node, "attribute": attribute, "time": time}
+
+            def undo(record=record) -> None:
+                record.attributes.rollback(attribute)
+                record.pop_minor_event()
+                if self._index is not None:
+                    self._reindex_node_attribute(record, name)
+
+            self._mutate(t, "delete_node_attribute", args, undo)
+            if self._index is not None:
+                self._index.delete_value(node, name)
+            self._fire_demons(EventKind.DELETE_ATTRIBUTE, time, node=node,
+                              txn=t, detail={"attribute": name})
+
+    def get_node_attribute_value(self, node: NodeIndex,
+                                 attribute: AttributeIndex,
+                                 time: Time = CURRENT) -> str:
+        """``getNodeAttributeValue``: one attribute value as of ``time``."""
+        record = self._store.node(node)
+        return record.attributes.value_at(attribute, time)
+
+    def get_node_attributes(self, node: NodeIndex, time: Time = CURRENT,
+                            ) -> list[tuple[str, AttributeIndex, str]]:
+        """``getNodeAttributes``: every (name, index, value) at ``time``."""
+        record = self._store.node(node)
+        return sorted(
+            (self._store.registry.name_of(index), index, value)
+            for index, value in record.attributes.all_at(time).items()
+        )
+
+    # --- link attributes -----------------------------------------------
+
+    def set_link_attribute_value(self, txn: Transaction | None = None, *,
+                                 link: LinkIndex, attribute: AttributeIndex,
+                                 value: str) -> None:
+        """``setLinkAttributeValue``: set (versioned) on a link."""
+        with self._in_txn(txn) as t:
+            t.lock(("link", link), LockMode.EXCLUSIVE)
+            record = self._store.link(link)
+            record.require_alive()
+            self._store.registry.name_of(attribute)  # must exist
+            time = self._store.clock.tick()
+            args = {"link": link, "attribute": attribute, "value": value,
+                    "time": time}
+
+            def undo(record=record) -> None:
+                record.attributes.rollback(attribute)
+
+            self._mutate(t, "set_link_attribute", args, undo)
+
+    def delete_link_attribute(self, txn: Transaction | None = None, *,
+                              link: LinkIndex,
+                              attribute: AttributeIndex) -> None:
+        """``deleteLinkAttribute``: detach an attribute from a link."""
+        with self._in_txn(txn) as t:
+            t.lock(("link", link), LockMode.EXCLUSIVE)
+            record = self._store.link(link)
+            record.require_alive()
+            time = self._store.clock.tick()
+            args = {"link": link, "attribute": attribute, "time": time}
+
+            def undo(record=record) -> None:
+                record.attributes.rollback(attribute)
+
+            self._mutate(t, "delete_link_attribute", args, undo)
+
+    def get_link_attribute_value(self, link: LinkIndex,
+                                 attribute: AttributeIndex,
+                                 time: Time = CURRENT) -> str:
+        """``getLinkAttributeValue``: one attribute value as of ``time``."""
+        record = self._store.link(link)
+        return record.attributes.value_at(attribute, time)
+
+    def get_link_attributes(self, link: LinkIndex, time: Time = CURRENT,
+                            ) -> list[tuple[str, AttributeIndex, str]]:
+        """``getLinkAttributes``: every (name, index, value) at ``time``."""
+        record = self._store.link(link)
+        return sorted(
+            (self._store.registry.name_of(index), index, value)
+            for index, value in record.attributes.all_at(time).items()
+        )
+
+    # ==================================================================
+    # Demon operations (Appendix A.5)
+
+    def set_graph_demon_value(self, txn: Transaction | None = None, *,
+                              event: EventKind,
+                              demon: str | None) -> None:
+        """``setGraphDemonValue``: (versioned) graph-level demon binding.
+
+        ``demon=None`` disables the demon for ``event``.
+        """
+        with self._in_txn(txn) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            time = self._store.clock.tick()
+            args = {"event": event.value, "demon": demon, "time": time}
+
+            def undo() -> None:
+                self._store.graph_demons.rollback(event)
+
+            self._mutate(t, "set_graph_demon", args, undo)
+
+    def get_graph_demons(self, time: Time = CURRENT,
+                         ) -> list[tuple[EventKind, str]]:
+        """``getGraphDemons``: active (event, demon) pairs at ``time``."""
+        return self._store.graph_demons.demons_at(time)
+
+    def set_node_demon(self, txn: Transaction | None = None, *,
+                       node: NodeIndex, event: EventKind,
+                       demon: str | None) -> None:
+        """``setNodeDemon``: (versioned) node-level demon binding."""
+        with self._in_txn(txn) as t:
+            t.lock(("node", node), LockMode.EXCLUSIVE)
+            self._store.node(node).require_alive()
+            time = self._store.clock.tick()
+            args = {"node": node, "event": event.value, "demon": demon,
+                    "time": time}
+
+            def undo() -> None:
+                self._store.demon_table_for_node(node).rollback(event)
+
+            self._mutate(t, "set_node_demon", args, undo)
+
+    def get_node_demons(self, node: NodeIndex, time: Time = CURRENT,
+                        ) -> list[tuple[EventKind, str]]:
+        """``getNodeDemons``: active (event, demon) pairs at ``time``."""
+        table = self._store.node_demons.get(node)
+        if table is None:
+            return []
+        return table.demons_at(time)
+
+    # ==================================================================
+    # attribute index upkeep
+
+    def _rebuild_index(self) -> None:
+        assert self._index is not None
+        registry = self._store.registry
+        for node in self._store.live_nodes(CURRENT):
+            for index, value in node.attributes.all_at(CURRENT).items():
+                self._index.set_value(node.index, registry.name_of(index),
+                                      value)
+
+    def _reindex_node(self, record: NodeRecord) -> None:
+        assert self._index is not None
+        registry = self._store.registry
+        for index, value in record.attributes.all_at(CURRENT).items():
+            self._index.set_value(record.index, registry.name_of(index),
+                                  value)
+
+    def _reindex_node_attribute(self, record: NodeRecord, name: str) -> None:
+        assert self._index is not None
+        index = self._store.registry.lookup(name)
+        if index is None:
+            return
+        value = record.attributes.value_at(index, CURRENT, default=None)
+        if value is None:
+            self._index.delete_value(record.index, name)
+        else:
+            self._index.set_value(record.index, name, value)
+
+    # ==================================================================
+    # Appendix-style camelCase aliases
+
+    createGraph = create_graph
+    destroyGraph = destroy_graph
+    openGraph = open_graph
+    addNode = add_node
+    deleteNode = delete_node
+    addLink = add_link
+    copyLink = copy_link
+    deleteLink = delete_link
+    linearizeGraph = linearize_graph
+    getGraphQuery = get_graph_query
+    openNode = open_node
+    modifyNode = modify_node
+    getNodeTimeStamp = get_node_timestamp
+    changeNodeProtection = change_node_protection
+    getNodeVersions = get_node_versions
+    getNodeDifferences = get_node_differences
+    getToNode = get_to_node
+    getFromNode = get_from_node
+    getAttributes = get_attributes
+    getAttributeValues = get_attribute_values
+    getAttributeIndex = get_attribute_index
+    setNodeAttributeValue = set_node_attribute_value
+    deleteNodeAttribute = delete_node_attribute
+    getNodeAttributeValue = get_node_attribute_value
+    getNodeAttributes = get_node_attributes
+    setLinkAttributeValue = set_link_attribute_value
+    deleteLinkAttribute = delete_link_attribute
+    getLinkAttributeValue = get_link_attribute_value
+    getLinkAttributes = get_link_attributes
+    setGraphDemonValue = set_graph_demon_value
+    getGraphDemons = get_graph_demons
+    setNodeDemon = set_node_demon
+    getNodeDemons = get_node_demons

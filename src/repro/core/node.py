@@ -1,0 +1,245 @@
+"""Node records: contents, version history, attributes, attachments.
+
+Appendix §A.2: "Each node is either an archive or a file.  Complete
+version histories are maintained for archives, only the current version is
+available for files."  Archive contents live in a backward-delta chain
+(:class:`repro.storage.deltas.DeltaStore`); file contents keep just the
+current bytes.
+
+A node's version history distinguishes *major* versions (content updates,
+``getNodeVersions``'s ``Version₁⁺``) from *minor* versions (attribute and
+link-attachment updates that leave contents untouched, ``Version₂*``).
+
+Deletion is a tombstone: the paper promises "it is possible to see *any*
+version of the hyperdocument back to its beginning", so ``deleteNode``
+marks the node dead at a time rather than destroying its history.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import VersionedAttributes
+from repro.core.types import (
+    CURRENT,
+    NodeIndex,
+    NodeKind,
+    Protections,
+    Time,
+    Version,
+)
+from repro.errors import (
+    NodeNotFoundError,
+    ProtectionError,
+    StaleVersionError,
+    VersionError,
+)
+from repro.storage.deltas import DeltaStore
+
+__all__ = ["NodeRecord"]
+
+
+class NodeRecord:
+    """One hypertext node: uninterpreted contents plus metadata.
+
+    Not thread-safe by itself; the graph serializes access through the
+    transaction layer.
+    """
+
+    def __init__(self, index: NodeIndex, kind: NodeKind, created_at: Time):
+        self.index = index
+        self.kind = kind
+        self.created_at = created_at
+        self.deleted_at: Time | None = None
+        self.protections = Protections.READ_WRITE
+        self.attributes = VersionedAttributes()
+        #: Links whose *from* endpoint attaches to this node.
+        self.out_links: set[int] = set()
+        #: Links whose *to* endpoint attaches to this node.
+        self.in_links: set[int] = set()
+        self._explanations: dict[Time, str] = {created_at: "created"}
+        self._minor_events: list[Version] = []
+        # Contents storage: archives get a delta chain, files a plain pair.
+        self._archive: DeltaStore | None = (
+            DeltaStore(b"", created_at) if kind is NodeKind.ARCHIVE else None
+        )
+        self._file_contents: bytes = b""
+        self._file_time: Time = created_at
+
+    # ------------------------------------------------------------------
+    # existence
+
+    def alive_at(self, time: Time) -> bool:
+        """True when the node exists at ``time`` (0 = now)."""
+        if time == CURRENT:
+            return self.deleted_at is None
+        if time < self.created_at:
+            return False
+        return self.deleted_at is None or time < self.deleted_at
+
+    def require_alive(self, time: Time = CURRENT) -> None:
+        """Raise :class:`NodeNotFoundError` unless alive at ``time``."""
+        if not self.alive_at(time):
+            raise NodeNotFoundError(
+                f"node {self.index} does not exist at time {time}")
+
+    def tombstone(self, time: Time) -> None:
+        """Mark the node deleted at ``time`` (history stays readable)."""
+        self.require_alive()
+        self.deleted_at = time
+
+    # ------------------------------------------------------------------
+    # contents
+
+    @property
+    def is_archive(self) -> bool:
+        """True for archive nodes (full version history kept)."""
+        return self.kind is NodeKind.ARCHIVE
+
+    @property
+    def current_time(self) -> Time:
+        """``getNodeTimeStamp``: time of the current content version."""
+        if self._archive is not None:
+            return self._archive.current_time
+        return self._file_time
+
+    def contents_at(self, time: Time = CURRENT) -> bytes:
+        """Contents as of ``time``; files only answer for the current."""
+        if not self.protections.readable:
+            raise ProtectionError(
+                f"node {self.index} is not readable")
+        if self._archive is not None:
+            return self._archive.get(time)
+        # Files keep only the current version: any time at or after the
+        # last write answers it; earlier times are gone by design.
+        if time != CURRENT and time < self._file_time:
+            raise VersionError(
+                f"node {self.index} is a file; only its current version "
+                f"(time {self._file_time}) is available, not {time}")
+        return self._file_contents
+
+    def modify(self, contents: bytes, expected_time: Time, time: Time,
+               explanation: str = "") -> None:
+        """Check in new contents (``modifyNode``).
+
+        ``expected_time`` must equal the current version time — the
+        optimistic-concurrency check the Appendix mandates ("Time must be
+        equal to the version time of the current version of the node").
+        """
+        if not self.protections.writable:
+            raise ProtectionError(f"node {self.index} is not writable")
+        if expected_time != self.current_time:
+            raise StaleVersionError(
+                f"node {self.index}: check-in expected version "
+                f"{expected_time} but current is {self.current_time}")
+        if self._archive is not None:
+            self._archive.check_in(contents, time)
+        else:
+            self._file_contents = bytes(contents)
+            self._file_time = time
+        self._explanations[time] = explanation
+
+    def rollback_modify(self, previous_contents: bytes,
+                        previous_time: Time) -> None:
+        """Undo the latest :meth:`modify` (transaction-abort primitive).
+
+        For archives the delta chain pops its newest version; for files
+        the caller supplies the prior contents and time it captured before
+        modifying.
+        """
+        dropped = self.current_time
+        if self._archive is not None:
+            self._archive.rollback_last()
+        else:
+            self._file_contents = previous_contents
+            self._file_time = previous_time
+        self._explanations.pop(dropped, None)
+
+    # ------------------------------------------------------------------
+    # version history
+
+    def record_minor_event(self, time: Time, explanation: str) -> None:
+        """Record a non-content update (attribute edit, link attachment)."""
+        self._minor_events.append(Version(time, explanation))
+
+    def pop_minor_event(self) -> None:
+        """Drop the latest minor-version entry (abort primitive)."""
+        self._minor_events.pop()
+
+    def major_versions(self) -> list[Version]:
+        """``Version₁⁺``: all content versions, oldest first."""
+        if self._archive is not None:
+            times = self._archive.times
+        else:
+            times = [self._file_time]
+        return [
+            Version(stamp, self._explanations.get(stamp, ""))
+            for stamp in times
+        ]
+
+    def minor_versions(self) -> list[Version]:
+        """``Version₂*``: non-content updates, oldest first."""
+        return sorted(self._minor_events, key=lambda v: v.time)
+
+    def content_version_times(self) -> list[Time]:
+        """Times of all content versions (a file has exactly one)."""
+        if self._archive is not None:
+            return self._archive.times
+        return [self._file_time]
+
+    def storage_stats(self):
+        """Delta-chain storage stats (archives only; None for files)."""
+        if self._archive is None:
+            return None
+        return self._archive.stats()
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def to_record(self) -> dict:
+        """Encodable snapshot of the whole node."""
+        return {
+            "index": self.index,
+            "kind": self.kind.value,
+            "created": self.created_at,
+            "deleted": self.deleted_at,
+            "protections": self.protections.value,
+            "attributes": self.attributes.to_record(),
+            "out": sorted(self.out_links),
+            "in": sorted(self.in_links),
+            "explanations": {
+                str(stamp): text
+                for stamp, text in self._explanations.items()
+            },
+            "minor": [event.to_record() for event in self._minor_events],
+            "archive": (
+                self._archive.to_record() if self._archive is not None
+                else None),
+            "file_contents": self._file_contents,
+            "file_time": self._file_time,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "NodeRecord":
+        """Inverse of :meth:`to_record`."""
+        node = cls.__new__(cls)
+        node.index = record["index"]
+        node.kind = NodeKind(record["kind"])
+        node.created_at = record["created"]
+        node.deleted_at = record["deleted"]
+        node.protections = Protections(record["protections"])
+        node.attributes = VersionedAttributes.from_record(
+            record["attributes"])
+        node.out_links = set(record["out"])
+        node.in_links = set(record["in"])
+        node._explanations = {
+            int(stamp): text
+            for stamp, text in record["explanations"].items()
+        }
+        node._minor_events = [
+            Version.from_record(event) for event in record["minor"]
+        ]
+        node._archive = (
+            DeltaStore.from_record(record["archive"])
+            if record["archive"] is not None else None)
+        node._file_contents = record["file_contents"]
+        node._file_time = record["file_time"]
+        return node

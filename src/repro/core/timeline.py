@@ -1,0 +1,90 @@
+"""Generic time-ordered value timelines with as-of lookup.
+
+The same access pattern recurs throughout the HAM — attribute values,
+link attachment offsets, demon bindings, content versions are all
+"time-ordered entries; answer the latest entry at or before T, where
+T = 0 means now".  :class:`Timeline` is that pattern as a reusable,
+well-tested data structure (binary search, so as-of lookups are
+O(log n) even on long histories).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterator, TypeVar
+
+from repro.core.types import CURRENT, Time
+from repro.errors import VersionError
+
+__all__ = ["Timeline"]
+
+T = TypeVar("T")
+
+
+class Timeline(Generic[T]):
+    """Strictly time-ordered ``(time, value)`` entries with as-of reads."""
+
+    def __init__(self) -> None:
+        self._times: list[Time] = []
+        self._values: list[T] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __bool__(self) -> bool:
+        return bool(self._times)
+
+    def __iter__(self) -> Iterator[tuple[Time, T]]:
+        return iter(zip(self._times, self._values))
+
+    def append(self, time: Time, value: T) -> None:
+        """Add an entry; times must strictly increase."""
+        if time <= 0:
+            raise VersionError("timeline times must be positive")
+        if self._times and time <= self._times[-1]:
+            raise VersionError(
+                f"timeline entry at {time} does not advance past "
+                f"{self._times[-1]}")
+        self._times.append(time)
+        self._values.append(value)
+
+    def pop(self) -> tuple[Time, T]:
+        """Remove and return the newest entry (abort primitive)."""
+        if not self._times:
+            raise VersionError("timeline is empty")
+        return self._times.pop(), self._values.pop()
+
+    def at(self, time: Time = CURRENT) -> T:
+        """The value in effect at ``time`` (0 = now)."""
+        if not self._times:
+            raise VersionError("timeline is empty")
+        if time == CURRENT:
+            return self._values[-1]
+        position = bisect.bisect_right(self._times, time)
+        if position == 0:
+            raise VersionError(
+                f"timeline has no entry at or before time {time}")
+        return self._values[position - 1]
+
+    def time_at(self, time: Time = CURRENT) -> Time:
+        """The entry time in effect at ``time`` (0 = now)."""
+        if not self._times:
+            raise VersionError("timeline is empty")
+        if time == CURRENT:
+            return self._times[-1]
+        position = bisect.bisect_right(self._times, time)
+        if position == 0:
+            raise VersionError(
+                f"timeline has no entry at or before time {time}")
+        return self._times[position - 1]
+
+    @property
+    def latest_time(self) -> Time:
+        """Time of the newest entry."""
+        if not self._times:
+            raise VersionError("timeline is empty")
+        return self._times[-1]
+
+    def times(self) -> list[Time]:
+        """All entry times, oldest first."""
+        return list(self._times)

@@ -1,0 +1,169 @@
+"""The HAM's atomic and compound domains, from the Appendix.
+
+The Appendix lists the atomic domains used by every HAM operation; this
+module is their Python rendering:
+
+===============  ====================================================
+Appendix domain  Here
+===============  ====================================================
+Attribute        ``str`` (an attribute name)
+AttributeIndex   :data:`AttributeIndex` — int, unique per graph
+Boolean          ``bool``
+Contents         ``bytes`` — uninterpreted binary data
+Context          :data:`ContextId` — identifies a version thread
+Demon            a registered demon name (see ``core.demons``)
+Difference       :class:`repro.storage.diff.Difference`
+Directory        ``str`` path
+Event            :class:`repro.core.demons.EventKind`
+Explanation      ``str``
+LinkIndex        :data:`LinkIndex` — int, unique per graph
+Machine          host name (see ``repro.server``)
+NodeIndex        :data:`NodeIndex` — int, unique per graph
+Position         ``int`` ordinal offset into node contents
+Predicate        parsed by :mod:`repro.query.parser`
+ProjectId        :data:`ProjectId` — random 64-bit token from createGraph
+Protections      :class:`Protections`
+Time             :data:`Time` — non-negative int; 0 means "current"
+Value            ``str`` attribute value
+===============  ====================================================
+
+Compound domains: ``LinkPt = NodeIndex × Position × Time × Boolean`` and
+``Version = Time × Explanation``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "NodeIndex",
+    "LinkIndex",
+    "AttributeIndex",
+    "ContextId",
+    "ProjectId",
+    "Time",
+    "CURRENT",
+    "Position",
+    "LinkPt",
+    "Version",
+    "Protections",
+    "NodeKind",
+]
+
+NodeIndex = int
+LinkIndex = int
+AttributeIndex = int
+ProjectId = int
+Time = int
+Position = int
+
+#: The base version thread every graph starts with.
+ContextId = int
+
+#: ``Time`` value meaning "the current version" throughout the Appendix.
+CURRENT: Time = 0
+
+#: The context id of the main (trunk) version thread.
+BASE_CONTEXT: ContextId = 0
+
+
+class NodeKind(enum.Enum):
+    """Appendix §A.2: a node is an *archive* or a *file*.
+
+    Archives keep complete version histories; files keep only the current
+    version.  The choice is made at ``addNode`` time via its Boolean
+    operand.
+    """
+
+    ARCHIVE = "archive"
+    FILE = "file"
+
+
+class Protections(enum.Flag):
+    """File-protection modes for node contents (``changeNodeProtection``).
+
+    Modelled on Unix permission bits for the owner class, which is what a
+    single-database HAM needs: may the node be read, written, or both.
+    """
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+    @property
+    def readable(self) -> bool:
+        """True when reads of the node contents are permitted."""
+        return bool(self & Protections.READ)
+
+    @property
+    def writable(self) -> bool:
+        """True when updates to the node contents are permitted."""
+        return bool(self & Protections.WRITE)
+
+
+@dataclass(frozen=True)
+class LinkPt:
+    """A link endpoint: ``NodeIndex × Position × Time × Boolean``.
+
+    ``position`` is an offset into the node's contents (a character
+    position for text, application-interpreted otherwise).  ``time`` pins
+    the endpoint to a specific node version; ``time == 0`` (with
+    ``track_current=True``) makes the endpoint follow the current version,
+    the paper's "automatic update mechanism".
+    """
+
+    node: NodeIndex
+    position: Position = 0
+    time: Time = CURRENT
+    track_current: bool = True
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError("link position must be non-negative")
+        if self.time < 0:
+            raise ValueError("link time must be non-negative")
+        if self.time == CURRENT and not self.track_current:
+            raise ValueError(
+                "an endpoint with time 0 necessarily tracks the current "
+                "version")
+
+    @property
+    def pinned(self) -> bool:
+        """True when the endpoint refers to one specific version."""
+        return not self.track_current
+
+    def to_record(self) -> list:
+        """Encodable form for storage and the wire protocol."""
+        return [self.node, self.position, self.time, self.track_current]
+
+    @classmethod
+    def from_record(cls, record: list) -> "LinkPt":
+        """Inverse of :meth:`to_record`."""
+        node, position, time, track_current = record
+        return cls(node=node, position=position, time=time,
+                   track_current=track_current)
+
+
+@dataclass(frozen=True)
+class Version:
+    """``Version = Time × Explanation``: one entry in a version history.
+
+    Major versions record content updates; minor versions record related
+    updates that leave contents unchanged (attribute edits, link
+    attachments) — see ``getNodeVersions``.
+    """
+
+    time: Time
+    explanation: str = ""
+
+    def to_record(self) -> list:
+        """Encodable form for storage and the wire protocol."""
+        return [self.time, self.explanation]
+
+    @classmethod
+    def from_record(cls, record: list) -> "Version":
+        """Inverse of :meth:`to_record`."""
+        time, explanation = record
+        return cls(time=time, explanation=explanation)

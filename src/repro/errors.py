@@ -1,0 +1,115 @@
+"""Exception hierarchy for the Neptune reproduction.
+
+Every error raised by the public API derives from :class:`NeptuneError`, so
+applications can catch one base class.  The Appendix of the paper models
+failure as a boolean ``result_0``; we raise typed exceptions instead, which
+is the idiomatic Python rendering of the same contract.
+"""
+
+from __future__ import annotations
+
+
+class NeptuneError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(NeptuneError):
+    """A graph-level operation failed (bad project id, missing graph...)."""
+
+
+class GraphExistsError(GraphError):
+    """Attempt to create a graph in a directory that already holds one."""
+
+
+class GraphNotFoundError(GraphError):
+    """The requested graph does not exist or the ProjectId does not match."""
+
+
+class NodeNotFoundError(NeptuneError):
+    """The requested node does not exist (or not at the requested time)."""
+
+
+class LinkNotFoundError(NeptuneError):
+    """The requested link does not exist (or not at the requested time)."""
+
+
+class AttributeNotFoundError(NeptuneError):
+    """The requested attribute is not defined on the target at that time."""
+
+
+class VersionError(NeptuneError):
+    """A version-related precondition failed.
+
+    Raised e.g. when ``modifyNode`` is given a stale timestamp (the paper:
+    "Time must be equal to the version time of the current version"), or
+    when a version lookup names a time before the object existed.
+    """
+
+
+class StaleVersionError(VersionError):
+    """Optimistic check-in failed: the node changed since it was opened."""
+
+
+class ProtectionError(NeptuneError):
+    """The operation is forbidden by the node's protection mode."""
+
+
+class TransactionError(NeptuneError):
+    """Transaction machinery failure (not active, already finished...)."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class RecoveryError(NeptuneError):
+    """The write-ahead log is unreadable or inconsistent during recovery."""
+
+
+class StorageError(NeptuneError):
+    """Low-level storage failure (corrupt page, bad checksum, short read)."""
+
+
+class ChecksumError(StorageError):
+    """A stored record failed its checksum validation."""
+
+
+class PredicateSyntaxError(NeptuneError):
+    """The predicate text could not be parsed."""
+
+
+class PredicateEvalError(NeptuneError):
+    """The predicate could not be evaluated against an attribute set."""
+
+
+class ContextError(NeptuneError):
+    """Context (version-thread) operation failed."""
+
+
+class MergeConflictError(ContextError):
+    """A context merge found conflicting edits that need manual resolution."""
+
+
+class DemonError(NeptuneError):
+    """A demon could not be registered, resolved, or executed."""
+
+
+class ProtocolError(NeptuneError):
+    """Client/server wire-protocol violation."""
+
+
+class RemoteError(NeptuneError):
+    """The server reported an error executing a remote operation.
+
+    Carries the remote exception's class name so clients can re-raise a
+    matching local type when one exists.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

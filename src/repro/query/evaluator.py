@@ -1,0 +1,82 @@
+"""Predicate evaluation against an attribute set.
+
+An attribute set is a plain ``dict[str, str]`` — the (name → value) pairs
+attached to one node or link as of some time.  Comparison semantics:
+
+- equality/inequality compare values as strings;
+- ordering comparisons compare numerically when *both* sides parse as
+  numbers, falling back to lexicographic string order otherwise (so
+  ``revision > 9`` does the right thing for numeric revisions while
+  ``author > m`` still means something for strings);
+- comparisons on an *absent* attribute are false (and their negation via
+  ``!=`` is also false — absence is not inequality; use ``not exists``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PredicateEvalError
+from repro.query.predicate import (
+    And,
+    CompareOp,
+    Comparison,
+    Exists,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["evaluate"]
+
+
+def _as_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _compare(op: CompareOp, left: str, right: str) -> bool:
+    if op is CompareOp.EQ:
+        return left == right
+    if op is CompareOp.NE:
+        return left != right
+    left_num = _as_number(left)
+    right_num = _as_number(right)
+    if left_num is not None and right_num is not None:
+        pair = (left_num, right_num)
+    else:
+        pair = (left, right)
+    if op is CompareOp.LT:
+        return pair[0] < pair[1]
+    if op is CompareOp.LE:
+        return pair[0] <= pair[1]
+    if op is CompareOp.GT:
+        return pair[0] > pair[1]
+    if op is CompareOp.GE:
+        return pair[0] >= pair[1]
+    raise PredicateEvalError(f"unknown operator {op}")  # pragma: no cover
+
+
+def evaluate(predicate: Predicate, attributes: dict[str, str]) -> bool:
+    """True when ``attributes`` satisfies ``predicate``."""
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, FalsePredicate):
+        return False
+    if isinstance(predicate, Comparison):
+        value = attributes.get(predicate.attribute)
+        if value is None:
+            return False
+        return _compare(predicate.op, value, predicate.value)
+    if isinstance(predicate, Exists):
+        return predicate.attribute in attributes
+    if isinstance(predicate, And):
+        return all(evaluate(op, attributes) for op in predicate.operands)
+    if isinstance(predicate, Or):
+        return any(evaluate(op, attributes) for op in predicate.operands)
+    if isinstance(predicate, Not):
+        return not evaluate(predicate.operand, attributes)
+    raise PredicateEvalError(
+        f"cannot evaluate predicate node {type(predicate).__name__}")

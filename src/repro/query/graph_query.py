@@ -1,0 +1,109 @@
+"""``getGraphQuery``: the associative query mechanism.
+
+Appendix: "Returns a sub-graph of the graph given by Context at Time,
+composed by all nodes and links such that each of the nodes in NodeIndex*
+satisfies Predicate₁, each link … satisfies Predicate₂ and each link in
+LinkIndex* connects two nodes in NodeIndex*."
+
+Unlike the traversal, this "directly accesses a set of nodes" (§3) — a
+scan over all live entities, optionally accelerated by the inverted
+attribute index (see :mod:`repro.query.index`) when the node predicate
+has an equality-on-attribute conjunct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import GraphStore
+from repro.core.types import AttributeIndex, LinkIndex, NodeIndex, Time
+from repro.query.evaluator import evaluate
+from repro.query.index import AttributeValueIndex
+from repro.query.predicate import And, CompareOp, Comparison, Predicate
+from repro.query.traversal import attribute_values, named_attributes
+
+__all__ = ["get_graph_query", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The Appendix's ``(NodeIndex × Value^m)* × (LinkIndex × Value^n)*``."""
+
+    nodes: tuple[tuple[NodeIndex, tuple], ...]
+    links: tuple[tuple[LinkIndex, tuple], ...]
+
+    @property
+    def node_indexes(self) -> list[NodeIndex]:
+        """Just the node indexes, in index order."""
+        return [index for index, __ in self.nodes]
+
+    @property
+    def link_indexes(self) -> list[LinkIndex]:
+        """Just the link indexes, in index order."""
+        return [index for index, __ in self.links]
+
+
+def _equality_conjuncts(predicate: Predicate) -> list[Comparison]:
+    """Equality comparisons that every match must satisfy (index keys)."""
+    if isinstance(predicate, Comparison) and predicate.op is CompareOp.EQ:
+        return [predicate]
+    if isinstance(predicate, And):
+        found = []
+        for operand in predicate.operands:
+            found.extend(_equality_conjuncts(operand))
+        return found
+    return []
+
+
+def get_graph_query(
+    store: GraphStore,
+    time: Time,
+    node_predicate: Predicate,
+    link_predicate: Predicate,
+    node_attributes: list[AttributeIndex] | None = None,
+    link_attributes: list[AttributeIndex] | None = None,
+    index: AttributeValueIndex | None = None,
+) -> QueryResult:
+    """All nodes matching ``node_predicate`` plus their interconnections.
+
+    When ``index`` is supplied (current-time queries only) and the node
+    predicate carries an equality conjunct, candidate nodes come from the
+    inverted index instead of a full scan — the B3 ablation.
+    """
+    node_attributes = node_attributes or []
+    link_attributes = link_attributes or []
+
+    candidates = None
+    if index is not None and time == 0:
+        for conjunct in _equality_conjuncts(node_predicate):
+            hits = index.lookup(conjunct.attribute, conjunct.value)
+            candidates = hits if candidates is None else candidates & hits
+            if not candidates:
+                break
+    if candidates is None:
+        node_records = store.live_nodes(time)
+    else:
+        node_records = [
+            store.nodes[node_index]
+            for node_index in sorted(candidates)
+            if node_index in store.nodes
+            and store.nodes[node_index].alive_at(time)
+        ]
+
+    matched: dict[NodeIndex, tuple] = {}
+    for node in node_records:
+        if evaluate(node_predicate, named_attributes(node, store, time)):
+            matched[node.index] = tuple(
+                attribute_values(node, node_attributes, time))
+
+    links_out: list[tuple[LinkIndex, tuple]] = []
+    for link in store.live_links(time):
+        if link.from_node not in matched or link.to_node not in matched:
+            continue
+        if not evaluate(link_predicate, named_attributes(link, store, time)):
+            continue
+        links_out.append(
+            (link.index, tuple(attribute_values(link, link_attributes, time))))
+
+    nodes_out = tuple(sorted(matched.items()))
+    return QueryResult(nodes_out, tuple(links_out))

@@ -1,0 +1,68 @@
+"""Inverted attribute-value index for query acceleration.
+
+The HAM keeps "as little semantics as possible" (§3) but must "still
+maintain performance"; attribute-equality predicates are the workhorse of
+every application convention in §4.2 (``contentType = …``,
+``relation = isPartOf`` …).  This index maps ``(attribute name, value)``
+to the set of node indexes currently carrying that pair, turning the
+``getGraphQuery`` full scan into a set intersection for equality
+conjuncts.
+
+The index reflects *current* attribute state only — as-of-time queries
+fall back to the scan (indexing every historical state would cost more
+than it saves for the paper's workloads).  Benchmark B3 measures exactly
+this scan-versus-index trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import NodeIndex
+
+__all__ = ["AttributeValueIndex"]
+
+
+class AttributeValueIndex:
+    """Maintained eagerly by the HAM on every node-attribute mutation."""
+
+    def __init__(self) -> None:
+        self._postings: dict[tuple[str, str], set[NodeIndex]] = {}
+        #: node → {attribute name: value} mirror, to undo stale postings.
+        self._current: dict[NodeIndex, dict[str, str]] = {}
+
+    def set_value(self, node: NodeIndex, attribute: str, value: str) -> None:
+        """Record that ``node`` now carries ``attribute = value``."""
+        existing = self._current.setdefault(node, {})
+        old = existing.get(attribute)
+        if old is not None:
+            self._remove_posting(node, attribute, old)
+        existing[attribute] = value
+        self._postings.setdefault((attribute, value), set()).add(node)
+
+    def delete_value(self, node: NodeIndex, attribute: str) -> None:
+        """Record that ``attribute`` was detached from ``node``."""
+        existing = self._current.get(node, {})
+        old = existing.pop(attribute, None)
+        if old is not None:
+            self._remove_posting(node, attribute, old)
+
+    def drop_node(self, node: NodeIndex) -> None:
+        """Remove every posting for a deleted node."""
+        for attribute, value in self._current.pop(node, {}).items():
+            self._remove_posting(node, attribute, value)
+
+    def lookup(self, attribute: str, value: str) -> set[NodeIndex]:
+        """Nodes currently carrying ``attribute = value`` (a copy)."""
+        return set(self._postings.get((attribute, value), ()))
+
+    def _remove_posting(self, node: NodeIndex, attribute: str,
+                        value: str) -> None:
+        postings = self._postings.get((attribute, value))
+        if postings is not None:
+            postings.discard(node)
+            if not postings:
+                del self._postings[(attribute, value)]
+
+    @property
+    def posting_count(self) -> int:
+        """Number of (attribute, value) keys currently indexed."""
+        return len(self._postings)

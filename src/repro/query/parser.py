@@ -1,0 +1,188 @@
+"""Recursive-descent parser for the predicate language.
+
+Grammar (lowest to highest precedence)::
+
+    predicate   := disjunction
+    disjunction := conjunction ( "or" conjunction )*
+    conjunction := unary ( "and" unary )*
+    unary       := "not" unary | primary
+    primary     := "(" predicate ")"
+                 | "true" | "false"
+                 | "exists" NAME
+                 | NAME OP value
+    value       := NAME | NUMBER | QUOTED_STRING
+    OP          := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+Examples from the paper: ``document = requirements``;
+richer forms: ``contentType = "Modula-2 source" and not codeType = procedure``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PredicateSyntaxError
+from repro.query.predicate import (
+    And,
+    CompareOp,
+    Comparison,
+    Exists,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["parse_predicate"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<op>!=|<=|>=|=|<|>)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<word>[A-Za-z0-9_.\-/]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "exists"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PredicateSyntaxError(
+                f"unexpected character at {position}: {remainder[:10]!r}")
+        position = match.end()
+        for kind in ("op", "lparen", "rparen", "string", "word"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "word" and value.lower() in _KEYWORDS:
+                    tokens.append(("keyword", value.lower()))
+                else:
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._position = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise PredicateSyntaxError(
+                f"unexpected end of predicate: {self._source!r}")
+        self._position += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> bool:
+        token = self._peek()
+        if token is None or token[0] != kind:
+            return False
+        if value is not None and token[1] != value:
+            return False
+        self._position += 1
+        return True
+
+    def parse(self) -> Predicate:
+        predicate = self._disjunction()
+        if self._peek() is not None:
+            kind, value = self._peek()
+            raise PredicateSyntaxError(
+                f"trailing input after predicate: {value!r}")
+        return predicate
+
+    def _disjunction(self) -> Predicate:
+        operands = [self._conjunction()]
+        while self._accept("keyword", "or"):
+            operands.append(self._conjunction())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def _conjunction(self) -> Predicate:
+        operands = [self._unary()]
+        while self._accept("keyword", "and"):
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def _unary(self) -> Predicate:
+        if self._accept("keyword", "not"):
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        if self._accept("lparen"):
+            inner = self._disjunction()
+            if not self._accept("rparen"):
+                raise PredicateSyntaxError(
+                    f"missing closing parenthesis in {self._source!r}")
+            return inner
+        if self._accept("keyword", "true"):
+            return TruePredicate()
+        if self._accept("keyword", "false"):
+            return FalsePredicate()
+        if self._accept("keyword", "exists"):
+            kind, name = self._advance()
+            if kind != "word":
+                raise PredicateSyntaxError(
+                    f"'exists' must be followed by an attribute name, "
+                    f"got {name!r}")
+            return Exists(name)
+        kind, name = self._advance()
+        if kind != "word":
+            raise PredicateSyntaxError(
+                f"expected an attribute name, got {name!r}")
+        kind, op_text = self._advance()
+        if kind != "op":
+            raise PredicateSyntaxError(
+                f"expected a comparison operator after {name!r}, "
+                f"got {op_text!r}")
+        kind, raw_value = self._advance()
+        if kind == "string":
+            value = _unquote(raw_value)
+        elif kind == "word":
+            value = raw_value
+        else:
+            raise PredicateSyntaxError(
+                f"expected a value after operator, got {raw_value!r}")
+        return Comparison(name, CompareOp(op_text), value)
+
+
+def _unquote(raw: str) -> str:
+    body = raw[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_predicate(text: str | Predicate | None) -> Predicate:
+    """Parse predicate text into an AST.
+
+    Conveniences: ``None`` and empty/whitespace text parse to
+    :class:`TruePredicate` (match everything), and an already-built
+    :class:`Predicate` passes through — so every HAM query operand can
+    accept text, AST, or nothing.
+    """
+    if text is None:
+        return TruePredicate()
+    if isinstance(text, Predicate):
+        return text
+    if not text.strip():
+        return TruePredicate()
+    return _Parser(_tokenize(text), text).parse()

@@ -1,0 +1,164 @@
+"""Predicate AST: boolean formulas over attribute/value pairs.
+
+Appendix: "Predicate: a Boolean formula in terms of attributes and their
+values."  The grammar (see :mod:`repro.query.parser`) supports equality
+and ordering comparisons, existence tests, and ``and``/``or``/``not``
+combinators, which covers the paper's examples
+(``document = requirements``) and the CASE conventions of §4.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CompareOp",
+    "Predicate",
+    "Comparison",
+    "Exists",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+]
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators usable in predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+class Predicate:
+    """Base class for predicate AST nodes."""
+
+    def to_record(self) -> list:
+        """Encodable form (wire protocol / storage)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_record(record: list) -> "Predicate":
+        """Rebuild a predicate from :meth:`to_record` output."""
+        tag = record[0]
+        if tag == "cmp":
+            return Comparison(record[1], CompareOp(record[2]), record[3])
+        if tag == "exists":
+            return Exists(record[1])
+        if tag == "and":
+            return And(*[Predicate.from_record(r) for r in record[1]])
+        if tag == "or":
+            return Or(*[Predicate.from_record(r) for r in record[1]])
+        if tag == "not":
+            return Not(Predicate.from_record(record[1]))
+        if tag == "true":
+            return TruePredicate()
+        if tag == "false":
+            return FalsePredicate()
+        raise ValueError(f"unknown predicate record tag {tag!r}")
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attribute <op> value`` — e.g. ``document = requirements``."""
+
+    attribute: str
+    op: CompareOp
+    value: str
+
+    def to_record(self) -> list:
+        return ["cmp", self.attribute, self.op.value, self.value]
+
+    def __str__(self) -> str:
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'{self.attribute} {self.op.value} "{escaped}"'
+
+
+@dataclass(frozen=True)
+class Exists(Predicate):
+    """``exists attribute`` — true when the attribute is attached."""
+
+    attribute: str
+
+    def to_record(self) -> list:
+        return ["exists", self.attribute]
+
+    def __str__(self) -> str:
+        return f"exists {self.attribute}"
+
+
+class _Compound(Predicate):
+    """Shared machinery for And/Or."""
+
+    _tag = ""
+
+    def __init__(self, *operands: Predicate):
+        if not operands:
+            raise ValueError(f"{type(self).__name__} needs operands")
+        self.operands = tuple(operands)
+
+    def to_record(self) -> list:
+        return [self._tag, [operand.to_record() for operand in self.operands]]
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __str__(self) -> str:
+        joiner = f" {self._tag} "
+        return "(" + joiner.join(str(op) for op in self.operands) + ")"
+
+
+class And(_Compound):
+    """Conjunction of predicates."""
+
+    _tag = "and"
+
+
+class Or(_Compound):
+    """Disjunction of predicates."""
+
+    _tag = "or"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def to_record(self) -> list:
+        return ["not", self.operand.to_record()]
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches everything (the default when no predicate is given)."""
+
+    def to_record(self) -> list:
+        return ["true"]
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """Matches nothing."""
+
+    def to_record(self) -> list:
+        return ["false"]
+
+    def __str__(self) -> str:
+        return "false"

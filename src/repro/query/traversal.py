@@ -1,0 +1,132 @@
+"""``linearizeGraph``: predicate-filtered depth-first traversal.
+
+Appendix: "Returns a sub-graph of the graph given by Context at Time,
+composed by a depth first search via links starting at node NodeIndex.
+Each of the nodes … satisfies Predicate₁, each link traversed satisfies
+Predicate₂ and each link … connects two nodes in NodeIndex*.  For each
+node also returns Value^m for the m requested attributes …"
+
+Out-links are followed "ordered by the links' offsets within the node"
+(§3) — the property that makes a hierarchy of sections linearize into
+document order, which is how the document browser and hardcopy extraction
+work (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import GraphStore
+from repro.core.link import LinkEnd
+from repro.core.types import AttributeIndex, LinkIndex, NodeIndex, Time
+from repro.errors import VersionError
+from repro.query.evaluator import evaluate
+from repro.query.predicate import Predicate
+
+__all__ = ["linearize_graph", "TraversalResult", "named_attributes"]
+
+
+def named_attributes(entity, store: GraphStore, time: Time) -> dict[str, str]:
+    """(name → value) attribute set of a node/link record as of ``time``."""
+    return {
+        store.registry.name_of(index): value
+        for index, value in entity.attributes.all_at(time).items()
+    }
+
+
+def attribute_values(entity, requested: list[AttributeIndex],
+                     time: Time) -> list[str | None]:
+    """``Value^m`` for the requested attribute indexes (None if absent)."""
+    attached = entity.attributes.all_at(time)
+    return [attached.get(index) for index in requested]
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """The Appendix's ``(NodeIndex × Value^m)* × (LinkIndex × Value^n)*``."""
+
+    nodes: tuple[tuple[NodeIndex, tuple], ...]
+    links: tuple[tuple[LinkIndex, tuple], ...]
+
+    @property
+    def node_indexes(self) -> list[NodeIndex]:
+        """Just the node indexes, in traversal order."""
+        return [index for index, __ in self.nodes]
+
+    @property
+    def link_indexes(self) -> list[LinkIndex]:
+        """Just the link indexes, in traversal order."""
+        return [index for index, __ in self.links]
+
+
+def linearize_graph(
+    store: GraphStore,
+    start: NodeIndex,
+    time: Time,
+    node_predicate: Predicate,
+    link_predicate: Predicate,
+    node_attributes: list[AttributeIndex] | None = None,
+    link_attributes: list[AttributeIndex] | None = None,
+) -> TraversalResult:
+    """Depth-first, offset-ordered, predicate-pruned traversal."""
+    node_attributes = node_attributes or []
+    link_attributes = link_attributes or []
+    start_node = store.node(start)
+    start_node.require_alive(time)
+
+    nodes_out: list[tuple[NodeIndex, tuple]] = []
+    links_out: list[tuple[LinkIndex, tuple]] = []
+    visited: set[NodeIndex] = set()
+
+    def node_admitted(index: NodeIndex) -> bool:
+        node = store.node(index)
+        if not node.alive_at(time):
+            return False
+        return evaluate(node_predicate, named_attributes(node, store, time))
+
+    def ordered_out_links(index: NodeIndex) -> list[LinkIndex]:
+        # Out-links ordered by their attachment offset within this node;
+        # ties broken by link index for determinism.
+        candidates = []
+        for link_index in store.node(index).out_links:
+            link = store.link(link_index)
+            if not link.alive_at(time):
+                continue
+            try:
+                offset = link.position_at(LinkEnd.FROM, time)
+            except VersionError:
+                continue  # endpoint had no attachment yet at `time`
+            candidates.append((offset, link_index))
+        return [link_index for __, link_index in sorted(candidates)]
+
+    def enter(index: NodeIndex) -> None:
+        visited.add(index)
+        node = store.node(index)
+        nodes_out.append(
+            (index, tuple(attribute_values(node, node_attributes, time))))
+
+    if not node_admitted(start):
+        return TraversalResult((), ())
+
+    # Iterative depth-first search (recursion would overflow on the deep
+    # hierarchies the document workloads generate).
+    enter(start)
+    stack: list = [iter(ordered_out_links(start))]
+    while stack:
+        try:
+            link_index = next(stack[-1])
+        except StopIteration:
+            stack.pop()
+            continue
+        link = store.link(link_index)
+        if not evaluate(link_predicate, named_attributes(link, store, time)):
+            continue
+        target = link.to_node
+        if target in visited or not node_admitted(target):
+            continue
+        links_out.append(
+            (link_index,
+             tuple(attribute_values(link, link_attributes, time))))
+        enter(target)
+        stack.append(iter(ordered_out_links(target)))
+    return TraversalResult(tuple(nodes_out), tuple(links_out))

@@ -1,0 +1,31 @@
+"""Relational queries over hypertext (the paper's §5 synergy).
+
+§5: "There is a possible synergy … between the use of a relational
+database in conjunction with hypertext.  Hypertext can adequately
+capture the relationship between all the major pieces of information …
+Hypertext might not be as suitable for finer grained relationships such
+as definition-use links in an incremental compiler's symbol tables …
+For example, given such fine grained information as a symbol table, one
+might want to find all references to a variable, not only in the code,
+but in all the documentation as well.  A relationally complete query
+language makes possible a wide range of interesting questions."
+
+This package implements that synergy:
+
+- :mod:`repro.relational.algebra` — a small in-memory relational engine
+  (select, project, rename, natural join, union, difference, product —
+  a relationally complete operator set).
+- :mod:`repro.relational.bridge` — materializes relations *from* a HAM
+  graph: node attributes, link structure, and the CASE layer's symbol
+  tables / call lists, plus full-text mentions.
+- :func:`repro.relational.bridge.find_all_references` — the paper's own
+  example query, as one join.
+"""
+
+from repro.relational.algebra import Relation
+from repro.relational.bridge import (
+    HypertextRelations,
+    find_all_references,
+)
+
+__all__ = ["Relation", "HypertextRelations", "find_all_references"]

@@ -1,0 +1,203 @@
+"""A small, correct, in-memory relational algebra.
+
+A :class:`Relation` is a named-column set of tuples.  The operator set —
+selection, projection, renaming, natural join, union, difference, and
+cartesian product — is relationally complete, which is exactly what §5
+asks for ("a relationally complete query language").
+
+Relations are immutable; every operator returns a new relation.  Rows
+are dictionaries column→value at the API surface and tuples internally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import NeptuneError
+
+__all__ = ["Relation", "RelationError"]
+
+
+class RelationError(NeptuneError):
+    """Schema mismatch or malformed relational operation."""
+
+
+class Relation:
+    """An immutable relation: a schema and a set of rows."""
+
+    def __init__(self, columns: Iterable[str],
+                 rows: Iterable[tuple] = ()):
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise RelationError(
+                f"duplicate column names in {self.columns}")
+        width = len(self.columns)
+        checked = set()
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise RelationError(
+                    f"row {row!r} does not match schema {self.columns}")
+            checked.add(row)
+        self.rows: frozenset[tuple] = frozenset(checked)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    @classmethod
+    def from_dicts(cls, columns: Iterable[str],
+                   dicts: Iterable[dict]) -> "Relation":
+        """Build from an iterable of {column: value} mappings."""
+        columns = tuple(columns)
+        return cls(columns,
+                   (tuple(item[column] for column in columns)
+                    for item in dicts))
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as sorted dictionaries (deterministic output)."""
+        return [dict(zip(self.columns, row)) for row in sorted(self.rows)]
+
+    # ------------------------------------------------------------------
+    # basics
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Relation)
+                and self.columns == other.columns
+                and self.rows == other.rows)
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.columns}, {len(self.rows)} rows)"
+
+    def _index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise RelationError(
+                f"no column {column!r} in {self.columns}") from None
+
+    def column_values(self, column: str) -> set:
+        """The set of values appearing in one column."""
+        position = self._index_of(column)
+        return {row[position] for row in self.rows}
+
+    # ------------------------------------------------------------------
+    # the operator set
+
+    def select(self, predicate: Callable[[dict], bool]) -> "Relation":
+        """σ: rows satisfying ``predicate`` (called with a row dict)."""
+        return Relation(
+            self.columns,
+            (row for row in self.rows
+             if predicate(dict(zip(self.columns, row)))))
+
+    def where(self, **equalities) -> "Relation":
+        """σ shorthand for conjunctive equality: ``where(node=3)``."""
+        positions = [(self._index_of(column), value)
+                     for column, value in equalities.items()]
+        return Relation(
+            self.columns,
+            (row for row in self.rows
+             if all(row[position] == value
+                    for position, value in positions)))
+
+    def project(self, *columns: str) -> "Relation":
+        """π: keep only ``columns`` (deduplicating)."""
+        positions = [self._index_of(column) for column in columns]
+        return Relation(
+            columns,
+            (tuple(row[position] for position in positions)
+             for row in self.rows))
+
+    def rename(self, **mapping: str) -> "Relation":
+        """ρ: rename columns, ``rename(old="new")``."""
+        for old in mapping:
+            self._index_of(old)
+        new_columns = tuple(mapping.get(column, column)
+                            for column in self.columns)
+        return Relation(new_columns, self.rows)
+
+    def join(self, other: "Relation") -> "Relation":
+        """⋈: natural join on the shared column names.
+
+        With no shared columns this degenerates to the cartesian
+        product, per the standard definition.
+        """
+        shared = [column for column in self.columns
+                  if column in other.columns]
+        left_positions = [self._index_of(column) for column in shared]
+        right_positions = [other._index_of(column) for column in shared]
+        right_extra = [position
+                       for position, column in enumerate(other.columns)
+                       if column not in shared]
+        result_columns = self.columns + tuple(
+            other.columns[position] for position in right_extra)
+        # Hash join on the shared-key tuple.
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[position] for position in right_positions)
+            buckets.setdefault(key, []).append(row)
+        joined = []
+        for row in self.rows:
+            key = tuple(row[position] for position in left_positions)
+            for match in buckets.get(key, ()):
+                joined.append(row + tuple(match[position]
+                                          for position in right_extra))
+        return Relation(result_columns, joined)
+
+    def product(self, other: "Relation") -> "Relation":
+        """×: cartesian product (schemas must be disjoint)."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise RelationError(
+                f"product requires disjoint schemas; shared: {overlap}")
+        return self.join(other)
+
+    def union(self, other: "Relation") -> "Relation":
+        """∪: set union (schemas must match)."""
+        self._require_same_schema(other)
+        return Relation(self.columns, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """−: rows of self not in other (schemas must match)."""
+        self._require_same_schema(other)
+        return Relation(self.columns, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """∩ (derivable from −, provided for convenience)."""
+        self._require_same_schema(other)
+        return Relation(self.columns, self.rows & other.rows)
+
+    def _require_same_schema(self, other: "Relation") -> None:
+        if self.columns != other.columns:
+            raise RelationError(
+                f"schema mismatch: {self.columns} vs {other.columns}")
+
+    # ------------------------------------------------------------------
+    # display
+
+    def render(self) -> str:
+        """A fixed-width text table (deterministic row order)."""
+        rows = sorted(self.rows)
+        widths = [
+            max(len(str(column)),
+                *(len(str(row[position])) for row in rows))
+            if rows else len(str(column))
+            for position, column in enumerate(self.columns)
+        ]
+        def fmt(values):
+            return "  ".join(
+                str(value).ljust(width)
+                for value, width in zip(values, widths))
+        lines = [fmt(self.columns),
+                 "  ".join("-" * width for width in widths)]
+        lines.extend(fmt(row) for row in rows)
+        return "\n".join(lines)

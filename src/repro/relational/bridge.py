@@ -1,0 +1,135 @@
+"""Materializing relations from a HAM graph (the §5 bridge).
+
+:class:`HypertextRelations` turns hypertext state into relations:
+
+- ``node_attributes()`` — ``(node, attribute, value)``, one row per
+  attached pair;
+- ``links()`` — ``(link, from_node, to_node, relation)``;
+- ``definitions()`` / ``references()`` — the "fine grained" symbol-table
+  information the incremental compiler produces (§5: "definition-use
+  links in an incremental compiler's symbol tables");
+- ``text_mentions(term)`` — ``(node,)`` for every node whose contents
+  mention a term, which is how documentation joins in.
+
+:func:`find_all_references` is the paper's own example — "find all
+references to a variable, not only in the code, but in all the
+documentation as well" — expressed as unions and joins.
+"""
+
+from __future__ import annotations
+
+from repro.apps.compiler import compile_source
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, Time
+from repro.relational.algebra import Relation
+
+__all__ = ["HypertextRelations", "find_all_references"]
+
+
+class HypertextRelations:
+    """Extracts relational views of a hypergraph as of any time."""
+
+    def __init__(self, ham: HAM, time: Time = CURRENT):
+        self.ham = ham
+        self.time = time
+
+    # ------------------------------------------------------------------
+    # structural relations
+
+    def nodes(self) -> Relation:
+        """``(node,)`` — every node alive at the view time."""
+        return Relation(
+            ("node",),
+            ((record.index,)
+             for record in self.ham.store.live_nodes(self.time)))
+
+    def node_attributes(self) -> Relation:
+        """``(node, attribute, value)`` for every attached pair."""
+        rows = []
+        for record in self.ham.store.live_nodes(self.time):
+            for name, __, value in self.ham.get_node_attributes(
+                    record.index, self.time):
+                rows.append((record.index, name, value))
+        return Relation(("node", "attribute", "value"), rows)
+
+    def links(self) -> Relation:
+        """``(link, from_node, to_node, relation)`` (relation may be '')."""
+        relation_attr = self.ham.store.registry.lookup("relation")
+        rows = []
+        for record in self.ham.store.live_links(self.time):
+            relation = ""
+            if relation_attr is not None:
+                relation = record.attributes.value_at(
+                    relation_attr, self.time, default="")
+            rows.append((record.index, record.from_node, record.to_node,
+                         relation))
+        return Relation(("link", "from_node", "to_node", "relation"), rows)
+
+    # ------------------------------------------------------------------
+    # fine-grained code relations (§5's symbol-table information)
+
+    def _source_rows(self) -> list[tuple[int, bytes]]:
+        content_attr = self.ham.store.registry.lookup("contentType")
+        if content_attr is None:
+            return []
+        rows = []
+        for record in self.ham.store.live_nodes(self.time):
+            kind = record.attributes.value_at(
+                content_attr, self.time, default="")
+            if kind == "Modula-2 source code":
+                rows.append((record.index, record.contents_at(self.time)))
+        return rows
+
+    def definitions(self) -> Relation:
+        """``(node, symbol)`` — symbols each source node defines."""
+        rows = []
+        for node, source in self._source_rows():
+            for symbol in compile_source(source).symbols:
+                rows.append((node, symbol))
+        return Relation(("node", "symbol"), rows)
+
+    def references(self) -> Relation:
+        """``(node, symbol)`` — symbols each source node calls/uses."""
+        rows = []
+        for node, source in self._source_rows():
+            for symbol in compile_source(source).calls:
+                rows.append((node, symbol))
+        return Relation(("node", "symbol"), rows)
+
+    # ------------------------------------------------------------------
+    # documentation relation
+
+    def text_mentions(self, term: str) -> Relation:
+        """``(node,)`` — text nodes whose contents mention ``term``."""
+        content_attr = self.ham.store.registry.lookup("contentType")
+        needle = term.encode()
+        rows = []
+        for record in self.ham.store.live_nodes(self.time):
+            kind = ""
+            if content_attr is not None:
+                kind = record.attributes.value_at(
+                    content_attr, self.time, default="")
+            if kind == "text" and needle in record.contents_at(self.time):
+                rows.append((record.index,))
+        return Relation(("node",), rows)
+
+
+def find_all_references(ham: HAM, symbol: str,
+                        time: Time = CURRENT) -> Relation:
+    """§5's example query: every node referring to ``symbol`` —
+    "not only in the code, but in all the documentation as well".
+
+    Returns ``(node, kind)`` where kind ∈ {code, documentation}.
+    """
+    views = HypertextRelations(ham, time)
+    code = (views.references()
+            .where(symbol=symbol)
+            .project("node"))
+    docs = views.text_mentions(symbol)
+    tagged_code = Relation(
+        ("node", "kind"),
+        ((node, "code") for (node,) in code.rows))
+    tagged_docs = Relation(
+        ("node", "kind"),
+        ((node, "documentation") for (node,) in docs.rows))
+    return tagged_code.union(tagged_docs)

@@ -1,0 +1,36 @@
+"""The central HAM server and its remote client.
+
+The paper (§2.2): "Neptune has a central server which is accessible over
+a local area network from a variety of workstations"; the user interface
+"communicates with the HAM using a remote procedure call mechanism; the
+HAM runs as a separate process, typically on a machine accessed over a
+network" (§4.1).
+
+- :mod:`repro.server.protocol` — length-prefixed binary framing over TCP,
+  request/response message shapes, value (de)marshalling.
+- :mod:`repro.server.server` — :class:`HAMServer`: thread-per-session TCP
+  server wrapping one HAM; sessions that disconnect mid-transaction have
+  their transactions aborted (the paper's "site crashes in the middle of
+  a hypertext transaction" case).
+- :mod:`repro.server.client` — :class:`RemoteHAM`: the same API as
+  :class:`repro.core.ham.HAM`, executed remotely.
+"""
+
+from repro.server.protocol import (
+    read_message,
+    write_message,
+    MAX_MESSAGE_BYTES,
+)
+from repro.server.server import HAMServer
+from repro.server.client import RemoteHAM, RemoteTransaction
+from repro.server.host import GraphHost
+
+__all__ = [
+    "GraphHost",
+    "read_message",
+    "write_message",
+    "MAX_MESSAGE_BYTES",
+    "HAMServer",
+    "RemoteHAM",
+    "RemoteTransaction",
+]

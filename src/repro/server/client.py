@@ -1,0 +1,411 @@
+"""RemoteHAM: the HAM API executed on a central server.
+
+A :class:`RemoteHAM` mirrors every operation of
+:class:`repro.core.ham.HAM`, marshalling arguments over the wire protocol
+and re-raising server-side errors as matching local exception types when
+one exists (otherwise :class:`repro.errors.RemoteError`).
+
+Transactions are mirrored by :class:`RemoteTransaction`: ``begin`` opens
+one on the server, ``commit``/``abort`` finish it, and the server aborts
+anything left open if the connection dies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+from repro import errors
+from repro.core.demons import EventKind
+from repro.core.types import (
+    CURRENT,
+    AttributeIndex,
+    LinkIndex,
+    LinkPt,
+    NodeIndex,
+    Protections,
+    Time,
+    Version,
+)
+from repro.errors import ProtocolError, RemoteError
+from repro.query.graph_query import QueryResult
+from repro.query.traversal import TraversalResult
+from repro.server.protocol import read_message, write_message
+from repro.storage.deltas import decode_script
+
+__all__ = ["RemoteHAM", "RemoteTransaction"]
+
+
+def _raise_remote(error: dict) -> None:
+    remote_type = error.get("type", "NeptuneError")
+    message = error.get("message", "")
+    local_type = getattr(errors, remote_type, None)
+    if (isinstance(local_type, type)
+            and issubclass(local_type, Exception)
+            and local_type is not RemoteError):
+        raise local_type(message)
+    raise RemoteError(remote_type, message)
+
+
+class RemoteTransaction:
+    """Client-side handle on a transaction open at the server."""
+
+    def __init__(self, client: "RemoteHAM", txn_id: int):
+        self.txn_id = txn_id
+        self._client = client
+        self.finished = False
+
+    def commit(self) -> None:
+        """Commit on the server (durable when the call returns)."""
+        self._client._call("commit", txn=self.txn_id)
+        self.finished = True
+
+    def abort(self) -> None:
+        """Abort on the server."""
+        self._client._call("abort", txn=self.txn_id)
+        self.finished = True
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.finished:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+def _txn_id(txn: RemoteTransaction | None) -> int | None:
+    return txn.txn_id if txn is not None else None
+
+
+class RemoteHAM:
+    """Connects to a :class:`repro.server.server.HAMServer`.
+
+    Thread-safe for sequential calls (one in flight at a time per client;
+    open one client per worker thread for parallel load, as the
+    benchmark harness does).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the connection (server aborts any open transactions)."""
+        with self._lock:
+            if not self._closed:
+                try:
+                    self._sock.close()
+                finally:
+                    self._closed = True
+
+    def __enter__(self) -> "RemoteHAM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, **params):
+        with self._lock:
+            request_id = next(self._ids)
+            write_message(self._sock, {
+                "id": request_id, "method": method, "params": params})
+            response = read_message(self._sock)
+        if not isinstance(response, dict):
+            raise ProtocolError("malformed response from server")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')} does not match request "
+                f"{request_id}")
+        if response.get("ok"):
+            return response.get("result")
+        _raise_remote(response.get("error") or {})
+
+    # ------------------------------------------------------------------
+    # sessions / transactions
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self._call("ping") == "pong"
+
+    # ------------------------------------------------------------------
+    # multi-graph host methods (servers started with a GraphHost)
+
+    def host_create_graph(self, name: str) -> tuple[int, Time]:
+        """Create a graph on the host; returns (ProjectId, Time)."""
+        project_id, time = self._call("host_create_graph", name=name)
+        return project_id, time
+
+    def host_open_graph(self, project_id: int, name: str) -> int:
+        """Bind this session to a hosted graph (aborts any open txns)."""
+        return self._call("host_open_graph", project_id=project_id,
+                          name=name)
+
+    def host_list_graphs(self) -> list[str]:
+        """Names of the graphs the host serves."""
+        return self._call("host_list_graphs")
+
+    def host_destroy_graph(self, project_id: int, name: str) -> None:
+        """Destroy a hosted graph."""
+        self._call("host_destroy_graph", project_id=project_id, name=name)
+
+    def begin(self, read_only: bool = False) -> RemoteTransaction:
+        """Open a transaction on the server."""
+        return RemoteTransaction(
+            self, self._call("begin", read_only=read_only))
+
+    transaction = begin
+
+    @property
+    def project_id(self) -> int:
+        """The served graph's ProjectId."""
+        return self._call("project_id")
+
+    @property
+    def now(self) -> Time:
+        """The served graph's current logical time."""
+        return self._call("now")
+
+    def checkpoint(self) -> None:
+        """Ask the server to snapshot and truncate its log."""
+        self._call("checkpoint")
+
+    # ------------------------------------------------------------------
+    # node / link lifecycle
+
+    def add_node(self, txn: RemoteTransaction | None = None,
+                 keep_history: bool = True) -> tuple[NodeIndex, Time]:
+        """``addNode`` on the server."""
+        index, time = self._call("add_node", txn=_txn_id(txn),
+                                 keep_history=keep_history)
+        return index, time
+
+    def delete_node(self, txn: RemoteTransaction | None = None, *,
+                    node: NodeIndex) -> None:
+        """``deleteNode`` on the server."""
+        self._call("delete_node", txn=_txn_id(txn), node=node)
+
+    def add_link(self, txn: RemoteTransaction | None = None, *,
+                 from_pt: LinkPt, to_pt: LinkPt) -> tuple[LinkIndex, Time]:
+        """``addLink`` on the server."""
+        index, time = self._call(
+            "add_link", txn=_txn_id(txn),
+            from_pt=from_pt.to_record(), to_pt=to_pt.to_record())
+        return index, time
+
+    def copy_link(self, txn: RemoteTransaction | None = None, *,
+                  link: LinkIndex, time: Time = CURRENT,
+                  keep_source: bool = True,
+                  other_pt: LinkPt) -> tuple[LinkIndex, Time]:
+        """``copyLink`` on the server."""
+        index, new_time = self._call(
+            "copy_link", txn=_txn_id(txn), link=link, time=time,
+            keep_source=keep_source, other_pt=other_pt.to_record())
+        return index, new_time
+
+    def delete_link(self, txn: RemoteTransaction | None = None, *,
+                    link: LinkIndex) -> None:
+        """``deleteLink`` on the server."""
+        self._call("delete_link", txn=_txn_id(txn), link=link)
+
+    # ------------------------------------------------------------------
+    # node operations
+
+    def open_node(self, node: NodeIndex, time: Time = CURRENT,
+                  attributes=(), txn: RemoteTransaction | None = None):
+        """``openNode`` on the server."""
+        contents, link_points, values, current = self._call(
+            "open_node", txn=_txn_id(txn), node=node, time=time,
+            attributes=list(attributes))
+        decoded = [(index, end, LinkPt.from_record(record))
+                   for index, end, record in link_points]
+        return contents, decoded, values, current
+
+    def modify_node(self, txn: RemoteTransaction | None = None, *,
+                    node: NodeIndex, expected_time: Time, contents: bytes,
+                    attachments=None, explanation: str = "") -> Time:
+        """``modifyNode`` on the server."""
+        wire_attachments = None
+        if attachments is not None:
+            wire_attachments = [list(entry) for entry in attachments]
+        return self._call(
+            "modify_node", txn=_txn_id(txn), node=node,
+            expected_time=expected_time, contents=bytes(contents),
+            attachments=wire_attachments, explanation=explanation)
+
+    def get_node_timestamp(self, node: NodeIndex) -> Time:
+        """``getNodeTimeStamp`` on the server."""
+        return self._call("get_node_timestamp", node=node)
+
+    def change_node_protection(self, txn: RemoteTransaction | None = None,
+                               *, node: NodeIndex,
+                               protections: Protections) -> None:
+        """``changeNodeProtection`` on the server."""
+        self._call("change_node_protection", txn=_txn_id(txn), node=node,
+                   protections=protections.value)
+
+    def get_node_versions(self, node: NodeIndex):
+        """``getNodeVersions`` on the server."""
+        major, minor = self._call("get_node_versions", node=node)
+        return ([Version.from_record(record) for record in major],
+                [Version.from_record(record) for record in minor])
+
+    def get_node_differences(self, node: NodeIndex, time1: Time,
+                             time2: Time):
+        """``getNodeDifferences`` on the server."""
+        return decode_script(self._call(
+            "get_node_differences", node=node, time1=time1, time2=time2))
+
+    def get_to_node(self, link: LinkIndex, time: Time = CURRENT):
+        """``getToNode`` on the server."""
+        node, node_time = self._call("get_to_node", link=link, time=time)
+        return node, node_time
+
+    def get_from_node(self, link: LinkIndex, time: Time = CURRENT):
+        """``getFromNode`` on the server."""
+        node, node_time = self._call("get_from_node", link=link, time=time)
+        return node, node_time
+
+    # ------------------------------------------------------------------
+    # attributes
+
+    def get_attributes(self, time: Time = CURRENT):
+        """``getAttributes`` on the server."""
+        return [tuple(pair)
+                for pair in self._call("get_attributes", time=time)]
+
+    def get_attribute_index(self, name: str,
+                            txn: RemoteTransaction | None = None,
+                            ) -> AttributeIndex:
+        """``getAttributeIndex`` on the server."""
+        return self._call("get_attribute_index", txn=_txn_id(txn),
+                          name=name)
+
+    def get_attribute_values(self, attribute: AttributeIndex,
+                             time: Time = CURRENT) -> list[str]:
+        """``getAttributeValues`` on the server."""
+        return self._call("get_attribute_values", attribute=attribute,
+                          time=time)
+
+    def set_node_attribute_value(self, txn: RemoteTransaction | None = None,
+                                 *, node: NodeIndex,
+                                 attribute: AttributeIndex,
+                                 value: str) -> None:
+        """``setNodeAttributeValue`` on the server."""
+        self._call("set_node_attribute_value", txn=_txn_id(txn), node=node,
+                   attribute=attribute, value=value)
+
+    def delete_node_attribute(self, txn: RemoteTransaction | None = None,
+                              *, node: NodeIndex,
+                              attribute: AttributeIndex) -> None:
+        """``deleteNodeAttribute`` on the server."""
+        self._call("delete_node_attribute", txn=_txn_id(txn), node=node,
+                   attribute=attribute)
+
+    def get_node_attribute_value(self, node: NodeIndex,
+                                 attribute: AttributeIndex,
+                                 time: Time = CURRENT) -> str:
+        """``getNodeAttributeValue`` on the server."""
+        return self._call("get_node_attribute_value", node=node,
+                          attribute=attribute, time=time)
+
+    def get_node_attributes(self, node: NodeIndex, time: Time = CURRENT):
+        """``getNodeAttributes`` on the server."""
+        return [tuple(entry) for entry in self._call(
+            "get_node_attributes", node=node, time=time)]
+
+    def set_link_attribute_value(self, txn: RemoteTransaction | None = None,
+                                 *, link: LinkIndex,
+                                 attribute: AttributeIndex,
+                                 value: str) -> None:
+        """``setLinkAttributeValue`` on the server."""
+        self._call("set_link_attribute_value", txn=_txn_id(txn), link=link,
+                   attribute=attribute, value=value)
+
+    def delete_link_attribute(self, txn: RemoteTransaction | None = None,
+                              *, link: LinkIndex,
+                              attribute: AttributeIndex) -> None:
+        """``deleteLinkAttribute`` on the server."""
+        self._call("delete_link_attribute", txn=_txn_id(txn), link=link,
+                   attribute=attribute)
+
+    def get_link_attribute_value(self, link: LinkIndex,
+                                 attribute: AttributeIndex,
+                                 time: Time = CURRENT) -> str:
+        """``getLinkAttributeValue`` on the server."""
+        return self._call("get_link_attribute_value", link=link,
+                          attribute=attribute, time=time)
+
+    def get_link_attributes(self, link: LinkIndex, time: Time = CURRENT):
+        """``getLinkAttributes`` on the server."""
+        return [tuple(entry) for entry in self._call(
+            "get_link_attributes", link=link, time=time)]
+
+    # ------------------------------------------------------------------
+    # demons
+
+    def set_graph_demon_value(self, txn: RemoteTransaction | None = None,
+                              *, event: EventKind,
+                              demon: str | None) -> None:
+        """``setGraphDemonValue`` on the server (demons run server-side)."""
+        self._call("set_graph_demon_value", txn=_txn_id(txn),
+                   event=event.value, demon=demon)
+
+    def get_graph_demons(self, time: Time = CURRENT):
+        """``getGraphDemons`` on the server."""
+        return [(EventKind(event), name) for event, name in self._call(
+            "get_graph_demons", time=time)]
+
+    def set_node_demon(self, txn: RemoteTransaction | None = None, *,
+                       node: NodeIndex, event: EventKind,
+                       demon: str | None) -> None:
+        """``setNodeDemon`` on the server."""
+        self._call("set_node_demon", txn=_txn_id(txn), node=node,
+                   event=event.value, demon=demon)
+
+    def get_node_demons(self, node: NodeIndex, time: Time = CURRENT):
+        """``getNodeDemons`` on the server."""
+        return [(EventKind(event), name) for event, name in self._call(
+            "get_node_demons", node=node, time=time)]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def linearize_graph(self, start: NodeIndex, time: Time = CURRENT,
+                        node_predicate: str | None = None,
+                        link_predicate: str | None = None,
+                        node_attributes=(), link_attributes=(),
+                        txn: RemoteTransaction | None = None,
+                        ) -> TraversalResult:
+        """``linearizeGraph`` on the server."""
+        nodes, links = self._call(
+            "linearize_graph", txn=_txn_id(txn), start=start, time=time,
+            node_predicate=node_predicate, link_predicate=link_predicate,
+            node_attributes=list(node_attributes),
+            link_attributes=list(link_attributes))
+        return TraversalResult(
+            tuple((index, tuple(values)) for index, values in nodes),
+            tuple((index, tuple(values)) for index, values in links))
+
+    def get_graph_query(self, time: Time = CURRENT,
+                        node_predicate: str | None = None,
+                        link_predicate: str | None = None,
+                        node_attributes=(), link_attributes=(),
+                        txn: RemoteTransaction | None = None) -> QueryResult:
+        """``getGraphQuery`` on the server."""
+        nodes, links = self._call(
+            "get_graph_query", txn=_txn_id(txn), time=time,
+            node_predicate=node_predicate, link_predicate=link_predicate,
+            node_attributes=list(node_attributes),
+            link_attributes=list(link_attributes))
+        return QueryResult(
+            tuple((index, tuple(values)) for index, values in nodes),
+            tuple((index, tuple(values)) for index, values in links))

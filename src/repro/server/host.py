@@ -1,0 +1,104 @@
+"""A graph host: one server process serving many graphs.
+
+The paper's server story (§2.2) is a *central server* fronting the
+hyperdocuments of a whole organization: "the hyperdocument itself can be
+distributed over multiple, networked machines."  A :class:`GraphHost`
+is one such machine's share: it owns a root directory of graphs, opens
+them on demand (with crash recovery), caches the open HAMs, and lets
+workstation sessions create, list, and bind to graphs over the same wire
+protocol (see :class:`repro.server.server.HAMServer` with
+``host=GraphHost(...)``).
+
+Multiple hosts = the distributed picture: each graph lives on exactly
+one host; clients connect to the host that owns the graph they need
+(locating graphs across hosts is a directory-service concern the paper
+leaves open, and so do we).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.core.demons import DemonRegistry
+from repro.core.ham import HAM
+from repro.core.types import ProjectId, Time
+from repro.errors import GraphNotFoundError
+
+__all__ = ["GraphHost"]
+
+
+class GraphHost:
+    """Owns a directory of graphs; opens and caches HAMs on demand."""
+
+    def __init__(self, root: str | os.PathLike,
+                 demons: DemonRegistry | None = None,
+                 synchronous: bool = True):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.demons = demons if demons is not None else DemonRegistry()
+        self._synchronous = synchronous
+        self._lock = threading.Lock()
+        self._open: dict[str, HAM] = {}
+
+    # ------------------------------------------------------------------
+
+    def _directory(self, name: str) -> str:
+        if not name or "/" in name or name.startswith("."):
+            raise GraphNotFoundError(f"invalid graph name {name!r}")
+        return os.path.join(self.root, name)
+
+    def create_graph(self, name: str) -> tuple[ProjectId, Time]:
+        """Create a new graph under the host root; returns its ids."""
+        return HAM.create_graph(self._directory(name))
+
+    def open_graph(self, project_id: ProjectId, name: str) -> HAM:
+        """Open (or return the cached) HAM for ``name``.
+
+        All sessions binding the same graph share one HAM instance, so
+        they share its lock table — which is what gives multi-user
+        isolation on the host.
+        """
+        with self._lock:
+            ham = self._open.get(name)
+            if ham is not None:
+                if ham.project_id != project_id:
+                    raise GraphNotFoundError(
+                        f"graph {name!r}: ProjectId does not match")
+                return ham
+            ham = HAM.open_graph(project_id, self._directory(name),
+                                 demons=self.demons,
+                                 synchronous=self._synchronous)
+            self._open[name] = ham
+            return ham
+
+    def list_graphs(self) -> list[str]:
+        """Names of every graph directory under the root."""
+        names = []
+        for entry in sorted(os.listdir(self.root)):
+            meta = os.path.join(self.root, entry, "neptune.meta")
+            if os.path.exists(meta):
+                names.append(entry)
+        return names
+
+    def destroy_graph(self, project_id: ProjectId, name: str) -> None:
+        """Close (if open) and destroy a graph."""
+        with self._lock:
+            ham = self._open.pop(name, None)
+        if ham is not None:
+            ham.close()
+        HAM.destroy_graph(project_id, self._directory(name))
+
+    def close(self) -> None:
+        """Checkpoint and close every open graph."""
+        with self._lock:
+            open_hams = list(self._open.values())
+            self._open.clear()
+        for ham in open_hams:
+            ham.close()
+
+    def __enter__(self) -> "GraphHost":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,62 @@
+"""Wire protocol: length-prefixed, checksummed, self-describing values.
+
+Each message is one value from :mod:`repro.storage.serializer` framed by
+:func:`repro.storage.serializer.pack_record` with a 4-byte big-endian
+total-length prefix.  Requests are dicts ``{"id", "method", "params"}``;
+responses are ``{"id", "ok", "result"}`` or ``{"id", "ok": False,
+"error": {"type", "message"}}``.
+
+The serializer already rejects unknown types, so nothing
+pickle-executable ever crosses the wire.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import ProtocolError
+from repro.storage.serializer import (
+    decode_value,
+    encode_value,
+    pack_record,
+    unpack_record,
+)
+
+__all__ = ["read_message", "write_message", "MAX_MESSAGE_BYTES"]
+
+#: Upper bound on one message; prevents a bad length prefix from
+#: allocating unbounded memory.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def write_message(sock: socket.socket, message: object) -> None:
+    """Encode, frame, and send one message."""
+    framed = pack_record(encode_value(message))
+    sock.sendall(_LENGTH.pack(len(framed)) + framed)
+
+
+def _read_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> object:
+    """Receive and decode one message (blocking)."""
+    (length,) = _LENGTH.unpack(_read_exact(sock, _LENGTH.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit")
+    framed = _read_exact(sock, length)
+    payload, __ = unpack_record(framed)
+    return decode_value(payload)

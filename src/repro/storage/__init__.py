@@ -1,0 +1,67 @@
+"""Low-level storage substrate for the HAM.
+
+This package provides everything the Hypertext Abstract Machine needs to
+persist a hypergraph on ordinary files:
+
+- :mod:`repro.storage.diff` — Myers diff engine producing the Appendix's
+  ``Difference`` records, plus a three-way merge used by contexts.
+- :mod:`repro.storage.deltas` — RCS-style backward-delta store: the current
+  version of a byte string is kept whole, older versions as reverse deltas.
+- :mod:`repro.storage.serializer` — compact, checksummed binary record
+  encoding used by the heap and the write-ahead log.
+- :mod:`repro.storage.pager` — fixed-size page file with an in-memory cache.
+- :mod:`repro.storage.heap` — variable-length record heap built on the pager.
+- :mod:`repro.storage.log` — append-only write-ahead log with force-at-commit
+  semantics and a recovery scanner.
+"""
+
+from repro.storage.diff import (
+    Difference,
+    DiffKind,
+    diff_bytes,
+    diff_lines,
+    diff_sequences,
+    apply_differences,
+    apply_differences_bytes,
+    invert_differences,
+    merge3,
+    merge3_bytes,
+    MergeResult,
+)
+from repro.storage.deltas import DeltaStore, DeltaChainStats
+from repro.storage.serializer import (
+    pack_record,
+    unpack_record,
+    encode_value,
+    decode_value,
+)
+from repro.storage.pager import Pager, PAGE_SIZE
+from repro.storage.heap import RecordHeap, RecordId
+from repro.storage.log import WriteAheadLog, LogRecord, LogRecordKind
+
+__all__ = [
+    "Difference",
+    "DiffKind",
+    "diff_bytes",
+    "diff_lines",
+    "diff_sequences",
+    "apply_differences",
+    "apply_differences_bytes",
+    "invert_differences",
+    "merge3",
+    "merge3_bytes",
+    "MergeResult",
+    "DeltaStore",
+    "DeltaChainStats",
+    "pack_record",
+    "unpack_record",
+    "encode_value",
+    "decode_value",
+    "Pager",
+    "PAGE_SIZE",
+    "RecordHeap",
+    "RecordId",
+    "WriteAheadLog",
+    "LogRecord",
+    "LogRecordKind",
+]

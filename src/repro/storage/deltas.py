@@ -1,0 +1,340 @@
+"""Backward-delta version chains in the style of RCS.
+
+The paper (§3): "Because version control is a central theme of Neptune, we
+wanted effective storage of many versions of such data without copying each
+individual item; for nodes this is provided by backward deltas similar to
+RCS [Tic82]."
+
+A :class:`DeltaStore` holds every version of one archive node's contents.
+The *current* version is stored whole; each older version is a reverse
+difference script against its successor, so:
+
+- reading the current version is O(1) — by far the common case;
+- reading K versions back costs K delta applications;
+- checking in a new version costs one diff (new vs. previous current) and
+  stores only the changed tokens.
+
+:class:`FullCopyStore` is the baseline the benchmarks compare against: the
+naive design that stores every version whole.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import VersionError
+from repro.storage.diff import (
+    Difference,
+    DiffKind,
+    apply_differences_bytes,
+    diff_bytes,
+    invert_differences,
+)
+
+__all__ = ["DeltaStore", "FullCopyStore", "KeyframeDeltaStore",
+           "DeltaChainStats", "encode_script", "decode_script"]
+
+
+@dataclass(frozen=True)
+class DeltaChainStats:
+    """Storage accounting for one version chain."""
+
+    version_count: int
+    current_bytes: int
+    delta_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes needed to store the whole chain."""
+        return self.current_bytes + self.delta_bytes
+
+
+def _encode_script(script: list[Difference]) -> list:
+    """Difference script → encodable structure (lists of bytes tokens)."""
+    return [
+        [diff.kind.value, diff.position, list(diff.old), list(diff.new)]
+        for diff in script
+    ]
+
+
+def _decode_script(data: list) -> list[Difference]:
+    """Inverse of :func:`_encode_script`."""
+    return [
+        Difference(DiffKind(kind), position, tuple(old), tuple(new))
+        for kind, position, old, new in data
+    ]
+
+
+# Public names: the wire protocol and persistence both ship scripts.
+encode_script = _encode_script
+decode_script = _decode_script
+
+
+def _script_bytes(script: list[Difference]) -> int:
+    """Approximate stored size of a script: the token payloads it carries."""
+    return sum(
+        sum(len(token) for token in diff.old)
+        + sum(len(token) for token in diff.new)
+        for diff in script
+    )
+
+
+class DeltaStore:
+    """All versions of one byte string, stored as backward deltas.
+
+    Versions are identified by strictly increasing integer times (the HAM's
+    logical clock).  ``get(0)`` returns the current version; ``get(t)``
+    returns the version in effect at time ``t`` (the latest version whose
+    check-in time is <= ``t``).
+    """
+
+    def __init__(self, initial: bytes, time: int):
+        if time <= 0:
+            raise VersionError("version time must be positive")
+        self._current = bytes(initial)
+        self._times: list[int] = [time]
+        # _deltas[i] transforms version i+1 back into version i
+        # (both indices into _times); len(_deltas) == len(_times) - 1.
+        self._deltas: list[list[Difference]] = []
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def check_in(self, contents: bytes, time: int) -> None:
+        """Store a new current version with timestamp ``time``."""
+        if time <= self._times[-1]:
+            raise VersionError(
+                f"version time {time} does not advance past "
+                f"{self._times[-1]}")
+        contents = bytes(contents)
+        forward = diff_bytes(self._current, contents)
+        self._deltas.append(invert_differences(forward))
+        self._times.append(time)
+        self._current = contents
+
+    # ------------------------------------------------------------------
+    # reading
+
+    @property
+    def current_time(self) -> int:
+        """Timestamp of the current version."""
+        return self._times[-1]
+
+    @property
+    def times(self) -> list[int]:
+        """All version timestamps, oldest first."""
+        return list(self._times)
+
+    def version_index_at(self, time: int) -> int:
+        """Index of the version in effect at ``time`` (0 = current)."""
+        if time == 0:
+            return len(self._times) - 1
+        if time < self._times[0]:
+            raise VersionError(
+                f"no version exists at time {time} "
+                f"(first version is at {self._times[0]})")
+        # Latest version with check-in time <= requested time.
+        return bisect.bisect_right(self._times, time) - 1
+
+    def get(self, time: int = 0) -> bytes:
+        """Contents at ``time`` (0 = current), walking backward deltas."""
+        index = self.version_index_at(time)
+        contents = self._current
+        for step in range(len(self._deltas) - 1, index - 1, -1):
+            contents = apply_differences_bytes(contents, self._deltas[step])
+        return contents
+
+    def get_exact(self, time: int) -> bytes:
+        """Contents of the version checked in at exactly ``time``."""
+        if time == 0 or time == self._times[-1]:
+            return self._current
+        try:
+            index = self._times.index(time)
+        except ValueError:
+            raise VersionError(f"no version was checked in at time {time}")
+        contents = self._current
+        for step in range(len(self._deltas) - 1, index - 1, -1):
+            contents = apply_differences_bytes(contents, self._deltas[step])
+        return contents
+
+    def rollback_last(self) -> None:
+        """Drop the current version, restoring its predecessor.
+
+        Transaction-abort primitive: O(one delta application), unlike a
+        full-chain snapshot/restore.  Refuses to drop the initial version.
+        """
+        if not self._deltas:
+            raise VersionError("cannot roll back the initial version")
+        script = self._deltas.pop()
+        self._times.pop()
+        self._current = apply_differences_bytes(self._current, script)
+
+    # ------------------------------------------------------------------
+    # accounting / persistence
+
+    def stats(self) -> DeltaChainStats:
+        """Storage accounting for benchmark B1."""
+        return DeltaChainStats(
+            version_count=len(self._times),
+            current_bytes=len(self._current),
+            delta_bytes=sum(_script_bytes(s) for s in self._deltas),
+        )
+
+    def to_record(self) -> dict:
+        """Encodable snapshot of the whole chain (for the record heap)."""
+        return {
+            "current": self._current,
+            "times": list(self._times),
+            "deltas": [_encode_script(s) for s in self._deltas],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DeltaStore":
+        """Rebuild a chain from :meth:`to_record` output."""
+        store = cls.__new__(cls)
+        store._current = record["current"]
+        store._times = list(record["times"])
+        store._deltas = [_decode_script(s) for s in record["deltas"]]
+        return store
+
+
+class KeyframeDeltaStore:
+    """Backward deltas with periodic full keyframes.
+
+    The middle ground between :class:`DeltaStore` (minimal storage,
+    O(depth) old-version access) and :class:`FullCopyStore` (maximal
+    storage, O(1) access): every ``interval``-th version is stored
+    whole, bounding any version's reconstruction to at most
+    ``interval - 1`` delta applications *forward* from the keyframe at
+    or before it.  Deltas here are therefore **forward** within a
+    keyframe segment (keyframe → next versions), unlike the pure
+    backward chain; the current version is still O(1) because the last
+    version of the last segment is also kept whole.
+
+    The benchmark B2 ablation measures the resulting access-latency
+    plateau against the pure backward chain.
+    """
+
+    def __init__(self, initial: bytes, time: int, interval: int = 10):
+        if time <= 0:
+            raise VersionError("version time must be positive")
+        if interval < 2:
+            raise VersionError("keyframe interval must be >= 2")
+        self._interval = interval
+        self._times: list[int] = [time]
+        #: Segment starts: version index → full contents.
+        self._keyframes: dict[int, bytes] = {0: bytes(initial)}
+        #: Forward delta for version i (reconstructs i from i-1), absent
+        #: for keyframe versions.
+        self._forward: dict[int, list[Difference]] = {}
+        self._current = bytes(initial)
+
+    def check_in(self, contents: bytes, time: int) -> None:
+        """Store a new current version with timestamp ``time``."""
+        if time <= self._times[-1]:
+            raise VersionError(
+                f"version time {time} does not advance past "
+                f"{self._times[-1]}")
+        contents = bytes(contents)
+        index = len(self._times)
+        if index % self._interval == 0:
+            self._keyframes[index] = contents
+        else:
+            self._forward[index] = diff_bytes(self._current, contents)
+        self._times.append(time)
+        self._current = contents
+
+    @property
+    def current_time(self) -> int:
+        """Timestamp of the current version."""
+        return self._times[-1]
+
+    @property
+    def times(self) -> list[int]:
+        """All version timestamps, oldest first."""
+        return list(self._times)
+
+    def get(self, time: int = 0) -> bytes:
+        """Contents at ``time`` (0 = current)."""
+        if time == 0 or time >= self._times[-1]:
+            if time != 0 and time < self._times[0]:
+                raise VersionError(f"no version exists at time {time}")
+            return self._current
+        if time < self._times[0]:
+            raise VersionError(
+                f"no version exists at time {time} "
+                f"(first version is at {self._times[0]})")
+        index = bisect.bisect_right(self._times, time) - 1
+        keyframe_index = index - (index % self._interval)
+        contents = self._keyframes[keyframe_index]
+        for step in range(keyframe_index + 1, index + 1):
+            contents = apply_differences_bytes(contents,
+                                               self._forward[step])
+        return contents
+
+    def stats(self) -> DeltaChainStats:
+        """Storage accounting: keyframes count toward history bytes."""
+        history = sum(
+            len(contents)
+            for index, contents in self._keyframes.items()
+            if index != len(self._times) - 1)
+        history += sum(_script_bytes(script)
+                       for script in self._forward.values())
+        return DeltaChainStats(
+            version_count=len(self._times),
+            current_bytes=len(self._current),
+            delta_bytes=history,
+        )
+
+
+class FullCopyStore:
+    """Baseline version store: every version kept whole.
+
+    Same interface as :class:`DeltaStore`; exists so benchmark B1/B2 can
+    measure what backward deltas buy.
+    """
+
+    def __init__(self, initial: bytes, time: int):
+        if time <= 0:
+            raise VersionError("version time must be positive")
+        self._versions: list[tuple[int, bytes]] = [(time, bytes(initial))]
+
+    def check_in(self, contents: bytes, time: int) -> None:
+        """Store a new current version with timestamp ``time``."""
+        if time <= self._versions[-1][0]:
+            raise VersionError(
+                f"version time {time} does not advance past "
+                f"{self._versions[-1][0]}")
+        self._versions.append((time, bytes(contents)))
+
+    @property
+    def current_time(self) -> int:
+        """Timestamp of the current version."""
+        return self._versions[-1][0]
+
+    @property
+    def times(self) -> list[int]:
+        """All version timestamps, oldest first."""
+        return [time for time, __ in self._versions]
+
+    def get(self, time: int = 0) -> bytes:
+        """Contents at ``time`` (0 = current)."""
+        if time == 0:
+            return self._versions[-1][1]
+        if time < self._versions[0][0]:
+            raise VersionError(f"no version exists at time {time}")
+        for stamp, contents in reversed(self._versions):
+            if stamp <= time:
+                return contents
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def stats(self) -> DeltaChainStats:
+        """Storage accounting (every version counted whole)."""
+        current = self._versions[-1][1]
+        return DeltaChainStats(
+            version_count=len(self._versions),
+            current_bytes=len(current),
+            delta_bytes=sum(
+                len(contents) for __, contents in self._versions[:-1]),
+        )

@@ -1,0 +1,397 @@
+"""Myers diff engine and three-way merge.
+
+The Appendix defines the atomic domain ``Difference: a deletion, insertion
+or replacement``; ``getNodeDifferences`` returns a ``Difference*`` between
+two versions of a node.  This module computes such difference scripts with
+the classic Myers O(ND) algorithm, applies them, and inverts them (the
+inversion is what makes *backward* deltas cheap: storing the inverse script
+of an edit lets us reconstruct the older version from the newer one).
+
+Diffs operate on token sequences.  Node contents are uninterpreted bytes at
+the HAM level, so the default tokenization splits on newlines when the data
+looks line-structured and falls back to fixed-size byte chunks otherwise —
+mirroring how RCS-style tools behave on text versus binary data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+__all__ = [
+    "DiffKind",
+    "Difference",
+    "diff_sequences",
+    "diff_lines",
+    "diff_bytes",
+    "apply_differences",
+    "apply_differences_bytes",
+    "invert_differences",
+    "merge3",
+    "merge3_bytes",
+    "MergeResult",
+]
+
+#: Chunk size used when diffing binary (non line-structured) data.
+_BINARY_CHUNK = 64
+
+
+class DiffKind(enum.Enum):
+    """The three difference kinds named by the paper's Appendix."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    REPLACE = "replace"
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One edit in a difference script.
+
+    Positions are token offsets into the *old* sequence.  ``old`` holds the
+    tokens removed (empty for an insertion) and ``new`` the tokens added
+    (empty for a deletion).  A replacement carries both.
+    """
+
+    kind: DiffKind
+    position: int
+    old: tuple
+    new: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind is DiffKind.INSERT and self.old:
+            raise ValueError("insert difference must not remove tokens")
+        if self.kind is DiffKind.DELETE and self.new:
+            raise ValueError("delete difference must not add tokens")
+        if self.kind is DiffKind.REPLACE and not (self.old and self.new):
+            raise ValueError("replace difference needs both old and new")
+
+    @property
+    def old_length(self) -> int:
+        """Number of tokens this edit consumes from the old sequence."""
+        return len(self.old)
+
+    @property
+    def new_length(self) -> int:
+        """Number of tokens this edit produces in the new sequence."""
+        return len(self.new)
+
+
+def _myers_matches(
+    old: Sequence[Hashable],
+    new: Sequence[Hashable],
+    obase: int,
+    nbase: int,
+    out: list[tuple[int, int]],
+) -> None:
+    """Collect matched ``(old_index, new_index)`` pairs along a shortest
+    edit path, using Myers' greedy algorithm with a recorded trace.
+
+    Appended pairs are strictly increasing in both coordinates, offset by
+    ``obase``/``nbase``.
+    """
+    n, m = len(old), len(new)
+    if n == 0 or m == 0:
+        return
+    # Forward pass: v[k] is the furthest x on diagonal k after d edits.
+    trace: list[dict[int, int]] = []
+    v: dict[int, int] = {1: 0}
+    found_d = -1
+    for d in range(n + m + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+                x = v.get(k + 1, 0)
+            else:
+                x = v.get(k - 1, 0) + 1
+            y = x - k
+            while x < n and y < m and old[x] == new[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                found_d = d
+                break
+        if found_d >= 0:
+            break
+    # Backward pass: walk the trace from (n, m) back to (0, 0), emitting
+    # the diagonal (snake) moves, which are the matched token pairs.
+    matches_rev: list[tuple[int, int]] = []
+    x, y = n, m
+    for d in range(found_d, 0, -1):
+        vd = trace[d]
+        k = x - y
+        if k == -d or (k != d and vd.get(k - 1, -1) < vd.get(k + 1, -1)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = vd.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        # One edit moves (prev_x, prev_y) to (mid_x, mid_y); the snake
+        # (diagonal run of matches) then reaches (x, y).
+        if prev_k == k + 1:
+            mid_x, mid_y = prev_x, prev_y + 1  # insertion of new[prev_y]
+        else:
+            mid_x, mid_y = prev_x + 1, prev_y  # deletion of old[prev_x]
+        while x > mid_x and y > mid_y:
+            matches_rev.append((x - 1, y - 1))
+            x -= 1
+            y -= 1
+        x, y = prev_x, prev_y
+    # d == 0 tail: pure snake from the origin.
+    while x > 0 and y > 0:
+        matches_rev.append((x - 1, y - 1))
+        x -= 1
+        y -= 1
+    for i, j in reversed(matches_rev):
+        out.append((obase + i, nbase + j))
+
+
+def diff_sequences(
+    old: Sequence[Hashable],
+    new: Sequence[Hashable],
+) -> list[Difference]:
+    """Compute a minimal difference script turning ``old`` into ``new``.
+
+    The script is a list of :class:`Difference` ordered by position in the
+    old sequence, with non-overlapping edits; adjacent delete+insert pairs
+    are fused into a single :data:`DiffKind.REPLACE`.
+    """
+    old = list(old)
+    new = list(new)
+    # Trim the common prefix/suffix first: cheap and it keeps the Myers
+    # recursion small for the typical append/patch edit.
+    pre = 0
+    limit = min(len(old), len(new))
+    while pre < limit and old[pre] == new[pre]:
+        pre += 1
+    suf = 0
+    while (
+        suf < limit - pre
+        and old[len(old) - 1 - suf] == new[len(new) - 1 - suf]
+    ):
+        suf += 1
+    core_old = old[pre:len(old) - suf]
+    core_new = new[pre:len(new) - suf]
+
+    core_matches: list[tuple[int, int]] = []
+    _myers_matches(core_old, core_new, pre, pre, out=core_matches)
+    matches = (
+        [(k, k) for k in range(pre)]
+        + core_matches
+        + [(len(old) - suf + k, len(new) - suf + k) for k in range(suf)]
+    )
+
+    script: list[Difference] = []
+    oi = ni = 0
+    for mi, mj in matches + [(len(old), len(new))]:
+        removed = tuple(old[oi:mi])
+        added = tuple(new[ni:mj])
+        if removed and added:
+            script.append(Difference(DiffKind.REPLACE, oi, removed, added))
+        elif removed:
+            script.append(Difference(DiffKind.DELETE, oi, removed, ()))
+        elif added:
+            script.append(Difference(DiffKind.INSERT, oi, (), added))
+        oi, ni = mi + 1, mj + 1
+    return script
+
+
+def _split_tokens(data: bytes) -> tuple[list[bytes], bool]:
+    """Tokenize node contents for diffing.
+
+    Returns ``(tokens, line_mode)``.  Line mode keeps the trailing newline
+    on each token so concatenating tokens reproduces the input exactly.
+    """
+    if b"\n" in data:
+        tokens = data.splitlines(keepends=True)
+        return tokens, True
+    tokens = [
+        data[i:i + _BINARY_CHUNK] for i in range(0, len(data), _BINARY_CHUNK)
+    ]
+    return tokens, False
+
+
+def diff_lines(old: bytes, new: bytes) -> list[Difference]:
+    """Diff two byte strings line-by-line (newlines kept on tokens)."""
+    return diff_sequences(old.splitlines(keepends=True),
+                          new.splitlines(keepends=True))
+
+
+def diff_bytes(old: bytes, new: bytes) -> list[Difference]:
+    """Diff two byte strings with automatic text/binary tokenization.
+
+    Both inputs must agree on tokenization for the script to apply cleanly,
+    so the mode is chosen from the *union* of the two: line mode whenever
+    either side contains a newline.
+    """
+    if b"\n" in old or b"\n" in new:
+        return diff_lines(old, new)
+    old_tokens, __ = _split_tokens(old)
+    new_tokens, __ = _split_tokens(new)
+    return diff_sequences(old_tokens, new_tokens)
+
+
+def apply_differences(
+    old: Sequence[Hashable],
+    script: Sequence[Difference],
+) -> list:
+    """Apply a difference script to ``old``, returning the new token list.
+
+    Raises :class:`ValueError` if the script does not match ``old`` (wrong
+    position or mismatched removed tokens) — a corrupted delta chain must
+    fail loudly, never produce silently wrong contents.
+    """
+    result: list = []
+    cursor = 0
+    for diff in script:
+        if diff.position < cursor:
+            raise ValueError(
+                f"difference at {diff.position} overlaps prior edit "
+                f"ending at {cursor}"
+            )
+        result.extend(old[cursor:diff.position])
+        cursor = diff.position
+        actual = tuple(old[cursor:cursor + diff.old_length])
+        if actual != diff.old:
+            raise ValueError(
+                f"difference at {diff.position} expected {diff.old!r}, "
+                f"found {actual!r}"
+            )
+        result.extend(diff.new)
+        cursor += diff.old_length
+    result.extend(old[cursor:])
+    return result
+
+
+def apply_differences_bytes(old: bytes, script: Sequence[Difference]) -> bytes:
+    """Apply a byte-level script produced by :func:`diff_bytes`."""
+    if b"\n" in old or any(
+        b"\n" in token for diff in script for token in (*diff.old, *diff.new)
+    ):
+        tokens = old.splitlines(keepends=True)
+    else:
+        tokens, __ = _split_tokens(old)
+    return b"".join(apply_differences(tokens, script))
+
+
+def invert_differences(script: Sequence[Difference]) -> list[Difference]:
+    """Invert a script: the result turns *new* back into *old*.
+
+    This is the core trick behind backward deltas: we diff old→new on
+    check-in, invert, and store the inverse keyed to the old version.
+    """
+    inverted: list[Difference] = []
+    shift = 0
+    for diff in script:
+        position = diff.position + shift
+        if diff.kind is DiffKind.INSERT:
+            inverted.append(
+                Difference(DiffKind.DELETE, position, diff.new, ()))
+        elif diff.kind is DiffKind.DELETE:
+            inverted.append(
+                Difference(DiffKind.INSERT, position, (), diff.old))
+        else:
+            inverted.append(
+                Difference(DiffKind.REPLACE, position, diff.new, diff.old))
+        shift += diff.new_length - diff.old_length
+    return inverted
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of a three-way merge.
+
+    ``merged`` is the merged token list; ``conflicts`` lists the regions
+    (as ``(base_slice, ours, theirs)`` tuples) that could not be merged
+    automatically.  When ``conflicts`` is empty the merge is clean.
+    """
+
+    merged: tuple
+    conflicts: tuple
+
+    @property
+    def clean(self) -> bool:
+        """True when the merge produced no conflicts."""
+        return not self.conflicts
+
+
+def _apply_cluster(chunk: list, edits: list[Difference], lo: int) -> list:
+    """Apply a side's cluster edits (base coordinates) to ``chunk``."""
+    rebased = [
+        Difference(diff.kind, diff.position - lo, diff.old, diff.new)
+        for diff in sorted(edits, key=lambda d: d.position)
+    ]
+    return apply_differences(chunk, rebased)
+
+
+def merge3(
+    base: Sequence[Hashable],
+    ours: Sequence[Hashable],
+    theirs: Sequence[Hashable],
+) -> MergeResult:
+    """Three-way merge of two descendants of a common base.
+
+    Classic hunk-based diff3: diff base→ours and base→theirs, then walk
+    the base.  Hunks whose base ranges don't overlap apply independently
+    (edits to *different* regions always merge); overlapping hunks from
+    both sides take the common change when identical, otherwise the region
+    is recorded as a conflict (and "ours" is kept in the merged output,
+    flagged in :attr:`MergeResult.conflicts`).
+    """
+    base = list(base)
+    edits: list[tuple[Difference, int]] = (
+        [(diff, 0) for diff in diff_sequences(base, list(ours))]
+        + [(diff, 1) for diff in diff_sequences(base, list(theirs))]
+    )
+    edits.sort(key=lambda pair: (pair[0].position,
+                                 pair[0].position + pair[0].old_length,
+                                 pair[1]))
+    merged: list = []
+    conflicts: list[tuple] = []
+    cursor = 0
+    position = 0
+    while position < len(edits):
+        first, __ = edits[position]
+        lo = first.position
+        hi = max(lo, lo + first.old_length)
+        cluster = [edits[position]]
+        position += 1
+        while position < len(edits):
+            diff, side = edits[position]
+            touches = diff.position < hi or (diff.position == hi == lo)
+            if not touches:
+                break
+            cluster.append(edits[position])
+            hi = max(hi, diff.position + diff.old_length)
+            position += 1
+        merged.extend(base[cursor:lo])
+        chunk = base[lo:hi]
+        sides = {side for __, side in cluster}
+        ours_chunk = _apply_cluster(
+            chunk, [diff for diff, side in cluster if side == 0], lo)
+        theirs_chunk = _apply_cluster(
+            chunk, [diff for diff, side in cluster if side == 1], lo)
+        if sides == {0}:
+            merged.extend(ours_chunk)
+        elif sides == {1}:
+            merged.extend(theirs_chunk)
+        elif ours_chunk == theirs_chunk:
+            merged.extend(ours_chunk)
+        else:
+            conflicts.append(
+                (tuple(chunk), tuple(ours_chunk), tuple(theirs_chunk)))
+            merged.extend(ours_chunk)
+        cursor = hi
+    merged.extend(base[cursor:])
+    return MergeResult(tuple(merged), tuple(conflicts))
+
+
+def merge3_bytes(base: bytes, ours: bytes, theirs: bytes) -> MergeResult:
+    """Three-way merge of byte contents, tokenized like :func:`diff_bytes`."""
+    if b"\n" in base or b"\n" in ours or b"\n" in theirs:
+        tokenize = lambda data: data.splitlines(keepends=True)  # noqa: E731
+    else:
+        tokenize = lambda data: _split_tokens(data)[0]  # noqa: E731
+    return merge3(tokenize(base), tokenize(ours), tokenize(theirs))

@@ -1,0 +1,170 @@
+"""Append-oriented record heap built on the pager.
+
+The HAM's version-keeping design means records are almost never destroyed:
+a "modify" writes a new record and re-points an index at it, while old
+records remain reachable from version histories.  The heap therefore
+optimizes for appends: records are framed (length + CRC32) and packed
+back-to-back across pages; a :class:`RecordId` is the record's byte offset,
+which stays valid for the life of the file.
+
+Page 0 is the heap header: a magic string, a format version, and the
+next-free byte offset (the append cursor).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager, PAGE_SIZE
+from repro.storage.serializer import (
+    RECORD_HEADER,
+    pack_record,
+    unpack_record,
+)
+
+__all__ = ["RecordHeap", "RecordId"]
+
+#: A record identifier: its byte offset in the heap file.
+RecordId = int
+
+_MAGIC = b"NEPTHEAP"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<8sIQ")  # magic, version, append cursor
+
+
+class RecordHeap:
+    """Variable-length record storage with stable record ids.
+
+    Thread-safe.  Records are immutable once written; logical updates are
+    the caller's job (append a new record, repoint the reference).
+    """
+
+    def __init__(self, path: str, cache_pages: int = 256):
+        self._pager = Pager(path, cache_pages=cache_pages)
+        self._lock = threading.RLock()
+        if self._pager.page_count == 0:
+            self._pager.allocate_page()
+            self._cursor = PAGE_SIZE  # data starts after the header page
+            self._write_header()
+        else:
+            self._cursor = self._read_header()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def path(self) -> str:
+        """Path of the underlying heap file."""
+        return self._pager.path
+
+    def close(self) -> None:
+        """Persist the header and close the underlying pager."""
+        with self._lock:
+            self._write_header()
+            self._pager.close()
+
+    def __enter__(self) -> "RecordHeap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def flush(self) -> None:
+        """Write header and all dirty pages to the OS."""
+        with self._lock:
+            self._write_header()
+            self._pager.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync the heap file."""
+        with self._lock:
+            self._write_header()
+            self._pager.sync()
+
+    # ------------------------------------------------------------------
+    # record operations
+
+    def append(self, payload: bytes) -> RecordId:
+        """Append a record; returns its stable :class:`RecordId`."""
+        framed = pack_record(payload)
+        with self._lock:
+            record_id = self._cursor
+            self._write_bytes(record_id, framed)
+            self._cursor += len(framed)
+            return record_id
+
+    def read(self, record_id: RecordId) -> bytes:
+        """Read the record at ``record_id``; checksum-verified."""
+        with self._lock:
+            if not PAGE_SIZE <= record_id < self._cursor:
+                raise StorageError(
+                    f"record id {record_id} out of heap bounds")
+            header = self._read_bytes(record_id, RECORD_HEADER.size)
+            (length, __) = RECORD_HEADER.unpack(header)
+            framed = header + self._read_bytes(
+                record_id + RECORD_HEADER.size, length)
+            payload, __ = unpack_record(framed)
+            return payload
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """Iterate ``(record_id, payload)`` over all records in order."""
+        with self._lock:
+            cursor = PAGE_SIZE
+            end = self._cursor
+        while cursor < end:
+            payload = self.read(cursor)
+            yield cursor, payload
+            cursor += RECORD_HEADER.size + len(payload)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes used by heap records (excluding the header page)."""
+        with self._lock:
+            return self._cursor - PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # byte-level access across page boundaries
+
+    def _write_bytes(self, offset: int, data: bytes) -> None:
+        position = 0
+        while position < len(data):
+            page_id = (offset + position) // PAGE_SIZE
+            in_page = (offset + position) % PAGE_SIZE
+            while page_id >= self._pager.page_count:
+                self._pager.allocate_page()
+            chunk = data[position:position + PAGE_SIZE - in_page]
+            self._pager.write_slice(page_id, in_page, chunk)
+            position += len(chunk)
+
+    def _read_bytes(self, offset: int, length: int) -> bytes:
+        parts = []
+        position = 0
+        while position < length:
+            page_id = (offset + position) // PAGE_SIZE
+            in_page = (offset + position) % PAGE_SIZE
+            want = min(length - position, PAGE_SIZE - in_page)
+            page = self._pager.read_page(page_id)
+            parts.append(page[in_page:in_page + want])
+            position += want
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # header
+
+    def _write_header(self) -> None:
+        header = _HEADER.pack(_MAGIC, _FORMAT_VERSION, self._cursor)
+        self._pager.write_slice(0, 0, header)
+
+    def _read_header(self) -> int:
+        raw = self._pager.read_page(0)[:_HEADER.size]
+        magic, version, cursor = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise StorageError(
+                f"{self.path}: not a record heap (bad magic {magic!r})")
+        if version != _FORMAT_VERSION:
+            raise StorageError(
+                f"{self.path}: unsupported heap format version {version}")
+        return cursor

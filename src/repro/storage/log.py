@@ -1,0 +1,171 @@
+"""Write-ahead log with force-at-commit and a tolerant recovery scanner.
+
+The paper requires that the HAM "is transaction-oriented and provides for
+complete recovery from any aborted transaction" (§2.2).  This WAL is the
+durability substrate for that: every mutation writes an UPDATE record
+carrying both undo and redo information *before* the change reaches the
+main store; COMMIT records are forced (fsync) before a transaction is
+acknowledged.
+
+Recovery reads the log front-to-back.  A truncated or checksum-corrupt
+tail — the signature of a crash mid-write — terminates the scan cleanly
+rather than raising, because everything after the last valid record is by
+construction from unacknowledged work.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ChecksumError, RecoveryError, StorageError
+from repro.storage.serializer import (
+    RECORD_HEADER,
+    decode_value,
+    encode_value,
+    pack_record,
+    unpack_record,
+)
+
+__all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind"]
+
+
+class LogRecordKind(enum.Enum):
+    """Kinds of records a transaction writes to the log."""
+
+    BEGIN = "begin"
+    UPDATE = "update"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry.
+
+    ``payload`` is an encodable value (see serializer); for UPDATE records
+    it is a dict with ``key``, ``undo`` and ``redo`` entries interpreted by
+    the recovery manager.  ``lsn`` is assigned on append (byte offset).
+    """
+
+    kind: LogRecordKind
+    txn_id: int
+    payload: object = None
+    lsn: int = -1
+
+    def encode(self) -> bytes:
+        return encode_value(
+            {"kind": self.kind.value, "txn": self.txn_id,
+             "payload": self.payload})
+
+    @classmethod
+    def decode(cls, raw: bytes, lsn: int) -> "LogRecord":
+        data = decode_value(raw)
+        if not isinstance(data, dict):
+            raise RecoveryError(f"malformed log record at lsn {lsn}")
+        try:
+            kind = LogRecordKind(data["kind"])
+            txn_id = data["txn"]
+            payload = data.get("payload")
+        except (KeyError, ValueError) as exc:
+            raise RecoveryError(
+                f"malformed log record at lsn {lsn}: {exc}") from exc
+        return cls(kind=kind, txn_id=txn_id, payload=payload, lsn=lsn)
+
+
+class WriteAheadLog:
+    """Append-only log file.  Thread-safe.
+
+    The log grows until :meth:`truncate` is called (after a checkpoint has
+    made earlier records redundant).
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND,
+                           0o644)
+        self._end = os.fstat(self._fd).st_size
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def path(self) -> str:
+        """Path of the log file."""
+        return self._path
+
+    @property
+    def end_lsn(self) -> int:
+        """Byte offset one past the last appended record."""
+        with self._lock:
+            return self._end
+
+    def close(self) -> None:
+        """Close the log file descriptor."""
+        with self._lock:
+            if not self._closed:
+                os.close(self._fd)
+                self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def append(self, record: LogRecord) -> int:
+        """Append a record; returns its LSN.  Does not force."""
+        framed = pack_record(record.encode())
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            lsn = self._end
+            os.write(self._fd, framed)
+            self._end += len(framed)
+            return lsn
+
+    def force(self) -> None:
+        """fsync the log: all appended records are durable on return."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            os.fsync(self._fd)
+
+    def truncate(self) -> None:
+        """Discard all records (used after a checkpoint)."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            os.ftruncate(self._fd, 0)
+            os.lseek(self._fd, 0, os.SEEK_SET)
+            self._end = 0
+
+    # ------------------------------------------------------------------
+    # recovery scan
+
+    def scan(self) -> Iterator[LogRecord]:
+        """Yield valid records front-to-back, stopping at a corrupt tail."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            os.lseek(self._fd, 0, os.SEEK_SET)
+            data = os.read(self._fd, self._end)
+        offset = 0
+        while offset < len(data):
+            if offset + RECORD_HEADER.size > len(data):
+                return  # torn header at the tail: crash artifact
+            try:
+                payload, next_offset = unpack_record(data, offset)
+            except (ChecksumError, StorageError):
+                return  # torn or corrupt tail: stop cleanly
+            yield LogRecord.decode(payload, lsn=offset)
+            offset = next_offset

@@ -1,0 +1,185 @@
+"""Fixed-size page file with a write-back cache.
+
+Neptune's HAM ran on Unix 4.2 BSD files; this pager is the equivalent
+substrate here.  It divides a file into :data:`PAGE_SIZE`-byte pages,
+caches recently used pages in memory (clock eviction), and exposes
+``read_page`` / ``write_page`` / ``allocate_page`` to the record heap
+layered above it.
+
+Durability contract: dirty pages reach the OS only on :meth:`Pager.flush`
+(or eviction), and :meth:`Pager.sync` additionally calls ``fsync``.  The
+transaction manager relies on the write-ahead log — not the pager — for
+durability, so the pager is free to cache aggressively (the standard
+steal/no-force design).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.errors import StorageError
+
+__all__ = ["Pager", "PAGE_SIZE"]
+
+#: Size of one page in bytes.  4 KiB matches common filesystem blocks.
+PAGE_SIZE = 4096
+
+
+class Pager:
+    """Page-granular access to a single file, with an LRU-ish cache.
+
+    Thread-safe: all public methods take an internal lock, so concurrent
+    server sessions can share one pager.
+    """
+
+    def __init__(self, path: str | os.PathLike, cache_pages: int = 256):
+        if cache_pages < 1:
+            raise ValueError("cache_pages must be >= 1")
+        self._path = os.fspath(path)
+        self._lock = threading.RLock()
+        self._cache: dict[int, bytearray] = {}
+        self._dirty: set[int] = set()
+        self._clock: list[int] = []       # eviction order (FIFO of page ids)
+        self._cache_pages = cache_pages
+        self._closed = False
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(self._path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE != 0:
+            os.close(self._fd)
+            raise StorageError(
+                f"{self._path}: size {size} is not a multiple of the page "
+                f"size; file is truncated or not a page file")
+        self._page_count = size // PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def path(self) -> str:
+        """Path of the underlying file."""
+        return self._path
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently in the file."""
+        with self._lock:
+            return self._page_count
+
+    def close(self) -> None:
+        """Flush dirty pages and close the file descriptor."""
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self._path}: pager is closed")
+
+    # ------------------------------------------------------------------
+    # page access
+
+    def allocate_page(self) -> int:
+        """Extend the file by one zeroed page and return its page id."""
+        with self._lock:
+            self._check_open()
+            page_id = self._page_count
+            self._page_count += 1
+            self._install(page_id, bytearray(PAGE_SIZE), dirty=True)
+            return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        """Return the PAGE_SIZE bytes of ``page_id`` (immutable copy)."""
+        with self._lock:
+            self._check_open()
+            return bytes(self._get(page_id))
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Replace the contents of ``page_id`` (must be PAGE_SIZE long)."""
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page write must be exactly {PAGE_SIZE} bytes, "
+                f"got {len(data)}")
+        with self._lock:
+            self._check_open()
+            self._bounds_check(page_id)
+            self._install(page_id, bytearray(data), dirty=True)
+
+    def write_slice(self, page_id: int, offset: int, data: bytes) -> None:
+        """Overwrite ``data`` within a page starting at ``offset``."""
+        if offset < 0 or offset + len(data) > PAGE_SIZE:
+            raise StorageError("slice write exceeds page bounds")
+        with self._lock:
+            self._check_open()
+            page = self._get(page_id)
+            page[offset:offset + len(data)] = data
+            self._dirty.add(page_id)
+
+    # ------------------------------------------------------------------
+    # durability
+
+    def flush(self) -> None:
+        """Write all dirty cached pages to the OS."""
+        with self._lock:
+            self._check_open()
+            for page_id in sorted(self._dirty):
+                self._write_through(page_id, self._cache[page_id])
+            self._dirty.clear()
+
+    def sync(self) -> None:
+        """Flush and fsync: pages are durable on return."""
+        with self._lock:
+            self.flush()
+            os.fsync(self._fd)
+
+    # ------------------------------------------------------------------
+    # cache internals
+
+    def _bounds_check(self, page_id: int) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise StorageError(
+                f"{self._path}: page {page_id} out of range "
+                f"(file has {self._page_count} pages)")
+
+    def _get(self, page_id: int) -> bytearray:
+        self._bounds_check(page_id)
+        page = self._cache.get(page_id)
+        if page is None:
+            os.lseek(self._fd, page_id * PAGE_SIZE, os.SEEK_SET)
+            raw = os.read(self._fd, PAGE_SIZE)
+            if len(raw) != PAGE_SIZE:
+                # The page was allocated but never flushed; treat as zeroes.
+                raw = raw.ljust(PAGE_SIZE, b"\x00")
+            page = bytearray(raw)
+            self._install(page_id, page, dirty=False)
+        return page
+
+    def _install(self, page_id: int, page: bytearray, dirty: bool) -> None:
+        if page_id not in self._cache and len(self._cache) >= self._cache_pages:
+            self._evict_one()
+        self._cache[page_id] = page
+        if page_id not in self._clock:
+            self._clock.append(page_id)
+        if dirty:
+            self._dirty.add(page_id)
+
+    def _evict_one(self) -> None:
+        victim = self._clock.pop(0)
+        page = self._cache.pop(victim)
+        if victim in self._dirty:
+            self._write_through(victim, page)
+            self._dirty.discard(victim)
+
+    def _write_through(self, page_id: int, page: bytearray) -> None:
+        os.lseek(self._fd, page_id * PAGE_SIZE, os.SEEK_SET)
+        os.write(self._fd, bytes(page))

@@ -1,0 +1,196 @@
+"""Compact binary record encoding with checksums.
+
+The HAM's persistent structures (heap records, log records, delta chains)
+all share one self-describing binary value encoding, so that every layer
+can round-trip plain Python values — ints, strings, bytes, lists, dicts —
+without pickling (pickle would tie the on-disk format to Python internals
+and is unsafe to load from untrusted files).
+
+Framing: :func:`pack_record` prefixes the payload with a 4-byte length and
+a CRC32 checksum; :func:`unpack_record` verifies the checksum and raises
+:class:`repro.errors.ChecksumError` on corruption, which the WAL recovery
+scanner treats as "end of valid log".
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import ChecksumError, StorageError
+
+__all__ = ["encode_value", "decode_value", "pack_record", "unpack_record",
+           "RECORD_HEADER"]
+
+#: Record framing header: payload length (u32) then CRC32 of payload (u32).
+RECORD_HEADER = struct.Struct("<II")
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_NEG_INT = b"j"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _encode_into(value: object, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        magnitude = value if value >= 0 else -value
+        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1,
+                                 "little")
+        out += _TAG_INT if value >= 0 else _TAG_NEG_INT
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out += _TAG_BYTES
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, list):
+        out += _TAG_LIST
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, tuple):
+        out += _TAG_TUPLE
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        raise StorageError(
+            f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_value(value: object) -> bytes:
+    """Encode a Python value into the self-describing binary format.
+
+    Supported types: ``None``, ``bool``, ``int`` (arbitrary precision),
+    ``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict``.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _unpack_checked(layout: struct.Struct, data: bytes, offset: int):
+    """``unpack_from`` that reports truncation as a StorageError."""
+    if offset + layout.size > len(data):
+        raise StorageError("truncated value: short fixed-width field")
+    return layout.unpack_from(data, offset)
+
+
+def _decode_from(data: bytes, offset: int) -> tuple[object, int]:
+    if offset >= len(data):
+        raise StorageError("truncated value: no tag byte")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_FLOAT:
+        (value,) = _unpack_checked(_F64, data, offset)
+        return value, offset + _F64.size
+    if tag in (_TAG_INT, _TAG_NEG_INT, _TAG_STR, _TAG_BYTES):
+        (length,) = _unpack_checked(_U32, data, offset)
+        offset += _U32.size
+        raw = data[offset:offset + length]
+        if len(raw) != length:
+            raise StorageError("truncated value body")
+        offset += length
+        if tag == _TAG_STR:
+            try:
+                return raw.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise StorageError(
+                    f"malformed utf-8 in string value: {exc}") from None
+        if tag == _TAG_BYTES:
+            return raw, offset
+        magnitude = int.from_bytes(raw, "little")
+        return (magnitude if tag == _TAG_INT else -magnitude), offset
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = _unpack_checked(_U32, data, offset)
+        offset += _U32.size
+        items = []
+        for __ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        (count,) = _unpack_checked(_U32, data, offset)
+        offset += _U32.size
+        result: dict = {}
+        for __ in range(count):
+            key, offset = _decode_from(data, offset)
+            value, offset = _decode_from(data, offset)
+            result[key] = value
+        return result, offset
+    raise StorageError(f"unknown value tag {tag!r}")
+
+
+def decode_value(data: bytes) -> object:
+    """Decode a value produced by :func:`encode_value`.
+
+    Raises :class:`repro.errors.StorageError` if trailing bytes remain —
+    a record must decode exactly.
+    """
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise StorageError(
+            f"{len(data) - offset} trailing bytes after decoded value")
+    return value
+
+
+def pack_record(payload: bytes) -> bytes:
+    """Frame a payload with length and CRC32 for on-disk storage."""
+    return RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def unpack_record(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Read one framed record from ``data`` at ``offset``.
+
+    Returns ``(payload, next_offset)``.  Raises
+    :class:`repro.errors.StorageError` on a short read and
+    :class:`repro.errors.ChecksumError` on checksum mismatch.
+    """
+    header_end = offset + RECORD_HEADER.size
+    if header_end > len(data):
+        raise StorageError("truncated record header")
+    length, checksum = RECORD_HEADER.unpack_from(data, offset)
+    payload = data[header_end:header_end + length]
+    if len(payload) != length:
+        raise StorageError("truncated record payload")
+    if zlib.crc32(payload) != checksum:
+        raise ChecksumError(
+            f"record at offset {offset} failed checksum validation")
+    return payload, header_end + length

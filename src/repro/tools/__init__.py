@@ -1,0 +1,16 @@
+"""Operational tools over a HAM graph.
+
+- :mod:`repro.tools.verify` — ``fsck`` for hypergraphs: checks every
+  structural and versioning invariant the HAM maintains, reporting
+  violations instead of assuming them.
+- :mod:`repro.tools.stats` — size and storage statistics (node/link
+  counts, version counts, delta-chain bytes), the numbers an operator
+  wants before and after a checkpoint.
+"""
+
+from repro.tools.verify import verify_graph, Violation
+from repro.tools.stats import graph_stats, GraphStats
+from repro.tools.dump import dump_graph, import_graph, load_dump
+
+__all__ = ["verify_graph", "Violation", "graph_stats", "GraphStats",
+           "dump_graph", "import_graph", "load_dump"]

@@ -1,0 +1,99 @@
+"""Graph statistics: what an operator asks before/after maintenance.
+
+Aggregates counts and storage accounting across one graph: live/total
+nodes and links, version counts, attribute usage, and the delta-chain
+byte split (current bytes vs. stored history bytes) that benchmark B1
+characterizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ham import HAM
+from repro.core.types import CURRENT
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One graph's vital signs."""
+
+    node_count: int
+    live_node_count: int
+    link_count: int
+    live_link_count: int
+    archive_count: int
+    file_count: int
+    content_version_count: int
+    minor_version_count: int
+    attribute_count: int
+    demon_binding_count: int
+    current_bytes: int
+    history_bytes: int
+    clock_now: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Current contents plus stored history."""
+        return self.current_bytes + self.history_bytes
+
+    def render(self) -> str:
+        """Human-readable report."""
+        rows = [
+            ("nodes (live/total)",
+             f"{self.live_node_count}/{self.node_count}"),
+            ("links (live/total)",
+             f"{self.live_link_count}/{self.link_count}"),
+            ("archives / files",
+             f"{self.archive_count} / {self.file_count}"),
+            ("content versions", str(self.content_version_count)),
+            ("minor versions", str(self.minor_version_count)),
+            ("attributes defined", str(self.attribute_count)),
+            ("demon bindings", str(self.demon_binding_count)),
+            ("current bytes", str(self.current_bytes)),
+            ("history bytes", str(self.history_bytes)),
+            ("logical time", str(self.clock_now)),
+        ]
+        width = max(len(label) for label, __ in rows)
+        return "\n".join(f"{label.ljust(width)}  {value}"
+                         for label, value in rows)
+
+
+def graph_stats(ham: HAM) -> GraphStats:
+    """Collect :class:`GraphStats` for an opened HAM."""
+    store = ham.store
+    archive_count = file_count = 0
+    content_versions = minor_versions = 0
+    current_bytes = history_bytes = 0
+    for node in store.nodes.values():
+        if node.is_archive:
+            archive_count += 1
+            stats = node.storage_stats()
+            current_bytes += stats.current_bytes
+            history_bytes += stats.delta_bytes
+        else:
+            file_count += 1
+            if node.protections.readable:
+                current_bytes += len(node.contents_at())
+        content_versions += len(node.content_version_times())
+        minor_versions += len(node.minor_versions())
+    demon_bindings = len(store.graph_demons.demons_at(CURRENT))
+    for table in store.node_demons.values():
+        demon_bindings += len(table.demons_at(CURRENT))
+    return GraphStats(
+        node_count=len(store.nodes),
+        live_node_count=len(store.live_nodes(CURRENT)),
+        link_count=len(store.links),
+        live_link_count=len(store.live_links(CURRENT)),
+        archive_count=archive_count,
+        file_count=file_count,
+        content_version_count=content_versions,
+        minor_version_count=minor_versions,
+        attribute_count=len(store.registry.all_at(CURRENT)),
+        demon_binding_count=demon_bindings,
+        current_bytes=current_bytes,
+        history_bytes=history_bytes,
+        clock_now=store.clock.now,
+    )

@@ -1,0 +1,161 @@
+"""Integrity verification: ``fsck`` for a hypergraph.
+
+Checks the invariants the rest of the system relies on:
+
+- link/node symmetry: every link appears in its endpoints' in/out sets,
+  and every in/out entry names a link that points back;
+- endpoint existence: link endpoints reference nodes that exist, and a
+  live link never attaches to a tombstoned node;
+- timeline monotonicity: content versions, attribute timelines, and
+  attachment-offset histories strictly increase in time;
+- tombstone sanity: deletion times never precede creation times;
+- clock coverage: no record carries a time beyond the graph clock;
+- snapshot fidelity: the store round-trips through its snapshot encoding
+  without changing any of the above.
+
+Returns a list of :class:`Violation` — empty means healthy.  Used by
+tests as an oracle and exposed through the shell as ``verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import GraphStore
+from repro.core.ham import HAM
+from repro.core.link import LinkEnd
+from repro.core.types import CURRENT
+
+__all__ = ["Violation", "verify_graph", "verify_store"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant."""
+
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+def _check_symmetry(store: GraphStore, out: list[Violation]) -> None:
+    for link in store.links.values():
+        for end, node_set_name in ((LinkEnd.FROM, "out_links"),
+                                   (LinkEnd.TO, "in_links")):
+            node_index = link.endpoint(end).node
+            node = store.nodes.get(node_index)
+            if node is None:
+                out.append(Violation(
+                    "dangling-endpoint", f"link {link.index}",
+                    f"{end.value} endpoint names missing node "
+                    f"{node_index}"))
+                continue
+            holder = getattr(node, node_set_name)
+            if link.index not in holder:
+                out.append(Violation(
+                    "asymmetric-link", f"link {link.index}",
+                    f"not registered in node {node_index}.{node_set_name}"))
+            if link.alive_at(CURRENT) and not node.alive_at(CURRENT):
+                out.append(Violation(
+                    "live-link-dead-node", f"link {link.index}",
+                    f"alive but node {node_index} is tombstoned"))
+    for node in store.nodes.values():
+        for link_index in node.out_links | node.in_links:
+            link = store.links.get(link_index)
+            if link is None:
+                out.append(Violation(
+                    "phantom-link", f"node {node.index}",
+                    f"references missing link {link_index}"))
+            elif node.index not in (link.from_node, link.to_node):
+                out.append(Violation(
+                    "asymmetric-link", f"node {node.index}",
+                    f"holds link {link_index} that does not attach to it"))
+
+
+def _check_timelines(store: GraphStore, out: list[Violation]) -> None:
+    for node in store.nodes.values():
+        times = node.content_version_times()
+        if times != sorted(times) or len(set(times)) != len(times):
+            out.append(Violation(
+                "non-monotonic-versions", f"node {node.index}",
+                f"content version times {times}"))
+        if node.deleted_at is not None and \
+                node.deleted_at < node.created_at:
+            out.append(Violation(
+                "tombstone-before-birth", f"node {node.index}",
+                f"created {node.created_at}, deleted {node.deleted_at}"))
+        for attr_index, timeline in node.attributes._timelines.items():
+            stamps = timeline.times()
+            if stamps != sorted(stamps) or len(set(stamps)) != len(stamps):
+                out.append(Violation(
+                    "non-monotonic-attribute", f"node {node.index}",
+                    f"attribute {attr_index} times {stamps}"))
+    for link in store.links.values():
+        for end, timeline in link._offsets.items():
+            stamps = timeline.times()
+            if stamps != sorted(stamps) or len(set(stamps)) != len(stamps):
+                out.append(Violation(
+                    "non-monotonic-attachment", f"link {link.index}",
+                    f"{end.value} offsets at times {stamps}"))
+        if link.deleted_at is not None and \
+                link.deleted_at < link.created_at:
+            out.append(Violation(
+                "tombstone-before-birth", f"link {link.index}",
+                f"created {link.created_at}, deleted {link.deleted_at}"))
+
+
+def _check_clock(store: GraphStore, out: list[Violation]) -> None:
+    now = store.clock.now
+    for node in store.nodes.values():
+        latest = max(node.content_version_times())
+        if latest > now:
+            out.append(Violation(
+                "time-from-the-future", f"node {node.index}",
+                f"version at {latest} but clock is at {now}"))
+    for link in store.links.values():
+        if link.created_at > now:
+            out.append(Violation(
+                "time-from-the-future", f"link {link.index}",
+                f"created at {link.created_at} but clock is at {now}"))
+
+
+def _check_snapshot_round_trip(store: GraphStore,
+                               out: list[Violation]) -> None:
+    from repro.storage.serializer import decode_value, encode_value
+    try:
+        snapshot = decode_value(encode_value(store.to_snapshot()))
+        restored = GraphStore.from_snapshot(snapshot)
+    except Exception as exc:  # the round trip itself must never fail
+        out.append(Violation(
+            "snapshot-round-trip", "graph", f"{type(exc).__name__}: {exc}"))
+        return
+    if set(restored.nodes) != set(store.nodes):
+        out.append(Violation(
+            "snapshot-round-trip", "graph", "node set changed"))
+    if set(restored.links) != set(store.links):
+        out.append(Violation(
+            "snapshot-round-trip", "graph", "link set changed"))
+    for index, node in store.nodes.items():
+        if node.alive_at(CURRENT) and node.protections.readable:
+            if restored.nodes[index].contents_at() != node.contents_at():
+                out.append(Violation(
+                    "snapshot-round-trip", f"node {index}",
+                    "current contents changed"))
+
+
+def verify_store(store: GraphStore) -> list[Violation]:
+    """Run every check against a raw store."""
+    out: list[Violation] = []
+    _check_symmetry(store, out)
+    _check_timelines(store, out)
+    _check_clock(store, out)
+    _check_snapshot_round_trip(store, out)
+    return out
+
+
+def verify_graph(ham: HAM) -> list[Violation]:
+    """Run every check against an opened HAM (empty list = healthy)."""
+    return verify_store(ham.store)

@@ -1,0 +1,29 @@
+"""Transactions, locking, and crash recovery for the HAM.
+
+The paper (§2.2): Neptune "is transaction-oriented and provides for
+complete recovery from any aborted transaction", with "synchronization for
+multi-user access" (§3).  This package supplies those guarantees:
+
+- :mod:`repro.txn.locks` — strict two-phase locking with shared/exclusive
+  modes and waits-for-graph deadlock detection.
+- :mod:`repro.txn.manager` — transactions that journal logical redo
+  records to the write-ahead log and in-memory undo closures; commit
+  forces the log, abort rolls back.
+- :mod:`repro.txn.recovery` — rebuilds state after a crash by loading the
+  last checkpoint and replaying the redo records of committed
+  transactions.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager, TxnStatus
+from repro.txn.recovery import RecoveredState, replay_log
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+    "RecoveredState",
+    "replay_log",
+]

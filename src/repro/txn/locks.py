@@ -1,0 +1,167 @@
+"""Strict two-phase locking with deadlock detection.
+
+Resources are identified by hashable keys (the HAM uses ``("node", i)``,
+``("link", i)``, and ``("graph",)``).  Shared locks admit concurrent
+readers; exclusive locks serialize writers.  A transaction holding a
+shared lock may upgrade to exclusive.
+
+Deadlocks are detected by cycle search in the waits-for graph each time a
+transaction blocks; the *requesting* transaction is chosen as victim and
+receives :class:`repro.errors.DeadlockError` (simple, and the requester is
+the one with the least sunk work in the common case).  A configurable
+timeout bounds worst-case waiting even without a cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    """Lock compatibility: SHARED/SHARED is the only compatible pair."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters for one resource."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Lock table shared by all transactions on one graph.  Thread-safe."""
+
+    def __init__(self, timeout: float = 10.0):
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._table: dict[object, _LockState] = {}
+        self._held: dict[int, set[object]] = {}
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # acquisition
+
+    def acquire(self, txn_id: int, resource: object, mode: LockMode) -> None:
+        """Acquire ``resource`` in ``mode`` for ``txn_id``; blocks.
+
+        Raises :class:`DeadlockError` if waiting would create a waits-for
+        cycle, :class:`LockTimeoutError` after the configured timeout.
+        """
+        deadline = _time.monotonic() + self._timeout
+        with self._condition:
+            state = self._table.setdefault(resource, _LockState())
+            if self._grantable(state, txn_id, mode):
+                self._grant(state, txn_id, resource, mode)
+                return
+            state.waiters.append((txn_id, mode))
+            try:
+                while not self._grantable(state, txn_id, mode,
+                                          as_waiter=True):
+                    if self._would_deadlock(txn_id):
+                        raise DeadlockError(
+                            f"transaction {txn_id} would deadlock waiting "
+                            f"for {resource!r}")
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        raise LockTimeoutError(
+                            f"transaction {txn_id} timed out waiting for "
+                            f"{resource!r}")
+                    self._condition.wait(timeout=min(remaining, 0.1))
+            finally:
+                state.waiters.remove((txn_id, mode))
+            self._grant(state, txn_id, resource, mode)
+            self._condition.notify_all()
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (commit/abort time)."""
+        with self._condition:
+            for resource in self._held.pop(txn_id, set()):
+                state = self._table.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                if not state.holders and not state.waiters:
+                    del self._table[resource]
+            self._condition.notify_all()
+
+    def holds(self, txn_id: int, resource: object,
+              mode: LockMode | None = None) -> bool:
+        """True when ``txn_id`` holds ``resource`` (in ``mode``, if given)."""
+        with self._lock:
+            state = self._table.get(resource)
+            if state is None or txn_id not in state.holders:
+                return False
+            if mode is None:
+                return True
+            held = state.holders[txn_id]
+            if mode is LockMode.SHARED:
+                return True  # exclusive subsumes shared
+            return held is LockMode.EXCLUSIVE
+
+    # ------------------------------------------------------------------
+    # internals (condition lock held)
+
+    def _grantable(self, state: _LockState, txn_id: int, mode: LockMode,
+                   as_waiter: bool = False) -> bool:
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE:
+            return True  # already at the top
+        if held is LockMode.SHARED and mode is LockMode.SHARED:
+            return True
+        others = {t: m for t, m in state.holders.items() if t != txn_id}
+        if mode is LockMode.EXCLUSIVE:
+            return not others
+        # Shared request: compatible unless an exclusive holder exists,
+        # and (fairness) unless an exclusive waiter is queued ahead of us.
+        if any(m is LockMode.EXCLUSIVE for m in others.values()):
+            return False
+        for waiting_txn, waiting_mode in state.waiters:
+            if as_waiter and waiting_txn == txn_id:
+                break  # only writers queued *ahead* of us matter
+            if waiting_mode is LockMode.EXCLUSIVE:
+                return False
+        return True
+
+    def _grant(self, state: _LockState, txn_id: int, resource: object,
+               mode: LockMode) -> None:
+        held = state.holders.get(txn_id)
+        if held is not LockMode.EXCLUSIVE:
+            state.holders[txn_id] = mode
+        self._held.setdefault(txn_id, set()).add(resource)
+
+    def _would_deadlock(self, requester: int) -> bool:
+        """Cycle search in the waits-for graph starting from ``requester``."""
+        edges: dict[int, set[int]] = {}
+        for state in self._table.values():
+            for waiter, mode in state.waiters:
+                blockers = {
+                    holder
+                    for holder, held_mode in state.holders.items()
+                    if holder != waiter and (
+                        mode is LockMode.EXCLUSIVE
+                        or held_mode is LockMode.EXCLUSIVE)
+                }
+                if blockers:
+                    edges.setdefault(waiter, set()).update(blockers)
+        seen: set[int] = set()
+        frontier = list(edges.get(requester, ()))
+        while frontier:
+            blocker = frontier.pop()
+            if blocker == requester:
+                return True
+            if blocker in seen:
+                continue
+            seen.add(blocker)
+            frontier.extend(edges.get(blocker, ()))
+        return False

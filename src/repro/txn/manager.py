@@ -1,0 +1,195 @@
+"""Transactions: logical redo logging, in-memory undo, strict 2PL.
+
+Design (classic in-memory-database recovery, per DESIGN.md):
+
+- the primary copy of the hypergraph lives in memory;
+- every mutation, applied inside a transaction, appends a *logical redo*
+  record (operation name + arguments, including any assigned ids and
+  times, so replay is deterministic) and registers an in-memory undo
+  closure;
+- ``commit`` appends COMMIT and **forces the log** before acknowledging —
+  the durability point;
+- ``abort`` runs the undo closures in reverse and appends ABORT;
+- after a crash, recovery loads the last checkpoint snapshot and re-applies
+  the redo records of committed transactions only (see
+  :mod:`repro.txn.recovery`), which also wipes every trace of in-flight
+  transactions — "complete recovery from any aborted transaction".
+
+Locking is strict two-phase: locks accumulate during the transaction and
+release only at commit/abort.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Callable
+
+from repro.errors import TransactionError
+from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
+from repro.txn.locks import LockManager, LockMode
+
+__all__ = ["TxnStatus", "Transaction", "TransactionManager"]
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work against a graph.
+
+    Use as a context manager for commit-on-success/abort-on-exception::
+
+        with manager.begin() as txn:
+            ham.add_node(txn, ...)
+    """
+
+    def __init__(self, txn_id: int, manager: "TransactionManager",
+                 read_only: bool = False):
+        self.txn_id = txn_id
+        self.status = TxnStatus.ACTIVE
+        self.read_only = read_only
+        self._manager = manager
+        self._undo: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # journaling API used by the HAM
+
+    def lock(self, resource: object, mode: LockMode) -> None:
+        """Acquire a lock, held until this transaction finishes."""
+        self._require_active()
+        self._manager.locks.acquire(self.txn_id, resource, mode)
+
+    def log_update(self, operation: str, args: dict,
+                   undo: Callable[[], None]) -> None:
+        """Journal one applied mutation.
+
+        ``operation``/``args`` form the logical redo record; ``undo``
+        reverses the in-memory effect if the transaction aborts.
+        """
+        self._require_active()
+        if self.read_only:
+            raise TransactionError(
+                f"transaction {self.txn_id} is read-only")
+        self._manager.log.append(LogRecord(
+            kind=LogRecordKind.UPDATE,
+            txn_id=self.txn_id,
+            payload={"op": operation, "args": args},
+        ))
+        self._undo.append(undo)
+
+    # ------------------------------------------------------------------
+    # outcome
+
+    def commit(self) -> None:
+        """Make every journaled update durable and release locks."""
+        self._require_active()
+        self._manager.finish_commit(self)
+        self.status = TxnStatus.COMMITTED
+
+    def abort(self) -> None:
+        """Undo every journaled update and release locks."""
+        self._require_active()
+        for undo in reversed(self._undo):
+            undo()
+        self._manager.finish_abort(self)
+        self.status = TxnStatus.ABORTED
+
+    def _require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status.value}")
+
+    # ------------------------------------------------------------------
+    # context-manager sugar
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            return  # caller already finished it explicitly
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class TransactionManager:
+    """Creates transactions and owns the log + lock table for one graph."""
+
+    def __init__(self, log: WriteAheadLog, locks: LockManager | None = None,
+                 synchronous: bool = True):
+        self.log = log
+        self.locks = locks if locks is not None else LockManager()
+        #: When False, commits skip fsync (benchmark knob; recovery then
+        #: only survives process crashes, not power loss — same trade-off
+        #: as an async-commit database setting).
+        self.synchronous = synchronous
+        self._next_txn_id = 1
+        self._lock = threading.Lock()
+        self._active: dict[int, Transaction] = {}
+
+    def begin(self, read_only: bool = False) -> Transaction:
+        """Start a transaction; writes its BEGIN record (writers only).
+
+        Read-only transactions still take locks (isolation) but never
+        touch the log, so reads stay fsync-free.
+        """
+        with self._lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            txn = Transaction(txn_id, self, read_only=read_only)
+            self._active[txn_id] = txn
+        if not read_only:
+            self.log.append(
+                LogRecord(kind=LogRecordKind.BEGIN, txn_id=txn_id))
+        return txn
+
+    @property
+    def active_count(self) -> int:
+        """Number of transactions currently in flight."""
+        with self._lock:
+            return len(self._active)
+
+    def finish_commit(self, txn: Transaction) -> None:
+        """COMMIT record, force, release locks (called by Transaction)."""
+        if not txn.read_only:
+            self.log.append(LogRecord(
+                kind=LogRecordKind.COMMIT, txn_id=txn.txn_id))
+            if self.synchronous:
+                self.log.force()
+        self.locks.release_all(txn.txn_id)
+        with self._lock:
+            self._active.pop(txn.txn_id, None)
+
+    def finish_abort(self, txn: Transaction) -> None:
+        """ABORT record, release locks (called by Transaction)."""
+        if not txn.read_only:
+            self.log.append(LogRecord(
+                kind=LogRecordKind.ABORT, txn_id=txn.txn_id))
+        self.locks.release_all(txn.txn_id)
+        with self._lock:
+            self._active.pop(txn.txn_id, None)
+
+    def checkpoint(self, snapshot_marker: object = None) -> None:
+        """Append a CHECKPOINT record and truncate the redo log.
+
+        The caller must have persisted a snapshot first; concurrent
+        transactions must be quiesced (the HAM enforces this by taking the
+        graph lock exclusively).
+        """
+        with self._lock:
+            if self._active:
+                raise TransactionError(
+                    "cannot checkpoint with transactions in flight")
+        self.log.truncate()
+        self.log.append(LogRecord(
+            kind=LogRecordKind.CHECKPOINT, txn_id=0,
+            payload=snapshot_marker))
+        self.log.force()

@@ -1,0 +1,32 @@
+"""Version-history helpers layered over the delta store.
+
+The heavy lifting of versioning lives in
+:class:`repro.storage.deltas.DeltaStore` (contents) and the timeline
+machinery inside :mod:`repro.core.attributes` / :mod:`repro.core.link`.
+This package adds the cross-cutting views:
+
+- :mod:`repro.versioning.timeline` — ordering and as-of lookups over
+  heterogeneous version streams (re-export of the core Timeline).
+- :mod:`repro.versioning.history` — assembling a node's combined
+  major/minor history and graph-wide version summaries.
+- :mod:`repro.versioning.blame` — per-line provenance over a node's
+  whole content history.
+"""
+
+from repro.versioning.timeline import Timeline
+from repro.versioning.history import (
+    NodeHistory,
+    node_history,
+    graph_version_times,
+)
+from repro.versioning.blame import BlameLine, blame, render_blame
+
+__all__ = [
+    "Timeline",
+    "NodeHistory",
+    "node_history",
+    "graph_version_times",
+    "BlameLine",
+    "blame",
+    "render_blame",
+]

@@ -1,0 +1,93 @@
+"""Line provenance ("blame"): which version introduced each line.
+
+The HAM keeps "complete version histories … at the granularity of
+'writes' from a text editor" (§2.2); this walks a node's whole content
+history and attributes every line of the requested version to the
+check-in that introduced it — the review question a CAD/CASE team asks
+constantly ("when did this requirement change, and with what
+explanation?").
+
+Built purely on public history operations plus the diff engine, so it
+works on any archive node, local or remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ham import HAM
+from repro.core.types import CURRENT, NodeIndex, Time
+from repro.errors import VersionError
+from repro.storage.diff import diff_sequences
+
+__all__ = ["BlameLine", "blame", "render_blame"]
+
+@dataclass(frozen=True)
+class BlameLine:
+    """One line of the blamed version with its provenance."""
+
+    line: bytes
+    introduced_at: Time
+    explanation: str
+
+
+def blame(ham: HAM, node: NodeIndex,
+          time: Time = CURRENT) -> list[BlameLine]:
+    """Per-line provenance of ``node``'s contents as of ``time``.
+
+    Every line is tagged with the check-in time that introduced it (a
+    line re-introduced identically after deletion counts as new from
+    its re-introduction).  Requires an archive node — files keep no
+    history to blame against.
+    """
+    major, __ = ham.get_node_versions(node)
+    explanations = {version.time: version.explanation
+                    for version in major}
+    if time == CURRENT:
+        cutoff = major[-1].time
+    else:
+        eligible = [version.time for version in major
+                    if version.time <= time]
+        if not eligible:
+            raise VersionError(
+                f"node {node} had no version at time {time}")
+        cutoff = eligible[-1]
+
+    tags: list[Time] = []
+    previous_lines: list[bytes] = []
+    for version in major:
+        if version.time > cutoff:
+            break
+        contents = ham.open_node(node, time=version.time)[0]
+        lines = contents.splitlines(keepends=True)
+        if not tags and not previous_lines:
+            tags = [version.time] * len(lines)
+        else:
+            script = diff_sequences(previous_lines, lines)
+            new_tags: list[Time] = []
+            cursor = 0
+            for diff in script:
+                new_tags.extend(tags[cursor:diff.position])
+                cursor = diff.position + diff.old_length
+                new_tags.extend([version.time] * diff.new_length)
+            new_tags.extend(tags[cursor:])
+            tags = new_tags
+        previous_lines = lines
+    return [
+        BlameLine(line=line, introduced_at=tag,
+                  explanation=explanations.get(tag, ""))
+        for line, tag in zip(previous_lines, tags)
+    ]
+
+
+def render_blame(ham: HAM, node: NodeIndex, time: Time = CURRENT) -> str:
+    """Human-readable blame listing, one annotated line per line."""
+    rows = blame(ham, node, time)
+    width = max((len(str(row.introduced_at)) for row in rows), default=1)
+    lines = [f"blame of node {node}"]
+    for row in rows:
+        text = row.line.decode("utf-8", errors="replace").rstrip("\n")
+        note = f" ({row.explanation})" if row.explanation else ""
+        lines.append(f"  t={str(row.introduced_at).rjust(width)}{note:<24}"
+                     f" | {text}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Cross-cutting version-history views.
+
+The HAM answers per-object history questions (``getNodeVersions``,
+``getNodeDifferences``); applications also need combined views — "show me
+everything that happened to this node, in order" and "which graph-wide
+times are addressable".  These helpers assemble those from the HAM's
+primitives, and the version browser renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ham import HAM
+from repro.core.types import NodeIndex, Time, Version
+
+__all__ = ["NodeHistory", "node_history", "graph_version_times"]
+
+
+@dataclass(frozen=True)
+class NodeHistory:
+    """Interleaved major/minor history of one node."""
+
+    node: NodeIndex
+    #: (version, is_major) pairs, oldest first.
+    entries: tuple[tuple[Version, bool], ...]
+
+    @property
+    def major(self) -> list[Version]:
+        """Content versions only."""
+        return [version for version, is_major in self.entries if is_major]
+
+    @property
+    def minor(self) -> list[Version]:
+        """Attribute/attachment updates only."""
+        return [version for version, is_major in self.entries
+                if not is_major]
+
+    def render(self) -> str:
+        """Human-readable listing, one event per line."""
+        lines = [f"history of node {self.node}"]
+        for version, is_major in self.entries:
+            marker = "*" if is_major else "-"
+            text = version.explanation or "(no explanation)"
+            lines.append(f"  {marker} t={version.time:<6} {text}")
+        return "\n".join(lines)
+
+
+def node_history(ham: HAM, node: NodeIndex) -> NodeHistory:
+    """Assemble the interleaved history of ``node`` from the HAM."""
+    major, minor = ham.get_node_versions(node)
+    entries = sorted(
+        [(version, True) for version in major]
+        + [(version, False) for version in minor],
+        key=lambda pair: (pair[0].time, not pair[1]),
+    )
+    return NodeHistory(node, tuple(entries))
+
+
+def graph_version_times(ham: HAM) -> list[Time]:
+    """Every time at which *something* in the graph changed.
+
+    The union of all nodes' major and minor version times plus link
+    creation times — the addressable versions of the hypergraph ("rapid
+    access to any version of a hypergraph", §3).
+    """
+    times: set[Time] = set()
+    store = ham.store
+    for node in store.nodes.values():
+        times.add(node.created_at)
+        if node.deleted_at is not None:
+            times.add(node.deleted_at)
+        times.update(node.content_version_times())
+        times.update(version.time for version in node.minor_versions())
+    for link in store.links.values():
+        times.add(link.created_at)
+        if link.deleted_at is not None:
+            times.add(link.deleted_at)
+    return sorted(times)

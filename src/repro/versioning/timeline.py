@@ -1,0 +1,10 @@
+"""Re-export of :class:`repro.core.timeline.Timeline`.
+
+The implementation lives in :mod:`repro.core.timeline` so that core
+modules (attributes, links, demons) can use it without importing this
+package's __init__ (which pulls in the HAM and would cycle).
+"""
+
+from repro.core.timeline import Timeline
+
+__all__ = ["Timeline"]

@@ -1,0 +1,38 @@
+"""Synthetic workload generators for benchmarks and examples.
+
+- :mod:`repro.workloads.generator` — hierarchical documents and
+  attribute-rich random hypergraphs of configurable size.
+- :mod:`repro.workloads.trace` — deterministic editing-session traces
+  (the version-storage workloads for benchmarks B1/B2).
+- :mod:`repro.workloads.case_project` — synthetic Modula-2 projects for
+  the CASE benchmarks.
+- :mod:`repro.workloads.paper` — this very paper as a hyperdocument: the
+  document the original Figures 1-3 were screenshotted browsing.
+"""
+
+from repro.workloads.generator import (
+    build_hierarchical_document,
+    build_random_graph,
+    DocumentShape,
+    GraphShape,
+)
+from repro.workloads.trace import EditTrace, generate_versions
+from repro.workloads.case_project import build_case_project, ProjectShape
+from repro.workloads.paper import build_paper_document, PAPER_SECTIONS
+from repro.workloads.session import SessionMix, SessionReport, run_session
+
+__all__ = [
+    "SessionMix",
+    "SessionReport",
+    "run_session",
+    "build_hierarchical_document",
+    "build_random_graph",
+    "DocumentShape",
+    "GraphShape",
+    "EditTrace",
+    "generate_versions",
+    "build_case_project",
+    "ProjectShape",
+    "build_paper_document",
+    "PAPER_SECTIONS",
+]

@@ -1,0 +1,135 @@
+"""Hyperdocument and hypergraph generators.
+
+Everything is seeded and deterministic: benchmarks must measure the same
+workload on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.documents import DocumentApplication, DocumentHandle
+from repro.core.ham import HAM
+from repro.core.types import LinkPt, NodeIndex
+
+__all__ = [
+    "DocumentShape",
+    "GraphShape",
+    "build_hierarchical_document",
+    "build_random_graph",
+]
+
+_WORDS = (
+    "hypertext node link version attribute demon graph browser query "
+    "design layout compiler module procedure document annotation memex "
+    "storage transaction server context merge history delta archive"
+).split()
+
+
+def _sentence(rng: random.Random, words: int = 8) -> str:
+    return " ".join(rng.choice(_WORDS) for __ in range(words)).capitalize()
+
+
+def _body(rng: random.Random, lines: int) -> bytes:
+    return "".join(
+        _sentence(rng) + ".\n" for __ in range(lines)).encode()
+
+
+@dataclass(frozen=True)
+class DocumentShape:
+    """Shape of a generated hierarchical document."""
+
+    depth: int = 3
+    fanout: int = 3
+    body_lines: int = 4
+    seed: int = 1986
+
+    @property
+    def section_count(self) -> int:
+        """Total sections including the root."""
+        total = 1
+        level = 1
+        for __ in range(self.depth):
+            level *= self.fanout
+            total += level
+        return total
+
+
+def build_hierarchical_document(
+    ham: HAM, shape: DocumentShape = DocumentShape(),
+    name: str = "generated document",
+) -> tuple[DocumentHandle, list[NodeIndex]]:
+    """Create a ``fanout``-ary tree document of ``depth`` levels.
+
+    Returns the document handle and all section nodes (root first).
+    """
+    rng = random.Random(shape.seed)
+    app = DocumentApplication(ham)
+    document = app.create_document(name)
+    nodes = [document.root]
+    frontier = [document.root]
+    for level in range(shape.depth):
+        next_frontier = []
+        for parent in frontier:
+            for child_n in range(shape.fanout):
+                title = f"Section {level + 1}.{child_n + 1} of {parent}"
+                node = app.add_section(
+                    document, parent, title,
+                    contents=_body(rng, shape.body_lines))
+                nodes.append(node)
+                next_frontier.append(node)
+        frontier = next_frontier
+    return document, nodes
+
+
+@dataclass(frozen=True)
+class GraphShape:
+    """Shape of a generated attribute-rich random hypergraph."""
+
+    nodes: int = 100
+    extra_links: int = 150
+    #: Attribute names attached to every node with random values.
+    attributes: tuple[str, ...] = ("document", "contentType", "status")
+    #: Distinct values per attribute (selectivity knob: matches per
+    #: equality predicate average nodes/values).
+    values_per_attribute: int = 5
+    body_lines: int = 2
+    seed: int = 7
+
+
+def build_random_graph(ham: HAM, shape: GraphShape = GraphShape(),
+                       ) -> list[NodeIndex]:
+    """Create ``nodes`` attributed nodes wired with random links.
+
+    Every node carries each attribute in ``shape.attributes`` with a
+    value drawn from ``value0 .. value{k-1}``; a weak spanning chain
+    keeps the graph connected, then ``extra_links`` random links are
+    added on top.  Returns the node indexes.
+    """
+    rng = random.Random(shape.seed)
+    nodes: list[NodeIndex] = []
+    with ham.begin() as txn:
+        attr_indexes = {
+            name: ham.get_attribute_index(name, txn)
+            for name in shape.attributes
+        }
+        for position in range(shape.nodes):
+            node, time = ham.add_node(txn)
+            ham.modify_node(
+                txn, node=node, expected_time=time,
+                contents=_body(rng, shape.body_lines))
+            for name, attr in attr_indexes.items():
+                value = f"value{rng.randrange(shape.values_per_attribute)}"
+                ham.set_node_attribute_value(
+                    txn, node=node, attribute=attr, value=value)
+            nodes.append(node)
+        for position in range(1, len(nodes)):
+            parent = nodes[rng.randrange(position)]
+            ham.add_link(txn, from_pt=LinkPt(parent),
+                         to_pt=LinkPt(nodes[position]))
+        for __ in range(shape.extra_links):
+            from_node, to_node = rng.sample(nodes, 2)
+            ham.add_link(txn, from_pt=LinkPt(from_node),
+                         to_pt=LinkPt(to_node))
+    return nodes

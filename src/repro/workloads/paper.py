@@ -1,0 +1,64 @@
+"""This very paper as a hyperdocument.
+
+Figures 1 and 2 of the paper are screenshots of Neptune browsing *the
+paper itself* ("A graph browser that views this paper is shown in
+Figure 1"; "Figure 2 shows a document browser viewing this paper").  The
+figure-reproduction benchmarks therefore need the paper in the database;
+this builder creates its section tree with representative text, plus an
+annotation and a cross reference so every link flavour appears.
+"""
+
+from __future__ import annotations
+
+from repro.apps.documents import DocumentApplication, DocumentHandle
+from repro.core.ham import HAM
+from repro.core.types import NodeIndex
+
+__all__ = ["PAPER_SECTIONS", "build_paper_document"]
+
+#: (depth, title, first line of body) for each section of the paper.
+PAPER_SECTIONS: tuple[tuple[int, str, str], ...] = (
+    (1, "Introduction",
+     "Traditional databases have certain weaknesses for CAD."),
+    (1, "Hypertext",
+     "Hypertext in its essence is non-linear or nonsequential text."),
+    (2, "Existing Hypertext Systems",
+     "Vannevar Bush described his memex in 1945."),
+    (2, "Properties of Hypertext Systems",
+     "Editing, traversal, multimedia, multi-person access."),
+    (2, "Applications of Hypertext",
+     "The most obvious application of hypertext is documentation."),
+    (1, "An Overview of Neptune",
+     "Neptune is designed as a layered architecture."),
+    (1, "Hypertext-based CAD Systems",
+     "All project data stored in hyperdocuments."),
+    (2, "Neptune's Documentation User Interface",
+     "The user interface is implemented in Smalltalk-80."),
+    (2, "Specializing Hypertext for a CASE Application",
+     "How should Neptune's primitives be used for CAD?"),
+    (1, "Conclusions",
+     "Hypertext provides an appropriate storage model for CAD."),
+    (1, "Appendix: HAM Specification",
+     "Operations on graphs, nodes, links, attributes, and demons."),
+)
+
+
+def build_paper_document(ham: HAM) -> tuple[DocumentHandle,
+                                            dict[str, NodeIndex]]:
+    """Store the paper's structure; returns (handle, title → node)."""
+    app = DocumentApplication(ham)
+    document = app.create_document("Neptune: a Hypertext System for CAD")
+    by_title: dict[str, NodeIndex] = {}
+    parents = {0: document.root}
+    for depth, title, first_line in PAPER_SECTIONS:
+        parent = parents[depth - 1]
+        node = app.add_section(document, parent, title,
+                               contents=first_line.encode() + b"\n")
+        by_title[title] = node
+        parents[depth] = node
+    # One annotation and one cross reference, as the browsers show.
+    app.annotate(by_title["Introduction"], position=4,
+                 text="See Bush 1945 for the memex.")
+    app.cross_reference(by_title["Conclusions"], position=8,
+                        to_node=by_title["An Overview of Neptune"])
+    return document, by_title

@@ -1,0 +1,132 @@
+"""A mixed-operation session simulator.
+
+Drives one HAM (local or remote) with the operation mix of an editing
+workstation: mostly reads (openNode, queries), a steady stream of
+check-ins, occasional structure changes and annotations.  Deterministic
+given its seed; reports per-operation counts so benchmarks can compute
+honest per-op rates.
+
+This is the closest thing to an overall "Neptune under load" workload —
+benchmark B11 runs it against the in-process HAM and over RPC.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.types import LinkPt
+
+__all__ = ["SessionMix", "SessionReport", "run_session"]
+
+
+@dataclass(frozen=True)
+class SessionMix:
+    """Operation probabilities (normalized over their sum) and sizing."""
+
+    operations: int = 200
+    read_weight: float = 0.55
+    modify_weight: float = 0.20
+    query_weight: float = 0.10
+    traverse_weight: float = 0.05
+    annotate_weight: float = 0.05
+    structure_weight: float = 0.05
+    seed: int = 2718
+    initial_nodes: int = 12
+    body_lines: int = 6
+
+
+@dataclass
+class SessionReport:
+    """What the session actually executed."""
+
+    counts: dict = field(default_factory=dict)
+    retries: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total operations performed."""
+        return sum(self.counts.values())
+
+
+def _seed_graph(ham, mix: SessionMix, rng: random.Random) -> list[int]:
+    nodes = []
+    with _txn(ham) as txn:
+        for position in range(mix.initial_nodes):
+            node, time = ham.add_node(txn)
+            body = "".join(
+                f"line {line} of node {position}\n"
+                for line in range(mix.body_lines)).encode()
+            ham.modify_node(txn, node=node, expected_time=time,
+                            contents=body)
+            nodes.append(node)
+        document = ham.get_attribute_index("document", txn)
+        for node in nodes:
+            ham.set_node_attribute_value(
+                txn, node=node, attribute=document,
+                value=f"doc{rng.randrange(3)}")
+        for position in range(1, len(nodes)):
+            ham.add_link(txn,
+                         from_pt=LinkPt(nodes[rng.randrange(position)]),
+                         to_pt=LinkPt(nodes[position]))
+    return nodes
+
+
+def _txn(ham):
+    from repro.apps._txn import in_txn
+    return in_txn(ham, None)
+
+
+def run_session(ham, mix: SessionMix = SessionMix()) -> SessionReport:
+    """Run the mixed workload; returns per-operation counts."""
+    from repro.errors import StaleVersionError
+
+    rng = random.Random(mix.seed)
+    nodes = _seed_graph(ham, mix, rng)
+    report = SessionReport(counts={
+        "read": 0, "modify": 0, "query": 0, "traverse": 0,
+        "annotate": 0, "structure": 0,
+    })
+    weights = [
+        ("read", mix.read_weight),
+        ("modify", mix.modify_weight),
+        ("query", mix.query_weight),
+        ("traverse", mix.traverse_weight),
+        ("annotate", mix.annotate_weight),
+        ("structure", mix.structure_weight),
+    ]
+    names = [name for name, __ in weights]
+    probabilities = [weight for __, weight in weights]
+
+    for __ in range(mix.operations):
+        operation = rng.choices(names, probabilities)[0]
+        node = rng.choice(nodes)
+        if operation == "read":
+            ham.open_node(node)
+        elif operation == "modify":
+            try:
+                contents, ___, ____, version = ham.open_node(node)
+                ham.modify_node(node=node, expected_time=version,
+                                contents=contents + b"edit\n")
+            except StaleVersionError:
+                report.retries += 1
+                continue
+        elif operation == "query":
+            ham.get_graph_query(
+                node_predicate=f"document = doc{rng.randrange(3)}")
+        elif operation == "traverse":
+            ham.linearize_graph(nodes[0])
+        elif operation == "annotate":
+            with _txn(ham) as txn:
+                annotation, time = ham.add_node(txn)
+                ham.modify_node(txn, node=annotation, expected_time=time,
+                                contents=b"session note\n")
+                ham.add_link(txn, from_pt=LinkPt(node),
+                             to_pt=LinkPt(annotation))
+            nodes.append(annotation)
+        elif operation == "structure":
+            source, target = rng.sample(nodes, 2)
+            ham.add_link(txn=None, from_pt=LinkPt(source),
+                         to_pt=LinkPt(target))
+        report.counts[operation] += 1
+    return report

@@ -1,0 +1,57 @@
+"""Deterministic editing-session traces.
+
+Benchmarks B1/B2 need "many versions of a node produced by realistic
+edits" — mostly-local line insertions, deletions, and replacements, the
+granularity the paper versions at ("complete version histories at the
+granularity of 'writes' from a text editor").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["EditTrace", "generate_versions"]
+
+
+@dataclass(frozen=True)
+class EditTrace:
+    """Parameters of a synthetic editing session."""
+
+    initial_lines: int = 100
+    versions: int = 50
+    #: Line edits applied per version (one editor "write").
+    edits_per_version: int = 3
+    line_width: int = 40
+    seed: int = 42
+
+
+def _random_line(rng: random.Random, width: int) -> bytes:
+    alphabet = "abcdefghijklmnopqrstuvwxyz "
+    return ("".join(rng.choice(alphabet) for __ in range(width))
+            ).encode() + b"\n"
+
+
+def generate_versions(trace: EditTrace = EditTrace()) -> list[bytes]:
+    """All versions of a document under ``trace``, initial first.
+
+    Each step applies ``edits_per_version`` random line edits (45%
+    replace, 30% insert, 25% delete) to the previous version.
+    """
+    rng = random.Random(trace.seed)
+    lines = [_random_line(rng, trace.line_width)
+             for __ in range(trace.initial_lines)]
+    versions = [b"".join(lines)]
+    for __ in range(trace.versions):
+        for ___ in range(trace.edits_per_version):
+            roll = rng.random()
+            if roll < 0.45 and lines:
+                lines[rng.randrange(len(lines))] = _random_line(
+                    rng, trace.line_width)
+            elif roll < 0.75:
+                lines.insert(rng.randint(0, len(lines)),
+                             _random_line(rng, trace.line_width))
+            elif lines:
+                del lines[rng.randrange(len(lines))]
+        versions.append(b"".join(lines))
+    return versions

@@ -1,0 +1,96 @@
+"""Tests for the CASE application layer."""
+
+import pytest
+
+from repro.apps.case import CaseApplication, ModuleKind
+
+
+@pytest.fixture
+def project(ham):
+    case = CaseApplication(ham, project="editor")
+    lists = case.create_module("Lists", ModuleKind.IMPLEMENTATION,
+                               responsible="norm")
+    sets = case.create_module("Sets", ModuleKind.DEFINITION,
+                              responsible="mayer")
+    append = case.add_procedure(
+        lists, "Append", b"PROCEDURE Append;\nBEGIN\nEND Append;\n",
+        responsible="norm")
+    insert = case.add_procedure(
+        lists, "Insert", b"PROCEDURE Insert;\nBEGIN\nEND Insert;\n",
+        responsible="mayer")
+    case.import_module(lists, sets)
+    return case, lists, sets, append, insert
+
+
+class TestConventions:
+    def test_module_attributes(self, project):
+        case, lists, sets, __, ___ = project
+        ham = case.ham
+        content = ham.get_attribute_index("contentType")
+        code = ham.get_attribute_index("codeType")
+        assert ham.get_node_attribute_value(lists.node, content) == \
+            "Modula-2 source code"
+        assert ham.get_node_attribute_value(lists.node, code) == \
+            "implementationModule"
+        assert ham.get_node_attribute_value(sets.node, code) == \
+            "definitionModule"
+
+    def test_procedure_attributes(self, project):
+        case, lists, __, append, ___ = project
+        ham = case.ham
+        code = ham.get_attribute_index("codeType")
+        assert ham.get_node_attribute_value(append, code) == "procedure"
+
+    def test_structure_links_carry_is_part_of(self, project):
+        case, lists, __, append, insert = project
+        assert case.procedures(lists.node) == [append, insert]
+
+    def test_import_links(self, project):
+        case, lists, sets, __, ___ = project
+        assert case.imports_of(lists.node) == [sets.node]
+        assert case.importers_of(sets.node) == [lists.node]
+        assert case.imports_of(sets.node) == []
+
+    def test_responsible_queries(self, project):
+        case, lists, sets, append, insert = project
+        assert set(case.nodes_responsible_to("norm")) == \
+            {lists.node, append}
+        assert set(case.nodes_responsible_to("mayer")) == \
+            {sets.node, insert}
+
+    def test_source_nodes_query(self, project):
+        case, lists, sets, append, insert = project
+        assert set(case.source_nodes()) == \
+            {lists.node, sets.node, append, insert}
+
+
+class TestCompiledOutputs:
+    def test_attach_creates_typed_nodes(self, project):
+        case, __, ___, append, ____ = project
+        object_node, symbol_node = case.attach_object_code(
+            append, b"OBJ\n", b"SYM\n")
+        ham = case.ham
+        content = ham.get_attribute_index("contentType")
+        assert ham.get_node_attribute_value(object_node, content) == \
+            "Modula-2 object code"
+        assert ham.get_node_attribute_value(symbol_node, content) == \
+            "Modula-2 symbol table"
+        assert ham.open_node(object_node)[0] == b"OBJ\n"
+
+    def test_reattach_versions_same_nodes(self, project):
+        case, __, ___, append, ____ = project
+        first = case.attach_object_code(append, b"OBJ1\n", b"SYM1\n")
+        second = case.attach_object_code(append, b"OBJ2\n", b"SYM2\n")
+        assert first == second
+        ham = case.ham
+        object_node = first[0]
+        assert ham.open_node(object_node)[0] == b"OBJ2\n"
+        major, __ = ham.get_node_versions(object_node)
+        assert len(major) == 3  # created + two compiles
+
+    def test_compiled_outputs_lookup(self, project):
+        case, __, ___, append, insert = project
+        assert case.compiled_outputs(append) is None
+        created = case.attach_object_code(append, b"O\n", b"S\n")
+        assert case.compiled_outputs(append) == created
+        assert case.compiled_outputs(insert) is None

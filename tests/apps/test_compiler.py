@@ -1,0 +1,109 @@
+"""Tests for the demon-driven incremental compiler."""
+
+import pytest
+
+from repro.apps.case import CaseApplication, ModuleKind
+from repro.apps.compiler import IncrementalCompiler, compile_source
+
+
+class TestCompileSource:
+    def test_symbols_extracted(self):
+        result = compile_source(
+            b"PROCEDURE Append;\nVAR temp;\nBEGIN\nEND Append;\n")
+        assert "Append" in result.symbols
+        assert "temp" in result.symbols
+
+    def test_calls_extracted(self):
+        result = compile_source(
+            b"PROCEDURE A;\nBEGIN\n  Helper(x);\nEND A;\n")
+        assert "Helper" in result.calls
+
+    def test_own_symbols_not_counted_as_calls(self):
+        result = compile_source(
+            b"PROCEDURE A;\nBEGIN\n  A(x);\nEND A;\n")
+        assert "A" not in result.calls
+
+    def test_deterministic(self):
+        source = b"PROCEDURE X;\nBEGIN\nEND X;\n"
+        assert compile_source(source) == compile_source(source)
+
+    def test_different_sources_differ(self):
+        first = compile_source(b"PROCEDURE X;\nBEGIN\nEND X;\n")
+        second = compile_source(b"PROCEDURE Y;\nBEGIN\nEND Y;\n")
+        assert first.object_code != second.object_code
+
+
+@pytest.fixture
+def watched_module(ham):
+    case = CaseApplication(ham)
+    module = case.create_module("Core", ModuleKind.IMPLEMENTATION)
+    procedures = [
+        case.add_procedure(
+            module, f"P{i}",
+            f"PROCEDURE P{i};\nBEGIN\nEND P{i};\n".encode())
+        for i in range(4)
+    ]
+    compiler = IncrementalCompiler(case, incremental=True)
+    compiler.build_module(module)
+    compiler.log.clear()
+    compiler.watch_module(module)
+    return ham, case, module, procedures, compiler
+
+
+class TestIncrementalRecompilation:
+    def test_edit_recompiles_only_that_procedure(self, watched_module):
+        ham, case, module, procedures, compiler = watched_module
+        target = procedures[1]
+        time = ham.get_node_timestamp(target)
+        ham.modify_node(node=target, expected_time=time,
+                        contents=b"PROCEDURE P1;\nBEGIN\n x := 1\nEND P1;\n")
+        assert [entry.node for entry in compiler.log] == [target]
+        assert compiler.log[0].incremental
+
+    def test_output_nodes_updated(self, watched_module):
+        ham, case, module, procedures, compiler = watched_module
+        target = procedures[0]
+        before = case.compiled_outputs(target)
+        time = ham.get_node_timestamp(target)
+        ham.modify_node(node=target, expected_time=time,
+                        contents=b"PROCEDURE P0;\nBEGIN\n New(y)\nEND P0;\n")
+        after = case.compiled_outputs(target)
+        assert before == after  # same nodes, new versions
+        assert b"CALL New" in ham.open_node(after[0])[0]
+
+    def test_unwatched_node_does_not_trigger(self, watched_module):
+        ham, case, module, procedures, compiler = watched_module
+        stray, time = ham.add_node()
+        ham.modify_node(node=stray, expected_time=time, contents=b"x")
+        assert compiler.log == []
+
+    def test_build_module_compiles_everything(self, ham):
+        case = CaseApplication(ham)
+        module = case.create_module("M", ModuleKind.IMPLEMENTATION)
+        for i in range(3):
+            case.add_procedure(module, f"P{i}",
+                               f"PROCEDURE P{i};\nEND;\n".encode())
+        compiler = IncrementalCompiler(case)
+        assert compiler.build_module(module) == 4  # module + 3 procedures
+        assert compiler.recompilations == 4
+
+
+class TestFullRecompilationBaseline:
+    def test_edit_recompiles_whole_module(self, ham):
+        case = CaseApplication(ham)
+        module = case.create_module("M", ModuleKind.IMPLEMENTATION)
+        procedures = [
+            case.add_procedure(module, f"P{i}",
+                               f"PROCEDURE P{i};\nEND;\n".encode())
+            for i in range(4)
+        ]
+        compiler = IncrementalCompiler(case, incremental=False)
+        compiler.build_module(module)
+        compiler.log.clear()
+        compiler.watch_module(module)
+        time = ham.get_node_timestamp(procedures[0])
+        ham.modify_node(node=procedures[0], expected_time=time,
+                        contents=b"PROCEDURE P0;\n x := 2\nEND;\n")
+        # Full strategy: module node + all four procedures.
+        assert len(compiler.log) == 5
+        assert not any(entry.incremental for entry in compiler.log)

@@ -1,0 +1,133 @@
+"""Tests for the pinned-link configuration manager."""
+
+import pytest
+
+from repro.apps.configurations import ConfigurationManager
+from repro.errors import NeptuneError
+
+
+@pytest.fixture
+def project(ham):
+    """Three versioned nodes plus a manager."""
+    nodes = {}
+    with ham.begin() as txn:
+        for name in ("layout", "netlist", "timing"):
+            index, time = ham.add_node(txn)
+            ham.modify_node(txn, node=index, expected_time=time,
+                            contents=f"{name} v1\n".encode())
+            nodes[name] = index
+    return ham, ConfigurationManager(ham), nodes
+
+
+def edit(ham, node, text):
+    current = ham.get_node_timestamp(node)
+    return ham.modify_node(node=node, expected_time=current,
+                           contents=text.encode())
+
+
+class TestFreeze:
+    def test_freeze_pins_current_versions(self, project):
+        ham, manager, nodes = project
+        config = manager.freeze("rev-a", list(nodes.values()))
+        pins = manager.members(config)
+        assert set(pins) == set(nodes.values())
+        for node, pin_time in pins.items():
+            assert pin_time == ham.get_node_timestamp(node)
+
+    def test_freeze_with_explicit_times(self, project):
+        ham, manager, nodes = project
+        old_time = ham.get_node_timestamp(nodes["layout"])
+        edit(ham, nodes["layout"], "layout v2\n")
+        config = manager.freeze("old-pin", {nodes["layout"]: old_time})
+        assert manager.members(config) == {nodes["layout"]: old_time}
+
+    def test_empty_configuration_rejected(self, project):
+        __, manager, ___ = project
+        with pytest.raises(NeptuneError):
+            manager.freeze("empty", [])
+
+    def test_configurations_are_discoverable(self, project):
+        ham, manager, nodes = project
+        first = manager.freeze("rev-a", [nodes["layout"]])
+        second = manager.freeze("rev-b", [nodes["netlist"]])
+        assert set(manager.configurations()) == {first, second}
+        assert manager.name_of(first) == "rev-a"
+
+    def test_non_configuration_node_rejected(self, project):
+        ham, manager, nodes = project
+        with pytest.raises(NeptuneError):
+            manager.members(nodes["layout"])
+
+
+class TestCheckout:
+    def test_checkout_ignores_later_edits(self, project):
+        ham, manager, nodes = project
+        config = manager.freeze("release-1", list(nodes.values()))
+        edit(ham, nodes["layout"], "layout v2 with changes\n")
+        edit(ham, nodes["timing"], "timing v2\n")
+        snapshot = manager.checkout(config)
+        assert snapshot[nodes["layout"]] == b"layout v1\n"
+        assert snapshot[nodes["timing"]] == b"timing v1\n"
+        assert ham.open_node(nodes["layout"])[0] == \
+            b"layout v2 with changes\n"
+
+    def test_checkout_after_member_deletion(self, project):
+        """Deleting a member tombstones it, but the configured version
+        predates the tombstone and stays readable."""
+        ham, manager, nodes = project
+        config = manager.freeze("release-1", [nodes["netlist"]])
+        ham.delete_node(node=nodes["netlist"])
+        snapshot = manager.checkout(config)
+        assert snapshot[nodes["netlist"]] == b"netlist v1\n"
+
+
+class TestDiffAndDrift:
+    def test_identical_configurations(self, project):
+        ham, manager, nodes = project
+        first = manager.freeze("a", list(nodes.values()))
+        second = manager.freeze("b", list(nodes.values()))
+        assert manager.diff(first, second).identical
+
+    def test_diff_reports_membership_changes(self, project):
+        ham, manager, nodes = project
+        first = manager.freeze("a", [nodes["layout"], nodes["netlist"]])
+        second = manager.freeze("b", [nodes["netlist"], nodes["timing"]])
+        delta = manager.diff(first, second)
+        assert delta.added == (nodes["timing"],)
+        assert delta.removed == (nodes["layout"],)
+
+    def test_diff_reports_repins(self, project):
+        ham, manager, nodes = project
+        first = manager.freeze("a", [nodes["layout"]])
+        old_pin = manager.members(first)[nodes["layout"]]
+        new_time = edit(ham, nodes["layout"], "layout v2\n")
+        second = manager.freeze("b", [nodes["layout"]])
+        delta = manager.diff(first, second)
+        assert delta.repinned == ((nodes["layout"], old_pin, new_time),)
+
+    def test_drift_detects_post_release_edits(self, project):
+        ham, manager, nodes = project
+        config = manager.freeze("release", list(nodes.values()))
+        assert manager.drift(config) == []
+        new_time = edit(ham, nodes["timing"], "timing v2\n")
+        drifted = manager.drift(config)
+        assert len(drifted) == 1
+        node, pinned, current = drifted[0]
+        assert node == nodes["timing"]
+        assert current == new_time
+
+    def test_configuration_survives_reopen(self, tmp_path):
+        from repro import HAM
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        with HAM.open_graph(project_id, tmp_path / "g") as ham:
+            node, time = ham.add_node()
+            ham.modify_node(node=node, expected_time=time,
+                            contents=b"v1\n")
+            manager = ConfigurationManager(ham)
+            config = manager.freeze("rel", [node])
+            current = ham.get_node_timestamp(node)
+            ham.modify_node(node=node, expected_time=current,
+                            contents=b"v2\n")
+        with HAM.open_graph(project_id, tmp_path / "g") as ham:
+            manager = ConfigurationManager(ham)
+            assert manager.checkout(config)[node] == b"v1\n"

@@ -1,0 +1,100 @@
+"""Tests for the documentation application layer."""
+
+import pytest
+
+from repro.apps.documents import DocumentApplication
+
+
+@pytest.fixture
+def app(ham):
+    return DocumentApplication(ham)
+
+
+@pytest.fixture
+def small_doc(app):
+    doc = app.create_document("Manual")
+    intro = app.add_section(doc, doc.root, "Intro", b"Welcome.\n")
+    body = app.add_section(doc, doc.root, "Body", b"The content.\n")
+    detail = app.add_section(doc, body, "Detail", b"Fine print.\n")
+    return doc, {"intro": intro, "body": body, "detail": detail}
+
+
+class TestStructure:
+    def test_create_document_sets_conventions(self, app):
+        doc = app.create_document("Spec")
+        ham = app.ham
+        icon = ham.get_attribute_index("icon")
+        document = ham.get_attribute_index("document")
+        assert ham.get_node_attribute_value(doc.root, icon) == "Spec"
+        assert ham.get_node_attribute_value(doc.root, document) == "Spec"
+
+    def test_children_in_insertion_order(self, app, small_doc):
+        doc, nodes = small_doc
+        assert app.children(doc.root) == [nodes["intro"], nodes["body"]]
+        assert app.children(nodes["body"]) == [nodes["detail"]]
+
+    def test_explicit_offset_controls_order(self, app):
+        doc = app.create_document("Ordered")
+        late = app.add_section(doc, doc.root, "Late", offset=50)
+        early = app.add_section(doc, doc.root, "Early", offset=10)
+        assert app.children(doc.root) == [early, late]
+
+    def test_outline_depths(self, app, small_doc):
+        doc, nodes = small_doc
+        outline = app.outline(doc)
+        by_node = {node: depth for depth, node, __ in outline}
+        assert by_node[doc.root] == 0
+        assert by_node[nodes["intro"]] == 1
+        assert by_node[nodes["detail"]] == 2
+
+    def test_outline_titles(self, app, small_doc):
+        doc, nodes = small_doc
+        titles = [title for __, ___, title in app.outline(doc)]
+        assert titles == ["Manual", "Intro", "Body", "Detail"]
+
+    def test_sections_carry_document_attribute(self, app, small_doc):
+        doc, nodes = small_doc
+        hits = app.ham.get_graph_query(
+            node_predicate='document = "Manual"')
+        assert set(hits.node_indexes) == {doc.root, *nodes.values()}
+
+
+class TestAnnotate:
+    def test_annotate_creates_node_and_typed_link(self, app, small_doc):
+        doc, nodes = small_doc
+        annotation, link = app.annotate(nodes["intro"], 3, "check this")
+        ham = app.ham
+        assert ham.open_node(annotation)[0] == b"check this"
+        relation = ham.get_attribute_index("relation")
+        assert ham.get_link_attribute_value(link, relation) == "annotates"
+        assert app.annotations(nodes["intro"]) == [(3, annotation)]
+
+    def test_annotation_excluded_from_structure(self, app, small_doc):
+        doc, nodes = small_doc
+        app.annotate(nodes["intro"], 0, "aside")
+        assert app.children(nodes["intro"]) == []
+
+    def test_annotate_is_atomic(self, app, small_doc):
+        """If the bundled transaction fails, nothing is created."""
+        doc, nodes = small_doc
+        ham = app.ham
+        before_nodes = set(ham.store.nodes)
+        with pytest.raises(Exception):
+            app.annotate(9999, 0, "dangling")  # missing node
+        assert set(ham.store.nodes) == before_nodes
+
+
+class TestCrossReference:
+    def test_reference_link(self, app, small_doc):
+        doc, nodes = small_doc
+        link = app.cross_reference(nodes["body"], 4, nodes["intro"])
+        ham = app.ham
+        relation = ham.get_attribute_index("relation")
+        assert ham.get_link_attribute_value(link, relation) == "references"
+        assert ham.get_to_node(link)[0] == nodes["intro"]
+
+    def test_reference_does_not_affect_outline(self, app, small_doc):
+        doc, nodes = small_doc
+        app.cross_reference(nodes["body"], 0, nodes["intro"])
+        titles = [title for __, ___, title in app.outline(doc)]
+        assert titles == ["Manual", "Intro", "Body", "Detail"]

@@ -1,0 +1,60 @@
+"""Tests for hardcopy extraction."""
+
+import pytest
+
+from repro.apps.documents import DocumentApplication
+from repro.apps.publishing import HardcopyOptions, render_hardcopy
+
+
+@pytest.fixture
+def doc(ham):
+    app = DocumentApplication(ham)
+    handle = app.create_document("Guide")
+    one = app.add_section(handle, handle.root, "Install",
+                          b"Run the installer.\n")
+    two = app.add_section(handle, handle.root, "Use", b"Run the tool.\n")
+    app.add_section(handle, two, "Advanced", b"Flags and knobs.\n")
+    return app, handle
+
+
+class TestRendering:
+    def test_hierarchical_numbering(self, doc):
+        app, handle = doc
+        text = render_hardcopy(app, handle.root)
+        assert "1 Install" in text
+        assert "2 Use" in text
+        assert "2.1 Advanced" in text
+
+    def test_bodies_included_in_order(self, doc):
+        app, handle = doc
+        text = render_hardcopy(app, handle.root)
+        assert text.index("Run the installer.") < \
+            text.index("Run the tool.") < text.index("Flags and knobs.")
+
+    def test_numbering_can_be_disabled(self, doc):
+        app, handle = doc
+        options = HardcopyOptions(number_sections=False)
+        text = render_hardcopy(app, handle.root, options=options)
+        assert "1 Install" not in text
+        assert "Install" in text
+
+    def test_root_title_can_be_dropped(self, doc):
+        app, handle = doc
+        options = HardcopyOptions(include_root_title=False)
+        text = render_hardcopy(app, handle.root, options=options)
+        assert not text.startswith("Guide")
+
+    def test_render_as_of_old_time(self, doc):
+        app, handle = doc
+        checkpoint = app.ham.now
+        app.add_section(handle, handle.root, "Late Addition", b"New.\n")
+        now_text = render_hardcopy(app, handle.root)
+        old_text = render_hardcopy(app, handle.root, time=checkpoint)
+        assert "Late Addition" in now_text
+        assert "Late Addition" not in old_text
+
+    def test_single_node_document(self, ham):
+        app = DocumentApplication(ham)
+        handle = app.create_document("Tiny")
+        text = render_hardcopy(app, handle.root)
+        assert text.strip() == "Tiny"

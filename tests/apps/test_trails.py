@@ -1,0 +1,137 @@
+"""Tests for traversal trails (§2.2's memex-style reading histories)."""
+
+import pytest
+
+from repro import LinkPt
+from repro.apps.documents import DocumentApplication
+from repro.apps.trails import Trail, TrailRecorder
+from repro.errors import LinkNotFoundError, NeptuneError
+
+
+@pytest.fixture
+def reading_setup(ham):
+    """A small document with links to follow: root → a → b, root → c."""
+    with ham.begin() as txn:
+        nodes = {}
+        for name in ("root", "a", "b", "c"):
+            index, time = ham.add_node(txn)
+            ham.modify_node(txn, node=index, expected_time=time,
+                            contents=f"contents of {name}\n".encode())
+            nodes[name] = index
+        links = {}
+        links["root-a"], __ = ham.add_link(
+            txn, from_pt=LinkPt(nodes["root"]), to_pt=LinkPt(nodes["a"]))
+        links["a-b"], __ = ham.add_link(
+            txn, from_pt=LinkPt(nodes["a"]), to_pt=LinkPt(nodes["b"]))
+        links["root-c"], __ = ham.add_link(
+            txn, from_pt=LinkPt(nodes["root"], position=3),
+            to_pt=LinkPt(nodes["c"]))
+    return ham, nodes, links
+
+
+class TestRecording:
+    def test_start_opens_and_records(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        contents = recorder.start(nodes["root"])
+        assert contents == b"contents of root\n"
+        assert recorder.current_node == nodes["root"]
+
+    def test_follow_moves_along_links(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        assert recorder.follow(links["root-a"]) == b"contents of a\n"
+        assert recorder.follow(links["a-b"]) == b"contents of b\n"
+        trail = recorder.trail("my reading")
+        assert trail.nodes == [nodes["root"], nodes["a"], nodes["b"]]
+
+    def test_follow_wrong_link_rejected(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        with pytest.raises(LinkNotFoundError):
+            recorder.follow(links["a-b"])  # does not leave root
+
+    def test_follow_before_start_rejected(self, reading_setup):
+        ham, __, links = reading_setup
+        with pytest.raises(NeptuneError):
+            TrailRecorder(ham).follow(links["root-a"])
+
+    def test_back_resumes_after_diversion(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        recorder.follow(links["root-c"])  # the diversion
+        assert recorder.back() == nodes["root"]
+        recorder.follow(links["root-a"])  # resume the main path
+        assert recorder.trail("t").nodes == [nodes["root"], nodes["a"]]
+
+    def test_back_at_start_rejected(self, reading_setup):
+        ham, nodes, __ = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        with pytest.raises(NeptuneError):
+            recorder.back()
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        recorder.follow(links["root-a"])
+        trail_node = recorder.save("norm's path")
+        loaded = TrailRecorder(ham).load(trail_node)
+        assert loaded.name == "norm's path"
+        assert loaded.nodes == [nodes["root"], nodes["a"]]
+
+    def test_saved_trails_queryable(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        first = recorder.save("one")
+        second = recorder.save("two")
+        assert set(recorder.saved_trails()) == {first, second}
+
+    def test_load_non_trail_node_rejected(self, reading_setup):
+        ham, nodes, __ = reading_setup
+        with pytest.raises(NeptuneError):
+            TrailRecorder(ham).load(nodes["a"])
+
+    def test_record_round_trip(self):
+        trail = Trail("t", (Trail.from_record(
+            {"name": "t", "steps": [[None, 1], [5, 2]]}).steps))
+        assert Trail.from_record(trail.to_record()) == trail
+
+
+class TestReplay:
+    def test_another_reader_follows_the_same_path(self, reading_setup):
+        ham, nodes, links = reading_setup
+        author = TrailRecorder(ham)
+        author.start(nodes["root"])
+        author.follow(links["root-a"])
+        author.follow(links["a-b"])
+        trail_node = author.save("guided tour")
+
+        reader = TrailRecorder(ham)
+        trail = reader.load(trail_node)
+        visited = list(reader.replay(trail))
+        assert [node for node, __ in visited] == \
+            [nodes["root"], nodes["a"], nodes["b"]]
+        assert visited[-1][1] == b"contents of b\n"
+
+    def test_replay_at_old_time_shows_old_contents(self, reading_setup):
+        ham, nodes, links = reading_setup
+        recorder = TrailRecorder(ham)
+        recorder.start(nodes["root"])
+        recorder.follow(links["root-a"])
+        trail = recorder.trail("t")
+        before = ham.now
+        current = ham.get_node_timestamp(nodes["a"])
+        ham.modify_node(node=nodes["a"], expected_time=current,
+                        contents=b"revised a\n")
+        old_walk = list(recorder.replay(trail, time=before))
+        new_walk = list(recorder.replay(trail))
+        assert old_walk[1][1] == b"contents of a\n"
+        assert new_walk[1][1] == b"revised a\n"

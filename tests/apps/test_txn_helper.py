@@ -1,0 +1,38 @@
+"""Tests for the shared application transaction-scoping helper."""
+
+import pytest
+
+from repro.apps._txn import in_txn
+from repro.txn.manager import TxnStatus
+
+
+class TestInTxn:
+    def test_passes_through_caller_transaction(self, ham):
+        outer = ham.begin()
+        with in_txn(ham, outer) as txn:
+            assert txn is outer
+        # A passed-through transaction is NOT finished by the helper.
+        assert outer.status is TxnStatus.ACTIVE
+        outer.abort()
+
+    def test_owns_and_commits_fresh_transaction(self, ham):
+        with in_txn(ham) as txn:
+            node, __ = ham.add_node(txn)
+        assert txn.status is TxnStatus.COMMITTED
+        assert ham.open_node(node)[0] == b""
+
+    def test_owns_and_aborts_on_error(self, ham):
+        from repro.errors import NodeNotFoundError
+        with pytest.raises(RuntimeError):
+            with in_txn(ham) as txn:
+                node, __ = ham.add_node(txn)
+                raise RuntimeError("boom")
+        assert txn.status is TxnStatus.ABORTED
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(node)
+
+    def test_read_only_flag(self, ham):
+        from repro.errors import TransactionError
+        with pytest.raises(TransactionError):
+            with in_txn(ham, read_only=True) as txn:
+                ham.add_node(txn)

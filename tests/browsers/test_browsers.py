@@ -1,0 +1,276 @@
+"""Tests for every browser of §4.1, over the paper hyperdocument."""
+
+import pytest
+
+from repro import EventKind, HAM
+from repro.browsers import (
+    AttributeBrowser,
+    DemonBrowser,
+    DocumentBrowser,
+    GraphBrowser,
+    NodeBrowser,
+    NodeDifferencesBrowser,
+    VersionBrowser,
+)
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture
+def paper(ham):
+    document, by_title = build_paper_document(ham)
+    return ham, document, by_title
+
+
+class TestGraphBrowser:
+    def test_renders_icon_boxes(self, paper):
+        ham, document, by_title = paper
+        browser = GraphBrowser(ham, link_predicate="relation = isPartOf")
+        text = browser.render()
+        assert "| Introduction |" in text
+        assert "| Conclusions |" in text
+        assert "Graph Browser" in text
+
+    def test_edges_drawn_as_connectors(self, paper):
+        ham, document, by_title = paper
+        browser = GraphBrowser(ham, link_predicate="relation = isPartOf")
+        text = browser.render()
+        # Structure edges render as drawn poly-lines with arrowheads.
+        assert "v" in text
+        assert "+--" in text
+
+    def test_undrawable_edges_are_listed(self, ham):
+        """Upward/cyclic edges can't be drawn in the layered layout and
+        fall back to the textual link list."""
+        from repro import LinkPt
+        a, __ = ham.add_node()
+        b, __ = ham.add_node()
+        ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        ham.add_link(from_pt=LinkPt(b), to_pt=LinkPt(a))  # upward
+        text = GraphBrowser(ham).render()
+        assert "other links:" in text
+
+    def test_predicates_shown_in_editor_panes(self, paper):
+        ham, __, ___ = paper
+        browser = GraphBrowser(ham, node_predicate="document = spec",
+                               link_predicate="relation = isPartOf")
+        text = browser.render()
+        assert "document = spec" in text
+        assert "relation = isPartOf" in text
+
+    def test_node_predicate_filters_view(self, paper):
+        ham, document, by_title = paper
+        browser = GraphBrowser(ham, node_predicate="icon = Introduction")
+        nodes, edges = browser.visible_subgraph()
+        assert nodes == [by_title["Introduction"]]
+        assert edges == []
+
+    def test_default_icon_for_unnamed_nodes(self, ham):
+        node, __ = ham.add_node()
+        browser = GraphBrowser(ham)
+        assert browser.icon_of(node) == f"node{node}"
+
+    def test_zoom_to_neighbourhood(self, paper):
+        ham, document, by_title = paper
+        browser = GraphBrowser(ham, link_predicate="relation = isPartOf")
+        focus = by_title["Hypertext"]
+        nodes, edges = browser.visible_subgraph(focus=focus, radius=1)
+        assert focus in nodes
+        assert by_title["Existing Hypertext Systems"] in nodes  # child
+        assert document.root in nodes                           # parent
+        assert by_title["Conclusions"] not in nodes             # 2 hops off
+        for a, b in edges:
+            assert a in nodes and b in nodes
+
+    def test_zoom_radius_zero_is_just_the_focus(self, paper):
+        ham, __, by_title = paper
+        browser = GraphBrowser(ham)
+        nodes, edges = browser.visible_subgraph(
+            focus=by_title["Hypertext"], radius=0)
+        assert nodes == [by_title["Hypertext"]]
+        assert edges == []
+
+    def test_zoomed_render_names_the_focus(self, paper):
+        ham, __, by_title = paper
+        browser = GraphBrowser(ham, link_predicate="relation = isPartOf")
+        text = browser.render(focus=by_title["Hypertext"], radius=1)
+        assert f"zoom: node {by_title['Hypertext']}" in text
+        assert "| Conclusions |" not in text
+
+
+class TestDocumentBrowser:
+    def test_five_pane_layout(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(
+            ham, query_predicate='icon = "Neptune: a Hypertext System '
+                                 'for CAD"')
+        text = browser.render()
+        assert "pane 1" in text and "pane 4" in text
+        assert "Document Browser" in text
+        assert "(select a node above)" in text
+
+    def test_selection_fills_next_pane(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, document.root)
+        panes = browser.pane_contents()
+        assert by_title["Introduction"] in panes[1]
+        assert by_title["Hypertext"] in panes[1]
+
+    def test_selection_chain_three_deep(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, document.root)
+        browser.select(1, by_title["Hypertext"])
+        panes = browser.pane_contents()
+        assert by_title["Existing Hypertext Systems"] in panes[2]
+
+    def test_reselect_clears_right_panes(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, document.root)
+        browser.select(1, by_title["Hypertext"])
+        browser.select(0, document.root)  # re-select resets panes 2..4
+        assert browser.selection[1] is None
+
+    def test_bottom_pane_shows_selected_contents(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, by_title["Introduction"])
+        text = browser.render()
+        assert "Traditional databases" in text
+
+    def test_invalid_pane_rejected(self, paper):
+        ham, __, ___ = paper
+        browser = DocumentBrowser(ham)
+        with pytest.raises(ValueError):
+            browser.select(7, 1)
+
+
+class TestNodeBrowser:
+    def test_link_icons_at_offsets(self, paper):
+        ham, document, by_title = paper
+        browser = NodeBrowser(ham, by_title["Introduction"])
+        text = browser.text_with_icons()
+        assert "{annotation}" in text
+
+    def test_icon_prefers_link_attribute(self, ham):
+        from repro import LinkPt
+        a, ta = ham.add_node()
+        b, __ = ham.add_node()
+        ham.modify_node(node=a, expected_time=ta, contents=b"0123456789")
+        link, ___ = ham.add_link(from_pt=LinkPt(a, position=4),
+                                 to_pt=LinkPt(b))
+        icon = ham.get_attribute_index("icon")
+        ham.set_link_attribute_value(link=link, attribute=icon,
+                                     value="jump")
+        browser = NodeBrowser(ham, a)
+        assert "0123{jump}456789" == browser.text_with_icons()
+
+    def test_render_has_commands_pane(self, paper):
+        ham, __, by_title = paper
+        text = NodeBrowser(ham, by_title["Conclusions"]).render()
+        assert "annotate" in text
+        assert "Node Browser" in text
+
+
+class TestVersionBrowser:
+    def test_lists_major_and_minor(self, paper):
+        ham, __, by_title = paper
+        node = by_title["Introduction"]
+        time = ham.get_node_timestamp(node)
+        ham.modify_node(node=node, expected_time=time,
+                        contents=b"Introduction\nRevised.\n",
+                        explanation="revision pass")
+        text = VersionBrowser(ham, node).render()
+        assert "revision pass" in text
+        assert "* t=" in text and "- t=" in text
+
+
+class TestAttributeBrowser:
+    def test_node_attributes_listed(self, paper):
+        ham, __, by_title = paper
+        text = AttributeBrowser(ham, node=by_title["Hypertext"]).render()
+        assert "icon = Hypertext" in text
+        assert "contentType = text" in text
+
+    def test_link_attributes_listed(self, paper):
+        ham, document, ___ = paper
+        __, link_points, ____, _____ = ham.open_node(document.root)
+        link = link_points[0][0]
+        text = AttributeBrowser(ham, link=link).render()
+        assert "relation = isPartOf" in text
+
+    def test_exactly_one_target_required(self, ham):
+        with pytest.raises(ValueError):
+            AttributeBrowser(ham)
+        with pytest.raises(ValueError):
+            AttributeBrowser(ham, node=1, link=2)
+
+    def test_as_of_time_view(self, paper):
+        ham, __, by_title = paper
+        node = by_title["Conclusions"]
+        checkpoint = ham.now
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr,
+                                     value="reviewed")
+        now_text = AttributeBrowser(ham, node=node).render()
+        old_text = AttributeBrowser(ham, node=node).render(checkpoint)
+        assert "status = reviewed" in now_text
+        assert "status = reviewed" not in old_text
+
+
+class TestNodeDifferencesBrowser:
+    def test_side_by_side_markers(self, paper):
+        ham, __, by_title = paper
+        node = by_title["Introduction"]
+        time1 = ham.get_node_timestamp(node)
+        time2 = ham.modify_node(
+            node=node, expected_time=time1,
+            contents=b"Introduction\nCompletely new body.\n")
+        text = NodeDifferencesBrowser(ham, node, time1, time2).render()
+        assert f"t={time1}" in text and f"t={time2}" in text
+        assert "<" in text and ">" in text
+        assert "Completely new body." in text
+
+
+class TestDemonBrowser:
+    def test_lists_graph_and_node_demons(self, paper):
+        ham, __, by_title = paper
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE, demon="audit")
+        ham.set_node_demon(node=by_title["Conclusions"],
+                           event=EventKind.MODIFY_NODE, demon="recheck")
+        text = DemonBrowser(ham).render()
+        assert "addNode -> audit" in text
+        assert "modifyNode -> recheck" in text
+
+    def test_empty_sections_say_none(self, ham):
+        text = DemonBrowser(ham).render()
+        assert "(none)" in text
+
+
+class TestDocumentBrowserShifting:
+    def test_shift_right_re_roots_at_the_selection(self, paper):
+        """"Commands are available to shift the panes in order to view
+        deeply nested hierarchies." """
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, document.root)
+        browser.shift_right()
+        panes = browser.pane_contents()
+        # Pane 1 now shows the root's children rather than the query.
+        assert by_title["Introduction"] in panes[0]
+        assert document.root not in panes[0]
+
+    def test_shift_left_restores_the_query_pane(self, paper):
+        ham, document, by_title = paper
+        browser = DocumentBrowser(ham)
+        browser.select(0, document.root)
+        browser.shift_right()
+        browser.shift_left()
+        assert document.root in browser.pane_contents()[0]
+
+    def test_shift_left_at_origin_is_a_noop(self, paper):
+        ham, document, __ = paper
+        browser = DocumentBrowser(ham)
+        browser.shift_left()
+        assert browser.shift == 0

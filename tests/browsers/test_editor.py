@@ -1,0 +1,202 @@
+"""Tests for the attachment-carrying node editor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HAM, LinkPt
+from repro.browsers.editor import NodeEditor
+from repro.browsers.node_browser import NodeBrowser
+from repro.errors import (
+    LinkNotFoundError,
+    NeptuneError,
+    StaleVersionError,
+)
+
+
+@pytest.fixture
+def edited(ham):
+    """A node with text and two out-links at known offsets."""
+    with ham.begin() as txn:
+        node, time = ham.add_node(txn)
+        ham.modify_node(txn, node=node, expected_time=time,
+                        contents=b"0123456789")
+        target_a, __ = ham.add_node(txn)
+        target_b, __ = ham.add_node(txn)
+        link_a, __ = ham.add_link(txn, from_pt=LinkPt(node, position=3),
+                                  to_pt=LinkPt(target_a))
+        link_b, __ = ham.add_link(txn, from_pt=LinkPt(node, position=7),
+                                  to_pt=LinkPt(target_b))
+    return ham, node, link_a, link_b
+
+
+class TestOffsetShifting:
+    def test_insert_before_shifts_both(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        editor.insert(0, "XY")
+        assert editor.offset_of(link_a) == 5
+        assert editor.offset_of(link_b) == 9
+        assert editor.text == "XY0123456789"
+
+    def test_insert_between_shifts_only_later(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        editor.insert(5, "XY")
+        assert editor.offset_of(link_a) == 3
+        assert editor.offset_of(link_b) == 9
+
+    def test_insert_at_attachment_offset_shifts_it(self, edited):
+        ham, node, link_a, __ = edited
+        editor = NodeEditor(ham, node)
+        editor.insert(3, "X")
+        assert editor.offset_of(link_a) == 4
+
+    def test_delete_before_shifts_left(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        removed = editor.delete(0, 2)
+        assert removed == "01"
+        assert editor.offset_of(link_a) == 1
+        assert editor.offset_of(link_b) == 5
+
+    def test_delete_spanning_attachment_reanchors(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        editor.delete(2, 4)  # span [2, 6) swallows offset 3
+        assert editor.offset_of(link_a) == 2  # re-anchored at cut point
+        assert editor.offset_of(link_b) == 3
+
+    def test_replace(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        editor.replace(0, 5, "ab")
+        assert editor.text == "ab56789"
+        assert editor.offset_of(link_b) == 4
+
+    def test_move_link(self, edited):
+        ham, node, link_a, __ = edited
+        editor = NodeEditor(ham, node)
+        editor.move_link(link_a, 9)
+        assert editor.offset_of(link_a) == 9
+
+    def test_bounds_validation(self, edited):
+        ham, node, link_a, __ = edited
+        editor = NodeEditor(ham, node)
+        with pytest.raises(NeptuneError):
+            editor.insert(99, "x")
+        with pytest.raises(NeptuneError):
+            editor.delete(8, 5)
+        with pytest.raises(NeptuneError):
+            editor.move_link(link_a, 99)
+        with pytest.raises(LinkNotFoundError):
+            editor.offset_of(4242)
+
+
+class TestSave:
+    def test_save_persists_text_and_offsets(self, edited):
+        ham, node, link_a, link_b = edited
+        editor = NodeEditor(ham, node)
+        editor.insert(0, "** ")
+        editor.save(explanation="starred")
+        contents, points, __, ___ = ham.open_node(node)
+        assert contents == b"** 0123456789"
+        offsets = {li: pt.position for li, end, pt in points
+                   if end == "from"}
+        assert offsets == {link_a: 6, link_b: 10}
+
+    def test_old_version_keeps_old_offsets(self, edited):
+        ham, node, link_a, __ = edited
+        before = ham.now
+        editor = NodeEditor(ham, node)
+        editor.insert(0, "xx")
+        editor.save()
+        __, old_points, ___, ____ = ham.open_node(node, time=before)
+        old_offsets = [pt.position for li, end, pt in old_points
+                       if end == "from" and li == link_a]
+        assert old_offsets == [3]
+
+    def test_node_browser_shows_moved_icon(self, edited):
+        ham, node, link_a, link_b = edited
+        icon = ham.get_attribute_index("icon")
+        ham.set_link_attribute_value(link=link_a, attribute=icon,
+                                     value="A")
+        ham.set_link_attribute_value(link=link_b, attribute=icon,
+                                     value="B")
+        editor = NodeEditor(ham, node)
+        editor.insert(0, "__")
+        editor.save()
+        text = NodeBrowser(ham, node).text_with_icons()
+        assert text == "__012{A}3456{B}789"
+
+    def test_concurrent_edit_detected(self, edited):
+        ham, node, __, ___ = edited
+        editor = NodeEditor(ham, node)
+        # Someone else checks in first.
+        current = ham.get_node_timestamp(node)
+        ham.modify_node(node=node, expected_time=current,
+                        contents=b"raced", attachments=None)
+        editor.insert(0, "mine")
+        with pytest.raises(StaleVersionError):
+            editor.save()
+        editor.reload()
+        assert editor.text == "raced"
+        assert not editor.dirty
+
+    def test_save_updates_base_version_for_next_save(self, edited):
+        ham, node, *__ = edited
+        editor = NodeEditor(ham, node)
+        editor.append("!")
+        editor.save()
+        editor.append("!")
+        editor.save()
+        assert ham.open_node(node)[0] == b"0123456789!!"
+
+    def test_dirty_flag(self, edited):
+        ham, node, *__ = edited
+        editor = NodeEditor(ham, node)
+        assert not editor.dirty
+        editor.append("x")
+        assert editor.dirty
+        editor.save()
+        assert not editor.dirty
+
+
+@given(edits=st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(0, 30), st.integers(1, 4)),
+    max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_property_icon_follows_its_character(edits):
+    """Mark one character; after arbitrary edits the saved attachment
+    offset either points at that character or at the cut point where it
+    was deleted — it never drifts onto a different surviving character.
+    """
+    ham = HAM.ephemeral()
+    with ham.begin() as txn:
+        node, time = ham.add_node(txn)
+        ham.modify_node(txn, node=node, expected_time=time,
+                        contents=b"abcde*fghij")  # '*' is the anchor
+        target, __ = ham.add_node(txn)
+        link, __ = ham.add_link(
+            txn, from_pt=LinkPt(node, position=5), to_pt=LinkPt(target))
+    editor = NodeEditor(ham, node)
+    for kind, position, length in edits:
+        if kind == "insert":
+            position = min(position, len(editor.text))
+            editor.insert(position, "x" * length)
+        else:
+            if not editor.text:
+                continue
+            position = min(position, len(editor.text) - 1)
+            length = min(length, len(editor.text) - position)
+            editor.delete(position, length)
+    offset = editor.offset_of(link)
+    assert 0 <= offset <= len(editor.text)
+    if "*" in editor.text:
+        assert editor.text[offset] == "*"
+    editor.save()
+    __, points, ___, ____ = ham.open_node(node)
+    saved = [pt.position for li, end, pt in points
+             if li == link and end == "from"]
+    assert saved == [offset]

@@ -1,0 +1,57 @@
+"""Tests for the pane/frame rendering primitives."""
+
+from repro.browsers.render import Pane, columns, frame
+
+
+class TestPane:
+    def test_width_accounts_for_lines_and_title(self):
+        pane = Pane(title="ab", lines=["12345"])
+        assert pane.width == 5
+        pane = Pane(title="a very long title", lines=["x"])
+        assert pane.width == len("a very long title") + 2
+
+    def test_min_width(self):
+        assert Pane(title="", lines=["ab"], min_width=10).width == 10
+
+    def test_clipped_pads_and_truncates(self):
+        pane = Pane(title="", lines=["longer than width", "a"])
+        clipped = pane.clipped(5, height=3)
+        assert clipped == ["longe", "a    ", "     "]
+
+
+class TestFrame:
+    def test_borders_are_closed(self):
+        text = frame([Pane(title="t", lines=["body"])])
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert lines[-1].startswith("+") and lines[-1].endswith("+")
+        assert all(line.startswith(("|", "+")) for line in lines)
+
+    def test_heading_appears(self):
+        text = frame([Pane(title="", lines=["x"])], heading="My Browser")
+        assert "My Browser" in text.splitlines()[0]
+
+    def test_multiple_panes_separated(self):
+        text = frame([Pane(title="a", lines=["1"]),
+                      Pane(title="b", lines=["2"])])
+        assert "=" in text  # the pane separator row
+
+    def test_consistent_line_lengths(self):
+        text = frame([Pane(title="a", lines=["1", "22", "333"])],
+                     heading="H")
+        lengths = {len(line) for line in text.splitlines()}
+        assert len(lengths) == 1
+
+
+class TestColumns:
+    def test_side_by_side_layout(self):
+        combined = columns([Pane(title="left", lines=["a", "b"]),
+                            Pane(title="right", lines=["c"])])
+        lines = combined.lines
+        assert "left" in lines[0] and "right" in lines[0]
+        assert "a" in lines[2] and "c" in lines[2]
+        assert "b" in lines[3]
+
+    def test_explicit_height_pads(self):
+        combined = columns([Pane(title="t", lines=["a"])], height=4)
+        assert len(combined.lines) == 2 + 4  # header + divider + body

@@ -1,0 +1,180 @@
+"""Tests for the command shell over the HAM and browsers."""
+
+import pytest
+
+from repro import HAM
+from repro.browsers.shell import NeptuneShell
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture
+def shell():
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    return NeptuneShell(ham), ham, document, by_title
+
+
+class TestBasicCommands:
+    def test_nodes_lists_icons(self, shell):
+        sh, *__ = shell
+        output = sh.execute("nodes")
+        assert "Introduction" in output
+        assert "Conclusions" in output
+
+    def test_open_renders_node_browser(self, shell):
+        sh, ham, document, by_title = shell
+        output = sh.execute(f"open {by_title['Introduction']}")
+        assert "Node Browser" in output
+        assert "Traditional databases" in output
+
+    def test_graph_with_predicates(self, shell):
+        sh, *__ = shell
+        output = sh.execute('graph "icon = Introduction"')
+        assert "| Introduction |" in output
+        assert "| Conclusions |" not in output
+
+    def test_doc_browser(self, shell):
+        sh, ham, document, __ = shell
+        output = sh.execute(f"doc {document.root}")
+        assert "Document Browser" in output
+
+    def test_query(self, shell):
+        sh, ham, __, by_title = shell
+        output = sh.execute('query icon = "Introduction"')
+        assert str(by_title["Introduction"]) in output
+
+    def test_linearize(self, shell):
+        sh, ham, document, __ = shell
+        output = sh.execute(
+            f'linearize {document.root} relation = isPartOf')
+        assert output.startswith("nodes: [")
+
+    def test_time(self, shell):
+        sh, ham, *__ = shell
+        assert sh.execute("time") == f"t={ham.now}"
+
+    def test_help_lists_commands(self, shell):
+        sh, *__ = shell
+        output = sh.execute("help")
+        assert "annotate" in output and "linearize" in output
+
+
+class TestMutatingCommands:
+    def test_append_creates_new_version(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Conclusions"]
+        before = ham.get_node_timestamp(node)
+        output = sh.execute(f"append {node} a closing remark")
+        assert f"node {node}" in output
+        assert ham.get_node_timestamp(node) > before
+        assert b"a closing remark" in ham.open_node(node)[0]
+
+    def test_annotate(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Hypertext"]
+        output = sh.execute(f"annotate {node} 2 check the dates")
+        assert "annotation node" in output
+
+    def test_set_and_attrs(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Hypertext"]
+        sh.execute(f"set {node} status reviewed")
+        output = sh.execute(f"attrs {node}")
+        assert "status = reviewed" in output
+
+    def test_link_with_relation(self, shell):
+        sh, ham, __, by_title = shell
+        a, b = by_title["Introduction"], by_title["Conclusions"]
+        output = sh.execute(f"link {a} 1 {b} references")
+        assert "created" in output
+
+    def test_versions_and_diff(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Introduction"]
+        t1 = ham.get_node_timestamp(node)
+        sh.execute(f"append {node} new line")
+        t2 = ham.get_node_timestamp(node)
+        assert "appended via shell" in sh.execute(f"versions {node}")
+        diff = sh.execute(f"diff {node} {t1} {t2}")
+        assert "new line" in diff
+
+
+class TestTrailCommands:
+    def test_reading_session(self, shell):
+        sh, ham, document, by_title = shell
+        sh.execute(f"trail start {document.root}")
+        __, points, ___, ____ = ham.open_node(document.root)
+        first_link = points[0][0]
+        output = sh.execute(f"trail follow {first_link}")
+        assert "now at node" in output
+        assert "back at node" in sh.execute("trail back")
+        assert "trail saved" in sh.execute("trail save mypath")
+        assert "saved trails" in sh.execute("trail list")
+
+
+class TestToolCommands:
+    def test_stats(self, shell):
+        sh, *__ = shell
+        output = sh.execute("stats")
+        assert "nodes (live/total)" in output
+        assert "logical time" in output
+
+    def test_verify_healthy(self, shell):
+        sh, *__ = shell
+        assert "healthy" in sh.execute("verify")
+
+    def test_verify_reports_violations(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Hypertext"]
+        ham.store.nodes[node].out_links.add(4242)  # corrupt
+        output = sh.execute("verify")
+        assert "phantom-link" in output
+
+
+class TestErrorHandling:
+    def test_unknown_command(self, shell):
+        sh, *__ = shell
+        assert "unknown command" in sh.execute("frobnicate")
+
+    def test_neptune_errors_become_text(self, shell):
+        sh, *__ = shell
+        assert sh.execute("open 9999").startswith("error:")
+
+    def test_bad_arguments_become_text(self, shell):
+        sh, *__ = shell
+        assert sh.execute("open notanumber").startswith("error:")
+
+    def test_blank_and_comments_skipped_in_scripts(self, shell):
+        sh, ham, document, __ = shell
+        output = sh.run(f"""
+            # a comment
+            time
+
+            nodes
+        """)
+        assert "t=" in output
+
+
+class TestScripting:
+    def test_full_session_script(self, shell):
+        sh, ham, document, by_title = shell
+        node = by_title["Conclusions"]
+        output = sh.run(f"""
+            set {node} status draft
+            append {node} final thoughts
+            query status = draft
+            versions {node}
+        """)
+        assert "status = draft" in output
+        assert str(node) in output
+        assert "appended via shell" in output
+
+
+class TestBlameCommand:
+    def test_blame_shows_line_provenance(self, shell):
+        sh, ham, __, by_title = shell
+        node = by_title["Conclusions"]
+        sh.execute(f"append {node} a new closing line")
+        output = sh.execute(f"blame {node}")
+        assert "a new closing line" in output
+        assert "appended via shell" in output

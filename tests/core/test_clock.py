@@ -1,0 +1,69 @@
+"""Tests for the logical clock."""
+
+import threading
+
+import pytest
+
+from repro.core.clock import LogicalClock
+
+
+class TestTick:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == 0
+
+    def test_tick_is_strictly_monotonic(self):
+        clock = LogicalClock()
+        times = [clock.tick() for __ in range(100)]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_custom_start(self):
+        clock = LogicalClock(start=10)
+        assert clock.tick() == 11
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(start=-1)
+
+
+class TestAdvance:
+    def test_advance_to_moves_forward(self):
+        clock = LogicalClock()
+        clock.advance_to(50)
+        assert clock.now == 50
+        assert clock.tick() == 51
+
+    def test_advance_to_never_moves_backward(self):
+        clock = LogicalClock(start=100)
+        clock.advance_to(5)
+        assert clock.now == 100
+
+
+class TestWallTime:
+    def test_ticked_times_have_wall_time(self):
+        clock = LogicalClock()
+        time = clock.tick()
+        assert clock.wall_time(time) is not None
+
+    def test_unknown_times_have_none(self):
+        clock = LogicalClock()
+        assert clock.wall_time(99) is None
+
+
+class TestThreadSafety:
+    def test_concurrent_ticks_are_unique(self):
+        clock = LogicalClock()
+        results: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [clock.tick() for __ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == len(results) == 1600

@@ -1,0 +1,65 @@
+"""Demons implemented as external commands (the §5 language-agnostic
+rendering of "demons written in Smalltalk, Modula-2, or C")."""
+
+import json
+import sys
+
+import pytest
+
+from repro import DemonRegistry, EventKind, HAM
+from repro.errors import DemonError
+
+
+def python_demon(script: str) -> list[str]:
+    return [sys.executable, "-c", script]
+
+
+class TestCommandDemons:
+    def test_command_receives_event_json(self, tmp_path):
+        out_path = tmp_path / "events.jsonl"
+        registry = DemonRegistry()
+        registry.register_command("logger", python_demon(
+            f"import sys, pathlib; "
+            f"pathlib.Path({str(out_path)!r}).write_bytes("
+            f"sys.stdin.buffer.read())"))
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="logger")
+        new_time = ham.modify_node(node=node, expected_time=time,
+                                   contents=b"x")
+        event = json.loads(out_path.read_text())
+        assert event["kind"] == "modifyNode"
+        assert event["node"] == node
+        assert event["time"] == new_time
+        assert event["project"] == ham.project_id
+        assert event["transaction"] is not None
+
+    def test_failing_command_vetoes_the_update(self):
+        registry = DemonRegistry()
+        registry.register_command("veto", python_demon(
+            "import sys; sys.stderr.write('rejected by policy'); "
+            "sys.exit(3)"))
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="veto")
+        with pytest.raises(DemonError, match="rejected by policy"):
+            ham.modify_node(node=node, expected_time=time, contents=b"x")
+        # The veto aborted the transaction: contents unchanged.
+        assert ham.open_node(node)[0] == b""
+        assert ham.get_node_timestamp(node) == time
+
+    def test_succeeding_command_lets_update_through(self):
+        registry = DemonRegistry()
+        registry.register_command("approve", python_demon("pass"))
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="approve")
+        ham.modify_node(node=node, expected_time=time, contents=b"ok")
+        assert ham.open_node(node)[0] == b"ok"
+
+    def test_empty_argv_rejected(self):
+        with pytest.raises(DemonError):
+            DemonRegistry().register_command("bad", [])

@@ -1,0 +1,134 @@
+"""Tests for demon tables and the demon registry."""
+
+import pytest
+
+from repro.core.demons import (
+    DemonEvent,
+    DemonRegistry,
+    DemonTable,
+    EventKind,
+)
+from repro.core.types import CURRENT
+from repro.errors import DemonError, VersionError
+
+
+def make_event(kind=EventKind.MODIFY_NODE, time=5):
+    return DemonEvent(kind=kind, time=time, project=1, node=2)
+
+
+class TestDemonTable:
+    def test_set_then_read(self):
+        table = DemonTable()
+        table.set(EventKind.MODIFY_NODE, "compiler", time=5)
+        assert table.demon_at(EventKind.MODIFY_NODE) == "compiler"
+
+    def test_versioned_bindings(self):
+        table = DemonTable()
+        table.set(EventKind.MODIFY_NODE, "old", time=5)
+        table.set(EventKind.MODIFY_NODE, "new", time=10)
+        assert table.demon_at(EventKind.MODIFY_NODE, 7) == "old"
+        assert table.demon_at(EventKind.MODIFY_NODE, CURRENT) == "new"
+
+    def test_null_demon_disables(self):
+        table = DemonTable()
+        table.set(EventKind.MODIFY_NODE, "d", time=5)
+        table.set(EventKind.MODIFY_NODE, None, time=10)
+        assert table.demon_at(EventKind.MODIFY_NODE, CURRENT) is None
+        assert table.demons_at(CURRENT) == []
+        assert table.demons_at(7) == [(EventKind.MODIFY_NODE, "d")]
+
+    def test_unset_event_is_none(self):
+        assert DemonTable().demon_at(EventKind.ADD_NODE) is None
+
+    def test_demons_at_sorted_by_event(self):
+        table = DemonTable()
+        table.set(EventKind.OPEN_NODE, "b", time=2)
+        table.set(EventKind.ADD_NODE, "a", time=1)
+        events = [event for event, __ in table.demons_at()]
+        assert events == sorted(events, key=lambda e: e.value)
+
+    def test_non_advancing_time_rejected(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "d", time=5)
+        with pytest.raises(VersionError):
+            table.set(EventKind.ADD_NODE, "e", time=5)
+
+    def test_rollback(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "a", time=1)
+        table.set(EventKind.ADD_NODE, "b", time=2)
+        table.rollback(EventKind.ADD_NODE)
+        assert table.demon_at(EventKind.ADD_NODE) == "a"
+
+    def test_rollback_empty_raises(self):
+        with pytest.raises(DemonError):
+            DemonTable().rollback(EventKind.ADD_NODE)
+
+    def test_record_round_trip(self):
+        table = DemonTable()
+        table.set(EventKind.MODIFY_NODE, "d", time=5)
+        table.set(EventKind.MODIFY_NODE, None, time=6)
+        restored = DemonTable.from_record(table.to_record())
+        assert restored.demon_at(EventKind.MODIFY_NODE, 5) == "d"
+        assert restored.demon_at(EventKind.MODIFY_NODE, CURRENT) is None
+
+
+class TestDemonRegistry:
+    def test_fire_invokes_registered_demon(self):
+        registry = DemonRegistry()
+        seen = []
+        registry.register("collector", seen.append)
+        event = make_event()
+        registry.fire("collector", event)
+        assert seen == [event]
+
+    def test_event_carries_parameters(self):
+        registry = DemonRegistry()
+        seen = []
+        registry.register("collector", seen.append)
+        registry.fire("collector", make_event(EventKind.ADD_NODE, time=9))
+        event = seen[0]
+        assert event.kind is EventKind.ADD_NODE
+        assert event.time == 9
+        assert event.node == 2
+        assert event.project == 1
+
+    def test_unresolved_demons_are_recorded(self):
+        registry = DemonRegistry()
+        registry.fire("ghost", make_event())
+        assert registry.unresolved[0][0] == "ghost"
+
+    def test_strict_mode_raises_on_unresolved(self):
+        registry = DemonRegistry(strict=True)
+        with pytest.raises(DemonError):
+            registry.fire("ghost", make_event())
+
+    def test_demon_exception_propagates(self):
+        registry = DemonRegistry()
+
+        def failing(event):
+            raise RuntimeError("demon check failed")
+
+        registry.register("checker", failing)
+        with pytest.raises(RuntimeError):
+            registry.fire("checker", make_event())
+
+    def test_unregister(self):
+        registry = DemonRegistry()
+        registry.register("d", lambda event: None)
+        registry.unregister("d")
+        assert not registry.registered("d")
+        with pytest.raises(DemonError):
+            registry.unregister("d")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DemonError):
+            DemonRegistry().register("", lambda event: None)
+
+    def test_replace_implementation(self):
+        registry = DemonRegistry()
+        calls = []
+        registry.register("d", lambda event: calls.append("old"))
+        registry.register("d", lambda event: calls.append("new"))
+        registry.fire("d", make_event())
+        assert calls == ["new"]

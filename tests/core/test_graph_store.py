@@ -1,0 +1,105 @@
+"""Tests for the graph store and its on-disk directory layout."""
+
+import os
+
+import pytest
+
+from repro.core.graph import GraphDirectory, GraphStore
+from repro.core.node import NodeRecord
+from repro.core.types import NodeKind
+from repro.errors import (
+    GraphExistsError,
+    GraphNotFoundError,
+    StorageError,
+)
+
+
+class TestGraphStore:
+    def test_lookups_raise_typed_errors(self):
+        store = GraphStore(project_id=1)
+        from repro.errors import LinkNotFoundError, NodeNotFoundError
+        with pytest.raises(NodeNotFoundError):
+            store.node(5)
+        with pytest.raises(LinkNotFoundError):
+            store.link(5)
+
+    def test_live_filters_respect_time(self):
+        store = GraphStore(project_id=1)
+        node = NodeRecord(1, NodeKind.ARCHIVE, created_at=5)
+        store.nodes[1] = node
+        assert store.live_nodes(3) == []
+        assert store.live_nodes(5) == [node]
+        node.tombstone(9)
+        assert store.live_nodes(0) == []
+        assert store.live_nodes(7) == [node]
+
+    def test_demon_table_created_on_first_use(self):
+        store = GraphStore(project_id=1)
+        table = store.demon_table_for_node(3)
+        assert store.demon_table_for_node(3) is table
+
+    def test_snapshot_round_trip_preserves_counters(self):
+        store = GraphStore(project_id=42, created_at=1)
+        store.next_node_index = 7
+        store.next_link_index = 9
+        store.clock.advance_to(33)
+        restored = GraphStore.from_snapshot(store.to_snapshot())
+        assert restored.project_id == 42
+        assert restored.next_node_index == 7
+        assert restored.next_link_index == 9
+        assert restored.clock.now == 33
+
+
+class TestGraphDirectory:
+    def test_initialize_then_meta_round_trip(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        directory.initialize(project_id=77, protections=3, created_at=1)
+        meta = directory.read_meta()
+        assert meta["project"] == 77
+        assert "snapshot" in meta
+
+    def test_double_initialize_rejected(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        directory.initialize(project_id=1, protections=3, created_at=1)
+        with pytest.raises(GraphExistsError):
+            directory.initialize(project_id=2, protections=3, created_at=1)
+
+    def test_read_meta_missing_graph(self, tmp_path):
+        with pytest.raises(GraphNotFoundError):
+            GraphDirectory(tmp_path / "missing").read_meta()
+
+    def test_malformed_meta_rejected(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        os.makedirs(directory.directory)
+        with open(directory.meta_path, "wb") as handle:
+            handle.write(b"\x00garbage")
+        with pytest.raises((StorageError, GraphNotFoundError)):
+            directory.read_meta()
+
+    def test_meta_rewrite_is_atomic_by_rename(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        directory.initialize(project_id=1, protections=3, created_at=1)
+        meta = directory.read_meta()
+        meta["snapshot"] = 12345
+        directory.write_meta(meta)
+        assert directory.read_meta()["snapshot"] == 12345
+        assert not os.path.exists(directory.meta_path + ".tmp")
+
+    def test_snapshot_history_remains_addressable(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        directory.initialize(project_id=1, protections=3, created_at=1)
+        store = GraphStore(project_id=1)
+        first = directory.append_snapshot(store)
+        node = NodeRecord(1, NodeKind.ARCHIVE, created_at=2)
+        store.nodes[1] = node
+        second = directory.append_snapshot(store)
+        assert len(directory.load_snapshot(first).nodes) == 0
+        assert len(directory.load_snapshot(second).nodes) == 1
+
+    def test_destroy_requires_matching_project(self, tmp_path):
+        directory = GraphDirectory(tmp_path / "g")
+        directory.initialize(project_id=9, protections=3, created_at=1)
+        with pytest.raises(GraphNotFoundError):
+            directory.destroy(8)
+        directory.destroy(9)
+        assert not directory.exists()

@@ -1,0 +1,169 @@
+"""HAM attribute operations: the full Appendix A.4 surface."""
+
+import pytest
+
+from repro import LinkPt
+from repro.errors import AttributeNotFoundError
+
+
+@pytest.fixture
+def setup(ham):
+    with ham.begin() as txn:
+        node, time = ham.add_node(txn)
+        other, __ = ham.add_node(txn)
+        link, __ = ham.add_link(txn, from_pt=LinkPt(node),
+                                to_pt=LinkPt(other))
+    return ham, node, other, link
+
+
+class TestGetAttributeIndex:
+    def test_creates_on_first_use(self, ham):
+        index = ham.get_attribute_index("icon")
+        assert index >= 1
+
+    def test_idempotent(self, ham):
+        assert ham.get_attribute_index("icon") == \
+            ham.get_attribute_index("icon")
+
+    def test_distinct_names_distinct_indexes(self, ham):
+        assert ham.get_attribute_index("icon") != \
+            ham.get_attribute_index("document")
+
+
+class TestGetAttributes:
+    def test_lists_all_known(self, ham):
+        icon = ham.get_attribute_index("icon")
+        document = ham.get_attribute_index("document")
+        assert set(ham.get_attributes()) == {
+            ("icon", icon), ("document", document)}
+
+    def test_as_of_time_excludes_later_attributes(self, ham):
+        ham.get_attribute_index("early")
+        checkpoint = ham.now
+        ham.get_attribute_index("late")
+        names = [name for name, __ in ham.get_attributes(checkpoint)]
+        assert names == ["early"]
+
+
+class TestNodeAttributes:
+    def test_set_get_round_trip(self, setup):
+        ham, node, __, ___ = setup
+        attr = ham.get_attribute_index("contentType")
+        ham.set_node_attribute_value(node=node, attribute=attr,
+                                     value="text")
+        assert ham.get_node_attribute_value(node, attr) == "text"
+
+    def test_versioned_reads(self, setup):
+        ham, node, __, ___ = setup
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr,
+                                     value="draft")
+        middle = ham.now
+        ham.set_node_attribute_value(node=node, attribute=attr,
+                                     value="final")
+        assert ham.get_node_attribute_value(node, attr, middle) == "draft"
+        assert ham.get_node_attribute_value(node, attr) == "final"
+
+    def test_delete_detaches(self, setup):
+        ham, node, __, ___ = setup
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="x")
+        ham.delete_node_attribute(node=node, attribute=attr)
+        with pytest.raises(AttributeNotFoundError):
+            ham.get_node_attribute_value(node, attr)
+
+    def test_delete_unattached_raises(self, setup):
+        ham, node, __, ___ = setup
+        attr = ham.get_attribute_index("status")
+        with pytest.raises(AttributeNotFoundError):
+            ham.delete_node_attribute(node=node, attribute=attr)
+
+    def test_unknown_attribute_index_raises(self, setup):
+        ham, node, __, ___ = setup
+        with pytest.raises(AttributeNotFoundError):
+            ham.set_node_attribute_value(node=node, attribute=77,
+                                         value="x")
+
+    def test_get_node_attributes_lists_triples(self, setup):
+        ham, node, __, ___ = setup
+        icon = ham.get_attribute_index("icon")
+        status = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=icon, value="N")
+        ham.set_node_attribute_value(node=node, attribute=status,
+                                     value="ok")
+        entries = ham.get_node_attributes(node)
+        assert ("icon", icon, "N") in entries
+        assert ("status", status, "ok") in entries
+
+    def test_attribute_sets_create_minor_versions(self, setup):
+        ham, node, __, ___ = setup
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="x")
+        __, minors = ham.get_node_versions(node)
+        assert any("status" in v.explanation for v in minors)
+
+
+class TestLinkAttributes:
+    def test_set_get_round_trip(self, setup):
+        ham, __, ___, link = setup
+        attr = ham.get_attribute_index("relation")
+        ham.set_link_attribute_value(link=link, attribute=attr,
+                                     value="isPartOf")
+        assert ham.get_link_attribute_value(link, attr) == "isPartOf"
+
+    def test_versioned_reads(self, setup):
+        ham, __, ___, link = setup
+        attr = ham.get_attribute_index("relation")
+        ham.set_link_attribute_value(link=link, attribute=attr,
+                                     value="references")
+        middle = ham.now
+        ham.set_link_attribute_value(link=link, attribute=attr,
+                                     value="annotates")
+        assert ham.get_link_attribute_value(link, attr, middle) == \
+            "references"
+        assert ham.get_link_attribute_value(link, attr) == "annotates"
+
+    def test_delete(self, setup):
+        ham, __, ___, link = setup
+        attr = ham.get_attribute_index("relation")
+        ham.set_link_attribute_value(link=link, attribute=attr, value="r")
+        ham.delete_link_attribute(link=link, attribute=attr)
+        with pytest.raises(AttributeNotFoundError):
+            ham.get_link_attribute_value(link, attr)
+
+    def test_get_link_attributes(self, setup):
+        ham, __, ___, link = setup
+        attr = ham.get_attribute_index("relation")
+        ham.set_link_attribute_value(link=link, attribute=attr, value="r")
+        assert ham.get_link_attributes(link) == [("relation", attr, "r")]
+
+
+class TestGetAttributeValues:
+    def test_aggregates_across_nodes_and_links(self, setup):
+        ham, node, other, link = setup
+        attr = ham.get_attribute_index("kind")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="a")
+        ham.set_node_attribute_value(node=other, attribute=attr, value="b")
+        ham.set_link_attribute_value(link=link, attribute=attr, value="c")
+        assert ham.get_attribute_values(attr) == ["a", "b", "c"]
+
+    def test_as_of_time(self, setup):
+        ham, node, other, __ = setup
+        attr = ham.get_attribute_index("kind")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="a")
+        checkpoint = ham.now
+        ham.set_node_attribute_value(node=other, attribute=attr, value="b")
+        assert ham.get_attribute_values(attr, checkpoint) == ["a"]
+
+    def test_deduplicates_values(self, setup):
+        ham, node, other, __ = setup
+        attr = ham.get_attribute_index("kind")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="same")
+        ham.set_node_attribute_value(node=other, attribute=attr,
+                                     value="same")
+        assert ham.get_attribute_values(attr) == ["same"]
+
+    def test_empty_when_never_set(self, setup):
+        ham, __, ___, ____ = setup
+        attr = ham.get_attribute_index("unused")
+        assert ham.get_attribute_values(attr) == []

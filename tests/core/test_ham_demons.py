@@ -1,0 +1,159 @@
+"""HAM demon operations (Appendix A.5) and demon firing semantics."""
+
+import pytest
+
+from repro import HAM, DemonRegistry, EventKind, LinkPt
+
+
+@pytest.fixture
+def watched():
+    registry = DemonRegistry()
+    fired = []
+    registry.register("recorder", fired.append)
+    ham = HAM.ephemeral(demons=registry)
+    return ham, fired
+
+
+class TestGraphDemons:
+    def test_graph_demon_fires_on_event(self, watched):
+        ham, fired = watched
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE,
+                                  demon="recorder")
+        ham.add_node()
+        assert [e.kind for e in fired] == [EventKind.ADD_NODE]
+
+    def test_null_demon_disables(self, watched):
+        ham, fired = watched
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE,
+                                  demon="recorder")
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE, demon=None)
+        ham.add_node()
+        assert fired == []
+
+    def test_get_graph_demons_versioned(self, watched):
+        ham, __ = watched
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE,
+                                  demon="recorder")
+        before_disable = ham.now
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE, demon=None)
+        assert ham.get_graph_demons() == []
+        assert ham.get_graph_demons(before_disable) == [
+            (EventKind.ADD_NODE, "recorder")]
+
+
+class TestNodeDemons:
+    def test_node_demon_fires_only_for_that_node(self, watched):
+        ham, fired = watched
+        watched_node, time = ham.add_node()
+        other, other_time = ham.add_node()
+        ham.set_node_demon(node=watched_node,
+                           event=EventKind.MODIFY_NODE, demon="recorder")
+        ham.modify_node(node=other, expected_time=other_time, contents=b"x")
+        assert fired == []
+        ham.modify_node(node=watched_node, expected_time=time,
+                        contents=b"y")
+        assert [e.node for e in fired] == [watched_node]
+
+    def test_get_node_demons(self, watched):
+        ham, __ = watched
+        node, ___ = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.OPEN_NODE,
+                           demon="recorder")
+        assert ham.get_node_demons(node) == [
+            (EventKind.OPEN_NODE, "recorder")]
+
+    def test_node_without_demons_returns_empty(self, watched):
+        ham, __ = watched
+        node, ___ = ham.add_node()
+        assert ham.get_node_demons(node) == []
+
+    def test_open_node_fires_demon(self, watched):
+        ham, fired = watched
+        node, __ = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.OPEN_NODE,
+                           demon="recorder")
+        ham.open_node(node)
+        assert [e.kind for e in fired] == [EventKind.OPEN_NODE]
+
+
+class TestEventParameters:
+    def test_event_carries_node_time_project(self, watched):
+        ham, fired = watched
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="recorder")
+        new_time = ham.modify_node(node=node, expected_time=time,
+                                   contents=b"x")
+        event = fired[0]
+        assert event.node == node
+        assert event.time == new_time
+        assert event.project == ham.project_id
+        assert event.transaction is not None
+
+    def test_attribute_event_carries_detail(self, watched):
+        ham, fired = watched
+        node, __ = ham.add_node()
+        ham.set_graph_demon_value(event=EventKind.SET_ATTRIBUTE,
+                                  demon="recorder")
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="ok")
+        event = fired[-1]
+        assert event.detail == {"attribute": "status", "value": "ok"}
+
+    def test_link_events_carry_link_index(self, watched):
+        ham, fired = watched
+        a, __ = ham.add_node()
+        b, __ = ham.add_node()
+        ham.set_graph_demon_value(event=EventKind.ADD_LINK,
+                                  demon="recorder")
+        link, ___ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        assert fired[-1].link == link
+
+
+class TestDemonFailureAbortsTransaction:
+    def test_failing_demon_rolls_back_the_operation(self):
+        registry = DemonRegistry()
+
+        def veto(event):
+            raise RuntimeError("vetoed by demon")
+
+        registry.register("veto", veto)
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="veto")
+        with pytest.raises(RuntimeError):
+            ham.modify_node(node=node, expected_time=time, contents=b"x")
+        # The modification was rolled back with the transaction.
+        assert ham.open_node(node)[0] == b""
+        assert ham.get_node_timestamp(node) == time
+
+    def test_demon_mutating_in_same_transaction(self):
+        registry = DemonRegistry()
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        log_node, log_time = ham.add_node()
+
+        def audit(event):
+            # Join the firing transaction (see DemonEvent.txn_handle).
+            current = ham.get_node_timestamp(log_node)
+            contents = ham.open_node(log_node, txn=event.txn_handle)[0]
+            ham.modify_node(event.txn_handle, node=log_node,
+                            expected_time=current,
+                            contents=contents + b"edit seen\n")
+
+        registry.register("audit", audit)
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="audit")
+        ham.modify_node(node=node, expected_time=time, contents=b"x")
+        assert ham.open_node(log_node)[0] == b"edit seen\n"
+
+
+class TestUnresolvedDemons:
+    def test_unresolved_demon_is_recorded_not_fatal(self, ham):
+        node, time = ham.add_node()
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="not-implemented-here")
+        ham.modify_node(node=node, expected_time=time, contents=b"x")
+        assert ham.demons.unresolved
+        assert ham.demons.unresolved[0][0] == "not-implemented-here"

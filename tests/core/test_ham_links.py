@@ -1,0 +1,161 @@
+"""HAM link operations: addLink, copyLink, deleteLink, getToNode,
+getFromNode, and endpoint version semantics."""
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.errors import LinkNotFoundError, NodeNotFoundError, VersionError
+
+
+@pytest.fixture
+def three_nodes(ham):
+    nodes = []
+    with ham.begin() as txn:
+        for label in (b"node a\n", b"node b\n", b"node c\n"):
+            index, time = ham.add_node(txn)
+            ham.modify_node(txn, node=index, expected_time=time,
+                            contents=label)
+            nodes.append(index)
+    return ham, nodes
+
+
+class TestAddLink:
+    def test_returns_index_and_time(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, time = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        assert link == 1
+        assert time > 0
+
+    def test_endpoints_resolve(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a, position=3),
+                                to_pt=LinkPt(b, position=1))
+        assert ham.get_from_node(link)[0] == a
+        assert ham.get_to_node(link)[0] == b
+
+    def test_missing_from_node_rejected(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        with pytest.raises(NodeNotFoundError):
+            ham.add_link(from_pt=LinkPt(99), to_pt=LinkPt(b))
+
+    def test_missing_to_node_rejected(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        with pytest.raises(NodeNotFoundError):
+            ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(99))
+
+    def test_pinned_endpoint_must_name_real_version(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        good_time = ham.get_node_timestamp(a)
+        link, __ = ham.add_link(
+            from_pt=LinkPt(a, time=good_time, track_current=False),
+            to_pt=LinkPt(b))
+        assert ham.get_from_node(link) == (a, good_time)
+
+    def test_self_link_allowed(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a),
+                                to_pt=LinkPt(a, position=2))
+        assert ham.get_from_node(link)[0] == a
+        assert ham.get_to_node(link)[0] == a
+
+    def test_link_creation_records_minor_versions(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        __, minors_a = ham.get_node_versions(a)
+        __, minors_b = ham.get_node_versions(b)
+        assert any("link" in v.explanation for v in minors_a)
+        assert any("link" in v.explanation for v in minors_b)
+
+
+class TestTrackingSemantics:
+    def test_tracking_endpoint_follows_current_version(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        time_b = ham.get_node_timestamp(b)
+        new_b = ham.modify_node(node=b, expected_time=time_b,
+                                contents=b"node b v2\n")
+        assert ham.get_to_node(link) == (b, new_b)
+
+    def test_pinned_endpoint_stays_at_version(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        pinned_time = ham.get_node_timestamp(b)
+        link, __ = ham.add_link(
+            from_pt=LinkPt(a),
+            to_pt=LinkPt(b, time=pinned_time, track_current=False))
+        ham.modify_node(node=b, expected_time=pinned_time,
+                        contents=b"node b v2\n")
+        assert ham.get_to_node(link) == (b, pinned_time)
+
+    def test_to_node_as_of_time(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, link_time = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        version_b = ham.get_node_timestamp(b)
+        ham.modify_node(node=b, expected_time=version_b, contents=b"v2\n")
+        node, version = ham.get_to_node(link, time=link_time)
+        assert node == b
+        assert version == version_b
+
+
+class TestCopyLink:
+    def test_copy_keeps_source(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        original, __ = ham.add_link(from_pt=LinkPt(a, position=4),
+                                    to_pt=LinkPt(b))
+        copy, __ = ham.copy_link(link=original, keep_source=True,
+                                 other_pt=LinkPt(c))
+        assert ham.get_from_node(copy)[0] == a
+        assert ham.get_to_node(copy)[0] == c
+
+    def test_copy_keeps_destination(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        original, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        copy, __ = ham.copy_link(link=original, keep_source=False,
+                                 other_pt=LinkPt(c))
+        assert ham.get_from_node(copy)[0] == c
+        assert ham.get_to_node(copy)[0] == b
+
+    def test_copy_of_missing_link_raises(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        with pytest.raises(LinkNotFoundError):
+            ham.copy_link(link=42, other_pt=LinkPt(c))
+
+    def test_copy_preserves_offset_of_shared_end(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        original, __ = ham.add_link(from_pt=LinkPt(a, position=4),
+                                    to_pt=LinkPt(b))
+        copy, __ = ham.copy_link(link=original, keep_source=True,
+                                 other_pt=LinkPt(c))
+        __, points, ___, ____ = ham.open_node(a)
+        copy_points = [pt for li, end, pt in points
+                       if li == copy and end == "from"]
+        assert copy_points[0].position == 4
+
+
+class TestDeleteLink:
+    def test_deleted_link_is_gone_now(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        ham.delete_link(link=link)
+        with pytest.raises(LinkNotFoundError):
+            ham.get_to_node(link)
+
+    def test_deleted_link_visible_in_past(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        before = ham.now
+        ham.delete_link(link=link)
+        assert ham.get_to_node(link, time=before)[0] == b
+
+    def test_double_delete_raises(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        ham.delete_link(link=link)
+        with pytest.raises(LinkNotFoundError):
+            ham.delete_link(link=link)
+
+    def test_delete_records_minor_versions(self, three_nodes):
+        ham, (a, b, c) = three_nodes
+        link, __ = ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        ham.delete_link(link=link)
+        __, minors = ham.get_node_versions(a)
+        assert any("removed" in v.explanation for v in minors)

@@ -1,0 +1,191 @@
+"""Model-based property test: the HAM versus a naive reference model.
+
+Hypothesis drives random operation sequences (add/modify/delete nodes,
+set/delete attributes, time-travel reads) against both the real HAM and
+a trivially-correct in-memory model that snapshots full state at every
+time step.  Divergence at any point — current reads, as-of reads,
+queries — fails the test.  This is the strongest single check of the
+versioning semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import HAM
+from repro.errors import NeptuneError
+
+
+class _Model:
+    """Trivially correct: remember everything at every time."""
+
+    def __init__(self):
+        #: node → list of (time, contents); deletion time; attrs history
+        self.contents: dict[int, list[tuple[int, bytes]]] = {}
+        self.deleted: dict[int, int] = {}
+        self.attrs: dict[int, list[tuple[int, str, str | None]]] = {}
+
+    def node_contents_at(self, node: int, time: int) -> bytes | None:
+        """Contents at `time` (0 = now), or None if not alive/existing."""
+        history = self.contents.get(node)
+        if history is None:
+            return None
+        if time == 0:
+            if node in self.deleted:
+                return None
+            return history[-1][1]
+        if node in self.deleted and time >= self.deleted[node]:
+            return None
+        candidates = [body for stamp, body in history if stamp <= time]
+        return candidates[-1] if candidates else None
+
+    def attrs_at(self, node: int, time: int) -> dict[str, str]:
+        result: dict[str, str] = {}
+        for stamp, name, value in self.attrs.get(node, []):
+            if time != 0 and stamp > time:
+                continue
+            if value is None:
+                result.pop(name, None)
+            else:
+                result[name] = value
+        return result
+
+
+class HamMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ham = HAM.ephemeral()
+        self.model = _Model()
+        self.live_nodes: list[int] = []
+        self.all_nodes: list[int] = []
+        self.times: list[int] = [1]
+
+    # ------------------------------------------------------------------
+    # operations
+
+    @rule()
+    def add_node(self):
+        node, time = self.ham.add_node()
+        self.model.contents[node] = [(time, b"")]
+        self.live_nodes.append(node)
+        self.all_nodes.append(node)
+        self.times.append(time)
+
+    @precondition(lambda self: self.live_nodes)
+    @rule(data=st.data(), body=st.binary(max_size=60))
+    def modify_node(self, data, body):
+        node = data.draw(st.sampled_from(self.live_nodes))
+        expected = self.ham.get_node_timestamp(node)
+        time = self.ham.modify_node(node=node, expected_time=expected,
+                                    contents=body)
+        self.model.contents[node].append((time, body))
+        self.times.append(time)
+
+    @precondition(lambda self: self.live_nodes)
+    @rule(data=st.data())
+    def delete_node(self, data):
+        node = data.draw(st.sampled_from(self.live_nodes))
+        self.ham.delete_node(node=node)
+        self.model.deleted[node] = self.ham.now
+        self.live_nodes.remove(node)
+        self.times.append(self.ham.now)
+
+    @precondition(lambda self: self.live_nodes)
+    @rule(data=st.data(),
+          name=st.sampled_from(["document", "status", "icon"]),
+          value=st.text(alphabet="abc", min_size=1, max_size=3))
+    def set_attribute(self, data, name, value):
+        node = data.draw(st.sampled_from(self.live_nodes))
+        attr = self.ham.get_attribute_index(name)
+        self.ham.set_node_attribute_value(node=node, attribute=attr,
+                                          value=value)
+        self.model.attrs.setdefault(node, []).append(
+            (self.ham.now, name, value))
+        self.times.append(self.ham.now)
+
+    @precondition(lambda self: self.live_nodes)
+    @rule(data=st.data(),
+          name=st.sampled_from(["document", "status", "icon"]))
+    def delete_attribute(self, data, name):
+        node = data.draw(st.sampled_from(self.live_nodes))
+        attr = self.ham.get_attribute_index(name)
+        if self.model.attrs_at(node, 0).get(name) is None:
+            return  # nothing attached; HAM would (correctly) refuse
+        self.ham.delete_node_attribute(node=node, attribute=attr)
+        self.model.attrs.setdefault(node, []).append(
+            (self.ham.now, name, None))
+        self.times.append(self.ham.now)
+
+    # ------------------------------------------------------------------
+    # cross-checks
+
+    @invariant()
+    def current_reads_agree(self):
+        for node in self.all_nodes:
+            expected = self.model.node_contents_at(node, 0)
+            if expected is None:
+                try:
+                    self.ham.open_node(node)
+                    raise AssertionError(
+                        f"node {node} should be dead but reads")
+                except NeptuneError:
+                    pass
+            else:
+                assert self.ham.open_node(node)[0] == expected
+
+    @invariant()
+    def as_of_reads_agree(self):
+        if not self.all_nodes or len(self.times) < 2:
+            return
+        probe = self.times[len(self.times) // 2]
+        for node in self.all_nodes:
+            expected = self.model.node_contents_at(node, probe)
+            if expected is None:
+                try:
+                    self.ham.open_node(node, time=probe)
+                    raise AssertionError(
+                        f"node {node} should not exist at t={probe}")
+                except NeptuneError:
+                    pass
+            else:
+                assert self.ham.open_node(node, time=probe)[0] == expected
+
+    @invariant()
+    def attribute_reads_agree(self):
+        for node in self.live_nodes:
+            expected = self.model.attrs_at(node, 0)
+            actual = {
+                name: value
+                for name, __, value in self.ham.get_node_attributes(node)
+            }
+            assert actual == expected
+
+    @invariant()
+    def queries_agree_with_model(self):
+        # Every (name=value) equality query returns exactly the live
+        # nodes whose modelled current attributes match.
+        for name in ("document", "status"):
+            values = {
+                self.model.attrs_at(node, 0).get(name)
+                for node in self.live_nodes
+            } - {None}
+            for value in values:
+                hits = set(self.ham.get_graph_query(
+                    node_predicate=f'{name} = "{value}"').node_indexes)
+                expected = {
+                    node for node in self.live_nodes
+                    if self.model.attrs_at(node, 0).get(name) == value
+                }
+                assert hits == expected
+
+
+HamMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestHamAgainstModel = HamMachine.TestCase

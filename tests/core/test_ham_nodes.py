@@ -1,0 +1,233 @@
+"""HAM node operations: addNode, deleteNode, openNode, modifyNode,
+getNodeTimeStamp, changeNodeProtection, getNodeVersions,
+getNodeDifferences."""
+
+import pytest
+
+from repro import HAM, LinkPt, Protections
+from repro.errors import (
+    NodeNotFoundError,
+    ProtectionError,
+    StaleVersionError,
+    VersionError,
+)
+from repro.storage.diff import DiffKind
+
+
+class TestAddNode:
+    def test_returns_index_and_time(self, ham):
+        index, time = ham.add_node()
+        assert index == 1
+        assert time > 0
+
+    def test_indexes_are_sequential(self, ham):
+        first, __ = ham.add_node()
+        second, __ = ham.add_node()
+        assert second == first + 1
+
+    def test_new_node_is_empty(self, ham):
+        index, __ = ham.add_node()
+        contents, link_points, values, __ = ham.open_node(index)
+        assert contents == b""
+        assert link_points == []
+
+    def test_archive_flag_selects_kind(self, ham):
+        archive, __ = ham.add_node(keep_history=True)
+        plain, __ = ham.add_node(keep_history=False)
+        assert ham.store.node(archive).is_archive
+        assert not ham.store.node(plain).is_archive
+
+
+class TestModifyNode:
+    def test_check_in_and_read_back(self, ham):
+        index, time = ham.add_node()
+        new_time = ham.modify_node(node=index, expected_time=time,
+                                   contents=b"hello\n")
+        assert new_time > time
+        assert ham.open_node(index)[0] == b"hello\n"
+
+    def test_stale_expected_time_rejected(self, ham):
+        index, time = ham.add_node()
+        ham.modify_node(node=index, expected_time=time, contents=b"v2")
+        with pytest.raises(StaleVersionError):
+            ham.modify_node(node=index, expected_time=time, contents=b"v3")
+
+    def test_archive_history_readable_at_any_time(self, ham):
+        index, time = ham.add_node()
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"v2")
+        t3 = ham.modify_node(node=index, expected_time=t2, contents=b"v3")
+        assert ham.open_node(index, time=time)[0] == b""
+        assert ham.open_node(index, time=t2)[0] == b"v2"
+        assert ham.open_node(index, time=t3)[0] == b"v3"
+
+    def test_file_node_keeps_only_current(self, ham):
+        index, time = ham.add_node(keep_history=False)
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"v2")
+        with pytest.raises(VersionError):
+            ham.open_node(index, time=time)
+
+    def test_modify_missing_node_raises(self, ham):
+        with pytest.raises(NodeNotFoundError):
+            ham.modify_node(node=99, expected_time=1, contents=b"x")
+
+    def test_attachment_coverage_enforced(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        time = ham.get_node_timestamp(node_a)
+        with pytest.raises(VersionError):
+            ham.modify_node(node=node_a, expected_time=time,
+                            contents=b"new", attachments=[])
+
+    def test_attachments_move_link_offsets(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        time = ham.get_node_timestamp(node_a)
+        ham.modify_node(
+            node=node_a, expected_time=time,
+            contents=b"longer alpha contents\n",
+            attachments=[(link, "from", 12)])
+        __, link_points, ___, ____ = ham.open_node(node_a)
+        from_points = [pt for __, end, pt in link_points if end == "from"]
+        assert from_points[0].position == 12
+
+    def test_old_attachment_offsets_stay_addressable(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        before = ham.now  # after link creation, before the move
+        expected = ham.get_node_timestamp(node_a)
+        ham.modify_node(node=node_a, expected_time=expected,
+                        contents=b"x" * 30,
+                        attachments=[(link, "from", 20)])
+        __, old_points, ___, ____ = ham.open_node(node_a, time=before)
+        positions = [pt.position for __, end, pt in old_points
+                     if end == "from"]
+        assert positions == [5]
+
+
+class TestOpenNode:
+    def test_returns_current_version_time(self, ham):
+        index, time = ham.add_node()
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"x")
+        assert ham.open_node(index)[3] == t2
+
+    def test_requested_attribute_values(self, ham):
+        index, __ = ham.add_node()
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=index, attribute=attr,
+                                     value="draft")
+        other = ham.get_attribute_index("missing")
+        __, ___, values, ____ = ham.open_node(
+            index, attributes=[attr, other])
+        assert values == ["draft", None]
+
+    def test_open_missing_node_raises(self, ham):
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(42)
+
+    def test_open_before_creation_raises(self, ham):
+        first, __ = ham.add_node()
+        second, __ = ham.add_node()
+        early = ham.store.node(first).created_at
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(second, time=early)
+
+    def test_link_points_include_both_directions(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        __, points_a, ___, ____ = ham.open_node(node_a)
+        __, points_b, ___, ____ = ham.open_node(node_b)
+        assert [(link, "from")] == [(li, end) for li, end, __ in points_a]
+        assert [(link, "to")] == [(li, end) for li, end, __ in points_b]
+
+
+class TestDeleteNode:
+    def test_deleted_node_unreadable_now(self, ham):
+        index, __ = ham.add_node()
+        ham.delete_node(node=index)
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(index)
+
+    def test_history_remains_readable(self, ham):
+        index, time = ham.add_node()
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"x")
+        ham.delete_node(node=index)
+        assert ham.open_node(index, time=t2)[0] == b"x"
+
+    def test_cascade_deletes_attached_links(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        ham.delete_node(node=node_a)
+        assert not ham.store.link(link).alive_at(0)
+        # The surviving node has no live attachments.
+        __, points_b, ___, ____ = ham.open_node(node_b)
+        assert points_b == []
+
+    def test_double_delete_raises(self, ham):
+        index, __ = ham.add_node()
+        ham.delete_node(node=index)
+        with pytest.raises(NodeNotFoundError):
+            ham.delete_node(node=index)
+
+
+class TestTimestampAndProtection:
+    def test_get_node_timestamp(self, ham):
+        index, time = ham.add_node()
+        assert ham.get_node_timestamp(index) == time
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"x")
+        assert ham.get_node_timestamp(index) == t2
+
+    def test_protection_blocks_writes(self, ham):
+        index, time = ham.add_node()
+        ham.change_node_protection(node=index, protections=Protections.READ)
+        with pytest.raises(ProtectionError):
+            ham.modify_node(node=index, expected_time=time, contents=b"x")
+
+    def test_protection_blocks_reads(self, ham):
+        index, __ = ham.add_node()
+        ham.change_node_protection(node=index,
+                                   protections=Protections.WRITE)
+        with pytest.raises(ProtectionError):
+            ham.open_node(index)
+
+    def test_protection_restorable(self, ham):
+        index, __ = ham.add_node()
+        ham.change_node_protection(node=index, protections=Protections.READ)
+        ham.change_node_protection(node=index,
+                                   protections=Protections.READ_WRITE)
+        assert ham.open_node(index)[0] == b""
+
+
+class TestVersionsAndDifferences:
+    def test_get_node_versions_separates_major_minor(self, ham):
+        index, time = ham.add_node()
+        ham.modify_node(node=index, expected_time=time, contents=b"x",
+                        explanation="edit one")
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=index, attribute=attr, value="ok")
+        major, minor = ham.get_node_versions(index)
+        assert len(major) == 2
+        assert major[1].explanation == "edit one"
+        assert len(minor) == 1
+        assert "status" in minor[0].explanation
+
+    def test_get_node_differences(self, ham):
+        index, time = ham.add_node()
+        t2 = ham.modify_node(node=index, expected_time=time,
+                             contents=b"one\ntwo\n")
+        t3 = ham.modify_node(node=index, expected_time=t2,
+                             contents=b"one\n2\nthree\n")
+        script = ham.get_node_differences(index, t2, t3)
+        assert script
+        kinds = {diff.kind for diff in script}
+        assert kinds <= {DiffKind.INSERT, DiffKind.DELETE, DiffKind.REPLACE}
+
+    def test_differences_of_identical_versions_empty(self, ham):
+        index, time = ham.add_node()
+        t2 = ham.modify_node(node=index, expected_time=time, contents=b"x")
+        assert ham.get_node_differences(index, t2, t2) == []
+
+
+class TestCamelCaseAliases:
+    def test_aliases_point_at_same_functions(self):
+        assert HAM.addNode is HAM.add_node
+        assert HAM.openNode is HAM.open_node
+        assert HAM.modifyNode is HAM.modify_node
+        assert HAM.linearizeGraph is HAM.linearize_graph
+        assert HAM.getGraphQuery is HAM.get_graph_query
+        assert HAM.setNodeAttributeValue is HAM.set_node_attribute_value
+        assert HAM.getNodeDemons is HAM.get_node_demons

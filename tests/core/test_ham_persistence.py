@@ -1,0 +1,256 @@
+"""Graph lifecycle on disk: create/open/destroy, checkpointing, and
+crash recovery from the write-ahead log."""
+
+import os
+
+import pytest
+
+from repro import HAM, LinkPt, Protections
+from repro.errors import (
+    GraphExistsError,
+    GraphNotFoundError,
+    NodeNotFoundError,
+)
+
+
+def crash(ham):
+    """Simulate a process crash: drop the HAM without checkpointing."""
+    ham._log.close()
+    ham._closed = True
+
+
+class TestCreateDestroy:
+    def test_create_returns_project_id_and_time(self, tmp_path):
+        project_id, time = HAM.create_graph(tmp_path / "g")
+        assert project_id > 0
+        assert time == 1
+
+    def test_create_twice_in_same_directory_rejected(self, tmp_path):
+        HAM.create_graph(tmp_path / "g")
+        with pytest.raises(GraphExistsError):
+            HAM.create_graph(tmp_path / "g")
+
+    def test_open_requires_matching_project_id(self, persistent_graph):
+        project_id, directory = persistent_graph
+        with pytest.raises(GraphNotFoundError):
+            HAM.open_graph(project_id + 1, directory)
+
+    def test_open_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(GraphNotFoundError):
+            HAM.open_graph(1, tmp_path / "missing")
+
+    def test_destroy_requires_matching_project_id(self, persistent_graph):
+        project_id, directory = persistent_graph
+        with pytest.raises(GraphNotFoundError):
+            HAM.destroy_graph(project_id + 1, directory)
+
+    def test_destroy_removes_graph(self, persistent_graph):
+        project_id, directory = persistent_graph
+        HAM.destroy_graph(project_id, directory)
+        with pytest.raises(GraphNotFoundError):
+            HAM.open_graph(project_id, directory)
+
+
+class TestPersistenceRoundTrip:
+    def test_data_survives_clean_close(self, persistent_graph):
+        project_id, directory = persistent_graph
+        with HAM.open_graph(project_id, directory) as ham:
+            node, time = ham.add_node()
+            ham.modify_node(node=node, expected_time=time,
+                            contents=b"durable\n")
+            attr = ham.get_attribute_index("status")
+            ham.set_node_attribute_value(node=node, attribute=attr,
+                                         value="final")
+        with HAM.open_graph(project_id, directory) as ham:
+            assert ham.open_node(node)[0] == b"durable\n"
+            attr = ham.get_attribute_index("status")
+            assert ham.get_node_attribute_value(node, attr) == "final"
+
+    def test_version_history_survives(self, persistent_graph):
+        project_id, directory = persistent_graph
+        with HAM.open_graph(project_id, directory) as ham:
+            node, time = ham.add_node()
+            t2 = ham.modify_node(node=node, expected_time=time,
+                                 contents=b"v2\n")
+            t3 = ham.modify_node(node=node, expected_time=t2,
+                                 contents=b"v3\n")
+        with HAM.open_graph(project_id, directory) as ham:
+            assert ham.open_node(node, time=t2)[0] == b"v2\n"
+            assert ham.open_node(node, time=t3)[0] == b"v3\n"
+
+    def test_links_and_demons_survive(self, persistent_graph):
+        from repro import EventKind
+        project_id, directory = persistent_graph
+        with HAM.open_graph(project_id, directory) as ham:
+            a, __ = ham.add_node()
+            b, __ = ham.add_node()
+            link, ___ = ham.add_link(from_pt=LinkPt(a, position=2),
+                                     to_pt=LinkPt(b))
+            ham.set_node_demon(node=a, event=EventKind.MODIFY_NODE,
+                               demon="watcher")
+        with HAM.open_graph(project_id, directory) as ham:
+            assert ham.get_to_node(link)[0] == b
+            assert ham.get_node_demons(a) == [
+                (EventKind.MODIFY_NODE, "watcher")]
+
+
+class TestCrashRecovery:
+    def test_committed_work_survives_crash(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"saved\n")
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(node)[0] == b"saved\n"
+
+    def test_uncommitted_work_is_discarded(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        committed, time = ham.add_node()
+        ham.modify_node(node=committed, expected_time=time,
+                        contents=b"committed\n")
+        txn = ham.begin()
+        uncommitted, __ = ham.add_node(txn)
+        crash(ham)  # crash with txn still open
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(committed)[0] == b"committed\n"
+        with pytest.raises(NodeNotFoundError):
+            recovered.open_node(uncommitted)
+
+    def test_aborted_work_is_discarded(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        txn = ham.begin()
+        node, __ = ham.add_node(txn)
+        txn.abort()
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        with pytest.raises(NodeNotFoundError):
+            recovered.open_node(node)
+
+    def test_recovery_is_idempotent(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x\n")
+        crash(ham)
+        # Open and crash twice more without checkpointing.
+        again = HAM.open_graph(project_id, directory)
+        crash(again)
+        final = HAM.open_graph(project_id, directory)
+        assert final.open_node(node)[0] == b"x\n"
+        assert len(final.store.nodes) == 1
+
+    def test_interleaved_transactions_recover_correctly(
+            self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node_a, time_a = ham.add_node()
+        node_b, time_b = ham.add_node()
+        # Interleave two transactions touching disjoint nodes, so their
+        # UPDATE records interleave in the log.
+        txn_a = ham.begin()
+        txn_b = ham.begin()
+        ham.modify_node(txn_a, node=node_a, expected_time=time_a,
+                        contents=b"loser edit\n")
+        ham.modify_node(txn_b, node=node_b, expected_time=time_b,
+                        contents=b"winner edit\n")
+        txn_b.commit()
+        # txn_a never commits; crash.
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(node_b)[0] == b"winner edit\n"
+        assert recovered.open_node(node_a)[0] == b""
+
+    def test_torn_log_tail_is_tolerated(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"ok\n")
+        crash(ham)
+        with open(os.path.join(directory, "wal.log"), "ab") as handle:
+            handle.write(b"\xff\x00\x13torn tail bytes")
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(node)[0] == b"ok\n"
+
+    def test_attribute_index_rebuilt_after_recovery(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node, __ = ham.add_node()
+        attr = ham.get_attribute_index("document")
+        ham.set_node_attribute_value(node=node, attribute=attr,
+                                     value="spec")
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        hits = recovered.get_graph_query(node_predicate="document = spec")
+        assert hits.node_indexes == [node]
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_log(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x\n")
+        log_before = ham._log.end_lsn
+        ham.checkpoint()
+        assert ham._log.end_lsn < log_before
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(node)[0] == b"x\n"
+
+    def test_work_after_checkpoint_recovers(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        first, time = ham.add_node()
+        ham.checkpoint()
+        second, __ = ham.add_node()
+        crash(ham)
+        recovered = HAM.open_graph(project_id, directory)
+        assert first in recovered.store.nodes
+        assert second in recovered.store.nodes
+
+    def test_clock_continues_across_reopen(self, persistent_graph):
+        project_id, directory = persistent_graph
+        with HAM.open_graph(project_id, directory) as ham:
+            ham.add_node()
+            latest = ham.now
+        with HAM.open_graph(project_id, directory) as ham:
+            node, time = ham.add_node()
+            assert time > latest
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        ham.close()
+        ham.close()
+
+    def test_begin_after_close_rejected(self, persistent_graph):
+        from repro.errors import TransactionError
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        ham.close()
+        with pytest.raises(TransactionError):
+            ham.begin()
+
+    def test_close_with_open_transaction_skips_checkpoint(
+            self, persistent_graph):
+        """Closing with a transaction in flight must not checkpoint a
+        half-done state; the in-flight work is simply lost (equivalent
+        to a crash) and recovery discards it on reopen."""
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        committed, time = ham.add_node()
+        ham.modify_node(node=committed, expected_time=time,
+                        contents=b"safe\n")
+        txn = ham.begin()
+        orphan, __ = ham.add_node(txn)
+        ham.close()  # txn still open
+        recovered = HAM.open_graph(project_id, directory)
+        assert recovered.open_node(committed)[0] == b"safe\n"
+        with pytest.raises(NodeNotFoundError):
+            recovered.open_node(orphan)
+        recovered.close()

@@ -1,0 +1,190 @@
+"""HAM query operations: linearizeGraph and getGraphQuery."""
+
+import pytest
+
+from repro import HAM, LinkPt
+
+
+@pytest.fixture
+def document_graph(ham):
+    """root → (s1, s2); s2 → s21.  Links carry relation=isPartOf except
+    one annotation link from s1."""
+    nodes = {}
+    with ham.begin() as txn:
+        relation = ham.get_attribute_index("relation", txn)
+        document = ham.get_attribute_index("document", txn)
+        for name, body in [("root", b"Root\n"), ("s1", b"One\n"),
+                           ("s2", b"Two\n"), ("s21", b"TwoOne\n"),
+                           ("note", b"A note\n")]:
+            index, time = ham.add_node(txn)
+            ham.modify_node(txn, node=index, expected_time=time,
+                            contents=body)
+            ham.set_node_attribute_value(
+                txn, node=index, attribute=document,
+                value="spec" if name != "note" else "annotations")
+            nodes[name] = index
+
+        def structural(from_name, to_name, position):
+            link, __ = ham.add_link(
+                txn, from_pt=LinkPt(nodes[from_name], position=position),
+                to_pt=LinkPt(nodes[to_name]))
+            ham.set_link_attribute_value(txn, link=link,
+                                         attribute=relation,
+                                         value="isPartOf")
+            return link
+
+        links = {
+            "root-s1": structural("root", "s1", 0),
+            "root-s2": structural("root", "s2", 1),
+            "s2-s21": structural("s2", "s21", 0),
+        }
+        annotation, __ = ham.add_link(
+            txn, from_pt=LinkPt(nodes["s1"], position=2),
+            to_pt=LinkPt(nodes["note"]))
+        ham.set_link_attribute_value(txn, link=annotation,
+                                     attribute=relation, value="annotates")
+        links["s1-note"] = annotation
+    return ham, nodes, links
+
+
+class TestLinearizeGraph:
+    def test_depth_first_offset_order(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.linearize_graph(nodes["root"])
+        assert result.node_indexes == [
+            nodes["root"], nodes["s1"], nodes["note"], nodes["s2"],
+            nodes["s21"]]
+
+    def test_link_predicate_prunes_traversal(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.linearize_graph(
+            nodes["root"], link_predicate="relation = isPartOf")
+        assert result.node_indexes == [
+            nodes["root"], nodes["s1"], nodes["s2"], nodes["s21"]]
+        assert links["s1-note"] not in result.link_indexes
+
+    def test_node_predicate_prunes_subtrees(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.linearize_graph(
+            nodes["root"], node_predicate="document = spec")
+        assert nodes["note"] not in result.node_indexes
+
+    def test_start_node_failing_predicate_gives_empty(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.linearize_graph(
+            nodes["root"], node_predicate="document = nonexistent")
+        assert result.nodes == ()
+        assert result.links == ()
+
+    def test_requested_attribute_values_returned(self, document_graph):
+        ham, nodes, links = document_graph
+        document = ham.get_attribute_index("document")
+        result = ham.linearize_graph(
+            nodes["root"], node_attributes=[document],
+            link_predicate="relation = isPartOf")
+        for __, values in result.nodes:
+            assert values == ("spec",)
+
+    def test_link_attribute_values_returned(self, document_graph):
+        ham, nodes, links = document_graph
+        relation = ham.get_attribute_index("relation")
+        result = ham.linearize_graph(
+            nodes["root"], link_attributes=[relation],
+            link_predicate="relation = isPartOf")
+        assert all(values == ("isPartOf",) for __, values in result.links)
+
+    def test_cycle_does_not_loop(self, ham):
+        with ham.begin() as txn:
+            a, __ = ham.add_node(txn)
+            b, __ = ham.add_node(txn)
+            ham.add_link(txn, from_pt=LinkPt(a), to_pt=LinkPt(b))
+            ham.add_link(txn, from_pt=LinkPt(b), to_pt=LinkPt(a))
+        result = ham.linearize_graph(a)
+        assert result.node_indexes == [a, b]
+
+    def test_as_of_time_sees_old_structure(self, document_graph):
+        ham, nodes, links = document_graph
+        checkpoint = ham.now
+        with ham.begin() as txn:
+            extra, time = ham.add_node(txn)
+            ham.modify_node(txn, node=extra, expected_time=time,
+                            contents=b"late\n")
+            ham.add_link(txn, from_pt=LinkPt(nodes["root"], position=9),
+                         to_pt=LinkPt(extra))
+        now_result = ham.linearize_graph(nodes["root"])
+        old_result = ham.linearize_graph(nodes["root"], time=checkpoint)
+        assert extra in now_result.node_indexes
+        assert extra not in old_result.node_indexes
+
+    def test_deep_chain_does_not_overflow(self, ham):
+        with ham.begin() as txn:
+            previous, __ = ham.add_node(txn)
+            first = previous
+            for __ in range(2000):
+                node, ___ = ham.add_node(txn)
+                ham.add_link(txn, from_pt=LinkPt(previous),
+                             to_pt=LinkPt(node))
+                previous = node
+        result = ham.linearize_graph(first)
+        assert len(result.node_indexes) == 2001
+
+
+class TestGetGraphQuery:
+    def test_predicate_selects_nodes(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.get_graph_query(node_predicate="document = spec")
+        assert set(result.node_indexes) == {
+            nodes["root"], nodes["s1"], nodes["s2"], nodes["s21"]}
+
+    def test_links_must_connect_matched_nodes(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.get_graph_query(node_predicate="document = spec")
+        assert links["s1-note"] not in result.link_indexes
+        assert links["root-s1"] in result.link_indexes
+
+    def test_link_predicate_filters_links(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.get_graph_query(
+            node_predicate="document = spec",
+            link_predicate="relation = annotates")
+        assert result.link_indexes == []
+
+    def test_empty_predicate_matches_everything(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.get_graph_query()
+        assert len(result.node_indexes) == len(nodes)
+
+    def test_compound_predicates(self, document_graph):
+        ham, nodes, links = document_graph
+        result = ham.get_graph_query(
+            node_predicate="document = spec or document = annotations")
+        assert len(result.node_indexes) == 5
+
+    def test_as_of_time(self, document_graph):
+        ham, nodes, links = document_graph
+        checkpoint = ham.now
+        document = ham.get_attribute_index("document")
+        ham.set_node_attribute_value(node=nodes["note"],
+                                     attribute=document, value="spec")
+        now_hits = ham.get_graph_query(
+            node_predicate="document = spec").node_indexes
+        old_hits = ham.get_graph_query(
+            time=checkpoint, node_predicate="document = spec").node_indexes
+        assert nodes["note"] in now_hits
+        assert nodes["note"] not in old_hits
+
+    def test_deleted_nodes_are_excluded_now(self, document_graph):
+        ham, nodes, links = document_graph
+        ham.delete_node(node=nodes["s21"])
+        result = ham.get_graph_query(node_predicate="document = spec")
+        assert nodes["s21"] not in result.node_indexes
+
+    def test_index_and_scan_agree(self, document_graph):
+        ham, nodes, links = document_graph
+        indexed = ham.get_graph_query(node_predicate="document = spec")
+        plain = HAM.ephemeral  # build an index-free HAM over same data?
+        # Compare against evaluating with the index disabled in place:
+        ham._index = None
+        scanned = ham.get_graph_query(node_predicate="document = spec")
+        assert indexed.nodes == scanned.nodes
+        assert indexed.links == scanned.links

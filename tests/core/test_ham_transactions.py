@@ -1,0 +1,184 @@
+"""Transaction semantics at the HAM level: atomicity, abort, isolation."""
+
+import threading
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    NodeNotFoundError,
+    StaleVersionError,
+    TransactionError,
+)
+from repro.txn.manager import TxnStatus
+
+
+class TestAtomicity:
+    def test_committed_bundle_is_visible(self, ham):
+        with ham.begin() as txn:
+            a, ta = ham.add_node(txn)
+            b, tb = ham.add_node(txn)
+            ham.modify_node(txn, node=a, expected_time=ta, contents=b"a")
+            ham.add_link(txn, from_pt=LinkPt(a), to_pt=LinkPt(b))
+        assert ham.open_node(a)[0] == b"a"
+        assert len(ham.open_node(b)[1]) == 1
+
+    def test_aborted_bundle_leaves_no_trace(self, ham):
+        baseline_now = ham.now
+        txn = ham.begin()
+        a, ta = ham.add_node(txn)
+        ham.modify_node(txn, node=a, expected_time=ta, contents=b"a")
+        attr = ham.get_attribute_index("status", txn)
+        ham.set_node_attribute_value(txn, node=a, attribute=attr,
+                                     value="draft")
+        txn.abort()
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(a)
+        assert ham.get_graph_query().nodes == ()
+
+    def test_abort_restores_modified_contents(self, ham):
+        node, time = ham.add_node()
+        t2 = ham.modify_node(node=node, expected_time=time, contents=b"v1")
+        txn = ham.begin()
+        ham.modify_node(txn, node=node, expected_time=t2, contents=b"v2")
+        txn.abort()
+        assert ham.open_node(node)[0] == b"v1"
+        assert ham.get_node_timestamp(node) == t2
+
+    def test_abort_restores_deleted_node_and_links(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        txn = ham.begin()
+        ham.delete_node(txn, node=node_a)
+        txn.abort()
+        assert ham.open_node(node_a)[0] == b"alpha contents\n"
+        assert ham.get_to_node(link)[0] == node_b
+
+    def test_abort_restores_attributes(self, ham):
+        node, __ = ham.add_node()
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="v1")
+        txn = ham.begin()
+        ham.set_node_attribute_value(txn, node=node, attribute=attr,
+                                     value="v2")
+        ham.delete_node_attribute(txn, node=node, attribute=attr)
+        txn.abort()
+        assert ham.get_node_attribute_value(node, attr) == "v1"
+
+    def test_abort_restores_link_deletion(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        txn = ham.begin()
+        ham.delete_link(txn, link=link)
+        txn.abort()
+        assert ham.get_to_node(link)[0] == node_b
+
+    def test_abort_restores_added_link(self, two_linked_nodes):
+        ham, node_a, node_b, __ = two_linked_nodes
+        txn = ham.begin()
+        extra, ___ = ham.add_link(txn, from_pt=LinkPt(node_b),
+                                  to_pt=LinkPt(node_a))
+        txn.abort()
+        assert extra not in ham.store.links
+
+    def test_context_manager_aborts_on_exception(self, ham):
+        with pytest.raises(RuntimeError):
+            with ham.begin() as txn:
+                node, __ = ham.add_node(txn)
+                raise RuntimeError("boom")
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(node)
+
+    def test_finished_transaction_rejects_further_work(self, ham):
+        txn = ham.begin()
+        ham.add_node(txn)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            ham.add_node(txn)
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_read_only_transaction_rejects_writes(self, ham):
+        node, __ = ham.add_node()
+        txn = ham.begin(read_only=True)
+        with pytest.raises(TransactionError):
+            ham.add_node(txn)
+        txn.abort()
+
+
+class TestOptimisticCheckIn:
+    def test_concurrent_editors_second_check_in_fails(self, ham):
+        node, time = ham.add_node()
+        # Two sessions open the same version...
+        contents_1, __, ___, version_1 = ham.open_node(node)
+        contents_2, __, ___, version_2 = ham.open_node(node)
+        assert version_1 == version_2
+        # First editor wins.
+        ham.modify_node(node=node, expected_time=version_1,
+                        contents=b"editor one\n")
+        # Second editor's check-in is stale.
+        with pytest.raises(StaleVersionError):
+            ham.modify_node(node=node, expected_time=version_2,
+                            contents=b"editor two\n")
+
+
+class TestIsolation:
+    def test_writer_blocks_writer_until_commit(self, ham):
+        node, time = ham.add_node()
+        order = []
+        started = threading.Event()
+
+        def second_writer():
+            started.set()
+            current = ham.get_node_timestamp(node)
+            with ham.begin() as txn:
+                ham.modify_node(txn, node=node,
+                                expected_time=current,
+                                contents=b"second\n")
+            order.append("second done")
+
+        txn = ham.begin()
+        ham.modify_node(txn, node=node, expected_time=time,
+                        contents=b"first\n")
+        thread = threading.Thread(target=second_writer)
+        thread.start()
+        started.wait()
+        order.append("first committing")
+        txn.commit()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert order[0] == "first committing"
+        assert ham.open_node(node)[0] == b"second\n"
+
+    def test_serialized_counter_updates(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"0")
+        workers = 4
+        increments = 10
+        errors = []
+
+        def worker():
+            for __ in range(increments):
+                while True:
+                    try:
+                        with ham.begin() as txn:
+                            contents, __, ___, version = ham.open_node(
+                                node, txn=txn)
+                            ham.modify_node(
+                                txn, node=node, expected_time=version,
+                                contents=str(int(contents) + 1).encode())
+                        break
+                    except (StaleVersionError, DeadlockError,
+                            LockTimeoutError):
+                        continue
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+        threads = [threading.Thread(target=worker)
+                   for __ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert ham.open_node(node)[0] == str(workers * increments).encode()

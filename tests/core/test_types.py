@@ -1,0 +1,73 @@
+"""Tests for the HAM domain types."""
+
+import pytest
+
+from repro.core.types import CURRENT, LinkPt, NodeKind, Protections, Version
+
+
+class TestLinkPt:
+    def test_defaults_track_current(self):
+        pt = LinkPt(node=3)
+        assert pt.track_current
+        assert not pt.pinned
+        assert pt.time == CURRENT
+
+    def test_pinned_endpoint(self):
+        pt = LinkPt(node=3, position=10, time=7, track_current=False)
+        assert pt.pinned
+
+    def test_zero_time_must_track(self):
+        with pytest.raises(ValueError):
+            LinkPt(node=1, time=0, track_current=False)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            LinkPt(node=1, position=-1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LinkPt(node=1, time=-5)
+
+    def test_record_round_trip(self):
+        pt = LinkPt(node=9, position=4, time=2, track_current=True)
+        assert LinkPt.from_record(pt.to_record()) == pt
+
+    def test_is_hashable_and_frozen(self):
+        pt = LinkPt(node=1)
+        assert hash(pt) == hash(LinkPt(node=1))
+        with pytest.raises(AttributeError):
+            pt.node = 2
+
+
+class TestVersion:
+    def test_record_round_trip(self):
+        version = Version(time=12, explanation="initial check-in")
+        assert Version.from_record(version.to_record()) == version
+
+    def test_default_explanation_is_empty(self):
+        assert Version(time=1).explanation == ""
+
+
+class TestProtections:
+    def test_read_write_composition(self):
+        assert Protections.READ_WRITE.readable
+        assert Protections.READ_WRITE.writable
+
+    def test_read_only(self):
+        assert Protections.READ.readable
+        assert not Protections.READ.writable
+
+    def test_none(self):
+        assert not Protections.NONE.readable
+        assert not Protections.NONE.writable
+
+    def test_value_round_trip(self):
+        for mode in (Protections.NONE, Protections.READ,
+                     Protections.WRITE, Protections.READ_WRITE):
+            assert Protections(mode.value) == mode
+
+
+class TestNodeKind:
+    def test_values_match_paper_terms(self):
+        assert NodeKind.ARCHIVE.value == "archive"
+        assert NodeKind.FILE.value == "file"

@@ -1,0 +1,198 @@
+"""Concurrency stress tests: many threads, one HAM, invariants hold."""
+
+import random
+import threading
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    NeptuneError,
+    StaleVersionError,
+)
+
+
+RETRYABLE = (StaleVersionError, DeadlockError, LockTimeoutError)
+
+
+class TestConcurrentEditors:
+    def test_no_lost_updates_on_shared_node(self, ham):
+        """Classic lost-update check: N workers each append their mark
+        M times; all N×M marks must survive."""
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"")
+        workers, appends = 4, 8
+        failures = []
+
+        def worker(worker_id):
+            for sequence in range(appends):
+                mark = f"[{worker_id}:{sequence}]".encode()
+                for __ in range(200):  # bounded retry
+                    try:
+                        with ham.begin() as txn:
+                            contents, ___, ____, version = ham.open_node(
+                                node, txn=txn)
+                            ham.modify_node(
+                                txn, node=node, expected_time=version,
+                                contents=contents + mark)
+                        break
+                    except RETRYABLE:
+                        continue
+                else:  # pragma: no cover
+                    failures.append(mark)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures
+        final = ham.open_node(node)[0]
+        for worker_id in range(workers):
+            for sequence in range(appends):
+                assert f"[{worker_id}:{sequence}]".encode() in final
+
+    def test_version_history_is_gap_free_under_contention(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"0")
+        edits = 30
+        counter = {"done": 0}
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                with lock:
+                    if counter["done"] >= edits:
+                        return
+                try:
+                    with ham.begin() as txn:
+                        contents, __, ___, version = ham.open_node(
+                            node, txn=txn)
+                        ham.modify_node(
+                            txn, node=node, expected_time=version,
+                            contents=contents + b".")
+                    with lock:
+                        counter["done"] += 1
+                except RETRYABLE:
+                    continue
+
+        threads = [threading.Thread(target=worker) for __ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        major, __ = ham.get_node_versions(node)
+        # creation + initial content + at least `edits` successful edits
+        assert len(major) >= edits + 2
+        times = [version.time for version in major]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_readers_see_consistent_snapshots_during_writes(self, ham):
+        """Readers pin a time and re-read: the answer never changes."""
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"stable")
+        pinned_time = ham.now
+        stop = threading.Event()
+        inconsistencies = []
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    current = ham.get_node_timestamp(node)
+                    ham.modify_node(node=node, expected_time=current,
+                                    contents=b"churn " + str(
+                                        current).encode())
+                except RETRYABLE:
+                    continue
+
+        def reader():
+            while not stop.is_set():
+                contents = ham.open_node(node, time=pinned_time)[0]
+                if contents != b"stable":
+                    inconsistencies.append(contents)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        import time as clock
+        clock.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not inconsistencies
+
+
+class TestConcurrentGraphSurgery:
+    def test_parallel_builders_produce_a_consistent_graph(self, ham):
+        """Threads concurrently add nodes and random links; afterwards
+        every link's endpoints exist and in/out sets are symmetric."""
+        rng_seed = 5
+        builders = 4
+        nodes_each = 10
+        errors = []
+
+        def builder(builder_id):
+            rng = random.Random(rng_seed + builder_id)
+            created = []
+            try:
+                for __ in range(nodes_each):
+                    node, time = ham.add_node()
+                    ham.modify_node(node=node, expected_time=time,
+                                    contents=b"x")
+                    created.append(node)
+                    if len(created) >= 2 and rng.random() < 0.7:
+                        source, target = rng.sample(created, 2)
+                        ham.add_link(from_pt=LinkPt(source),
+                                     to_pt=LinkPt(target))
+            except NeptuneError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=builder, args=(i,))
+                   for i in range(builders)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        store = ham.store
+        assert len(store.nodes) == builders * nodes_each
+        for link in store.links.values():
+            assert link.index in store.nodes[link.from_node].out_links
+            assert link.index in store.nodes[link.to_node].in_links
+
+    def test_delete_races_with_readers(self, ham):
+        """Readers racing a delete either see the node or a clean
+        NodeNotFoundError — never a corrupt read."""
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"doomed")
+        barrier = threading.Barrier(3)
+        anomalies = []
+
+        def reader():
+            barrier.wait()
+            for __ in range(200):
+                try:
+                    contents = ham.open_node(node)[0]
+                    if contents != b"doomed":
+                        anomalies.append(contents)
+                except NeptuneError:
+                    return  # clean disappearance
+
+        def deleter():
+            barrier.wait()
+            ham.delete_node(node=node)
+
+        threads = [threading.Thread(target=reader),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=deleter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not anomalies

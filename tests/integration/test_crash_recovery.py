@@ -1,0 +1,139 @@
+"""Failure-injection integration tests: crashes at every stage."""
+
+import os
+import random
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.errors import NodeNotFoundError
+from repro.workloads.trace import EditTrace, generate_versions
+
+
+def crash(ham):
+    """Simulate a process crash (no checkpoint, no clean close)."""
+    ham._log.close()
+    ham._closed = True
+
+
+class TestCrashPoints:
+    def test_crash_after_every_nth_transaction(self, tmp_path):
+        """Run a scripted workload, crash after each prefix, verify the
+        recovered state equals exactly the committed prefix."""
+        versions = generate_versions(
+            EditTrace(initial_lines=10, versions=8, edits_per_version=1))
+        for crash_after in range(1, len(versions)):
+            directory = tmp_path / f"g{crash_after}"
+            project_id, __ = HAM.create_graph(directory)
+            ham = HAM.open_graph(project_id, directory)
+            node, time = ham.add_node()
+            ham.modify_node(node=node, expected_time=time,
+                            contents=versions[0])
+            for contents in versions[1:crash_after]:
+                current = ham.get_node_timestamp(node)
+                ham.modify_node(node=node, expected_time=current,
+                                contents=contents)
+            crash(ham)
+            recovered = HAM.open_graph(project_id, directory)
+            assert recovered.open_node(node)[0] == \
+                versions[crash_after - 1]
+            # Full history intact too.
+            major, __ = recovered.get_node_versions(node)
+            assert len(major) == crash_after + 1  # creation + edits
+            crash(recovered)
+
+    def test_crash_between_checkpoint_and_new_work(self, tmp_path):
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        ham = HAM.open_graph(project_id, tmp_path / "g")
+        pre, time = ham.add_node()
+        ham.modify_node(node=pre, expected_time=time, contents=b"pre\n")
+        ham.checkpoint()
+        post, time2 = ham.add_node()
+        ham.modify_node(node=post, expected_time=time2, contents=b"post\n")
+        crash(ham)
+        recovered = HAM.open_graph(project_id, tmp_path / "g")
+        assert recovered.open_node(pre)[0] == b"pre\n"
+        assert recovered.open_node(post)[0] == b"post\n"
+
+    def test_crash_with_many_interleaved_losers(self, tmp_path):
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        ham = HAM.open_graph(project_id, tmp_path / "g")
+        keep = []
+        nodes = []
+        with ham.begin() as txn:
+            for position in range(6):
+                node, time = ham.add_node(txn)
+                ham.modify_node(txn, node=node, expected_time=time,
+                                contents=f"node {position}\n".encode())
+                nodes.append(node)
+        # Open three transactions; commit only the middle one.
+        txn_a = ham.begin()
+        txn_b = ham.begin()
+        txn_c = ham.begin()
+        ham.modify_node(txn_a, node=nodes[0],
+                        expected_time=ham.get_node_timestamp(nodes[0]),
+                        contents=b"loser a\n")
+        ham.modify_node(txn_b, node=nodes[1],
+                        expected_time=ham.get_node_timestamp(nodes[1]),
+                        contents=b"winner b\n")
+        ham.modify_node(txn_c, node=nodes[2],
+                        expected_time=ham.get_node_timestamp(nodes[2]),
+                        contents=b"loser c\n")
+        txn_b.commit()
+        crash(ham)
+        recovered = HAM.open_graph(project_id, tmp_path / "g")
+        assert recovered.open_node(nodes[0])[0] == b"node 0\n"
+        assert recovered.open_node(nodes[1])[0] == b"winner b\n"
+        assert recovered.open_node(nodes[2])[0] == b"node 2\n"
+
+    def test_wal_corruption_mid_file_loses_only_tail(self, tmp_path):
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        ham = HAM.open_graph(project_id, tmp_path / "g")
+        first, t1 = ham.add_node()
+        ham.modify_node(node=first, expected_time=t1, contents=b"early\n")
+        tail_start = ham._log.end_lsn
+        second, t2 = ham.add_node()
+        ham.modify_node(node=second, expected_time=t2, contents=b"late\n")
+        crash(ham)
+        # Corrupt one byte inside the tail region.
+        wal = os.path.join(str(tmp_path / "g"), "wal.log")
+        data = bytearray(open(wal, "rb").read())
+        data[tail_start + 12] ^= 0xFF
+        open(wal, "wb").write(bytes(data))
+        recovered = HAM.open_graph(project_id, tmp_path / "g")
+        assert recovered.open_node(first)[0] == b"early\n"
+        with pytest.raises(NodeNotFoundError):
+            recovered.open_node(second)
+
+
+class TestRandomizedCrashWorkload:
+    def test_random_workload_with_aborts_recovers_exactly(self, tmp_path):
+        rng = random.Random(99)
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        ham = HAM.open_graph(project_id, tmp_path / "g")
+        expected: dict[int, bytes] = {}
+        nodes = []
+        with ham.begin() as txn:
+            for position in range(5):
+                node, time = ham.add_node(txn)
+                body = f"initial {position}\n".encode()
+                ham.modify_node(txn, node=node, expected_time=time,
+                                contents=body)
+                nodes.append(node)
+                expected[node] = body
+        for step in range(40):
+            node = rng.choice(nodes)
+            body = f"edit {step}\n".encode()
+            txn = ham.begin()
+            ham.modify_node(txn, node=node,
+                            expected_time=ham.get_node_timestamp(node),
+                            contents=body)
+            if rng.random() < 0.3:
+                txn.abort()
+            else:
+                txn.commit()
+                expected[node] = body
+        crash(ham)
+        recovered = HAM.open_graph(project_id, tmp_path / "g")
+        for node, body in expected.items():
+            assert recovered.open_node(node)[0] == body

@@ -1,0 +1,153 @@
+"""End-to-end scenarios crossing every layer of the system."""
+
+import pytest
+
+from repro import HAM, ContextManager, DemonRegistry, EventKind, LinkPt
+from repro.apps.case import CaseApplication, ModuleKind
+from repro.apps.compiler import IncrementalCompiler
+from repro.apps.documents import DocumentApplication
+from repro.apps.publishing import render_hardcopy
+from repro.browsers import DocumentBrowser, GraphBrowser
+from repro.server import HAMServer, RemoteHAM
+from repro.workloads.paper import build_paper_document
+
+
+class TestPaperWorkflow:
+    """The paper's own story: author, browse, revise, print."""
+
+    def test_author_browse_revise_print(self, tmp_path):
+        project_id, __ = HAM.create_graph(tmp_path / "paper")
+        with HAM.open_graph(project_id, tmp_path / "paper") as ham:
+            document, by_title = build_paper_document(ham)
+            app = DocumentApplication(ham)
+
+            # Browse pictorially and hierarchically.
+            graph_view = GraphBrowser(
+                ham, link_predicate="relation = isPartOf").render()
+            assert "Introduction" in graph_view
+            browser = DocumentBrowser(ham)
+            browser.select(0, document.root)
+            assert "Hypertext" in browser.render()
+
+            # Revise a section, keeping history.
+            intro = by_title["Introduction"]
+            old_time = ham.now  # the fully-built first draft
+            expected = ham.get_node_timestamp(intro)
+            ham.modify_node(
+                node=intro, expected_time=expected,
+                contents=b"Introduction\nSecond draft text.\n",
+                explanation="second draft")
+
+            # Print the current and the original versions.
+            now_text = render_hardcopy(app, document.root)
+            assert "Second draft text." in now_text
+            old_text = render_hardcopy(app, document.root, time=old_time)
+            assert "Second draft text." not in old_text
+            assert "Traditional databases" in old_text
+
+        # Everything survives a reopen.
+        with HAM.open_graph(project_id, tmp_path / "paper") as ham:
+            app = DocumentApplication(ham)
+            assert "Second draft text." in render_hardcopy(
+                app, document.root)
+
+
+class TestCaseWorkflowOverServer:
+    """A CASE project edited through the central server, with the
+    incremental compiler running server-side via demons."""
+
+    def test_remote_edit_triggers_server_side_recompile(self):
+        registry = DemonRegistry()
+        ham = HAM.ephemeral(demons=registry)
+        case = CaseApplication(ham, project="editor")
+        module = case.create_module("Core", ModuleKind.IMPLEMENTATION)
+        procedure = case.add_procedure(
+            module, "Run", b"PROCEDURE Run;\nBEGIN\nEND Run;\n")
+        compiler = IncrementalCompiler(case)
+        compiler.build_module(module)
+        compiler.log.clear()
+        compiler.watch_module(module)
+
+        with HAMServer(ham) as server:
+            with RemoteHAM(*server.address) as client:
+                time = client.get_node_timestamp(procedure)
+                client.modify_node(
+                    node=procedure, expected_time=time,
+                    contents=b"PROCEDURE Run;\nBEGIN\n Go(x)\nEND Run;\n")
+        assert [entry.node for entry in compiler.log] == [procedure]
+        outputs = case.compiled_outputs(procedure)
+        assert b"CALL Go" in ham.open_node(outputs[0])[0]
+
+
+class TestPrivateWorldWorkflow:
+    """§5: tentative design in a context, merged back."""
+
+    def test_design_alternatives_in_contexts(self, ham):
+        app = DocumentApplication(ham)
+        document = app.create_document("Design Doc")
+        section = app.add_section(document, document.root, "Approach",
+                                  b"Use a B-tree.\n")
+        manager = ContextManager(ham)
+
+        # Two designers try alternatives simultaneously.
+        alt_a = manager.create("designer-a")
+        alt_b = manager.create("designer-b")
+        alt_a.modify_node(section, b"Approach\nUse a B-tree.\nWith "
+                                   b"prefix compression.\n")
+        alt_b.modify_node(section, b"Approach\nUse an LSM tree.\n")
+
+        # Designer A's world is chosen and merged; B's abandoned.
+        report = manager.merge(alt_a)
+        assert report.clean
+        manager.abandon(alt_b)
+        assert b"prefix compression" in ham.open_node(section)[0]
+        assert b"LSM" not in ham.open_node(section)[0]
+
+    def test_context_over_persistent_graph(self, tmp_path):
+        project_id, __ = HAM.create_graph(tmp_path / "g")
+        with HAM.open_graph(project_id, tmp_path / "g") as ham:
+            node, time = ham.add_node()
+            ham.modify_node(node=node, expected_time=time,
+                            contents=b"main line\n")
+            manager = ContextManager(ham)
+            context = manager.create("experiment")
+            context.modify_node(node, b"main line\nexperimental bit\n")
+            manager.merge(context)
+        with HAM.open_graph(project_id, tmp_path / "g") as ham:
+            assert b"experimental bit" in ham.open_node(node)[0]
+
+
+class TestMultimediaContents:
+    """§2.2: node contents are arbitrary binary data."""
+
+    def test_binary_node_round_trip(self, ham):
+        bitmap = bytes(range(256)) * 32
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=bitmap)
+        assert ham.open_node(node)[0] == bitmap
+
+    def test_binary_versions_via_deltas(self, ham):
+        blob_v1 = bytes(range(256)) * 16
+        blob_v2 = blob_v1[:1000] + b"\x00\x01\x02" + blob_v1[1100:]
+        node, time = ham.add_node()
+        t1 = ham.modify_node(node=node, expected_time=time,
+                             contents=blob_v1)
+        t2 = ham.modify_node(node=node, expected_time=t1,
+                             contents=blob_v2)
+        assert ham.open_node(node, time=t1)[0] == blob_v1
+        assert ham.open_node(node, time=t2)[0] == blob_v2
+
+    def test_mixed_text_and_binary_documents(self, ham):
+        app = DocumentApplication(ham)
+        document = app.create_document("Mixed")
+        text = app.add_section(document, document.root, "Text",
+                               b"words\n")
+        figure = app.add_section(document, document.root, "Figure")
+        figure_time = ham.get_node_timestamp(figure)
+        ham.modify_node(node=figure, expected_time=figure_time,
+                        contents=bytes(range(200)))
+        content_type = ham.get_attribute_index("contentType")
+        ham.set_node_attribute_value(node=figure, attribute=content_type,
+                                     value="graphics")
+        hits = ham.get_graph_query(node_predicate="contentType = graphics")
+        assert hits.node_indexes == [figure]

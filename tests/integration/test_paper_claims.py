@@ -1,0 +1,208 @@
+"""Executable checklist of §2.2, "Properties of Hypertext Systems".
+
+Each test is one claim the paper makes about what hypertext systems (and
+Neptune specifically) can do, demonstrated end-to-end.  This is the
+reproduction's functional contract in one file.
+"""
+
+import pytest
+
+from repro import HAM, ContextManager, DemonRegistry, EventKind, LinkPt
+from repro.apps.documents import DocumentApplication
+from repro.apps.trails import TrailRecorder
+from repro.browsers import DocumentBrowser, GraphBrowser, NodeBrowser
+from repro.errors import StaleVersionError
+from repro.server import HAMServer, RemoteHAM
+
+
+class TestEditingHyperdocuments:
+    """"The most basic capability … to create (and delete) nodes and
+    links, to modify the information contained within nodes, and to
+    modify the structure of the hyperdocument."""
+
+    def test_create_modify_delete_cycle(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"text")
+        other, __ = ham.add_node()
+        link, ___ = ham.add_link(from_pt=LinkPt(node), to_pt=LinkPt(other))
+        ham.delete_link(link=link)
+        ham.delete_node(node=other)
+        assert ham.open_node(node)[0] == b"text"
+
+    def test_complete_version_history_back_to_beginning(self, ham):
+        """"it is possible to see *any* version of the hyperdocument
+        back to its beginning" — at write granularity."""
+        node, time = ham.add_node()
+        writes = [f"draft {n}\n".encode() for n in range(8)]
+        times = [time]
+        for contents in writes:
+            times.append(ham.modify_node(
+                node=node, expected_time=times[-1], contents=contents))
+        # Every write remains addressable, including the empty origin.
+        assert ham.open_node(node, time=times[0])[0] == b""
+        for stamp, contents in zip(times[1:], writes):
+            assert ham.open_node(node, time=stamp)[0] == contents
+
+    def test_side_by_side_comparison_of_versions(self, ham):
+        """"Both systems allow side-by-side comparison of different
+        versions of the same node."""
+        from repro.browsers import NodeDifferencesBrowser
+        node, time = ham.add_node()
+        t1 = ham.modify_node(node=node, expected_time=time,
+                             contents=b"one\ntwo\n")
+        t2 = ham.modify_node(node=node, expected_time=t1,
+                             contents=b"one\nTWO\n")
+        rendered = NodeDifferencesBrowser(ham, node, t1, t2).render()
+        assert "< two" in rendered and "> TWO" in rendered
+
+    def test_link_retains_attachment_in_new_version(self, ham):
+        """"a link attached to an old version retains an attachment in
+        a corresponding place in a new version."""
+        from repro.browsers.editor import NodeEditor
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time,
+                        contents=b"see the *anchor* here")
+        target, __ = ham.add_node()
+        link, ___ = ham.add_link(from_pt=LinkPt(node, position=8),
+                                 to_pt=LinkPt(target))
+        editor = NodeEditor(ham, node)
+        editor.insert(0, "PREFIX: ")
+        editor.save()
+        __, points, ___, ____ = ham.open_node(node)
+        position = [pt.position for li, end, pt in points
+                    if li == link][0]
+        assert editor.text[position:position + 7] == "*anchor"
+
+
+class TestTraversal:
+    """"A hypertext document is browsed by traversing links … readers
+    may restrict their attention to a single document …" """
+
+    def test_structural_reading_vs_diversions(self, ham):
+        app = DocumentApplication(ham)
+        doc = app.create_document("Doc")
+        section = app.add_section(doc, doc.root, "S", b"body\n")
+        annotation, __ = app.annotate(section, 1, "a diversion")
+        structural_only = ham.linearize_graph(
+            doc.root, link_predicate="relation = isPartOf")
+        everything = ham.linearize_graph(doc.root)
+        assert annotation not in structural_only.node_indexes
+        assert annotation in everything.node_indexes
+
+    def test_trail_lets_other_readers_follow_the_same_path(self, ham):
+        """"This trail allows other readers to follow the same path" —
+        the memex capability."""
+        app = DocumentApplication(ham)
+        doc = app.create_document("Doc")
+        section = app.add_section(doc, doc.root, "S", b"body\n")
+        author = TrailRecorder(ham)
+        author.start(doc.root)
+        __, points, ___, ____ = ham.open_node(doc.root)
+        author.follow(points[0][0])
+        saved = author.save("the path")
+        reader = TrailRecorder(ham)
+        replayed = [node for node, __ in
+                    reader.replay(reader.load(saved))]
+        assert replayed == [doc.root, section]
+
+
+class TestMultimediaContent:
+    """"the contents of a node … can be arbitrary digital data." """
+
+    def test_arbitrary_binary_round_trips(self, ham):
+        voice_like = bytes((n * 37) % 256 for n in range(10_000))
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time,
+                        contents=voice_like)
+        assert ham.open_node(node)[0] == voice_like
+
+
+class TestMultiPersonDistributedAccess:
+    """"Several persons can access a hyperdocument simultaneously …
+    transaction-oriented and provides for complete recovery." """
+
+    def test_simultaneous_sessions_with_conflict_detection(self):
+        ham = HAM.ephemeral()
+        with HAMServer(ham) as server:
+            with RemoteHAM(*server.address) as alice, \
+                    RemoteHAM(*server.address) as bob:
+                node, time = alice.add_node()
+                alice.modify_node(node=node, expected_time=time,
+                                  contents=b"shared\n")
+                __, ___, ____, version_a = alice.open_node(node)
+                __, ___, ____, version_b = bob.open_node(node)
+                bob.modify_node(node=node, expected_time=version_b,
+                                contents=b"bob's\n")
+                with pytest.raises(StaleVersionError):
+                    alice.modify_node(node=node,
+                                      expected_time=version_a,
+                                      contents=b"alice's\n")
+
+    def test_site_crash_mid_transaction_recovers(self):
+        """"in case a site crashes in the middle of a hypertext
+        transaction" — the server aborts the session's leftovers."""
+        import time as clock
+        ham = HAM.ephemeral()
+        with HAMServer(ham) as server:
+            crasher = RemoteHAM(*server.address)
+            txn = crasher.begin()
+            orphan, __ = crasher.add_node(txn)
+            crasher.close()  # the "site crash"
+            deadline = clock.monotonic() + 5
+            while clock.monotonic() < deadline:
+                if orphan not in ham.store.nodes:
+                    break
+                clock.sleep(0.02)
+            assert orphan not in [
+                record.index for record in ham.store.live_nodes(0)]
+
+
+class TestInteractiveUserInterface:
+    """"Both Neptune and Notecards include a pictorial view of a
+    hyperdocument, and both provide a windowed user-interface." """
+
+    def test_pictorial_view_and_node_reading(self, ham):
+        app = DocumentApplication(ham)
+        doc = app.create_document("Doc")
+        app.add_section(doc, doc.root, "Chapter", b"prose\n")
+        pictorial = GraphBrowser(
+            ham, link_predicate="relation = isPartOf").render()
+        assert "| Chapter |" in pictorial
+        browser = DocumentBrowser(ham)
+        browser.select(0, doc.root)
+        assert "Chapter" in browser.render()
+
+    def test_following_a_link_shows_the_target(self, ham):
+        """"If a link is followed, then the node at the end of the link
+        is made visible so that it may be read in turn."""
+        app = DocumentApplication(ham)
+        doc = app.create_document("Doc")
+        section = app.add_section(doc, doc.root, "Target", b"the text\n")
+        recorder = TrailRecorder(ham)
+        recorder.start(doc.root)
+        __, points, ___, ____ = ham.open_node(doc.root)
+        contents = recorder.follow(points[0][0])
+        assert b"the text" in contents
+        assert "the text" in NodeBrowser(
+            ham, recorder.current_node).render()
+
+
+class TestPrivateWorlds:
+    """§5: tentative designs in a private world, merged back — plus
+    demons observing the merge."""
+
+    def test_context_merge_fires_modify_demons(self):
+        registry = DemonRegistry()
+        fired = []
+        registry.register("observer", fired.append)
+        ham = HAM.ephemeral(demons=registry)
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"base\n")
+        ham.set_node_demon(node=node, event=EventKind.MODIFY_NODE,
+                           demon="observer")
+        fired.clear()
+        manager = ContextManager(ham)
+        context = manager.create("private")
+        context.modify_node(node, b"base\nplus\n")
+        manager.merge(context)
+        assert [event.node for event in fired] == [node]

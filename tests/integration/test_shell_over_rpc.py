@@ -1,0 +1,69 @@
+"""The command shell driving a remote HAM — a workstation session."""
+
+import pytest
+
+from repro import HAM
+from repro.browsers.shell import NeptuneShell
+from repro.server import HAMServer, RemoteHAM
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture
+def remote_shell():
+    ham = HAM.ephemeral()
+    document, by_title = build_paper_document(ham)
+    server = HAMServer(ham).start()
+    client = RemoteHAM(*server.address)
+    yield NeptuneShell(client), ham, document, by_title
+    client.close()
+    server.stop()
+
+
+class TestRemoteShell:
+    def test_nodes(self, remote_shell):
+        shell, *__ = remote_shell
+        assert "Introduction" in shell.execute("nodes")
+
+    def test_open_node_browser(self, remote_shell):
+        shell, __, ___, by_title = remote_shell
+        output = shell.execute(f"open {by_title['Introduction']}")
+        assert "Traditional databases" in output
+
+    def test_graph_browser(self, remote_shell):
+        shell, *__ = remote_shell
+        output = shell.execute('graph "icon = Conclusions"')
+        assert "| Conclusions |" in output
+
+    def test_mutations_reach_the_server(self, remote_shell):
+        shell, ham, __, by_title = remote_shell
+        node = by_title["Hypertext"]
+        shell.execute(f"append {node} remotely appended")
+        assert b"remotely appended" in ham.open_node(node)[0]
+
+    def test_annotate_and_attrs(self, remote_shell):
+        shell, __, ___, by_title = remote_shell
+        node = by_title["Hypertext"]
+        shell.execute(f"annotate {node} 1 remote note")
+        shell.execute(f"set {node} status reviewed")
+        assert "status = reviewed" in shell.execute(f"attrs {node}")
+
+    def test_versions_and_diff(self, remote_shell):
+        shell, ham, __, by_title = remote_shell
+        node = by_title["Conclusions"]
+        t1 = ham.get_node_timestamp(node)
+        shell.execute(f"append {node} closing line")
+        t2 = ham.get_node_timestamp(node)
+        assert "appended via shell" in shell.execute(f"versions {node}")
+        assert "closing line" in shell.execute(f"diff {node} {t1} {t2}")
+
+    def test_query_and_linearize(self, remote_shell):
+        shell, __, document, ___ = remote_shell
+        assert "nodes: [" in shell.execute(
+            f"linearize {document.root} relation = isPartOf")
+        assert "nodes:" in shell.execute("query contentType = text")
+
+    def test_trails(self, remote_shell):
+        shell, __, document, ___ = remote_shell
+        assert "reading node" in shell.execute(
+            f"trail start {document.root}")
+        assert "trail saved" in shell.execute("trail save remote-path")

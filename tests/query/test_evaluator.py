@@ -1,0 +1,80 @@
+"""Tests for predicate evaluation semantics."""
+
+import pytest
+
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_predicate
+
+
+def check(text, attrs):
+    return evaluate(parse_predicate(text), attrs)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert check("document = spec", {"document": "spec"})
+        assert not check("document = spec", {"document": "design"})
+
+    def test_inequality(self):
+        assert check("document != spec", {"document": "design"})
+        assert not check("document != spec", {"document": "spec"})
+
+    def test_absent_attribute_is_false_even_for_ne(self):
+        assert not check("document = spec", {})
+        assert not check("document != spec", {})
+
+    def test_numeric_ordering_when_both_numeric(self):
+        assert check("revision > 9", {"revision": "10"})
+        assert not check("revision > 9", {"revision": "9"})
+        assert check("revision <= 10", {"revision": "10"})
+
+    def test_string_ordering_when_not_numeric(self):
+        assert check("author > alice", {"author": "bob"})
+        assert not check("author < alice", {"author": "bob"})
+
+    def test_mixed_numeric_string_falls_back_to_string(self):
+        # "9" vs "abc": lexicographic comparison of the raw strings.
+        assert check("field < abc", {"field": "9"})
+
+    def test_float_values(self):
+        assert check("score >= 2.5", {"score": "3.0"})
+
+
+class TestExists:
+    def test_exists_true_when_attached(self):
+        assert check("exists icon", {"icon": "Name"})
+
+    def test_exists_false_when_absent(self):
+        assert not check("exists icon", {})
+
+    def test_not_exists(self):
+        assert check("not exists icon", {})
+
+
+class TestCombinators:
+    ATTRS = {"document": "spec", "status": "draft", "revision": "3"}
+
+    def test_and(self):
+        assert check("document = spec and status = draft", self.ATTRS)
+        assert not check("document = spec and status = final", self.ATTRS)
+
+    def test_or(self):
+        assert check("document = other or status = draft", self.ATTRS)
+        assert not check("document = other or status = final", self.ATTRS)
+
+    def test_not(self):
+        assert check("not status = final", self.ATTRS)
+
+    def test_nested(self):
+        assert check(
+            "(document = spec or document = design) and revision < 5",
+            self.ATTRS)
+
+    def test_true_false_literals(self):
+        assert check("true", {})
+        assert not check("false", {"anything": "x"})
+
+    def test_short_circuit_semantics_match_python(self):
+        # and with a failing side; or with a passing side
+        assert not check("false and true", {})
+        assert check("false or true", {})

@@ -1,0 +1,91 @@
+"""Tests for the inverted attribute-value index."""
+
+from repro.query.index import AttributeValueIndex
+
+
+class TestPostings:
+    def test_set_then_lookup(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "document", "spec")
+        assert index.lookup("document", "spec") == {1}
+
+    def test_value_change_moves_posting(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "status", "draft")
+        index.set_value(1, "status", "final")
+        assert index.lookup("status", "draft") == set()
+        assert index.lookup("status", "final") == {1}
+
+    def test_delete_value(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "status", "draft")
+        index.delete_value(1, "status")
+        assert index.lookup("status", "draft") == set()
+
+    def test_delete_missing_is_noop(self):
+        index = AttributeValueIndex()
+        index.delete_value(1, "status")
+        assert index.lookup("status", "draft") == set()
+
+    def test_drop_node_removes_all_postings(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "a", "x")
+        index.set_value(1, "b", "y")
+        index.set_value(2, "a", "x")
+        index.drop_node(1)
+        assert index.lookup("a", "x") == {2}
+        assert index.lookup("b", "y") == set()
+
+    def test_multiple_nodes_same_value(self):
+        index = AttributeValueIndex()
+        for node in (1, 2, 3):
+            index.set_value(node, "document", "spec")
+        assert index.lookup("document", "spec") == {1, 2, 3}
+
+    def test_lookup_returns_copy(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "a", "x")
+        hits = index.lookup("a", "x")
+        hits.add(99)
+        assert index.lookup("a", "x") == {1}
+
+    def test_posting_count_shrinks_on_empty(self):
+        index = AttributeValueIndex()
+        index.set_value(1, "a", "x")
+        assert index.posting_count == 1
+        index.delete_value(1, "a")
+        assert index.posting_count == 0
+
+
+class TestHamIntegration:
+    def test_indexed_query_matches_scan_after_mutations(self, ham):
+        nodes = []
+        attr = ham.get_attribute_index("kind")
+        for position in range(10):
+            node, __ = ham.add_node()
+            ham.set_node_attribute_value(
+                node=node, attribute=attr,
+                value="even" if position % 2 == 0 else "odd")
+            nodes.append(node)
+        # Mutate: flip one, delete one attribute, delete one node.
+        ham.set_node_attribute_value(node=nodes[0], attribute=attr,
+                                     value="odd")
+        ham.delete_node_attribute(node=nodes[1], attribute=attr)
+        ham.delete_node(node=nodes[2])
+        indexed = ham.get_graph_query(node_predicate="kind = even")
+        ham._index = None
+        scanned = ham.get_graph_query(node_predicate="kind = even")
+        assert indexed.nodes == scanned.nodes
+
+    def test_abort_restores_index(self, ham):
+        node, __ = ham.add_node()
+        attr = ham.get_attribute_index("kind")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="a")
+        txn = ham.begin()
+        ham.set_node_attribute_value(txn, node=node, attribute=attr,
+                                     value="b")
+        txn.abort()
+        assert ham.get_graph_query(
+            node_predicate="kind = a").node_indexes == [node]
+        assert ham.get_graph_query(
+            node_predicate="kind = b").node_indexes == []

@@ -1,0 +1,154 @@
+"""Tests for the predicate parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredicateSyntaxError
+from repro.query.parser import parse_predicate
+from repro.query.predicate import (
+    And,
+    CompareOp,
+    Comparison,
+    Exists,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+
+class TestBasicForms:
+    def test_paper_example(self):
+        assert parse_predicate("document = requirements") == Comparison(
+            "document", CompareOp.EQ, "requirements")
+
+    def test_quoted_value(self):
+        assert parse_predicate('contentType = "Modula-2 source"') == \
+            Comparison("contentType", CompareOp.EQ, "Modula-2 source")
+
+    def test_escaped_quote_in_value(self):
+        parsed = parse_predicate(r'name = "say \"hi\""')
+        assert parsed.value == 'say "hi"'
+
+    @pytest.mark.parametrize("op_text,op", [
+        ("=", CompareOp.EQ), ("!=", CompareOp.NE), ("<", CompareOp.LT),
+        ("<=", CompareOp.LE), (">", CompareOp.GT), (">=", CompareOp.GE),
+    ])
+    def test_all_operators(self, op_text, op):
+        assert parse_predicate(f"revision {op_text} 9").op is op
+
+    def test_exists(self):
+        assert parse_predicate("exists icon") == Exists("icon")
+
+    def test_true_false_literals(self):
+        assert parse_predicate("true") == TruePredicate()
+        assert parse_predicate("false") == FalsePredicate()
+
+    def test_none_and_blank_mean_true(self):
+        assert parse_predicate(None) == TruePredicate()
+        assert parse_predicate("   ") == TruePredicate()
+
+    def test_ast_passthrough(self):
+        ast = Comparison("a", CompareOp.EQ, "b")
+        assert parse_predicate(ast) is ast
+
+
+class TestCombinators:
+    def test_and(self):
+        parsed = parse_predicate("a = 1 and b = 2")
+        assert isinstance(parsed, And)
+        assert len(parsed.operands) == 2
+
+    def test_or(self):
+        parsed = parse_predicate("a = 1 or b = 2 or c = 3")
+        assert isinstance(parsed, Or)
+        assert len(parsed.operands) == 3
+
+    def test_not(self):
+        parsed = parse_predicate("not status = draft")
+        assert isinstance(parsed, Not)
+        assert parsed.operand == Comparison("status", CompareOp.EQ, "draft")
+
+    def test_and_binds_tighter_than_or(self):
+        parsed = parse_predicate("a = 1 or b = 2 and c = 3")
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.operands[1], And)
+
+    def test_parentheses_override_precedence(self):
+        parsed = parse_predicate("(a = 1 or b = 2) and c = 3")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.operands[0], Or)
+
+    def test_double_negation(self):
+        parsed = parse_predicate("not not a = 1")
+        assert isinstance(parsed, Not)
+        assert isinstance(parsed.operand, Not)
+
+    def test_keywords_case_insensitive(self):
+        parsed = parse_predicate("a = 1 AND NOT b = 2")
+        assert isinstance(parsed, And)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "=", "a =", "a = 1 and", "(a = 1", "a = 1)", "and a = 1",
+        "exists", "a ~ b", "a = 1 extra stuff",
+    ])
+    def test_malformed_predicates_raise(self, text):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(text)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "a = 1",
+        "exists icon",
+        "not a = 1",
+        "a = 1 and b != 2",
+        "(a < 1 or b >= 2) and not exists c",
+        "true",
+        "false",
+    ])
+    def test_to_record_from_record(self, text):
+        parsed = parse_predicate(text)
+        assert Predicate.from_record(parsed.to_record()) == parsed
+
+
+# ----------------------------------------------------------------------
+# property-based: generated ASTs survive stringification + reparse
+
+names = st.text(alphabet="abcdefg", min_size=1, max_size=6)
+values = st.text(alphabet="abcdefg0123456789", min_size=1, max_size=6)
+comparisons = st.builds(
+    Comparison, names, st.sampled_from(list(CompareOp)), values)
+predicates = st.recursive(
+    comparisons | st.builds(Exists, names),
+    lambda children: (
+        st.builds(lambda a, b: And(a, b), children, children)
+        | st.builds(lambda a, b: Or(a, b), children, children)
+        | st.builds(Not, children)),
+    max_leaves=8,
+)
+
+
+@given(predicate=predicates)
+@settings(max_examples=150)
+def test_property_str_reparses_to_equivalent(predicate):
+    """str(ast) must parse back to a semantically equal AST."""
+    from repro.query.evaluator import evaluate
+    reparsed = parse_predicate(str(predicate))
+    # Compare semantics on a panel of attribute sets.
+    panels = [
+        {}, {"a": "1"}, {"b": "2"}, {"a": "1", "b": "2"},
+        {"a": "a"}, {"c": "3", "d": "abc"},
+    ]
+    for attrs in panels:
+        assert evaluate(reparsed, attrs) == evaluate(predicate, attrs)
+
+
+@given(predicate=predicates)
+@settings(max_examples=150)
+def test_property_record_round_trip(predicate):
+    assert Predicate.from_record(predicate.to_record()) == predicate

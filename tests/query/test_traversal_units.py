@@ -1,0 +1,115 @@
+"""Unit tests for linearize_graph / get_graph_query over a raw store.
+
+(The HAM-level behaviour is covered in tests/core/test_ham_queries.py;
+these exercise the query functions directly, including the hypothesis
+invariant that traversal results are always a subset of reachability.)
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HAM, LinkPt
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_predicate
+from repro.query.traversal import named_attributes
+
+
+def build_graph(edge_list, node_count):
+    ham = HAM.ephemeral()
+    nodes = []
+    with ham.begin() as txn:
+        for __ in range(node_count):
+            index, time = ham.add_node(txn)
+            nodes.append(index)
+        for position, (source, target) in enumerate(edge_list):
+            ham.add_link(
+                txn,
+                from_pt=LinkPt(nodes[source], position=position),
+                to_pt=LinkPt(nodes[target]))
+    return ham, nodes
+
+
+def reachable(edge_list, start, node_count):
+    adjacency = {}
+    for source, target in edge_list:
+        adjacency.setdefault(source, set()).add(target)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for target in adjacency.get(node, ()):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen
+
+
+class TestTraversalBasics:
+    def test_traversal_order_follows_offsets(self):
+        # Root links to children at offsets 2, 0, 1 → order by offset.
+        ham = HAM.ephemeral()
+        with ham.begin() as txn:
+            root, __ = ham.add_node(txn)
+            children = []
+            for offset in (2, 0, 1):
+                child, ___ = ham.add_node(txn)
+                ham.add_link(txn, from_pt=LinkPt(root, position=offset),
+                             to_pt=LinkPt(child))
+                children.append((offset, child))
+        expected = [root] + [c for __, c in sorted(children)]
+        assert ham.linearize_graph(root).node_indexes == expected
+
+    def test_named_attributes_resolves_names(self, ham):
+        node, __ = ham.add_node()
+        attr = ham.get_attribute_index("icon")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="N")
+        record = ham.store.node(node)
+        assert named_attributes(record, ham.store, 0) == {"icon": "N"}
+
+
+@given(
+    node_count=st.integers(2, 8),
+    edges=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                   max_size=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_traversal_visits_exactly_reachable(node_count, edges):
+    edges = [(s % node_count, t % node_count) for s, t in edges]
+    ham, nodes = build_graph(edges, node_count)
+    result = ham.linearize_graph(nodes[0])
+    expected = {nodes[position]
+                for position in reachable(edges, 0, node_count)}
+    assert set(result.node_indexes) == expected
+    # Every returned link connects two returned nodes.
+    for link_index in result.link_indexes:
+        link = ham.store.link(link_index)
+        assert link.from_node in expected
+        assert link.to_node in expected
+
+
+@given(
+    node_count=st.integers(1, 8),
+    edges=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                   max_size=12),
+    flagged=st.sets(st.integers(0, 7)),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_query_nodes_satisfy_predicate(node_count, edges, flagged):
+    edges = [(s % node_count, t % node_count) for s, t in edges]
+    ham, nodes = build_graph(edges, node_count)
+    attr = ham.get_attribute_index("flag")
+    for position in flagged:
+        if position < node_count:
+            ham.set_node_attribute_value(
+                node=nodes[position], attribute=attr, value="yes")
+    result = ham.get_graph_query(node_predicate="flag = yes")
+    predicate = parse_predicate("flag = yes")
+    expected = {
+        nodes[position] for position in range(node_count)
+        if evaluate(predicate,
+                    named_attributes(ham.store.node(nodes[position]),
+                                     ham.store, 0))
+    }
+    assert set(result.node_indexes) == expected

@@ -1,0 +1,143 @@
+"""Tests for the relational algebra engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import Relation, RelationError
+
+
+@pytest.fixture
+def people():
+    return Relation.from_dicts(
+        ("name", "team"),
+        [{"name": "norm", "team": "ham"},
+         {"name": "mayer", "team": "ham"},
+         {"name": "ted", "team": "xanadu"}])
+
+
+@pytest.fixture
+def teams():
+    return Relation.from_dicts(
+        ("team", "site"),
+        [{"team": "ham", "site": "beaverton"},
+         {"team": "xanadu", "site": "swarthmore"}])
+
+
+class TestConstruction:
+    def test_rows_deduplicate(self):
+        relation = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(relation) == 2
+
+    def test_schema_width_enforced(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "a"))
+
+    def test_dict_round_trip(self, people):
+        assert Relation.from_dicts(people.columns,
+                                   people.to_dicts()) == people
+
+
+class TestOperators:
+    def test_select(self, people):
+        hams = people.select(lambda row: row["team"] == "ham")
+        assert hams.column_values("name") == {"norm", "mayer"}
+
+    def test_where_shorthand(self, people):
+        assert people.where(team="xanadu").column_values("name") == {"ted"}
+
+    def test_where_unknown_column_rejected(self, people):
+        with pytest.raises(RelationError):
+            people.where(planet="mars")
+
+    def test_project_deduplicates(self, people):
+        assert len(people.project("team")) == 2
+
+    def test_rename(self, people):
+        renamed = people.rename(name="person")
+        assert renamed.columns == ("person", "team")
+        assert renamed.column_values("person") == \
+            people.column_values("name")
+
+    def test_natural_join(self, people, teams):
+        joined = people.join(teams)
+        assert set(joined.columns) == {"name", "team", "site"}
+        assert joined.where(name="norm").column_values("site") == \
+            {"beaverton"}
+        assert len(joined) == 3
+
+    def test_join_with_no_matches(self, people):
+        empty_teams = Relation(("team", "site"))
+        assert len(people.join(empty_teams)) == 0
+
+    def test_join_without_shared_columns_is_product(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(9,)])
+        assert len(left.join(right)) == 2
+
+    def test_product_rejects_shared_columns(self, people, teams):
+        with pytest.raises(RelationError):
+            people.product(teams)
+
+    def test_union_difference_intersection(self):
+        left = Relation(("x",), [(1,), (2,)])
+        right = Relation(("x",), [(2,), (3,)])
+        assert left.union(right).column_values("x") == {1, 2, 3}
+        assert left.difference(right).column_values("x") == {1}
+        assert left.intersection(right).column_values("x") == {2}
+
+    def test_set_ops_require_same_schema(self):
+        with pytest.raises(RelationError):
+            Relation(("x",)).union(Relation(("y",)))
+
+    def test_render_is_deterministic(self, people):
+        assert people.render() == people.render()
+        assert "norm" in people.render()
+
+
+# ----------------------------------------------------------------------
+# property-based algebra laws
+
+values = st.integers(0, 5)
+rows2 = st.frozensets(st.tuples(values, values), max_size=12)
+
+
+@given(left=rows2, right=rows2)
+@settings(max_examples=100)
+def test_property_union_commutes(left, right):
+    a = Relation(("x", "y"), left)
+    b = Relation(("x", "y"), right)
+    assert a.union(b) == b.union(a)
+
+
+@given(left=rows2, right=rows2)
+@settings(max_examples=100)
+def test_property_join_commutes_up_to_column_order(left, right):
+    a = Relation(("x", "y"), left)
+    b = Relation(("y", "z"), right)
+    forward = a.join(b)
+    backward = b.join(a)
+    normalize = lambda rel: {  # noqa: E731
+        tuple(sorted(zip(rel.columns, row))) for row in rel.rows}
+    assert normalize(forward) == normalize(backward)
+
+
+@given(rows=rows2)
+@settings(max_examples=100)
+def test_property_project_then_select_subset(rows):
+    relation = Relation(("x", "y"), rows)
+    projected = relation.project("x")
+    assert projected.column_values("x") <= relation.column_values("x")
+    assert len(projected) <= len(relation)
+
+
+@given(left=rows2, right=rows2)
+@settings(max_examples=100)
+def test_property_difference_disjoint_from_subtrahend(left, right):
+    a = Relation(("x", "y"), left)
+    b = Relation(("x", "y"), right)
+    assert not (a.difference(b).rows & b.rows)

@@ -1,0 +1,95 @@
+"""Tests for the hypertext → relations bridge and the §5 query."""
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.apps.case import CaseApplication, ModuleKind
+from repro.apps.documents import DocumentApplication
+from repro.relational import HypertextRelations, find_all_references
+
+
+@pytest.fixture
+def project(ham):
+    case = CaseApplication(ham)
+    module = case.create_module("Lists", ModuleKind.IMPLEMENTATION)
+    append = case.add_procedure(
+        module, "Append",
+        b"PROCEDURE Append;\nBEGIN\n  Insert(x)\nEND Append;\n")
+    insert = case.add_procedure(
+        module, "Insert", b"PROCEDURE Insert;\nBEGIN\nEND Insert;\n")
+    app = DocumentApplication(ham)
+    doc = app.create_document("Design")
+    notes = app.add_section(doc, doc.root, "Notes",
+                            b"The Insert routine must stay O(1).\n")
+    other = app.add_section(doc, doc.root, "Other",
+                            b"Nothing relevant here.\n")
+    return ham, case, module, append, insert, notes, other
+
+
+class TestStructuralRelations:
+    def test_nodes_relation_counts_live_nodes(self, project):
+        ham = project[0]
+        views = HypertextRelations(ham)
+        assert len(views.nodes()) == len(ham.store.live_nodes(0))
+
+    def test_node_attributes_relation(self, project):
+        ham, case, module, *__ = project
+        views = HypertextRelations(ham)
+        attrs = views.node_attributes()
+        assert (module.node, "codeType",
+                "implementationModule") in attrs.rows
+
+    def test_links_relation_carries_relation_attribute(self, project):
+        ham = project[0]
+        views = HypertextRelations(ham)
+        links = views.links()
+        assert "isPartOf" in links.column_values("relation")
+
+    def test_links_without_relation_attribute_empty_string(self, ham):
+        a, __ = ham.add_node()
+        b, __ = ham.add_node()
+        ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        links = HypertextRelations(ham).links()
+        assert links.column_values("relation") == {""}
+
+
+class TestCodeRelations:
+    def test_definitions(self, project):
+        ham, __, ___, append, insert, *____ = project
+        definitions = HypertextRelations(ham).definitions()
+        assert (append, "Append") in definitions.rows
+        assert (insert, "Insert") in definitions.rows
+
+    def test_references(self, project):
+        ham, __, ___, append, *____ = project
+        references = HypertextRelations(ham).references()
+        assert (append, "Insert") in references.rows
+
+    def test_text_mentions(self, project):
+        ham, *__, notes, other = project
+        mentions = HypertextRelations(ham).text_mentions("Insert")
+        assert (notes,) in mentions.rows
+        assert (other,) not in mentions.rows
+
+
+class TestFindAllReferences:
+    def test_code_and_documentation_combined(self, project):
+        ham, __, ___, append, ____, notes, _____ = project
+        result = find_all_references(ham, "Insert")
+        assert (append, "code") in result.rows
+        assert (notes, "documentation") in result.rows
+
+    def test_unknown_symbol_returns_empty(self, project):
+        ham = project[0]
+        assert len(find_all_references(ham, "NoSuchProc")) == 0
+
+    def test_as_of_time_view(self, project):
+        ham, case, module, append, *__ = project
+        checkpoint = ham.now
+        # A new caller appears later...
+        case.add_procedure(
+            module, "Extend",
+            b"PROCEDURE Extend;\nBEGIN\n  Insert(y)\nEND Extend;\n")
+        now_hits = find_all_references(ham, "Insert")
+        old_hits = find_all_references(ham, "Insert", time=checkpoint)
+        assert len(now_hits) == len(old_hits) + 1

@@ -1,0 +1,76 @@
+"""Tests for the wire protocol framing over a socket pair."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.protocol import read_message, write_message
+
+
+@pytest.fixture
+def socket_pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_simple_message(self, socket_pair):
+        left, right = socket_pair
+        write_message(left, {"id": 1, "method": "ping", "params": {}})
+        assert read_message(right) == {
+            "id": 1, "method": "ping", "params": {}}
+
+    def test_binary_payload(self, socket_pair):
+        left, right = socket_pair
+        blob = bytes(range(256)) * 100
+        write_message(left, {"contents": blob})
+        assert read_message(right)["contents"] == blob
+
+    def test_multiple_messages_in_order(self, socket_pair):
+        left, right = socket_pair
+        for position in range(5):
+            write_message(left, ["msg", position])
+        for position in range(5):
+            assert read_message(right) == ["msg", position]
+
+    def test_large_message_in_chunks(self, socket_pair):
+        left, right = socket_pair
+        big = {"data": b"x" * 500_000}
+        received = {}
+
+        def reader():
+            received["message"] = read_message(right)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        write_message(left, big)
+        thread.join(timeout=10)
+        assert received["message"] == big
+
+
+class TestErrors:
+    def test_closed_peer_raises_connection_error(self, socket_pair):
+        left, right = socket_pair
+        left.close()
+        with pytest.raises(ConnectionError):
+            read_message(right)
+
+    def test_oversized_length_prefix_rejected(self, socket_pair):
+        left, right = socket_pair
+        left.sendall((2**31).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            read_message(right)
+
+    def test_corrupt_frame_rejected(self, socket_pair):
+        from repro.errors import ChecksumError
+        from repro.storage.serializer import pack_record, encode_value
+        left, right = socket_pair
+        framed = bytearray(pack_record(encode_value("hello")))
+        framed[-1] ^= 0xFF
+        left.sendall(len(framed).to_bytes(4, "big") + bytes(framed))
+        with pytest.raises(ChecksumError):
+            read_message(right)

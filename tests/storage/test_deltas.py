@@ -1,0 +1,199 @@
+"""Tests for the backward-delta version store and its baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VersionError
+from repro.storage.deltas import DeltaStore, FullCopyStore
+from repro.workloads.trace import EditTrace, generate_versions
+
+
+class TestDeltaStoreBasics:
+    def test_initial_version_is_current(self):
+        store = DeltaStore(b"hello\n", time=1)
+        assert store.get() == b"hello\n"
+        assert store.current_time == 1
+
+    def test_check_in_advances_current(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=2)
+        assert store.get() == b"v2\n"
+        assert store.current_time == 2
+
+    def test_old_versions_remain_readable(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=5)
+        store.check_in(b"v3\n", time=9)
+        assert store.get(1) == b"v1\n"
+        assert store.get(5) == b"v2\n"
+        assert store.get(9) == b"v3\n"
+
+    def test_get_at_intermediate_time_returns_version_in_effect(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=5)
+        assert store.get(3) == b"v1\n"
+        assert store.get(7) == b"v2\n"
+
+    def test_get_before_first_version_raises(self):
+        store = DeltaStore(b"v1\n", time=5)
+        with pytest.raises(VersionError):
+            store.get(3)
+
+    def test_get_exact_requires_exact_time(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=5)
+        assert store.get_exact(1) == b"v1\n"
+        with pytest.raises(VersionError):
+            store.get_exact(3)
+
+    def test_times_are_oldest_first(self):
+        store = DeltaStore(b"a", time=1)
+        store.check_in(b"b", time=2)
+        store.check_in(b"c", time=3)
+        assert store.times == [1, 2, 3]
+
+    def test_check_in_rejects_non_advancing_time(self):
+        store = DeltaStore(b"a", time=5)
+        with pytest.raises(VersionError):
+            store.check_in(b"b", time=5)
+        with pytest.raises(VersionError):
+            store.check_in(b"b", time=3)
+
+    def test_zero_initial_time_rejected(self):
+        with pytest.raises(VersionError):
+            DeltaStore(b"a", time=0)
+
+    def test_binary_contents(self):
+        blob = bytes(range(256)) * 4
+        store = DeltaStore(blob, time=1)
+        store.check_in(blob[:100] + b"\x00\x01" + blob[120:], time=2)
+        assert store.get(1) == blob
+
+
+class TestRollback:
+    def test_rollback_last_restores_previous(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=2)
+        store.rollback_last()
+        assert store.get() == b"v1\n"
+        assert store.current_time == 1
+
+    def test_rollback_initial_version_raises(self):
+        store = DeltaStore(b"v1\n", time=1)
+        with pytest.raises(VersionError):
+            store.rollback_last()
+
+    def test_rollback_then_check_in_again(self):
+        store = DeltaStore(b"v1\n", time=1)
+        store.check_in(b"v2\n", time=2)
+        store.rollback_last()
+        store.check_in(b"v2b\n", time=3)
+        assert store.get() == b"v2b\n"
+        assert store.get(1) == b"v1\n"
+
+
+class TestStorageEfficiency:
+    def test_deltas_store_much_less_than_copies(self):
+        versions = generate_versions(
+            EditTrace(initial_lines=200, versions=40, edits_per_version=2))
+        delta = DeltaStore(versions[0], time=1)
+        copies = FullCopyStore(versions[0], time=1)
+        for position, contents in enumerate(versions[1:], start=2):
+            delta.check_in(contents, time=position)
+            copies.check_in(contents, time=position)
+        delta_total = delta.stats().total_bytes
+        copy_total = copies.stats().total_bytes
+        # Small local edits: deltas should be dramatically smaller.
+        assert delta_total < copy_total / 5
+
+    def test_stats_version_count(self):
+        store = DeltaStore(b"a\n", time=1)
+        store.check_in(b"b\n", time=2)
+        assert store.stats().version_count == 2
+
+    def test_full_copy_counts_every_version(self):
+        store = FullCopyStore(b"aaaa", time=1)
+        store.check_in(b"bbbb", time=2)
+        stats = store.stats()
+        assert stats.current_bytes == 4
+        assert stats.delta_bytes == 4
+
+
+class TestFullCopyStore:
+    def test_same_interface_results(self):
+        versions = [b"one\n", b"one\ntwo\n", b"two\n"]
+        delta = DeltaStore(versions[0], time=1)
+        copies = FullCopyStore(versions[0], time=1)
+        for position, contents in enumerate(versions[1:], start=2):
+            delta.check_in(contents, time=position)
+            copies.check_in(contents, time=position)
+        for time in (0, 1, 2, 3):
+            assert delta.get(time) == copies.get(time)
+
+    def test_rejects_stale_time(self):
+        store = FullCopyStore(b"a", time=2)
+        with pytest.raises(VersionError):
+            store.check_in(b"b", time=2)
+
+    def test_get_before_first_raises(self):
+        store = FullCopyStore(b"a", time=5)
+        with pytest.raises(VersionError):
+            store.get(1)
+
+
+class TestPersistence:
+    def test_record_round_trip(self):
+        store = DeltaStore(b"v1 line\n", time=1)
+        store.check_in(b"v2 line\nmore\n", time=2)
+        store.check_in(b"v3\n", time=3)
+        restored = DeltaStore.from_record(store.to_record())
+        assert restored.times == store.times
+        for time in (1, 2, 3, 0):
+            assert restored.get(time) == store.get(time)
+
+    def test_record_is_encodable(self):
+        from repro.storage.serializer import decode_value, encode_value
+        store = DeltaStore(b"data\n", time=1)
+        store.check_in(b"data2\n", time=2)
+        record = decode_value(encode_value(store.to_record()))
+        restored = DeltaStore.from_record(record)
+        assert restored.get(1) == b"data\n"
+
+
+# ----------------------------------------------------------------------
+# property-based coverage
+
+@given(history=st.lists(st.binary(max_size=120), min_size=1, max_size=12))
+@settings(max_examples=100)
+def test_property_every_version_reconstructs(history):
+    store = DeltaStore(history[0], time=1)
+    for position, contents in enumerate(history[1:], start=2):
+        store.check_in(contents, time=position)
+    for position, contents in enumerate(history, start=1):
+        assert store.get(position) == contents
+    assert store.get() == history[-1]
+
+
+@given(history=st.lists(
+    st.text(alphabet="ab\n", max_size=60).map(str.encode),
+    min_size=2, max_size=10))
+@settings(max_examples=100)
+def test_property_rollback_walks_history_backwards(history):
+    store = DeltaStore(history[0], time=1)
+    for position, contents in enumerate(history[1:], start=2):
+        store.check_in(contents, time=position)
+    for expected in reversed(history[:-1]):
+        store.rollback_last()
+        assert store.get() == expected
+
+
+@given(history=st.lists(st.binary(max_size=80), min_size=1, max_size=8))
+@settings(max_examples=50)
+def test_property_record_round_trip(history):
+    store = DeltaStore(history[0], time=1)
+    for position, contents in enumerate(history[1:], start=2):
+        store.check_in(contents, time=position)
+    restored = DeltaStore.from_record(store.to_record())
+    for position, contents in enumerate(history, start=1):
+        assert restored.get(position) == contents

@@ -1,0 +1,230 @@
+"""Tests for the Myers diff engine, script application, and merge3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.diff import (
+    Difference,
+    DiffKind,
+    apply_differences,
+    apply_differences_bytes,
+    diff_bytes,
+    diff_lines,
+    diff_sequences,
+    invert_differences,
+    merge3,
+    merge3_bytes,
+)
+
+
+class TestDiffSequences:
+    def test_identical_sequences_produce_empty_script(self):
+        assert diff_sequences([1, 2, 3], [1, 2, 3]) == []
+
+    def test_empty_to_empty(self):
+        assert diff_sequences([], []) == []
+
+    def test_pure_insertion(self):
+        script = diff_sequences([], ["a", "b"])
+        assert len(script) == 1
+        assert script[0].kind is DiffKind.INSERT
+        assert script[0].new == ("a", "b")
+
+    def test_pure_deletion(self):
+        script = diff_sequences(["a", "b"], [])
+        assert len(script) == 1
+        assert script[0].kind is DiffKind.DELETE
+        assert script[0].old == ("a", "b")
+
+    def test_replacement_fuses_delete_and_insert(self):
+        script = diff_sequences(["a", "x", "c"], ["a", "y", "c"])
+        assert len(script) == 1
+        assert script[0].kind is DiffKind.REPLACE
+        assert script[0].old == ("x",)
+        assert script[0].new == ("y",)
+
+    def test_script_is_minimal_for_single_edit(self):
+        old = list("abcdefgh")
+        new = list("abcXefgh")
+        script = diff_sequences(old, new)
+        assert len(script) == 1
+        assert script[0].position == 3
+
+    def test_positions_refer_to_old_sequence(self):
+        old = list("abcdef")
+        new = list("abXcdYef")
+        script = diff_sequences(old, new)
+        for diff in script:
+            assert 0 <= diff.position <= len(old)
+
+    def test_apply_reproduces_new(self):
+        old = list("the quick brown fox")
+        new = list("the quiet brown cat")
+        assert apply_differences(old, diff_sequences(old, new)) == new
+
+    def test_disjoint_sequences(self):
+        old = ["a", "b"]
+        new = ["x", "y", "z"]
+        assert apply_differences(old, diff_sequences(old, new)) == new
+
+
+class TestDifferenceValidation:
+    def test_insert_must_not_remove(self):
+        with pytest.raises(ValueError):
+            Difference(DiffKind.INSERT, 0, ("a",), ("b",))
+
+    def test_delete_must_not_add(self):
+        with pytest.raises(ValueError):
+            Difference(DiffKind.DELETE, 0, ("a",), ("b",))
+
+    def test_replace_needs_both_sides(self):
+        with pytest.raises(ValueError):
+            Difference(DiffKind.REPLACE, 0, (), ("b",))
+
+    def test_apply_rejects_mismatched_old_tokens(self):
+        script = [Difference(DiffKind.DELETE, 0, ("x",), ())]
+        with pytest.raises(ValueError):
+            apply_differences(["a"], script)
+
+    def test_apply_rejects_overlapping_edits(self):
+        script = [
+            Difference(DiffKind.DELETE, 0, ("a", "b"), ()),
+            Difference(DiffKind.DELETE, 1, ("b",), ()),
+        ]
+        with pytest.raises(ValueError):
+            apply_differences(["a", "b", "c"], script)
+
+
+class TestInvert:
+    def test_invert_restores_old(self):
+        old = list("abcdef")
+        new = list("axcdz")
+        script = diff_sequences(old, new)
+        assert apply_differences(new, invert_differences(script)) == old
+
+    def test_invert_of_empty_script(self):
+        assert invert_differences([]) == []
+
+    def test_double_invert_is_identity_on_effect(self):
+        old = list("hello world")
+        new = list("help word")
+        script = diff_sequences(old, new)
+        twice = invert_differences(invert_differences(script))
+        assert apply_differences(old, twice) == new
+
+
+class TestByteDiffs:
+    def test_line_mode_round_trip(self):
+        old = b"line one\nline two\nline three\n"
+        new = b"line one\nline 2\nline three\nline four\n"
+        assert apply_differences_bytes(old, diff_bytes(old, new)) == new
+
+    def test_binary_mode_round_trip(self):
+        old = bytes(range(200))
+        new = old[:50] + b"\x01\x02" + old[60:]
+        assert apply_differences_bytes(old, diff_bytes(old, new)) == new
+
+    def test_mixed_text_binary_uses_line_mode(self):
+        old = b"no newline here"
+        new = b"now\nwith newlines\n"
+        assert apply_differences_bytes(old, diff_bytes(old, new)) == new
+
+    def test_empty_to_content(self):
+        assert apply_differences_bytes(b"", diff_bytes(b"", b"abc\n")) \
+            == b"abc\n"
+
+    def test_content_to_empty(self):
+        assert apply_differences_bytes(b"abc\n",
+                                       diff_bytes(b"abc\n", b"")) == b""
+
+    def test_diff_lines_keeps_newlines_on_tokens(self):
+        script = diff_lines(b"a\nb\n", b"a\nc\n")
+        assert script[0].old == (b"b\n",)
+        assert script[0].new == (b"c\n",)
+
+
+class TestMerge3:
+    BASE = "the quick brown fox jumps over the lazy dog".split()
+
+    def test_non_overlapping_edits_merge_cleanly(self):
+        ours = list(self.BASE)
+        ours[1] = "slow"
+        theirs = list(self.BASE)
+        theirs[-1] = "cat"
+        result = merge3(self.BASE, ours, theirs)
+        assert result.clean
+        assert "slow" in result.merged and "cat" in result.merged
+
+    def test_identical_edits_merge_cleanly(self):
+        ours = list(self.BASE)
+        ours[0] = "a"
+        result = merge3(self.BASE, ours, list(ours))
+        assert result.clean
+        assert list(result.merged) == ours
+
+    def test_conflicting_edits_are_reported(self):
+        ours = list(self.BASE)
+        ours[1] = "slow"
+        theirs = list(self.BASE)
+        theirs[1] = "fast"
+        result = merge3(self.BASE, ours, theirs)
+        assert not result.clean
+        assert result.conflicts[0][1] == ("slow",)
+        assert result.conflicts[0][2] == ("fast",)
+
+    def test_one_side_unchanged_takes_other(self):
+        theirs = list(self.BASE) + ["entirely"]
+        result = merge3(self.BASE, list(self.BASE), theirs)
+        assert result.clean
+        assert list(result.merged) == theirs
+
+    def test_merge3_bytes_line_mode(self):
+        base = b"one\ntwo\nthree\n"
+        ours = b"ONE\ntwo\nthree\n"
+        theirs = b"one\ntwo\nTHREE\n"
+        result = merge3_bytes(base, ours, theirs)
+        assert result.clean
+        assert b"".join(result.merged) == b"ONE\ntwo\nTHREE\n"
+
+    def test_both_insert_same_place_conflicts(self):
+        ours = self.BASE[:2] + ["red"] + self.BASE[2:]
+        theirs = self.BASE[:2] + ["blue"] + self.BASE[2:]
+        result = merge3(self.BASE, ours, theirs)
+        assert not result.clean
+
+
+# ----------------------------------------------------------------------
+# property-based coverage
+
+tokens = st.lists(st.sampled_from("abcde"), max_size=40)
+
+
+@given(old=tokens, new=tokens)
+@settings(max_examples=200)
+def test_property_apply_diff_reproduces_new(old, new):
+    assert apply_differences(old, diff_sequences(old, new)) == new
+
+
+@given(old=tokens, new=tokens)
+@settings(max_examples=200)
+def test_property_invert_restores_old(old, new):
+    script = diff_sequences(old, new)
+    assert apply_differences(new, invert_differences(script)) == old
+
+
+@given(data=st.binary(max_size=300), cut=st.integers(0, 300),
+       insert=st.binary(max_size=30))
+@settings(max_examples=100)
+def test_property_bytes_round_trip(data, cut, insert):
+    cut = min(cut, len(data))
+    new = data[:cut] + insert + data[cut:]
+    assert apply_differences_bytes(data, diff_bytes(data, new)) == new
+
+
+@given(base=tokens, ours=tokens)
+@settings(max_examples=100)
+def test_property_merge_with_unchanged_side_takes_edits(base, ours):
+    result = merge3(base, ours, list(base))
+    assert result.clean
+    assert list(result.merged) == ours

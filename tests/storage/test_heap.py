@@ -1,0 +1,89 @@
+"""Tests for the append-oriented record heap."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.heap import RecordHeap
+from repro.storage.pager import PAGE_SIZE
+
+
+@pytest.fixture
+def heap(tmp_path):
+    with RecordHeap(tmp_path / "records.heap") as heap:
+        yield heap
+
+
+class TestAppendRead:
+    def test_append_returns_stable_id(self, heap):
+        record_id = heap.append(b"first")
+        assert heap.read(record_id) == b"first"
+
+    def test_multiple_records(self, heap):
+        ids = [heap.append(f"record {i}".encode()) for i in range(20)]
+        for position, record_id in enumerate(ids):
+            assert heap.read(record_id) == f"record {position}".encode()
+
+    def test_record_spanning_pages(self, heap):
+        big = bytes(range(256)) * 64  # 16 KiB, spans several pages
+        record_id = heap.append(big)
+        assert heap.read(record_id) == big
+
+    def test_empty_record(self, heap):
+        record_id = heap.append(b"")
+        assert heap.read(record_id) == b""
+
+    def test_out_of_bounds_read_rejected(self, heap):
+        with pytest.raises(StorageError):
+            heap.read(PAGE_SIZE + 10_000)
+
+    def test_read_below_data_start_rejected(self, heap):
+        heap.append(b"x")
+        with pytest.raises(StorageError):
+            heap.read(0)
+
+
+class TestScan:
+    def test_scan_returns_records_in_order(self, heap):
+        payloads = [f"p{i}".encode() for i in range(5)]
+        ids = [heap.append(payload) for payload in payloads]
+        scanned = list(heap.scan())
+        assert [record_id for record_id, __ in scanned] == ids
+        assert [payload for __, payload in scanned] == payloads
+
+    def test_scan_empty_heap(self, heap):
+        assert list(heap.scan()) == []
+
+
+class TestPersistence:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path) as heap:
+            first = heap.append(b"alpha")
+            second = heap.append(b"beta")
+        with RecordHeap(path) as heap:
+            assert heap.read(first) == b"alpha"
+            assert heap.read(second) == b"beta"
+            third = heap.append(b"gamma")
+            assert heap.read(third) == b"gamma"
+
+    def test_size_accounting(self, heap):
+        assert heap.size_bytes == 0
+        heap.append(b"12345")
+        assert heap.size_bytes > 5  # payload + framing
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.heap"
+        path.write_bytes(b"\x00" * PAGE_SIZE)
+        with pytest.raises(StorageError):
+            RecordHeap(path)
+
+
+class TestFlush:
+    def test_flush_makes_records_visible_to_second_reader(self, tmp_path):
+        path = tmp_path / "flush.heap"
+        heap = RecordHeap(path)
+        record_id = heap.append(b"flushed record")
+        heap.flush()
+        with RecordHeap(path) as other:
+            assert other.read(record_id) == b"flushed record"
+        heap.close()

@@ -1,0 +1,88 @@
+"""Tests for the keyframed delta store (the B2 ablation design)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VersionError
+from repro.storage.deltas import DeltaStore, KeyframeDeltaStore
+from repro.workloads.trace import EditTrace, generate_versions
+
+
+class TestKeyframeBasics:
+    def test_round_trips_every_version(self):
+        versions = generate_versions(
+            EditTrace(initial_lines=40, versions=25))
+        store = KeyframeDeltaStore(versions[0], time=1, interval=5)
+        for position, contents in enumerate(versions[1:], start=2):
+            store.check_in(contents, time=position)
+        for position, contents in enumerate(versions, start=1):
+            assert store.get(position) == contents
+        assert store.get() == versions[-1]
+
+    def test_intermediate_time_resolves_version_in_effect(self):
+        store = KeyframeDeltaStore(b"v1\n", time=10, interval=3)
+        store.check_in(b"v2\n", time=20)
+        assert store.get(15) == b"v1\n"
+        assert store.get(25) == b"v2\n"
+
+    def test_before_first_version_raises(self):
+        store = KeyframeDeltaStore(b"v1\n", time=10)
+        with pytest.raises(VersionError):
+            store.get(5)
+
+    def test_non_advancing_time_rejected(self):
+        store = KeyframeDeltaStore(b"a", time=5)
+        with pytest.raises(VersionError):
+            store.check_in(b"b", time=5)
+
+    def test_interval_validation(self):
+        with pytest.raises(VersionError):
+            KeyframeDeltaStore(b"a", time=1, interval=1)
+
+    def test_times_property(self):
+        store = KeyframeDeltaStore(b"a", time=1)
+        store.check_in(b"b", time=4)
+        assert store.times == [1, 4]
+        assert store.current_time == 4
+
+
+class TestStorageTradeOff:
+    def test_keyframes_cost_more_storage_than_pure_deltas(self):
+        versions = generate_versions(
+            EditTrace(initial_lines=100, versions=40))
+        pure = DeltaStore(versions[0], time=1)
+        keyframed = KeyframeDeltaStore(versions[0], time=1, interval=5)
+        for position, contents in enumerate(versions[1:], start=2):
+            pure.check_in(contents, time=position)
+            keyframed.check_in(contents, time=position)
+        assert keyframed.stats().total_bytes > pure.stats().total_bytes
+
+    def test_access_depth_is_bounded_by_interval(self):
+        """Structural check of the design point: reconstructing any
+        version applies at most interval-1 deltas."""
+        versions = generate_versions(
+            EditTrace(initial_lines=30, versions=30))
+        interval = 4
+        store = KeyframeDeltaStore(versions[0], time=1, interval=interval)
+        for position, contents in enumerate(versions[1:], start=2):
+            store.check_in(contents, time=position)
+        for index in range(len(versions)):
+            distance = index % interval
+            assert distance < interval  # by construction
+            # And the keyframe for this index exists.
+            assert (index - distance) in store._keyframes
+
+
+@given(history=st.lists(st.binary(max_size=80), min_size=1, max_size=15),
+       interval=st.integers(2, 6))
+@settings(max_examples=80)
+def test_property_keyframe_store_matches_pure_chain(history, interval):
+    pure = DeltaStore(history[0], time=1)
+    keyframed = KeyframeDeltaStore(history[0], time=1, interval=interval)
+    for position, contents in enumerate(history[1:], start=2):
+        pure.check_in(contents, time=position)
+        keyframed.check_in(contents, time=position)
+    for position in range(1, len(history) + 1):
+        assert keyframed.get(position) == pure.get(position)
+    assert keyframed.get() == pure.get()

@@ -1,0 +1,126 @@
+"""Tests for the fixed-size page file."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import PAGE_SIZE, Pager
+
+
+@pytest.fixture
+def pager(tmp_path):
+    with Pager(tmp_path / "pages.db", cache_pages=4) as pager:
+        yield pager
+
+
+class TestAllocation:
+    def test_new_file_has_no_pages(self, pager):
+        assert pager.page_count == 0
+
+    def test_allocate_returns_sequential_ids(self, pager):
+        assert [pager.allocate_page() for __ in range(3)] == [0, 1, 2]
+        assert pager.page_count == 3
+
+    def test_allocated_page_is_zeroed(self, pager):
+        page_id = pager.allocate_page()
+        assert pager.read_page(page_id) == b"\x00" * PAGE_SIZE
+
+
+class TestReadWrite:
+    def test_write_read_round_trip(self, pager):
+        page_id = pager.allocate_page()
+        data = bytes((i % 256) for i in range(PAGE_SIZE))
+        pager.write_page(page_id, data)
+        assert pager.read_page(page_id) == data
+
+    def test_write_slice(self, pager):
+        page_id = pager.allocate_page()
+        pager.write_slice(page_id, 100, b"hello")
+        page = pager.read_page(page_id)
+        assert page[100:105] == b"hello"
+        assert page[:100] == b"\x00" * 100
+
+    def test_wrong_size_write_rejected(self, pager):
+        page_id = pager.allocate_page()
+        with pytest.raises(StorageError):
+            pager.write_page(page_id, b"short")
+
+    def test_out_of_range_read_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read_page(0)
+
+    def test_slice_beyond_page_rejected(self, pager):
+        page_id = pager.allocate_page()
+        with pytest.raises(StorageError):
+            pager.write_slice(page_id, PAGE_SIZE - 2, b"abc")
+
+
+class TestDurability:
+    def test_flush_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with Pager(path) as pager:
+            page_id = pager.allocate_page()
+            pager.write_slice(page_id, 0, b"persisted")
+        with Pager(path) as pager:
+            assert pager.page_count == 1
+            assert pager.read_page(0)[:9] == b"persisted"
+
+    def test_eviction_writes_dirty_pages_through(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with Pager(path, cache_pages=2) as pager:
+            for __ in range(6):
+                pager.allocate_page()
+            for page_id in range(6):
+                pager.write_slice(page_id, 0, f"page{page_id}".encode())
+            for page_id in range(6):
+                assert pager.read_page(page_id).startswith(
+                    f"page{page_id}".encode())
+
+    def test_sync_is_callable(self, pager):
+        pager.allocate_page()
+        pager.sync()
+
+    def test_non_page_multiple_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            Pager(path)
+
+    def test_closed_pager_rejects_operations(self, tmp_path):
+        pager = Pager(tmp_path / "pages.db")
+        pager.close()
+        with pytest.raises(StorageError):
+            pager.allocate_page()
+
+    def test_double_close_is_safe(self, tmp_path):
+        pager = Pager(tmp_path / "pages.db")
+        pager.close()
+        pager.close()
+
+
+class TestCacheLimits:
+    def test_cache_pages_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Pager(tmp_path / "pages.db", cache_pages=0)
+
+    def test_many_pages_with_tiny_cache(self, tmp_path):
+        with Pager(tmp_path / "pages.db", cache_pages=1) as pager:
+            ids = [pager.allocate_page() for __ in range(10)]
+            for page_id in ids:
+                pager.write_slice(page_id, 0, bytes([page_id + 1]))
+            for page_id in ids:
+                assert pager.read_page(page_id)[0] == page_id + 1
+
+
+class TestFlush:
+    def test_flush_writes_dirty_pages_without_close(self, tmp_path):
+        path = tmp_path / "flush.db"
+        pager = Pager(path)
+        page_id = pager.allocate_page()
+        pager.write_slice(page_id, 0, b"flushed")
+        pager.flush()
+        # A second reader sees the flushed bytes before close.
+        with Pager(path) as other:
+            assert other.read_page(page_id)[:7] == b"flushed"
+        pager.close()

@@ -1,0 +1,143 @@
+"""Tests for the binary value encoding and record framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, StorageError
+from repro.storage.serializer import (
+    decode_value,
+    encode_value,
+    pack_record,
+    unpack_record,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2**80, -(2**80), 3.25, -0.0,
+        "", "hello", "ünïcödé ↯", b"", b"\x00\xff" * 10,
+    ])
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_is_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_bytearray_encodes_as_bytes(self):
+        assert decode_value(encode_value(bytearray(b"xy"))) == b"xy"
+
+
+class TestContainers:
+    def test_list_round_trip(self):
+        value = [1, "two", b"three", None, [4, 5]]
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_round_trip_preserves_type(self):
+        value = (1, (2, 3))
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert isinstance(decoded, tuple)
+
+    def test_dict_round_trip(self):
+        value = {"a": 1, "b": {"c": [True, None]}, "d": b"raw"}
+        assert decode_value(encode_value(value)) == value
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(decode_value(encode_value(value))) == ["z", "a", "m"]
+
+    def test_deep_nesting(self):
+        value = [[[[["deep"]]]]]
+        assert decode_value(encode_value(value)) == value
+
+    def test_empty_containers(self):
+        for value in ([], (), {}):
+            assert decode_value(encode_value(value)) == value
+
+
+class TestErrors:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(StorageError):
+            encode_value(object())
+
+    def test_set_is_unsupported(self):
+        with pytest.raises(StorageError):
+            encode_value({1, 2})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            decode_value(encode_value(1) + b"junk")
+
+    def test_truncated_value_rejected(self):
+        encoded = encode_value("hello world")
+        with pytest.raises(StorageError):
+            decode_value(encoded[:-3])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError):
+            decode_value(b"Z")
+
+
+class TestRecordFraming:
+    def test_pack_unpack_round_trip(self):
+        payload = b"some payload bytes"
+        framed = pack_record(payload)
+        recovered, next_offset = unpack_record(framed)
+        assert recovered == payload
+        assert next_offset == len(framed)
+
+    def test_multiple_records_in_sequence(self):
+        blob = pack_record(b"one") + pack_record(b"two")
+        first, offset = unpack_record(blob)
+        second, end = unpack_record(blob, offset)
+        assert (first, second) == (b"one", b"two")
+        assert end == len(blob)
+
+    def test_checksum_corruption_detected(self):
+        framed = bytearray(pack_record(b"payload"))
+        framed[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            unpack_record(bytes(framed))
+
+    def test_truncated_header_detected(self):
+        with pytest.raises(StorageError):
+            unpack_record(b"\x01\x02")
+
+    def test_truncated_payload_detected(self):
+        framed = pack_record(b"a longer payload")
+        with pytest.raises(StorageError):
+            unpack_record(framed[:-4])
+
+    def test_empty_payload(self):
+        recovered, __ = unpack_record(pack_record(b""))
+        assert recovered == b""
+
+
+# ----------------------------------------------------------------------
+# property-based coverage
+
+encodable = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.floats(allow_nan=False) | st.text(max_size=30) |
+    st.binary(max_size=30),
+    lambda children: (
+        st.lists(children, max_size=5)
+        | st.dictionaries(st.text(max_size=8), children, max_size=5)),
+    max_leaves=20,
+)
+
+
+@given(value=encodable)
+@settings(max_examples=200)
+def test_property_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(payload=st.binary(max_size=200))
+@settings(max_examples=100)
+def test_property_record_framing(payload):
+    recovered, offset = unpack_record(pack_record(payload))
+    assert recovered == payload

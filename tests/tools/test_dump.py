@@ -1,0 +1,87 @@
+"""Tests for graph export/import."""
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.errors import GraphExistsError, StorageError
+from repro.tools.dump import dump_graph, import_graph, load_dump
+from repro.tools.verify import verify_store
+from repro.workloads.paper import build_paper_document
+
+
+@pytest.fixture
+def populated(ham):
+    build_paper_document(ham)
+    node, time = ham.add_node()
+    t2 = ham.modify_node(node=node, expected_time=time, contents=b"v1\n")
+    ham.modify_node(node=node, expected_time=t2, contents=b"v2\n")
+    return ham, node, t2
+
+
+class TestDumpLoad:
+    def test_round_trip_preserves_everything(self, populated, tmp_path):
+        ham, node, t2 = populated
+        dump_path = tmp_path / "graph.dump"
+        written = dump_graph(ham, dump_path)
+        assert written == dump_path.stat().st_size
+        store = load_dump(dump_path)
+        assert store.project_id == ham.project_id
+        assert set(store.nodes) == set(ham.store.nodes)
+        # Full version history came along.
+        assert store.node(node).contents_at(t2) == b"v1\n"
+        assert store.node(node).contents_at() == b"v2\n"
+        assert verify_store(store) == []
+
+    def test_corrupt_dump_rejected(self, populated, tmp_path):
+        ham, *__ = populated
+        dump_path = tmp_path / "graph.dump"
+        dump_graph(ham, dump_path)
+        data = bytearray(dump_path.read_bytes())
+        data[20] ^= 0xFF
+        dump_path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            load_dump(dump_path)
+
+    def test_non_dump_file_rejected(self, tmp_path):
+        from repro.storage.serializer import encode_value, pack_record
+        path = tmp_path / "other.bin"
+        path.write_bytes(pack_record(encode_value({"not": "a dump"})))
+        with pytest.raises(StorageError):
+            load_dump(path)
+
+
+class TestImport:
+    def test_imported_graph_opens_and_answers(self, populated, tmp_path):
+        ham, node, t2 = populated
+        dump_path = tmp_path / "graph.dump"
+        dump_graph(ham, dump_path)
+        project_id = import_graph(dump_path, tmp_path / "restored")
+        assert project_id == ham.project_id
+        with HAM.open_graph(project_id, tmp_path / "restored") as restored:
+            assert restored.open_node(node, time=t2)[0] == b"v1\n"
+            assert restored.open_node(node)[0] == b"v2\n"
+            # And it keeps working: new edits on the transplant.
+            current = restored.get_node_timestamp(node)
+            restored.modify_node(node=node, expected_time=current,
+                                 contents=b"v3 on the new host\n")
+
+    def test_import_refuses_to_overwrite(self, populated, tmp_path):
+        ham, *__ = populated
+        dump_path = tmp_path / "graph.dump"
+        dump_graph(ham, dump_path)
+        import_graph(dump_path, tmp_path / "restored")
+        with pytest.raises(GraphExistsError):
+            import_graph(dump_path, tmp_path / "restored")
+
+    def test_dump_of_live_persistent_graph(self, persistent_graph,
+                                           tmp_path):
+        project_id, directory = persistent_graph
+        with HAM.open_graph(project_id, directory) as ham:
+            node, time = ham.add_node()
+            ham.modify_node(node=node, expected_time=time,
+                            contents=b"live\n")
+            dump_graph(ham, tmp_path / "live.dump")
+        restored_id = import_graph(tmp_path / "live.dump",
+                                   tmp_path / "copy")
+        with HAM.open_graph(restored_id, tmp_path / "copy") as copy:
+            assert copy.open_node(node)[0] == b"live\n"

@@ -1,0 +1,67 @@
+"""Tests for graph statistics."""
+
+from repro import EventKind, HAM, LinkPt
+from repro.tools.stats import graph_stats
+
+
+class TestCounts:
+    def test_empty_graph(self, ham):
+        stats = graph_stats(ham)
+        assert stats.node_count == 0
+        assert stats.link_count == 0
+        assert stats.total_bytes == 0
+
+    def test_node_and_link_counts(self, two_linked_nodes):
+        ham, *__ = two_linked_nodes
+        stats = graph_stats(ham)
+        assert stats.node_count == stats.live_node_count == 2
+        assert stats.link_count == stats.live_link_count == 1
+
+    def test_deletions_split_live_from_total(self, two_linked_nodes):
+        ham, node_a, *__ = two_linked_nodes
+        ham.delete_node(node=node_a)
+        stats = graph_stats(ham)
+        assert stats.node_count == 2
+        assert stats.live_node_count == 1
+        assert stats.live_link_count == 0
+
+    def test_archive_vs_file_counts(self, ham):
+        ham.add_node(keep_history=True)
+        ham.add_node(keep_history=False)
+        stats = graph_stats(ham)
+        assert stats.archive_count == 1
+        assert stats.file_count == 1
+
+    def test_version_counts(self, ham):
+        node, time = ham.add_node()
+        t2 = ham.modify_node(node=node, expected_time=time, contents=b"a")
+        ham.modify_node(node=node, expected_time=t2, contents=b"b")
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="x")
+        stats = graph_stats(ham)
+        assert stats.content_version_count == 3  # created + two edits
+        assert stats.minor_version_count == 1
+        assert stats.attribute_count == 1
+
+    def test_history_bytes_grow_with_edits(self, ham):
+        node, time = ham.add_node()
+        t2 = ham.modify_node(node=node, expected_time=time,
+                             contents=b"line\n" * 50)
+        before = graph_stats(ham).history_bytes
+        ham.modify_node(node=node, expected_time=t2,
+                        contents=b"line\n" * 49 + b"edited\n")
+        after = graph_stats(ham).history_bytes
+        assert after > before
+
+    def test_demon_bindings_counted(self, ham):
+        node, __ = ham.add_node()
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE, demon="a")
+        ham.set_node_demon(node=node, event=EventKind.OPEN_NODE,
+                           demon="b")
+        assert graph_stats(ham).demon_binding_count == 2
+
+    def test_render_mentions_every_figure(self, two_linked_nodes):
+        ham, *__ = two_linked_nodes
+        text = graph_stats(ham).render()
+        assert "nodes (live/total)" in text
+        assert "history bytes" in text

@@ -1,0 +1,89 @@
+"""Tests for the integrity checker (fsck)."""
+
+import pytest
+
+from repro import HAM, LinkPt
+from repro.tools.verify import verify_graph
+from repro.workloads.generator import GraphShape, build_random_graph
+from repro.workloads.paper import build_paper_document
+
+
+class TestHealthyGraphs:
+    def test_empty_graph(self, ham):
+        assert verify_graph(ham) == []
+
+    def test_paper_document(self, ham):
+        build_paper_document(ham)
+        assert verify_graph(ham) == []
+
+    def test_random_graph_with_history(self):
+        ham = HAM.ephemeral()
+        build_random_graph(ham, GraphShape(nodes=30, extra_links=20))
+        # Mutate a bit: edits, deletions, demons.
+        nodes = ham.get_graph_query().node_indexes
+        for node in nodes[:5]:
+            current = ham.get_node_timestamp(node)
+            ham.modify_node(node=node, expected_time=current,
+                            contents=b"revised\n")
+        ham.delete_node(node=nodes[6])
+        assert verify_graph(ham) == []
+
+    def test_after_abort(self, two_linked_nodes):
+        ham, node_a, __, ___ = two_linked_nodes
+        txn = ham.begin()
+        ham.delete_node(txn, node=node_a)
+        txn.abort()
+        assert verify_graph(ham) == []
+
+    def test_after_recovery(self, persistent_graph):
+        project_id, directory = persistent_graph
+        ham = HAM.open_graph(project_id, directory)
+        a, ta = ham.add_node()
+        b, __ = ham.add_node()
+        ham.modify_node(node=a, expected_time=ta, contents=b"x\n")
+        ham.add_link(from_pt=LinkPt(a), to_pt=LinkPt(b))
+        ham._log.close()
+        ham._closed = True  # crash
+        recovered = HAM.open_graph(project_id, directory)
+        assert verify_graph(recovered) == []
+
+
+class TestCorruptionDetection:
+    def test_asymmetric_link_detected(self, two_linked_nodes):
+        ham, node_a, __, link = two_linked_nodes
+        ham.store.nodes[node_a].out_links.discard(link)
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "asymmetric-link" in kinds
+
+    def test_phantom_link_detected(self, ham):
+        node, __ = ham.add_node()
+        ham.store.nodes[node].out_links.add(999)
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "phantom-link" in kinds
+
+    def test_dangling_endpoint_detected(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        del ham.store.nodes[node_b]
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "dangling-endpoint" in kinds
+
+    def test_live_link_to_dead_node_detected(self, two_linked_nodes):
+        ham, node_a, __, link = two_linked_nodes
+        # Tombstone the node behind the HAM's back (no cascade).
+        ham.store.nodes[node_a].deleted_at = ham.now
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "live-link-dead-node" in kinds
+
+    def test_tombstone_before_birth_detected(self, ham):
+        node, __ = ham.add_node()
+        record = ham.store.nodes[node]
+        record.deleted_at = record.created_at - 1
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "tombstone-before-birth" in kinds
+
+    def test_future_time_detected(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x")
+        ham.store.clock._now = 1  # wind the clock back illegally
+        kinds = {violation.kind for violation in verify_graph(ham)}
+        assert "time-from-the-future" in kinds

@@ -1,0 +1,197 @@
+"""Tests for the lock manager: modes, upgrades, deadlock, timeout."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.txn.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def locks():
+    return LockManager(timeout=2.0)
+
+
+class TestBasicModes:
+    def test_exclusive_acquire_release(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.holds(1, "r", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        assert not locks.holds(1, "r")
+
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        assert locks.holds(1, "r") and locks.holds(2, "r")
+
+    def test_exclusive_blocks_second_writer(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+        acquired = threading.Event()
+
+        def second():
+            blocked.set()
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=second, daemon=True)
+        thread.start()
+        blocked.wait()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all(1)
+        assert acquired.wait(timeout=2)
+
+    def test_shared_blocks_writer(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        acquired = threading.Event()
+
+        def writer():
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all(1)
+        assert acquired.wait(timeout=2)
+
+    def test_reacquire_same_mode_is_noop(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.SHARED)
+        assert locks.holds(1, "r", LockMode.SHARED)
+
+    def test_exclusive_subsumes_shared(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(1, "r", LockMode.SHARED)  # no downgrade
+        assert locks.holds(1, "r", LockMode.EXCLUSIVE)
+
+
+class TestUpgrade:
+    def test_sole_shared_holder_upgrades(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.holds(1, "r", LockMode.EXCLUSIVE)
+
+    def test_upgrade_waits_for_other_readers(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        upgraded = threading.Event()
+
+        def upgrader():
+            locks.acquire(1, "r", LockMode.EXCLUSIVE)
+            upgraded.set()
+
+        thread = threading.Thread(target=upgrader, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not upgraded.is_set()
+        locks.release_all(2)
+        assert upgraded.wait(timeout=2)
+
+
+class TestDeadlock:
+    def test_two_transaction_cycle_detected(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        results = {}
+
+        def txn1():
+            try:
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+                results[1] = "ok"
+            except (DeadlockError, LockTimeoutError) as exc:
+                results[1] = type(exc).__name__
+            finally:
+                locks.release_all(1)
+
+        def txn2():
+            try:
+                time.sleep(0.1)
+                locks.acquire(2, "a", LockMode.EXCLUSIVE)
+                results[2] = "ok"
+            except (DeadlockError, LockTimeoutError) as exc:
+                results[2] = type(exc).__name__
+            finally:
+                locks.release_all(2)
+
+        threads = [threading.Thread(target=txn1),
+                   threading.Thread(target=txn2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        # One of them must have been told to back off; the other wins.
+        assert "DeadlockError" in results.values()
+        assert "ok" in results.values()
+
+    def test_upgrade_deadlock_detected(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        results = {}
+
+        def upgrade(txn_id):
+            try:
+                locks.acquire(txn_id, "r", LockMode.EXCLUSIVE)
+                results[txn_id] = "ok"
+            except (DeadlockError, LockTimeoutError) as exc:
+                results[txn_id] = type(exc).__name__
+                locks.release_all(txn_id)
+
+        threads = [threading.Thread(target=upgrade, args=(1,)),
+                   threading.Thread(target=upgrade, args=(2,))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert "DeadlockError" in results.values() or \
+            "LockTimeoutError" in results.values()
+        assert "ok" in results.values()
+
+
+class TestTimeout:
+    def test_timeout_raises(self):
+        locks = LockManager(timeout=0.2)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+
+    def test_release_all_is_idempotent(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        locks.release_all(1)
+
+
+class TestFairness:
+    def test_waiting_writer_blocks_new_readers(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        writer_waiting = threading.Event()
+        writer_done = threading.Event()
+        reader_done = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            writer_done.set()
+            locks.release_all(2)
+
+        def late_reader():
+            writer_waiting.wait()
+            time.sleep(0.05)  # ensure the writer is queued
+            locks.acquire(3, "r", LockMode.SHARED)
+            reader_done.set()
+            locks.release_all(3)
+
+        threads = [threading.Thread(target=writer, daemon=True),
+                   threading.Thread(target=late_reader, daemon=True)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)
+        # The late reader must not sneak past the queued writer.
+        assert not reader_done.is_set()
+        locks.release_all(1)
+        assert writer_done.wait(timeout=2)
+        assert reader_done.wait(timeout=2)

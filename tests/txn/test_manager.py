@@ -1,0 +1,130 @@
+"""Tests for the transaction manager and its log discipline."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage.log import LogRecordKind, WriteAheadLog
+from repro.txn.manager import TransactionManager, TxnStatus
+
+
+@pytest.fixture
+def manager(tmp_path):
+    log = WriteAheadLog(tmp_path / "wal.log")
+    yield TransactionManager(log, synchronous=False)
+    log.close()
+
+
+def record_kinds(manager):
+    return [record.kind for record in manager.log.scan()]
+
+
+class TestLifecycle:
+    def test_begin_assigns_increasing_ids(self, manager):
+        first = manager.begin()
+        second = manager.begin()
+        assert second.txn_id > first.txn_id
+
+    def test_commit_writes_begin_then_commit(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        assert record_kinds(manager) == [
+            LogRecordKind.BEGIN, LogRecordKind.COMMIT]
+
+    def test_abort_writes_abort_record(self, manager):
+        txn = manager.begin()
+        txn.abort()
+        assert record_kinds(manager) == [
+            LogRecordKind.BEGIN, LogRecordKind.ABORT]
+
+    def test_update_records_carry_operation(self, manager):
+        txn = manager.begin()
+        txn.log_update("add_node", {"index": 1}, undo=lambda: None)
+        txn.commit()
+        records = list(manager.log.scan())
+        assert records[1].kind is LogRecordKind.UPDATE
+        assert records[1].payload == {
+            "op": "add_node", "args": {"index": 1}}
+
+    def test_double_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_commit_after_abort_rejected(self, manager):
+        txn = manager.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_active_count_tracks_in_flight(self, manager):
+        assert manager.active_count == 0
+        txn = manager.begin()
+        assert manager.active_count == 1
+        txn.commit()
+        assert manager.active_count == 0
+
+
+class TestUndo:
+    def test_abort_runs_undo_in_reverse_order(self, manager):
+        order = []
+        txn = manager.begin()
+        txn.log_update("op1", {}, undo=lambda: order.append(1))
+        txn.log_update("op2", {}, undo=lambda: order.append(2))
+        txn.abort()
+        assert order == [2, 1]
+
+    def test_commit_skips_undo(self, manager):
+        order = []
+        txn = manager.begin()
+        txn.log_update("op", {}, undo=lambda: order.append(1))
+        txn.commit()
+        assert order == []
+
+
+class TestContextManager:
+    def test_commits_on_clean_exit(self, manager):
+        with manager.begin() as txn:
+            pass
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_aborts_on_exception(self, manager):
+        with pytest.raises(ValueError):
+            with manager.begin() as txn:
+                raise ValueError("boom")
+        assert txn.status is TxnStatus.ABORTED
+
+    def test_respects_explicit_finish(self, manager):
+        with manager.begin() as txn:
+            txn.abort()
+        assert txn.status is TxnStatus.ABORTED
+
+
+class TestReadOnly:
+    def test_read_only_writes_no_log_records(self, manager):
+        txn = manager.begin(read_only=True)
+        txn.commit()
+        assert record_kinds(manager) == []
+
+    def test_read_only_rejects_updates(self, manager):
+        txn = manager.begin(read_only=True)
+        with pytest.raises(TransactionError):
+            txn.log_update("op", {}, undo=lambda: None)
+        txn.abort()
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_and_marks(self, manager):
+        txn = manager.begin()
+        txn.log_update("op", {}, undo=lambda: None)
+        txn.commit()
+        manager.checkpoint(snapshot_marker=42)
+        records = list(manager.log.scan())
+        assert [r.kind for r in records] == [LogRecordKind.CHECKPOINT]
+        assert records[0].payload == 42
+
+    def test_checkpoint_with_active_txn_rejected(self, manager):
+        txn = manager.begin()
+        with pytest.raises(TransactionError):
+            manager.checkpoint()
+        txn.abort()

@@ -1,0 +1,87 @@
+"""Tests for the log-replay recovery scanner."""
+
+import pytest
+
+from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
+from repro.txn.recovery import replay_log
+
+
+@pytest.fixture
+def log(tmp_path):
+    with WriteAheadLog(tmp_path / "wal.log") as log:
+        yield log
+
+
+def update(log, txn_id, op, **args):
+    log.append(LogRecord(LogRecordKind.UPDATE, txn_id,
+                         {"op": op, "args": args}))
+
+
+class TestReplay:
+    def test_committed_updates_returned_in_order(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        update(log, 1, "first", index=1)
+        update(log, 1, "second", index=2)
+        log.append(LogRecord(LogRecordKind.COMMIT, 1))
+        state = replay_log(log)
+        assert [(op, args["index"]) for __, op, args in state.updates] == [
+            ("first", 1), ("second", 2)]
+        assert state.committed_txns == {1}
+
+    def test_uncommitted_updates_discarded(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        update(log, 1, "never_committed")
+        state = replay_log(log)
+        assert state.updates == []
+        assert state.loser_txns == {1}
+
+    def test_aborted_updates_discarded(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        update(log, 1, "rolled_back")
+        log.append(LogRecord(LogRecordKind.ABORT, 1))
+        state = replay_log(log)
+        assert state.updates == []
+        assert 1 in state.aborted_txns
+        assert 1 in state.loser_txns
+
+    def test_interleaved_transactions_ordered_by_commit(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        log.append(LogRecord(LogRecordKind.BEGIN, 2))
+        update(log, 1, "from_one")
+        update(log, 2, "from_two")
+        log.append(LogRecord(LogRecordKind.COMMIT, 2))
+        log.append(LogRecord(LogRecordKind.COMMIT, 1))
+        state = replay_log(log)
+        assert [op for __, op, ___ in state.updates] == [
+            "from_two", "from_one"]
+
+    def test_mixed_winners_and_losers(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        log.append(LogRecord(LogRecordKind.BEGIN, 2))
+        log.append(LogRecord(LogRecordKind.BEGIN, 3))
+        update(log, 1, "win")
+        update(log, 2, "abort_me")
+        update(log, 3, "crash_me")
+        log.append(LogRecord(LogRecordKind.COMMIT, 1))
+        log.append(LogRecord(LogRecordKind.ABORT, 2))
+        state = replay_log(log)
+        assert [op for __, op, ___ in state.updates] == ["win"]
+        assert state.loser_txns == {2, 3}
+
+    def test_checkpoint_resets_earlier_records(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        update(log, 1, "pre_checkpoint")
+        log.append(LogRecord(LogRecordKind.COMMIT, 1))
+        log.append(LogRecord(LogRecordKind.CHECKPOINT, 0, payload=7))
+        log.append(LogRecord(LogRecordKind.BEGIN, 2))
+        update(log, 2, "post_checkpoint")
+        log.append(LogRecord(LogRecordKind.COMMIT, 2))
+        state = replay_log(log)
+        assert [op for __, op, ___ in state.updates] == ["post_checkpoint"]
+        assert state.saw_checkpoint
+        assert state.checkpoint_marker == 7
+
+    def test_empty_log(self, log):
+        state = replay_log(log)
+        assert state.updates == []
+        assert not state.saw_checkpoint

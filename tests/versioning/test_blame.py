@@ -1,0 +1,102 @@
+"""Tests for per-line provenance over version histories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HAM
+from repro.errors import VersionError
+from repro.versioning.blame import blame, render_blame
+
+
+@pytest.fixture
+def authored(ham):
+    """Three check-ins, each touching known lines."""
+    node, time = ham.add_node()
+    t1 = ham.modify_node(node=node, expected_time=time,
+                         contents=b"alpha\nbeta\ngamma\n",
+                         explanation="first draft")
+    t2 = ham.modify_node(node=node, expected_time=t1,
+                         contents=b"alpha\nBETA!\ngamma\ndelta\n",
+                         explanation="revise beta, add delta")
+    t3 = ham.modify_node(node=node, expected_time=t2,
+                         contents=b"alpha\nBETA!\ndelta\n",
+                         explanation="drop gamma")
+    return ham, node, (t1, t2, t3)
+
+
+class TestBlame:
+    def test_lines_attributed_to_their_check_ins(self, authored):
+        ham, node, (t1, t2, t3) = authored
+        rows = blame(ham, node)
+        by_text = {row.line: row.introduced_at for row in rows}
+        assert by_text[b"alpha\n"] == t1      # untouched since the start
+        assert by_text[b"BETA!\n"] == t2      # rewritten in v2
+        assert by_text[b"delta\n"] == t2      # added in v2
+
+    def test_blame_carries_explanations(self, authored):
+        ham, node, (t1, t2, __) = authored
+        rows = blame(ham, node)
+        explanations = {row.line: row.explanation for row in rows}
+        assert explanations[b"alpha\n"] == "first draft"
+        assert explanations[b"delta\n"] == "revise beta, add delta"
+
+    def test_blame_as_of_earlier_version(self, authored):
+        ham, node, (t1, t2, t3) = authored
+        rows = blame(ham, node, time=t2)
+        assert [row.line for row in rows] == [
+            b"alpha\n", b"BETA!\n", b"gamma\n", b"delta\n"]
+        by_text = {row.line: row.introduced_at for row in rows}
+        assert by_text[b"gamma\n"] == t1
+
+    def test_blame_before_first_version_raises(self, authored):
+        ham, node, __ = authored
+        # The node's creation version (empty) is the first version; its
+        # creation time is blameable, anything earlier is not.
+        created = ham.store.node(node).created_at
+        with pytest.raises(VersionError):
+            blame(ham, node, time=created - 1)
+
+    def test_empty_node_blames_to_nothing(self, ham):
+        node, __ = ham.add_node()
+        assert blame(ham, node) == []
+
+    def test_render_includes_times_and_text(self, authored):
+        ham, node, (t1, t2, __) = authored
+        text = render_blame(ham, node)
+        assert f"t={t1}" in text or f"t= {t1}" in text.replace("  ", " ")
+        assert "BETA!" in text
+        assert "first draft" in text
+
+    def test_reintroduced_line_counts_as_new(self, ham):
+        node, time = ham.add_node()
+        t1 = ham.modify_node(node=node, expected_time=time,
+                             contents=b"keep\ngone\n")
+        t2 = ham.modify_node(node=node, expected_time=t1,
+                             contents=b"keep\n")
+        t3 = ham.modify_node(node=node, expected_time=t2,
+                             contents=b"keep\ngone\n")
+        rows = blame(ham, node)
+        by_text = {row.line: row.introduced_at for row in rows}
+        assert by_text[b"gone\n"] == t3
+
+
+@given(edits=st.lists(st.integers(0, 9), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_property_blame_covers_every_line_with_valid_times(edits):
+    ham = HAM.ephemeral()
+    node, time = ham.add_node()
+    lines = [f"line{n}\n".encode() for n in range(5)]
+    times = [ham.modify_node(node=node, expected_time=time,
+                             contents=b"".join(lines))]
+    for step, target in enumerate(edits):
+        target %= len(lines)
+        lines[target] = f"edit{step}-{target}\n".encode()
+        times.append(ham.modify_node(
+            node=node, expected_time=times[-1],
+            contents=b"".join(lines)))
+    rows = blame(ham, node)
+    assert b"".join(row.line for row in rows) == b"".join(lines)
+    valid_times = set(times) | {ham.store.node(node).created_at}
+    for row in rows:
+        assert row.introduced_at in valid_times

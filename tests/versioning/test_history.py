@@ -1,0 +1,45 @@
+"""Tests for the cross-cutting version-history views."""
+
+from repro.versioning.history import (
+    graph_version_times,
+    node_history,
+)
+
+
+class TestNodeHistory:
+    def test_interleaves_major_and_minor(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x",
+                        explanation="first edit")
+        attr = ham.get_attribute_index("status")
+        ham.set_node_attribute_value(node=node, attribute=attr, value="ok")
+        history = node_history(ham, node)
+        times = [version.time for version, __ in history.entries]
+        assert times == sorted(times)
+        assert len(history.major) == 2
+        assert len(history.minor) == 1
+
+    def test_render_lists_every_event(self, ham):
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x",
+                        explanation="the big edit")
+        text = node_history(ham, node).render()
+        assert "the big edit" in text
+        assert f"history of node {node}" in text
+
+
+class TestGraphVersionTimes:
+    def test_collects_all_change_times(self, two_linked_nodes):
+        ham, node_a, node_b, link = two_linked_nodes
+        times = graph_version_times(ham)
+        assert times == sorted(times)
+        # Node creations, both content versions, and the link creation
+        # must all appear.
+        assert ham.store.node(node_a).created_at in times
+        assert ham.store.link(link).created_at in times
+        assert ham.get_node_timestamp(node_a) in times
+
+    def test_deletion_time_included(self, ham):
+        node, __ = ham.add_node()
+        ham.delete_node(node=node)
+        assert ham.store.node(node).deleted_at in graph_version_times(ham)

@@ -1,0 +1,82 @@
+"""Tests for the generic Timeline data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VersionError
+from repro.versioning.timeline import Timeline
+
+
+class TestAppendAt:
+    def test_as_of_reads(self):
+        timeline = Timeline()
+        timeline.append(5, "a")
+        timeline.append(10, "b")
+        assert timeline.at(5) == "a"
+        assert timeline.at(7) == "a"
+        assert timeline.at(10) == "b"
+        assert timeline.at() == "b"
+
+    def test_time_at(self):
+        timeline = Timeline()
+        timeline.append(5, "a")
+        timeline.append(10, "b")
+        assert timeline.time_at(7) == 5
+        assert timeline.time_at() == 10
+
+    def test_before_first_entry_raises(self):
+        timeline = Timeline()
+        timeline.append(5, "a")
+        with pytest.raises(VersionError):
+            timeline.at(4)
+
+    def test_empty_timeline_raises(self):
+        with pytest.raises(VersionError):
+            Timeline().at()
+        with pytest.raises(VersionError):
+            Timeline().latest_time
+
+    def test_non_advancing_time_rejected(self):
+        timeline = Timeline()
+        timeline.append(5, "a")
+        with pytest.raises(VersionError):
+            timeline.append(5, "b")
+        with pytest.raises(VersionError):
+            timeline.append(4, "b")
+
+    def test_non_positive_time_rejected(self):
+        with pytest.raises(VersionError):
+            Timeline().append(0, "a")
+
+    def test_pop(self):
+        timeline = Timeline()
+        timeline.append(1, "a")
+        timeline.append(2, "b")
+        assert timeline.pop() == (2, "b")
+        assert timeline.at() == "a"
+        timeline.pop()
+        with pytest.raises(VersionError):
+            timeline.pop()
+
+    def test_iteration_and_len(self):
+        timeline = Timeline()
+        timeline.append(1, "a")
+        timeline.append(3, "b")
+        assert list(timeline) == [(1, "a"), (3, "b")]
+        assert len(timeline) == 2
+        assert bool(timeline)
+        assert timeline.times() == [1, 3]
+
+
+@given(times=st.lists(st.integers(1, 1000), min_size=1, max_size=30,
+                      unique=True))
+@settings(max_examples=100)
+def test_property_at_returns_latest_entry_not_after(times):
+    times = sorted(times)
+    timeline = Timeline()
+    for time in times:
+        timeline.append(time, f"v{time}")
+    for probe in range(times[0], times[-1] + 2):
+        expected = max(t for t in times if t <= probe)
+        assert timeline.at(probe) == f"v{expected}"

@@ -1,0 +1,35 @@
+"""Tests for the mixed-session workload driver."""
+
+from repro import HAM
+from repro.tools.verify import verify_graph
+from repro.workloads.session import SessionMix, run_session
+
+
+class TestSession:
+    def test_completes_requested_operations(self, ham):
+        report = run_session(ham, SessionMix(operations=60))
+        assert report.total == 60
+
+    def test_deterministic_mix_given_seed(self):
+        first = run_session(HAM.ephemeral(), SessionMix(operations=80,
+                                                        seed=5))
+        second = run_session(HAM.ephemeral(), SessionMix(operations=80,
+                                                         seed=5))
+        assert first.counts == second.counts
+
+    def test_all_operation_classes_exercised(self, ham):
+        report = run_session(ham, SessionMix(operations=300))
+        assert all(count > 0 for count in report.counts.values())
+
+    def test_graph_stays_healthy_after_session(self, ham):
+        run_session(ham, SessionMix(operations=150))
+        assert verify_graph(ham) == []
+
+    def test_session_over_remote_ham(self):
+        from repro.server import HAMServer, RemoteHAM
+        ham = HAM.ephemeral()
+        with HAMServer(ham) as server:
+            with RemoteHAM(*server.address) as client:
+                report = run_session(client, SessionMix(operations=40))
+        assert report.total == 40
+        assert verify_graph(ham) == []

@@ -1,0 +1,132 @@
+"""Tests for the synthetic workload generators."""
+
+from repro import HAM
+from repro.workloads import (
+    DocumentShape,
+    EditTrace,
+    GraphShape,
+    ProjectShape,
+    build_case_project,
+    build_hierarchical_document,
+    build_paper_document,
+    build_random_graph,
+    generate_versions,
+)
+from repro.workloads.paper import PAPER_SECTIONS
+
+
+class TestHierarchicalDocument:
+    def test_section_count_matches_shape(self):
+        shape = DocumentShape(depth=2, fanout=3)
+        assert shape.section_count == 1 + 3 + 9
+        ham = HAM.ephemeral()
+        __, nodes = build_hierarchical_document(ham, shape)
+        assert len(nodes) == shape.section_count
+
+    def test_structure_is_a_tree(self):
+        ham = HAM.ephemeral()
+        document, nodes = build_hierarchical_document(
+            ham, DocumentShape(depth=2, fanout=2))
+        result = ham.linearize_graph(
+            document.root, link_predicate="relation = isPartOf")
+        assert set(result.node_indexes) == set(nodes)
+        assert len(result.link_indexes) == len(nodes) - 1
+
+    def test_deterministic_given_seed(self):
+        first = HAM.ephemeral()
+        second = HAM.ephemeral()
+        build_hierarchical_document(first, DocumentShape(seed=3))
+        build_hierarchical_document(second, DocumentShape(seed=3))
+        for index in first.store.nodes:
+            assert first.store.node(index).contents_at() == \
+                second.store.node(index).contents_at()
+
+
+class TestRandomGraph:
+    def test_node_and_attribute_counts(self):
+        ham = HAM.ephemeral()
+        shape = GraphShape(nodes=25, extra_links=10)
+        nodes = build_random_graph(ham, shape)
+        assert len(nodes) == 25
+        for node in nodes:
+            attrs = ham.get_node_attributes(node)
+            assert {name for name, __, ___ in attrs} == \
+                set(shape.attributes)
+
+    def test_link_count(self):
+        ham = HAM.ephemeral()
+        shape = GraphShape(nodes=20, extra_links=15)
+        build_random_graph(ham, shape)
+        # spanning chain (nodes-1) + extra links
+        assert len(ham.store.links) == 19 + 15
+
+    def test_attribute_values_within_cardinality(self):
+        ham = HAM.ephemeral()
+        shape = GraphShape(nodes=30, values_per_attribute=3)
+        build_random_graph(ham, shape)
+        attr = ham.get_attribute_index("document")
+        values = ham.get_attribute_values(attr)
+        assert set(values) <= {"value0", "value1", "value2"}
+
+
+class TestEditTrace:
+    def test_version_count(self):
+        versions = generate_versions(EditTrace(versions=15))
+        assert len(versions) == 16
+
+    def test_edits_are_local(self):
+        trace = EditTrace(initial_lines=50, versions=5,
+                          edits_per_version=2)
+        versions = generate_versions(trace)
+        for old, new in zip(versions, versions[1:]):
+            old_lines = old.splitlines()
+            new_lines = new.splitlines()
+            assert abs(len(new_lines) - len(old_lines)) <= 2
+
+    def test_deterministic(self):
+        assert generate_versions(EditTrace(seed=9)) == \
+            generate_versions(EditTrace(seed=9))
+
+    def test_different_seeds_differ(self):
+        assert generate_versions(EditTrace(seed=1)) != \
+            generate_versions(EditTrace(seed=2))
+
+
+class TestCaseProject:
+    def test_shape_respected(self):
+        ham = HAM.ephemeral()
+        shape = ProjectShape(modules=4, procedures_per_module=3)
+        case, modules, procedures = build_case_project(ham, shape)
+        assert len(modules) == 4
+        assert all(len(procs) == 3 for procs in procedures.values())
+
+    def test_procedures_discoverable_through_case_app(self):
+        ham = HAM.ephemeral()
+        case, modules, procedures = build_case_project(
+            ham, ProjectShape(modules=2, procedures_per_module=2))
+        for module in modules:
+            assert case.procedures(module.node) == \
+                procedures[module.node]
+
+
+class TestPaperDocument:
+    def test_every_section_present(self):
+        ham = HAM.ephemeral()
+        document, by_title = build_paper_document(ham)
+        assert set(by_title) == {title for __, title, ___ in PAPER_SECTIONS}
+
+    def test_depths_match_the_papers_outline(self):
+        from repro.apps.documents import DocumentApplication
+        ham = HAM.ephemeral()
+        document, by_title = build_paper_document(ham)
+        app = DocumentApplication(ham)
+        outline = {node: depth for depth, node, __ in app.outline(document)}
+        for depth, title, __ in PAPER_SECTIONS:
+            assert outline[by_title[title]] == depth
+
+    def test_annotation_and_reference_exist(self):
+        from repro.apps.documents import DocumentApplication
+        ham = HAM.ephemeral()
+        document, by_title = build_paper_document(ham)
+        app = DocumentApplication(ham)
+        assert app.annotations(by_title["Introduction"])
