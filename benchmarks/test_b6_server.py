@@ -125,3 +125,48 @@ def test_b6_write_throughput_vs_sessions(benchmark, served):
            "(disjoint nodes)", lines)
     single = rows[0][1]
     assert all(throughput > single * 0.4 for __, throughput in rows)
+
+
+@pytest.mark.benchmark(group="B6 batching")
+def test_b6_batched_vs_unbatched(benchmark, served):
+    """call_batch amortizes the round trip: N attribute writes as N
+    RPCs vs as one batched message.  The win is the wire floor
+    (test_b6_remote_ping) times N-1, so batched ops/s should be a
+    multiple of unbatched ops/s even over loopback."""
+    __, ___, client, node = served
+    ops = 50
+    attribute = client.get_attribute_index("b6-batch")
+
+    def unbatched():
+        for sequence in range(ops):
+            client.set_node_attribute_value(
+                node=node, attribute=attribute, value=f"u{sequence}")
+
+    def batched():
+        with client.batch() as batch:
+            for sequence in range(ops):
+                batch.set_node_attribute_value(
+                    node=node, attribute=attribute, value=f"b{sequence}")
+
+    def measure():
+        results = []
+        for label, run in (("unbatched", unbatched), ("batched", batched)):
+            run()  # warm
+            start = clock.perf_counter()
+            run()
+            elapsed = clock.perf_counter() - start
+            results.append((label, ops / elapsed))
+        return results
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'mode':>11}  {'ops/s':>10}"]
+    for label, throughput in rows:
+        lines.append(f"{label:>11}  {throughput:>10.0f}")
+    rates = dict(rows)
+    lines.append(f"{'speedup':>11}  "
+                 f"{rates['batched'] / rates['unbatched']:>9.1f}x")
+    report(f"B6  batched vs unbatched RPC ({ops} attribute writes)",
+           lines)
+
+    # Shape: one round trip for N operations must beat N round trips.
+    assert rates["batched"] > rates["unbatched"]

@@ -32,6 +32,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.demons import DemonEvent, DemonRegistry, EventKind
 from repro.core.graph import GraphDirectory, GraphStore
+from repro.core.operations import MiddlewareChain, install_local_dispatch
 from repro.core.link import LinkEnd, LinkRecord
 from repro.core.node import NodeRecord
 from repro.core.types import (
@@ -255,6 +256,12 @@ class HAM:
         self._txns = TransactionManager(log, LockManager(),
                                         synchronous=synchronous)
         self.demons = demons if demons is not None else DemonRegistry()
+        #: Interceptors around every Appendix operation (see
+        #: :mod:`repro.core.operations`).  Empty by default, which keeps
+        #: dispatch on the unwrapped fast path; add e.g. an
+        #: :class:`repro.tools.metrics.OperationMetrics` to observe
+        #: per-operation counts and latency.
+        self.middleware = MiddlewareChain()
         self._closed = False
         self._state_lock = threading.RLock()
         self._index: AttributeValueIndex | None = (
@@ -1077,3 +1084,9 @@ class HAM:
     getGraphDemons = get_graph_demons
     setNodeDemon = set_node_demon
     getNodeDemons = get_node_demons
+
+
+# Route every Appendix operation (snake_case and camelCase alias alike)
+# through the instance's middleware chain.  With an empty chain the
+# wrappers fall straight through to the implementation.
+install_local_dispatch(HAM)

@@ -13,16 +13,26 @@ network" (§4.1).
   their transactions aborted (the paper's "site crashes in the middle of
   a hypertext transaction" case).
 - :mod:`repro.server.client` — :class:`RemoteHAM`: the same API as
-  :class:`repro.core.ham.HAM`, executed remotely.
+  :class:`repro.core.ham.HAM`, executed remotely, with
+  :class:`RemoteBatch` queueing many operations into one round trip.
+
+Both dispatchers (server table and client stubs) are derived from the
+declarative operation registry in :mod:`repro.core.operations`.
 """
 
 from repro.server.protocol import (
     read_message,
     write_message,
     MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
 )
 from repro.server.server import HAMServer
-from repro.server.client import RemoteHAM, RemoteTransaction
+from repro.server.client import (
+    BatchFuture,
+    RemoteBatch,
+    RemoteHAM,
+    RemoteTransaction,
+)
 from repro.server.host import GraphHost
 
 __all__ = [
@@ -30,7 +40,10 @@ __all__ = [
     "read_message",
     "write_message",
     "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
     "HAMServer",
     "RemoteHAM",
+    "RemoteBatch",
+    "BatchFuture",
     "RemoteTransaction",
 ]

@@ -1,13 +1,27 @@
 """RemoteHAM: the HAM API executed on a central server.
 
 A :class:`RemoteHAM` mirrors every operation of
-:class:`repro.core.ham.HAM`, marshalling arguments over the wire protocol
-and re-raising server-side errors as matching local exception types when
-one exists (otherwise :class:`repro.errors.RemoteError`).
+:class:`repro.core.ham.HAM`.  The operation stubs are *generated* from
+:data:`repro.core.operations.REGISTRY` — each stub binds its declared
+signature, applies the declared argument codecs, performs one RPC, and
+decodes the result with the declared result codec; there is no
+hand-written marshalling code per operation.  Server-side errors
+re-raise as matching local exception types when one exists (otherwise
+:class:`repro.errors.RemoteError`).
 
 Transactions are mirrored by :class:`RemoteTransaction`: ``begin`` opens
 one on the server, ``commit``/``abort`` finish it, and the server aborts
 anything left open if the connection dies.
+
+Batching: ``with client.batch() as b:`` queues operations client-side
+(each call returns a :class:`BatchFuture`) and flushes them all in one
+``call_batch`` round trip on exit — the cure for RPC-per-operation
+latency when a workstation replays many independent updates.
+
+Like the local HAM, a client has a ``middleware`` chain
+(:class:`repro.core.operations.MiddlewareChain`); add a
+:class:`repro.tools.metrics.OperationMetrics` to observe per-operation
+counts and latency of the RPC session.
 """
 
 from __future__ import annotations
@@ -17,24 +31,18 @@ import socket
 import threading
 
 from repro import errors
-from repro.core.demons import EventKind
-from repro.core.types import (
-    CURRENT,
-    AttributeIndex,
-    LinkIndex,
-    LinkPt,
-    NodeIndex,
-    Protections,
-    Time,
-    Version,
+from repro.core.operations import (
+    PROTOCOL_VERSION,
+    MiddlewareChain,
+    Operation,
+    REGISTRY,
+    make_client_stub,
 )
+from repro.core.types import Time
 from repro.errors import ProtocolError, RemoteError
-from repro.query.graph_query import QueryResult
-from repro.query.traversal import TraversalResult
 from repro.server.protocol import read_message, write_message
-from repro.storage.deltas import decode_script
 
-__all__ = ["RemoteHAM", "RemoteTransaction"]
+__all__ = ["RemoteHAM", "RemoteTransaction", "RemoteBatch", "BatchFuture"]
 
 
 def _raise_remote(error: dict) -> None:
@@ -78,6 +86,104 @@ class RemoteTransaction:
             self.abort()
 
 
+class BatchFuture:
+    """The eventual result of one queued batch entry.
+
+    Resolved when the owning :class:`RemoteBatch` flushes; ``result()``
+    returns the decoded value or re-raises the entry's server-side
+    error, exactly as the unbatched call would have.
+    """
+
+    _PENDING = object()
+
+    __slots__ = ("operation", "_value", "_error")
+
+    def __init__(self, operation: Operation):
+        self.operation = operation
+        self._value = self._PENDING
+        self._error: dict | None = None
+
+    def done(self) -> bool:
+        return self._value is not self._PENDING or self._error is not None
+
+    def result(self):
+        if self._error is not None:
+            _raise_remote(self._error)
+        if self._value is self._PENDING:
+            raise ProtocolError(
+                f"{self.operation.name}: batch not flushed yet")
+        return self._value
+
+    def _resolve(self, value) -> None:
+        self._value = value
+
+    def _fail(self, error: dict) -> None:
+        self._error = error
+
+
+class RemoteBatch:
+    """Queues registry operations; one ``call_batch`` flush sends all.
+
+    Exposes the same generated operation stubs as :class:`RemoteHAM`,
+    but each call queues the encoded request and returns a
+    :class:`BatchFuture` instead of performing a round trip.  Exiting
+    the ``with`` block flushes (unless the block raised, in which case
+    the queue is discarded).  Entries execute server-side in queue
+    order with per-entry error reporting — one failure does not abort
+    the rest.
+    """
+
+    def __init__(self, client: "RemoteHAM"):
+        self._client = client
+        self._queue: list[tuple[Operation, dict, BatchFuture]] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _enqueue(self, operation: Operation, wire_params: dict,
+                 ) -> BatchFuture:
+        future = BatchFuture(operation)
+        self._queue.append((operation, wire_params, future))
+        return future
+
+    def flush(self) -> list[BatchFuture]:
+        """Send every queued call in one round trip; resolve futures."""
+        if not self._queue:
+            return []
+        queued, self._queue = self._queue, []
+        calls = [[operation.name, wire_params]
+                 for operation, wire_params, __ in queued]
+        chain = self._client.middleware
+        if not chain:
+            entries = self._client._call("call_batch", calls=calls)
+        else:
+            entries = chain.run(
+                "call_batch",
+                lambda: self._client._call("call_batch", calls=calls))
+        if not isinstance(entries, (list, tuple)) \
+                or len(entries) != len(queued):
+            raise ProtocolError(
+                "call_batch returned a malformed result list")
+        futures = []
+        for (operation, __, future), entry in zip(queued, entries):
+            ok, payload = entry
+            if ok:
+                future._resolve(operation.result.from_wire(payload))
+            else:
+                future._fail(payload)
+            futures.append(future)
+        return futures
+
+    def __enter__(self) -> "RemoteBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+        else:
+            self._queue.clear()
+
+
 def _txn_id(txn: RemoteTransaction | None) -> int | None:
     return txn.txn_id if txn is not None else None
 
@@ -88,13 +194,29 @@ class RemoteHAM:
     Thread-safe for sequential calls (one in flight at a time per client;
     open one client per worker thread for parallel load, as the
     benchmark harness does).
+
+    On connect the client performs a protocol handshake (``ping``) and
+    raises :class:`repro.errors.ProtocolError` if the server speaks a
+    different protocol version — pass ``handshake=False`` to skip.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 handshake: bool = True):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
+        #: Interceptors around every RPC operation (counts, latency,
+        #: tracing); empty by default — the no-middleware fast path.
+        self.middleware = MiddlewareChain()
+        #: The server's ping reply ({"protocol": N, ...}) once known.
+        self.server_info: dict | None = None
+        if handshake:
+            try:
+                self._handshake()
+            except BaseException:
+                self.close()
+                raise
 
     def close(self) -> None:
         """Close the connection (server aborts any open transactions)."""
@@ -129,12 +251,61 @@ class RemoteHAM:
             return response.get("result")
         _raise_remote(response.get("error") or {})
 
+    def _invoke(self, operation: Operation, wire_params: dict):
+        """One registry operation: RPC + result decode, via middleware."""
+        chain = self.middleware
+        if not chain:
+            return operation.result.from_wire(
+                self._call(operation.name, **wire_params))
+        return chain.run(
+            operation.name,
+            lambda: operation.result.from_wire(
+                self._call(operation.name, **wire_params)))
+
     # ------------------------------------------------------------------
     # sessions / transactions
 
+    def _handshake(self) -> dict:
+        """Ping the server and verify it speaks our protocol version."""
+        reply = self._call("ping")
+        if isinstance(reply, dict) and "protocol" in reply:
+            remote = reply["protocol"]
+            info = reply
+        elif reply == "pong":  # the pre-registry protocol
+            remote, info = 1, {"protocol": 1}
+        else:
+            raise ProtocolError(f"malformed ping reply {reply!r}")
+        if remote != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: this client speaks version "
+                f"{PROTOCOL_VERSION}, the server speaks version {remote}; "
+                f"upgrade the older side before connecting")
+        self.server_info = info
+        return info
+
     def ping(self) -> bool:
-        """Round-trip liveness check."""
-        return self._call("ping") == "pong"
+        """Round-trip liveness check (re-runs the protocol handshake)."""
+        self._handshake()
+        return True
+
+    def begin(self, read_only: bool = False) -> RemoteTransaction:
+        """Open a transaction on the server."""
+        return RemoteTransaction(
+            self, self._call("begin", read_only=read_only))
+
+    transaction = begin
+
+    def batch(self) -> RemoteBatch:
+        """Queue operations and flush them in one round trip.
+
+        ::
+
+            with client.batch() as b:
+                first = b.add_node()
+                b.set_node_attribute_value(node=n, attribute=a, value="v")
+            index, time = first.result()
+        """
+        return RemoteBatch(self)
 
     # ------------------------------------------------------------------
     # multi-graph host methods (servers started with a GraphHost)
@@ -157,255 +328,28 @@ class RemoteHAM:
         """Destroy a hosted graph."""
         self._call("host_destroy_graph", project_id=project_id, name=name)
 
-    def begin(self, read_only: bool = False) -> RemoteTransaction:
-        """Open a transaction on the server."""
-        return RemoteTransaction(
-            self, self._call("begin", read_only=read_only))
 
-    transaction = begin
+def _install_stubs() -> None:
+    """Generate every operation stub from the registry.
 
-    @property
-    def project_id(self) -> int:
-        """The served graph's ProjectId."""
-        return self._call("project_id")
+    :class:`RemoteHAM` gets RPC stubs (properties for the property-kind
+    operations); :class:`RemoteBatch` gets queueing stubs for everything
+    a batch may carry.  Session-kind operations (ping/begin/commit/
+    abort) keep their hand-written client surface above, since they
+    manage client-side handles rather than marshal values.
+    """
+    for operation in REGISTRY:
+        if operation.kind == "session":
+            continue
+        if operation.kind == "ham_property":
+            stub = make_client_stub(operation, RemoteHAM._invoke)
+            setattr(RemoteHAM, operation.name,
+                    property(stub, doc=operation.doc))
+            continue
+        setattr(RemoteHAM, operation.name,
+                make_client_stub(operation, RemoteHAM._invoke))
+        setattr(RemoteBatch, operation.name,
+                make_client_stub(operation, RemoteBatch._enqueue))
 
-    @property
-    def now(self) -> Time:
-        """The served graph's current logical time."""
-        return self._call("now")
 
-    def checkpoint(self) -> None:
-        """Ask the server to snapshot and truncate its log."""
-        self._call("checkpoint")
-
-    # ------------------------------------------------------------------
-    # node / link lifecycle
-
-    def add_node(self, txn: RemoteTransaction | None = None,
-                 keep_history: bool = True) -> tuple[NodeIndex, Time]:
-        """``addNode`` on the server."""
-        index, time = self._call("add_node", txn=_txn_id(txn),
-                                 keep_history=keep_history)
-        return index, time
-
-    def delete_node(self, txn: RemoteTransaction | None = None, *,
-                    node: NodeIndex) -> None:
-        """``deleteNode`` on the server."""
-        self._call("delete_node", txn=_txn_id(txn), node=node)
-
-    def add_link(self, txn: RemoteTransaction | None = None, *,
-                 from_pt: LinkPt, to_pt: LinkPt) -> tuple[LinkIndex, Time]:
-        """``addLink`` on the server."""
-        index, time = self._call(
-            "add_link", txn=_txn_id(txn),
-            from_pt=from_pt.to_record(), to_pt=to_pt.to_record())
-        return index, time
-
-    def copy_link(self, txn: RemoteTransaction | None = None, *,
-                  link: LinkIndex, time: Time = CURRENT,
-                  keep_source: bool = True,
-                  other_pt: LinkPt) -> tuple[LinkIndex, Time]:
-        """``copyLink`` on the server."""
-        index, new_time = self._call(
-            "copy_link", txn=_txn_id(txn), link=link, time=time,
-            keep_source=keep_source, other_pt=other_pt.to_record())
-        return index, new_time
-
-    def delete_link(self, txn: RemoteTransaction | None = None, *,
-                    link: LinkIndex) -> None:
-        """``deleteLink`` on the server."""
-        self._call("delete_link", txn=_txn_id(txn), link=link)
-
-    # ------------------------------------------------------------------
-    # node operations
-
-    def open_node(self, node: NodeIndex, time: Time = CURRENT,
-                  attributes=(), txn: RemoteTransaction | None = None):
-        """``openNode`` on the server."""
-        contents, link_points, values, current = self._call(
-            "open_node", txn=_txn_id(txn), node=node, time=time,
-            attributes=list(attributes))
-        decoded = [(index, end, LinkPt.from_record(record))
-                   for index, end, record in link_points]
-        return contents, decoded, values, current
-
-    def modify_node(self, txn: RemoteTransaction | None = None, *,
-                    node: NodeIndex, expected_time: Time, contents: bytes,
-                    attachments=None, explanation: str = "") -> Time:
-        """``modifyNode`` on the server."""
-        wire_attachments = None
-        if attachments is not None:
-            wire_attachments = [list(entry) for entry in attachments]
-        return self._call(
-            "modify_node", txn=_txn_id(txn), node=node,
-            expected_time=expected_time, contents=bytes(contents),
-            attachments=wire_attachments, explanation=explanation)
-
-    def get_node_timestamp(self, node: NodeIndex) -> Time:
-        """``getNodeTimeStamp`` on the server."""
-        return self._call("get_node_timestamp", node=node)
-
-    def change_node_protection(self, txn: RemoteTransaction | None = None,
-                               *, node: NodeIndex,
-                               protections: Protections) -> None:
-        """``changeNodeProtection`` on the server."""
-        self._call("change_node_protection", txn=_txn_id(txn), node=node,
-                   protections=protections.value)
-
-    def get_node_versions(self, node: NodeIndex):
-        """``getNodeVersions`` on the server."""
-        major, minor = self._call("get_node_versions", node=node)
-        return ([Version.from_record(record) for record in major],
-                [Version.from_record(record) for record in minor])
-
-    def get_node_differences(self, node: NodeIndex, time1: Time,
-                             time2: Time):
-        """``getNodeDifferences`` on the server."""
-        return decode_script(self._call(
-            "get_node_differences", node=node, time1=time1, time2=time2))
-
-    def get_to_node(self, link: LinkIndex, time: Time = CURRENT):
-        """``getToNode`` on the server."""
-        node, node_time = self._call("get_to_node", link=link, time=time)
-        return node, node_time
-
-    def get_from_node(self, link: LinkIndex, time: Time = CURRENT):
-        """``getFromNode`` on the server."""
-        node, node_time = self._call("get_from_node", link=link, time=time)
-        return node, node_time
-
-    # ------------------------------------------------------------------
-    # attributes
-
-    def get_attributes(self, time: Time = CURRENT):
-        """``getAttributes`` on the server."""
-        return [tuple(pair)
-                for pair in self._call("get_attributes", time=time)]
-
-    def get_attribute_index(self, name: str,
-                            txn: RemoteTransaction | None = None,
-                            ) -> AttributeIndex:
-        """``getAttributeIndex`` on the server."""
-        return self._call("get_attribute_index", txn=_txn_id(txn),
-                          name=name)
-
-    def get_attribute_values(self, attribute: AttributeIndex,
-                             time: Time = CURRENT) -> list[str]:
-        """``getAttributeValues`` on the server."""
-        return self._call("get_attribute_values", attribute=attribute,
-                          time=time)
-
-    def set_node_attribute_value(self, txn: RemoteTransaction | None = None,
-                                 *, node: NodeIndex,
-                                 attribute: AttributeIndex,
-                                 value: str) -> None:
-        """``setNodeAttributeValue`` on the server."""
-        self._call("set_node_attribute_value", txn=_txn_id(txn), node=node,
-                   attribute=attribute, value=value)
-
-    def delete_node_attribute(self, txn: RemoteTransaction | None = None,
-                              *, node: NodeIndex,
-                              attribute: AttributeIndex) -> None:
-        """``deleteNodeAttribute`` on the server."""
-        self._call("delete_node_attribute", txn=_txn_id(txn), node=node,
-                   attribute=attribute)
-
-    def get_node_attribute_value(self, node: NodeIndex,
-                                 attribute: AttributeIndex,
-                                 time: Time = CURRENT) -> str:
-        """``getNodeAttributeValue`` on the server."""
-        return self._call("get_node_attribute_value", node=node,
-                          attribute=attribute, time=time)
-
-    def get_node_attributes(self, node: NodeIndex, time: Time = CURRENT):
-        """``getNodeAttributes`` on the server."""
-        return [tuple(entry) for entry in self._call(
-            "get_node_attributes", node=node, time=time)]
-
-    def set_link_attribute_value(self, txn: RemoteTransaction | None = None,
-                                 *, link: LinkIndex,
-                                 attribute: AttributeIndex,
-                                 value: str) -> None:
-        """``setLinkAttributeValue`` on the server."""
-        self._call("set_link_attribute_value", txn=_txn_id(txn), link=link,
-                   attribute=attribute, value=value)
-
-    def delete_link_attribute(self, txn: RemoteTransaction | None = None,
-                              *, link: LinkIndex,
-                              attribute: AttributeIndex) -> None:
-        """``deleteLinkAttribute`` on the server."""
-        self._call("delete_link_attribute", txn=_txn_id(txn), link=link,
-                   attribute=attribute)
-
-    def get_link_attribute_value(self, link: LinkIndex,
-                                 attribute: AttributeIndex,
-                                 time: Time = CURRENT) -> str:
-        """``getLinkAttributeValue`` on the server."""
-        return self._call("get_link_attribute_value", link=link,
-                          attribute=attribute, time=time)
-
-    def get_link_attributes(self, link: LinkIndex, time: Time = CURRENT):
-        """``getLinkAttributes`` on the server."""
-        return [tuple(entry) for entry in self._call(
-            "get_link_attributes", link=link, time=time)]
-
-    # ------------------------------------------------------------------
-    # demons
-
-    def set_graph_demon_value(self, txn: RemoteTransaction | None = None,
-                              *, event: EventKind,
-                              demon: str | None) -> None:
-        """``setGraphDemonValue`` on the server (demons run server-side)."""
-        self._call("set_graph_demon_value", txn=_txn_id(txn),
-                   event=event.value, demon=demon)
-
-    def get_graph_demons(self, time: Time = CURRENT):
-        """``getGraphDemons`` on the server."""
-        return [(EventKind(event), name) for event, name in self._call(
-            "get_graph_demons", time=time)]
-
-    def set_node_demon(self, txn: RemoteTransaction | None = None, *,
-                       node: NodeIndex, event: EventKind,
-                       demon: str | None) -> None:
-        """``setNodeDemon`` on the server."""
-        self._call("set_node_demon", txn=_txn_id(txn), node=node,
-                   event=event.value, demon=demon)
-
-    def get_node_demons(self, node: NodeIndex, time: Time = CURRENT):
-        """``getNodeDemons`` on the server."""
-        return [(EventKind(event), name) for event, name in self._call(
-            "get_node_demons", node=node, time=time)]
-
-    # ------------------------------------------------------------------
-    # queries
-
-    def linearize_graph(self, start: NodeIndex, time: Time = CURRENT,
-                        node_predicate: str | None = None,
-                        link_predicate: str | None = None,
-                        node_attributes=(), link_attributes=(),
-                        txn: RemoteTransaction | None = None,
-                        ) -> TraversalResult:
-        """``linearizeGraph`` on the server."""
-        nodes, links = self._call(
-            "linearize_graph", txn=_txn_id(txn), start=start, time=time,
-            node_predicate=node_predicate, link_predicate=link_predicate,
-            node_attributes=list(node_attributes),
-            link_attributes=list(link_attributes))
-        return TraversalResult(
-            tuple((index, tuple(values)) for index, values in nodes),
-            tuple((index, tuple(values)) for index, values in links))
-
-    def get_graph_query(self, time: Time = CURRENT,
-                        node_predicate: str | None = None,
-                        link_predicate: str | None = None,
-                        node_attributes=(), link_attributes=(),
-                        txn: RemoteTransaction | None = None) -> QueryResult:
-        """``getGraphQuery`` on the server."""
-        nodes, links = self._call(
-            "get_graph_query", txn=_txn_id(txn), time=time,
-            node_predicate=node_predicate, link_predicate=link_predicate,
-            node_attributes=list(node_attributes),
-            link_attributes=list(link_attributes))
-        return QueryResult(
-            tuple((index, tuple(values)) for index, values in nodes),
-            tuple((index, tuple(values)) for index, values in links))
+_install_stubs()

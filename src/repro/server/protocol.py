@@ -15,6 +15,7 @@ from __future__ import annotations
 import socket
 import struct
 
+from repro.core.operations import PROTOCOL_VERSION
 from repro.errors import ProtocolError
 from repro.storage.serializer import (
     decode_value,
@@ -23,7 +24,8 @@ from repro.storage.serializer import (
     unpack_record,
 )
 
-__all__ = ["read_message", "write_message", "MAX_MESSAGE_BYTES"]
+__all__ = ["read_message", "write_message", "MAX_MESSAGE_BYTES",
+           "PROTOCOL_VERSION"]
 
 #: Upper bound on one message; prevents a bad length prefix from
 #: allocating unbounded memory.

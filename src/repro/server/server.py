@@ -5,6 +5,12 @@ if the connection drops (workstation crash, network partition), every
 transaction the session left open is aborted — the paper's recovery story
 for "a site [that] crashes in the middle of a hypertext transaction".
 
+Every wire method except ``call_batch`` and the multi-graph host calls
+is derived from :data:`repro.core.operations.REGISTRY`: argument
+decoding, transaction-id resolution, invocation on the bound HAM, and
+result encoding all come from the operation table, so adding an
+operation there makes it servable with no change here.
+
 Demons run server-side: register implementations in the registry passed
 to (or owned by) the wrapped :class:`~repro.core.ham.HAM`.
 """
@@ -14,15 +20,21 @@ from __future__ import annotations
 import socket
 import threading
 
-from repro.core.demons import EventKind
 from repro.core.ham import HAM
-from repro.core.types import LinkPt, Protections
-from repro.errors import NeptuneError, ProtocolError
+from repro.core.operations import build_server_dispatch, release_active
+from repro.errors import ProtocolError
 from repro.server.protocol import read_message, write_message
-from repro.storage.deltas import encode_script
-from repro.txn.manager import Transaction, TxnStatus
+from repro.txn.manager import Transaction
 
 __all__ = ["HAMServer"]
+
+#: Complete registry-derived dispatch table: {method: handler(session,
+#: wire_params) -> wire_result}.
+_DISPATCH = build_server_dispatch()
+
+
+def _marshal_error(exc: BaseException) -> dict:
+    return {"type": type(exc).__name__, "message": str(exc)}
 
 
 class _Session:
@@ -47,53 +59,30 @@ class _Session:
                     request = read_message(self.sock)
                 except (ConnectionError, OSError):
                     break
+                except ProtocolError:
+                    # Unframeable stream (bad length prefix/checksum):
+                    # resynchronization is impossible, drop the client.
+                    break
                 response = self._handle(request)
                 try:
                     write_message(self.sock, response)
                 except (ConnectionError, OSError):
                     break
         finally:
-            self._abort_leftovers()
+            self.abort_leftovers()
             try:
                 self.sock.close()
             except OSError:
                 pass
 
-    def _abort_leftovers(self) -> None:
+    def abort_leftovers(self) -> None:
         """Abort transactions left open by a vanished client."""
-        for txn in list(self.transactions.values()):
-            if txn.status is TxnStatus.ACTIVE:
-                try:
-                    txn.abort()
-                except NeptuneError:
-                    pass
+        for transaction in list(self.transactions.values()):
+            release_active(transaction)
         self.transactions.clear()
 
     # ------------------------------------------------------------------
-
-    def _handle(self, request: object) -> dict:
-        if not isinstance(request, dict) or "method" not in request:
-            return {"id": None, "ok": False,
-                    "error": {"type": "ProtocolError",
-                              "message": "malformed request"}}
-        request_id = request.get("id")
-        method = request["method"]
-        params = request.get("params") or {}
-        handler = getattr(self, f"_op_{method}", None)
-        if handler is None:
-            return {"id": request_id, "ok": False,
-                    "error": {"type": "ProtocolError",
-                              "message": f"unknown method {method!r}"}}
-        try:
-            result = handler(**params)
-        except Exception as exc:  # marshal any failure back to the client
-            return {"id": request_id, "ok": False,
-                    "error": {"type": type(exc).__name__,
-                              "message": str(exc)}}
-        return {"id": request_id, "ok": True, "result": result}
-
-    # ------------------------------------------------------------------
-    # helpers
+    # the session surface the registry handlers dispatch against
 
     @property
     def ham(self) -> HAM:
@@ -102,7 +91,8 @@ class _Session:
                 "no graph bound to this session; call open_graph first")
         return self.bound_ham
 
-    def _txn(self, txn_id: int | None) -> Transaction | None:
+    def resolve_txn(self, txn_id: int | None) -> Transaction | None:
+        """Transaction open on this session, or None for single-op."""
         if txn_id is None:
             return None
         try:
@@ -112,8 +102,82 @@ class _Session:
                 f"transaction {txn_id} is not open on this session"
             ) from None
 
+    def register_txn(self, transaction: Transaction) -> None:
+        self.transactions[transaction.txn_id] = transaction
+
+    def release_txn(self, txn_id: int) -> None:
+        """Drop a transaction from the table, aborting it if still live."""
+        release_active(self.transactions.pop(txn_id, None))
+
     # ------------------------------------------------------------------
-    # host methods (multi-graph servers only)
+    # request dispatch
+
+    def _handle(self, request: object) -> dict:
+        if not isinstance(request, dict) or "method" not in request:
+            return {"id": None, "ok": False,
+                    "error": {"type": "ProtocolError",
+                              "message": "malformed request"}}
+        request_id = request.get("id")
+        try:
+            result = self._execute(request["method"],
+                                   request.get("params") or {})
+        except Exception as exc:  # marshal any failure back to the client
+            return {"id": request_id, "ok": False,
+                    "error": _marshal_error(exc)}
+        return {"id": request_id, "ok": True, "result": result}
+
+    def _execute(self, method: object, params: object):
+        if not isinstance(method, str) or not isinstance(params, dict):
+            raise ProtocolError("malformed request")
+        handler = _DISPATCH.get(method)
+        if handler is not None:
+            return handler(self, params)
+        if method == "call_batch":
+            return self._call_batch(params)
+        host_handler = self._HOST_METHODS.get(method)
+        if host_handler is not None:
+            return host_handler(self, **params)
+        raise ProtocolError(f"unknown method {method!r}")
+
+    # ------------------------------------------------------------------
+    # batched dispatch: many registry operations, one round trip
+
+    def _call_batch(self, params: dict) -> list:
+        """Execute ``[[method, params], ...]`` entries in order.
+
+        Each entry reports individually: ``[True, result]`` on success,
+        ``[False, {"type", "message"}]`` on failure; a failing entry does
+        not stop the ones after it.  Only registry operations may run in
+        a batch — nesting ``call_batch`` or rebinding the session via a
+        host method mid-batch is rejected per entry.
+        """
+        calls = params.get("calls")
+        if not isinstance(calls, (list, tuple)):
+            raise ProtocolError("call_batch requires a list of calls")
+        results = []
+        for entry in calls:
+            try:
+                if (not isinstance(entry, (list, tuple))
+                        or len(entry) != 2):
+                    raise ProtocolError(
+                        "each batch entry must be [method, params]")
+                name, entry_params = entry
+                handler = _DISPATCH.get(name)
+                if handler is None:
+                    raise ProtocolError(
+                        f"operation {name!r} cannot run in a batch")
+                if not isinstance(entry_params, dict):
+                    raise ProtocolError(
+                        f"batch entry {name!r}: params must be a mapping")
+                results.append([True, handler(self, entry_params)])
+            except Exception as exc:
+                results.append([False, _marshal_error(exc)])
+        return results
+
+    # ------------------------------------------------------------------
+    # host methods (multi-graph servers only) — the one part of the
+    # vocabulary that manages graph binding rather than graph contents,
+    # so it stays hand-written.
 
     @property
     def _host(self):
@@ -121,217 +185,30 @@ class _Session:
             raise ProtocolError("this server hosts a single graph")
         return self.server.host_registry
 
-    def _op_host_create_graph(self, name: str) -> list:
+    def _host_create_graph(self, name: str) -> list:
         return list(self._host.create_graph(name))
 
-    def _op_host_open_graph(self, project_id: int, name: str) -> int:
-        self._abort_leftovers()  # rebinding abandons the old graph's work
+    def _host_open_graph(self, project_id: int, name: str) -> int:
+        self.abort_leftovers()  # rebinding abandons the old graph's work
         self.bound_ham = self._host.open_graph(project_id, name)
         return self.bound_ham.project_id
 
-    def _op_host_list_graphs(self) -> list:
+    def _host_list_graphs(self) -> list:
         return self._host.list_graphs()
 
-    def _op_host_destroy_graph(self, project_id: int, name: str) -> None:
-        self._abort_leftovers()
+    def _host_destroy_graph(self, project_id: int, name: str) -> None:
+        self.abort_leftovers()
         if (self.bound_ham is not None
                 and self.bound_ham.project_id == project_id):
             self.bound_ham = None
         self._host.destroy_graph(project_id, name)
 
-    # ------------------------------------------------------------------
-    # transaction methods
-
-    def _op_ping(self) -> str:
-        return "pong"
-
-    def _op_begin(self, read_only: bool = False) -> int:
-        txn = self.ham.begin(read_only=read_only)
-        self.transactions[txn.txn_id] = txn
-        return txn.txn_id
-
-    def _op_commit(self, txn: int) -> None:
-        self._txn(txn).commit()
-        del self.transactions[txn]
-
-    def _op_abort(self, txn: int) -> None:
-        self._txn(txn).abort()
-        del self.transactions[txn]
-
-    # ------------------------------------------------------------------
-    # graph / node / link methods
-
-    def _op_project_id(self) -> int:
-        return self.ham.project_id
-
-    def _op_now(self) -> int:
-        return self.ham.now
-
-    def _op_checkpoint(self) -> None:
-        self.ham.checkpoint()
-
-    def _op_add_node(self, txn: int | None, keep_history: bool) -> list:
-        return list(self.ham.add_node(self._txn(txn),
-                                      keep_history=keep_history))
-
-    def _op_delete_node(self, txn: int | None, node: int) -> None:
-        self.ham.delete_node(self._txn(txn), node=node)
-
-    def _op_add_link(self, txn: int | None, from_pt: list,
-                     to_pt: list) -> list:
-        return list(self.ham.add_link(
-            self._txn(txn),
-            from_pt=LinkPt.from_record(from_pt),
-            to_pt=LinkPt.from_record(to_pt)))
-
-    def _op_copy_link(self, txn: int | None, link: int, time: int,
-                      keep_source: bool, other_pt: list) -> list:
-        return list(self.ham.copy_link(
-            self._txn(txn), link=link, time=time, keep_source=keep_source,
-            other_pt=LinkPt.from_record(other_pt)))
-
-    def _op_delete_link(self, txn: int | None, link: int) -> None:
-        self.ham.delete_link(self._txn(txn), link=link)
-
-    def _op_open_node(self, txn: int | None, node: int, time: int,
-                      attributes: list) -> list:
-        contents, link_points, values, current = self.ham.open_node(
-            node, time, attributes, txn=self._txn(txn))
-        return [contents,
-                [[index, end, pt.to_record()]
-                 for index, end, pt in link_points],
-                values, current]
-
-    def _op_modify_node(self, txn: int | None, node: int,
-                        expected_time: int, contents: bytes,
-                        attachments: list | None,
-                        explanation: str) -> int:
-        supplied = None
-        if attachments is not None:
-            supplied = [tuple(entry) for entry in attachments]
-        return self.ham.modify_node(
-            self._txn(txn), node=node, expected_time=expected_time,
-            contents=contents, attachments=supplied,
-            explanation=explanation)
-
-    def _op_get_node_timestamp(self, node: int) -> int:
-        return self.ham.get_node_timestamp(node)
-
-    def _op_change_node_protection(self, txn: int | None, node: int,
-                                   protections: int) -> None:
-        self.ham.change_node_protection(
-            self._txn(txn), node=node,
-            protections=Protections(protections))
-
-    def _op_get_node_versions(self, node: int) -> list:
-        major, minor = self.ham.get_node_versions(node)
-        return [[v.to_record() for v in major],
-                [v.to_record() for v in minor]]
-
-    def _op_get_node_differences(self, node: int, time1: int,
-                                 time2: int) -> list:
-        return encode_script(
-            self.ham.get_node_differences(node, time1, time2))
-
-    def _op_get_to_node(self, link: int, time: int) -> list:
-        return list(self.ham.get_to_node(link, time))
-
-    def _op_get_from_node(self, link: int, time: int) -> list:
-        return list(self.ham.get_from_node(link, time))
-
-    # ------------------------------------------------------------------
-    # attribute methods
-
-    def _op_get_attributes(self, time: int) -> list:
-        return [list(pair) for pair in self.ham.get_attributes(time)]
-
-    def _op_get_attribute_index(self, txn: int | None, name: str) -> int:
-        return self.ham.get_attribute_index(name, self._txn(txn))
-
-    def _op_get_attribute_values(self, attribute: int, time: int) -> list:
-        return self.ham.get_attribute_values(attribute, time)
-
-    def _op_set_node_attribute_value(self, txn: int | None, node: int,
-                                     attribute: int, value: str) -> None:
-        self.ham.set_node_attribute_value(
-            self._txn(txn), node=node, attribute=attribute, value=value)
-
-    def _op_delete_node_attribute(self, txn: int | None, node: int,
-                                  attribute: int) -> None:
-        self.ham.delete_node_attribute(
-            self._txn(txn), node=node, attribute=attribute)
-
-    def _op_get_node_attribute_value(self, node: int, attribute: int,
-                                     time: int) -> str:
-        return self.ham.get_node_attribute_value(node, attribute, time)
-
-    def _op_get_node_attributes(self, node: int, time: int) -> list:
-        return [list(entry)
-                for entry in self.ham.get_node_attributes(node, time)]
-
-    def _op_set_link_attribute_value(self, txn: int | None, link: int,
-                                     attribute: int, value: str) -> None:
-        self.ham.set_link_attribute_value(
-            self._txn(txn), link=link, attribute=attribute, value=value)
-
-    def _op_delete_link_attribute(self, txn: int | None, link: int,
-                                  attribute: int) -> None:
-        self.ham.delete_link_attribute(
-            self._txn(txn), link=link, attribute=attribute)
-
-    def _op_get_link_attribute_value(self, link: int, attribute: int,
-                                     time: int) -> str:
-        return self.ham.get_link_attribute_value(link, attribute, time)
-
-    def _op_get_link_attributes(self, link: int, time: int) -> list:
-        return [list(entry)
-                for entry in self.ham.get_link_attributes(link, time)]
-
-    # ------------------------------------------------------------------
-    # demon methods
-
-    def _op_set_graph_demon_value(self, txn: int | None, event: str,
-                                  demon: str | None) -> None:
-        self.ham.set_graph_demon_value(
-            self._txn(txn), event=EventKind(event), demon=demon)
-
-    def _op_get_graph_demons(self, time: int) -> list:
-        return [[event.value, name]
-                for event, name in self.ham.get_graph_demons(time)]
-
-    def _op_set_node_demon(self, txn: int | None, node: int, event: str,
-                           demon: str | None) -> None:
-        self.ham.set_node_demon(
-            self._txn(txn), node=node, event=EventKind(event), demon=demon)
-
-    def _op_get_node_demons(self, node: int, time: int) -> list:
-        return [[event.value, name]
-                for event, name in self.ham.get_node_demons(node, time)]
-
-    # ------------------------------------------------------------------
-    # query methods
-
-    def _op_linearize_graph(self, txn: int | None, start: int, time: int,
-                            node_predicate: str | None,
-                            link_predicate: str | None,
-                            node_attributes: list,
-                            link_attributes: list) -> list:
-        result = self.ham.linearize_graph(
-            start, time, node_predicate, link_predicate,
-            node_attributes, link_attributes, txn=self._txn(txn))
-        return [[[index, list(values)] for index, values in result.nodes],
-                [[index, list(values)] for index, values in result.links]]
-
-    def _op_get_graph_query(self, txn: int | None, time: int,
-                            node_predicate: str | None,
-                            link_predicate: str | None,
-                            node_attributes: list,
-                            link_attributes: list) -> list:
-        result = self.ham.get_graph_query(
-            time, node_predicate, link_predicate,
-            node_attributes, link_attributes, txn=self._txn(txn))
-        return [[[index, list(values)] for index, values in result.nodes],
-                [[index, list(values)] for index, values in result.links]]
+    _HOST_METHODS = {
+        "host_create_graph": _host_create_graph,
+        "host_open_graph": _host_open_graph,
+        "host_list_graphs": _host_list_graphs,
+        "host_destroy_graph": _host_destroy_graph,
+    }
 
 
 class HAMServer:

@@ -6,11 +6,16 @@
 - :mod:`repro.tools.stats` — size and storage statistics (node/link
   counts, version counts, delta-chain bytes), the numbers an operator
   wants before and after a checkpoint.
+- :mod:`repro.tools.metrics` — per-operation call counts and latency
+  percentiles (plus a trace log), installed as dispatch middleware on
+  local HAMs or remote clients.
 """
 
 from repro.tools.verify import verify_graph, Violation
 from repro.tools.stats import graph_stats, GraphStats
 from repro.tools.dump import dump_graph, import_graph, load_dump
+from repro.tools.metrics import OperationMetrics, TraceLog
 
 __all__ = ["verify_graph", "Violation", "graph_stats", "GraphStats",
-           "dump_graph", "import_graph", "load_dump"]
+           "dump_graph", "import_graph", "load_dump",
+           "OperationMetrics", "TraceLog"]

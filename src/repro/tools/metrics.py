@@ -1,0 +1,204 @@
+"""Per-operation metrics and tracing, as dispatch middleware.
+
+Both the in-process :class:`~repro.core.ham.HAM` and the RPC
+:class:`~repro.server.client.RemoteHAM` route every Appendix operation
+through a :class:`~repro.core.operations.MiddlewareChain`; the classes
+here are middlewares (callables of ``(operation, call_next)``) that
+observe that dispatch:
+
+- :class:`OperationMetrics` — per-operation call counts, error counts,
+  and latency (mean and percentiles over a sliding sample window);
+- :class:`TraceLog` — an append-only record of each dispatched
+  operation, optionally streamed to a sink.
+
+Nothing here touches the hot path until installed: with an empty
+middleware chain the dispatch wrappers call the implementation
+directly.
+
+::
+
+    from repro.tools.metrics import OperationMetrics
+
+    metrics = OperationMetrics()
+    ham.middleware.add(metrics)       # or remote.middleware.add(metrics)
+    ...
+    print(metrics.report())
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Callable
+
+__all__ = ["OperationMetrics", "OperationStats", "TraceLog"]
+
+
+class OperationStats:
+    """Mutable per-operation accumulator (internal to the recorder)."""
+
+    __slots__ = ("count", "errors", "total_seconds", "max_seconds",
+                 "samples", "_cursor")
+
+    def __init__(self, window: int):
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        #: Sliding window of the most recent latencies (seconds); the
+        #: percentile estimates come from here, so they track current
+        #: behaviour with bounded memory.
+        self.samples: list[float] = [0.0] * window
+        self._cursor = 0
+
+    def record(self, seconds: float, failed: bool) -> None:
+        window = len(self.samples)
+        if self.count < window:
+            self.samples[self.count] = seconds
+        else:
+            self.samples[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % window
+        self.count += 1
+        self.errors += failed
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def _window(self) -> list[float]:
+        return self.samples[:min(self.count, len(self.samples))]
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class OperationMetrics:
+    """Middleware recording per-operation counts and latency.
+
+    Thread-safe: one instance may observe many sessions at once (for
+    example every worker thread's ``RemoteHAM``, or a server-side HAM
+    shared by all sessions).  ``snapshot()`` returns plain dicts with
+    millisecond latencies; ``report()`` formats them as a table.
+
+    ``window`` bounds how many recent samples feed the percentile
+    estimates per operation.
+    """
+
+    def __init__(self, window: int = 1024):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._window = window
+        self._lock = threading.Lock()
+        self._operations: dict[str, OperationStats] = {}
+
+    # -- the middleware itself -----------------------------------------
+
+    def __call__(self, operation: str, call_next: Callable[[], object]):
+        start = perf_counter()
+        failed = False
+        try:
+            return call_next()
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            elapsed = perf_counter() - start
+            with self._lock:
+                stats = self._operations.get(operation)
+                if stats is None:
+                    stats = self._operations[operation] = OperationStats(
+                        self._window)
+                stats.record(elapsed, failed)
+
+    # -- reading -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """{operation: {count, errors, mean_ms, p50_ms, p90_ms, p99_ms,
+        max_ms}} for every operation seen so far."""
+        with self._lock:
+            captured = {name: (stats.count, stats.errors,
+                               stats.total_seconds, stats.max_seconds,
+                               stats._window())
+                        for name, stats in self._operations.items()}
+        result = {}
+        for name, (count, errs, total, peak, samples) in captured.items():
+            ordered = sorted(samples)
+            result[name] = {
+                "count": count,
+                "errors": errs,
+                "mean_ms": (total / count) * 1000.0 if count else 0.0,
+                "p50_ms": _percentile(ordered, 0.50) * 1000.0,
+                "p90_ms": _percentile(ordered, 0.90) * 1000.0,
+                "p99_ms": _percentile(ordered, 0.99) * 1000.0,
+                "max_ms": peak * 1000.0,
+            }
+        return result
+
+    def counts(self) -> dict[str, int]:
+        """{operation: call count} (cheaper than a full snapshot)."""
+        with self._lock:
+            return {name: stats.count
+                    for name, stats in self._operations.items()}
+
+    def report(self) -> str:
+        """Human-readable per-operation table, busiest first."""
+        snap = self.snapshot()
+        header = (f"{'operation':<28} {'count':>8} {'errors':>7} "
+                  f"{'mean ms':>9} {'p50 ms':>8} {'p90 ms':>8} "
+                  f"{'p99 ms':>8} {'max ms':>8}")
+        lines = [header, "-" * len(header)]
+        for name, row in sorted(snap.items(),
+                                key=lambda item: -item[1]["count"]):
+            lines.append(
+                f"{name:<28} {row['count']:>8} {row['errors']:>7} "
+                f"{row['mean_ms']:>9.3f} {row['p50_ms']:>8.3f} "
+                f"{row['p90_ms']:>8.3f} {row['p99_ms']:>8.3f} "
+                f"{row['max_ms']:>8.3f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._operations.clear()
+
+
+class TraceLog:
+    """Middleware appending one entry per dispatched operation.
+
+    Entries are ``(operation, milliseconds, ok)`` tuples in dispatch
+    order, capped at ``limit`` (oldest dropped).  When ``sink`` is
+    given, each entry is also rendered to one line and passed to it —
+    handy for streaming a session trace to a file or logger.
+    """
+
+    def __init__(self, sink: Callable[[str], object] | None = None,
+                 limit: int = 10_000):
+        self.entries: list[tuple[str, float, bool]] = []
+        self._sink = sink
+        self._limit = limit
+        self._lock = threading.Lock()
+
+    def __call__(self, operation: str, call_next: Callable[[], object]):
+        start = perf_counter()
+        ok = True
+        try:
+            return call_next()
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            milliseconds = (perf_counter() - start) * 1000.0
+            with self._lock:
+                self.entries.append((operation, milliseconds, ok))
+                if len(self.entries) > self._limit:
+                    del self.entries[:len(self.entries) - self._limit]
+            if self._sink is not None:
+                self._sink(f"{operation} {milliseconds:.3f}ms "
+                           f"{'ok' if ok else 'error'}")
+
+    def clear(self) -> None:
+        with self._lock:
+            self.entries.clear()

@@ -1,0 +1,526 @@
+"""The declarative operation registry and everything derived from it.
+
+Covers: registry completeness against the Appendix surface, the absence
+of hand-written per-operation server handlers, middleware dispatch on
+both local and RPC sessions (with `repro.tools.metrics`), batched RPC
+(single round trip, per-entry errors), the protocol-version handshake,
+the transaction-table leak regression, and error marshalling for every
+exception type in `repro.errors`.
+"""
+
+import importlib.util
+import inspect
+import pathlib
+
+import pytest
+
+import repro.errors as errors_module
+from repro import HAM, LinkPt
+from repro.core.operations import (
+    PROTOCOL_VERSION,
+    REGISTRY,
+    MiddlewareChain,
+)
+from repro.errors import (
+    NeptuneError,
+    NodeNotFoundError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.server import HAMServer, RemoteHAM
+from repro.server.server import _DISPATCH, _Session
+from repro.tools.metrics import OperationMetrics, TraceLog
+
+
+def _load_conformance_module():
+    """The Appendix operation list lives in the conformance test."""
+    path = (pathlib.Path(__file__).resolve().parents[1]
+            / "core" / "test_appendix_conformance.py")
+    spec = importlib.util.spec_from_file_location(
+        "_appendix_conformance_source", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_conformance = _load_conformance_module()
+APPENDIX_OPERATIONS = _conformance.APPENDIX_OPERATIONS
+_snake = _conformance._snake
+
+
+@pytest.fixture
+def served():
+    ham = HAM.ephemeral()
+    server = HAMServer(ham).start()
+    client = RemoteHAM(*server.address)
+    yield ham, server, client
+    client.close()
+    server.stop()
+
+
+# ======================================================================
+# Registry shape
+
+class TestRegistryCoverage:
+    def test_every_remote_appendix_operation_is_registered(self):
+        remote_surface = {
+            _snake(name) for name in APPENDIX_OPERATIONS
+            if name not in ("createGraph", "destroyGraph", "openGraph")
+        }
+        missing = remote_surface - set(REGISTRY.names())
+        assert not missing, f"registry is missing {sorted(missing)}"
+
+    def test_registry_appendix_names_match_the_spec(self):
+        declared = {op.appendix_name for op in REGISTRY if op.appendix_name}
+        expected = {
+            name for name in APPENDIX_OPERATIONS
+            if name not in ("createGraph", "destroyGraph", "openGraph")
+        }
+        assert declared == expected
+
+    def test_server_has_no_per_operation_handlers(self):
+        """The whole wire surface is table-driven from the registry."""
+        leftovers = [name for name in vars(_Session)
+                     if name.startswith("_op_")]
+        assert leftovers == []
+
+    def test_dispatch_table_covers_the_registry(self):
+        assert set(_DISPATCH) == set(REGISTRY.names())
+
+    def test_client_stubs_are_generated_not_written(self):
+        for operation in REGISTRY:
+            if operation.kind != "ham":
+                continue
+            attr = inspect.getattr_static(RemoteHAM, operation.name)
+            assert getattr(attr, "__ham_operation__", None) \
+                == operation.name, \
+                f"RemoteHAM.{operation.name} is not registry-generated"
+
+    def test_stub_signatures_match_declarations(self):
+        stub = inspect.getattr_static(RemoteHAM, "modify_node")
+        parameters = inspect.signature(stub).parameters
+        assert list(parameters) == ["self", "txn", "node", "expected_time",
+                                    "contents", "attachments",
+                                    "explanation"]
+        assert parameters["node"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+# ======================================================================
+# Middleware dispatch (local and RPC)
+
+class TestMiddleware:
+    def test_local_operations_flow_through_the_chain(self):
+        ham = HAM.ephemeral()
+        seen = []
+        ham.middleware.add(lambda op, call_next: (seen.append(op),
+                                                  call_next())[1])
+        node, time = ham.add_node()
+        ham.modify_node(node=node, expected_time=time, contents=b"x")
+        ham.open_node(node)
+        assert seen[:3] == ["add_node", "modify_node", "open_node"]
+
+    def test_camel_case_aliases_dispatch_too(self):
+        ham = HAM.ephemeral()
+        seen = []
+        ham.middleware.add(lambda op, call_next: (seen.append(op),
+                                                  call_next())[1])
+        ham.addNode()
+        assert seen == ["add_node"]
+
+    def test_chain_runs_in_registration_order(self):
+        ham = HAM.ephemeral()
+        order = []
+
+        def outer(op, call_next):
+            order.append("outer-in")
+            result = call_next()
+            order.append("outer-out")
+            return result
+
+        def inner(op, call_next):
+            order.append("inner")
+            return call_next()
+
+        ham.middleware.add(outer)
+        ham.middleware.add(inner)
+        ham.add_node()
+        assert order == ["outer-in", "inner", "outer-out"]
+
+    def test_remove_and_clear(self):
+        ham = HAM.ephemeral()
+        seen = []
+        middleware = ham.middleware.add(
+            lambda op, call_next: (seen.append(op), call_next())[1])
+        ham.add_node()
+        ham.middleware.remove(middleware)
+        ham.add_node()
+        assert seen == ["add_node"]
+        assert not ham.middleware
+
+    def test_rpc_operations_flow_through_the_client_chain(self, served):
+        __, ___, client = served
+        seen = []
+        client.middleware.add(lambda op, call_next: (seen.append(op),
+                                                     call_next())[1])
+        node, time = client.add_node()
+        client.open_node(node)
+        assert seen == ["add_node", "open_node"]
+
+
+class TestOperationMetrics:
+    def test_local_counts_and_percentiles(self):
+        ham = HAM.ephemeral()
+        metrics = OperationMetrics()
+        ham.middleware.add(metrics)
+        node, time = ham.add_node()
+        for sequence in range(5):
+            time = ham.modify_node(node=node, expected_time=time,
+                                   contents=f"v{sequence}".encode())
+        snap = metrics.snapshot()
+        assert snap["add_node"]["count"] == 1
+        assert snap["modify_node"]["count"] == 5
+        row = snap["modify_node"]
+        assert 0.0 <= row["p50_ms"] <= row["p90_ms"] <= row["p99_ms"]
+        assert row["p99_ms"] <= row["max_ms"]
+        assert row["errors"] == 0
+        assert "modify_node" in metrics.report()
+
+    def test_errors_are_counted_and_re_raised(self):
+        ham = HAM.ephemeral()
+        metrics = OperationMetrics()
+        ham.middleware.add(metrics)
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(999)
+        assert metrics.snapshot()["open_node"]["errors"] == 1
+
+    def test_rpc_session_metrics(self, served):
+        __, ___, client = served
+        metrics = OperationMetrics()
+        client.middleware.add(metrics)
+        node, time = client.add_node()
+        client.modify_node(node=node, expected_time=time, contents=b"x")
+        with client.batch() as batch:
+            batch.get_node_timestamp(node)
+            batch.get_node_timestamp(node)
+        counts = metrics.counts()
+        assert counts["add_node"] == 1
+        assert counts["modify_node"] == 1
+        assert counts["call_batch"] == 1
+
+    def test_server_side_ham_observes_every_session(self, served):
+        ham, ___, client = served
+        metrics = OperationMetrics()
+        ham.middleware.add(metrics)
+        client.add_node()
+        client.add_node()
+        assert metrics.counts()["add_node"] == 2
+
+    def test_trace_log_records_entries(self):
+        ham = HAM.ephemeral()
+        lines = []
+        trace = TraceLog(sink=lines.append)
+        ham.middleware.add(trace)
+        ham.add_node()
+        assert [entry[0] for entry in trace.entries] == ["add_node"]
+        assert trace.entries[0][2] is True
+        assert lines and lines[0].startswith("add_node ")
+
+
+# ======================================================================
+# Batched RPC
+
+class _CountingSocket:
+    """Socket proxy counting outbound messages (one sendall each)."""
+
+    def __init__(self, sock):
+        self._sock = sock
+        self.sends = 0
+
+    def sendall(self, data):
+        self.sends += 1
+        return self._sock.sendall(data)
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+
+class TestBatchedRpc:
+    def test_three_mutations_one_round_trip(self, served):
+        ham, ___, client = served
+        counting = _CountingSocket(client._sock)
+        client._sock = counting
+        with client.batch() as batch:
+            first = batch.add_node()
+            second = batch.add_node()
+            third = batch.add_node()
+        assert counting.sends == 1  # >= 3 mutations, exactly 1 message
+        nodes = {future.result()[0] for future in (first, second, third)}
+        assert len(nodes) == 3
+        for node in nodes:  # all three mutations really happened
+            assert ham.get_node_timestamp(node) > 0
+
+    def test_results_decode_through_codecs(self, served):
+        __, ___, client = served
+        a, __ = client.add_node()
+        b, __ = client.add_node()
+        with client.batch() as batch:
+            linked = batch.add_link(from_pt=LinkPt(a, position=2),
+                                    to_pt=LinkPt(b))
+            stamp = batch.get_node_timestamp(a)
+        link, link_time = linked.result()
+        assert isinstance(link, int) and isinstance(link_time, int)
+        assert client.get_from_node(link)[0] == a
+        assert stamp.result() == client.get_node_timestamp(a)
+
+    def test_per_entry_errors_do_not_stop_the_batch(self, served):
+        __, ___, client = served
+        with client.batch() as batch:
+            good = batch.add_node()
+            bad = batch.open_node(999)
+            also_good = batch.add_node()
+        assert good.result()
+        assert also_good.result()
+        with pytest.raises(NodeNotFoundError):
+            bad.result()
+
+    def test_unflushed_future_refuses_result(self, served):
+        __, ___, client = served
+        batch = client.batch()
+        future = batch.add_node()
+        with pytest.raises(ProtocolError):
+            future.result()
+        batch.flush()
+        assert future.result()
+
+    def test_body_exception_discards_the_queue(self, served):
+        ham, ___, client = served
+        metrics = OperationMetrics()
+        ham.middleware.add(metrics)
+        with pytest.raises(RuntimeError):
+            with client.batch() as batch:
+                batch.add_node()
+                raise RuntimeError("abandon")
+        assert len(batch) == 0
+        assert metrics.counts() == {}  # nothing reached the server
+
+    def test_transactional_batch(self, served):
+        __, ___, client = served
+        txn = client.begin()
+        with client.batch() as batch:
+            first = batch.add_node(txn)
+            second = batch.add_node(txn)
+        txn.commit()
+        for future in (first, second):
+            node, __time = future.result()
+            assert client.get_node_timestamp(node) > 0
+
+    def test_nested_call_batch_rejected_per_entry(self, served):
+        __, ___, client = served
+        entries = client._call("call_batch",
+                               calls=[["call_batch", {"calls": []}]])
+        ok, payload = entries[0]
+        assert not ok
+        assert payload["type"] == "ProtocolError"
+
+    def test_host_methods_rejected_in_batch(self, served):
+        __, ___, client = served
+        entries = client._call(
+            "call_batch", calls=[["host_list_graphs", {}]])
+        ok, payload = entries[0]
+        assert not ok
+        assert payload["type"] == "ProtocolError"
+
+
+# ======================================================================
+# Protocol handshake
+
+class TestProtocolHandshake:
+    def test_connect_records_server_info(self, served):
+        __, ___, client = served
+        assert client.server_info["protocol"] == PROTOCOL_VERSION
+
+    def test_ping_reports_protocol(self, served):
+        __, ___, client = served
+        assert client.ping()
+        reply = client._call("ping")
+        assert reply["protocol"] == PROTOCOL_VERSION
+
+    def test_version_mismatch_raises_clearly(self, served, monkeypatch):
+        __, server, ___ = served
+        import repro.server.server as server_module
+        monkeypatch.setitem(
+            server_module._DISPATCH, "ping",
+            lambda session, params: {"pong": True, "protocol": 99})
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            RemoteHAM(*server.address)
+
+    def test_legacy_pong_reply_is_a_version_mismatch(self, served,
+                                                     monkeypatch):
+        __, server, ___ = served
+        import repro.server.server as server_module
+        monkeypatch.setitem(server_module._DISPATCH, "ping",
+                            lambda session, params: "pong")
+        with pytest.raises(ProtocolError, match="version 1"):
+            RemoteHAM(*server.address)
+
+    def test_handshake_can_be_skipped(self, served):
+        __, server, ___ = served
+        client = RemoteHAM(*server.address, handshake=False)
+        try:
+            assert client.server_info is None
+            assert client.get_attribute_index("late") >= 0
+        finally:
+            client.close()
+
+
+# ======================================================================
+# Transaction-table hygiene (the _op_commit/_op_abort leak)
+
+class TestTransactionTableRelease:
+    def test_failed_commit_still_releases_the_table_entry(
+            self, served, monkeypatch):
+        __, ___, client = served
+        from repro.txn.manager import Transaction
+
+        def explode(self):
+            raise RuntimeError("synthetic commit failure")
+
+        txn = client.begin()
+        client.add_node(txn)
+        monkeypatch.setattr(Transaction, "commit", explode)
+        with pytest.raises(RemoteError):
+            client._call("commit", txn=txn.txn_id)
+        monkeypatch.undo()
+        # The dead transaction must be gone from the session table:
+        # finishing it again is a ProtocolError, not a second attempt.
+        with pytest.raises(ProtocolError):
+            client._call("abort", txn=txn.txn_id)
+
+    def test_failed_commit_aborts_the_leftover_transaction(
+            self, served, monkeypatch):
+        ham, ___, client = served
+        from repro.txn.manager import Transaction
+
+        def explode(self):
+            raise RuntimeError("synthetic commit failure")
+
+        txn = client.begin()
+        node, __ = client.add_node(txn)
+        monkeypatch.setattr(Transaction, "commit", explode)
+        with pytest.raises(RemoteError):
+            client._call("commit", txn=txn.txn_id)
+        monkeypatch.undo()
+        # Released-but-active transactions are aborted, so their work
+        # (and locks) do not linger.
+        with pytest.raises(NodeNotFoundError):
+            ham.open_node(node)
+
+    def test_failed_abort_still_releases_the_table_entry(
+            self, served, monkeypatch):
+        __, ___, client = served
+        from repro.txn.manager import Transaction
+
+        original = Transaction.abort
+        calls = {"count": 0}
+
+        def explode_once(self):
+            if calls["count"] == 0:
+                calls["count"] += 1
+                raise RuntimeError("synthetic abort failure")
+            return original(self)
+
+        txn = client.begin()
+        client.add_node(txn)
+        monkeypatch.setattr(Transaction, "abort", explode_once)
+        with pytest.raises(RemoteError):
+            client._call("abort", txn=txn.txn_id)
+        monkeypatch.undo()
+        with pytest.raises(ProtocolError):
+            client._call("commit", txn=txn.txn_id)
+
+
+# ======================================================================
+# Error marshalling: every exception type survives the wire
+
+def _public_error_types():
+    found = []
+    for name in sorted(vars(errors_module)):
+        obj = getattr(errors_module, name)
+        if (isinstance(obj, type) and issubclass(obj, NeptuneError)
+                and obj is not RemoteError):
+            found.append(obj)
+    return found
+
+
+class TestErrorMarshalling:
+    @pytest.mark.parametrize("exc_type", _public_error_types(),
+                             ids=lambda t: t.__name__)
+    def test_every_error_type_round_trips(self, served, exc_type):
+        ham, ___, client = served
+
+        def explode(node, _exc_type=exc_type):
+            raise _exc_type("synthetic failure")
+
+        ham.get_node_timestamp = explode
+        try:
+            with pytest.raises(exc_type) as caught:
+                client.get_node_timestamp(1)
+        finally:
+            del ham.get_node_timestamp
+        assert "synthetic failure" in str(caught.value)
+        assert type(caught.value) is exc_type
+
+    def test_unknown_error_type_becomes_remote_error(self, served):
+        ham, ___, client = served
+
+        def explode(node):
+            raise RuntimeError("not a neptune error")
+
+        ham.get_node_timestamp = explode
+        try:
+            with pytest.raises(RemoteError) as caught:
+                client.get_node_timestamp(1)
+        finally:
+            del ham.get_node_timestamp
+        assert caught.value.remote_type == "RuntimeError"
+
+    def test_errors_round_trip_inside_batches(self, served):
+        __, ___, client = served
+        with client.batch() as batch:
+            missing = batch.get_node_timestamp(424242)
+        with pytest.raises(NodeNotFoundError):
+            missing.result()
+
+
+# ======================================================================
+# Wire hygiene of the derived dispatcher
+
+class TestDerivedDispatcher:
+    def test_unknown_parameters_are_rejected(self, served):
+        __, ___, client = served
+        with pytest.raises(ProtocolError, match="unknown parameter"):
+            client._call("add_node", txn=None, keep_history=True,
+                         bogus=1)
+
+    def test_missing_required_parameters_are_rejected(self, served):
+        __, ___, client = served
+        with pytest.raises(ProtocolError, match="missing required"):
+            client._call("open_node")
+
+    def test_omitted_optional_parameters_use_defaults(self, served):
+        __, ___, client = served
+        node, __ = client.add_node()
+        # Bare wire call without time/attributes/txn: defaults apply.
+        contents, link_points, values, current = \
+            client._call("open_node", node=node)
+        assert values == []
+
+    def test_property_operations_take_no_parameters(self, served):
+        __, ___, client = served
+        with pytest.raises(ProtocolError):
+            client._call("now", bogus=1)
+
+    def test_unknown_method_still_rejected(self, served):
+        __, ___, client = served
+        with pytest.raises(ProtocolError, match="unknown method"):
+            client._call("no_such_operation")
