@@ -220,16 +220,24 @@ class GraphDirectory:
 
     # snapshots ----------------------------------------------------------
 
+    def _open_heap(self) -> RecordHeap:
+        # Aligned: a new snapshot never dirties a page holding an older
+        # committed snapshot's bytes, so a crash mid-append cannot
+        # corrupt the snapshot recovery falls back to.  Rescued: a torn
+        # header page re-derives its cursor instead of failing the open.
+        return RecordHeap(self.snapshots_path, align_records=True,
+                          rescue_header=True)
+
     def append_snapshot(self, store: GraphStore) -> int:
         """Append a full snapshot to the heap; returns its record id."""
-        with RecordHeap(self.snapshots_path) as heap:
+        with self._open_heap() as heap:
             record_id = heap.append(encode_value(store.to_snapshot()))
             heap.sync()
         return record_id
 
     def load_snapshot(self, record_id: int) -> GraphStore:
         """Load the snapshot stored at ``record_id``."""
-        with RecordHeap(self.snapshots_path) as heap:
+        with self._open_heap() as heap:
             snapshot = decode_value(heap.read(record_id))
         if not isinstance(snapshot, dict):
             raise StorageError(

@@ -49,6 +49,8 @@ from repro.core.types import (
 )
 from repro.errors import (
     GraphNotFoundError,
+    NeptuneError,
+    RecoveryError,
     TransactionError,
     VersionError,
 )
@@ -249,11 +251,13 @@ class HAM:
                  log: WriteAheadLog | _NullLog,
                  demons: DemonRegistry | None = None,
                  synchronous: bool = True,
-                 use_attribute_index: bool = True):
+                 use_attribute_index: bool = True,
+                 lock_timeout: float = 10.0):
         self._store = store
         self._directory = directory
         self._log = log
-        self._txns = TransactionManager(log, LockManager(),
+        self._txns = TransactionManager(log,
+                                        LockManager(timeout=lock_timeout),
                                         synchronous=synchronous)
         self.demons = demons if demons is not None else DemonRegistry()
         #: Interceptors around every Appendix operation (see
@@ -303,13 +307,17 @@ class HAM:
                    machine: str | None = None,
                    demons: DemonRegistry | None = None,
                    synchronous: bool = True,
-                   use_attribute_index: bool = True) -> "HAM":
+                   use_attribute_index: bool = True,
+                   lock_timeout: float = 10.0) -> "HAM":
         """``openGraph``: open an existing graph, recovering if needed.
 
-        Loads the last checkpoint snapshot, replays the committed suffix
-        of the write-ahead log, and fires the graph's OPEN_GRAPH demon.
-        ``machine`` is accepted for Appendix fidelity; remote access goes
-        through :mod:`repro.server` instead.
+        Loads the last durable checkpoint snapshot, replays the
+        committed suffix of the write-ahead log, and fires the graph's
+        OPEN_GRAPH demon.  When the newest snapshot is unreadable
+        (crash or corruption mid-checkpoint), recovery falls back to an
+        earlier snapshot the log can still be replayed onto (see
+        :meth:`_recover`).  ``machine`` is accepted for Appendix
+        fidelity; remote access goes through :mod:`repro.server`.
         """
         graph_dir = GraphDirectory(directory)
         meta = graph_dir.read_meta()
@@ -317,24 +325,85 @@ class HAM:
             raise GraphNotFoundError(
                 f"{directory}: ProjectId does not match "
                 f"(given {project_id}, stored {meta['project']})")
-        store = graph_dir.load_snapshot(meta["snapshot"])
         log = WriteAheadLog(graph_dir.wal_path)
-        recovered = replay_log(log)
-        for __, operation, op_args in recovered.updates:
-            _APPLY[operation](store, op_args)
+        try:
+            store, recovered, snapshot_id = cls._recover(graph_dir, meta,
+                                                         log)
+        except BaseException:
+            log.close()
+            raise
+        if meta.get("snapshot") != snapshot_id:
+            # A crash interrupted a checkpoint between forcing its log
+            # marker and rewriting the meta pointer; repair the pointer
+            # (best-effort — recovery re-derives it anyway).
+            meta["previous"] = meta.get("snapshot")
+            meta["snapshot"] = snapshot_id
+            try:
+                graph_dir.write_meta(meta)
+            except OSError:
+                pass
         ham = cls(store, graph_dir, log, demons=demons,
                   synchronous=synchronous,
-                  use_attribute_index=use_attribute_index)
+                  use_attribute_index=use_attribute_index,
+                  lock_timeout=lock_timeout)
+        ham._txns.resume_after(recovered.max_txn_id)
         ham._fire_demons(EventKind.OPEN_GRAPH, time=store.clock.now)
         return ham
 
+    @staticmethod
+    def _recover(graph_dir: GraphDirectory, meta: dict,
+                 log: WriteAheadLog):
+        """Pick a loadable snapshot + replayable log suffix.
+
+        Candidates, best first: the newest CHECKPOINT marker in the log
+        (it was forced before the meta pointer moved), then the meta
+        pointer, then the previous meta pointer.  A fallback candidate
+        is only usable when the log carries its CHECKPOINT marker (so an
+        anchored replay yields the right suffix) or carries no
+        checkpoint at all.
+        """
+        recovered = replay_log(log)
+        candidates = []
+        if recovered.saw_checkpoint and recovered.checkpoint_marker is not None:
+            candidates.append(recovered.checkpoint_marker)
+        for key in ("snapshot", "previous"):
+            snapshot_id = meta.get(key)
+            if snapshot_id is not None and snapshot_id not in candidates:
+                candidates.append(snapshot_id)
+        failures = []
+        for snapshot_id in candidates:
+            if recovered.saw_checkpoint \
+                    and snapshot_id == recovered.checkpoint_marker:
+                state = recovered
+            elif snapshot_id in recovered.markers:
+                state = replay_log(log, anchor=snapshot_id)
+            elif not recovered.markers:
+                state = recovered
+            else:
+                failures.append(
+                    f"{snapshot_id}: log does not cover this snapshot")
+                continue
+            try:
+                store = graph_dir.load_snapshot(snapshot_id)
+                for __, operation, op_args in state.updates:
+                    _APPLY[operation](store, op_args)
+            except NeptuneError as exc:
+                failures.append(f"{snapshot_id}: {exc}")
+                continue
+            return store, state, snapshot_id
+        raise RecoveryError(
+            f"{graph_dir.directory}: no recoverable snapshot "
+            f"(tried {'; '.join(failures) or 'none'})")
+
     @classmethod
     def ephemeral(cls, demons: DemonRegistry | None = None,
-                  use_attribute_index: bool = True) -> "HAM":
+                  use_attribute_index: bool = True,
+                  lock_timeout: float = 10.0) -> "HAM":
         """A memory-only graph (extension; handy for tests and browsers)."""
         store = GraphStore(project_id=secrets.randbits(63), created_at=1)
         return cls(store, directory=None, log=_NullLog(), demons=demons,
-                   use_attribute_index=use_attribute_index)
+                   use_attribute_index=use_attribute_index,
+                   lock_timeout=lock_timeout)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -371,12 +440,24 @@ class HAM:
         self.close()
 
     def checkpoint(self) -> None:
-        """Persist a full snapshot and truncate the redo log."""
+        """Persist a full snapshot and truncate the redo log.
+
+        Crash-safe ordering: (1) append the snapshot, (2) force a
+        CHECKPOINT intent marker into the *old* log, (3) flip the meta
+        pointer, (4) truncate the log and write the fresh marker.  A
+        crash in any window leaves either the old snapshot with a
+        replayable log or the new snapshot with an empty suffix —
+        recovery (see :meth:`_recover`) lands on a consistent state
+        either way, and falls back to ``meta["previous"]`` if the new
+        snapshot record itself was torn.
+        """
         if self._directory is None:
             return
         with self._state_lock:
             snapshot_id = self._directory.append_snapshot(self._store)
+            self._txns.checkpoint_mark(snapshot_id)
             meta = self._directory.read_meta()
+            meta["previous"] = meta.get("snapshot")
             meta["snapshot"] = snapshot_id
             self._directory.write_meta(meta)
             self._txns.checkpoint(snapshot_marker=snapshot_id)

@@ -236,13 +236,14 @@ class Operation:
     """
 
     __slots__ = ("name", "appendix_name", "params", "result", "mutates",
-                 "events", "kind", "doc", "session_invoke")
+                 "events", "kind", "doc", "session_invoke", "idempotent")
 
     def __init__(self, name: str, params: tuple | list = (),
                  result: Codec = IDENTITY, *, appendix_name: str | None = None,
                  mutates: bool = False, events: tuple = (),
                  kind: str = "ham", doc: str = "",
-                 session_invoke: Callable | None = None):
+                 session_invoke: Callable | None = None,
+                 idempotent: bool | None = None):
         if kind not in ("ham", "ham_property", "session"):
             raise ValueError(f"unknown operation kind {kind!r}")
         if kind == "session" and session_invoke is None:
@@ -257,6 +258,13 @@ class Operation:
         self.doc = doc or (f"``{appendix_name}`` on the server."
                            if appendix_name else "")
         self.session_invoke = session_invoke
+        #: Safe to re-issue when the outcome of a send is unknown.  Reads
+        #: are; mutations and session-state calls are not, unless
+        #: declared so explicitly (``ping``; ``begin``, whose orphaned
+        #: transaction dies with its session).
+        if idempotent is None:
+            idempotent = not mutates and kind != "session"
+        self.idempotent = idempotent
 
     @property
     def transactional(self) -> bool:
@@ -342,11 +350,11 @@ _register = REGISTRY.register
 
 # --- session / transactions ------------------------------------------
 _register(Operation("ping", (), IDENTITY, kind="session",
-                    session_invoke=_session_ping,
+                    session_invoke=_session_ping, idempotent=True,
                     doc="Round-trip liveness and protocol handshake."))
 _register(Operation("begin", (Param("read_only", default=False),),
                     IDENTITY, kind="session",
-                    session_invoke=_session_begin,
+                    session_invoke=_session_begin, idempotent=True,
                     doc="Open a transaction on the server."))
 _register(Operation("commit", (Param("txn"),), IDENTITY, kind="session",
                     session_invoke=_session_commit,

@@ -98,6 +98,25 @@ class DemonError(NeptuneError):
     """A demon could not be registered, resolved, or executed."""
 
 
+class FaultError(NeptuneError):
+    """An injected fault fired (see :mod:`repro.testing.faults`).
+
+    Only ever raised while a fault plan is installed; production code
+    paths never construct one themselves.
+    """
+
+
+class RetryableError(NeptuneError):
+    """The outcome of a remote call is unknown.
+
+    Raised by :class:`repro.server.client.RemoteHAM` when the connection
+    died after a non-idempotent request was sent but before its reply
+    arrived: the server may or may not have executed it, so the client
+    must not silently re-issue it.  The caller decides whether to check
+    state and retry.
+    """
+
+
 class ProtocolError(NeptuneError):
     """Client/server wire-protocol violation."""
 

@@ -22,6 +22,20 @@ Like the local HAM, a client has a ``middleware`` chain
 (:class:`repro.core.operations.MiddlewareChain`); add a
 :class:`repro.tools.metrics.OperationMetrics` to observe per-operation
 counts and latency of the RPC session.
+
+Resilience: every call runs under a :class:`RetryPolicy`.  When the
+connection dies the client tears the socket down and — for *idempotent*
+operations (reads, ``ping``, ``begin``; see
+:attr:`repro.core.operations.Operation.idempotent`) — transparently
+reconnects with jittered capped exponential backoff and re-issues the
+request.  A non-idempotent request whose frame was already handed to the
+transport instead surfaces :class:`repro.errors.RetryableError`: the
+server may or may not have executed it, and silently re-sending could
+apply a mutation twice.  Reconnects re-run the protocol handshake and
+re-bind the session to the last ``host_open_graph`` target, so a
+workstation session survives a server restart.  ``reconnects`` and
+``retries`` counters (mirrored into
+:data:`repro.tools.metrics.RESILIENCE`) expose how bumpy the ride was.
 """
 
 from __future__ import annotations
@@ -29,6 +43,9 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time as _time
+from dataclasses import dataclass
+from random import Random
 
 from repro import errors
 from repro.core.operations import (
@@ -39,10 +56,52 @@ from repro.core.operations import (
     make_client_stub,
 )
 from repro.core.types import Time
-from repro.errors import ProtocolError, RemoteError
-from repro.server.protocol import read_message, write_message
+from repro.errors import (
+    ChecksumError,
+    ProtocolError,
+    RemoteError,
+    RetryableError,
+    StorageError,
+)
+from repro.server.protocol import encode_message, read_message
+from repro.tools.metrics import RESILIENCE
 
-__all__ = ["RemoteHAM", "RemoteTransaction", "RemoteBatch", "BatchFuture"]
+__all__ = ["RemoteHAM", "RemoteTransaction", "RemoteBatch", "BatchFuture",
+           "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`RemoteHAM` behaves when the connection dies.
+
+    ``max_attempts`` bounds tries per call (first attempt included);
+    between attempts the client sleeps ``backoff_base * 2**(n-1)`` capped
+    at ``backoff_cap``, stretched by up to ``jitter`` (fraction, seeded
+    by ``seed`` for reproducibility).  ``call_deadline`` bounds the whole
+    call — connect, retries, and backoff together — independently of the
+    per-I/O socket timeout; ``None`` disables it.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    call_deadline: float | None = 30.0
+    seed: int | None = None
+
+
+class _TransportFailure(Exception):
+    """Internal: the connection died during one attempt.
+
+    ``sent`` records whether the full request frame was handed to the
+    transport before the failure — the line between "safe to re-issue"
+    and "outcome unknown".
+    """
+
+    def __init__(self, cause: BaseException, sent: bool):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.sent = sent
 
 
 def _raise_remote(error: dict) -> None:
@@ -198,34 +257,45 @@ class RemoteHAM:
     On connect the client performs a protocol handshake (``ping``) and
     raises :class:`repro.errors.ProtocolError` if the server speaks a
     different protocol version — pass ``handshake=False`` to skip.
+
+    ``retry`` (a :class:`RetryPolicy`) governs reconnection and
+    re-issue when the connection dies mid-session; see the module
+    docstring for the idempotency rules.  Construction itself never
+    retries — a server that is down at connect time fails fast.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 handshake: bool = True):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 handshake: bool = True, retry: RetryPolicy | None = None):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = Random(self.retry.seed)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
+        self._sock: socket.socket | None = None
+        #: The (project_id, name) of the last successful host_open_graph,
+        #: replayed after a reconnect so the session stays bound.
+        self._rebind: tuple[int, str] | None = None
+        self._handshake_enabled = handshake
+        #: How many times the connection was re-established / a request
+        #: re-issued over this client's lifetime.
+        self.reconnects = 0
+        self.retries = 0
         #: Interceptors around every RPC operation (counts, latency,
         #: tracing); empty by default — the no-middleware fast path.
         self.middleware = MiddlewareChain()
         #: The server's ping reply ({"protocol": N, ...}) once known.
         self.server_info: dict | None = None
-        if handshake:
-            try:
-                self._handshake()
-            except BaseException:
-                self.close()
-                raise
+        with self._lock:
+            self._connect_locked()
 
     def close(self) -> None:
         """Close the connection (server aborts any open transactions)."""
         with self._lock:
-            if not self._closed:
-                try:
-                    self._sock.close()
-                finally:
-                    self._closed = True
+            self._closed = True
+            self._teardown_locked()
 
     def __enter__(self) -> "RemoteHAM":
         return self
@@ -234,43 +304,46 @@ class RemoteHAM:
         self.close()
 
     # ------------------------------------------------------------------
+    # connection lifecycle (self._lock held)
 
-    def _call(self, method: str, **params):
-        with self._lock:
-            request_id = next(self._ids)
-            write_message(self._sock, {
-                "id": request_id, "method": method, "params": params})
-            response = read_message(self._sock)
-        if not isinstance(response, dict):
-            raise ProtocolError("malformed response from server")
-        if response.get("id") != request_id:
-            raise ProtocolError(
-                f"response id {response.get('id')} does not match request "
-                f"{request_id}")
-        if response.get("ok"):
-            return response.get("result")
-        _raise_remote(response.get("error") or {})
+    def _teardown_locked(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
-    def _invoke(self, operation: Operation, wire_params: dict):
-        """One registry operation: RPC + result decode, via middleware."""
-        chain = self.middleware
-        if not chain:
-            return operation.result.from_wire(
-                self._call(operation.name, **wire_params))
-        return chain.run(
-            operation.name,
-            lambda: operation.result.from_wire(
-                self._call(operation.name, **wire_params)))
+    def _connect_locked(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        try:
+            if self._handshake_enabled:
+                self._handshake_locked()
+            if self._rebind is not None:
+                project_id, name = self._rebind
+                self._transact_locked("host_open_graph",
+                                      {"project_id": project_id,
+                                       "name": name})
+        except _TransportFailure as failure:
+            # A handshake failure is a *connect* failure from the outer
+            # call's point of view — its own request was never sent.
+            self._teardown_locked()
+            raise failure.cause
+        except BaseException:
+            self._teardown_locked()
+            raise
 
-    # ------------------------------------------------------------------
-    # sessions / transactions
+    def _handshake_locked(self) -> dict:
+        reply = self._transact_locked("ping", {})
+        info = self._validate_ping(reply)
+        self.server_info = info
+        return info
 
-    def _handshake(self) -> dict:
-        """Ping the server and verify it speaks our protocol version."""
-        reply = self._call("ping")
+    @staticmethod
+    def _validate_ping(reply) -> dict:
         if isinstance(reply, dict) and "protocol" in reply:
-            remote = reply["protocol"]
-            info = reply
+            remote, info = reply["protocol"], reply
         elif reply == "pong":  # the pre-registry protocol
             remote, info = 1, {"protocol": 1}
         else:
@@ -280,18 +353,125 @@ class RemoteHAM:
                 f"protocol version mismatch: this client speaks version "
                 f"{PROTOCOL_VERSION}, the server speaks version {remote}; "
                 f"upgrade the older side before connecting")
-        self.server_info = info
         return info
+
+    # ------------------------------------------------------------------
+    # the wire (self._lock held)
+
+    def _transact_locked(self, method: str, params: dict,
+                         deadline: float | None = None):
+        """One request/response exchange on the current socket.
+
+        Tears the connection down and raises :class:`_TransportFailure`
+        on any stream-level trouble; semantic (server-reported) errors
+        re-raise as local exception types and leave the stream healthy.
+        """
+        timeout = self._timeout
+        if deadline is not None:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise _TransportFailure(
+                    TimeoutError(f"{method}: call deadline exceeded"),
+                    sent=False)
+            timeout = min(timeout, remaining)
+        request_id = next(self._ids)
+        frame = encode_message({
+            "id": request_id, "method": method, "params": params})
+        sent = False
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.sendall(frame)
+            # The full frame reached the transport: the server may
+            # execute the request even if we never see the reply.
+            sent = True
+            response = read_message(self._sock)
+        except (ConnectionError, TimeoutError, OSError,
+                ChecksumError, StorageError, ProtocolError) as exc:
+            self._teardown_locked()
+            raise _TransportFailure(exc, sent) from exc
+        if not isinstance(response, dict) \
+                or response.get("id") != request_id:
+            self._teardown_locked()
+            raise _TransportFailure(ProtocolError(
+                f"{method}: response does not match request "
+                f"{request_id} (got {response!r})"), sent=True)
+        if response.get("ok"):
+            return response.get("result")
+        _raise_remote(response.get("error") or {})
+
+    def _call(self, method: str, _idempotent: bool = False, **params):
+        policy = self.retry
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            deadline = None
+            if policy.call_deadline is not None:
+                deadline = _time.monotonic() + policy.call_deadline
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    if self._sock is None:
+                        self._connect_locked()
+                        self.reconnects += 1
+                        RESILIENCE.increment("reconnects")
+                    return self._transact_locked(method, params, deadline)
+                except _TransportFailure as failure:
+                    cause, sent = failure.cause, failure.sent
+                except (ConnectionError, TimeoutError, OSError) as exc:
+                    cause, sent = exc, False  # connect-time failure
+                if sent and not _idempotent:
+                    raise RetryableError(
+                        f"{method}: connection lost after the request was "
+                        f"sent; the server may have executed it"
+                    ) from cause
+                out_of_time = (deadline is not None
+                               and _time.monotonic() >= deadline)
+                if attempt >= policy.max_attempts or out_of_time:
+                    raise cause
+                self.retries += 1
+                RESILIENCE.increment("retries")
+                delay = min(policy.backoff_cap,
+                            policy.backoff_base * 2 ** (attempt - 1))
+                delay *= 1 + policy.jitter * self._rng.random()
+                _time.sleep(delay)
+
+    def _invoke(self, operation: Operation, wire_params: dict):
+        """One registry operation: RPC + result decode, via middleware."""
+        # Transaction-scoped calls never auto-retry: the server-side
+        # transaction died with the old connection, so re-issuing under
+        # its id can only confuse matters.
+        idempotent = (operation.idempotent
+                      and wire_params.get("txn") is None)
+        chain = self.middleware
+        if not chain:
+            return operation.result.from_wire(
+                self._call(operation.name, _idempotent=idempotent,
+                           **wire_params))
+        return chain.run(
+            operation.name,
+            lambda: operation.result.from_wire(
+                self._call(operation.name, _idempotent=idempotent,
+                           **wire_params)))
+
+    # ------------------------------------------------------------------
+    # sessions / transactions
 
     def ping(self) -> bool:
         """Round-trip liveness check (re-runs the protocol handshake)."""
-        self._handshake()
+        reply = self._call("ping", _idempotent=True)
+        self.server_info = self._validate_ping(reply)
         return True
 
     def begin(self, read_only: bool = False) -> RemoteTransaction:
-        """Open a transaction on the server."""
+        """Open a transaction on the server.
+
+        Safe to auto-retry: if the first attempt's reply was lost, the
+        orphaned server-side transaction dies with its session.
+        """
         return RemoteTransaction(
-            self, self._call("begin", read_only=read_only))
+            self, self._call("begin", _idempotent=True,
+                             read_only=read_only))
 
     transaction = begin
 
@@ -316,13 +496,19 @@ class RemoteHAM:
         return project_id, time
 
     def host_open_graph(self, project_id: int, name: str) -> int:
-        """Bind this session to a hosted graph (aborts any open txns)."""
-        return self._call("host_open_graph", project_id=project_id,
-                          name=name)
+        """Bind this session to a hosted graph (aborts any open txns).
+
+        Idempotent (re-binding is a no-op server-side); remembered and
+        replayed after every reconnect.
+        """
+        result = self._call("host_open_graph", _idempotent=True,
+                            project_id=project_id, name=name)
+        self._rebind = (project_id, name)
+        return result
 
     def host_list_graphs(self) -> list[str]:
         """Names of the graphs the host serves."""
-        return self._call("host_list_graphs")
+        return self._call("host_list_graphs", _idempotent=True)
 
     def host_destroy_graph(self, project_id: int, name: str) -> None:
         """Destroy a hosted graph."""

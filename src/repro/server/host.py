@@ -33,11 +33,13 @@ class GraphHost:
 
     def __init__(self, root: str | os.PathLike,
                  demons: DemonRegistry | None = None,
-                 synchronous: bool = True):
+                 synchronous: bool = True,
+                 lock_timeout: float = 10.0):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.demons = demons if demons is not None else DemonRegistry()
         self._synchronous = synchronous
+        self._lock_timeout = lock_timeout
         self._lock = threading.Lock()
         self._open: dict[str, HAM] = {}
 
@@ -68,7 +70,8 @@ class GraphHost:
                 return ham
             ham = HAM.open_graph(project_id, self._directory(name),
                                  demons=self.demons,
-                                 synchronous=self._synchronous)
+                                 synchronous=self._synchronous,
+                                 lock_timeout=self._lock_timeout)
             self._open[name] = ham
             return ham
 

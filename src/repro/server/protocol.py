@@ -24,8 +24,8 @@ from repro.storage.serializer import (
     unpack_record,
 )
 
-__all__ = ["read_message", "write_message", "MAX_MESSAGE_BYTES",
-           "PROTOCOL_VERSION"]
+__all__ = ["encode_message", "read_message", "write_message",
+           "MAX_MESSAGE_BYTES", "PROTOCOL_VERSION"]
 
 #: Upper bound on one message; prevents a bad length prefix from
 #: allocating unbounded memory.
@@ -34,31 +34,68 @@ MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 _LENGTH = struct.Struct(">I")
 
 
+def encode_message(message: object) -> bytes:
+    """Encode and frame one message (length prefix + checksummed record)."""
+    framed = pack_record(encode_value(message))
+    return _LENGTH.pack(len(framed)) + framed
+
+
 def write_message(sock: socket.socket, message: object) -> None:
     """Encode, frame, and send one message."""
-    framed = pack_record(encode_value(message))
-    sock.sendall(_LENGTH.pack(len(framed)) + framed)
+    sock.sendall(encode_message(message))
+
+
+def _kill(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass
 
 
 def _read_exact(sock: socket.socket, length: int) -> bytes:
-    chunks = []
+    chunks: list[bytes] = []
     remaining = length
-    while remaining > 0:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ConnectionError("peer closed the connection")
-        chunks.append(chunk)
-        remaining -= len(chunk)
+    try:
+        while remaining > 0:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+    except TimeoutError:
+        if not chunks:
+            raise  # nothing consumed: the stream is still frame-aligned
+        # A timeout mid-frame leaves the stream desynchronized — the
+        # next read would consume the rest of this frame as if it were a
+        # new one.  The connection is unusable; kill it.
+        _kill(sock)
+        raise ConnectionError(
+            f"timed out mid-message after {length - remaining} of "
+            f"{length} bytes; connection closed (stream desynced)"
+        ) from None
     return b"".join(chunks)
 
 
 def read_message(sock: socket.socket) -> object:
-    """Receive and decode one message (blocking)."""
+    """Receive and decode one message (blocking).
+
+    Any timeout after the first byte of a message has been consumed
+    closes the socket and raises :class:`ConnectionError`: a partially
+    read frame can never be resynchronized.
+    """
     (length,) = _LENGTH.unpack(_read_exact(sock, _LENGTH.size))
     if length > MAX_MESSAGE_BYTES:
         raise ProtocolError(
             f"message of {length} bytes exceeds the "
             f"{MAX_MESSAGE_BYTES}-byte limit")
-    framed = _read_exact(sock, length)
+    try:
+        framed = _read_exact(sock, length)
+    except TimeoutError:
+        # The length prefix was consumed but the body never arrived:
+        # same desync as a torn frame.
+        _kill(sock)
+        raise ConnectionError(
+            f"timed out awaiting a {length}-byte message body; "
+            f"connection closed (stream desynced)") from None
     payload, __ = unpack_record(framed)
     return decode_value(payload)

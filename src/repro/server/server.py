@@ -22,8 +22,9 @@ import threading
 
 from repro.core.ham import HAM
 from repro.core.operations import build_server_dispatch, release_active
-from repro.errors import ProtocolError
-from repro.server.protocol import read_message, write_message
+from repro.errors import FaultError, ProtocolError
+from repro.server.protocol import encode_message, read_message
+from repro.testing import faults
 from repro.txn.manager import Transaction
 
 __all__ = ["HAMServer"]
@@ -56,7 +57,11 @@ class _Session:
         try:
             while True:
                 try:
+                    if faults.INJECTOR is not None:
+                        faults.fire("server.recv", sock=self.sock)
                     request = read_message(self.sock)
+                except FaultError:
+                    break  # injected connection fault: drop this client
                 except (ConnectionError, OSError):
                     break
                 except ProtocolError:
@@ -64,16 +69,28 @@ class _Session:
                     # resynchronization is impossible, drop the client.
                     break
                 response = self._handle(request)
+                encoded = encode_message(response)
                 try:
-                    write_message(self.sock, response)
+                    if faults.INJECTOR is not None:
+                        faults.fire("server.send", sock=self.sock,
+                                    frame=encoded)
+                    self.sock.sendall(encoded)
+                except FaultError:
+                    break
                 except (ConnectionError, OSError):
                     break
         finally:
-            self.abort_leftovers()
+            # Even when abort_leftovers dies mid-way (e.g. a simulated
+            # crash while journaling an ABORT), the socket must close so
+            # the client observes the drop.
             try:
-                self.sock.close()
-            except OSError:
-                pass
+                self.abort_leftovers()
+            finally:
+                self.server._forget_session(self)
+                try:
+                    self.sock.close()
+                except OSError:
+                    pass
 
     def abort_leftovers(self) -> None:
         """Abort transactions left open by a vanished client."""
@@ -129,6 +146,8 @@ class _Session:
     def _execute(self, method: object, params: object):
         if not isinstance(method, str) or not isinstance(params, dict):
             raise ProtocolError("malformed request")
+        if faults.INJECTOR is not None:
+            faults.fire("session.dispatch", method=method)
         handler = _DISPATCH.get(method)
         if handler is not None:
             return handler(self, params)
@@ -236,6 +255,8 @@ class HAMServer:
         self._accept_thread: threading.Thread | None = None
         self._running = False
         self._session_threads: list[threading.Thread] = []
+        self._sessions: list[_Session] = []
+        self._sessions_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -257,19 +278,66 @@ class HAMServer:
             except OSError:
                 break  # listener closed
             session = _Session(self, sock, peer)
+            with self._sessions_lock:
+                self._sessions.append(session)
             thread = threading.Thread(
-                target=session.run,
+                target=self._run_session, args=(session,),
                 name=f"ham-session-{peer[1]}", daemon=True)
             self._session_threads.append(thread)
             thread.start()
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener (sessions drain)."""
+    @staticmethod
+    def _run_session(session: "_Session") -> None:
+        try:
+            session.run()
+        except faults.SimulatedCrash:
+            pass  # simulated process death: the session thread just ends
+
+    def _forget_session(self, session: "_Session") -> None:
+        with self._sessions_lock:
+            try:
+                self._sessions.remove(session)
+            except ValueError:
+                pass
+
+    def stop(self, disconnect_clients: bool = False) -> None:
+        """Stop accepting and close the listener.
+
+        By default live sessions drain on their own.  With
+        ``disconnect_clients=True`` every session socket is severed too
+        (simulating a server kill) and the session threads are joined —
+        their leftover transactions abort before this returns.
+        """
         self._running = False
+        try:
+            # close() alone is not enough: a thread parked inside the
+            # accept() syscall keeps the LISTEN socket alive (and the
+            # port unbindable) until the call returns.  shutdown() wakes
+            # it with an error immediately.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if not disconnect_clients:
+            return
+        with self._sessions_lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            try:
+                session.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                session.sock.close()
+            except OSError:
+                pass
+        for thread in self._session_threads:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "HAMServer":
         return self.start()

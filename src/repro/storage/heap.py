@@ -15,15 +15,17 @@ from __future__ import annotations
 
 import struct
 import threading
+import zlib
 from typing import Iterator
 
-from repro.errors import StorageError
+from repro.errors import ChecksumError, StorageError
 from repro.storage.pager import Pager, PAGE_SIZE
 from repro.storage.serializer import (
     RECORD_HEADER,
     pack_record,
     unpack_record,
 )
+from repro.testing import faults
 
 __all__ = ["RecordHeap", "RecordId"]
 
@@ -31,8 +33,9 @@ __all__ = ["RecordHeap", "RecordId"]
 RecordId = int
 
 _MAGIC = b"NEPTHEAP"
-_FORMAT_VERSION = 1
-_HEADER = struct.Struct("<8sIQ")  # magic, version, append cursor
+_FORMAT_VERSION = 2
+#: magic, version, append cursor, CRC32 of the preceding fields.
+_HEADER = struct.Struct("<8sIQI")
 
 
 class RecordHeap:
@@ -40,17 +43,31 @@ class RecordHeap:
 
     Thread-safe.  Records are immutable once written; logical updates are
     the caller's job (append a new record, repoint the reference).
+
+    ``align_records=True`` starts every record on a page boundary, so
+    appending a record never dirties a page that holds earlier committed
+    records — a crash mid-append then cannot corrupt them.
+    ``rescue_header=True`` recovers from a torn or corrupt header page by
+    re-deriving the append cursor from a full record scan.
     """
 
-    def __init__(self, path: str, cache_pages: int = 256):
+    def __init__(self, path: str, cache_pages: int = 256,
+                 align_records: bool = False, rescue_header: bool = False):
         self._pager = Pager(path, cache_pages=cache_pages)
         self._lock = threading.RLock()
+        self._align = align_records
         if self._pager.page_count == 0:
             self._pager.allocate_page()
             self._cursor = PAGE_SIZE  # data starts after the header page
             self._write_header()
         else:
-            self._cursor = self._read_header()
+            try:
+                self._cursor = self._read_header()
+            except StorageError:
+                if not rescue_header:
+                    raise
+                self._cursor = self._rescue_cursor()
+                self._write_header()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -92,8 +109,13 @@ class RecordHeap:
         framed = pack_record(payload)
         with self._lock:
             record_id = self._cursor
+            if self._align and record_id % PAGE_SIZE:
+                record_id += PAGE_SIZE - record_id % PAGE_SIZE
+            if faults.INJECTOR is not None:
+                faults.fire("heap.write", path=self.path, offset=record_id,
+                            data=framed)
             self._write_bytes(record_id, framed)
-            self._cursor += len(framed)
+            self._cursor = record_id + len(framed)
             return record_id
 
     def read(self, record_id: RecordId) -> bytes:
@@ -155,16 +177,50 @@ class RecordHeap:
     # header
 
     def _write_header(self) -> None:
-        header = _HEADER.pack(_MAGIC, _FORMAT_VERSION, self._cursor)
-        self._pager.write_slice(0, 0, header)
+        body = _HEADER.pack(_MAGIC, _FORMAT_VERSION, self._cursor, 0)
+        checksum = zlib.crc32(body[:-4])
+        self._pager.write_slice(0, 0, _HEADER.pack(
+            _MAGIC, _FORMAT_VERSION, self._cursor, checksum))
 
     def _read_header(self) -> int:
         raw = self._pager.read_page(0)[:_HEADER.size]
-        magic, version, cursor = _HEADER.unpack(raw)
+        magic, version, cursor, checksum = _HEADER.unpack(raw)
         if magic != _MAGIC:
             raise StorageError(
                 f"{self.path}: not a record heap (bad magic {magic!r})")
         if version != _FORMAT_VERSION:
             raise StorageError(
                 f"{self.path}: unsupported heap format version {version}")
+        if checksum != zlib.crc32(raw[:-4]):
+            raise ChecksumError(
+                f"{self.path}: heap header failed its checksum")
+        return cursor
+
+    def _rescue_cursor(self) -> int:
+        """Re-derive the append cursor by walking the records.
+
+        Valid frames advance packed; anything unreadable (torn tail,
+        alignment padding — note a zeroed frame header is a *valid empty
+        record*, since CRC32 of no bytes is 0) skips to the next page
+        boundary.  Only non-empty records advance the rescued cursor, so
+        zero padding never inflates it.
+        """
+        end = self._pager.page_count * PAGE_SIZE
+        offset = PAGE_SIZE
+        cursor = PAGE_SIZE
+        while offset + RECORD_HEADER.size <= end:
+            try:
+                (length, __) = RECORD_HEADER.unpack(
+                    self._read_bytes(offset, RECORD_HEADER.size))
+                if offset + RECORD_HEADER.size + length > end:
+                    raise StorageError("record extends past heap end")
+                framed = self._read_bytes(
+                    offset, RECORD_HEADER.size + length)
+                unpack_record(framed)
+            except (ChecksumError, StorageError):
+                offset += PAGE_SIZE - offset % PAGE_SIZE or PAGE_SIZE
+                continue
+            offset += RECORD_HEADER.size + length
+            if length:
+                cursor = offset
         return cursor

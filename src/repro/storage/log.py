@@ -29,6 +29,7 @@ from repro.storage.serializer import (
     pack_record,
     unpack_record,
 )
+from repro.testing import faults
 
 __all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind"]
 
@@ -90,6 +91,11 @@ class WriteAheadLog:
         self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND,
                            0o644)
         self._end = os.fstat(self._fd).st_size
+        #: Everything below this offset has been covered by an fsync (or
+        #: predates this open); commit-time fault injection may only
+        #: corrupt bytes at or above it — acknowledged records are
+        #: already on the medium.
+        self._forced = self._end
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -129,8 +135,14 @@ class WriteAheadLog:
             if self._closed:
                 raise StorageError(f"{self._path}: log is closed")
             lsn = self._end
+            if faults.INJECTOR is not None:
+                faults.fire("wal.append.pre-fsync", path=self._path,
+                            offset=lsn, data=framed)
             os.write(self._fd, framed)
             self._end += len(framed)
+            if faults.INJECTOR is not None:
+                faults.fire("wal.append.post-fsync", path=self._path,
+                            offset=lsn, length=len(framed))
             return lsn
 
     def force(self) -> None:
@@ -138,7 +150,12 @@ class WriteAheadLog:
         with self._lock:
             if self._closed:
                 raise StorageError(f"{self._path}: log is closed")
+            if faults.INJECTOR is not None:
+                faults.fire("wal.commit.force", path=self._path,
+                            offset=self._forced,
+                            length=self._end - self._forced)
             os.fsync(self._fd)
+            self._forced = self._end
 
     def truncate(self) -> None:
         """Discard all records (used after a checkpoint)."""
@@ -148,6 +165,7 @@ class WriteAheadLog:
             os.ftruncate(self._fd, 0)
             os.lseek(self._fd, 0, os.SEEK_SET)
             self._end = 0
+            self._forced = 0
 
     # ------------------------------------------------------------------
     # recovery scan

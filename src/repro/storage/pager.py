@@ -19,6 +19,7 @@ import os
 import threading
 
 from repro.errors import StorageError
+from repro.testing import faults
 
 __all__ = ["Pager", "PAGE_SIZE"]
 
@@ -46,12 +47,11 @@ class Pager:
         flags = os.O_RDWR | os.O_CREAT
         self._fd = os.open(self._path, flags, 0o644)
         size = os.fstat(self._fd).st_size
-        if size % PAGE_SIZE != 0:
-            os.close(self._fd)
-            raise StorageError(
-                f"{self._path}: size {size} is not a multiple of the page "
-                f"size; file is truncated or not a page file")
-        self._page_count = size // PAGE_SIZE
+        # A non-page-multiple size is the signature of a crash mid-write
+        # or mid-truncate.  Rejecting it would make recovery impossible,
+        # so tolerate it: round the page count up and let short reads of
+        # the torn tail zero-pad (see _get).
+        self._page_count = (size + PAGE_SIZE - 1) // PAGE_SIZE
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -181,5 +181,8 @@ class Pager:
             self._dirty.discard(victim)
 
     def _write_through(self, page_id: int, page: bytearray) -> None:
+        if faults.INJECTOR is not None:
+            faults.fire("pager.write", path=self._path,
+                        offset=page_id * PAGE_SIZE, data=bytes(page))
         os.lseek(self._fd, page_id * PAGE_SIZE, os.SEEK_SET)
         os.write(self._fd, bytes(page))

@@ -1,0 +1,34 @@
+"""Test infrastructure that ships with the library.
+
+- :mod:`repro.testing.faults` — deterministic fault injection with named
+  points woven through the storage and server stacks;
+- :mod:`repro.testing.crashmatrix` — the crash-matrix recovery harness
+  (imported on demand; it pulls in the full HAM stack).
+
+Only the fault-injection surface is re-exported here: the storage
+modules import this package at startup, so it must stay dependency-free.
+"""
+
+from repro.testing.faults import (
+    ACTIONS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    POINTS,
+    SimulatedCrash,
+    injected,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "POINTS",
+    "SimulatedCrash",
+    "injected",
+    "install",
+    "uninstall",
+]

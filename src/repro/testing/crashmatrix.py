@@ -1,0 +1,254 @@
+"""Crash-matrix recovery testing: every fault point × every action.
+
+One *case* = run the :mod:`repro.workloads.crashmix` workload against a
+persistent graph with exactly one fault armed (a named injection point,
+an action, and which hit triggers), let the fault crash or corrupt the
+run mid-flight, reopen the graph through normal recovery, and check the
+oracle's invariants against the recovered state:
+
+- every transaction whose ``commit()`` returned is present
+  byte-identically (durability — including delta-chain reconstruction
+  of archived versions);
+- no trace of an aborted transaction's markers is visible anywhere
+  (complete recovery from any aborted transaction);
+- the one transaction in flight at the crash is all-or-nothing
+  (atomicity).
+
+``run_local_case`` exercises the storage stack in-process;
+``run_remote_case`` puts a :class:`repro.server.server.HAMServer` and a
+resilient :class:`repro.server.client.RemoteHAM` in the loop so the
+connection-level fault points get real sockets to corrupt.
+
+This module is imported by tests on demand — keep it out of
+``repro.testing.__init__`` so installing a fault plan never drags the
+whole stack into :mod:`repro.storage` imports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.ham import HAM
+from repro.errors import NeptuneError
+from repro.server.client import RemoteHAM, RetryPolicy
+from repro.server.server import HAMServer
+from repro.storage.serializer import RECORD_HEADER, unpack_record
+from repro.testing import faults
+from repro.workloads.crashmix import CommitOracle, CrashMix, run_crash_mix
+
+__all__ = ["CaseResult", "abandon", "run_local_case", "run_remote_case",
+           "verify_invariants", "wal_record_boundaries"]
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one matrix cell (verification already passed)."""
+
+    point: str
+    action: str
+    hit: int
+    #: True when the armed fault actually triggered during the run.
+    fired: bool
+    #: What the workload raised mid-run, if anything.
+    error: BaseException | None
+
+
+def abandon(ham: HAM) -> None:
+    """Drop a HAM the way a crash would: no checkpoint, no cleanup."""
+    try:
+        ham._log.close()
+    except OSError:
+        pass
+    ham._closed = True
+
+
+def _default_mix(seed: int) -> CrashMix:
+    return CrashMix(steps=16, seed=seed + 11, checkpoint_at=8,
+                    abort_every=5)
+
+
+def _run_armed(ham_like, oracle: CommitOracle, mix: CrashMix,
+               plan: faults.FaultPlan) -> tuple[bool, BaseException | None]:
+    """Run the workload with ``plan`` installed; report (fired, error)."""
+    injector = faults.install(plan)
+    error: BaseException | None = None
+    try:
+        run_crash_mix(ham_like, oracle, mix)
+    except (faults.SimulatedCrash, NeptuneError, OSError) as exc:
+        error = exc
+    finally:
+        faults.uninstall()
+    return bool(injector.fired), error
+
+
+def run_local_case(directory, point: str, action: str, hit: int = 1,
+                   seed: int = 0, mix: CrashMix | None = None,
+                   ) -> CaseResult:
+    """One matrix cell against an in-process HAM."""
+    mix = mix if mix is not None else _default_mix(seed)
+    path = os.path.join(os.fspath(directory), "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    oracle = CommitOracle()
+    plan = faults.FaultPlan(
+        specs=(faults.FaultSpec(point, action, hit=hit),), seed=seed)
+    fired, error = _run_armed(ham, oracle, mix, plan)
+    abandon(ham)
+    recovered = HAM.open_graph(project_id, path)
+    try:
+        verify_invariants(recovered, oracle)
+    finally:
+        abandon(recovered)  # plain close would checkpoint; keep it inert
+    return CaseResult(point=point, action=action, hit=hit, fired=fired,
+                      error=error)
+
+
+def run_remote_case(directory, point: str, action: str, hit: int = 1,
+                    seed: int = 0, mix: CrashMix | None = None,
+                    ) -> CaseResult:
+    """One matrix cell with a server and a resilient client in the loop."""
+    mix = mix if mix is not None else _default_mix(seed)
+    path = os.path.join(os.fspath(directory), "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    server = HAMServer(ham)
+    server.start()
+    oracle = CommitOracle()
+    plan = faults.FaultPlan(
+        specs=(faults.FaultSpec(point, action, hit=hit),), seed=seed)
+    try:
+        client = RemoteHAM(*server.address, timeout=5.0,
+                           retry=RetryPolicy(max_attempts=2,
+                                             backoff_base=0.01,
+                                             call_deadline=5.0,
+                                             seed=seed))
+        try:
+            fired, error = _run_armed(client, oracle, mix, plan)
+        finally:
+            client.close()
+    finally:
+        # Leftover-transaction aborts during shutdown must write
+        # normally, so the plan is already uninstalled by _run_armed.
+        server.stop(disconnect_clients=True)
+    abandon(ham)
+    recovered = HAM.open_graph(project_id, path)
+    try:
+        verify_invariants(recovered, oracle)
+    finally:
+        abandon(recovered)
+    return CaseResult(point=point, action=action, hit=hit, fired=fired,
+                      error=error)
+
+
+# ======================================================================
+# the oracle checks
+
+
+def verify_invariants(ham: HAM, oracle: CommitOracle) -> None:
+    """Assert the recovery contract against a freshly recovered HAM."""
+    for staged in oracle.committed.values():
+        _assert_fully_present(ham, staged)
+    absent_markers = [staged.marker for staged in oracle.losers.values()]
+    for staged in oracle.losers.values():
+        _assert_attrs_absent(ham, staged)
+    for staged in oracle.maybe.values():
+        items = staged.items()
+        present = [item for item in items if _item_present(ham, item)]
+        assert not present or len(present) == len(items), (
+            f"step {staged.step} ({staged.marker}) recovered partially: "
+            f"{len(present)} of {len(items)} effects present")
+        if not present:
+            absent_markers.append(staged.marker)
+            _assert_attrs_absent(ham, staged)
+    _assert_markers_unseen(ham, absent_markers)
+
+
+def _assert_fully_present(ham: HAM, staged) -> None:
+    for node, time, contents in staged.versions:
+        recovered = ham.open_node(node, time=time)[0]
+        assert recovered == contents, (
+            f"step {staged.step}: node {node}@{time} recovered "
+            f"{recovered!r}, committed {contents!r}")
+    for node, attr, value, stamp in staged.attrs:
+        recovered = ham.store.node(node).attributes.value_at(
+            attr, stamp, default=None)
+        assert recovered == value, (
+            f"step {staged.step}: node {node} attribute {attr}@{stamp} "
+            f"recovered {recovered!r}, committed {value!r}")
+    for link, from_node, to_node in staged.links:
+        assert ham.get_from_node(link)[0] == from_node
+        assert ham.get_to_node(link)[0] == to_node
+    for node in staged.new_nodes:
+        ham.store.node(node)  # raises NodeNotFoundError if lost
+
+
+def _item_present(ham: HAM, item) -> bool:
+    kind = item[0]
+    if kind == "version":
+        __, node, time, contents = item
+        record = ham.store.nodes.get(node)
+        if record is None or time not in record.content_version_times():
+            return False
+        return record.contents_at(time) == contents
+    if kind == "attr":
+        __, node, attr, value, stamp = item
+        record = ham.store.nodes.get(node)
+        if record is None:
+            return False
+        return record.attributes.value_at(attr, stamp,
+                                          default=None) == value
+    if kind == "link":
+        __, link, from_node, to_node = item
+        record = ham.store.links.get(link)
+        return record is not None
+    if kind == "node":
+        return item[1] in ham.store.nodes
+    raise AssertionError(f"unknown staged item {item!r}")
+
+
+def _assert_attrs_absent(ham: HAM, staged) -> None:
+    """Targeted check: a dead transaction's attribute values are gone."""
+    for node, attr, value, stamp in staged.attrs:
+        record = ham.store.nodes.get(node)
+        if record is None:
+            continue
+        for probe in (stamp, 0):  # at the write's stamp and currently
+            recovered = record.attributes.value_at(attr, probe,
+                                                   default=None)
+            assert recovered != value, (
+                f"step {staged.step}: aborted attribute value {value!r} "
+                f"visible on node {node} at time {probe}")
+
+
+def _assert_markers_unseen(ham: HAM, markers: list[str]) -> None:
+    """Sweep every content version of every node for dead markers."""
+    if not markers:
+        return
+    needles = [marker.encode() for marker in markers]
+    for index, record in ham.store.nodes.items():
+        for time in record.content_version_times():
+            contents = record.contents_at(time)
+            for needle in needles:
+                assert needle not in contents, (
+                    f"marker {needle!r} of a dead transaction survives "
+                    f"in node {index}@{time}")
+
+
+# ======================================================================
+# log-boundary sweep support
+
+
+def wal_record_boundaries(path) -> list[int]:
+    """Byte offsets after each complete record frame in a WAL file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    boundaries = []
+    offset = 0
+    while offset + RECORD_HEADER.size <= len(data):
+        try:
+            __, offset = unpack_record(data, offset)
+        except NeptuneError:
+            break
+        boundaries.append(offset)
+    return boundaries

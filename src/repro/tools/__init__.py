@@ -12,10 +12,16 @@
 """
 
 from repro.tools.verify import verify_graph, Violation
-from repro.tools.stats import graph_stats, GraphStats
+from repro.tools.stats import (
+    graph_stats,
+    GraphStats,
+    render_resilience,
+    resilience_stats,
+)
 from repro.tools.dump import dump_graph, import_graph, load_dump
-from repro.tools.metrics import OperationMetrics, TraceLog
+from repro.tools.metrics import CounterSet, OperationMetrics, TraceLog
 
 __all__ = ["verify_graph", "Violation", "graph_stats", "GraphStats",
            "dump_graph", "import_graph", "load_dump",
-           "OperationMetrics", "TraceLog"]
+           "CounterSet", "OperationMetrics", "TraceLog",
+           "render_resilience", "resilience_stats"]

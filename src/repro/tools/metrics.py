@@ -31,7 +31,51 @@ import threading
 from time import perf_counter
 from typing import Callable
 
-__all__ = ["OperationMetrics", "OperationStats", "TraceLog"]
+__all__ = ["CounterSet", "OperationMetrics", "OperationStats", "RESILIENCE",
+           "TraceLog"]
+
+
+class CounterSet:
+    """Thread-safe named event counters.
+
+    Unlike :class:`OperationMetrics` (latency-oriented middleware), a
+    counter set just counts occurrences of named events; unknown names
+    register themselves on first increment.
+    """
+
+    def __init__(self, *names: str):
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {name: 0 for name in names}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to ``name``; returns the new value."""
+        with self._lock:
+            value = self._counts.get(name, 0) + amount
+            self._counts[name] = value
+            return value
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    __getitem__ = get
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain dict copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter (registered names are kept)."""
+        with self._lock:
+            for name in self._counts:
+                self._counts[name] = 0
+
+
+#: Process-wide resilience counters: client reconnects/retries and faults
+#: injected by :mod:`repro.testing.faults`.  Surfaced by
+#: :func:`repro.tools.stats.resilience_stats`.
+RESILIENCE = CounterSet("reconnects", "retries", "injected_faults")
 
 
 class OperationStats:

@@ -4,6 +4,11 @@ Aggregates counts and storage accounting across one graph: live/total
 nodes and links, version counts, attribute usage, and the delta-chain
 byte split (current bytes vs. stored history bytes) that benchmark B1
 characterizes.
+
+Also surfaces the process-wide resilience counters
+(:data:`repro.tools.metrics.RESILIENCE`): how many reconnects and
+request retries remote clients performed, and how many injected faults
+fired — the operator's view of how rough the session has been.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from dataclasses import dataclass
 
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
+from repro.tools.metrics import RESILIENCE
 
-__all__ = ["GraphStats", "graph_stats"]
+__all__ = ["GraphStats", "graph_stats", "render_resilience",
+           "resilience_stats"]
 
 
 @dataclass(frozen=True)
@@ -97,3 +104,16 @@ def graph_stats(ham: HAM) -> GraphStats:
         history_bytes=history_bytes,
         clock_now=store.clock.now,
     )
+
+
+def resilience_stats() -> dict[str, int]:
+    """Snapshot of the process-wide resilience counters."""
+    return RESILIENCE.snapshot()
+
+
+def render_resilience() -> str:
+    """Human-readable report of the resilience counters."""
+    counters = resilience_stats()
+    width = max(len(name) for name in counters)
+    return "\n".join(f"{name.ljust(width)}  {value}"
+                     for name, value in sorted(counters.items()))

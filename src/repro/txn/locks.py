@@ -77,7 +77,11 @@ class LockManager:
                         raise LockTimeoutError(
                             f"transaction {txn_id} timed out waiting for "
                             f"{resource!r}")
-                    self._condition.wait(timeout=min(remaining, 0.1))
+                    # Releases notify_all, so waiters wake promptly; the
+                    # coarse 1s cap only bounds deadline slip against a
+                    # missed wakeup (e.g. a holder that died without
+                    # releasing), not the normal handoff latency.
+                    self._condition.wait(timeout=min(remaining, 1.0))
             finally:
                 state.waiters.remove((txn_id, mode))
             self._grant(state, txn_id, resource, mode)

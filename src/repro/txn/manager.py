@@ -177,6 +177,37 @@ class TransactionManager:
         with self._lock:
             self._active.pop(txn.txn_id, None)
 
+    def resume_after(self, max_txn_id: int) -> None:
+        """Never assign a txn id at or below ``max_txn_id``.
+
+        Called after recovery with the highest id seen in the log: the
+        log is not truncated on open, so a fresh process restarting ids
+        at 1 could otherwise collide with a loser still in the log and
+        adopt its updates at the next replay.
+        """
+        with self._lock:
+            if max_txn_id >= self._next_txn_id:
+                self._next_txn_id = max_txn_id + 1
+
+    def checkpoint_mark(self, snapshot_marker: object) -> None:
+        """Force a CHECKPOINT intent record *without* truncating.
+
+        Written before the meta pointer flips to a new snapshot:
+        recovery prefers the newest marker in the log over the meta
+        pointer, so once this record is durable the snapshot switch is
+        atomic from the recovery scan's point of view — a crash anywhere
+        around the meta rewrite lands on one consistent snapshot+suffix
+        combination.
+        """
+        with self._lock:
+            if self._active:
+                raise TransactionError(
+                    "cannot checkpoint with transactions in flight")
+        self.log.append(LogRecord(
+            kind=LogRecordKind.CHECKPOINT, txn_id=0,
+            payload=snapshot_marker))
+        self.log.force()
+
     def checkpoint(self, snapshot_marker: object = None) -> None:
         """Append a CHECKPOINT record and truncate the redo log.
 

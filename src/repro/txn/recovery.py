@@ -38,22 +38,45 @@ class RecoveredState:
     loser_txns: set[int] = field(default_factory=set)
     checkpoint_marker: object = None
     saw_checkpoint: bool = False
+    #: Payloads of *every* CHECKPOINT record in the log, in order —
+    #: including ones a later checkpoint superseded.  Recovery consults
+    #: this to know which snapshots the log can be replayed onto.
+    markers: list = field(default_factory=list)
+    #: Highest transaction id appearing anywhere in the log.  The
+    #: manager resumes numbering above it so a post-crash process cannot
+    #: reuse an id still present in the log (which would fuse a loser's
+    #: updates with the new transaction's at the next recovery).
+    max_txn_id: int = 0
 
 
-def replay_log(log: WriteAheadLog) -> RecoveredState:
+def replay_log(log: WriteAheadLog, anchor: object = None) -> RecoveredState:
     """Scan ``log`` and return the committed updates to re-apply.
 
     Tolerates a torn tail (the scanner stops at the first corrupt
     record): everything after the last valid record belongs to
     unacknowledged transactions by the force-at-commit rule.
+
+    ``anchor`` selects which CHECKPOINT record resets the replay state:
+    by default every one does (the latest wins, matching the
+    truncate-on-checkpoint discipline); with an anchor only CHECKPOINT
+    records whose payload equals it do, yielding the updates to apply on
+    top of *that* snapshot — the fallback path when the newest snapshot
+    turns out to be unreadable.
     """
     pending: dict[int, list[tuple[int, str, dict]]] = {}
     state = RecoveredState()
+    markers: list = []
+    max_txn_id = 0
     for record in log.scan():
+        if record.txn_id > max_txn_id:
+            max_txn_id = record.txn_id
         if record.kind is LogRecordKind.CHECKPOINT:
             # A checkpoint invalidates everything before it; the manager
             # truncates on checkpoint so this only appears first, but be
             # defensive against logs assembled by hand.
+            markers.append(record.payload)
+            if anchor is not None and record.payload != anchor:
+                continue
             pending.clear()
             state = RecoveredState(
                 checkpoint_marker=record.payload, saw_checkpoint=True)
@@ -70,4 +93,6 @@ def replay_log(log: WriteAheadLog) -> RecoveredState:
             state.aborted_txns.add(record.txn_id)
             pending.pop(record.txn_id, None)
     state.loser_txns = set(pending) | state.aborted_txns
+    state.markers = markers
+    state.max_txn_id = max_txn_id
     return state

@@ -1,0 +1,216 @@
+"""Resilient RemoteHAM sessions: reconnect, retry, and honest failure."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.errors import NodeNotFoundError, RetryableError
+from repro.server.client import RemoteHAM, RetryPolicy
+from repro.server.protocol import read_message
+from repro.server.server import HAMServer
+from repro.testing import faults
+
+FAST = RetryPolicy(max_attempts=4, backoff_base=0.01, backoff_cap=0.1,
+                   call_deadline=10.0, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture
+def served():
+    ham = HAM.ephemeral()
+    server = HAMServer(ham).start()
+    client = RemoteHAM(*server.address, timeout=5.0, retry=FAST)
+    yield ham, server, client
+    client.close()
+    server.stop()
+
+
+def plan(*specs, seed=0):
+    return faults.FaultPlan(specs=tuple(specs), seed=seed)
+
+
+class TestServerRestart:
+    def test_idempotent_reads_survive_a_restart(self):
+        ham = HAM.ephemeral()
+        server = HAMServer(ham).start()
+        port = server.port
+        client = RemoteHAM("127.0.0.1", port, timeout=5.0, retry=FAST)
+        try:
+            node, __ = client.add_node()
+            server.stop(disconnect_clients=True)
+            server = HAMServer(ham, port=port).start()
+            # The old socket is dead; the read must reconnect and retry
+            # without surfacing anything to the caller.
+            assert client.get_node_timestamp(node) \
+                == ham.get_node_timestamp(node)
+            assert client.reconnects >= 1
+            assert client.server_info is not None
+        finally:
+            client.close()
+            server.stop()
+
+    def test_rebinds_hosted_graph_after_restart(self, tmp_path):
+        from repro.server.host import GraphHost
+        host = GraphHost(tmp_path / "root")
+        server = HAMServer(host=host).start()
+        port = server.port
+        client = RemoteHAM("127.0.0.1", port, timeout=5.0, retry=FAST)
+        try:
+            project_id, __ = client.host_create_graph("cad")
+            client.host_open_graph(project_id, "cad")
+            node, __ = client.add_node()
+            server.stop(disconnect_clients=True)
+            server = HAMServer(host=host, port=port).start()
+            # The reconnect replays host_open_graph, so graph-bound
+            # operations keep working on the new session.
+            assert client.get_node_timestamp(node) >= 1
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+            server.stop()
+            host.close()
+
+    def test_mutation_during_outage_is_never_silently_duplicated(self):
+        ham = HAM.ephemeral()
+        server = HAMServer(ham).start()
+        port = server.port
+        client = RemoteHAM("127.0.0.1", port, timeout=5.0, retry=FAST)
+        try:
+            node, __ = client.add_node()
+            expected = client.get_node_timestamp(node)
+            server.stop(disconnect_clients=True)
+            with pytest.raises((RetryableError, ConnectionError, OSError)):
+                client.modify_node(node=node, expected_time=expected,
+                                   contents=b"during outage")
+            versions_before = len(
+                ham.store.node(node).content_version_times())
+            server = HAMServer(ham, port=port).start()
+            time = client.modify_node(
+                node=node,
+                expected_time=client.get_node_timestamp(node),
+                contents=b"after restart")
+            assert client.open_node(node, time=time)[0] == b"after restart"
+            assert len(ham.store.node(node).content_version_times()) \
+                == versions_before + 1
+        finally:
+            client.close()
+            server.stop()
+
+
+class TestInjectedConnectionFaults:
+    def test_lost_reply_of_mutation_raises_retryable(self, served):
+        ham, __, client = served
+        node, __t = client.add_node()
+        expected = client.get_node_timestamp(node)
+        versions = len(ham.store.node(node).content_version_times())
+        with faults.injected(
+                plan(faults.FaultSpec("server.send", "raise"))):
+            with pytest.raises(RetryableError):
+                client.modify_node(node=node, expected_time=expected,
+                                   contents=b"unacknowledged")
+        # The server executed the mutation exactly once — the client
+        # must refuse to guess, not re-issue it.
+        record = ham.store.node(node)
+        assert len(record.content_version_times()) == versions + 1
+        assert record.contents_at() == b"unacknowledged"
+        assert client.retries == 0
+
+    def test_torn_reply_of_read_retries_transparently(self, served):
+        ham, __, client = served
+        node, __t = client.add_node()
+        retries_before = client.retries
+        with faults.injected(
+                plan(faults.FaultSpec("server.send", "truncate"), seed=3)):
+            assert client.get_node_timestamp(node) \
+                == ham.get_node_timestamp(node)
+        assert client.retries > retries_before
+        assert client.reconnects >= 1
+
+    def test_corrupted_reply_of_read_retries_transparently(self, served):
+        ham, __, client = served
+        node, __t = client.add_node()
+        with faults.injected(
+                plan(faults.FaultSpec("server.send", "bitflip"), seed=4)):
+            assert client.get_node_timestamp(node) \
+                == ham.get_node_timestamp(node)
+        assert client.retries >= 1
+
+    def test_semantic_errors_pass_through_without_retry(self, served):
+        __, __s, client = served
+        with pytest.raises(NodeNotFoundError):
+            client.get_node_timestamp(424242)
+        assert client.retries == 0
+        assert client.reconnects == 0  # the stream stayed healthy
+        assert client.ping()
+
+    def test_closed_client_refuses_calls(self, served):
+        __, __s, client = served
+        client.close()
+        with pytest.raises(ConnectionError):
+            client.ping()
+
+
+class TestStreamDesync:
+    def _half_open_server(self, payload: bytes):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def serve():
+            conn, __ = listener.accept()
+            if payload:
+                conn.sendall(payload)
+            threading.Event().wait(5.0)  # stall, keeping conn open
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return listener
+
+    def test_partial_frame_timeout_closes_the_socket(self):
+        listener = self._half_open_server(b"\x00\x00")
+        try:
+            sock = socket.create_connection(listener.getsockname(),
+                                            timeout=0.2)
+            # Two of four length-prefix bytes arrived: the stream can
+            # never re-align, so the reader must kill the connection.
+            with pytest.raises(ConnectionError):
+                read_message(sock)
+            assert sock.fileno() == -1
+        finally:
+            listener.close()
+
+    def test_idle_timeout_keeps_the_socket_usable(self):
+        listener = self._half_open_server(b"")
+        try:
+            sock = socket.create_connection(listener.getsockname(),
+                                            timeout=0.2)
+            # No bytes consumed: a timeout here is a plain timeout, not
+            # a desync — the caller may retry on the same socket.
+            with pytest.raises(TimeoutError):
+                read_message(sock)
+            assert sock.fileno() != -1
+            sock.close()
+        finally:
+            listener.close()
+
+    def test_partial_body_timeout_closes_the_socket(self):
+        # A full prefix promising 100 bytes, then only 3 arrive.
+        listener = self._half_open_server(b"\x00\x00\x00\x64abc")
+        try:
+            sock = socket.create_connection(listener.getsockname(),
+                                            timeout=0.2)
+            with pytest.raises(ConnectionError):
+                read_message(sock)
+            assert sock.fileno() == -1
+        finally:
+            listener.close()

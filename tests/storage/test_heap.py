@@ -87,3 +87,65 @@ class TestFlush:
         with RecordHeap(path) as other:
             assert other.read(record_id) == b"flushed record"
         heap.close()
+
+
+class TestHeaderIntegrity:
+    def test_corrupt_header_rejected_without_rescue(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path) as heap:
+            heap.append(b"payload")
+            heap.sync()
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0x40  # flip a bit inside the header's cursor field
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            RecordHeap(path)
+
+    def test_rescue_recovers_cursor_by_scanning(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path) as heap:
+            first = heap.append(b"alpha")
+            second = heap.append(b"beta")
+            heap.sync()
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0x40
+        path.write_bytes(bytes(data))
+        with RecordHeap(path, rescue_header=True) as heap:
+            assert heap.read(first) == b"alpha"
+            assert heap.read(second) == b"beta"
+            third = heap.append(b"gamma")
+            assert third > second
+            assert heap.read(third) == b"gamma"
+
+    def test_rescued_appends_do_not_clobber_records(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path) as heap:
+            kept = heap.append(b"x" * 100)
+            heap.sync()
+        data = bytearray(path.read_bytes())
+        data[8] ^= 0x01
+        path.write_bytes(bytes(data))
+        with RecordHeap(path, rescue_header=True) as heap:
+            added = heap.append(b"y" * 100)
+            assert heap.read(kept) == b"x" * 100
+            assert heap.read(added) == b"y" * 100
+
+
+class TestAlignedRecords:
+    def test_aligned_records_start_on_page_boundaries(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path, align_records=True) as heap:
+            ids = [heap.append(b"z" * 10) for __ in range(3)]
+            for record_id in ids:
+                assert record_id % PAGE_SIZE == 0
+            assert len(set(ids)) == 3
+            for record_id in ids:
+                assert heap.read(record_id) == b"z" * 10
+
+    def test_aligned_and_unaligned_reads_interoperate(self, tmp_path):
+        path = tmp_path / "records.heap"
+        with RecordHeap(path, align_records=True) as heap:
+            record_id = heap.append(b"snapshot bytes")
+            heap.sync()
+        with RecordHeap(path) as heap:
+            assert heap.read(record_id) == b"snapshot bytes"

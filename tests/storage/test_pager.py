@@ -81,11 +81,16 @@ class TestDurability:
         pager.allocate_page()
         pager.sync()
 
-    def test_non_page_multiple_file_rejected(self, tmp_path):
-        path = tmp_path / "bad.db"
+    def test_non_page_multiple_file_tolerated(self, tmp_path):
+        # A torn tail (crash mid-write) leaves a non-page-multiple file;
+        # the pager rounds up and zero-fills so recovery can proceed.
+        path = tmp_path / "torn.db"
         path.write_bytes(b"x" * 100)
-        with pytest.raises(StorageError):
-            Pager(path)
+        with Pager(path) as pager:
+            assert pager.page_count == 1
+            page = pager.read_page(0)
+            assert page[:100] == b"x" * 100
+            assert page[100:] == bytes(PAGE_SIZE - 100)
 
     def test_closed_pager_rejects_operations(self, tmp_path):
         pager = Pager(tmp_path / "pages.db")

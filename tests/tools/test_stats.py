@@ -65,3 +65,29 @@ class TestCounts:
         text = graph_stats(ham).render()
         assert "nodes (live/total)" in text
         assert "history bytes" in text
+
+
+class TestResilience:
+    def test_snapshot_carries_all_counters(self):
+        from repro.tools.stats import resilience_stats
+
+        stats = resilience_stats()
+        for name in ("reconnects", "retries", "injected_faults"):
+            assert name in stats
+            assert stats[name] >= 0
+
+    def test_counters_feed_the_snapshot(self):
+        from repro.tools.metrics import RESILIENCE
+        from repro.tools.stats import resilience_stats
+
+        before = resilience_stats()["retries"]
+        RESILIENCE.increment("retries")
+        assert resilience_stats()["retries"] == before + 1
+
+    def test_render_mentions_every_counter(self):
+        from repro.tools.stats import render_resilience
+
+        text = render_resilience()
+        assert "reconnects" in text
+        assert "retries" in text
+        assert "injected_faults" in text

@@ -195,3 +195,46 @@ class TestFairness:
         locks.release_all(1)
         assert writer_done.wait(timeout=2)
         assert reader_done.wait(timeout=2)
+
+
+class TestHandoffLatency:
+    def test_release_wakes_waiters_promptly(self, locks):
+        """The waiter must wake via notification, not a coarse poll."""
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def contender():
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+            locks.release_all(2)
+
+        thread = threading.Thread(target=contender, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # let the contender block
+        start = time.monotonic()
+        locks.release_all(1)
+        assert acquired.wait(timeout=2)
+        # Handoff must be notification-fast — far under the 1s
+        # fallback poll the condition wait uses as a safety net.
+        assert time.monotonic() - start < 0.5
+        thread.join(timeout=2)
+
+
+class TestTimeoutPlumbing:
+    def test_ham_lock_timeout_reaches_the_lock_manager(self):
+        from repro.core.ham import HAM
+        from repro.errors import LockTimeoutError as HAMLockTimeout
+
+        ham = HAM.ephemeral(lock_timeout=0.2)
+        holder = ham.begin()
+        node, __ = ham.add_node(holder)
+        start = time.monotonic()
+        contender = ham.begin()
+        with pytest.raises(HAMLockTimeout):
+            # add_node takes the graph lock exclusively, which the
+            # holder transaction already owns.
+            ham.add_node(contender)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # far below the 10s default
+        contender.abort()
+        holder.commit()

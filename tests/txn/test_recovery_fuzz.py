@@ -1,0 +1,99 @@
+"""Property-style recovery fuzzing over a real WAL.
+
+Builds a genuine log by running a workload against a persistent graph,
+then checks two properties over *every* byte of the file:
+
+- truncating the log at any offset never makes ``replay_log`` raise,
+  and yields a subset of the fully-replayed committed transactions with
+  each surviving transaction's updates complete (atomic prefix);
+- flipping any bit inside a record's checksum region makes the scanner
+  stop cleanly at that record, recovering exactly the prefix before it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.storage.log import WriteAheadLog
+from repro.storage.serializer import RECORD_HEADER
+from repro.testing.crashmatrix import abandon, wal_record_boundaries
+from repro.txn.recovery import replay_log
+from repro.workloads.crashmix import CommitOracle, CrashMix, run_crash_mix
+
+
+@pytest.fixture(scope="module")
+def real_wal(tmp_path_factory):
+    """(wal bytes, full replay state, loser txn ids) from a real run."""
+    root = tmp_path_factory.mktemp("fuzz")
+    path = root / "graph"
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    oracle = CommitOracle()
+    run_crash_mix(ham, oracle,
+                  CrashMix(steps=6, seed=99, checkpoint_at=None,
+                           abort_every=3))
+    abandon(ham)
+    wal_path = path / "wal.log"
+    data = wal_path.read_bytes()
+    log = WriteAheadLog(wal_path)
+    try:
+        full = replay_log(log)
+    finally:
+        log.close()
+    return data, full, wal_path
+
+
+def _replay_bytes(tmp_path, data: bytes):
+    path = tmp_path / "wal.log"
+    path.write_bytes(data)
+    log = WriteAheadLog(path)
+    try:
+        return replay_log(log)
+    finally:
+        log.close()
+
+
+def _updates_by_txn(state):
+    counts: dict[int, int] = {}
+    for txn_id, __, __args in state.updates:
+        counts[txn_id] = counts.get(txn_id, 0) + 1
+    return counts
+
+
+def test_truncation_at_every_byte_offset(tmp_path, real_wal):
+    data, full, __ = real_wal
+    assert full.committed_txns
+    full_counts = _updates_by_txn(full)
+    for cut in range(len(data) + 1):
+        state = _replay_bytes(tmp_path, data[:cut])  # must not raise
+        assert state.committed_txns <= full.committed_txns
+        counts = _updates_by_txn(state)
+        # No update may come from a transaction that did not commit
+        # within the truncated log...
+        assert set(counts) <= state.committed_txns
+        # ...and every surviving committed transaction is complete.
+        for txn_id in state.committed_txns:
+            assert counts.get(txn_id, 0) == full_counts.get(txn_id, 0), (
+                f"cut at {cut}: txn {txn_id} recovered partially")
+
+
+def test_bitflip_in_checksum_region_stops_scan_cleanly(tmp_path, real_wal):
+    data, __, wal_path = real_wal
+    boundaries = wal_record_boundaries(wal_path)
+    assert boundaries
+    starts = [0] + boundaries[:-1]
+    for start, end in zip(starts, boundaries):
+        prefix_state = _replay_bytes(tmp_path, data[:start])
+        # The CRC field is bytes [start+4, start+8) of the frame.
+        for crc_byte in range(start + 4, start + RECORD_HEADER.size):
+            for bit in (0, 7):
+                mutated = bytearray(data)
+                mutated[crc_byte] ^= 1 << bit
+                state = _replay_bytes(tmp_path, bytes(mutated))
+                assert state.committed_txns \
+                    == prefix_state.committed_txns, (
+                        f"flip at byte {crc_byte} of record "
+                        f"[{start},{end}) did not truncate the scan to "
+                        f"the preceding prefix")
+                assert state.updates == prefix_state.updates
