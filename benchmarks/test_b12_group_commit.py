@@ -1,0 +1,163 @@
+"""Experiment B12 — group commit and the buffered redo pipeline.
+
+The paper's HAM serves many workstation sessions against one server
+(§2.2, §6); the commit path must not serialize them on the disk.  This
+experiment drives K threads of small write transactions — each against
+its own node, so committers genuinely overlap — through the local HAM
+and through the TCP server, in two durability modes:
+
+- **baseline** — the historic per-commit-fsync discipline: every
+  committer pays a private ``force()`` under the log lock (restored by
+  monkeypatching ``force_up_to``), so N commits cost N serialized
+  fsyncs;
+- **grouped**  — the shipped ``force_up_to`` group commit: a committer
+  whose LSN is covered by a concurrent leader's fsync is absorbed for
+  free.
+
+Rows: commits/sec and fsyncs-per-commit at each concurrency level.
+Expected shape: identical at K=1 (no one to share a flush with); at
+K ≥ 4 the grouped mode drops well below one fsync per commit and
+commits/sec pulls ahead of the baseline.
+
+``NEPTUNE_BENCH_QUICK=1`` shrinks the matrix for CI smoke runs.
+"""
+
+import os
+import threading
+import time as clock
+
+from conftest import report
+from repro import HAM
+from repro.server.client import RemoteHAM
+from repro.server.server import HAMServer
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
+THREADS = (1, 4) if QUICK else (1, 4, 8)
+LOCAL_COMMITS = 40 if QUICK else 150
+REMOTE_COMMITS = 15 if QUICK else 60
+
+
+def _per_commit_fsync(log):
+    """Restore the pre-group-commit durability discipline on ``log``."""
+
+    def forced(lsn):
+        log.force()
+        return True
+
+    log.force_up_to = forced
+
+
+def _open(tmp_path, tag):
+    directory = tmp_path / tag
+    project_id, __ = HAM.create_graph(directory)
+    return HAM.open_graph(project_id, directory)
+
+
+def _drive(owner, make_session, threads, commits):
+    """Run ``threads`` committer threads; returns (rate, fsyncs/commit).
+
+    ``owner`` is the HAM that owns the WAL (for setup and counters);
+    ``make_session`` builds each worker's operation surface — the owner
+    itself locally, a fresh ``RemoteHAM`` over TCP.
+    """
+    nodes = []
+    with owner.begin() as txn:
+        for __ in range(threads):
+            node, __time = owner.add_node(txn)
+            nodes.append(node)
+    base = owner._log.stats()
+    barrier = threading.Barrier(threads + 1)
+    failures = []
+
+    def worker(worker_id):
+        session = make_session(worker_id)
+        try:
+            node = nodes[worker_id]
+            barrier.wait()
+            for commit_no in range(commits):
+                current = session.get_node_timestamp(node)
+                with session.begin() as txn:
+                    session.modify_node(
+                        txn, node=node, expected_time=current,
+                        contents=f"w{worker_id}-c{commit_no}\n".encode())
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+        finally:
+            if session is not owner:
+                session.close()
+
+    pool = [threading.Thread(target=worker, args=(worker_id,))
+            for worker_id in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    start = clock.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = clock.perf_counter() - start
+    if failures:
+        raise failures[0]
+    stats = owner._log.stats()
+    total = threads * commits
+    fsyncs = stats.fsyncs - base.fsyncs
+    return total / elapsed, fsyncs / total
+
+
+def _render(results, commits):
+    lines = [f"{'mode':<10} {'threads':>7} {'commits':>8} "
+             f"{'commits/s':>10} {'fsync/commit':>13}"]
+    for (mode, threads), (rate, per_commit) in sorted(results.items()):
+        lines.append(f"{mode:<10} {threads:>7} {threads * commits:>8} "
+                     f"{rate:>10.0f} {per_commit:>13.3f}")
+    return lines
+
+
+def test_b12_local_group_commit(tmp_path):
+    results = {}
+    for mode in ("baseline", "grouped"):
+        for threads in THREADS:
+            ham = _open(tmp_path, f"local-{mode}-{threads}")
+            if mode == "baseline":
+                _per_commit_fsync(ham._log)
+            rate, per_commit = _drive(ham, lambda __: ham, threads,
+                                      LOCAL_COMMITS)
+            results[(mode, threads)] = (rate, per_commit)
+            ham.close()
+    report("B12  group commit, local HAM "
+           f"({LOCAL_COMMITS} commits/thread)",
+           _render(results, LOCAL_COMMITS))
+
+    # The baseline pays one fsync per commit by construction; group
+    # commit must amortize the durability point once committers overlap.
+    assert results[("baseline", 4)][1] >= 1.0
+    assert results[("grouped", 4)][1] < 1.0
+    if not QUICK:
+        assert results[("grouped", 4)][0] > results[("baseline", 4)][0], (
+            "group commit did not beat per-commit fsync at 4 committers")
+
+
+def test_b12_server_group_commit(tmp_path):
+    results = {}
+    for mode in ("baseline", "grouped"):
+        for threads in THREADS:
+            ham = _open(tmp_path, f"server-{mode}-{threads}")
+            if mode == "baseline":
+                _per_commit_fsync(ham._log)
+            server = HAMServer(ham)
+            server.start()
+            try:
+                rate, per_commit = _drive(
+                    ham,
+                    lambda __: RemoteHAM(*server.address, timeout=30.0),
+                    threads, REMOTE_COMMITS)
+                results[(mode, threads)] = (rate, per_commit)
+            finally:
+                server.stop(disconnect_clients=True)
+                ham.close()
+    report("B12  group commit, TCP server "
+           f"({REMOTE_COMMITS} commits/session)",
+           _render(results, REMOTE_COMMITS))
+
+    # Sessions commit from independent server threads, so grouping must
+    # appear there exactly as it does locally.
+    assert results[("grouped", 4)][1] < 1.0

@@ -60,7 +60,7 @@ from repro.query.parser import parse_predicate
 from repro.query.predicate import Predicate
 from repro.query.traversal import TraversalResult, linearize_graph
 from repro.storage.diff import Difference, diff_bytes
-from repro.storage.log import WriteAheadLog
+from repro.storage.log import WalStats, WriteAheadLog
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.manager import Transaction, TransactionManager
 from repro.txn.recovery import replay_log
@@ -76,8 +76,17 @@ class _NullLog:
     def append(self, record) -> int:  # noqa: D401 - trivial
         return 0
 
+    def append_many(self, records) -> int:
+        return 0
+
     def force(self) -> None:
         pass
+
+    def force_up_to(self, lsn: int) -> bool:
+        return False
+
+    def stats(self) -> WalStats:
+        return WalStats()
 
     def truncate(self) -> None:
         pass
@@ -308,7 +317,8 @@ class HAM:
                    demons: DemonRegistry | None = None,
                    synchronous: bool = True,
                    use_attribute_index: bool = True,
-                   lock_timeout: float = 10.0) -> "HAM":
+                   lock_timeout: float = 10.0,
+                   group_commit_window: float = 0.0) -> "HAM":
         """``openGraph``: open an existing graph, recovering if needed.
 
         Loads the last durable checkpoint snapshot, replays the
@@ -318,6 +328,11 @@ class HAM:
         earlier snapshot the log can still be replayed onto (see
         :meth:`_recover`).  ``machine`` is accepted for Appendix
         fidelity; remote access goes through :mod:`repro.server`.
+
+        ``group_commit_window`` (seconds) lets a commit's group-flush
+        leader linger before fsyncing so concurrent committers pile onto
+        the same flush; 0.0 flushes immediately (see
+        :meth:`repro.storage.log.WriteAheadLog.force_up_to`).
         """
         graph_dir = GraphDirectory(directory)
         meta = graph_dir.read_meta()
@@ -325,7 +340,8 @@ class HAM:
             raise GraphNotFoundError(
                 f"{directory}: ProjectId does not match "
                 f"(given {project_id}, stored {meta['project']})")
-        log = WriteAheadLog(graph_dir.wal_path)
+        log = WriteAheadLog(graph_dir.wal_path,
+                            group_commit_window=group_commit_window)
         try:
             store, recovered, snapshot_id = cls._recover(graph_dir, meta,
                                                          log)

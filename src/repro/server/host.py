@@ -34,12 +34,14 @@ class GraphHost:
     def __init__(self, root: str | os.PathLike,
                  demons: DemonRegistry | None = None,
                  synchronous: bool = True,
-                 lock_timeout: float = 10.0):
+                 lock_timeout: float = 10.0,
+                 group_commit_window: float = 0.0):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.demons = demons if demons is not None else DemonRegistry()
         self._synchronous = synchronous
         self._lock_timeout = lock_timeout
+        self._group_commit_window = group_commit_window
         self._lock = threading.Lock()
         self._open: dict[str, HAM] = {}
 
@@ -68,10 +70,12 @@ class GraphHost:
                     raise GraphNotFoundError(
                         f"graph {name!r}: ProjectId does not match")
                 return ham
-            ham = HAM.open_graph(project_id, self._directory(name),
-                                 demons=self.demons,
-                                 synchronous=self._synchronous,
-                                 lock_timeout=self._lock_timeout)
+            ham = HAM.open_graph(
+                project_id, self._directory(name),
+                demons=self.demons,
+                synchronous=self._synchronous,
+                lock_timeout=self._lock_timeout,
+                group_commit_window=self._group_commit_window)
             self._open[name] = ham
             return ham
 

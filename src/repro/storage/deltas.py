@@ -149,9 +149,10 @@ class DeltaStore:
         """Contents of the version checked in at exactly ``time``."""
         if time == 0 or time == self._times[-1]:
             return self._current
-        try:
-            index = self._times.index(time)
-        except ValueError:
+        # _times is ascending, so an exact match is a bisect probe away —
+        # no linear scan over a long version chain.
+        index = bisect.bisect_left(self._times, time)
+        if index == len(self._times) or self._times[index] != time:
             raise VersionError(f"no version was checked in at time {time}")
         contents = self._current
         for step in range(len(self._deltas) - 1, index - 1, -1):

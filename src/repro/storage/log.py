@@ -1,11 +1,22 @@
-"""Write-ahead log with force-at-commit and a tolerant recovery scanner.
+"""Write-ahead log with group commit and a tolerant recovery scanner.
 
 The paper requires that the HAM "is transaction-oriented and provides for
 complete recovery from any aborted transaction" (§2.2).  This WAL is the
-durability substrate for that: every mutation writes an UPDATE record
-carrying both undo and redo information *before* the change reaches the
-main store; COMMIT records are forced (fsync) before a transaction is
+durability substrate for that: a transaction's redo records (logical
+operation + arguments) are buffered in memory and land here as one
+pre-framed blob at commit time (:meth:`WriteAheadLog.append_many` — one
+``os.write``, one lock acquisition per transaction), followed by a COMMIT
+record that must be covered by an fsync before the transaction is
 acknowledged.
+
+The durability point is :meth:`WriteAheadLog.force_up_to` — *group
+commit*.  A committer whose commit LSN is already covered by a concurrent
+flusher's fsync returns immediately; otherwise it becomes the leader and
+flushes on behalf of every waiter (condition-variable leader/follower).
+An optional ``group_commit_window`` lets the leader linger briefly so
+stragglers pile onto the same fsync.  The fsync itself runs *outside* the
+append lock, so concurrent committers keep appending while the disk head
+is busy.
 
 Recovery reads the log front-to-back.  A truncated or checksum-corrupt
 tail — the signature of a crash mid-write — terminates the scan cleanly
@@ -18,8 +29,9 @@ from __future__ import annotations
 import enum
 import os
 import threading
+import time as _time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import ChecksumError, RecoveryError, StorageError
 from repro.storage.serializer import (
@@ -31,7 +43,60 @@ from repro.storage.serializer import (
 )
 from repro.testing import faults
 
-__all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind"]
+__all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind", "WalStats"]
+
+_METRICS = None
+
+
+def _metrics():
+    # Imported lazily: ``repro.tools`` pulls in ``repro.core.ham`` which
+    # imports this module, so a top-level import would be circular.
+    global _METRICS
+    if _METRICS is None:
+        from repro.tools import metrics
+        _METRICS = metrics.WAL
+    return _METRICS
+
+
+@dataclass(frozen=True)
+class WalStats:
+    """Snapshot of one log's write/flush counters.
+
+    ``commit_forces`` counts :meth:`WriteAheadLog.force_up_to` calls (one
+    per synchronous commit); ``group_fsyncs`` counts the fsyncs those
+    calls actually performed, so ``fsyncs_per_commit`` < 1 means group
+    commit is amortizing the durability point.  ``fsyncs`` additionally
+    includes checkpoint-path :meth:`WriteAheadLog.force` calls.
+    """
+
+    appends: int = 0
+    records: int = 0
+    fsyncs: int = 0
+    commit_forces: int = 0
+    absorbed_commits: int = 0
+    group_fsyncs: int = 0
+    bytes_flushed: int = 0
+
+    @property
+    def fsyncs_per_commit(self) -> float:
+        """Group fsyncs per synchronous commit (< 1 once groups form)."""
+        if not self.commit_forces:
+            return 0.0
+        return self.group_fsyncs / self.commit_forces
+
+    @property
+    def mean_group_size(self) -> float:
+        """Mean number of commits covered by one group fsync."""
+        if not self.group_fsyncs:
+            return 0.0
+        return self.commit_forces / self.group_fsyncs
+
+    @property
+    def mean_bytes_per_flush(self) -> float:
+        """Mean bytes made durable per fsync (commit path only)."""
+        if not self.group_fsyncs:
+            return 0.0
+        return self.bytes_flushed / self.group_fsyncs
 
 
 class LogRecordKind(enum.Enum):
@@ -85,9 +150,13 @@ class WriteAheadLog:
     made earlier records redundant).
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike,
+                 group_commit_window: float = 0.0):
         self._path = os.fspath(path)
         self._lock = threading.Lock()
+        #: Signalled whenever a group flush finishes (or the leader dies)
+        #: so waiting committers can re-check the forced watermark.
+        self._cond = threading.Condition(self._lock)
         self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND,
                            0o644)
         self._end = os.fstat(self._fd).st_size
@@ -96,7 +165,21 @@ class WriteAheadLog:
         #: corrupt bytes at or above it — acknowledged records are
         #: already on the medium.
         self._forced = self._end
+        #: True while a leader is inside a group flush.
+        self._flushing = False
+        #: How long a group-flush leader lingers before capturing the
+        #: flush target, letting straggler committers append into the
+        #: same fsync.  0.0 (the default) flushes immediately.
+        self.group_commit_window = float(group_commit_window)
         self._closed = False
+        # Counters behind stats(); guarded by self._lock.
+        self._appends = 0
+        self._records = 0
+        self._fsyncs = 0
+        self._commit_forces = 0
+        self._absorbed_commits = 0
+        self._group_fsyncs = 0
+        self._bytes_flushed = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -118,6 +201,21 @@ class WriteAheadLog:
             if not self._closed:
                 os.close(self._fd)
                 self._closed = True
+            # Waiting committers must not sleep forever on a dead log.
+            self._cond.notify_all()
+
+    def stats(self) -> WalStats:
+        """Consistent snapshot of this log's write/flush counters."""
+        with self._lock:
+            return WalStats(
+                appends=self._appends,
+                records=self._records,
+                fsyncs=self._fsyncs,
+                commit_forces=self._commit_forces,
+                absorbed_commits=self._absorbed_commits,
+                group_fsyncs=self._group_fsyncs,
+                bytes_flushed=self._bytes_flushed,
+            )
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -132,21 +230,57 @@ class WriteAheadLog:
         """Append a record; returns its LSN.  Does not force."""
         framed = pack_record(record.encode())
         with self._lock:
-            if self._closed:
-                raise StorageError(f"{self._path}: log is closed")
-            lsn = self._end
-            if faults.INJECTOR is not None:
-                faults.fire("wal.append.pre-fsync", path=self._path,
-                            offset=lsn, data=framed)
-            os.write(self._fd, framed)
-            self._end += len(framed)
-            if faults.INJECTOR is not None:
-                faults.fire("wal.append.post-fsync", path=self._path,
-                            offset=lsn, length=len(framed))
-            return lsn
+            return self._write_locked(framed, 1)
+
+    def append_many(self, records: Iterable[LogRecord]) -> int:
+        """Append records as one pre-framed blob; one write, one lock.
+
+        This is the commit path: a transaction's buffered redo records
+        (BEGIN, UPDATE*, COMMIT) are framed *outside* the log lock,
+        concatenated, and land in a single ``os.write``.  Records of
+        concurrent transactions therefore never interleave.  Returns the
+        byte offset one past the blob — the LSN to hand to
+        :meth:`force_up_to` as the commit's durability target.
+        """
+        framed = [pack_record(record.encode()) for record in records]
+        blob = b"".join(framed)
+        with self._lock:
+            if not blob:
+                if self._closed:
+                    raise StorageError(f"{self._path}: log is closed")
+                return self._end
+            self._write_locked(blob, len(framed))
+            return self._end
+
+    def _write_locked(self, framed: bytes, records: int) -> int:
+        """One append write under ``self._lock``; returns the start LSN.
+
+        Fires the ``wal.append.*`` fault points exactly as the historic
+        record-at-a-time path did, with ``data``/``length`` covering the
+        whole blob.
+        """
+        if self._closed:
+            raise StorageError(f"{self._path}: log is closed")
+        lsn = self._end
+        if faults.INJECTOR is not None:
+            faults.fire("wal.append.pre-fsync", path=self._path,
+                        offset=lsn, data=framed)
+        os.write(self._fd, framed)
+        self._end += len(framed)
+        self._appends += 1
+        self._records += records
+        if faults.INJECTOR is not None:
+            faults.fire("wal.append.post-fsync", path=self._path,
+                        offset=lsn, length=len(framed))
+        return lsn
 
     def force(self) -> None:
-        """fsync the log: all appended records are durable on return."""
+        """fsync the log: all appended records are durable on return.
+
+        The checkpoint path — runs entirely under the lock because its
+        callers are already quiesced.  Commits go through
+        :meth:`force_up_to` instead.
+        """
         with self._lock:
             if self._closed:
                 raise StorageError(f"{self._path}: log is closed")
@@ -155,7 +289,70 @@ class WriteAheadLog:
                             offset=self._forced,
                             length=self._end - self._forced)
             os.fsync(self._fd)
+            self._fsyncs += 1
             self._forced = self._end
+
+    def force_up_to(self, lsn: int) -> bool:
+        """Block until every byte below ``lsn`` is durable (group commit).
+
+        If a concurrent flusher's fsync already covers ``lsn``, return
+        immediately (the commit was *absorbed*).  If a flush that may
+        cover it is in flight, wait for it and re-check.  Otherwise
+        become the leader: optionally linger ``group_commit_window``
+        seconds so stragglers append into the same flush, capture the
+        current log end as the target, fsync **outside the lock** (so
+        concurrent committers keep appending), and advance the forced
+        watermark for every waiter.
+
+        Returns True if this call performed the fsync (leader), False if
+        it rode a concurrent flush.  Crash safety: the leader slot is
+        released in a ``finally`` and waiters re-check the watermark on
+        every wakeup, so an injected fault in the leader cannot strand
+        followers — they elect a new leader or die on the same sticky
+        fault.
+        """
+        with self._cond:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            self._commit_forces += 1
+            _metrics().increment("commit_forces")
+            while True:
+                if self._forced >= lsn:
+                    self._absorbed_commits += 1
+                    _metrics().increment("absorbed_commits")
+                    return False
+                if not self._flushing:
+                    break
+                self._cond.wait()
+                if self._closed:
+                    raise StorageError(f"{self._path}: log is closed")
+            self._flushing = True
+        try:
+            if self.group_commit_window > 0.0:
+                _time.sleep(self.group_commit_window)
+            with self._cond:
+                if self._closed:
+                    raise StorageError(f"{self._path}: log is closed")
+                base = self._forced
+                target = self._end
+                if faults.INJECTOR is not None:
+                    faults.fire("wal.commit.force", path=self._path,
+                                offset=base, length=target - base)
+            os.fsync(self._fd)
+            with self._cond:
+                if target > self._forced:
+                    self._forced = target
+                self._fsyncs += 1
+                self._group_fsyncs += 1
+                self._bytes_flushed += target - base
+            counters = _metrics()
+            counters.increment("group_fsyncs")
+            counters.increment("bytes_flushed", target - base)
+            return True
+        finally:
+            with self._cond:
+                self._flushing = False
+                self._cond.notify_all()
 
     def truncate(self) -> None:
         """Discard all records (used after a checkpoint)."""

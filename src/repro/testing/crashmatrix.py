@@ -27,17 +27,25 @@ whole stack into :mod:`repro.storage` imports.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 
 from repro.core.ham import HAM
 from repro.errors import NeptuneError
 from repro.server.client import RemoteHAM, RetryPolicy
 from repro.server.server import HAMServer
+from repro.storage.log import WalStats
 from repro.storage.serializer import RECORD_HEADER, unpack_record
 from repro.testing import faults
-from repro.workloads.crashmix import CommitOracle, CrashMix, run_crash_mix
+from repro.workloads.crashmix import (
+    CommitOracle,
+    CrashMix,
+    StagedTxn,
+    run_crash_mix,
+)
 
-__all__ = ["CaseResult", "abandon", "run_local_case", "run_remote_case",
+__all__ = ["CaseResult", "ConcurrentCaseResult", "abandon",
+           "run_concurrent_case", "run_local_case", "run_remote_case",
            "verify_invariants", "wal_record_boundaries"]
 
 
@@ -139,6 +147,102 @@ def run_remote_case(directory, point: str, action: str, hit: int = 1,
         abandon(recovered)
     return CaseResult(point=point, action=action, hit=hit, fired=fired,
                       error=error)
+
+
+@dataclass
+class ConcurrentCaseResult:
+    """Outcome of one concurrent-committer cell."""
+
+    point: str
+    action: str
+    hit: int
+    fired: bool
+    #: How many commits were acknowledged before the crash.
+    acknowledged: int
+    #: WAL counters at abandon time (group-commit accounting).
+    wal: WalStats
+
+
+def run_concurrent_case(directory, action: str, hit: int = 1,
+                        seed: int = 0, threads: int = 4,
+                        commits_per_thread: int = 8,
+                        point: str = "wal.commit.force",
+                        group_commit_window: float = 0.002,
+                        ) -> ConcurrentCaseResult:
+    """One matrix cell with ``threads`` committers killed mid-group-flush.
+
+    Each worker hammers small write transactions against its *own*
+    pre-created node (node-level locks only, so committers genuinely
+    overlap inside :meth:`WriteAheadLog.force_up_to`) while one fault is
+    armed at the group-commit fault point.  When the fault crashes the
+    flush leader, waiting followers elect a new leader and die on the
+    same sticky fault — exactly the all-die-together shape of a real
+    process kill mid-fsync.  Recovery must then show every acknowledged
+    commit byte-identically and each unacknowledged group member
+    all-or-nothing.
+    """
+    path = os.path.join(os.fspath(directory), "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path,
+                         group_commit_window=group_commit_window)
+    oracle = CommitOracle()
+    with ham.begin() as setup:
+        nodes = []
+        for __ in range(threads):
+            node, _t = ham.add_node(setup)
+            nodes.append(node)
+        attr = ham.get_attribute_index("status", setup)
+
+    def worker(worker_id: int) -> None:
+        node = nodes[worker_id]
+        for attempt in range(commits_per_thread):
+            step = worker_id * 1_000 + attempt
+            marker = f"concurrent-s{seed}-w{worker_id}-c{attempt}"
+            staged = StagedTxn(step=step, marker=marker)
+            oracle.stage(staged)
+            try:
+                txn = ham.begin()
+                contents = f"{marker}-body".encode()
+                time = ham.modify_node(
+                    txn, node=node,
+                    expected_time=ham.get_node_timestamp(node),
+                    contents=contents)
+                staged.versions.append((node, time, contents))
+                value = f"{marker}-status"
+                ham.set_node_attribute_value(
+                    txn, node=node, attribute=attr, value=value)
+                staged.attrs.append((node, attr, value, ham.now))
+                txn.commit()
+            except (faults.SimulatedCrash, NeptuneError, OSError):
+                return  # the crash hit mid-flight; step stays in maybe
+            oracle.record_commit(step)
+
+    injector = faults.install(faults.FaultPlan(
+        specs=(faults.FaultSpec(point, action, hit=hit),), seed=seed))
+    try:
+        pool = [threading.Thread(target=worker, args=(worker_id,),
+                                 daemon=True)
+                for worker_id in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30.0)
+        stuck = [thread for thread in pool if thread.is_alive()]
+        assert not stuck, (
+            f"{len(stuck)} committer thread(s) wedged after the fault — "
+            f"group-commit leader death must not strand followers")
+    finally:
+        faults.uninstall()
+    wal = ham._log.stats()
+    abandon(ham)
+    recovered = HAM.open_graph(project_id, path)
+    try:
+        verify_invariants(recovered, oracle)
+    finally:
+        abandon(recovered)
+    return ConcurrentCaseResult(
+        point=point, action=action, hit=hit, fired=bool(injector.fired),
+        acknowledged=len(oracle.committed), wal=wal)
 
 
 # ======================================================================

@@ -16,7 +16,10 @@ from repro.tools.stats import (
     graph_stats,
     GraphStats,
     render_resilience,
+    render_wal,
     resilience_stats,
+    wal_counters,
+    wal_stats,
 )
 from repro.tools.dump import dump_graph, import_graph, load_dump
 from repro.tools.metrics import CounterSet, OperationMetrics, TraceLog
@@ -24,4 +27,5 @@ from repro.tools.metrics import CounterSet, OperationMetrics, TraceLog
 __all__ = ["verify_graph", "Violation", "graph_stats", "GraphStats",
            "dump_graph", "import_graph", "load_dump",
            "CounterSet", "OperationMetrics", "TraceLog",
-           "render_resilience", "resilience_stats"]
+           "render_resilience", "render_wal", "resilience_stats",
+           "wal_counters", "wal_stats"]

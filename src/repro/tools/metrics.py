@@ -32,7 +32,7 @@ from time import perf_counter
 from typing import Callable
 
 __all__ = ["CounterSet", "OperationMetrics", "OperationStats", "RESILIENCE",
-           "TraceLog"]
+           "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -76,6 +76,15 @@ class CounterSet:
 #: injected by :mod:`repro.testing.faults`.  Surfaced by
 #: :func:`repro.tools.stats.resilience_stats`.
 RESILIENCE = CounterSet("reconnects", "retries", "injected_faults")
+
+#: Process-wide write-ahead-log counters, mirrored by every
+#: :class:`repro.storage.log.WriteAheadLog` in the process:
+#: ``commit_forces`` (synchronous commits reaching the durability
+#: point), ``group_fsyncs`` (fsyncs those commits actually paid),
+#: ``absorbed_commits`` (commits that rode a concurrent flush), and
+#: ``bytes_flushed``.  Surfaced by :func:`repro.tools.stats.wal_stats`.
+WAL = CounterSet("commit_forces", "group_fsyncs", "absorbed_commits",
+                 "bytes_flushed")
 
 
 class OperationStats:

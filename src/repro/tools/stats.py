@@ -9,6 +9,13 @@ Also surfaces the process-wide resilience counters
 (:data:`repro.tools.metrics.RESILIENCE`): how many reconnects and
 request retries remote clients performed, and how many injected faults
 fired — the operator's view of how rough the session has been.
+
+Commit-pipeline accounting lives here too: :func:`wal_stats` snapshots
+one graph's write-ahead-log counters (appends, fsyncs, group-commit
+absorption) and :func:`wal_counters` the process-wide mirror
+(:data:`repro.tools.metrics.WAL`) — the numbers that prove whether
+group commit is amortizing the durability point
+(``fsyncs_per_commit`` < 1) or every committer is paying its own fsync.
 """
 
 from __future__ import annotations
@@ -17,10 +24,11 @@ from dataclasses import dataclass
 
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
-from repro.tools.metrics import RESILIENCE
+from repro.storage.log import WalStats
+from repro.tools.metrics import RESILIENCE, WAL
 
 __all__ = ["GraphStats", "graph_stats", "render_resilience",
-           "resilience_stats"]
+           "render_wal", "resilience_stats", "wal_counters", "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -117,3 +125,35 @@ def render_resilience() -> str:
     width = max(len(name) for name in counters)
     return "\n".join(f"{name.ljust(width)}  {value}"
                      for name, value in sorted(counters.items()))
+
+
+def wal_stats(ham: HAM) -> WalStats:
+    """Snapshot of one opened graph's write-ahead-log counters.
+
+    Ephemeral (logless) graphs report all-zero stats.
+    """
+    return ham._log.stats()
+
+
+def wal_counters() -> dict[str, int]:
+    """Snapshot of the process-wide WAL counters (all logs combined)."""
+    return WAL.snapshot()
+
+
+def render_wal(stats: WalStats) -> str:
+    """Human-readable report of one log's commit-pipeline counters."""
+    rows = [
+        ("appends (blob writes)", str(stats.appends)),
+        ("records appended", str(stats.records)),
+        ("fsyncs (total)", str(stats.fsyncs)),
+        ("commit forces", str(stats.commit_forces)),
+        ("absorbed commits", str(stats.absorbed_commits)),
+        ("group fsyncs", str(stats.group_fsyncs)),
+        ("bytes flushed", str(stats.bytes_flushed)),
+        ("fsyncs per commit", f"{stats.fsyncs_per_commit:.3f}"),
+        ("mean group size", f"{stats.mean_group_size:.2f}"),
+        ("mean bytes per flush", f"{stats.mean_bytes_per_flush:.1f}"),
+    ]
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)

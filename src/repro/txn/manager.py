@@ -1,22 +1,28 @@
-"""Transactions: logical redo logging, in-memory undo, strict 2PL.
+"""Transactions: buffered logical redo, in-memory undo, strict 2PL.
 
 Design (classic in-memory-database recovery, per DESIGN.md):
 
 - the primary copy of the hypergraph lives in memory;
-- every mutation, applied inside a transaction, appends a *logical redo*
+- every mutation, applied inside a transaction, *buffers* a logical redo
   record (operation name + arguments, including any assigned ids and
   times, so replay is deterministic) and registers an in-memory undo
-  closure;
-- ``commit`` appends COMMIT and **forces the log** before acknowledging —
-  the durability point;
-- ``abort`` runs the undo closures in reverse and appends ABORT;
+  closure — nothing touches the log until commit;
+- ``commit`` hands the WAL the whole buffer (BEGIN, UPDATE*, COMMIT) as
+  one blob — one ``os.write``, one log-lock acquisition — then reaches
+  the durability point via group commit
+  (:meth:`repro.storage.log.WriteAheadLog.force_up_to`) before
+  acknowledging;
+- ``abort`` runs the undo closures in reverse; because redo was only
+  buffered, an aborted transaction leaves **zero log bytes** — as do
+  read-only and no-op transactions;
 - after a crash, recovery loads the last checkpoint snapshot and re-applies
   the redo records of committed transactions only (see
   :mod:`repro.txn.recovery`), which also wipes every trace of in-flight
   transactions — "complete recovery from any aborted transaction".
 
 Locking is strict two-phase: locks accumulate during the transaction and
-release only at commit/abort.
+release only after the outcome is decided — for a synchronous commit,
+after the commit record is durable.
 """
 
 from __future__ import annotations
@@ -56,6 +62,9 @@ class Transaction:
         self.read_only = read_only
         self._manager = manager
         self._undo: list[Callable[[], None]] = []
+        #: Buffered redo records (BEGIN + UPDATEs), flushed to the WAL
+        #: as one blob at commit; discarded wholesale on abort.
+        self._redo: list[LogRecord] = []
 
     # ------------------------------------------------------------------
     # journaling API used by the HAM
@@ -70,13 +79,18 @@ class Transaction:
         """Journal one applied mutation.
 
         ``operation``/``args`` form the logical redo record; ``undo``
-        reverses the in-memory effect if the transaction aborts.
+        reverses the in-memory effect if the transaction aborts.  The
+        record is only buffered — it reaches the log, prefixed by this
+        transaction's BEGIN, as part of the single commit-time blob.
         """
         self._require_active()
         if self.read_only:
             raise TransactionError(
                 f"transaction {self.txn_id} is read-only")
-        self._manager.log.append(LogRecord(
+        if not self._redo:
+            self._redo.append(LogRecord(
+                kind=LogRecordKind.BEGIN, txn_id=self.txn_id))
+        self._redo.append(LogRecord(
             kind=LogRecordKind.UPDATE,
             txn_id=self.txn_id,
             payload={"op": operation, "args": args},
@@ -136,19 +150,17 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
 
     def begin(self, read_only: bool = False) -> Transaction:
-        """Start a transaction; writes its BEGIN record (writers only).
+        """Start a transaction.  Writes nothing.
 
-        Read-only transactions still take locks (isolation) but never
-        touch the log, so reads stay fsync-free.
+        The BEGIN record is folded into the commit-time buffer flush,
+        so pure readers, no-op writers, and aborted transactions never
+        touch the log at all — reads and empty commits stay fsync-free.
         """
         with self._lock:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
             txn = Transaction(txn_id, self, read_only=read_only)
             self._active[txn_id] = txn
-        if not read_only:
-            self.log.append(
-                LogRecord(kind=LogRecordKind.BEGIN, txn_id=txn_id))
         return txn
 
     @property
@@ -158,21 +170,37 @@ class TransactionManager:
             return len(self._active)
 
     def finish_commit(self, txn: Transaction) -> None:
-        """COMMIT record, force, release locks (called by Transaction)."""
-        if not txn.read_only:
-            self.log.append(LogRecord(
-                kind=LogRecordKind.COMMIT, txn_id=txn.txn_id))
+        """Flush the redo buffer, force, release locks.
+
+        The buffered BEGIN + UPDATE records plus a COMMIT record land in
+        the log as one blob (:meth:`WriteAheadLog.append_many`); the
+        durability point is :meth:`WriteAheadLog.force_up_to` on the
+        blob's end — group commit, so a concurrent leader's fsync may
+        cover this commit for free.  Strict-2PL lock release happens
+        *after* durability: no other transaction may observe this one's
+        effects until they are guaranteed to survive a crash.
+        Transactions that buffered nothing skip the log entirely.
+        """
+        if not txn.read_only and txn._redo:
+            commit_lsn = self.log.append_many(
+                txn._redo + [LogRecord(
+                    kind=LogRecordKind.COMMIT, txn_id=txn.txn_id)])
+            txn._redo = []
             if self.synchronous:
-                self.log.force()
+                self.log.force_up_to(commit_lsn)
         self.locks.release_all(txn.txn_id)
         with self._lock:
             self._active.pop(txn.txn_id, None)
 
     def finish_abort(self, txn: Transaction) -> None:
-        """ABORT record, release locks (called by Transaction)."""
-        if not txn.read_only:
-            self.log.append(LogRecord(
-                kind=LogRecordKind.ABORT, txn_id=txn.txn_id))
+        """Discard the redo buffer, release locks.
+
+        Because redo records are buffered until commit, an aborted
+        transaction leaves zero log bytes — there is nothing to undo on
+        disk and no ABORT record to write.  (Recovery still understands
+        ABORT records from logs written by earlier versions.)
+        """
+        txn._redo = []
         self.locks.release_all(txn.txn_id)
         with self._lock:
             self._active.pop(txn.txn_id, None)

@@ -23,8 +23,9 @@ from repro.workloads.crashmix import CommitOracle, CrashMix, run_crash_mix
 
 SEED = int(os.environ.get("NEPTUNE_FAULT_SEED", "0"))
 
-# Hits are chosen so every case actually reaches its trigger: WAL
-# appends happen several times per step, forces once per commit, and
+# Hits are chosen so every case actually reaches its trigger: the WAL
+# sees one blob append and one force per commit (plus two of each per
+# checkpoint) — about 15 of each across the default 16-step mix — and
 # the pager/heap points only run during the mid-workload checkpoint.
 STORAGE_CASES = [
     (point, hit)
@@ -64,6 +65,28 @@ def test_connection_matrix(tmp_path, point, action, hit):
     result = cm.run_remote_case(tmp_path, point, action, hit=hit,
                                 seed=SEED)
     assert result.fired
+
+
+@pytest.mark.parametrize("action", faults.ACTIONS)
+@pytest.mark.parametrize("hit", (1, 3))
+def test_concurrent_committer_matrix(tmp_path, action, hit):
+    """Kill or corrupt a group flush with four committers in flight.
+
+    Acknowledged commits must survive byte-identically; every
+    unacknowledged member of the dying group must recover
+    all-or-nothing; and no follower may wedge waiting on a dead leader.
+    """
+    result = cm.run_concurrent_case(tmp_path, action, hit=hit, seed=SEED,
+                                    threads=4, commits_per_thread=8)
+    assert result.fired, (
+        f"fault at wal.commit.force hit={hit} never triggered under "
+        f"concurrent committers")
+    # Every acknowledged commit reached the durability point: the WAL
+    # counted at least one commit force, and never more fsyncs than
+    # forces (group commit can only merge flushes, not add them).
+    if result.acknowledged:
+        assert result.wal.commit_forces >= result.acknowledged
+        assert result.wal.group_fsyncs <= result.wal.commit_forces
 
 
 def test_wal_boundary_sweep(tmp_path):

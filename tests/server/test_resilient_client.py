@@ -214,3 +214,62 @@ class TestStreamDesync:
             assert sock.fileno() == -1
         finally:
             listener.close()
+
+
+class TestWalCounters:
+    """Commit-pipeline accounting must be visible to session operators."""
+
+    def test_served_commits_reach_the_wal_counters(self, tmp_path):
+        from repro.tools.stats import wal_counters, wal_stats
+
+        project_id, __ = HAM.create_graph(tmp_path / "graph")
+        ham = HAM.open_graph(project_id, tmp_path / "graph")
+        server = HAMServer(ham).start()
+        before = wal_counters()
+        try:
+            sessions = [RemoteHAM(*server.address, timeout=5.0, retry=FAST)
+                        for __ in range(3)]
+            try:
+                def commit_some(client):
+                    for __ in range(4):
+                        node, __t = client.add_node()
+                        client.set_node_attribute_value(
+                            node=node,
+                            attribute=client.get_attribute_index("k"),
+                            value="v")
+
+                pool = [threading.Thread(target=commit_some, args=(c,))
+                        for c in sessions]
+                for thread in pool:
+                    thread.start()
+                for thread in pool:
+                    thread.join()
+            finally:
+                for client in sessions:
+                    client.close()
+        finally:
+            server.stop()
+        stats = wal_stats(ham)
+        # 3 sessions x 4 iterations x >= 2 single-op transactions each.
+        assert stats.commit_forces >= 24
+        assert stats.group_fsyncs >= 1
+        assert stats.group_fsyncs == \
+            stats.commit_forces - stats.absorbed_commits
+        assert stats.bytes_flushed > 0
+        assert stats.fsyncs_per_commit <= 1.0
+        # The process-wide mirror moved by exactly this log's deltas
+        # (no other WAL is active inside this test).
+        after = wal_counters()
+        assert after["commit_forces"] - before["commit_forces"] \
+            >= stats.commit_forces
+        assert after["group_fsyncs"] - before["group_fsyncs"] >= 1
+        ham.close()
+
+    def test_ephemeral_graph_reports_zero_wal_stats(self, served):
+        from repro.tools.stats import wal_stats
+
+        ham, __server, client = served
+        client.add_node()
+        stats = wal_stats(ham)
+        assert stats.commit_forces == 0
+        assert stats.appends == 0

@@ -1,6 +1,7 @@
 """Tests for the write-ahead log and its tolerant recovery scan."""
 
 import os
+import threading
 
 import pytest
 
@@ -62,6 +63,89 @@ class TestDurabilityOps:
             records = _records(log)
             assert len(records) == 1
             assert records[0].txn_id == 3
+
+
+class TestAppendMany:
+    def test_blob_round_trips_as_individual_records(self, log):
+        end = log.append_many([
+            LogRecord(LogRecordKind.BEGIN, 9),
+            LogRecord(LogRecordKind.UPDATE, 9, {"op": "x", "args": {}}),
+            LogRecord(LogRecordKind.COMMIT, 9),
+        ])
+        assert end == log.end_lsn
+        records = _records(log)
+        assert [r.kind for r in records] == [
+            LogRecordKind.BEGIN, LogRecordKind.UPDATE, LogRecordKind.COMMIT]
+        assert all(r.txn_id == 9 for r in records)
+
+    def test_blob_is_one_append(self, log):
+        log.append_many([LogRecord(LogRecordKind.BEGIN, 1),
+                         LogRecord(LogRecordKind.COMMIT, 1)])
+        stats = log.stats()
+        assert stats.appends == 1
+        assert stats.records == 2
+
+    def test_empty_blob_writes_nothing(self, log):
+        end = log.append_many([])
+        assert end == 0
+        assert log.end_lsn == 0
+        assert log.stats().appends == 0
+
+
+class TestForceUpTo:
+    def test_leader_flushes_and_reports_true(self, log):
+        end = log.append_many([LogRecord(LogRecordKind.COMMIT, 1)])
+        assert log.force_up_to(end) is True
+        stats = log.stats()
+        assert stats.commit_forces == 1
+        assert stats.group_fsyncs == 1
+        assert stats.bytes_flushed == end
+
+    def test_already_forced_lsn_is_absorbed(self, log):
+        end = log.append_many([LogRecord(LogRecordKind.COMMIT, 1)])
+        log.force_up_to(end)
+        assert log.force_up_to(end) is False
+        stats = log.stats()
+        assert stats.commit_forces == 2
+        assert stats.group_fsyncs == 1
+        assert stats.absorbed_commits == 1
+
+    def test_concurrent_committers_share_fsyncs(self, tmp_path):
+        # With a window long enough for every thread to append before
+        # the leader captures its flush target, one fsync must cover
+        # multiple commits: fsyncs-per-commit strictly below 1.
+        with WriteAheadLog(tmp_path / "wal.log",
+                           group_commit_window=0.05) as log:
+            barrier = threading.Barrier(4)
+
+            def committer(txn_id):
+                barrier.wait()
+                end = log.append_many([
+                    LogRecord(LogRecordKind.BEGIN, txn_id),
+                    LogRecord(LogRecordKind.COMMIT, txn_id)])
+                log.force_up_to(end)
+
+            pool = [threading.Thread(target=committer, args=(n,))
+                    for n in range(1, 5)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            stats = log.stats()
+            assert stats.commit_forces == 4
+            assert stats.group_fsyncs < 4
+            assert stats.mean_group_size > 1.0
+            assert stats.fsyncs_per_commit < 1.0
+            # Every commit is durable: the watermark covers the end.
+            assert log.end_lsn == stats.bytes_flushed
+
+    def test_checkpoint_force_counts_fsync_not_commit(self, log):
+        log.append(LogRecord(LogRecordKind.CHECKPOINT, 0))
+        log.force()
+        stats = log.stats()
+        assert stats.fsyncs == 1
+        assert stats.commit_forces == 0
+        assert stats.group_fsyncs == 0
 
 
 class TestTornTail:

@@ -1,0 +1,82 @@
+"""Async-commit mode: ``synchronous=False`` skips the commit fsync.
+
+The trade-off mirrors a database's async-commit setting: commits are
+acknowledged after the buffered redo blob's ``os.write`` but before any
+fsync, so a process crash may lose the tail — but a *clean* close (the
+bytes reached the file) still replays everything.
+"""
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.storage.log import WriteAheadLog
+from repro.txn.manager import TransactionManager
+
+
+class TestManagerAsync:
+    def test_commit_skips_fsync(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.log")
+        manager = TransactionManager(log, synchronous=False)
+        for __ in range(5):
+            txn = manager.begin()
+            txn.log_update("op", {}, undo=lambda: None)
+            txn.commit()
+        stats = log.stats()
+        assert stats.appends == 5
+        assert stats.fsyncs == 0
+        assert stats.commit_forces == 0
+        assert stats.group_fsyncs == 0
+        log.close()
+
+    def test_synchronous_commit_does_fsync(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal.log")
+        manager = TransactionManager(log, synchronous=True)
+        txn = manager.begin()
+        txn.log_update("op", {}, undo=lambda: None)
+        txn.commit()
+        stats = log.stats()
+        assert stats.commit_forces == 1
+        assert stats.group_fsyncs == 1
+        assert stats.fsyncs == 1
+        log.close()
+
+
+class TestHamAsync:
+    @pytest.fixture
+    def graph(self, tmp_path):
+        path = tmp_path / "graph"
+        project_id, __ = HAM.create_graph(path)
+        return project_id, path
+
+    def test_clean_close_still_replays(self, graph, tmp_path):
+        project_id, path = graph
+        ham = HAM.open_graph(project_id, path, synchronous=False)
+        with ham.begin() as txn:
+            node, __ = ham.add_node(txn)
+            ham.modify_node(txn, node=node,
+                            expected_time=ham.get_node_timestamp(node),
+                            contents=b"survives a clean close")
+        assert ham._log.stats().fsyncs == 0
+        # Close the log the way a clean process exit would — without the
+        # checkpoint HAM.close() takes — so reopening must replay.
+        ham._log.close()
+        ham._closed = True
+        recovered = HAM.open_graph(project_id, path)
+        try:
+            assert recovered.open_node(node)[0] == b"survives a clean close"
+        finally:
+            recovered._log.close()
+            recovered._closed = True
+
+    def test_zero_forced_flushes_reported(self, graph):
+        project_id, path = graph
+        ham = HAM.open_graph(project_id, path, synchronous=False)
+        from repro.tools.stats import wal_stats
+        with ham.begin() as txn:
+            ham.add_node(txn)
+        stats = wal_stats(ham)
+        assert stats.commit_forces == 0
+        assert stats.fsyncs == 0
+        assert stats.appends == 1
+        ham._log.close()
+        ham._closed = True

@@ -24,17 +24,27 @@ class TestLifecycle:
         second = manager.begin()
         assert second.txn_id > first.txn_id
 
-    def test_commit_writes_begin_then_commit(self, manager):
+    def test_noop_commit_leaves_log_empty(self, manager):
+        # BEGIN is folded into the commit-time buffer flush, so a writer
+        # that never mutates writes nothing at all.
         txn = manager.begin()
         txn.commit()
-        assert record_kinds(manager) == [
-            LogRecordKind.BEGIN, LogRecordKind.COMMIT]
+        assert record_kinds(manager) == []
 
-    def test_abort_writes_abort_record(self, manager):
+    def test_commit_writes_begin_updates_commit(self, manager):
         txn = manager.begin()
-        txn.abort()
+        txn.log_update("op", {}, undo=lambda: None)
+        txn.commit()
         assert record_kinds(manager) == [
-            LogRecordKind.BEGIN, LogRecordKind.ABORT]
+            LogRecordKind.BEGIN, LogRecordKind.UPDATE,
+            LogRecordKind.COMMIT]
+
+    def test_abort_leaves_zero_log_bytes(self, manager):
+        txn = manager.begin()
+        txn.log_update("op", {}, undo=lambda: None)
+        txn.abort()
+        assert record_kinds(manager) == []
+        assert manager.log.end_lsn == 0
 
     def test_update_records_carry_operation(self, manager):
         txn = manager.begin()
@@ -44,6 +54,15 @@ class TestLifecycle:
         assert records[1].kind is LogRecordKind.UPDATE
         assert records[1].payload == {
             "op": "add_node", "args": {"index": 1}}
+
+    def test_commit_blob_is_one_append(self, manager):
+        txn = manager.begin()
+        txn.log_update("op1", {}, undo=lambda: None)
+        txn.log_update("op2", {}, undo=lambda: None)
+        txn.commit()
+        stats = manager.log.stats()
+        assert stats.appends == 1
+        assert stats.records == 4  # BEGIN, UPDATE, UPDATE, COMMIT
 
     def test_double_commit_rejected(self, manager):
         txn = manager.begin()
