@@ -1,0 +1,212 @@
+"""Experiment B13 — snapshot reads vs 2PL readers under writer load.
+
+The paper's HAM serves interactive browsers that read constantly while
+editors check versions in (§2.2, §6).  Under the seed's strict 2PL a
+reader's shared lock collides with every writer's exclusive lock — and
+the writer holds that lock across its commit fsync, so every browse of
+a hot node stalls for a disk flush.  The MVCC refactor pins read-only
+transactions to a commit watermark instead: they acquire zero locks and
+never wait on writers.
+
+This experiment races R reader threads (each performing fixed count of
+read-only transactions: open every hot node + one attribute query)
+against W continuously-committing writer threads, local and over TCP,
+in two modes:
+
+- **2pl**  — ``snapshot_reads = False``: read-only transactions take
+  shared locks like the seed (the refactor's built-in baseline knob);
+- **mvcc** — the shipped snapshot-read path: watermark pinned at begin,
+  no lock-table traffic at all.
+
+Rows: reader transactions/sec at each writer count, plus how many
+writer commits landed meanwhile.  Expected shape: roughly equal at
+W=0-ish loads; as writers climb, 2pl readers stall behind commit-held
+exclusive locks while mvcc readers are flat.
+
+``NEPTUNE_BENCH_QUICK=1`` shrinks the matrix for CI smoke runs.
+"""
+
+import os
+import threading
+import time as clock
+
+from conftest import report
+from repro import HAM
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    StaleVersionError,
+)
+from repro.server.client import RemoteHAM
+from repro.server.server import HAMServer
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
+WRITERS = (1, 4) if QUICK else (1, 2, 4)
+READERS = 4
+# 2PL readers crawl at a few transactions/sec once writers saturate the
+# hot nodes (that starvation is the measured result), so the per-reader
+# quota is kept small to bound the baseline cells' wall-clock.
+LOCAL_READS = 8 if QUICK else 30
+REMOTE_READS = 6 if QUICK else 20
+
+RETRYABLE = (StaleVersionError, DeadlockError, LockTimeoutError)
+
+
+def _open(tmp_path, tag):
+    directory = tmp_path / tag
+    project_id, __ = HAM.create_graph(directory)
+    return HAM.open_graph(project_id, directory)
+
+
+def _populate(owner, writers):
+    """One hot node per writer, all carrying the queried attribute."""
+    attr = owner.get_attribute_index("kind")
+    nodes = []
+    with owner.begin() as txn:
+        for __ in range(writers):
+            node, time = owner.add_node(txn)
+            owner.modify_node(txn, node=node, expected_time=time,
+                              contents=b"hot contents\n")
+            owner.set_node_attribute_value(txn, node=node, attribute=attr,
+                                           value="hot")
+            nodes.append(node)
+    return nodes
+
+
+def _drive(owner, make_session, writers, reads):
+    """R readers race W writers; returns (read txns/sec, writer commits).
+
+    Readers each complete ``reads`` read-only transactions touching
+    every writer's hot node; writers commit continuously until the last
+    reader finishes, so the read path is measured *under* write load.
+    """
+    nodes = _populate(owner, writers)
+    stop = threading.Event()
+    barrier = threading.Barrier(writers + READERS + 1)
+    failures = []
+    commits = [0] * writers
+
+    def writer(worker_id):
+        session = make_session(f"w{worker_id}")
+        try:
+            node = nodes[worker_id]
+            barrier.wait()
+            while not stop.is_set():
+                try:
+                    with session.begin() as txn:
+                        __, ___, ____, version = session.open_node(
+                            node, txn=txn)
+                        session.modify_node(
+                            txn, node=node, expected_time=version,
+                            contents=b"hot contents\n")
+                    commits[worker_id] += 1
+                except RETRYABLE:
+                    continue
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+        finally:
+            if session is not owner:
+                session.close()
+
+    def reader(worker_id):
+        session = make_session(f"r{worker_id}")
+        try:
+            barrier.wait()
+            completed = 0
+            while completed < reads:
+                try:
+                    txn = session.begin(read_only=True)
+                    try:
+                        for node in nodes:
+                            session.open_node(node, txn=txn)
+                        session.get_graph_query(node_predicate="kind = hot",
+                                                txn=txn)
+                    finally:
+                        txn.commit()
+                    completed += 1
+                except RETRYABLE:
+                    continue
+        except BaseException as exc:
+            failures.append(exc)
+        finally:
+            if session is not owner:
+                session.close()
+
+    pool = ([threading.Thread(target=writer, args=(worker_id,))
+             for worker_id in range(writers)]
+            + [threading.Thread(target=reader, args=(worker_id,))
+               for worker_id in range(READERS)])
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    start = clock.perf_counter()
+    for thread in pool[writers:]:  # the readers
+        thread.join()
+    elapsed = clock.perf_counter() - start
+    stop.set()
+    for thread in pool[:writers]:
+        thread.join()
+    if failures:
+        raise failures[0]
+    return READERS * reads / elapsed, sum(commits)
+
+
+def _render(results, reads):
+    lines = [f"{'mode':<6} {'writers':>7} {'readers':>7} "
+             f"{'read txns':>9} {'reads/s':>9} {'commits':>9}"]
+    for (mode, writers), (rate, commits) in sorted(results.items()):
+        lines.append(f"{mode:<6} {writers:>7} {READERS:>7} "
+                     f"{READERS * reads:>9} {rate:>9.0f} {commits:>9}")
+    return lines
+
+
+def test_b13_local_snapshot_reads(tmp_path):
+    results = {}
+    for mode in ("2pl", "mvcc"):
+        for writers in WRITERS:
+            ham = _open(tmp_path, f"local-{mode}-{writers}")
+            ham._txns.snapshot_reads = mode == "mvcc"
+            rate, commits = _drive(ham, lambda __: ham, writers,
+                                   LOCAL_READS)
+            results[(mode, writers)] = (rate, commits)
+            ham.close()
+    report("B13  snapshot reads vs 2PL, local HAM "
+           f"({LOCAL_READS} read txns/reader)",
+           _render(results, LOCAL_READS))
+
+    # The acceptance bar: under the heaviest writer load, lock-free
+    # snapshot readers must out-run readers that queue behind
+    # commit-held exclusive locks.
+    heaviest = max(WRITERS)
+    assert results[("mvcc", heaviest)][0] > results[("2pl", heaviest)][0], (
+        "snapshot readers did not beat 2PL readers under "
+        f"{heaviest} writers")
+
+
+def test_b13_server_snapshot_reads(tmp_path):
+    results = {}
+    for mode in ("2pl", "mvcc"):
+        for writers in WRITERS:
+            ham = _open(tmp_path, f"server-{mode}-{writers}")
+            ham._txns.snapshot_reads = mode == "mvcc"
+            server = HAMServer(ham)
+            server.start()
+            try:
+                rate, commits = _drive(
+                    ham,
+                    lambda __: RemoteHAM(*server.address, timeout=30.0),
+                    writers, REMOTE_READS)
+                results[(mode, writers)] = (rate, commits)
+            finally:
+                server.stop(disconnect_clients=True)
+                ham.close()
+    report("B13  snapshot reads vs 2PL, TCP server "
+           f"({REMOTE_READS} read txns/session)",
+           _render(results, REMOTE_READS))
+
+    heaviest = max(WRITERS)
+    if not QUICK:
+        assert (results[("mvcc", heaviest)][0]
+                > results[("2pl", heaviest)][0]), (
+            "snapshot readers did not beat 2PL readers over TCP under "
+            f"{heaviest} writers")

@@ -166,8 +166,8 @@ class CaseApplication:
                     self._set_link(t, link, "relation", "compilesInto")
             else:
                 object_node, symbol_node = existing
-                otime = self.ham.get_node_timestamp(object_node)
-                stime = self.ham.get_node_timestamp(symbol_node)
+                otime = self.ham.get_node_timestamp(object_node, txn=t)
+                stime = self.ham.get_node_timestamp(symbol_node, txn=t)
             self.ham.modify_node(
                 t, node=object_node, expected_time=otime,
                 contents=object_code, explanation="recompiled")
@@ -207,7 +207,8 @@ class CaseApplication:
             if attrs.get("relation") != "compilesInto":
                 continue
             target, __ = self.ham.get_to_node(link_index)
-            kind = self.ham.get_node_attribute_value(target, content)
+            kind = self.ham.get_node_attribute_value(target, content,
+                                                     txn=txn)
             if kind == OBJECT_TYPE:
                 object_node = target
             elif kind == SYMBOL_TYPE:

@@ -116,6 +116,15 @@ class AttributeRegistry:
             if time == CURRENT or self._created_at[index] <= time
         )
 
+    def clone(self) -> "AttributeRegistry":
+        """Independent copy (the interning maps are flat dicts)."""
+        copy = AttributeRegistry()
+        copy._by_name = dict(self._by_name)
+        copy._by_index = dict(self._by_index)
+        copy._created_at = dict(self._created_at)
+        copy._next_index = self._next_index
+        return copy
+
     def to_record(self) -> dict:
         """Encodable snapshot."""
         return {
@@ -235,6 +244,15 @@ class VersionedAttributes:
         """Full timeline of one attribute (None entries are deletions)."""
         timeline = self._timelines.get(index)
         return list(timeline) if timeline is not None else []
+
+    def clone(self) -> "VersionedAttributes":
+        """Independent copy sharing the immutable timeline entries."""
+        copy = VersionedAttributes()
+        copy._timelines = {
+            index: timeline.clone()
+            for index, timeline in self._timelines.items()
+        }
+        return copy
 
     # ------------------------------------------------------------------
     # persistence

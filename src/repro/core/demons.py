@@ -115,6 +115,15 @@ class DemonTable:
         except VersionError:
             return None  # no binding existed at or before `time`
 
+    def clone(self) -> "DemonTable":
+        """Independent copy sharing the immutable timeline entries."""
+        copy = DemonTable()
+        copy._timelines = {
+            event: timeline.clone()
+            for event, timeline in self._timelines.items()
+        }
+        return copy
+
     def demons_at(self, time: Time = CURRENT) -> list[tuple[EventKind, str]]:
         """``getGraphDemons``/``getNodeDemons``: active (event, demon)."""
         result = []

@@ -77,17 +77,17 @@ class GraphStore:
 
     def live_nodes(self, time: Time) -> list[NodeRecord]:
         """All nodes alive at ``time`` (0 = now), by index order."""
-        return [
-            node for __, node in sorted(self.nodes.items())
-            if node.alive_at(time)
-        ]
+        # list(dict.values()) is a single atomic snapshot under the GIL,
+        # so lock-free readers can scan while a commit inserts records.
+        records = list(self.nodes.values())
+        records.sort(key=lambda record: record.index)
+        return [node for node in records if node.alive_at(time)]
 
     def live_links(self, time: Time) -> list[LinkRecord]:
         """All links alive at ``time`` (0 = now), by index order."""
-        return [
-            link for __, link in sorted(self.links.items())
-            if link.alive_at(time)
-        ]
+        records = list(self.links.values())
+        records.sort(key=lambda record: record.index)
+        return [link for link in records if link.alive_at(time)]
 
     def demon_table_for_node(self, index: NodeIndex) -> DemonTable:
         """Node demon table, created on first use."""
@@ -96,6 +96,33 @@ class GraphStore:
             table = DemonTable()
             self.node_demons[index] = table
         return table
+
+    # ------------------------------------------------------------------
+    # write access
+    #
+    # The operation-apply functions (repro.core.ham._APPLY) address the
+    # records they mutate through these accessors.  On a plain store they
+    # are the plain lookups — recovery replays against exactly the state
+    # it reads.  On a transaction's write-set overlay
+    # (repro.txn.writeset.WriteSet) they copy the record into the
+    # transaction's private view first, so concurrent snapshot readers
+    # never see a record mutated underneath them.
+
+    def node_for_write(self, index: NodeIndex) -> NodeRecord:
+        """The node record ``index``, writable in place."""
+        return self.node(index)
+
+    def link_for_write(self, index: LinkIndex) -> LinkRecord:
+        """The link record ``index``, writable in place."""
+        return self.link(index)
+
+    def registry_for_write(self) -> AttributeRegistry:
+        """The attribute registry, writable in place."""
+        return self.registry
+
+    def graph_demons_for_write(self) -> DemonTable:
+        """The graph-level demon table, writable in place."""
+        return self.graph_demons
 
     # ------------------------------------------------------------------
     # snapshots

@@ -3,10 +3,15 @@
 One :class:`HAM` instance is an opened graph — the Appendix's ``Context``
 operand becomes ``self``.  All mutating operations run inside a
 transaction (begin one with :meth:`HAM.begin` or let the operation open a
-single-op transaction itself); reads take shared locks, writes exclusive
-locks, and every mutation is journaled as a logical redo record so a
-crashed process recovers to exactly the committed state on the next
-``openGraph``.
+single-op transaction itself).  Writers take exclusive locks and stage
+every mutation in a private write-set that publishes into the shared
+store only at commit, after the logical redo records are durable; a
+crashed process therefore recovers to exactly the committed state on
+the next ``openGraph``.  Read-only transactions pin a commit watermark
+at ``begin`` and read **with no locks at all** — versioned records
+resolve ``CURRENT`` to the watermark, so a pinned reader sees a frozen,
+internally consistent graph while commits land around it (see DESIGN.md
+"Isolation and visibility").
 
 Operation naming: Pythonic ``snake_case`` is primary; every operation
 also has the Appendix's original camelCase name as an alias
@@ -64,6 +69,7 @@ from repro.storage.log import WalStats, WriteAheadLog
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.manager import Transaction, TransactionManager
 from repro.txn.recovery import replay_log
+from repro.txn.writeset import WriteSet
 
 __all__ = ["HAM"]
 
@@ -99,8 +105,13 @@ class _NullLog:
 
 
 # ----------------------------------------------------------------------
-# Logical redo: one apply function per operation.  The live path and
-# crash recovery share these, so replay is the same code that ran first.
+# Logical redo: one apply function per operation.  The live path, crash
+# recovery, and commit-time publication share these, so replay is the
+# same code that ran first.  Records are addressed through the
+# ``*_for_write`` accessors: on a plain GraphStore (recovery) those are
+# the records themselves; on a transaction's WriteSet overlay they are
+# private copy-on-write clones, so the shared store is never mutated
+# before commit.
 
 _APPLY: dict[str, Callable[[GraphStore, dict], object]] = {}
 
@@ -124,14 +135,13 @@ def _apply_add_node(store: GraphStore, args: dict) -> NodeRecord:
 
 @_applies("delete_node")
 def _apply_delete_node(store: GraphStore, args: dict) -> list[LinkIndex]:
-    node = store.node(args["index"])
+    node = store.node_for_write(args["index"])
     time = args["time"]
     node.tombstone(time)
     cascaded = []
     for link_index in sorted(node.out_links | node.in_links):
-        link = store.link(link_index)
-        if link.alive_at(CURRENT):
-            link.tombstone(time)
+        if store.link(link_index).alive_at(CURRENT):
+            store.link_for_write(link_index).tombstone(time)
             cascaded.append(link_index)
     store.clock.advance_to(time)
     return cascaded
@@ -145,8 +155,8 @@ def _apply_add_link(store: GraphStore, args: dict) -> LinkRecord:
     link = LinkRecord(index, from_pt, to_pt, time)
     store.links[index] = link
     store.next_link_index = max(store.next_link_index, index + 1)
-    from_node = store.node(from_pt.node)
-    to_node = store.node(to_pt.node)
+    from_node = store.node_for_write(from_pt.node)
+    to_node = store.node_for_write(to_pt.node)
     from_node.out_links.add(index)
     to_node.in_links.add(index)
     from_node.record_minor_event(time, f"link {index} attached (out)")
@@ -158,11 +168,11 @@ def _apply_add_link(store: GraphStore, args: dict) -> LinkRecord:
 
 @_applies("delete_link")
 def _apply_delete_link(store: GraphStore, args: dict) -> None:
-    link = store.link(args["index"])
+    link = store.link_for_write(args["index"])
     time = args["time"]
     link.tombstone(time)
-    from_node = store.node(link.from_node)
-    to_node = store.node(link.to_node)
+    from_node = store.node_for_write(link.from_node)
+    to_node = store.node_for_write(link.to_node)
     from_node.record_minor_event(time, f"link {link.index} removed (out)")
     if to_node is not from_node:
         to_node.record_minor_event(time, f"link {link.index} removed (in)")
@@ -171,13 +181,13 @@ def _apply_delete_link(store: GraphStore, args: dict) -> None:
 
 @_applies("modify_node")
 def _apply_modify_node(store: GraphStore, args: dict) -> list:
-    node = store.node(args["index"])
+    node = store.node_for_write(args["index"])
     time = args["time"]
     node.modify(args["contents"], args["expected"], time,
                 args.get("explanation", ""))
     moved = []
     for link_index, end_value, position in args.get("moves", []):
-        link = store.link(link_index)
+        link = store.link_for_write(link_index)
         end = LinkEnd(end_value)
         link.move_attachment(end, position, time)
         moved.append((link_index, end))
@@ -189,14 +199,14 @@ def _apply_modify_node(store: GraphStore, args: dict) -> list:
 def _apply_intern_attribute(store: GraphStore, args: dict) -> bool:
     name, index, time = args["name"], args["index"], args["time"]
     created = store.registry.lookup(name) is None
-    store.registry.intern_exact(name, index, time)
+    store.registry_for_write().intern_exact(name, index, time)
     store.clock.advance_to(time)
     return created
 
 
 @_applies("set_node_attribute")
 def _apply_set_node_attribute(store: GraphStore, args: dict) -> None:
-    node = store.node(args["node"])
+    node = store.node_for_write(args["node"])
     time = args["time"]
     node.attributes.set(args["attribute"], args["value"], time)
     name = store.registry.name_of(args["attribute"])
@@ -206,7 +216,7 @@ def _apply_set_node_attribute(store: GraphStore, args: dict) -> None:
 
 @_applies("delete_node_attribute")
 def _apply_delete_node_attribute(store: GraphStore, args: dict) -> None:
-    node = store.node(args["node"])
+    node = store.node_for_write(args["node"])
     time = args["time"]
     node.attributes.delete(args["attribute"], time)
     name = store.registry.name_of(args["attribute"])
@@ -216,7 +226,7 @@ def _apply_delete_node_attribute(store: GraphStore, args: dict) -> None:
 
 @_applies("set_link_attribute")
 def _apply_set_link_attribute(store: GraphStore, args: dict) -> None:
-    link = store.link(args["link"])
+    link = store.link_for_write(args["link"])
     time = args["time"]
     link.attributes.set(args["attribute"], args["value"], time)
     store.clock.advance_to(time)
@@ -224,7 +234,7 @@ def _apply_set_link_attribute(store: GraphStore, args: dict) -> None:
 
 @_applies("delete_link_attribute")
 def _apply_delete_link_attribute(store: GraphStore, args: dict) -> None:
-    link = store.link(args["link"])
+    link = store.link_for_write(args["link"])
     time = args["time"]
     link.attributes.delete(args["attribute"], time)
     store.clock.advance_to(time)
@@ -233,7 +243,8 @@ def _apply_delete_link_attribute(store: GraphStore, args: dict) -> None:
 @_applies("set_graph_demon")
 def _apply_set_graph_demon(store: GraphStore, args: dict) -> None:
     time = args["time"]
-    store.graph_demons.set(EventKind(args["event"]), args["demon"], time)
+    store.graph_demons_for_write().set(EventKind(args["event"]),
+                                       args["demon"], time)
     store.clock.advance_to(time)
 
 
@@ -247,7 +258,7 @@ def _apply_set_node_demon(store: GraphStore, args: dict) -> None:
 
 @_applies("change_node_protection")
 def _apply_change_node_protection(store: GraphStore, args: dict) -> None:
-    node = store.node(args["node"])
+    node = store.node_for_write(args["node"])
     node.protections = Protections(args["protections"])
     return None
 
@@ -267,7 +278,8 @@ class HAM:
         self._log = log
         self._txns = TransactionManager(log,
                                         LockManager(timeout=lock_timeout),
-                                        synchronous=synchronous)
+                                        synchronous=synchronous,
+                                        clock=store.clock)
         self.demons = demons if demons is not None else DemonRegistry()
         #: Interceptors around every Appendix operation (see
         #: :mod:`repro.core.operations`).  Empty by default, which keeps
@@ -444,7 +456,9 @@ class HAM:
         with self._state_lock:
             if self._closed:
                 return
-            if self._directory is not None and self._txns.active_count == 0:
+            if (self._directory is not None
+                    and self._txns.active_count == 0
+                    and not self._txns.poisoned):
                 self.checkpoint()
             self._log.close()
             self._closed = True
@@ -482,10 +496,18 @@ class HAM:
     # transactions
 
     def begin(self, read_only: bool = False) -> Transaction:
-        """Start a transaction (commit/abort via the Transaction)."""
+        """Start a transaction (commit/abort via the Transaction).
+
+        Writers get a private :class:`~repro.txn.writeset.WriteSet`
+        overlay; read-only transactions pin the commit watermark instead
+        and take no locks for the rest of their life.
+        """
         if self._closed:
             raise TransactionError("HAM is closed")
-        return self._txns.begin(read_only=read_only)
+        txn = self._txns.begin(read_only=read_only)
+        if not read_only:
+            txn.writeset = WriteSet(self._store, self._index)
+        return txn
 
     transaction = begin  # alias: ``with ham.transaction() as txn:``
 
@@ -493,7 +515,12 @@ class HAM:
         """Run an operation in ``txn``, or a fresh single-op transaction.
 
         Returns a context manager yielding the transaction; when it had
-        to create one, it commits on success / aborts on error.
+        to create one, it commits on success / aborts on error.  A
+        transaction opened here is marked ``auto``: single-op reads
+        answer from latest-committed state (still lock-free) rather
+        than pinning a snapshot — a plain ``open_node()`` call should
+        see the newest contents, and on file nodes a pinned historical
+        read could not answer at all.
         """
         ham = self
 
@@ -502,6 +529,8 @@ class HAM:
                 self.owned = txn is None
                 self.txn = (ham.begin(read_only=read_only)
                             if txn is None else txn)
+                if self.owned:
+                    self.txn.auto = True
                 return self.txn
 
             def __exit__(self, exc_type, exc, tb):
@@ -516,29 +545,60 @@ class HAM:
     # ------------------------------------------------------------------
     # journaled mutation helper
 
-    def _mutate(self, txn: Transaction, operation: str, args: dict,
-                undo: Callable[[], None]):
-        """Apply + journal one logical operation inside ``txn``."""
-        result = _APPLY[operation](self._store, args)
-        txn.log_update(operation, args, undo)
+    def _mutate(self, txn: Transaction, operation: str, args: dict):
+        """Apply + journal one logical operation inside ``txn``.
+
+        The apply function runs against the transaction's write-set
+        overlay: the shared store is untouched until commit, and abort
+        is simply dropping the overlay.
+        """
+        if txn.writeset is None:  # externally-created transaction
+            txn.writeset = WriteSet(self._store, self._index)
+        result = _APPLY[operation](txn.writeset, args)
+        txn.log_update(operation, args)
         return result
+
+    def _store_for(self, txn: Transaction | None):
+        """The store a read inside ``txn`` should answer from.
+
+        A writer reads through its write-set overlay (its own
+        uncommitted effects are visible to it); everything else reads
+        the shared store.
+        """
+        if txn is not None and txn.writeset is not None:
+            return txn.writeset
+        return self._store
+
+    def _snapshot_time(self, txn: Transaction | None) -> Time | None:
+        """Pinned watermark for an explicit read-only transaction.
+
+        Returns None when the read should see latest-committed state:
+        writer transactions (they read their own overlay), auto
+        single-op transactions, and everything once
+        ``snapshot_reads`` is switched off.
+        """
+        if (txn is not None and txn.read_only and not txn.auto
+                and self._txns.snapshot_reads):
+            return txn.watermark
+        return None
 
     def _fire_demons(self, kind: EventKind, time: Time,
                      node: NodeIndex | None = None,
                      link: LinkIndex | None = None,
                      txn: Transaction | None = None,
                      detail: dict | None = None) -> None:
+        store = self._store_for(txn)
         event = DemonEvent(
             kind=kind, time=time, project=self._store.project_id,
             node=node, link=link,
             transaction=txn.txn_id if txn is not None else None,
             detail=detail or {}, txn_handle=txn)
         names = []
-        graph_demon = self._store.graph_demons.demon_at(kind)
+        graph_demon = store.graph_demons.demon_at(kind)
         if graph_demon is not None:
             names.append(graph_demon)
         if node is not None:
-            table = self._store.node_demons.get(node)
+            table = store.node_demons.get(node)
             if table is not None:
                 node_demon = table.demon_at(kind)
                 if node_demon is not None:
@@ -558,17 +618,11 @@ class HAM:
         """
         with self._in_txn(txn) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
-            index = self._store.next_node_index
-            time = self._store.clock.tick()
+            index = self._store_for(t).next_node_index
+            time = self._txns.assign_time(t)
             kind = NodeKind.ARCHIVE if keep_history else NodeKind.FILE
             args = {"index": index, "kind": kind.value, "time": time}
-
-            def undo() -> None:
-                self._store.nodes.pop(index, None)
-                self._store.node_demons.pop(index, None)
-                self._store.next_node_index = index
-
-            self._mutate(t, "add_node", args, undo)
+            self._mutate(t, "add_node", args)
             self._fire_demons(EventKind.ADD_NODE, time, node=index, txn=t)
             return index, time
 
@@ -578,24 +632,12 @@ class HAM:
         with self._in_txn(txn) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            record = self._store.node(node)
+            record = self._store_for(t).node(node)
             record.require_alive()
-            time = self._store.clock.tick()
+            time = self._txns.assign_time(t)
             args = {"index": node, "time": time}
-            store = self._store
-            undo_links: list[LinkIndex] = []
-
-            def undo(record=record) -> None:
-                record.deleted_at = None
-                for link_index in undo_links:
-                    store.links[link_index].deleted_at = None
-                if self._index is not None:
-                    self._reindex_node(record)
-
-            cascaded = self._mutate(t, "delete_node", args, undo)
-            undo_links.extend(cascaded)
-            if self._index is not None:
-                self._index.drop_node(node)
+            self._mutate(t, "delete_node", args)
+            t.writeset.queue_index("drop", node)
             self._fire_demons(EventKind.DELETE_NODE, time, node=node, txn=t)
 
     # ==================================================================
@@ -610,31 +652,19 @@ class HAM:
         """
         with self._in_txn(txn) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
+            store = self._store_for(t)
             for pt in (from_pt, to_pt):
                 t.lock(("node", pt.node), LockMode.EXCLUSIVE)
-                node = self._store.node(pt.node)
+                node = store.node(pt.node)
                 node.require_alive(pt.time)
                 if pt.pinned:
                     # The pinned version must actually exist.
                     node.contents_at(pt.time)
-            index = self._store.next_link_index
-            time = self._store.clock.tick()
+            index = store.next_link_index
+            time = self._txns.assign_time(t)
             args = {"index": index, "from": from_pt.to_record(),
                     "to": to_pt.to_record(), "time": time}
-            store = self._store
-
-            def undo() -> None:
-                store.links.pop(index, None)
-                from_node = store.nodes[from_pt.node]
-                to_node = store.nodes[to_pt.node]
-                from_node.out_links.discard(index)
-                to_node.in_links.discard(index)
-                from_node.pop_minor_event()
-                if to_node is not from_node:
-                    to_node.pop_minor_event()
-                store.next_link_index = index
-
-            self._mutate(t, "add_link", args, undo)
+            self._mutate(t, "add_link", args)
             self._fire_demons(EventKind.ADD_LINK, time, link=index, txn=t)
             return index, time
 
@@ -650,7 +680,7 @@ class HAM:
         """
         with self._in_txn(txn) as t:
             t.lock(("link", link), LockMode.SHARED)
-            record = self._store.link(link)
+            record = self._store_for(t).link(link)
             record.require_alive(time)
             end = LinkEnd.FROM if keep_source else LinkEnd.TO
             shared_pt = record.resolved_endpoint(end, time)
@@ -669,23 +699,13 @@ class HAM:
         """``deleteLink``: tombstone a link."""
         with self._in_txn(txn) as t:
             t.lock(("link", link), LockMode.EXCLUSIVE)
-            record = self._store.link(link)
+            record = self._store_for(t).link(link)
             record.require_alive()
             t.lock(("node", record.from_node), LockMode.EXCLUSIVE)
             t.lock(("node", record.to_node), LockMode.EXCLUSIVE)
-            time = self._store.clock.tick()
+            time = self._txns.assign_time(t)
             args = {"index": link, "time": time}
-            store = self._store
-
-            def undo(record=record) -> None:
-                record.deleted_at = None
-                from_node = store.nodes[record.from_node]
-                to_node = store.nodes[record.to_node]
-                from_node.pop_minor_event()
-                if to_node is not from_node:
-                    to_node.pop_minor_event()
-
-            self._mutate(t, "delete_link", args, undo)
+            self._mutate(t, "delete_link", args)
             self._fire_demons(EventKind.DELETE_LINK, time, link=link, txn=t)
 
     # ==================================================================
@@ -700,8 +720,11 @@ class HAM:
         """``linearizeGraph``: offset-ordered DFS from ``start``."""
         with self._in_txn(txn, read_only=True) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
+            pinned = self._snapshot_time(t)
+            if pinned is not None and time == CURRENT:
+                time = pinned
             return linearize_graph(
-                self._store, start, time,
+                self._store_for(t), start, time,
                 parse_predicate(node_predicate),
                 parse_predicate(link_predicate),
                 list(node_attributes), list(link_attributes))
@@ -715,12 +738,38 @@ class HAM:
         """``getGraphQuery``: associative access by attribute predicates."""
         with self._in_txn(txn, read_only=True) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
+            node_pred = parse_predicate(node_predicate)
+            link_pred = parse_predicate(link_predicate)
+            projection = (list(node_attributes), list(link_attributes))
+            if t.writeset is not None and t.writeset.dirty:
+                # A writer queries through its own overlay; the index
+                # only reflects committed state, so it cannot be used.
+                return get_graph_query(
+                    t.writeset, time, node_pred, link_pred,
+                    *projection, index=None)
+            pinned = self._snapshot_time(t)
+            if pinned is None:
+                return get_graph_query(
+                    self._store, time, node_pred, link_pred,
+                    *projection, index=self._index)
+            if time == CURRENT:
+                # Optimistic indexed path: if no commit has published
+                # since this snapshot was pinned (apply seqlock even
+                # and unchanged before *and* after the query), the live
+                # store IS the snapshot and the index answer is valid.
+                if (t.snapshot_seq % 2 == 0
+                        and self._txns.apply_seq == t.snapshot_seq):
+                    result = get_graph_query(
+                        self._store, CURRENT, node_pred, link_pred,
+                        *projection, index=self._index)
+                    if self._txns.apply_seq == t.snapshot_seq:
+                        return result
+                time = pinned
+            # As-of-time scan (the query layer ignores the index for
+            # historical times anyway).
             return get_graph_query(
-                self._store, time,
-                parse_predicate(node_predicate),
-                parse_predicate(link_predicate),
-                list(node_attributes), list(link_attributes),
-                index=self._index)
+                self._store, time, node_pred, link_pred,
+                *projection, index=self._index)
 
     # ==================================================================
     # Node operations (Appendix A.2)
@@ -738,12 +787,16 @@ class HAM:
         """
         with self._in_txn(txn, read_only=True) as t:
             t.lock(("node", node), LockMode.SHARED)
-            record = self._store.node(node)
+            store = self._store_for(t)
+            pinned = self._snapshot_time(t)
+            if pinned is not None and time == CURRENT:
+                time = pinned
+            record = store.node(node)
             record.require_alive(time)
             contents = record.contents_at(time)
             link_points: list[tuple[LinkIndex, str, LinkPt]] = []
             for link_index in sorted(record.out_links | record.in_links):
-                link = self._store.link(link_index)
+                link = store.link(link_index)
                 if not link.alive_at(time):
                     continue
                 for end in link.ends_attached_to(node):
@@ -754,7 +807,10 @@ class HAM:
                     link_points.append((link_index, end.value, resolved))
             attached = record.attributes.all_at(time)
             values = [attached.get(index) for index in attributes]
-            current = record.current_time
+            # A pinned reader reports the version in effect at its
+            # watermark, not whatever a later commit checked in.
+            current = (record.version_time_at(time) if pinned is not None
+                       else record.current_time)
             self._fire_demons(EventKind.OPEN_NODE, self._store.clock.now,
                               node=node, txn=t)
             return contents, link_points, values, current
@@ -775,14 +831,11 @@ class HAM:
         """
         with self._in_txn(txn) as t:
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            record = self._store.node(node)
+            store = self._store_for(t)
+            record = store.node(node)
             record.require_alive()
-            previous_contents = None
-            previous_time = record.current_time
-            if not record.is_archive:
-                previous_contents = record.contents_at()
 
-            tracking = self._tracking_endpoints(record)
+            tracking = self._tracking_endpoints(store, record)
             moves: list[list] = []
             if attachments is not None:
                 supplied = {
@@ -799,35 +852,27 @@ class HAM:
                                                           key=lambda kv:
                                                           (kv[0][0],
                                                            kv[0][1].value)):
-                    current = self._store.link(link_index).position_at(end)
+                    current = store.link(link_index).position_at(end)
                     if position != current:
                         moves.append([link_index, end.value, position])
             for link_index, __ in tracking:
                 t.lock(("link", link_index), LockMode.EXCLUSIVE)
 
-            time = self._store.clock.tick()
+            time = self._txns.assign_time(t)
             args = {"index": node, "expected": expected_time,
                     "contents": bytes(contents), "time": time,
                     "explanation": explanation, "moves": moves}
-            store = self._store
-
-            def undo(record=record) -> None:
-                for link_index, end_value, __ in reversed(moves):
-                    store.links[link_index].rollback_attachment(
-                        LinkEnd(end_value))
-                record.rollback_modify(previous_contents or b"",
-                                       previous_time)
-
-            self._mutate(t, "modify_node", args, undo)
+            self._mutate(t, "modify_node", args)
             self._fire_demons(EventKind.MODIFY_NODE, time, node=node, txn=t)
             return time
 
-    def _tracking_endpoints(self, record: NodeRecord,
+    @staticmethod
+    def _tracking_endpoints(store, record: NodeRecord,
                             ) -> list[tuple[LinkIndex, LinkEnd]]:
         """Live tracking endpoints attached to ``record``."""
         found = []
         for link_index in sorted(record.out_links | record.in_links):
-            link = self._store.link(link_index)
+            link = store.link(link_index)
             if not link.alive_at(CURRENT):
                 continue
             for end in link.ends_attached_to(record.index):
@@ -835,9 +880,19 @@ class HAM:
                     found.append((link_index, end))
         return found
 
-    def get_node_timestamp(self, node: NodeIndex) -> Time:
-        """``getNodeTimeStamp``: current version time of ``node``."""
-        record = self._store.node(node)
+    def get_node_timestamp(self, node: NodeIndex,
+                           txn: Transaction | None = None) -> Time:
+        """``getNodeTimeStamp``: current version time of ``node``.
+
+        Inside a write transaction, pass ``txn`` to see the version the
+        transaction itself checked in; a pinned read-only transaction
+        answers with the version in effect at its watermark.
+        """
+        pinned = self._snapshot_time(txn)
+        record = self._store_for(txn).node(node)
+        if pinned is not None:
+            record.require_alive(pinned)
+            return record.version_time_at(pinned)
         record.require_alive()
         return record.current_time
 
@@ -847,15 +902,10 @@ class HAM:
         """``changeNodeProtection``: set the node's protection mode."""
         with self._in_txn(txn) as t:
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            record = self._store.node(node)
+            record = self._store_for(t).node(node)
             record.require_alive()
-            previous = record.protections
             args = {"node": node, "protections": protections.value}
-
-            def undo(record=record, previous=previous) -> None:
-                record.protections = previous
-
-            self._mutate(t, "change_node_protection", args, undo)
+            self._mutate(t, "change_node_protection", args)
 
     def get_node_versions(self, node: NodeIndex,
                           ) -> tuple[list[Version], list[Version]]:
@@ -912,22 +962,19 @@ class HAM:
     def get_attribute_index(self, name: str,
                             txn: Transaction | None = None) -> AttributeIndex:
         """``getAttributeIndex``: look up ``name``, creating it if new."""
-        existing = self._store.registry.lookup(name)
+        existing = self._store_for(txn).registry.lookup(name)
         if existing is not None:
             return existing
         with self._in_txn(txn) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
-            existing = self._store.registry.lookup(name)
+            store = self._store_for(t)
+            existing = store.registry.lookup(name)
             if existing is not None:
                 return existing
-            index = self._store.registry.peek_next()
-            time = self._store.clock.tick()
+            index = store.registry.peek_next()
+            time = self._txns.assign_time(t)
             args = {"name": name, "index": index, "time": time}
-
-            def undo() -> None:
-                self._store.registry.forget(name)
-
-            self._mutate(t, "intern_attribute", args, undo)
+            self._mutate(t, "intern_attribute", args)
             return index
 
     def get_attribute_values(self, attribute: AttributeIndex,
@@ -955,22 +1002,15 @@ class HAM:
         """``setNodeAttributeValue``: set (versioned on archives)."""
         with self._in_txn(txn) as t:
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            record = self._store.node(node)
+            store = self._store_for(t)
+            record = store.node(node)
             record.require_alive()
-            name = self._store.registry.name_of(attribute)
-            time = self._store.clock.tick()
+            name = store.registry.name_of(attribute)
+            time = self._txns.assign_time(t)
             args = {"node": node, "attribute": attribute, "value": value,
                     "time": time}
-
-            def undo(record=record) -> None:
-                record.attributes.rollback(attribute)
-                record.pop_minor_event()
-                if self._index is not None:
-                    self._reindex_node_attribute(record, name)
-
-            self._mutate(t, "set_node_attribute", args, undo)
-            if self._index is not None:
-                self._index.set_value(node, name, value)
+            self._mutate(t, "set_node_attribute", args)
+            t.writeset.queue_index("set", node, name, value)
             self._fire_demons(EventKind.SET_ATTRIBUTE, time, node=node,
                               txn=t, detail={"attribute": name,
                                              "value": value})
@@ -981,29 +1021,31 @@ class HAM:
         """``deleteNodeAttribute``: detach an attribute from a node."""
         with self._in_txn(txn) as t:
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            record = self._store.node(node)
+            store = self._store_for(t)
+            record = store.node(node)
             record.require_alive()
-            name = self._store.registry.name_of(attribute)
-            time = self._store.clock.tick()
+            name = store.registry.name_of(attribute)
+            time = self._txns.assign_time(t)
             args = {"node": node, "attribute": attribute, "time": time}
-
-            def undo(record=record) -> None:
-                record.attributes.rollback(attribute)
-                record.pop_minor_event()
-                if self._index is not None:
-                    self._reindex_node_attribute(record, name)
-
-            self._mutate(t, "delete_node_attribute", args, undo)
-            if self._index is not None:
-                self._index.delete_value(node, name)
+            self._mutate(t, "delete_node_attribute", args)
+            t.writeset.queue_index("delete", node, name)
             self._fire_demons(EventKind.DELETE_ATTRIBUTE, time, node=node,
                               txn=t, detail={"attribute": name})
 
     def get_node_attribute_value(self, node: NodeIndex,
                                  attribute: AttributeIndex,
-                                 time: Time = CURRENT) -> str:
-        """``getNodeAttributeValue``: one attribute value as of ``time``."""
-        record = self._store.node(node)
+                                 time: Time = CURRENT,
+                                 txn: Transaction | None = None) -> str:
+        """``getNodeAttributeValue``: one attribute value as of ``time``.
+
+        Inside a write transaction, pass ``txn`` to see the
+        transaction's own uncommitted value; a pinned read-only
+        transaction resolves ``CURRENT`` to its watermark.
+        """
+        pinned = self._snapshot_time(txn)
+        if pinned is not None and time == CURRENT:
+            time = pinned
+        record = self._store_for(txn).node(node)
         return record.attributes.value_at(attribute, time)
 
     def get_node_attributes(self, node: NodeIndex, time: Time = CURRENT,
@@ -1023,17 +1065,14 @@ class HAM:
         """``setLinkAttributeValue``: set (versioned) on a link."""
         with self._in_txn(txn) as t:
             t.lock(("link", link), LockMode.EXCLUSIVE)
-            record = self._store.link(link)
+            store = self._store_for(t)
+            record = store.link(link)
             record.require_alive()
-            self._store.registry.name_of(attribute)  # must exist
-            time = self._store.clock.tick()
+            store.registry.name_of(attribute)  # must exist
+            time = self._txns.assign_time(t)
             args = {"link": link, "attribute": attribute, "value": value,
                     "time": time}
-
-            def undo(record=record) -> None:
-                record.attributes.rollback(attribute)
-
-            self._mutate(t, "set_link_attribute", args, undo)
+            self._mutate(t, "set_link_attribute", args)
 
     def delete_link_attribute(self, txn: Transaction | None = None, *,
                               link: LinkIndex,
@@ -1041,15 +1080,11 @@ class HAM:
         """``deleteLinkAttribute``: detach an attribute from a link."""
         with self._in_txn(txn) as t:
             t.lock(("link", link), LockMode.EXCLUSIVE)
-            record = self._store.link(link)
+            record = self._store_for(t).link(link)
             record.require_alive()
-            time = self._store.clock.tick()
+            time = self._txns.assign_time(t)
             args = {"link": link, "attribute": attribute, "time": time}
-
-            def undo(record=record) -> None:
-                record.attributes.rollback(attribute)
-
-            self._mutate(t, "delete_link_attribute", args, undo)
+            self._mutate(t, "delete_link_attribute", args)
 
     def get_link_attribute_value(self, link: LinkIndex,
                                  attribute: AttributeIndex,
@@ -1079,13 +1114,9 @@ class HAM:
         """
         with self._in_txn(txn) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.EXCLUSIVE)
-            time = self._store.clock.tick()
+            time = self._txns.assign_time(t)
             args = {"event": event.value, "demon": demon, "time": time}
-
-            def undo() -> None:
-                self._store.graph_demons.rollback(event)
-
-            self._mutate(t, "set_graph_demon", args, undo)
+            self._mutate(t, "set_graph_demon", args)
 
     def get_graph_demons(self, time: Time = CURRENT,
                          ) -> list[tuple[EventKind, str]]:
@@ -1098,15 +1129,11 @@ class HAM:
         """``setNodeDemon``: (versioned) node-level demon binding."""
         with self._in_txn(txn) as t:
             t.lock(("node", node), LockMode.EXCLUSIVE)
-            self._store.node(node).require_alive()
-            time = self._store.clock.tick()
+            self._store_for(t).node(node).require_alive()
+            time = self._txns.assign_time(t)
             args = {"node": node, "event": event.value, "demon": demon,
                     "time": time}
-
-            def undo() -> None:
-                self._store.demon_table_for_node(node).rollback(event)
-
-            self._mutate(t, "set_node_demon", args, undo)
+            self._mutate(t, "set_node_demon", args)
 
     def get_node_demons(self, node: NodeIndex, time: Time = CURRENT,
                         ) -> list[tuple[EventKind, str]]:
@@ -1126,24 +1153,6 @@ class HAM:
             for index, value in node.attributes.all_at(CURRENT).items():
                 self._index.set_value(node.index, registry.name_of(index),
                                       value)
-
-    def _reindex_node(self, record: NodeRecord) -> None:
-        assert self._index is not None
-        registry = self._store.registry
-        for index, value in record.attributes.all_at(CURRENT).items():
-            self._index.set_value(record.index, registry.name_of(index),
-                                  value)
-
-    def _reindex_node_attribute(self, record: NodeRecord, name: str) -> None:
-        assert self._index is not None
-        index = self._store.registry.lookup(name)
-        if index is None:
-            return
-        value = record.attributes.value_at(index, CURRENT, default=None)
-        if value is None:
-            self._index.delete_value(record.index, name)
-        else:
-            self._index.set_value(record.index, name, value)
 
     # ==================================================================
     # Appendix-style camelCase aliases

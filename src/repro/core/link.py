@@ -146,6 +146,25 @@ class LinkRecord:
             if pt.node == node_index
         ]
 
+    def clone(self) -> "LinkRecord":
+        """Copy for a transaction's private write-set overlay.
+
+        ``LinkPt`` endpoints are immutable and shared; offset timelines
+        and attributes clone with structural sharing, so the copy can be
+        mutated without disturbing readers still holding the original.
+        """
+        link = LinkRecord.__new__(LinkRecord)
+        link.index = self.index
+        link.created_at = self.created_at
+        link.deleted_at = self.deleted_at
+        link.attributes = self.attributes.clone()
+        link._endpoints = dict(self._endpoints)
+        link._offsets = {
+            end: timeline.clone()
+            for end, timeline in self._offsets.items()
+        }
+        return link
+
     # ------------------------------------------------------------------
     # persistence
 

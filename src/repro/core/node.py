@@ -185,11 +185,52 @@ class NodeRecord:
             return self._archive.times
         return [self._file_time]
 
+    def version_time_at(self, time: Time = CURRENT) -> Time:
+        """Time of the content version in effect at ``time`` (0 = now).
+
+        The visibility-bounded companion of :attr:`current_time`: a
+        snapshot reader pinned at a watermark asks for the version that
+        existed then, not whatever a later commit checked in.
+        """
+        if time == CURRENT:
+            return self.current_time
+        stamps = [s for s in self.content_version_times() if s <= time]
+        if not stamps:
+            raise VersionError(
+                f"node {self.index} had no version at time {time}")
+        return stamps[-1]
+
     def storage_stats(self):
         """Delta-chain storage stats (archives only; None for files)."""
         if self._archive is None:
             return None
         return self._archive.stats()
+
+    def clone(self) -> "NodeRecord":
+        """Copy for a transaction's private write-set overlay.
+
+        Containers are copied shallowly; the leaves they hold (bytes,
+        Version, str) are immutable, and :class:`DeltaStore`/
+        :class:`VersionedAttributes` clones share their payloads the same
+        way — so mutating the clone never disturbs the original, which
+        lock-free snapshot readers may still be traversing.
+        """
+        node = NodeRecord.__new__(NodeRecord)
+        node.index = self.index
+        node.kind = self.kind
+        node.created_at = self.created_at
+        node.deleted_at = self.deleted_at
+        node.protections = self.protections
+        node.attributes = self.attributes.clone()
+        node.out_links = set(self.out_links)
+        node.in_links = set(self.in_links)
+        node._explanations = dict(self._explanations)
+        node._minor_events = list(self._minor_events)
+        node._archive = (self._archive.clone()
+                         if self._archive is not None else None)
+        node._file_contents = self._file_contents
+        node._file_time = self._file_time
+        return node
 
     # ------------------------------------------------------------------
     # persistence

@@ -420,7 +420,7 @@ _register(Operation(
     IDENTITY, appendix_name="modifyNode", mutates=True,
     events=(EventKind.MODIFY_NODE,)))
 _register(Operation(
-    "get_node_timestamp", (Param("node"),), IDENTITY,
+    "get_node_timestamp", (Param("node"), _txn_param()), IDENTITY,
     appendix_name="getNodeTimeStamp"))
 _register(Operation(
     "change_node_protection",
@@ -468,7 +468,8 @@ _register(Operation(
     events=(EventKind.DELETE_ATTRIBUTE,)))
 _register(Operation(
     "get_node_attribute_value",
-    (Param("node"), Param("attribute"), Param("time", default=CURRENT)),
+    (Param("node"), Param("attribute"), Param("time", default=CURRENT),
+     _txn_param()),
     IDENTITY, appendix_name="getNodeAttributeValue"))
 _register(Operation(
     "get_node_attributes",

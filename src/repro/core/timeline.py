@@ -88,3 +88,14 @@ class Timeline(Generic[T]):
     def times(self) -> list[Time]:
         """All entry times, oldest first."""
         return list(self._times)
+
+    def clone(self) -> "Timeline[T]":
+        """Independent copy sharing the (immutable) entry values.
+
+        Only the list spines are copied, so cloning is O(n) pointer
+        copies — cheap enough for copy-on-write transaction overlays.
+        """
+        copy: Timeline[T] = Timeline()
+        copy._times = list(self._times)
+        copy._values = list(self._values)
+        return copy

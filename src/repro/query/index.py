@@ -16,46 +16,61 @@ this scan-versus-index trade-off.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.types import NodeIndex
 
 __all__ = ["AttributeValueIndex"]
 
 
 class AttributeValueIndex:
-    """Maintained eagerly by the HAM on every node-attribute mutation."""
+    """Maintained by the HAM on committed node-attribute mutations.
+
+    Thread-safe: commit-time apply mutates the index while lock-free
+    snapshot readers may be probing it, so every method holds an
+    internal mutex, and :meth:`lookup` hands out a *copy* of the posting
+    set — callers may intersect or mutate their result freely without
+    corrupting the index.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._postings: dict[tuple[str, str], set[NodeIndex]] = {}
         #: node → {attribute name: value} mirror, to undo stale postings.
         self._current: dict[NodeIndex, dict[str, str]] = {}
 
     def set_value(self, node: NodeIndex, attribute: str, value: str) -> None:
         """Record that ``node`` now carries ``attribute = value``."""
-        existing = self._current.setdefault(node, {})
-        old = existing.get(attribute)
-        if old is not None:
-            self._remove_posting(node, attribute, old)
-        existing[attribute] = value
-        self._postings.setdefault((attribute, value), set()).add(node)
+        with self._lock:
+            existing = self._current.setdefault(node, {})
+            old = existing.get(attribute)
+            if old is not None:
+                self._remove_posting(node, attribute, old)
+            existing[attribute] = value
+            self._postings.setdefault((attribute, value), set()).add(node)
 
     def delete_value(self, node: NodeIndex, attribute: str) -> None:
         """Record that ``attribute`` was detached from ``node``."""
-        existing = self._current.get(node, {})
-        old = existing.pop(attribute, None)
-        if old is not None:
-            self._remove_posting(node, attribute, old)
+        with self._lock:
+            existing = self._current.get(node, {})
+            old = existing.pop(attribute, None)
+            if old is not None:
+                self._remove_posting(node, attribute, old)
 
     def drop_node(self, node: NodeIndex) -> None:
         """Remove every posting for a deleted node."""
-        for attribute, value in self._current.pop(node, {}).items():
-            self._remove_posting(node, attribute, value)
+        with self._lock:
+            for attribute, value in self._current.pop(node, {}).items():
+                self._remove_posting(node, attribute, value)
 
     def lookup(self, attribute: str, value: str) -> set[NodeIndex]:
         """Nodes currently carrying ``attribute = value`` (a copy)."""
-        return set(self._postings.get((attribute, value), ()))
+        with self._lock:
+            return set(self._postings.get((attribute, value), ()))
 
     def _remove_posting(self, node: NodeIndex, attribute: str,
                         value: str) -> None:
+        # Internal: caller holds the lock.
         postings = self._postings.get((attribute, value))
         if postings is not None:
             postings.discard(node)
@@ -65,4 +80,5 @@ class AttributeValueIndex:
     @property
     def posting_count(self) -> int:
         """Number of (attribute, value) keys currently indexed."""
-        return len(self._postings)
+        with self._lock:
+            return len(self._postings)

@@ -171,6 +171,20 @@ class DeltaStore:
         self._times.pop()
         self._current = apply_differences_bytes(self._current, script)
 
+    def clone(self) -> "DeltaStore":
+        """Independent copy sharing the version payloads.
+
+        ``_current`` is immutable ``bytes`` and the stored delta scripts
+        are never mutated after check-in, so only the list spines need
+        copying — the clone and the original can then diverge freely
+        (copy-on-write transaction overlays rely on this).
+        """
+        copy = DeltaStore.__new__(DeltaStore)
+        copy._current = self._current
+        copy._times = list(self._times)
+        copy._deltas = list(self._deltas)
+        return copy
+
     # ------------------------------------------------------------------
     # accounting / persistence
 

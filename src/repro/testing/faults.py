@@ -32,6 +32,9 @@ Injection points
 ``server.send``            before a response frame is sent
 ``server.recv``            before a request frame is read
 ``session.dispatch``       before a decoded request dispatches
+``txn.apply``              after the commit blob is appended (and any
+                           synchronous force paid), before the write-set
+                           publishes into the in-memory store
 ======================  ================================================
 
 Zero-cost when disabled: call sites guard with
@@ -79,6 +82,7 @@ POINTS = (
     "server.send",
     "server.recv",
     "session.dispatch",
+    "txn.apply",
 )
 
 #: Supported fault actions.

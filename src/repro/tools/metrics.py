@@ -31,8 +31,8 @@ import threading
 from time import perf_counter
 from typing import Callable
 
-__all__ = ["CounterSet", "OperationMetrics", "OperationStats", "RESILIENCE",
-           "TraceLog", "WAL"]
+__all__ = ["CONCURRENCY", "CounterSet", "OperationMetrics", "OperationStats",
+           "RESILIENCE", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -85,6 +85,16 @@ RESILIENCE = CounterSet("reconnects", "retries", "injected_faults")
 #: ``bytes_flushed``.  Surfaced by :func:`repro.tools.stats.wal_stats`.
 WAL = CounterSet("commit_forces", "group_fsyncs", "absorbed_commits",
                  "bytes_flushed")
+
+#: Process-wide concurrency-control counters, mirrored by every
+#: :class:`repro.txn.locks.LockManager` and
+#: :class:`repro.txn.manager.TransactionManager` in the process:
+#: ``lock_waits`` (requests that blocked), ``deadlock_victims``,
+#: ``lock_timeouts``, and ``snapshot_txns`` (read-only transactions
+#: served lock-free from a pinned commit watermark).  Surfaced by
+#: :func:`repro.tools.stats.concurrency_counters`.
+CONCURRENCY = CounterSet("lock_waits", "deadlock_victims", "lock_timeouts",
+                         "snapshot_txns")
 
 
 class OperationStats:

@@ -16,6 +16,15 @@ absorption) and :func:`wal_counters` the process-wide mirror
 (:data:`repro.tools.metrics.WAL`) — the numbers that prove whether
 group commit is amortizing the durability point
 (``fsyncs_per_commit`` < 1) or every committer is paying its own fsync.
+
+Concurrency-control accounting: :func:`lock_stats` snapshots one
+graph's lock-manager counters (grants, waits, wait time, deadlock
+victims, timeouts), :func:`snapshot_stats` its MVCC snapshot-read
+counters (watermark, read-only transactions served lock-free, lock
+requests bypassed), and :func:`concurrency_counters` the process-wide
+mirror (:data:`repro.tools.metrics.CONCURRENCY`) — together they make
+"read-only transactions acquire zero locks" an assertable property
+rather than a design claim.
 """
 
 from __future__ import annotations
@@ -25,10 +34,13 @@ from dataclasses import dataclass
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
 from repro.storage.log import WalStats
-from repro.tools.metrics import RESILIENCE, WAL
+from repro.tools.metrics import CONCURRENCY, RESILIENCE, WAL
+from repro.txn.locks import LockStats
 
-__all__ = ["GraphStats", "graph_stats", "render_resilience",
-           "render_wal", "resilience_stats", "wal_counters", "wal_stats"]
+__all__ = ["GraphStats", "concurrency_counters", "graph_stats",
+           "lock_stats", "render_concurrency", "render_resilience",
+           "render_wal", "resilience_stats", "snapshot_stats",
+           "wal_counters", "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -138,6 +150,49 @@ def wal_stats(ham: HAM) -> WalStats:
 def wal_counters() -> dict[str, int]:
     """Snapshot of the process-wide WAL counters (all logs combined)."""
     return WAL.snapshot()
+
+
+def lock_stats(ham: HAM) -> LockStats:
+    """Snapshot of one opened graph's lock-manager counters."""
+    return ham._txns.locks.stats()
+
+
+def snapshot_stats(ham: HAM) -> dict:
+    """Snapshot of one graph's MVCC snapshot-read counters.
+
+    Keys: ``watermark`` (newest fully-published commit time),
+    ``apply_seq`` (commit-apply seqlock value), ``inflight_writers``,
+    ``read_only_txns``, ``snapshot_txns`` (read-only transactions served
+    lock-free from a pinned watermark), and ``lock_bypasses`` (lock
+    requests those transactions skipped).
+    """
+    return ham._txns.snapshot_stats()
+
+
+def concurrency_counters() -> dict[str, int]:
+    """Snapshot of the process-wide concurrency counters."""
+    return CONCURRENCY.snapshot()
+
+
+def render_concurrency(ham: HAM) -> str:
+    """Human-readable lock-manager + snapshot-read report for one graph."""
+    locks = lock_stats(ham)
+    snaps = snapshot_stats(ham)
+    rows = [
+        ("lock acquires", str(locks.acquires)),
+        ("lock waits", str(locks.waits)),
+        ("lock wait seconds", f"{locks.wait_seconds:.3f}"),
+        ("deadlock victims", str(locks.deadlock_victims)),
+        ("lock timeouts", str(locks.timeouts)),
+        ("commit watermark", str(snaps["watermark"])),
+        ("in-flight writers", str(snaps["inflight_writers"])),
+        ("read-only txns", str(snaps["read_only_txns"])),
+        ("snapshot txns (lock-free)", str(snaps["snapshot_txns"])),
+        ("lock requests bypassed", str(snaps["lock_bypasses"])),
+    ]
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
 
 
 def render_wal(stats: WalStats) -> str:

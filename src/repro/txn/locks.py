@@ -21,7 +21,19 @@ from dataclasses import dataclass, field
 
 from repro.errors import DeadlockError, LockTimeoutError
 
-__all__ = ["LockMode", "LockManager"]
+__all__ = ["LockMode", "LockManager", "LockStats"]
+
+_COUNTERS = None
+
+
+def _counters():
+    # Imported lazily: ``repro.tools`` pulls in ``repro.core.ham`` which
+    # imports this module, so a top-level import would be circular.
+    global _COUNTERS
+    if _COUNTERS is None:
+        from repro.tools import metrics
+        _COUNTERS = metrics.CONCURRENCY
+    return _COUNTERS
 
 
 class LockMode(enum.Enum):
@@ -39,6 +51,24 @@ class _LockState:
     waiters: list[tuple[int, LockMode]] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class LockStats:
+    """Observability snapshot of one :class:`LockManager`.
+
+    ``acquires`` counts every granted request (immediate or after a
+    wait); ``waits`` counts requests that had to block at least once;
+    ``wait_seconds`` is the total time spent blocked; ``deadlock_victims``
+    and ``timeouts`` count requests that failed.  Surfaced by
+    :func:`repro.tools.stats.lock_stats`.
+    """
+
+    acquires: int = 0
+    waits: int = 0
+    wait_seconds: float = 0.0
+    deadlock_victims: int = 0
+    timeouts: int = 0
+
+
 class LockManager:
     """Lock table shared by all transactions on one graph.  Thread-safe."""
 
@@ -48,6 +78,13 @@ class LockManager:
         self._table: dict[object, _LockState] = {}
         self._held: dict[int, set[object]] = {}
         self._timeout = timeout
+        # Observability counters (guarded by the table lock; mirrored to
+        # the process-wide CONCURRENCY counter set on each event).
+        self._acquires = 0
+        self._waits = 0
+        self._wait_seconds = 0.0
+        self._deadlock_victims = 0
+        self._timeouts = 0
 
     # ------------------------------------------------------------------
     # acquisition
@@ -63,17 +100,25 @@ class LockManager:
             state = self._table.setdefault(resource, _LockState())
             if self._grantable(state, txn_id, mode):
                 self._grant(state, txn_id, resource, mode)
+                self._acquires += 1
                 return
             state.waiters.append((txn_id, mode))
+            self._waits += 1
+            _counters().increment("lock_waits")
+            wait_started = _time.monotonic()
             try:
                 while not self._grantable(state, txn_id, mode,
                                           as_waiter=True):
                     if self._would_deadlock(txn_id):
+                        self._deadlock_victims += 1
+                        _counters().increment("deadlock_victims")
                         raise DeadlockError(
                             f"transaction {txn_id} would deadlock waiting "
                             f"for {resource!r}")
                     remaining = deadline - _time.monotonic()
                     if remaining <= 0:
+                        self._timeouts += 1
+                        _counters().increment("lock_timeouts")
                         raise LockTimeoutError(
                             f"transaction {txn_id} timed out waiting for "
                             f"{resource!r}")
@@ -84,7 +129,9 @@ class LockManager:
                     self._condition.wait(timeout=min(remaining, 1.0))
             finally:
                 state.waiters.remove((txn_id, mode))
+                self._wait_seconds += _time.monotonic() - wait_started
             self._grant(state, txn_id, resource, mode)
+            self._acquires += 1
             self._condition.notify_all()
 
     def release_all(self, txn_id: int) -> None:
@@ -98,6 +145,17 @@ class LockManager:
                 if not state.holders and not state.waiters:
                     del self._table[resource]
             self._condition.notify_all()
+
+    def stats(self) -> LockStats:
+        """Counter snapshot: grants, waits, wait time, failed requests."""
+        with self._lock:
+            return LockStats(
+                acquires=self._acquires,
+                waits=self._waits,
+                wait_seconds=self._wait_seconds,
+                deadlock_victims=self._deadlock_victims,
+                timeouts=self._timeouts,
+            )
 
     def holds(self, txn_id: int, resource: object,
               mode: LockMode | None = None) -> bool:

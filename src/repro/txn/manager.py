@@ -1,39 +1,51 @@
-"""Transactions: buffered logical redo, in-memory undo, strict 2PL.
+"""Transactions: buffered logical redo, write-set commit, MVCC snapshots.
 
-Design (classic in-memory-database recovery, per DESIGN.md):
+Design (in-memory-database recovery plus snapshot isolation for readers,
+per DESIGN.md "Isolation and visibility"):
 
-- the primary copy of the hypergraph lives in memory;
-- every mutation, applied inside a transaction, *buffers* a logical redo
-  record (operation name + arguments, including any assigned ids and
-  times, so replay is deterministic) and registers an in-memory undo
-  closure — nothing touches the log until commit;
+- the primary copy of the hypergraph lives in memory; writers never
+  mutate it mid-transaction.  Every mutation applies to the
+  transaction's private :class:`~repro.txn.writeset.WriteSet` overlay
+  and *buffers* a logical redo record (operation name + arguments,
+  including any assigned ids and times, so replay is deterministic) —
+  nothing touches the log or the shared store until commit;
 - ``commit`` hands the WAL the whole buffer (BEGIN, UPDATE*, COMMIT) as
-  one blob — one ``os.write``, one log-lock acquisition — then reaches
-  the durability point via group commit
-  (:meth:`repro.storage.log.WriteAheadLog.force_up_to`) before
-  acknowledging;
-- ``abort`` runs the undo closures in reverse; because redo was only
-  buffered, an aborted transaction leaves **zero log bytes** — as do
-  read-only and no-op transactions;
-- after a crash, recovery loads the last checkpoint snapshot and re-applies
-  the redo records of committed transactions only (see
-  :mod:`repro.txn.recovery`), which also wipes every trace of in-flight
-  transactions — "complete recovery from any aborted transaction".
+  one blob — one ``os.write``, one log-lock acquisition — reaches the
+  durability point via group commit
+  (:meth:`repro.storage.log.WriteAheadLog.force_up_to`), and only then
+  publishes the write-set into the shared store (a sequence of
+  GIL-atomic pointer swaps, serialized across committers);
+- ``abort`` drops the write-set and the redo buffer; because neither
+  the store nor the log was touched, an aborted transaction leaves
+  **zero log bytes** and zero in-memory residue — as do read-only and
+  no-op transactions;
+- a **read-only transaction pins a commit watermark at begin** and takes
+  *no locks at all*: versioned records answer reads at ``time <=
+  watermark``, and the publication ordering of commit-apply guarantees
+  it never follows a dangling reference.  The watermark is held back
+  while any writer that has drawn a timestamp is still in flight, so a
+  pinned reader can never observe half of an unretired commit;
+- after a crash, recovery loads the last checkpoint snapshot and
+  re-applies the redo records of committed transactions only (see
+  :mod:`repro.txn.recovery`).
 
-Locking is strict two-phase: locks accumulate during the transaction and
-release only after the outcome is decided — for a synchronous commit,
-after the commit record is durable.
+Locking (writers only) is strict two-phase: locks accumulate during the
+transaction and release only after the outcome is decided — for a
+synchronous commit, after the commit record is durable and applied.
+Setting :attr:`TransactionManager.snapshot_reads` to ``False`` restores
+the seed's 2PL behaviour (read-only transactions acquire shared locks
+again); the B13 benchmark uses exactly this knob as its baseline.
 """
 
 from __future__ import annotations
 
 import enum
 import threading
-from typing import Callable
 
 from repro.errors import TransactionError
 from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
-from repro.txn.locks import LockManager, LockMode
+from repro.testing import faults
+from repro.txn.locks import LockManager, LockMode, _counters
 
 __all__ = ["TxnStatus", "Transaction", "TransactionManager"]
 
@@ -60,8 +72,20 @@ class Transaction:
         self.txn_id = txn_id
         self.status = TxnStatus.ACTIVE
         self.read_only = read_only
+        #: Commit watermark pinned at begin (read-only transactions):
+        #: every read resolves ``CURRENT`` to this time.
+        self.watermark = 0
+        #: Commit-apply sequence number at begin (even = no apply in
+        #: progress); lets an indexed query validate that no commit has
+        #: published since the snapshot was pinned.
+        self.snapshot_seq = 0
+        #: The private store overlay (writers; attached by the HAM).
+        self.writeset = None
+        #: True when the HAM opened this transaction itself to cover a
+        #: single operation (such transactions read latest-committed
+        #: state rather than pinning a snapshot).
+        self.auto = False
         self._manager = manager
-        self._undo: list[Callable[[], None]] = []
         #: Buffered redo records (BEGIN + UPDATEs), flushed to the WAL
         #: as one blob at commit; discarded wholesale on abort.
         self._redo: list[LogRecord] = []
@@ -70,18 +94,27 @@ class Transaction:
     # journaling API used by the HAM
 
     def lock(self, resource: object, mode: LockMode) -> None:
-        """Acquire a lock, held until this transaction finishes."""
+        """Acquire a lock, held until this transaction finishes.
+
+        Read-only transactions under snapshot reads skip the lock table
+        entirely — their pinned watermark already isolates them — so
+        this is a counted no-op for them.  With
+        :attr:`TransactionManager.snapshot_reads` off, every request
+        goes to the lock manager (the seed's 2PL behaviour).
+        """
         self._require_active()
+        if self.read_only and self._manager.snapshot_reads:
+            self._manager.count_lock_bypass()
+            return
         self._manager.locks.acquire(self.txn_id, resource, mode)
 
-    def log_update(self, operation: str, args: dict,
-                   undo: Callable[[], None]) -> None:
-        """Journal one applied mutation.
+    def log_update(self, operation: str, args: dict) -> None:
+        """Journal one logical mutation applied to the write-set.
 
-        ``operation``/``args`` form the logical redo record; ``undo``
-        reverses the in-memory effect if the transaction aborts.  The
-        record is only buffered — it reaches the log, prefixed by this
+        ``operation``/``args`` form the logical redo record.  The record
+        is only buffered — it reaches the log, prefixed by this
         transaction's BEGIN, as part of the single commit-time blob.
+        There is no undo side: abort simply drops the write-set.
         """
         self._require_active()
         if self.read_only:
@@ -95,22 +128,19 @@ class Transaction:
             txn_id=self.txn_id,
             payload={"op": operation, "args": args},
         ))
-        self._undo.append(undo)
 
     # ------------------------------------------------------------------
     # outcome
 
     def commit(self) -> None:
-        """Make every journaled update durable and release locks."""
+        """Make every journaled update durable, publish it, release locks."""
         self._require_active()
         self._manager.finish_commit(self)
         self.status = TxnStatus.COMMITTED
 
     def abort(self) -> None:
-        """Undo every journaled update and release locks."""
+        """Drop the write-set and redo buffer, release locks."""
         self._require_active()
-        for undo in reversed(self._undo):
-            undo()
         self._manager.finish_abort(self)
         self.status = TxnStatus.ABORTED
 
@@ -138,16 +168,45 @@ class TransactionManager:
     """Creates transactions and owns the log + lock table for one graph."""
 
     def __init__(self, log: WriteAheadLog, locks: LockManager | None = None,
-                 synchronous: bool = True):
+                 synchronous: bool = True, clock=None):
         self.log = log
         self.locks = locks if locks is not None else LockManager()
         #: When False, commits skip fsync (benchmark knob; recovery then
         #: only survives process crashes, not power loss — same trade-off
         #: as an async-commit database setting).
         self.synchronous = synchronous
+        #: When True (default), read-only transactions pin a watermark
+        #: at begin and bypass the lock table; when False they take
+        #: shared locks like the seed's 2PL read path (B13 baseline).
+        self.snapshot_reads = True
+        #: The graph's logical clock (watermark source); None for
+        #: standalone managers in unit tests, which then pin watermark 0
+        #: (== CURRENT, so snapshot reads degrade to latest-state reads).
+        self.clock = clock
         self._next_txn_id = 1
         self._lock = threading.Lock()
         self._active: dict[int, Transaction] = {}
+        #: Guards the watermark, the apply sequence, and the in-flight
+        #: first-write table; held only for pointer-sized updates.
+        self._time_lock = threading.Lock()
+        #: Serializes write-set publication across committers.
+        self._apply_mutex = threading.Lock()
+        #: txn_id -> first timestamp the transaction drew.  The
+        #: watermark may never reach a time any in-flight writer could
+        #: still commit at, so it trails min(first ticks) - 1.
+        self._inflight_first_write: dict[int, int] = {}
+        self._watermark = clock.now if clock is not None else 0
+        #: Seqlock over commit-apply: odd while a write-set is
+        #: publishing, bumped to even when it finishes.
+        self._apply_seq = 0
+        #: Set when a commit failed after its blob reached the log: the
+        #: in-memory state may now diverge from the durable log, so the
+        #: manager refuses new transactions (reopen the graph to
+        #: recover).
+        self._poisoned = False
+        self._read_only_txns = 0
+        self._snapshot_txns = 0
+        self._lock_bypasses = 0
 
     def begin(self, read_only: bool = False) -> Transaction:
         """Start a transaction.  Writes nothing.
@@ -155,12 +214,28 @@ class TransactionManager:
         The BEGIN record is folded into the commit-time buffer flush,
         so pure readers, no-op writers, and aborted transactions never
         touch the log at all — reads and empty commits stay fsync-free.
+        A read-only transaction additionally pins the current commit
+        watermark (and apply sequence) here; that pair is its entire
+        isolation mechanism.
         """
         with self._lock:
+            if self._poisoned:
+                raise TransactionError(
+                    "transaction manager is poisoned: a commit failed "
+                    "after reaching the log; reopen the graph to recover")
             txn_id = self._next_txn_id
             self._next_txn_id += 1
             txn = Transaction(txn_id, self, read_only=read_only)
+            if read_only:
+                self._read_only_txns += 1
+                if self.snapshot_reads:
+                    self._snapshot_txns += 1
+                    _counters().increment("snapshot_txns")
             self._active[txn_id] = txn
+        if read_only:
+            with self._time_lock:
+                txn.watermark = self._watermark
+                txn.snapshot_seq = self._apply_seq
         return txn
 
     @property
@@ -169,38 +244,156 @@ class TransactionManager:
         with self._lock:
             return len(self._active)
 
+    @property
+    def poisoned(self) -> bool:
+        """True after a commit failed beyond its durability point."""
+        with self._lock:
+            return self._poisoned
+
+    # ------------------------------------------------------------------
+    # watermark
+
+    @property
+    def watermark(self) -> int:
+        """Newest time every committed effect at or before is visible."""
+        with self._time_lock:
+            return self._watermark
+
+    @property
+    def apply_seq(self) -> int:
+        """Commit-apply seqlock value (odd = publication in progress)."""
+        with self._time_lock:
+            return self._apply_seq
+
+    def assign_time(self, txn: Transaction) -> int:
+        """Draw the next logical timestamp for ``txn``'s mutation.
+
+        The first draw registers the transaction as an in-flight writer,
+        holding the watermark below its times until it retires — node
+        locking lets writers commit out of tick order, so the watermark
+        may only advance past times no in-flight writer can still
+        publish at.
+        """
+        if self.clock is None:
+            raise TransactionError(
+                "transaction manager has no clock to assign times from")
+        with self._time_lock:
+            time = self.clock.tick()
+            self._inflight_first_write.setdefault(txn.txn_id, time)
+        return time
+
+    def _retire(self, txn: Transaction) -> None:
+        """Drop ``txn`` from the in-flight table; advance the watermark.
+
+        Idempotent.  Called after commit-apply finished (or on abort),
+        so every time at or below the new watermark is fully published.
+        """
+        with self._time_lock:
+            self._inflight_first_write.pop(txn.txn_id, None)
+            if self._inflight_first_write:
+                horizon = min(self._inflight_first_write.values()) - 1
+            elif self.clock is not None:
+                horizon = self.clock.now
+            else:
+                horizon = self._watermark
+            if horizon > self._watermark:
+                self._watermark = horizon
+
+    def count_lock_bypass(self) -> None:
+        """Tally one lock request skipped by a snapshot-read transaction."""
+        with self._lock:
+            self._lock_bypasses += 1
+
+    def snapshot_stats(self) -> dict:
+        """Snapshot-read observability counters (one plain dict)."""
+        with self._lock:
+            read_only = self._read_only_txns
+            snapshots = self._snapshot_txns
+            bypasses = self._lock_bypasses
+        with self._time_lock:
+            return {
+                "watermark": self._watermark,
+                "apply_seq": self._apply_seq,
+                "inflight_writers": len(self._inflight_first_write),
+                "read_only_txns": read_only,
+                "snapshot_txns": snapshots,
+                "lock_bypasses": bypasses,
+            }
+
+    # ------------------------------------------------------------------
+    # outcomes
+
     def finish_commit(self, txn: Transaction) -> None:
-        """Flush the redo buffer, force, release locks.
+        """Flush the redo buffer, force, publish the write-set, release.
 
         The buffered BEGIN + UPDATE records plus a COMMIT record land in
         the log as one blob (:meth:`WriteAheadLog.append_many`); the
         durability point is :meth:`WriteAheadLog.force_up_to` on the
         blob's end — group commit, so a concurrent leader's fsync may
-        cover this commit for free.  Strict-2PL lock release happens
-        *after* durability: no other transaction may observe this one's
-        effects until they are guaranteed to survive a crash.
-        Transactions that buffered nothing skip the log entirely.
+        cover this commit for free.  Only after durability does the
+        write-set publish into the shared store (serialized across
+        committers, bracketed by the apply seqlock), and only after
+        publication do strict-2PL locks release and the watermark
+        advance: no other transaction may observe this one's effects
+        until they are guaranteed to survive a crash.  Transactions that
+        buffered nothing skip the log and the store entirely.
+
+        If anything fails *after* the blob reached the log (a failed
+        force, a fault between append and apply), the manager poisons
+        itself: the durable log is now ahead of memory, recovery is
+        all-or-nothing about the commit, and every later ``begin``
+        refuses until the graph is reopened.
         """
-        if not txn.read_only and txn._redo:
-            commit_lsn = self.log.append_many(
-                txn._redo + [LogRecord(
-                    kind=LogRecordKind.COMMIT, txn_id=txn.txn_id)])
-            txn._redo = []
-            if self.synchronous:
-                self.log.force_up_to(commit_lsn)
-        self.locks.release_all(txn.txn_id)
-        with self._lock:
-            self._active.pop(txn.txn_id, None)
+        logged = False
+        try:
+            if not txn.read_only and txn._redo:
+                commit_lsn = self.log.append_many(
+                    txn._redo + [LogRecord(
+                        kind=LogRecordKind.COMMIT, txn_id=txn.txn_id)])
+                txn._redo = []
+                logged = True
+                if self.synchronous:
+                    self.log.force_up_to(commit_lsn)
+                if faults.INJECTOR is not None:
+                    faults.fire("txn.apply")
+                self._publish(txn)
+        except BaseException:
+            if logged:
+                with self._lock:
+                    self._poisoned = True
+            raise
+        finally:
+            self._retire(txn)
+            self.locks.release_all(txn.txn_id)
+            with self._lock:
+                self._active.pop(txn.txn_id, None)
+
+    def _publish(self, txn: Transaction) -> None:
+        """Apply ``txn``'s write-set to the shared store (serialized)."""
+        writeset = txn.writeset
+        if writeset is None:
+            return
+        with self._apply_mutex:
+            with self._time_lock:
+                self._apply_seq += 1  # odd: publication in progress
+            try:
+                writeset.apply()
+            finally:
+                with self._time_lock:
+                    self._apply_seq += 1
 
     def finish_abort(self, txn: Transaction) -> None:
-        """Discard the redo buffer, release locks.
+        """Discard the write-set and redo buffer, release locks.
 
-        Because redo records are buffered until commit, an aborted
-        transaction leaves zero log bytes — there is nothing to undo on
-        disk and no ABORT record to write.  (Recovery still understands
-        ABORT records from logs written by earlier versions.)
+        Because neither the store nor the log was touched before
+        commit, an aborted transaction leaves zero log bytes and zero
+        in-memory residue — there is nothing to undo and no ABORT
+        record to write.  (Recovery still understands ABORT records
+        from logs written by earlier versions.)
         """
         txn._redo = []
+        txn.writeset = None
+        self._retire(txn)
         self.locks.release_all(txn.txn_id)
         with self._lock:
             self._active.pop(txn.txn_id, None)
@@ -227,10 +420,7 @@ class TransactionManager:
         around the meta rewrite lands on one consistent snapshot+suffix
         combination.
         """
-        with self._lock:
-            if self._active:
-                raise TransactionError(
-                    "cannot checkpoint with transactions in flight")
+        self._require_checkpointable()
         self.log.append(LogRecord(
             kind=LogRecordKind.CHECKPOINT, txn_id=0,
             payload=snapshot_marker))
@@ -243,12 +433,19 @@ class TransactionManager:
         transactions must be quiesced (the HAM enforces this by taking the
         graph lock exclusively).
         """
-        with self._lock:
-            if self._active:
-                raise TransactionError(
-                    "cannot checkpoint with transactions in flight")
+        self._require_checkpointable()
         self.log.truncate()
         self.log.append(LogRecord(
             kind=LogRecordKind.CHECKPOINT, txn_id=0,
             payload=snapshot_marker))
         self.log.force()
+
+    def _require_checkpointable(self) -> None:
+        with self._lock:
+            if self._active:
+                raise TransactionError(
+                    "cannot checkpoint with transactions in flight")
+            if self._poisoned:
+                raise TransactionError(
+                    "cannot checkpoint a poisoned transaction manager: "
+                    "in-memory state may trail the durable log")

@@ -111,7 +111,7 @@ def run_crash_mix(ham, oracle: CommitOracle, mix: CrashMix) -> None:
                     contents = f"{marker}-op{opno}-created".encode()
                     time = ham.modify_node(
                         txn, node=node,
-                        expected_time=ham.get_node_timestamp(node),
+                        expected_time=ham.get_node_timestamp(node, txn=txn),
                         contents=contents)
                     staged.versions.append((node, time, contents))
                 elif choice < 0.75:
@@ -119,7 +119,7 @@ def run_crash_mix(ham, oracle: CommitOracle, mix: CrashMix) -> None:
                     contents = f"{marker}-op{opno}-edit".encode()
                     time = ham.modify_node(
                         txn, node=node,
-                        expected_time=ham.get_node_timestamp(node),
+                        expected_time=ham.get_node_timestamp(node, txn=txn),
                         contents=contents)
                     staged.versions.append((node, time, contents))
                 elif choice < 0.9 and len(known_nodes) >= 2:

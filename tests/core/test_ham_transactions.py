@@ -129,8 +129,11 @@ class TestIsolation:
 
         def second_writer():
             started.set()
-            current = ham.get_node_timestamp(node)
             with ham.begin() as txn:
+                # The shared lock blocks until the first writer commits;
+                # reading the version outside the transaction would be a
+                # lock-free snapshot read and check in stale.
+                __, ___, ____, current = ham.open_node(node, txn=txn)
                 ham.modify_node(txn, node=node,
                                 expected_time=current,
                                 contents=b"second\n")

@@ -35,6 +35,10 @@ STORAGE_CASES = [
         ("wal.commit.force", (1, 6, 10)),
         ("pager.write", (1, 2)),
         ("heap.write", (1,)),
+        # Between the commit blob reaching the log and the write-set
+        # publishing into the in-memory store: the durable log is ahead
+        # of memory, so recovery must treat the commit all-or-nothing.
+        ("txn.apply", (1, 5, 12)),
     )
     for hit in hits
 ]
@@ -87,6 +91,44 @@ def test_concurrent_committer_matrix(tmp_path, action, hit):
     if result.acknowledged:
         assert result.wal.commit_forces >= result.acknowledged
         assert result.wal.group_fsyncs <= result.wal.commit_forces
+
+
+class TestApplyFaultPoisonsManager:
+    """A commit that fails between WAL append and in-memory apply leaves
+    the durable log ahead of memory.  The manager must refuse further
+    work — especially checkpoints, which would snapshot the stale memory
+    and truncate the log, silently losing a durable commit — until the
+    graph is reopened through recovery."""
+
+    def test_poisoned_manager_refuses_begin_and_checkpoint(self, tmp_path):
+        from repro.errors import FaultError, TransactionError
+
+        path = tmp_path / "graph"
+        project_id, __ = HAM.create_graph(path)
+        ham = HAM.open_graph(project_id, path)
+        node, time = ham.add_node()
+        plan = faults.FaultPlan(
+            specs=(faults.FaultSpec("txn.apply", "raise", hit=1),))
+        with faults.injected(plan):
+            with pytest.raises(FaultError):
+                ham.modify_node(node=node, expected_time=time,
+                                contents=b"durable but unapplied")
+        assert ham._txns.poisoned
+        with pytest.raises(TransactionError):
+            ham.begin()
+        with pytest.raises(TransactionError):
+            ham.checkpoint()
+        # close() must skip the checkpoint (it would lose the logged
+        # commit) but still release the log cleanly.
+        ham.close()
+        # Recovery replays the durable commit: the write the in-memory
+        # store never saw is present after reopen.
+        recovered = HAM.open_graph(project_id, path)
+        try:
+            assert recovered.open_node(node)[0] == b"durable but unapplied"
+            assert not recovered._txns.poisoned
+        finally:
+            recovered.close()
 
 
 def test_wal_boundary_sweep(tmp_path):

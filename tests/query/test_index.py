@@ -1,5 +1,7 @@
 """Tests for the inverted attribute-value index."""
 
+import threading
+
 from repro.query.index import AttributeValueIndex
 
 
@@ -55,6 +57,61 @@ class TestPostings:
         assert index.posting_count == 1
         index.delete_value(1, "a")
         assert index.posting_count == 0
+
+    def test_mutating_a_lookup_result_never_leaks_back(self):
+        """Regression for the postings-alias bug: the set a caller gets
+        must be detached, so draining or extending it cannot corrupt
+        later answers or concurrent readers iterating the postings."""
+        index = AttributeValueIndex()
+        index.set_value(1, "a", "x")
+        index.set_value(2, "a", "x")
+        hits = index.lookup("a", "x")
+        hits.clear()
+        hits.add(99)
+        assert index.lookup("a", "x") == {1, 2}
+        index.delete_value(2, "a")
+        assert index.lookup("a", "x") == {1}
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_and_readers_stay_consistent(self):
+        """Hammer one index from mutator and reader threads: no reader
+        may crash on a mid-mutation view, and the final postings must
+        reflect exactly the last value each node settled on."""
+        index = AttributeValueIndex()
+        nodes = list(range(24))
+        rounds = 60
+        errors: list = []
+
+        def mutator(worker_id: int) -> None:
+            try:
+                for round_no in range(rounds):
+                    for node in nodes[worker_id::3]:
+                        index.set_value(node, "tag", f"r{round_no}")
+                        if round_no % 7 == 0:
+                            index.delete_value(node, "tag")
+                            index.set_value(node, "tag", f"r{round_no}")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for __ in range(rounds * 4):
+                    hits = index.lookup("tag", f"r{rounds - 1}")
+                    hits.add(-1)  # returned set must be private
+                    index.posting_count
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=mutator, args=(i,))
+                    for i in range(3)]
+                   + [threading.Thread(target=reader) for __ in range(2)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert index.lookup("tag", f"r{rounds - 1}") == set(nodes)
 
 
 class TestHamIntegration:

@@ -458,7 +458,7 @@ class TestErrorMarshalling:
     def test_every_error_type_round_trips(self, served, exc_type):
         ham, ___, client = served
 
-        def explode(node, _exc_type=exc_type):
+        def explode(node, txn=None, _exc_type=exc_type):
             raise _exc_type("synthetic failure")
 
         ham.get_node_timestamp = explode
@@ -473,7 +473,7 @@ class TestErrorMarshalling:
     def test_unknown_error_type_becomes_remote_error(self, served):
         ham, ___, client = served
 
-        def explode(node):
+        def explode(node, txn=None):
             raise RuntimeError("not a neptune error")
 
         ham.get_node_timestamp = explode

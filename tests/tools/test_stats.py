@@ -91,3 +91,55 @@ class TestResilience:
         assert "reconnects" in text
         assert "retries" in text
         assert "injected_faults" in text
+
+
+class TestConcurrency:
+    def test_lock_stats_count_writer_acquires(self, ham):
+        from repro.tools.stats import lock_stats
+
+        before = lock_stats(ham)
+        with ham.begin() as txn:
+            ham.add_node(txn)
+        after = lock_stats(ham)
+        assert after.acquires > before.acquires
+        assert after.deadlock_victims == 0
+        assert after.timeouts == 0
+
+    def test_snapshot_stats_count_lock_free_readers(self, ham):
+        from repro.tools.stats import snapshot_stats
+
+        node, __ = ham.add_node()
+        before = snapshot_stats(ham)
+        txn = ham.begin(read_only=True)
+        ham.get_node_timestamp(node, txn=txn)
+        ham.open_node(node, txn=txn)
+        txn.commit()
+        after = snapshot_stats(ham)
+        assert after["read_only_txns"] == before["read_only_txns"] + 1
+        assert after["snapshot_txns"] == before["snapshot_txns"] + 1
+        assert after["lock_bypasses"] > before["lock_bypasses"]
+        assert after["inflight_writers"] == 0
+        assert after["watermark"] >= before["watermark"]
+
+    def test_process_wide_concurrency_counters(self, ham):
+        from repro.tools.stats import concurrency_counters
+
+        before = concurrency_counters()
+        for name in ("lock_waits", "deadlock_victims", "lock_timeouts",
+                     "snapshot_txns"):
+            assert name in before
+        txn = ham.begin(read_only=True)
+        txn.abort()
+        after = concurrency_counters()
+        assert after["snapshot_txns"] == before["snapshot_txns"] + 1
+
+    def test_render_mentions_every_figure(self, ham):
+        from repro.tools.stats import render_concurrency
+
+        txn = ham.begin(read_only=True)
+        txn.commit()
+        text = render_concurrency(ham)
+        assert "lock acquires" in text
+        assert "snapshot txns (lock-free)" in text
+        assert "lock requests bypassed" in text
+        assert "commit watermark" in text

@@ -19,7 +19,7 @@ class TestManagerAsync:
         manager = TransactionManager(log, synchronous=False)
         for __ in range(5):
             txn = manager.begin()
-            txn.log_update("op", {}, undo=lambda: None)
+            txn.log_update("op", {})
             txn.commit()
         stats = log.stats()
         assert stats.appends == 5
@@ -32,7 +32,7 @@ class TestManagerAsync:
         log = WriteAheadLog(tmp_path / "wal.log")
         manager = TransactionManager(log, synchronous=True)
         txn = manager.begin()
-        txn.log_update("op", {}, undo=lambda: None)
+        txn.log_update("op", {})
         txn.commit()
         stats = log.stats()
         assert stats.commit_forces == 1
@@ -54,7 +54,7 @@ class TestHamAsync:
         with ham.begin() as txn:
             node, __ = ham.add_node(txn)
             ham.modify_node(txn, node=node,
-                            expected_time=ham.get_node_timestamp(node),
+                            expected_time=ham.get_node_timestamp(node, txn=txn),
                             contents=b"survives a clean close")
         assert ham._log.stats().fsyncs == 0
         # Close the log the way a clean process exit would — without the

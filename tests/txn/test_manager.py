@@ -33,7 +33,7 @@ class TestLifecycle:
 
     def test_commit_writes_begin_updates_commit(self, manager):
         txn = manager.begin()
-        txn.log_update("op", {}, undo=lambda: None)
+        txn.log_update("op", {})
         txn.commit()
         assert record_kinds(manager) == [
             LogRecordKind.BEGIN, LogRecordKind.UPDATE,
@@ -41,14 +41,14 @@ class TestLifecycle:
 
     def test_abort_leaves_zero_log_bytes(self, manager):
         txn = manager.begin()
-        txn.log_update("op", {}, undo=lambda: None)
+        txn.log_update("op", {})
         txn.abort()
         assert record_kinds(manager) == []
         assert manager.log.end_lsn == 0
 
     def test_update_records_carry_operation(self, manager):
         txn = manager.begin()
-        txn.log_update("add_node", {"index": 1}, undo=lambda: None)
+        txn.log_update("add_node", {"index": 1})
         txn.commit()
         records = list(manager.log.scan())
         assert records[1].kind is LogRecordKind.UPDATE
@@ -57,8 +57,8 @@ class TestLifecycle:
 
     def test_commit_blob_is_one_append(self, manager):
         txn = manager.begin()
-        txn.log_update("op1", {}, undo=lambda: None)
-        txn.log_update("op2", {}, undo=lambda: None)
+        txn.log_update("op1", {})
+        txn.log_update("op2", {})
         txn.commit()
         stats = manager.log.stats()
         assert stats.appends == 1
@@ -84,21 +84,30 @@ class TestLifecycle:
         assert manager.active_count == 0
 
 
-class TestUndo:
-    def test_abort_runs_undo_in_reverse_order(self, manager):
-        order = []
+class TestAbort:
+    def test_abort_drops_buffered_redo(self, manager):
+        # Abort is "drop the write-set": the buffered redo records are
+        # discarded, never appended, and the txn leaves no trace.
         txn = manager.begin()
-        txn.log_update("op1", {}, undo=lambda: order.append(1))
-        txn.log_update("op2", {}, undo=lambda: order.append(2))
+        txn.log_update("op1", {})
+        txn.log_update("op2", {})
         txn.abort()
-        assert order == [2, 1]
+        assert record_kinds(manager) == []
+        assert txn._redo == []
+        assert txn.writeset is None
 
-    def test_commit_skips_undo(self, manager):
-        order = []
+    def test_abort_then_new_txn_starts_clean(self, manager):
         txn = manager.begin()
-        txn.log_update("op", {}, undo=lambda: order.append(1))
-        txn.commit()
-        assert order == []
+        txn.log_update("op", {})
+        txn.abort()
+        fresh = manager.begin()
+        fresh.log_update("other", {})
+        fresh.commit()
+        records = list(manager.log.scan())
+        assert [r.kind for r in records] == [
+            LogRecordKind.BEGIN, LogRecordKind.UPDATE,
+            LogRecordKind.COMMIT]
+        assert records[1].payload["op"] == "other"
 
 
 class TestContextManager:
@@ -128,14 +137,14 @@ class TestReadOnly:
     def test_read_only_rejects_updates(self, manager):
         txn = manager.begin(read_only=True)
         with pytest.raises(TransactionError):
-            txn.log_update("op", {}, undo=lambda: None)
+            txn.log_update("op", {})
         txn.abort()
 
 
 class TestCheckpoint:
     def test_checkpoint_truncates_and_marks(self, manager):
         txn = manager.begin()
-        txn.log_update("op", {}, undo=lambda: None)
+        txn.log_update("op", {})
         txn.commit()
         manager.checkpoint(snapshot_marker=42)
         records = list(manager.log.scan())
