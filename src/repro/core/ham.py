@@ -263,6 +263,37 @@ def _apply_change_node_protection(store: GraphStore, args: dict) -> None:
     return None
 
 
+class _TxnScope:
+    """Run one operation in a caller's transaction or a fresh auto one.
+
+    Module-level (not a closure inside :meth:`HAM._in_txn`) because this
+    sits on every operation's path — defining the class per call would
+    cost more than the transaction bookkeeping itself.
+    """
+
+    __slots__ = ("_ham", "_txn", "_read_only", "owned", "txn")
+
+    def __init__(self, ham: "HAM", txn, read_only: bool):
+        self._ham = ham
+        self._txn = txn
+        self._read_only = read_only
+
+    def __enter__(self):
+        self.owned = self._txn is None
+        if self.owned:
+            self.txn = self._ham._begin_auto(self._read_only)
+        else:
+            self.txn = self._txn
+        return self.txn
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.owned:
+            if exc_type is None:
+                self.txn.commit()
+            else:
+                self.txn.abort()
+
+
 class HAM:
     """An opened hypergraph: the paper's Hypertext Abstract Machine."""
 
@@ -511,6 +542,15 @@ class HAM:
 
     transaction = begin  # alias: ``with ham.transaction() as txn:``
 
+    def _begin_auto(self, read_only: bool) -> Transaction:
+        """A single-operation transaction (latest-committed reads)."""
+        if self._closed:
+            raise TransactionError("HAM is closed")
+        txn = self._txns.begin(read_only=read_only, auto=True)
+        if not read_only:
+            txn.writeset = WriteSet(self._store, self._index)
+        return txn
+
     def _in_txn(self, txn: Transaction | None, read_only: bool = False):
         """Run an operation in ``txn``, or a fresh single-op transaction.
 
@@ -522,25 +562,7 @@ class HAM:
         see the newest contents, and on file nodes a pinned historical
         read could not answer at all.
         """
-        ham = self
-
-        class _Scope:
-            def __enter__(self):
-                self.owned = txn is None
-                self.txn = (ham.begin(read_only=read_only)
-                            if txn is None else txn)
-                if self.owned:
-                    self.txn.auto = True
-                return self.txn
-
-            def __exit__(self, exc_type, exc, tb):
-                if self.owned:
-                    if exc_type is None:
-                        self.txn.commit()
-                    else:
-                        self.txn.abort()
-
-        return _Scope()
+        return _TxnScope(self, txn, read_only)
 
     # ------------------------------------------------------------------
     # journaled mutation helper
@@ -588,11 +610,9 @@ class HAM:
                      txn: Transaction | None = None,
                      detail: dict | None = None) -> None:
         store = self._store_for(txn)
-        event = DemonEvent(
-            kind=kind, time=time, project=self._store.project_id,
-            node=node, link=link,
-            transaction=txn.txn_id if txn is not None else None,
-            detail=detail or {}, txn_handle=txn)
+        # Probe for bindings before materializing the event: most
+        # operations fire into a graph with no demons at all, and this
+        # is on the per-request hot path of a pipelined read.
         names = []
         graph_demon = store.graph_demons.demon_at(kind)
         if graph_demon is not None:
@@ -603,6 +623,13 @@ class HAM:
                 node_demon = table.demon_at(kind)
                 if node_demon is not None:
                     names.append(node_demon)
+        if not names:
+            return
+        event = DemonEvent(
+            kind=kind, time=time, project=self._store.project_id,
+            node=node, link=link,
+            transaction=txn.txn_id if txn is not None else None,
+            detail=detail or {}, txn_handle=txn)
         for name in names:
             self.demons.fire(name, event)
 
@@ -805,8 +832,11 @@ class HAM:
                     except VersionError:
                         continue
                     link_points.append((link_index, end.value, resolved))
-            attached = record.attributes.all_at(time)
-            values = [attached.get(index) for index in attributes]
+            if attributes:
+                attached = record.attributes.all_at(time)
+                values = [attached.get(index) for index in attributes]
+            else:
+                values = []
             # A pinned reader reports the version in effect at its
             # watermark, not whatever a later commit checked in.
             current = (record.version_time_at(time) if pinned is not None

@@ -57,6 +57,7 @@ __all__ = [
     "build_server_dispatch",
     "make_client_stub",
     "operation_signature",
+    "read_only_methods",
 ]
 
 #: Version of the wire vocabulary.  Bump whenever an operation, codec,
@@ -236,14 +237,16 @@ class Operation:
     """
 
     __slots__ = ("name", "appendix_name", "params", "result", "mutates",
-                 "events", "kind", "doc", "session_invoke", "idempotent")
+                 "events", "kind", "doc", "session_invoke", "idempotent",
+                 "read_only")
 
     def __init__(self, name: str, params: tuple | list = (),
                  result: Codec = IDENTITY, *, appendix_name: str | None = None,
                  mutates: bool = False, events: tuple = (),
                  kind: str = "ham", doc: str = "",
                  session_invoke: Callable | None = None,
-                 idempotent: bool | None = None):
+                 idempotent: bool | None = None,
+                 read_only: bool | None = None):
         if kind not in ("ham", "ham_property", "session"):
             raise ValueError(f"unknown operation kind {kind!r}")
         if kind == "session" and session_invoke is None:
@@ -265,6 +268,14 @@ class Operation:
         if idempotent is None:
             idempotent = not mutates and kind != "session"
         self.idempotent = idempotent
+        #: Safe to execute concurrently with other read-only operations
+        #: of the same session (the pipelined server runs such requests
+        #: in parallel on MVCC snapshots).  Session-state operations
+        #: (begin/commit/abort) and mutations are *ordered*: the server
+        #: lets them run only alone, in arrival order.
+        if read_only is None:
+            read_only = not mutates and kind in ("ham", "ham_property")
+        self.read_only = read_only
 
     @property
     def transactional(self) -> bool:
@@ -351,6 +362,7 @@ _register = REGISTRY.register
 # --- session / transactions ------------------------------------------
 _register(Operation("ping", (), IDENTITY, kind="session",
                     session_invoke=_session_ping, idempotent=True,
+                    read_only=True,
                     doc="Round-trip liveness and protocol handshake."))
 _register(Operation("begin", (Param("read_only", default=False),),
                     IDENTITY, kind="session",
@@ -696,6 +708,19 @@ def build_server_dispatch(registry: OperationRegistry | None = None,
     registry = REGISTRY if registry is None else registry
     return {operation.name: _server_handler(operation)
             for operation in registry}
+
+
+def read_only_methods(registry: OperationRegistry | None = None,
+                      ) -> frozenset[str]:
+    """Names of the operations a session may run concurrently.
+
+    Everything else — mutations, session-state operations, ``call_batch``,
+    and the host methods (which are not in the registry at all) — is
+    ordered: the server runs it alone, in arrival order, per session.
+    """
+    registry = REGISTRY if registry is None else registry
+    return frozenset(operation.name for operation in registry
+                     if operation.read_only)
 
 
 # ======================================================================

@@ -95,12 +95,15 @@ class Protections(enum.Flag):
     @property
     def readable(self) -> bool:
         """True when reads of the node contents are permitted."""
-        return bool(self & Protections.READ)
+        # Membership against the two readable members: identity checks
+        # beat ``Flag.__and__`` (which builds composite values) on the
+        # per-read hot path.
+        return self is Protections.READ or self is Protections.READ_WRITE
 
     @property
     def writable(self) -> bool:
         """True when updates to the node contents are permitted."""
-        return bool(self & Protections.WRITE)
+        return self is Protections.WRITE or self is Protections.READ_WRITE
 
 
 @dataclass(frozen=True)

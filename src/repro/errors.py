@@ -117,6 +117,15 @@ class RetryableError(NeptuneError):
     """
 
 
+class ServerBusyError(NeptuneError):
+    """The server refused a new session: its connection cap is reached.
+
+    A graceful rejection, not a hang: the server accepts the socket just
+    long enough to answer the first request with this error, then closes
+    the connection.  Clients should back off and retry later.
+    """
+
+
 class ProtocolError(NeptuneError):
     """Client/server wire-protocol violation."""
 

@@ -41,6 +41,7 @@ workstation session survives a server restart.  ``reconnects`` and
 from __future__ import annotations
 
 import itertools
+import select
 import socket
 import threading
 import time as _time
@@ -63,11 +64,11 @@ from repro.errors import (
     RetryableError,
     StorageError,
 )
-from repro.server.protocol import encode_message, read_message
+from repro.server.protocol import FrameDecoder, encode_message, read_message
 from repro.tools.metrics import RESILIENCE
 
-__all__ = ["RemoteHAM", "RemoteTransaction", "RemoteBatch", "BatchFuture",
-           "RetryPolicy"]
+__all__ = ["BatchFuture", "PipelineBatch", "PipelineFuture", "RemoteBatch",
+           "RemoteHAM", "RemoteTransaction", "RemotePipeline", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -318,6 +319,12 @@ class RemoteHAM:
         self._sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout)
         try:
+            # Small framed request/response messages: Nagle only adds
+            # latency, and a pipelined burst wants its frames out now.
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        try:
             if self._handshake_enabled:
                 self._handshake_locked()
             if self._rebind is not None:
@@ -487,6 +494,25 @@ class RemoteHAM:
         """
         return RemoteBatch(self)
 
+    def pipeline(self, max_inflight: int | None = None) -> "RemotePipeline":
+        """Issue many requests without waiting; collect futures.
+
+        ::
+
+            with client.pipeline() as p:
+                futures = [p.add_node() for __ in range(100)]
+            nodes = [f.result() for f in futures]
+
+        Unlike :meth:`batch` (one round trip, executed as one request),
+        a pipeline streams individual requests and lets the server
+        overlap their execution — read-only calls run concurrently on
+        snapshots, mutations stay in issue order.  ``max_inflight``
+        bounds how many requests may be outstanding at once (``_issue``
+        blocks servicing the wire until the window drains).  See
+        :class:`RemotePipeline` for the failure semantics.
+        """
+        return RemotePipeline(self, max_inflight=max_inflight)
+
     # ------------------------------------------------------------------
     # multi-graph host methods (servers started with a GraphHost)
 
@@ -515,6 +541,370 @@ class RemoteHAM:
         self._call("host_destroy_graph", project_id=project_id, name=name)
 
 
+class PipelineFuture:
+    """The eventual reply to one pipelined request.
+
+    ``result()`` services the pipeline's wire until this request's
+    response arrives (matching by request id, so out-of-order completion
+    is fine), then returns the decoded value or re-raises the
+    server-side error exactly as the serial call would have.  If the
+    connection died, raises :class:`ConnectionError` chained to the
+    transport failure that killed it.
+    """
+
+    __slots__ = ("method", "request_id", "_pipeline", "_decode", "_state",
+                 "_value", "_error", "_cause", "_on_done")
+
+    def __init__(self, pipeline: "RemotePipeline", request_id: int,
+                 method: str, decode):
+        self.method = method
+        self.request_id = request_id
+        self._pipeline = pipeline
+        self._decode = decode
+        self._state = "pending"
+        self._value = None
+        self._error: dict | None = None
+        self._cause: BaseException | None = None
+        self._on_done = None
+
+    def done(self) -> bool:
+        return self._state != "pending"
+
+    def result(self, timeout: float | None = None):
+        if self._state == "pending":
+            self._pipeline._service_while(
+                lambda: self._state == "pending", timeout,
+                what=f"reply to {self.method}")
+        if self._state == "ok":
+            return self._value
+        if self._state == "error":
+            _raise_remote(self._error)
+        raise ConnectionError(
+            f"{self.method}: pipeline connection lost before the reply "
+            f"arrived; the server may have executed it") from self._cause
+
+    # -- resolution (called by the owning pipeline) --------------------
+
+    def _complete(self, response: dict) -> None:
+        if response.get("ok"):
+            try:
+                self._value = (self._decode(response.get("result"))
+                               if self._decode is not None
+                               else response.get("result"))
+                self._state = "ok"
+            except Exception as exc:
+                self._error = {"type": "ProtocolError",
+                               "message": f"{self.method}: malformed "
+                                          f"result ({exc})"}
+                self._state = "error"
+        else:
+            self._error = response.get("error") or {}
+            self._state = "error"
+        if self._on_done is not None:
+            self._on_done(self)
+
+    def _abandon(self, cause: BaseException) -> None:
+        if self._state == "pending":
+            self._cause = cause
+            self._state = "abandoned"
+            if self._on_done is not None:
+                self._on_done(self)
+
+
+class RemotePipeline:
+    """Many requests in flight on one connection; futures for replies.
+
+    Entered as a context manager, it takes exclusive ownership of the
+    client's connection (other threads' serial calls block until exit),
+    switches the socket non-blocking, and streams requests out while
+    draining responses in — so issuing never waits for a round trip, and
+    the server (which schedules per-session: reads concurrent, mutations
+    ordered) can overlap execution.  Exit drains everything still in
+    flight, so after the ``with`` block every future is resolved.
+
+    Failure semantics are stricter than serial calls: pipelined requests
+    never auto-retry.  If the connection dies, every unresolved future
+    is abandoned (``result()`` raises :class:`ConnectionError`) and the
+    socket is torn down — the next serial call reconnects.
+
+    ``begin()`` returns a future resolving to a
+    :class:`RemoteTransaction`; pipelining operations *under* a
+    transaction therefore has one sync point (``begin().result()``) and
+    streams from there.  ``batch()`` composes: queued entries flush as a
+    single pipelined ``call_batch`` frame.
+    """
+
+    def __init__(self, client: RemoteHAM, max_inflight: int | None = None):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self._client = client
+        self._max_inflight = max_inflight
+        self._futures: dict[int, PipelineFuture] = {}
+        self._sendbuf = bytearray()
+        self._decoder = FrameDecoder()
+        self._active = False
+        self._dead = False
+        #: High-water mark of requests outstanding at once.
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        """Requests issued and not yet resolved."""
+        return len(self._futures)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def __enter__(self) -> "RemotePipeline":
+        self._client._lock.acquire()
+        try:
+            if self._client._closed:
+                raise ConnectionError("client is closed")
+            if self._active:
+                raise ProtocolError("pipeline already entered")
+            if self._client._sock is None:
+                self._client._connect_locked()
+                self._client.reconnects += 1
+                RESILIENCE.increment("reconnects")
+            self._client._sock.setblocking(False)
+        except BaseException:
+            self._client._lock.release()
+            raise
+        self._active = True
+        self._dead = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if not self._dead and (self._futures or self._sendbuf):
+                try:
+                    self._service_while(
+                        lambda: self._futures or self._sendbuf, None,
+                        what="pipeline drain")
+                except (ConnectionError, TimeoutError, OSError):
+                    # The futures already carry the failure; surface it
+                    # only if the block itself succeeded.
+                    if exc_type is None:
+                        raise
+        finally:
+            self._active = False
+            sock = self._client._sock
+            if sock is not None:
+                try:
+                    sock.settimeout(self._client._timeout)
+                except OSError:
+                    pass
+            self._client._lock.release()
+
+    # ------------------------------------------------------------------
+    # issuing
+
+    def _issue(self, method: str, wire_params: dict, decode) -> PipelineFuture:
+        if not self._active:
+            raise ProtocolError(
+                "pipeline used outside its with-block")
+        if self._dead:
+            raise ConnectionError(
+                "pipeline connection lost") from None
+        if (self._max_inflight is not None
+                and len(self._futures) >= self._max_inflight):
+            self._service_while(
+                lambda: len(self._futures) >= self._max_inflight, None,
+                what="pipeline window")
+        request_id = next(self._client._ids)
+        future = PipelineFuture(self, request_id, method, decode)
+        self._futures[request_id] = future
+        if len(self._futures) > self.max_depth:
+            self.max_depth = len(self._futures)
+        self._sendbuf += encode_message(
+            {"id": request_id, "method": method, "params": wire_params})
+        # Opportunistic non-blocking pass once enough bytes accumulate:
+        # one syscall then flushes many small frames and drains any
+        # replies already here, so neither side's buffers back up while
+        # the caller keeps issuing.  Anything still buffered goes out on
+        # the next result()/window/drain pump.
+        if len(self._sendbuf) >= 4096:
+            self._pump(0.0)
+        return future
+
+    def _enqueue(self, operation: Operation, wire_params: dict,
+                 ) -> PipelineFuture:
+        """Target of the generated registry stubs."""
+        return self._issue(operation.name, wire_params,
+                           operation.result.from_wire)
+
+    def call(self, method: str, **params) -> PipelineFuture:
+        """Pipeline an arbitrary wire method (undecoded result)."""
+        return self._issue(method, params, None)
+
+    # -- session verbs (hand-written: they manage client-side handles) --
+
+    def begin(self, read_only: bool = False) -> PipelineFuture:
+        """Open a transaction; the future resolves to a
+        :class:`RemoteTransaction`."""
+        return self._issue(
+            "begin", {"read_only": read_only},
+            lambda txn_id: RemoteTransaction(self._client, txn_id))
+
+    def commit(self, txn: RemoteTransaction) -> PipelineFuture:
+        """Commit ``txn``; resolving the future acknowledges durability."""
+        def decode(__):
+            txn.finished = True
+        return self._issue("commit", {"txn": _txn_id(txn)}, decode)
+
+    def abort(self, txn: RemoteTransaction) -> PipelineFuture:
+        def decode(__):
+            txn.finished = True
+        return self._issue("abort", {"txn": _txn_id(txn)}, decode)
+
+    def batch(self) -> "PipelineBatch":
+        """A :class:`RemoteBatch` whose flush rides this pipeline."""
+        return PipelineBatch(self)
+
+    # ------------------------------------------------------------------
+    # the wire
+
+    def _service_while(self, condition, timeout: float | None,
+                       what: str) -> None:
+        """Pump the socket until ``condition()`` goes false.
+
+        The timeout is a *progress* deadline (reset whenever bytes move),
+        so a long pipeline drains fully as long as the server keeps
+        responding.
+        """
+        if self._dead:
+            raise ConnectionError("pipeline connection lost")
+        if not self._active:
+            raise ProtocolError(f"pipeline exited with {what} unresolved")
+        window = timeout if timeout is not None else self._client._timeout
+        deadline = _time.monotonic() + window
+        while condition():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                failure = TimeoutError(
+                    f"{what}: no progress within {window:.1f}s")
+                self._fail_transport(failure)
+                raise failure
+            if self._pump(min(remaining, 0.5)):
+                deadline = _time.monotonic() + window
+
+    def _pump(self, wait: float) -> bool:
+        """One select round; returns True when any bytes moved."""
+        if self._dead:
+            return False
+        sock = self._client._sock
+        try:
+            readable, writable, __ = select.select(
+                [sock], [sock] if self._sendbuf else [], [], wait)
+        except (OSError, ValueError) as exc:
+            self._fail_transport(exc)
+            raise ConnectionError("pipeline connection lost") from exc
+        progress = False
+        try:
+            if writable and self._sendbuf:
+                try:
+                    sent = sock.send(self._sendbuf)
+                except (BlockingIOError, InterruptedError):
+                    sent = 0
+                if sent:
+                    del self._sendbuf[:sent]
+                    progress = True
+            if readable:
+                try:
+                    data = sock.recv(65536)
+                except (BlockingIOError, InterruptedError):
+                    data = None
+                if data is not None:
+                    if not data:
+                        raise ConnectionError(
+                            "server closed the connection")
+                    progress = True
+                    for message in self._decoder.feed(data):
+                        self._dispatch(message)
+        except (ConnectionError, TimeoutError, OSError, ChecksumError,
+                StorageError, ProtocolError) as exc:
+            self._fail_transport(exc)
+            raise ConnectionError(
+                "pipeline connection lost") from exc
+        return progress
+
+    def _dispatch(self, message: object) -> None:
+        if not isinstance(message, dict):
+            raise ProtocolError(f"malformed response {message!r}")
+        future = self._futures.pop(message.get("id"), None)
+        if future is None:
+            raise ProtocolError(
+                f"response to unknown request {message.get('id')!r}")
+        future._complete(message)
+
+    def _fail_transport(self, cause: BaseException) -> None:
+        """The stream is unusable: abandon everything, drop the socket."""
+        if self._dead:
+            return
+        self._dead = True
+        futures, self._futures = list(self._futures.values()), {}
+        self._sendbuf.clear()
+        for future in futures:
+            future._abandon(cause)
+        self._client._teardown_locked()
+
+
+class PipelineBatch(RemoteBatch):
+    """A batch whose flush is one pipelined ``call_batch`` frame.
+
+    Composes the two amortizations: the batch collapses N operations
+    into one frame, the pipeline lets that frame fly without waiting
+    for it.  ``flush()`` (or the ``with`` exit) returns immediately;
+    each :class:`BatchFuture` resolves when the pipeline services the
+    ``call_batch`` reply — call ``result()`` after the pipeline block,
+    or on the returned pipeline future to force it early.
+    """
+
+    def __init__(self, pipeline: RemotePipeline):
+        super().__init__(pipeline._client)
+        self._pipeline = pipeline
+
+    def flush(self) -> PipelineFuture | None:
+        if not self._queue:
+            return None
+        queued, self._queue = self._queue, []
+        calls = [[operation.name, wire_params]
+                 for operation, wire_params, __ in queued]
+
+        def decode(entries):
+            if not isinstance(entries, (list, tuple)) \
+                    or len(entries) != len(queued):
+                raise ProtocolError(
+                    "call_batch returned a malformed result list")
+            for (operation, __, batch_future), entry in zip(queued, entries):
+                ok, payload = entry
+                if ok:
+                    batch_future._resolve(
+                        operation.result.from_wire(payload))
+                else:
+                    batch_future._fail(payload)
+            return [future for __, __, future in queued]
+
+        inner = self._pipeline._issue("call_batch", {"calls": calls}, decode)
+
+        def on_done(future: PipelineFuture) -> None:
+            # Error and abandonment also fan out to the entry futures,
+            # so no BatchFuture is ever left claiming "not flushed yet".
+            if future._state == "error":
+                for __, __, batch_future in queued:
+                    if not batch_future.done():
+                        batch_future._fail(future._error)
+            elif future._state == "abandoned":
+                for __, __, batch_future in queued:
+                    if not batch_future.done():
+                        batch_future._fail({
+                            "type": "ConnectionError",
+                            "message": "pipeline connection lost before "
+                                       "the batch reply arrived"})
+
+        inner._on_done = on_done
+        return inner
+
+
 def _install_stubs() -> None:
     """Generate every operation stub from the registry.
 
@@ -536,6 +926,8 @@ def _install_stubs() -> None:
                 make_client_stub(operation, RemoteHAM._invoke))
         setattr(RemoteBatch, operation.name,
                 make_client_stub(operation, RemoteBatch._enqueue))
+        setattr(RemotePipeline, operation.name,
+                make_client_stub(operation, RemotePipeline._enqueue))
 
 
 _install_stubs()

@@ -104,6 +104,24 @@ class GraphHost:
         for ham in open_hams:
             ham.close()
 
+    def serve(self, host_name: str = "127.0.0.1", port: int = 0,
+              config=None):
+        """Start an :class:`~repro.server.server.HAMServer` on this host.
+
+        Convenience for the common "one host process, one listener"
+        deployment::
+
+            with GraphHost(root) as host, host.serve(port=7331) as server:
+                ...
+
+        ``config`` is an optional
+        :class:`~repro.server.server.ServerConfig` (connection cap,
+        worker-pool size, backpressure bounds, idle timeout).
+        """
+        from repro.server.server import HAMServer  # avoid import cycle
+        return HAMServer(host=self, host_name=host_name, port=port,
+                         config=config).start()
+
     def __enter__(self) -> "GraphHost":
         return self
 

@@ -24,8 +24,8 @@ from repro.storage.serializer import (
     unpack_record,
 )
 
-__all__ = ["encode_message", "read_message", "write_message",
-           "MAX_MESSAGE_BYTES", "PROTOCOL_VERSION"]
+__all__ = ["FrameDecoder", "encode_message", "read_message",
+           "write_message", "MAX_MESSAGE_BYTES", "PROTOCOL_VERSION"]
 
 #: Upper bound on one message; prevents a bad length prefix from
 #: allocating unbounded memory.
@@ -43,6 +43,50 @@ def encode_message(message: object) -> bytes:
 def write_message(sock: socket.socket, message: object) -> None:
     """Encode, frame, and send one message."""
     sock.sendall(encode_message(message))
+
+
+class FrameDecoder:
+    """Incremental message decoder for non-blocking transports.
+
+    Feed it whatever byte chunks ``recv`` produced; it buffers partial
+    frames and returns every complete decoded message, preserving
+    arrival order.  Framing violations (oversized length prefix, failed
+    checksum) raise :class:`repro.errors.ProtocolError` /
+    :class:`repro.errors.ChecksumError` — a stream that produced one can
+    never be resynchronized and must be dropped.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        """Bytes currently buffered (complete frames not yet consumed)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[object]:
+        """Buffer ``data``; return every message it completed."""
+        buffer = self._buffer
+        buffer.extend(data)
+        messages: list[object] = []
+        offset = 0
+        while len(buffer) - offset >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(buffer, offset)
+            if length > MAX_MESSAGE_BYTES:
+                raise ProtocolError(
+                    f"message of {length} bytes exceeds the "
+                    f"{MAX_MESSAGE_BYTES}-byte limit")
+            end = offset + _LENGTH.size + length
+            if len(buffer) < end:
+                break
+            payload, __ = unpack_record(
+                bytes(buffer[offset + _LENGTH.size:end]))
+            messages.append(decode_value(payload))
+            offset = end
+        if offset:
+            del buffer[:offset]
+        return messages
 
 
 def _kill(sock: socket.socket) -> None:

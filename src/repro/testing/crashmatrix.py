@@ -44,9 +44,10 @@ from repro.workloads.crashmix import (
     run_crash_mix,
 )
 
-__all__ = ["CaseResult", "ConcurrentCaseResult", "abandon",
-           "run_concurrent_case", "run_local_case", "run_remote_case",
-           "verify_invariants", "wal_record_boundaries"]
+__all__ = ["CaseResult", "ConcurrentCaseResult", "PipelinedCaseResult",
+           "abandon", "run_concurrent_case", "run_local_case",
+           "run_pipelined_case", "run_remote_case", "verify_invariants",
+           "wal_record_boundaries"]
 
 
 @dataclass
@@ -243,6 +244,151 @@ def run_concurrent_case(directory, action: str, hit: int = 1,
     return ConcurrentCaseResult(
         point=point, action=action, hit=hit, fired=bool(injector.fired),
         acknowledged=len(oracle.committed), wal=wal)
+
+
+@dataclass
+class PipelinedCaseResult:
+    """Outcome of one pipelined-client cell."""
+
+    point: str
+    action: str
+    hit: int
+    fired: bool
+    #: Commits whose futures resolved successfully before the fault.
+    acknowledged: int
+    #: Requests the crash left unanswered — outcome genuinely unknown.
+    unresolved: int
+    #: Deepest client-side pipeline (in-flight futures) observed.
+    max_depth: int
+
+
+def run_pipelined_case(directory, point: str = "server.dispatch",
+                       action: str = "raise", hit: int = 1, seed: int = 0,
+                       clients: int = 2, slots: int = 3, rounds: int = 5,
+                       ) -> PipelinedCaseResult:
+    """One matrix cell with pipelined mutations in flight at the fault.
+
+    Each client streams waves of ``modify_node`` requests — one per slot
+    node it owns — through :meth:`RemoteHAM.pipeline`, so several
+    single-operation transactions are in flight per session when the
+    armed fault lands, and acknowledgements from the two sessions
+    interleave out of order.  A resolved future is an acknowledged
+    commit and goes into the oracle; a future answered with an error is
+    a definite loser (``raise`` fires before the operation executes, and
+    a failed single-operation transaction aborts whole); a future the
+    crash abandoned is *unknown* — the server may or may not have
+    committed it before dying.  After recovery:
+
+    - every acknowledged commit is present byte-identically and every
+      loser's marker is unseen (:func:`verify_invariants`);
+    - each slot's current contents is either its last acknowledged
+      version or its single unresolved in-flight write — the recovered
+      graph is the acknowledged prefix of each session's ordered
+      mutation stream, plus at most the one write racing the crash.
+    """
+    path = os.path.join(os.fspath(directory), "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    oracle = CommitOracle()
+    state: list[dict] = []
+    with ham.begin() as setup:
+        for cid in range(clients):
+            for sid in range(slots):
+                node, time = ham.add_node(setup)
+                contents = f"pipelined-init-c{cid}-n{sid}".encode()
+                time = ham.modify_node(setup, node=node,
+                                       expected_time=time,
+                                       contents=contents)
+                state.append({"node": node, "time": time,
+                              "last": contents, "inflight": None})
+    server = HAMServer(ham)
+    server.start()
+    depths = [0] * clients
+    # Connect before arming so handshake pings do not consume hits.
+    remotes = [RemoteHAM(*server.address, timeout=5.0)
+               for __ in range(clients)]
+
+    def worker(cid: int) -> None:
+        my_slots = state[cid * slots:(cid + 1) * slots]
+        try:
+            with remotes[cid].pipeline() as pipe:
+                for rnd in range(rounds):
+                    wave = []
+                    for sid, slot in enumerate(my_slots):
+                        step = (cid + 1) * 10_000 + rnd * 100 + sid
+                        marker = (f"pipelined-s{seed}-c{cid}"
+                                  f"-r{rnd}-n{sid}")
+                        contents = f"{marker}-body".encode()
+                        staged = StagedTxn(step=step, marker=marker)
+                        oracle.stage(staged)
+                        slot["inflight"] = (staged, contents)
+                        future = pipe.modify_node(
+                            node=slot["node"],
+                            expected_time=slot["time"],
+                            contents=contents)
+                        wave.append((slot, staged, contents, future))
+                        depths[cid] = max(depths[cid], pipe.max_depth)
+                    for slot, staged, contents, future in wave:
+                        try:
+                            time = future.result()
+                        except NeptuneError:
+                            # The server answered with an error: the
+                            # operation's transaction aborted whole.
+                            oracle.record_abort(staged.step)
+                            slot["inflight"] = None
+                            continue
+                        staged.versions.append(
+                            (slot["node"], time, contents))
+                        oracle.record_commit(staged.step)
+                        slot["time"] = time
+                        slot["last"] = contents
+                        slot["inflight"] = None
+        except OSError:
+            return  # transport died; unanswered steps stay unknown
+
+    injector = faults.install(faults.FaultPlan(
+        specs=(faults.FaultSpec(point, action, hit=hit),), seed=seed))
+    try:
+        pool = [threading.Thread(target=worker, args=(cid,), daemon=True)
+                for cid in range(clients)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30.0)
+        stuck = [thread for thread in pool if thread.is_alive()]
+        assert not stuck, (
+            f"{len(stuck)} pipelined client(s) wedged after the fault — "
+            f"a dead server must abandon futures, not strand them")
+    finally:
+        faults.uninstall()
+    for client in remotes:
+        client.close()
+    server.stop(disconnect_clients=True)
+    # Steps the crash left unanswered cannot go through the oracle's
+    # marker sweep (the server may have legitimately committed them);
+    # they are checked per slot below instead.
+    unknown = dict(oracle.maybe)
+    oracle.maybe.clear()
+    abandon(ham)
+    recovered = HAM.open_graph(project_id, path)
+    try:
+        verify_invariants(recovered, oracle)
+        for slot in state:
+            current = recovered.open_node(slot["node"])[0]
+            allowed = {slot["last"]}
+            if slot["inflight"] is not None:
+                allowed.add(slot["inflight"][1])
+            assert current in allowed, (
+                f"node {slot['node']} recovered {current!r}; expected "
+                f"the last acknowledged write {slot['last']!r}"
+                + (f" or the in-flight write {slot['inflight'][1]!r}"
+                   if slot["inflight"] else ""))
+    finally:
+        abandon(recovered)
+    return PipelinedCaseResult(
+        point=point, action=action, hit=hit, fired=bool(injector.fired),
+        acknowledged=len(oracle.committed), unresolved=len(unknown),
+        max_depth=max(depths))
 
 
 # ======================================================================

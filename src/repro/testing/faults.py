@@ -31,6 +31,8 @@ Injection points
 ``heap.write``             before a heap record's bytes are placed
 ``server.send``            before a response frame is sent
 ``server.recv``            before a request frame is read
+``server.dispatch``        in a worker, before an admitted (possibly
+                           pipelined) request executes
 ``session.dispatch``       before a decoded request dispatches
 ``txn.apply``              after the commit blob is appended (and any
                            synchronous force paid), before the write-set
@@ -81,6 +83,7 @@ POINTS = (
     "heap.write",
     "server.send",
     "server.recv",
+    "server.dispatch",
     "session.dispatch",
     "txn.apply",
 )

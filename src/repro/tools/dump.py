@@ -18,7 +18,8 @@ import os
 
 from repro.core.graph import GraphDirectory, GraphStore
 from repro.core.ham import HAM
-from repro.core.types import ProjectId
+from repro.core.link import LinkEnd
+from repro.core.types import CURRENT, ProjectId
 from repro.errors import GraphExistsError, StorageError
 from repro.storage.serializer import (
     decode_value,
@@ -27,7 +28,7 @@ from repro.storage.serializer import (
     unpack_record,
 )
 
-__all__ = ["dump_graph", "load_dump", "import_graph"]
+__all__ = ["dump_graph", "graph_fingerprint", "load_dump", "import_graph"]
 
 _MAGIC = "neptune-dump-v1"
 
@@ -49,6 +50,53 @@ def dump_graph(ham: HAM, path: str | os.PathLike) -> int:
         os.fsync(handle.fileno())
     os.replace(temp_path, os.fspath(path))
     return len(payload)
+
+
+def graph_fingerprint(ham: HAM) -> dict:
+    """A canonical digest of the graph's *current* observable state.
+
+    Built for differential testing: two graphs that answered the same
+    logical operation trace — possibly under different interleavings,
+    transports, or pipelining — must produce equal fingerprints, so the
+    digest deliberately excludes everything interleaving-dependent:
+
+    - logical timestamps and the clock (a different interleaving stamps
+      different times on the same final state);
+    - the ProjectId (each driver runs its own graph);
+    - link and attribute *indexes* (allocation order varies under
+      concurrency) — links become a multiset of resolved endpoints plus
+      attribute values, attributes are keyed by name.
+
+    Node indexes ARE included: a differential workload creates its nodes
+    in a deterministic setup phase precisely so that slots correspond
+    across drivers.
+    """
+    store = ham.store
+    registry = store.registry
+
+    def named(attributes: dict) -> dict:
+        return {registry.name_of(index): value
+                for index, value in attributes.items()}
+
+    nodes = {}
+    for node in store.live_nodes(CURRENT):
+        nodes[node.index] = {
+            "contents": (node.contents_at(CURRENT)
+                         if node.protections.readable else None),
+            "protections": node.protections.value,
+            "attributes": named(node.attributes.all_at(CURRENT)),
+        }
+    links = sorted(
+        (link.from_node, link.position_at(LinkEnd.FROM),
+         link.to_node, link.position_at(LinkEnd.TO),
+         tuple(sorted(named(link.attributes.all_at(CURRENT)).items())))
+        for link in store.live_links(CURRENT))
+    return {
+        "nodes": nodes,
+        "links": links,
+        "attributes": sorted(
+            name for name, __ in registry.all_at(CURRENT)),
+    }
 
 
 def load_dump(path: str | os.PathLike) -> GraphStore:

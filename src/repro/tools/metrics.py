@@ -32,7 +32,7 @@ from time import perf_counter
 from typing import Callable
 
 __all__ = ["CONCURRENCY", "CounterSet", "OperationMetrics", "OperationStats",
-           "RESILIENCE", "TraceLog", "WAL"]
+           "RESILIENCE", "SERVER", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -53,6 +53,14 @@ class CounterSet:
             value = self._counts.get(name, 0) + amount
             self._counts[name] = value
             return value
+
+    def record_max(self, name: str, value: int) -> int:
+        """Raise ``name`` to ``value`` if larger (high-water counters)."""
+        with self._lock:
+            current = self._counts.get(name, 0)
+            if value > current:
+                self._counts[name] = current = value
+            return current
 
     def get(self, name: str) -> int:
         with self._lock:
@@ -95,6 +103,17 @@ WAL = CounterSet("commit_forces", "group_fsyncs", "absorbed_commits",
 #: :func:`repro.tools.stats.concurrency_counters`.
 CONCURRENCY = CounterSet("lock_waits", "deadlock_victims", "lock_timeouts",
                          "snapshot_txns")
+
+#: Process-wide server-core counters, mirrored by every
+#: :class:`repro.server.server.HAMServer` in the process: ``accepted``
+#: and ``rejected`` sessions (the connection cap), ``timeouts`` (idle
+#: sessions reaped), ``pipelined_depth`` (high-water of requests one
+#: session had in flight at once), ``queue_high_water`` (deepest
+#: per-session inbound queue seen), and ``paused_reads`` (how often
+#: backpressure stopped reading a session's socket).  Surfaced by
+#: :func:`repro.tools.stats.server_counters`.
+SERVER = CounterSet("accepted", "rejected", "timeouts", "pipelined_depth",
+                    "queue_high_water", "paused_reads")
 
 
 class OperationStats:

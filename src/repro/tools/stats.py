@@ -25,6 +25,12 @@ requests bypassed), and :func:`concurrency_counters` the process-wide
 mirror (:data:`repro.tools.metrics.CONCURRENCY`) — together they make
 "read-only transactions acquire zero locks" an assertable property
 rather than a design claim.
+
+Server-core accounting: :func:`server_counters` snapshots the
+process-wide :data:`repro.tools.metrics.SERVER` mirror (sessions
+accepted/rejected, idle reaps, backpressure pauses, pipelining
+high-water marks) and :func:`render_server` formats either that or one
+server's ``stats()`` dict.
 """
 
 from __future__ import annotations
@@ -34,13 +40,14 @@ from dataclasses import dataclass
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
 from repro.storage.log import WalStats
-from repro.tools.metrics import CONCURRENCY, RESILIENCE, WAL
+from repro.tools.metrics import CONCURRENCY, RESILIENCE, SERVER, WAL
 from repro.txn.locks import LockStats
 
 __all__ = ["GraphStats", "concurrency_counters", "graph_stats",
            "lock_stats", "render_concurrency", "render_resilience",
-           "render_wal", "resilience_stats", "snapshot_stats",
-           "wal_counters", "wal_stats"]
+           "render_server", "render_wal", "resilience_stats",
+           "server_counters", "snapshot_stats", "wal_counters",
+           "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -172,6 +179,44 @@ def snapshot_stats(ham: HAM) -> dict:
 def concurrency_counters() -> dict[str, int]:
     """Snapshot of the process-wide concurrency counters."""
     return CONCURRENCY.snapshot()
+
+
+def server_counters() -> dict[str, int]:
+    """Snapshot of the process-wide server-core counters.
+
+    ``accepted``/``rejected`` count session admissions against the
+    connection cap, ``timeouts`` idle sessions reaped, ``paused_reads``
+    how often backpressure stopped reading a socket, and
+    ``pipelined_depth``/``queue_high_water`` are high-water marks of
+    per-session in-flight requests and inbound-queue depth.  Per-server
+    totals are on :meth:`repro.server.server.HAMServer.stats`.
+    """
+    return SERVER.snapshot()
+
+
+def render_server(counters: dict[str, int] | None = None) -> str:
+    """Human-readable report of the server-core counters.
+
+    Renders the process-wide set by default; pass one server's
+    ``stats()`` dict to report on it alone.
+    """
+    counters = server_counters() if counters is None else counters
+    rows = [
+        ("sessions accepted", counters.get("accepted", 0)),
+        ("sessions rejected (busy)", counters.get("rejected", 0)),
+        ("idle sessions reaped", counters.get("timeouts", 0)),
+        ("reads paused (backpressure)", counters.get("paused_reads", 0)),
+        ("pipelined depth (high water)",
+         counters.get("pipelined_depth", 0)),
+        ("inbound queue (high water)",
+         counters.get("queue_high_water", 0)),
+    ]
+    for extra in ("dispatched", "active_sessions", "workers"):
+        if extra in counters:
+            rows.append((extra.replace("_", " "), counters[extra]))
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
 
 
 def render_concurrency(ham: HAM) -> str:

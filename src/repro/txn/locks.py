@@ -136,6 +136,13 @@ class LockManager:
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock held by ``txn_id`` (commit/abort time)."""
+        # Only the owning thread adds locks for a transaction, and it is
+        # done acquiring by the time it releases, so this unlocked probe
+        # cannot miss a concurrent acquire.  It keeps lock-free readers
+        # (which held nothing) from serializing on the condition just to
+        # notify nobody.
+        if txn_id not in self._held:
+            return
         with self._condition:
             for resource in self._held.pop(txn_id, set()):
                 state = self._table.get(resource)

@@ -104,7 +104,8 @@ class Transaction:
         """
         self._require_active()
         if self.read_only and self._manager.snapshot_reads:
-            self._manager.count_lock_bypass()
+            if not self.auto:  # autos are uncounted: they are the
+                self._manager.count_lock_bypass()  # bare-read hot path
             return
         self._manager.locks.acquire(self.txn_id, resource, mode)
 
@@ -208,7 +209,8 @@ class TransactionManager:
         self._snapshot_txns = 0
         self._lock_bypasses = 0
 
-    def begin(self, read_only: bool = False) -> Transaction:
+    def begin(self, read_only: bool = False,
+              auto: bool = False) -> Transaction:
         """Start a transaction.  Writes nothing.
 
         The BEGIN record is folded into the commit-time buffer flush,
@@ -216,7 +218,10 @@ class TransactionManager:
         touch the log at all — reads and empty commits stay fsync-free.
         A read-only transaction additionally pins the current commit
         watermark (and apply sequence) here; that pair is its entire
-        isolation mechanism.
+        isolation mechanism.  ``auto`` transactions (opened by the HAM
+        to cover one operation) answer from latest-committed state, so
+        they skip the pin and the snapshot accounting — they are the
+        per-request hot path of a pipelined read.
         """
         with self._lock:
             if self._poisoned:
@@ -226,13 +231,14 @@ class TransactionManager:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
             txn = Transaction(txn_id, self, read_only=read_only)
+            txn.auto = auto
             if read_only:
                 self._read_only_txns += 1
-                if self.snapshot_reads:
+                if self.snapshot_reads and not auto:
                     self._snapshot_txns += 1
                     _counters().increment("snapshot_txns")
             self._active[txn_id] = txn
-        if read_only:
+        if read_only and not auto:
             with self._time_lock:
                 txn.watermark = self._watermark
                 txn.snapshot_seq = self._apply_seq
@@ -288,6 +294,8 @@ class TransactionManager:
         Idempotent.  Called after commit-apply finished (or on abort),
         so every time at or below the new watermark is fully published.
         """
+        if txn.read_only:
+            return  # never registered as an in-flight writer
         with self._time_lock:
             self._inflight_first_write.pop(txn.txn_id, None)
             if self._inflight_first_write:

@@ -16,8 +16,13 @@ from repro.core.types import LinkPt, NodeIndex
 __all__ = [
     "DocumentShape",
     "GraphShape",
+    "TraceShape",
     "build_hierarchical_document",
     "build_random_graph",
+    "build_trace_scripts",
+    "run_trace_script",
+    "run_trace_script_pipelined",
+    "setup_trace_graph",
 ]
 
 _WORDS = (
@@ -133,3 +138,241 @@ def build_random_graph(ham: HAM, shape: GraphShape = GraphShape(),
             ham.add_link(txn, from_pt=LinkPt(from_node),
                          to_pt=LinkPt(to_node))
     return nodes
+
+
+# ----------------------------------------------------------------------
+# differential operation traces
+#
+# A trace is a *logical* script replayable against any driver exposing
+# the HAM operation surface — the local HAM, a serial RemoteHAM, or a
+# RemoteHAM pipeline — such that the final graph state is identical
+# regardless of transport or interleaving.  Two rules make that true:
+#
+# 1. every node is created in a deterministic serial setup phase, so
+#    node indexes correspond across drivers;
+# 2. each simulated client only ever mutates its own slots (nodes), so
+#    scripts from concurrent clients commute.
+#
+# Ops never embed timestamps: version preconditions (``expected_time``)
+# are threaded through each slot's chain of results at replay time,
+# because different interleavings stamp different times on the same
+# logical history.
+
+
+@dataclass(frozen=True)
+class TraceShape:
+    """Shape of a differential multi-client operation trace."""
+
+    clients: int = 4
+    #: Nodes owned by each client (its private mutation slots).
+    slots: int = 6
+    #: Operations per client script.
+    steps: int = 40
+    #: Attribute names registered during setup (scripts never create
+    #: new attributes — interning order would diverge under concurrency).
+    attributes: tuple[str, ...] = ("status", "owner", "label")
+    values: int = 4
+    #: Every N-th step becomes a small multi-op transaction block.
+    txn_every: int = 9
+    seed: int = 1986
+
+
+def setup_trace_graph(driver, shape: TraceShape = TraceShape()) -> list:
+    """Deterministic serial setup; returns one state dict per client.
+
+    Run against each driver before its scripts: creates every slot node
+    and registers every attribute, identically, so indexes line up
+    across drivers.  Each state dict carries the client's ``nodes``,
+    their current version ``times``, and the ``attrs`` name→index map.
+    """
+    attrs = {name: driver.get_attribute_index(name)
+             for name in shape.attributes}
+    states = []
+    for client in range(shape.clients):
+        nodes, times = [], {}
+        for slot in range(shape.slots):
+            node, time = driver.add_node()
+            time = driver.modify_node(
+                node=node, expected_time=time,
+                contents=f"client {client} slot {slot} v0".encode())
+            nodes.append(node)
+            times[node] = time
+        states.append({"nodes": nodes, "times": times, "attrs": attrs})
+    return states
+
+
+def build_trace_scripts(shape: TraceShape = TraceShape()) -> list[list[dict]]:
+    """Generate one seeded op script per client.
+
+    Ops reference slots and link *refs* (the n-th link the script
+    created), never node indexes or timestamps, so the same script
+    replays against any driver.  The generator tracks attribute
+    attachment and link liveness so every generated op is valid.
+    """
+    scripts = []
+    for client in range(shape.clients):
+        rng = random.Random((shape.seed << 8) ^ client)
+        script: list[dict] = []
+        attached: set[tuple[int, str]] = set()
+        live_links: list[int] = []
+        made_links = 0
+
+        def mutation(step: int) -> dict:
+            nonlocal made_links
+            slot = rng.randrange(shape.slots)
+            choice = rng.random()
+            if choice < 0.40:
+                return {"op": "modify", "slot": slot,
+                        "contents": (f"client {client} slot {slot} "
+                                     f"step {step}: "
+                                     + _sentence(rng)).encode()}
+            if choice < 0.62:
+                name = rng.choice(shape.attributes)
+                attached.add((slot, name))
+                return {"op": "set_attr", "slot": slot, "name": name,
+                        "value": f"value{rng.randrange(shape.values)}"}
+            if choice < 0.72 and attached:
+                slot, name = rng.choice(sorted(attached))
+                attached.discard((slot, name))
+                return {"op": "del_attr", "slot": slot, "name": name}
+            if choice < 0.85 or not live_links:
+                ref = made_links
+                made_links += 1
+                live_links.append(ref)
+                return {"op": "add_link",
+                        "from_slot": rng.randrange(shape.slots),
+                        "to_slot": rng.randrange(shape.slots),
+                        "ref": ref}
+            ref = live_links.pop(rng.randrange(len(live_links)))
+            return {"op": "del_link", "ref": ref}
+
+        for step in range(shape.steps):
+            if shape.txn_every and step and step % shape.txn_every == 0:
+                script.append({"op": "txn",
+                               "body": [mutation(step)
+                                        for __ in range(rng.randrange(2, 4))]})
+            elif rng.random() < 0.18:
+                script.append({"op": "read",
+                               "slot": rng.randrange(shape.slots)})
+            else:
+                script.append(mutation(step))
+        scripts.append(script)
+    return scripts
+
+
+def _apply_trace_op(driver, state: dict, links: dict, op: dict,
+                    txn=None) -> None:
+    """Execute one trace op synchronously against ``driver``."""
+    nodes, times, attrs = state["nodes"], state["times"], state["attrs"]
+    kind = op["op"]
+    if kind == "modify":
+        node = nodes[op["slot"]]
+        times[node] = driver.modify_node(
+            node=node, expected_time=times[node],
+            contents=op["contents"], txn=txn)
+    elif kind == "set_attr":
+        driver.set_node_attribute_value(
+            node=nodes[op["slot"]], attribute=attrs[op["name"]],
+            value=op["value"], txn=txn)
+    elif kind == "del_attr":
+        driver.delete_node_attribute(
+            node=nodes[op["slot"]], attribute=attrs[op["name"]], txn=txn)
+    elif kind == "add_link":
+        link, __ = driver.add_link(
+            from_pt=LinkPt(nodes[op["from_slot"]]),
+            to_pt=LinkPt(nodes[op["to_slot"]]), txn=txn)
+        links[op["ref"]] = link
+    elif kind == "del_link":
+        driver.delete_link(link=links[op["ref"]], txn=txn)
+    elif kind == "read":
+        driver.open_node(node=nodes[op["slot"]])
+    else:
+        raise ValueError(f"unknown trace op {kind!r}")
+
+
+def run_trace_script(driver, state: dict, script: list[dict]) -> None:
+    """Replay one client script serially (local HAM or RemoteHAM)."""
+    links: dict[int, int] = {}
+    for op in script:
+        if op["op"] == "txn":
+            with driver.begin() as txn:
+                for inner in op["body"]:
+                    _apply_trace_op(driver, state, links, inner, txn=txn)
+        else:
+            _apply_trace_op(driver, state, links, op)
+
+
+def run_trace_script_pipelined(client, state: dict,
+                               script: list[dict]) -> int:
+    """Replay one client script through ``client.pipeline()``.
+
+    Ops stream without waiting wherever the script allows it; a sync
+    point (resolving an earlier future) happens only where an op needs a
+    value a previous reply carries — the ``expected_time`` of a slot's
+    last modify, the link index behind a ``del_link`` ref, or a
+    transaction handle.  Returns the pipeline's in-flight high-water
+    mark (callers assert it exceeded 1, i.e. pipelining really
+    happened).
+    """
+    nodes, times, attrs = state["nodes"], state["times"], state["attrs"]
+    pending_time: dict[int, object] = {}   # node -> unresolved modify
+    pending_link: dict[int, object] = {}   # ref  -> unresolved add_link
+    links: dict[int, int] = {}
+    futures: list = []
+
+    def slot_time(node) -> int:
+        future = pending_time.pop(node, None)
+        if future is not None:
+            times[node] = future.result()
+        return times[node]
+
+    def link_of(ref) -> int:
+        future = pending_link.pop(ref, None)
+        if future is not None:
+            links[ref], __ = future.result()
+        return links[ref]
+
+    def issue(pipeline, op, txn=None) -> None:
+        kind = op["op"]
+        if kind == "modify":
+            node = nodes[op["slot"]]
+            pending_time[node] = pipeline.modify_node(
+                node=node, expected_time=slot_time(node),
+                contents=op["contents"], txn=txn)
+        elif kind == "set_attr":
+            futures.append(pipeline.set_node_attribute_value(
+                node=nodes[op["slot"]], attribute=attrs[op["name"]],
+                value=op["value"], txn=txn))
+        elif kind == "del_attr":
+            futures.append(pipeline.delete_node_attribute(
+                node=nodes[op["slot"]], attribute=attrs[op["name"]],
+                txn=txn))
+        elif kind == "add_link":
+            pending_link[op["ref"]] = pipeline.add_link(
+                from_pt=LinkPt(nodes[op["from_slot"]]),
+                to_pt=LinkPt(nodes[op["to_slot"]]), txn=txn)
+        elif kind == "del_link":
+            futures.append(pipeline.delete_link(
+                link=link_of(op["ref"]), txn=txn))
+        elif kind == "read":
+            futures.append(pipeline.open_node(node=nodes[op["slot"]]))
+        else:
+            raise ValueError(f"unknown trace op {kind!r}")
+
+    with client.pipeline() as pipeline:
+        for op in script:
+            if op["op"] == "txn":
+                txn = pipeline.begin().result()  # the one txn sync point
+                for inner in op["body"]:
+                    issue(pipeline, inner, txn=txn)
+                futures.append(pipeline.commit(txn))
+            else:
+                issue(pipeline, op)
+    # The with-exit drained the wire: surface any buried server error.
+    for future in futures:
+        future.result()
+    for node, future in pending_time.items():
+        times[node] = future.result()
+    for ref, future in pending_link.items():
+        links[ref], __ = future.result()
+    return pipeline.max_depth

@@ -43,7 +43,8 @@ STORAGE_CASES = [
     for hit in hits
 ]
 
-CONNECTION_POINTS = ("server.send", "server.recv", "session.dispatch")
+CONNECTION_POINTS = ("server.send", "server.recv", "server.dispatch",
+                     "session.dispatch")
 
 
 @pytest.fixture(autouse=True)
@@ -69,6 +70,32 @@ def test_connection_matrix(tmp_path, point, action, hit):
     result = cm.run_remote_case(tmp_path, point, action, hit=hit,
                                 seed=SEED)
     assert result.fired
+
+
+@pytest.mark.parametrize("action", ("raise", "kill"))
+@pytest.mark.parametrize("hit", (1, 3, 7))
+def test_pipelined_matrix(tmp_path, action, hit):
+    """Fault a worker mid-pipeline: two clients stream waves of
+    mutations, so acknowledgements from the two sessions interleave out
+    of order when the fault lands.  The recovered graph must be exactly
+    the acknowledged prefix of each session's ordered mutation stream
+    (plus at most the one write racing a crash)."""
+    result = cm.run_pipelined_case(tmp_path, "server.dispatch", action,
+                                   hit=hit, seed=SEED)
+    assert result.fired, (
+        f"fault at server.dispatch hit={hit} never triggered under "
+        f"pipelined clients")
+    total = 2 * 3 * 5  # clients × slots × rounds
+    if action == "raise":
+        # One request errors, the server lives: everything else must
+        # still resolve, and the waves genuinely overlapped.
+        assert result.acknowledged == total - 1
+        assert result.unresolved == 0
+        assert result.max_depth > 1
+    else:
+        # The crash abandons the tail; nothing may resolve after it.
+        assert result.acknowledged < total
+        assert result.acknowledged + result.unresolved <= total
 
 
 @pytest.mark.parametrize("action", faults.ACTIONS)

@@ -1,0 +1,122 @@
+"""Differential model test: three transports, one final graph.
+
+One seeded logical operation trace is replayed three ways —
+
+1. through the local in-process :class:`repro.core.ham.HAM`,
+2. through serial ``RemoteHAM`` calls from 4 concurrent client threads,
+3. through ``RemoteHAM.pipeline()`` from 4 concurrent client threads —
+
+and the final graphs must be identical under
+:func:`repro.tools.dump.graph_fingerprint` (which compares observable
+state while ignoring interleaving artifacts such as timestamps and link
+allocation order).  Any divergence means the event-driven server's
+scheduling (concurrent reads, ordered mutations) changed semantics
+relative to the sequential model.
+"""
+
+import threading
+
+import pytest
+
+from repro import HAM
+from repro.server import HAMServer, RemoteHAM
+from repro.tools.dump import graph_fingerprint
+from repro.workloads.generator import (
+    TraceShape,
+    build_trace_scripts,
+    run_trace_script,
+    run_trace_script_pipelined,
+    setup_trace_graph,
+)
+
+SEEDS = (11, 23, 47, 101, 1986)
+
+
+def _run_threads(workers):
+    failures = []
+
+    def guard(work):
+        def run():
+            try:
+                work()
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                failures.append(exc)
+        return run
+
+    threads = [threading.Thread(target=guard(work)) for work in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads), \
+        "worker threads hung"
+    if failures:
+        raise failures[0]
+
+
+def _local_fingerprint(shape: TraceShape, scripts) -> dict:
+    with HAM.ephemeral() as ham:
+        states = setup_trace_graph(ham, shape)
+        for state, script in zip(states, scripts):
+            run_trace_script(ham, state, script)
+        return graph_fingerprint(ham)
+
+
+def _remote_fingerprint(shape: TraceShape, scripts,
+                        pipelined: bool) -> dict:
+    depths = []
+    with HAM.ephemeral() as ham:
+        server = HAMServer(ham).start()
+        try:
+            setup_client = RemoteHAM(*server.address)
+            states = setup_trace_graph(setup_client, shape)
+            setup_client.close()
+
+            def make_worker(state, script):
+                def work():
+                    client = RemoteHAM(*server.address)
+                    try:
+                        if pipelined:
+                            depths.append(run_trace_script_pipelined(
+                                client, state, script))
+                        else:
+                            run_trace_script(client, state, script)
+                    finally:
+                        client.close()
+                return work
+
+            _run_threads([make_worker(state, script)
+                          for state, script in zip(states, scripts)])
+        finally:
+            server.stop()
+        if pipelined:
+            # The point of the exercise: requests genuinely overlapped.
+            assert max(depths) > 1, \
+                f"no pipelining happened (depths={depths})"
+        return graph_fingerprint(ham)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_three_transports_converge(seed):
+    shape = TraceShape(seed=seed)
+    scripts = build_trace_scripts(shape)
+    local = _local_fingerprint(shape, scripts)
+    serial = _remote_fingerprint(shape, scripts, pipelined=False)
+    pipelined = _remote_fingerprint(shape, scripts, pipelined=True)
+    assert serial == local
+    assert pipelined == local
+
+
+def test_fingerprint_sees_divergence():
+    """The oracle itself must not be vacuous: a one-byte difference in
+    one node's contents must flip the fingerprint."""
+    shape = TraceShape(clients=1, steps=5, seed=3)
+    scripts = build_trace_scripts(shape)
+    with HAM.ephemeral() as ham:
+        states = setup_trace_graph(ham, shape)
+        run_trace_script(ham, states[0], scripts[0])
+        before = graph_fingerprint(ham)
+        node = states[0]["nodes"][0]
+        time = states[0]["times"][node]
+        ham.modify_node(node=node, expected_time=time, contents=b"diverged")
+        assert graph_fingerprint(ham) != before

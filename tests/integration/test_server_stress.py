@@ -1,0 +1,254 @@
+"""Stress and governance tests for the event-driven server core.
+
+- 32 concurrent clients under a mixed read/write load finish correctly
+  and fairly (no client's p99 latency runs away from the global median);
+- backpressure: a deliberately slow consumer makes the server stop
+  reading its socket (counters fire) without losing a single response;
+- connection cap: a client past ``max_connections`` gets a prompt
+  :class:`repro.errors.ServerBusyError`, never a hang, and the slot is
+  reusable once a session closes.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import HAM
+from repro.errors import ServerBusyError
+from repro.server import (
+    FrameDecoder,
+    HAMServer,
+    RemoteHAM,
+    ServerConfig,
+    encode_message,
+)
+from repro.tools.stats import render_server
+
+
+@pytest.fixture
+def served_ham():
+    with HAM.ephemeral() as ham:
+        server = HAMServer(ham).start()
+        try:
+            yield ham, server
+        finally:
+            server.stop()
+
+
+def _run_threads(workers, timeout=120):
+    failures = []
+
+    def guard(work):
+        def run():
+            try:
+                work()
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                failures.append(exc)
+        return run
+
+    threads = [threading.Thread(target=guard(work)) for work in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    assert not any(thread.is_alive() for thread in threads), \
+        "client threads hung"
+    if failures:
+        raise failures[0]
+
+
+class TestStressAndFairness:
+    CLIENTS = 32
+    OPS = 25
+
+    def test_mixed_load_completes_and_is_fair(self, served_ham):
+        ham, server = served_ham
+        with RemoteHAM(*server.address) as setup:
+            slots = [setup.add_node() for __ in range(self.CLIENTS)]
+
+        latencies = [[] for __ in range(self.CLIENTS)]
+
+        def make_writer(index):
+            node, t0 = slots[index]
+
+            def work():
+                client = RemoteHAM(*server.address)
+                try:
+                    expected = t0
+                    for op in range(self.OPS):
+                        start = time.perf_counter()
+                        expected = client.modify_node(
+                            node=node, expected_time=expected,
+                            contents=f"writer {index} op {op}".encode())
+                        latencies[index].append(
+                            time.perf_counter() - start)
+                finally:
+                    client.close()
+            return work
+
+        def make_reader(index):
+            node, __ = slots[index]
+
+            def work():
+                client = RemoteHAM(*server.address)
+                try:
+                    for __ in range(self.OPS):
+                        start = time.perf_counter()
+                        client.open_node(node=node)
+                        latencies[index].append(
+                            time.perf_counter() - start)
+                finally:
+                    client.close()
+            return work
+
+        workers = [make_writer(i) if i % 2 else make_reader(i)
+                   for i in range(self.CLIENTS)]
+        _run_threads(workers)
+
+        # Correctness: every writer's final contents landed.
+        for index in range(1, self.CLIENTS, 2):
+            node, __ = slots[index]
+            contents = ham.open_node(node=node)[0]
+            assert contents == f"writer {index} op {self.OPS - 1}".encode()
+
+        # Fairness: no client's tail runs away from the global median.
+        # The bound is deliberately loose (shared CI boxes hiccup), but
+        # it catches real starvation — a client stalled behind everyone
+        # else's queue for seconds.
+        every = sorted(sample for samples in latencies
+                       for sample in samples)
+        median = every[len(every) // 2]
+        bound = max(0.25, 50 * median)
+        for index, samples in enumerate(latencies):
+            ordered = sorted(samples)
+            p99 = ordered[min(len(ordered) - 1,
+                              round(0.99 * (len(ordered) - 1)))]
+            assert p99 <= bound, (
+                f"client {index}: p99 {p99 * 1000:.1f}ms vs global median "
+                f"{median * 1000:.1f}ms\n{render_server(server.stats())}")
+
+    def test_pipelined_stress_all_futures_resolve(self, served_ham):
+        ham, server = served_ham
+        with RemoteHAM(*server.address) as setup:
+            slots = [setup.add_node() for __ in range(8)]
+
+        def make_worker(index):
+            node, t0 = slots[index]
+
+            def work():
+                client = RemoteHAM(*server.address)
+                try:
+                    with client.pipeline() as pipe:
+                        expected = t0
+                        modifies = []
+                        for op in range(40):
+                            future = pipe.modify_node(
+                                node=node, expected_time=expected,
+                                contents=f"p{index} op {op}".encode())
+                            expected = future.result()  # chain versions
+                            modifies.append(future)
+                        reads = [pipe.open_node(node=node)
+                                 for __ in range(40)]
+                    assert all(f.done() for f in modifies + reads)
+                finally:
+                    client.close()
+            return work
+
+        _run_threads([make_worker(index) for index in range(8)])
+        for index in range(8):
+            node, __ = slots[index]
+            contents = ham.open_node(node=node)[0]
+            assert contents == f"p{index} op 39".encode()
+
+
+class TestBackpressure:
+    def test_slow_consumer_pauses_reads_without_losing_replies(self):
+        config = ServerConfig(max_pending=8, max_outbuf_bytes=32 * 1024,
+                              workers=4)
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham, config=config).start()
+            try:
+                with RemoteHAM(*server.address) as setup:
+                    node, t0 = setup.add_node()
+                    setup.modify_node(node=node, expected_time=t0,
+                                      contents=b"x" * 8192)
+
+                # A raw socket that floods requests and reads nothing:
+                # the responses (8 KiB each) overflow max_outbuf_bytes
+                # and the admission queue overflows max_pending, so the
+                # server must stop reading us (kernel backpressure)
+                # instead of buffering without bound.
+                count = 200
+                sock = socket.create_connection(server.address, timeout=30)
+                try:
+                    burst = b"".join(
+                        encode_message({"id": n, "method": "open_node",
+                                        "params": {"node": node}})
+                        for n in range(1, count + 1))
+                    sock.settimeout(30)
+                    sender = threading.Thread(
+                        target=sock.sendall, args=(burst,))
+                    sender.start()
+                    time.sleep(0.3)  # let the server hit its bounds
+
+                    stats = server.stats()
+                    assert stats["paused_reads"] > 0, stats
+                    assert stats["queue_high_water"] > config.max_pending, \
+                        stats
+
+                    # Now consume: every single reply must still arrive,
+                    # in some order, exactly once.
+                    decoder = FrameDecoder()
+                    seen = set()
+                    while len(seen) < count:
+                        data = sock.recv(65536)
+                        assert data, "server closed before all replies"
+                        for message in decoder.feed(data):
+                            assert message["ok"], message
+                            assert message["id"] not in seen
+                            seen.add(message["id"])
+                    sender.join(timeout=30)
+                    assert not sender.is_alive()
+                    assert seen == set(range(1, count + 1))
+                finally:
+                    sock.close()
+            finally:
+                server.stop()
+
+
+class TestConnectionCap:
+    def test_over_cap_raises_server_busy_not_hang(self):
+        config = ServerConfig(max_connections=2)
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham, config=config).start()
+            try:
+                first = RemoteHAM(*server.address)
+                second = RemoteHAM(*server.address)
+                started = time.perf_counter()
+                with pytest.raises(ServerBusyError):
+                    RemoteHAM(*server.address, timeout=30)
+                # A graceful rejection, not a timeout-shaped hang.
+                assert time.perf_counter() - started < 5
+                assert server.stats()["rejected"] >= 1
+
+                # Admitted sessions keep working through the rejection.
+                assert first.ping() and second.ping()
+
+                # Freeing a slot re-admits: the cap tracks live sessions.
+                second.close()
+                deadline = time.monotonic() + 10
+                while True:
+                    try:
+                        third = RemoteHAM(*server.address)
+                        break
+                    except ServerBusyError:
+                        assert time.monotonic() < deadline, \
+                            "slot never freed after close()"
+                        time.sleep(0.02)
+                assert third.ping()
+                third.close()
+                first.close()
+            finally:
+                server.stop()

@@ -1,0 +1,162 @@
+"""Shutdown regression tests: stop() must strand nothing and leak nothing.
+
+The old thread-per-session server only joined its session threads when
+``stop(disconnect_clients=True)`` was passed; a plain ``stop()`` left
+them running and unjoinable.  The event-driven core must join every
+thread it started in *both* modes, finish in-flight pipelined requests
+on a graceful stop, sever promptly (without stranding blocked clients)
+on a hard stop, and abort any transaction a session left open either
+way.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import HAM
+from repro.server import HAMServer, RemoteHAM, ServerConfig
+
+
+def _assert_all_threads_exit(server):
+    for thread in server.threads():
+        thread.join(timeout=5)
+    alive = [thread.name for thread in server.threads()
+             if thread.is_alive()]
+    assert not alive, f"threads survived stop(): {alive}"
+
+
+class TestGracefulStop:
+    def test_plain_stop_joins_every_thread(self):
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham).start()
+            client = RemoteHAM(*server.address)
+            client.add_node()
+            client.close()
+            server.stop()  # no disconnect_clients — the old leak case
+            _assert_all_threads_exit(server)
+
+    def test_stop_drains_inflight_pipelined_requests(self):
+        """Requests already admitted when stop() is called are answered,
+        not stranded — every future resolves."""
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham).start()
+            client = RemoteHAM(*server.address)
+            results = {}
+
+            def pipelined_work():
+                with client.pipeline() as pipe:
+                    futures = [pipe.add_node() for __ in range(50)]
+                    results["values"] = [f.result() for f in futures]
+
+            worker = threading.Thread(target=pipelined_work)
+            worker.start()
+            time.sleep(0.05)  # let a burst get admitted
+            server.stop()
+            worker.join(timeout=30)
+            assert not worker.is_alive(), "pipelined client stranded"
+            _assert_all_threads_exit(server)
+            # Every response the drain promised actually arrived.
+            assert len(results.get("values", ())) == 50
+            client.close()
+
+    def test_stop_aborts_leftover_transactions(self):
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham).start()
+            client = RemoteHAM(*server.address)
+            node, t0 = client.add_node()
+            txn = client.begin()
+            client.modify_node(node=node, expected_time=t0,
+                               contents=b"uncommitted", txn=txn)
+            # stop() with the transaction still open: its write lock and
+            # provisional version must be rolled back...
+            server.stop()
+            _assert_all_threads_exit(server)
+            # ...so the local graph accepts an independent write at the
+            # original version, with no lock wait and no stale data.
+            ham.modify_node(node=node, expected_time=t0, contents=b"clean")
+            assert ham.open_node(node=node)[0] == b"clean"
+
+    def test_stop_is_idempotent(self):
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham).start()
+            server.stop()
+            server.stop()
+            server.stop(disconnect_clients=True)
+            _assert_all_threads_exit(server)
+
+
+class TestHardStop:
+    def test_disconnect_clients_severs_blocked_client_promptly(self):
+        """A serial client mid-request must surface a connection error,
+        not hang until its socket timeout."""
+        with HAM.ephemeral() as ham:
+            config = ServerConfig(workers=1)
+            server = HAMServer(ham, config=config).start()
+            blocker = RemoteHAM(*server.address)
+            outcome = {}
+
+            def slow_call():
+                try:
+                    # linearize_graph over nothing is fast; pile enough
+                    # calls that some are still unserved at stop time.
+                    with blocker.pipeline() as pipe:
+                        futures = [pipe.add_node() for __ in range(200)]
+                        outcome["done"] = sum(
+                            1 for f in futures
+                            if _resolves(f))
+                except Exception as exc:  # noqa: BLE001
+                    outcome["error"] = exc
+
+            def _resolves(future):
+                try:
+                    future.result()
+                    return True
+                except Exception:  # noqa: BLE001
+                    return False
+
+            worker = threading.Thread(target=slow_call)
+            worker.start()
+            time.sleep(0.02)
+            started = time.perf_counter()
+            server.stop(disconnect_clients=True)
+            worker.join(timeout=10)
+            assert not worker.is_alive(), "client hung across a hard stop"
+            assert time.perf_counter() - started < 10
+            _assert_all_threads_exit(server)
+            blocker.close()
+
+    def test_no_sessions_leak_after_either_mode(self):
+        for disconnect in (False, True):
+            with HAM.ephemeral() as ham:
+                server = HAMServer(ham).start()
+                clients = [RemoteHAM(*server.address) for __ in range(4)]
+                for client in clients:
+                    client.begin()  # leave a transaction open
+                server.stop(disconnect_clients=disconnect)
+                assert server.stats()["active_sessions"] == 0, \
+                    f"sessions leaked (disconnect_clients={disconnect})"
+                _assert_all_threads_exit(server)
+                for client in clients:
+                    client.close()
+
+
+class TestRestart:
+    def test_same_port_reusable_immediately_after_stop(self):
+        with HAM.ephemeral() as ham:
+            server = HAMServer(ham).start()
+            port = server.port
+            with RemoteHAM(*server.address) as client:
+                client.add_node()
+            server.stop()
+            _assert_all_threads_exit(server)
+            second = HAMServer(ham, port=port).start()
+            try:
+                with RemoteHAM(*second.address) as client:
+                    assert client.ping()
+            finally:
+                second.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
