@@ -8,16 +8,32 @@ Expected shape: scan grows linearly with graph size; the index stays
 near-flat, so the gap widens with scale.
 """
 
+import os
 import time as clock
 
 import pytest
 
 from conftest import report
 from repro import HAM
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_predicate
+from repro.query.traversal import named_attributes
+from repro.server import HAMServer, RemoteHAM
 from repro.workloads.generator import GraphShape, build_random_graph
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
 
 GRAPH_SIZES = [100, 400, 1600]
 PREDICATE = "document = value0 and status = value1"
+
+#: Planner-scale series: a large attribute-only graph where the access
+#: path (not the residual) dominates.  Quick mode shrinks it for CI.
+LARGE_SIZE = 5_000 if QUICK else 100_000
+PLANNER_QUERIES = [
+    ("conjunction", "document = doc7 and status = status3"),
+    ("range", "revision > 990"),
+    ("disjunction", "document = doc7 or document = doc11"),
+]
 
 
 def _build(size):
@@ -106,3 +122,130 @@ def test_b3_crossover_table(benchmark, graphs):
     speedups = [scan / indexed for __, indexed, scan in rows]
     assert speedups[-1] > 1.5
     assert speedups[-1] > speedups[0]
+
+
+# ----------------------------------------------------------------------
+# planner at scale: multi-predicate queries on a large graph
+
+
+def _build_large(size):
+    """Attribute-only graph: no contents, no links — the access path
+    is what's under test, and 100k attributed nodes build in seconds."""
+    ham = HAM.ephemeral()
+    with ham.begin() as txn:
+        attrs = {name: ham.get_attribute_index(name, txn)
+                 for name in ("document", "status", "revision")}
+        for i in range(size):
+            node, __ = ham.add_node(txn)
+            ham.set_node_attribute_value(
+                txn, node=node, attribute=attrs["document"],
+                value=f"doc{i % 200}")
+            ham.set_node_attribute_value(
+                txn, node=node, attribute=attrs["status"],
+                value=f"status{i % 4}")
+            ham.set_node_attribute_value(
+                txn, node=node, attribute=attrs["revision"],
+                value=str(i % 1000))
+    return ham
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    return _build_large(LARGE_SIZE)
+
+
+def _seed_scan(ham, text):
+    """The seed's query loop: naive evaluation over every live node."""
+    store = ham.store
+    predicate = parse_predicate(text)
+    return [record.index for record in store.live_nodes(0)
+            if evaluate(predicate, named_attributes(record, store, 0))]
+
+
+@pytest.mark.benchmark(group="B3 planner at scale")
+@pytest.mark.parametrize("name,text", PLANNER_QUERIES,
+                         ids=[name for name, __ in PLANNER_QUERIES])
+def test_b3_planner_indexed_large(benchmark, large_graph, name, text):
+    result = benchmark(large_graph.get_graph_query, 0, text)
+    assert result.node_indexes
+
+
+def test_b3_planner_speedup_table(large_graph):
+    """Planner-on vs planner-off vs seed scan, one row per query."""
+    ham = large_graph
+    rows = []
+    for name, text in PLANNER_QUERIES:
+        start = clock.perf_counter()
+        for __ in range(3):
+            planned = ham.get_graph_query(0, text)
+        planned_time = (clock.perf_counter() - start) / 3
+
+        saved, ham._index = ham._index, None  # planner-off ablation
+        try:
+            start = clock.perf_counter()
+            scanned = ham.get_graph_query(0, text)
+            scan_time = clock.perf_counter() - start
+        finally:
+            ham._index = saved
+
+        start = clock.perf_counter()
+        naive = _seed_scan(ham, text)
+        naive_time = clock.perf_counter() - start
+
+        assert planned.nodes == scanned.nodes
+        assert planned.node_indexes == naive
+        rows.append((name, len(naive), planned_time, scan_time, naive_time))
+
+    lines = [f"{'query':>12}  {'matches':>8}  {'planner':>10}  "
+             f"{'batch scan':>10}  {'seed scan':>10}  {'speedup':>8}"]
+    for name, matches, planned_time, scan_time, naive_time in rows:
+        lines.append(
+            f"{name:>12}  {matches:>8}  {planned_time * 1e3:>8.2f}ms  "
+            f"{scan_time * 1e3:>8.2f}ms  {naive_time * 1e3:>8.2f}ms  "
+            f"{naive_time / planned_time:>7.1f}x")
+    report(f"B3+ planner vs scan, {LARGE_SIZE} nodes (local)", lines)
+
+    # Selective conjunctions and ranges must beat the seed scan 5x at
+    # full size; quick mode only checks the ordering survives.
+    floor = 1.0 if QUICK else 5.0
+    by_name = {name: naive / planned
+               for name, __, planned, __s, naive in rows}
+    assert by_name["conjunction"] > floor
+    assert by_name["range"] > floor
+
+
+def test_b3_planner_speedup_over_tcp(large_graph):
+    """The same ablation through the TCP server: wire cost included."""
+    ham = large_graph
+    server = HAMServer(ham).start()
+    rows = []
+    try:
+        client = RemoteHAM(*server.address)
+        try:
+            for name, text in PLANNER_QUERIES:
+                start = clock.perf_counter()
+                for __ in range(3):
+                    planned = client.get_graph_query(0, text)
+                planned_time = (clock.perf_counter() - start) / 3
+
+                saved, ham._index = ham._index, None
+                try:
+                    start = clock.perf_counter()
+                    scanned = client.get_graph_query(0, text)
+                    scan_time = clock.perf_counter() - start
+                finally:
+                    ham._index = saved
+                assert planned.nodes == scanned.nodes
+                rows.append((name, planned_time, scan_time))
+        finally:
+            client.close()
+    finally:
+        server.stop()
+
+    lines = [f"{'query':>12}  {'planner':>10}  {'scan':>10}  {'speedup':>8}"]
+    for name, planned_time, scan_time in rows:
+        lines.append(
+            f"{name:>12}  {planned_time * 1e3:>8.2f}ms  "
+            f"{scan_time * 1e3:>8.2f}ms  "
+            f"{scan_time / planned_time:>7.1f}x")
+    report(f"B3+ planner vs scan, {LARGE_SIZE} nodes (TCP)", lines)

@@ -21,6 +21,7 @@ Commands::
     blame NODE [TIME]           per-line provenance
     diff NODE T1 T2             node differences browser
     query PREDICATE...          getGraphQuery node list
+    explain PREDICATE...        show the query plan without running it
     linearize NODE [LINK-PRED...]   linearizeGraph node list
     demons                      demon browser
     trail start NODE | follow LINK | back | save NAME | list
@@ -179,6 +180,10 @@ class NeptuneShell:
         predicate = " ".join(args)
         hits = self.ham.get_graph_query(node_predicate=predicate)
         return f"nodes: {hits.node_indexes}  links: {hits.link_indexes}"
+
+    def _cmd_explain(self, args) -> str:
+        predicate = " ".join(args)
+        return self.ham.explain_query(node_predicate=predicate or None)
 
     def _cmd_linearize(self, args) -> str:
         node = int(args[0])

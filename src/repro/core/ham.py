@@ -62,10 +62,13 @@ from repro.errors import (
 from repro.query.graph_query import QueryResult, get_graph_query
 from repro.query.index import AttributeValueIndex
 from repro.query.parser import parse_predicate
+from repro.query.planner import compile_predicate, plan_query
 from repro.query.predicate import Predicate
+from repro.query.stats import AttributeStatistics
 from repro.query.traversal import TraversalResult, linearize_graph
 from repro.storage.diff import Difference, diff_bytes
 from repro.storage.log import WalStats, WriteAheadLog
+from repro.tools.metrics import PLANNER
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.manager import Transaction, TransactionManager
 from repro.txn.recovery import replay_log
@@ -322,6 +325,11 @@ class HAM:
         self._state_lock = threading.RLock()
         self._index: AttributeValueIndex | None = (
             AttributeValueIndex() if use_attribute_index else None)
+        #: Planner statistics ride with the index: both are maintained
+        #: from the same committed mutation stream, and both are only
+        #: trustworthy under the same seqlock validation.
+        self._stats: AttributeStatistics | None = (
+            AttributeStatistics() if use_attribute_index else None)
         if self._index is not None:
             self._rebuild_index()
 
@@ -537,7 +545,7 @@ class HAM:
             raise TransactionError("HAM is closed")
         txn = self._txns.begin(read_only=read_only)
         if not read_only:
-            txn.writeset = WriteSet(self._store, self._index)
+            txn.writeset = WriteSet(self._store, self._index, self._stats)
         return txn
 
     transaction = begin  # alias: ``with ham.transaction() as txn:``
@@ -548,7 +556,7 @@ class HAM:
             raise TransactionError("HAM is closed")
         txn = self._txns.begin(read_only=read_only, auto=True)
         if not read_only:
-            txn.writeset = WriteSet(self._store, self._index)
+            txn.writeset = WriteSet(self._store, self._index, self._stats)
         return txn
 
     def _in_txn(self, txn: Transaction | None, read_only: bool = False):
@@ -575,7 +583,7 @@ class HAM:
         is simply dropping the overlay.
         """
         if txn.writeset is None:  # externally-created transaction
-            txn.writeset = WriteSet(self._store, self._index)
+            txn.writeset = WriteSet(self._store, self._index, self._stats)
         result = _APPLY[operation](txn.writeset, args)
         txn.log_update(operation, args)
         return result
@@ -744,16 +752,25 @@ class HAM:
                         node_attributes: Sequence[AttributeIndex] = (),
                         link_attributes: Sequence[AttributeIndex] = (),
                         txn: Transaction | None = None) -> TraversalResult:
-        """``linearizeGraph``: offset-ordered DFS from ``start``."""
+        """``linearizeGraph``: offset-ordered DFS from ``start``.
+
+        Predicates are compiled (:mod:`repro.query.planner`) before the
+        walk, so per-node filtering shares the planned query path's
+        registry-resolved evaluation and stats-driven conjunct order.
+        """
         with self._in_txn(txn, read_only=True) as t:
             t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
             pinned = self._snapshot_time(t)
             if pinned is not None and time == CURRENT:
                 time = pinned
+            store = self._store_for(t)
+            node_pred = compile_predicate(
+                parse_predicate(node_predicate), store.registry, self._stats)
+            link_pred = compile_predicate(
+                parse_predicate(link_predicate), store.registry, self._stats)
+            PLANNER.increment("compiled_traversals")
             return linearize_graph(
-                self._store_for(t), start, time,
-                parse_predicate(node_predicate),
-                parse_predicate(link_predicate),
+                store, start, time, node_pred, link_pred,
                 list(node_attributes), list(link_attributes))
 
     def get_graph_query(self, time: Time = CURRENT,
@@ -773,30 +790,63 @@ class HAM:
                 # only reflects committed state, so it cannot be used.
                 return get_graph_query(
                     t.writeset, time, node_pred, link_pred,
-                    *projection, index=None)
+                    *projection, index=None, stats=self._stats)
             pinned = self._snapshot_time(t)
             if pinned is None:
                 return get_graph_query(
                     self._store, time, node_pred, link_pred,
-                    *projection, index=self._index)
+                    *projection, index=self._index, stats=self._stats)
             if time == CURRENT:
                 # Optimistic indexed path: if no commit has published
                 # since this snapshot was pinned (apply seqlock even
-                # and unchanged before *and* after the query), the live
-                # store IS the snapshot and the index answer is valid.
+                # and unchanged before *and* after the query) and no
+                # earlier commit published *above* the watermark (a
+                # committer racing an older in-flight writer leaves
+                # applied effects the pin must not see), the live store
+                # IS the snapshot and the index answer is valid.
                 if (t.snapshot_seq % 2 == 0
-                        and self._txns.apply_seq == t.snapshot_seq):
+                        and self._txns.apply_seq == t.snapshot_seq
+                        and self._txns.applied_high <= t.watermark):
                     result = get_graph_query(
                         self._store, CURRENT, node_pred, link_pred,
-                        *projection, index=self._index)
+                        *projection, index=self._index, stats=self._stats)
                     if self._txns.apply_seq == t.snapshot_seq:
                         return result
+                # The seqlock proved the live index stale relative to
+                # this snapshot — fall back to the pinned-time scan.
+                PLANNER.increment("fallbacks")
                 time = pinned
             # As-of-time scan (the query layer ignores the index for
             # historical times anyway).
             return get_graph_query(
                 self._store, time, node_pred, link_pred,
-                *projection, index=self._index)
+                *projection, index=self._index, stats=self._stats)
+
+    def explain_query(self, time: Time = CURRENT,
+                      node_predicate: str | Predicate | None = None,
+                      link_predicate: str | Predicate | None = None,
+                      txn: Transaction | None = None) -> str:
+        """Render the plan ``getGraphQuery`` would execute, without
+        executing it.
+
+        Shows the normalized residual predicate, the chosen access path
+        (probes, intersections, unions, or the full scan) and the
+        stats-driven selectivity estimate.  The plan reflects this
+        moment's statistics; a concurrent commit may shift estimates,
+        never results.
+        """
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(_GRAPH_RESOURCE, LockMode.SHARED)
+            store = self._store_for(t)
+            writer_overlay = t.writeset is not None and t.writeset.dirty
+            indexed = (self._index is not None and time == CURRENT
+                       and not writer_overlay)
+            plan = plan_query(
+                parse_predicate(node_predicate), store.registry,
+                stats=self._stats, indexed=indexed,
+                link_predicate=parse_predicate(link_predicate))
+            PLANNER.increment("explains")
+            return plan.explain()
 
     # ==================================================================
     # Node operations (Appendix A.2)
@@ -1181,8 +1231,10 @@ class HAM:
         registry = self._store.registry
         for node in self._store.live_nodes(CURRENT):
             for index, value in node.attributes.all_at(CURRENT).items():
-                self._index.set_value(node.index, registry.name_of(index),
-                                      value)
+                name = registry.name_of(index)
+                self._index.set_value(node.index, name, value)
+                if self._stats is not None:
+                    self._stats.set_value(node.index, name, value)
 
     # ==================================================================
     # Appendix-style camelCase aliases
@@ -1197,6 +1249,7 @@ class HAM:
     deleteLink = delete_link
     linearizeGraph = linearize_graph
     getGraphQuery = get_graph_query
+    explainQuery = explain_query
     openNode = open_node
     modifyNode = modify_node
     getNodeTimeStamp = get_node_timestamp

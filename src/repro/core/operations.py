@@ -65,8 +65,9 @@ __all__ = [
 #: and server can refuse a mismatched pairing up front.  Version 1 was
 #: the hand-written protocol whose ``ping`` returned the bare string
 #: ``"pong"``; version 2 introduced the registry-derived dispatch and
-#: ``call_batch``.
-PROTOCOL_VERSION = 2
+#: ``call_batch``; version 3 added ``explainQuery`` (plan rendering for
+#: the cost-based query planner).
+PROTOCOL_VERSION = 3
 
 
 class _Required:
@@ -542,6 +543,15 @@ _register(Operation(
      Param("node_attributes", INDEX_SEQ, default=()),
      Param("link_attributes", INDEX_SEQ, default=()), _txn_param()),
     QUERY, appendix_name="getGraphQuery"))
+# Not an Appendix operation — a planner-era extension, so it carries no
+# appendix_name (the conformance suite pins that set to the paper).
+_register(Operation(
+    "explain_query",
+    (Param("time", default=CURRENT),
+     Param("node_predicate", default=None),
+     Param("link_predicate", default=None), _txn_param()),
+    IDENTITY,
+    doc="Render the access plan ``getGraphQuery`` would use."))
 
 
 # ======================================================================

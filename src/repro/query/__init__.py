@@ -14,8 +14,13 @@ query."
 - :mod:`repro.query.evaluator` — AST × attribute set → bool.
 - :mod:`repro.query.traversal` — ``linearizeGraph``.
 - :mod:`repro.query.graph_query` — ``getGraphQuery``.
-- :mod:`repro.query.index` — optional inverted attribute index used to
-  accelerate equality predicates (the benchmark B3 ablation).
+- :mod:`repro.query.index` — optional inverted attribute index with
+  sorted value views (equality, range, and presence probes).
+- :mod:`repro.query.stats` — commit-maintained attribute statistics.
+- :mod:`repro.query.planner` — cost-based planning: normalization,
+  compiled predicates, index access paths, ``explain()``.
+- :mod:`repro.query.batch` — columnar batch evaluation of compiled
+  predicates over candidate record sets.
 """
 
 from repro.query.predicate import (
@@ -34,6 +39,15 @@ from repro.query.evaluator import evaluate
 from repro.query.traversal import linearize_graph, TraversalResult
 from repro.query.graph_query import get_graph_query, QueryResult
 from repro.query.index import AttributeValueIndex
+from repro.query.stats import AttributeStatistics
+from repro.query.planner import (
+    CompiledPredicate,
+    QueryPlan,
+    compile_predicate,
+    normalize,
+    plan_query,
+)
+from repro.query.batch import batch_filter, batch_positions
 
 __all__ = [
     "Predicate",
@@ -52,4 +66,12 @@ __all__ = [
     "get_graph_query",
     "QueryResult",
     "AttributeValueIndex",
+    "AttributeStatistics",
+    "CompiledPredicate",
+    "QueryPlan",
+    "compile_predicate",
+    "normalize",
+    "plan_query",
+    "batch_filter",
+    "batch_positions",
 ]

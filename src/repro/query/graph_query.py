@@ -5,10 +5,16 @@ composed by all nodes and links such that each of the nodes in NodeIndex*
 satisfies Predicate₁, each link … satisfies Predicate₂ and each link in
 LinkIndex* connects two nodes in NodeIndex*."
 
-Unlike the traversal, this "directly accesses a set of nodes" (§3) — a
-scan over all live entities, optionally accelerated by the inverted
-attribute index (see :mod:`repro.query.index`) when the node predicate
-has an equality-on-attribute conjunct.
+Unlike the traversal, this "directly accesses a set of nodes" (§3).
+Execution is plan-driven (:mod:`repro.query.planner`): the predicate is
+normalized and compiled, an index access path produces a candidate
+superset (equality/range/presence probes, intersected for ``and``,
+unioned for ``or``) when a current-time index is available, and the
+residual predicate runs over the candidates through the columnar batch
+evaluator (:mod:`repro.query.batch`).  Every step only ever *narrows*
+a superset, so results are identical to evaluating the raw predicate
+against every live entity — the differential suite enforces exactly
+that equivalence.
 """
 
 from __future__ import annotations
@@ -16,11 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.graph import GraphStore
-from repro.core.types import AttributeIndex, LinkIndex, NodeIndex, Time
-from repro.query.evaluator import evaluate
+from repro.core.types import CURRENT, AttributeIndex, LinkIndex, NodeIndex, \
+    Time
+from repro.query.batch import batch_filter
 from repro.query.index import AttributeValueIndex
-from repro.query.predicate import And, CompareOp, Comparison, Predicate
-from repro.query.traversal import attribute_values, named_attributes
+from repro.query.planner import QueryPlan, plan_query
+from repro.query.predicate import Predicate
+from repro.query.stats import AttributeStatistics
+from repro.query.traversal import attribute_values
+from repro.tools.metrics import PLANNER
 
 __all__ = ["get_graph_query", "QueryResult"]
 
@@ -43,18 +53,6 @@ class QueryResult:
         return [index for index, __ in self.links]
 
 
-def _equality_conjuncts(predicate: Predicate) -> list[Comparison]:
-    """Equality comparisons that every match must satisfy (index keys)."""
-    if isinstance(predicate, Comparison) and predicate.op is CompareOp.EQ:
-        return [predicate]
-    if isinstance(predicate, And):
-        found = []
-        for operand in predicate.operands:
-            found.extend(_equality_conjuncts(operand))
-        return found
-    return []
-
-
 def get_graph_query(
     store: GraphStore,
     time: Time,
@@ -63,23 +61,30 @@ def get_graph_query(
     node_attributes: list[AttributeIndex] | None = None,
     link_attributes: list[AttributeIndex] | None = None,
     index: AttributeValueIndex | None = None,
+    stats: AttributeStatistics | None = None,
+    plan: QueryPlan | None = None,
 ) -> QueryResult:
     """All nodes matching ``node_predicate`` plus their interconnections.
 
-    When ``index`` is supplied (current-time queries only) and the node
-    predicate carries an equality conjunct, candidate nodes come from the
-    inverted index instead of a full scan — the B3 ablation.
+    When ``index`` is supplied (current-time queries only), the plan's
+    access path prunes the candidate set before residual evaluation —
+    the B3 ablation.  ``stats`` feeds the plan's selectivity estimates;
+    a pre-built ``plan`` (from :func:`repro.query.planner.plan_query`
+    with matching arguments) skips re-planning.
     """
     node_attributes = node_attributes or []
     link_attributes = link_attributes or []
 
-    candidates = None
-    if index is not None and time == 0:
-        for conjunct in _equality_conjuncts(node_predicate):
-            hits = index.lookup(conjunct.attribute, conjunct.value)
-            candidates = hits if candidates is None else candidates & hits
-            if not candidates:
-                break
+    indexed = index is not None and time == CURRENT
+    if plan is None:
+        plan = plan_query(node_predicate, store.registry, stats=stats,
+                          indexed=indexed, link_predicate=link_predicate)
+    PLANNER.increment("plans")
+    PLANNER.increment(f"shape_{plan.shape}")
+
+    candidates, probes = plan.fetch_candidates(index if indexed else None)
+    if probes:
+        PLANNER.increment("index_probes", probes)
     if candidates is None:
         node_records = store.live_nodes(time)
     else:
@@ -89,21 +94,31 @@ def get_graph_query(
             if node_index in store.nodes
             and store.nodes[node_index].alive_at(time)
         ]
+        PLANNER.increment(
+            "rows_pruned", max(0, len(store.nodes) - len(node_records)))
+    PLANNER.increment("rows_scanned", len(node_records))
 
     matched: dict[NodeIndex, tuple] = {}
-    for node in node_records:
-        if evaluate(node_predicate, named_attributes(node, store, time)):
-            matched[node.index] = tuple(
-                attribute_values(node, node_attributes, time))
+    for node in batch_filter(node_records, plan.compiled, time):
+        matched[node.index] = tuple(
+            attribute_values(node, node_attributes, time))
+    PLANNER.increment("rows_matched", len(matched))
 
-    links_out: list[tuple[LinkIndex, tuple]] = []
-    for link in store.live_links(time):
-        if link.from_node not in matched or link.to_node not in matched:
-            continue
-        if not evaluate(link_predicate, named_attributes(link, store, time)):
-            continue
-        links_out.append(
-            (link.index, tuple(attribute_values(link, link_attributes, time))))
+    link_compiled = plan.link_compiled
+    if link_compiled is None:
+        # Pre-built plans always carry the link filter; this covers a
+        # direct call that skipped link_predicate at plan time.
+        from repro.query.planner import compile_predicate
+        link_compiled = compile_predicate(link_predicate, store.registry,
+                                          stats)
+    link_records = [
+        link for link in store.live_links(time)
+        if link.from_node in matched and link.to_node in matched
+    ]
+    links_out = [
+        (link.index, tuple(attribute_values(link, link_attributes, time)))
+        for link in batch_filter(link_records, link_compiled, time)
+    ]
 
     nodes_out = tuple(sorted(matched.items()))
     return QueryResult(nodes_out, tuple(links_out))

@@ -8,6 +8,18 @@ to the set of node indexes currently carrying that pair, turning the
 ``getGraphQuery`` full scan into a set intersection for equality
 conjuncts.
 
+Beyond plain equality postings, the index keeps *sorted* views of every
+attribute's distinct values — one list ordered numerically (values that
+parse as numbers) and one ordered lexicographically (values that do
+not) — so the query planner can answer **range** predicates
+(``revision > 9``) and **presence** probes (``exists icon``, and the
+attribute-carrying superset behind ``!=``) by bisecting the value lists
+and unioning a handful of posting sets instead of scanning every live
+node.  The two-list split mirrors the evaluator's comparison semantics
+exactly (numeric when both sides parse as numbers, lexicographic
+otherwise), which is what lets the planner trust a range probe as a
+superset of the true matches.
+
 The index reflects *current* attribute state only — as-of-time queries
 fall back to the scan (indexing every historical state would cost more
 than it saves for the paper's workloads).  Benchmark B3 measures exactly
@@ -17,10 +29,19 @@ this scan-versus-index trade-off.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left, bisect_right, insort
 
 from repro.core.types import NodeIndex
+from repro.query.predicate import CompareOp
 
 __all__ = ["AttributeValueIndex"]
+
+
+def _as_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
 
 
 class AttributeValueIndex:
@@ -28,16 +49,21 @@ class AttributeValueIndex:
 
     Thread-safe: commit-time apply mutates the index while lock-free
     snapshot readers may be probing it, so every method holds an
-    internal mutex, and :meth:`lookup` hands out a *copy* of the posting
+    internal mutex, and every lookup hands out a *copy* of the posting
     set — callers may intersect or mutate their result freely without
     corrupting the index.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._postings: dict[tuple[str, str], set[NodeIndex]] = {}
+        #: attribute name → value → posting set.
+        self._postings: dict[str, dict[str, set[NodeIndex]]] = {}
         #: node → {attribute name: value} mirror, to undo stale postings.
         self._current: dict[NodeIndex, dict[str, str]] = {}
+        #: attribute → sorted [(float(value), value)] for numeric values.
+        self._numeric: dict[str, list[tuple[float, str]]] = {}
+        #: attribute → sorted [value] for non-numeric values.
+        self._lexical: dict[str, list[str]] = {}
 
     def set_value(self, node: NodeIndex, attribute: str, value: str) -> None:
         """Record that ``node`` now carries ``attribute = value``."""
@@ -47,7 +73,13 @@ class AttributeValueIndex:
             if old is not None:
                 self._remove_posting(node, attribute, old)
             existing[attribute] = value
-            self._postings.setdefault((attribute, value), set()).add(node)
+            by_value = self._postings.setdefault(attribute, {})
+            postings = by_value.get(value)
+            if postings is None:
+                by_value[value] = {node}
+                self._add_sorted(attribute, value)
+            else:
+                postings.add(node)
 
     def delete_value(self, node: NodeIndex, attribute: str) -> None:
         """Record that ``attribute`` was detached from ``node``."""
@@ -63,22 +95,141 @@ class AttributeValueIndex:
             for attribute, value in self._current.pop(node, {}).items():
                 self._remove_posting(node, attribute, value)
 
+    # ------------------------------------------------------------------
+    # lookups (all return copies)
+
     def lookup(self, attribute: str, value: str) -> set[NodeIndex]:
         """Nodes currently carrying ``attribute = value`` (a copy)."""
         with self._lock:
-            return set(self._postings.get((attribute, value), ()))
+            by_value = self._postings.get(attribute)
+            if by_value is None:
+                return set()
+            return set(by_value.get(value, ()))
+
+    def lookup_present(self, attribute: str) -> set[NodeIndex]:
+        """Nodes currently carrying ``attribute`` with any value.
+
+        The superset probe behind ``exists attribute`` — and behind
+        ``attribute != value``, whose matches always carry the attribute
+        (comparisons on an absent attribute are false).
+        """
+        with self._lock:
+            hits: set[NodeIndex] = set()
+            for postings in self._postings.get(attribute, {}).values():
+                hits.update(postings)
+            return hits
+
+    def lookup_range(self, attribute: str, op: CompareOp,
+                     bound: str) -> set[NodeIndex]:
+        """Nodes whose current ``attribute`` value satisfies ``op bound``.
+
+        Mirrors :func:`repro.query.evaluator._compare` exactly: when
+        ``bound`` parses as a number, numeric stored values compare
+        numerically against it and non-numeric stored values compare as
+        strings; when ``bound`` is not a number, every stored value
+        compares as a string.  The matching distinct values come from
+        bisecting the sorted value lists; their posting sets are
+        unioned.
+        """
+        with self._lock:
+            by_value = self._postings.get(attribute)
+            if not by_value:
+                return set()
+            bound_num = _as_number(bound)
+            matching: list[str] = []
+            numeric = self._numeric.get(attribute, ())
+            lexical = self._lexical.get(attribute, ())
+            if bound_num is not None:
+                lo, hi = self._slice(
+                    numeric, op, bound_num, key=lambda entry: entry[0])
+                matching.extend(value for __, value in numeric[lo:hi])
+                lo, hi = self._slice(lexical, op, bound)
+                matching.extend(lexical[lo:hi])
+            else:
+                # Non-numeric bound: *every* stored value string-compares,
+                # so walk both sorted lists lexicographically.
+                lo, hi = self._slice(lexical, op, bound)
+                matching.extend(lexical[lo:hi])
+                matching.extend(
+                    value for __, value in numeric
+                    if _string_compare(op, value, bound))
+            hits: set[NodeIndex] = set()
+            for value in matching:
+                hits.update(by_value.get(value, ()))
+            return hits
+
+    @staticmethod
+    def _slice(ordered, op: CompareOp, bound, key=None) -> tuple[int, int]:
+        """[lo, hi) slice of a sorted list matching ``value op bound``."""
+        if op is CompareOp.LT:
+            return 0, bisect_left(ordered, bound, key=key)
+        if op is CompareOp.LE:
+            return 0, bisect_right(ordered, bound, key=key)
+        if op is CompareOp.GT:
+            return bisect_right(ordered, bound, key=key), len(ordered)
+        if op is CompareOp.GE:
+            return bisect_left(ordered, bound, key=key), len(ordered)
+        raise ValueError(f"not a range operator: {op}")
+
+    # ------------------------------------------------------------------
+    # internal maintenance (caller holds the lock)
+
+    def _add_sorted(self, attribute: str, value: str) -> None:
+        number = _as_number(value)
+        if number is not None:
+            insort(self._numeric.setdefault(attribute, []), (number, value))
+        else:
+            insort(self._lexical.setdefault(attribute, []), value)
+
+    def _remove_sorted(self, attribute: str, value: str) -> None:
+        number = _as_number(value)
+        if number is not None:
+            ordered = self._numeric.get(attribute)
+            if ordered is not None:
+                position = bisect_left(ordered, (number, value))
+                if position < len(ordered) \
+                        and ordered[position] == (number, value):
+                    del ordered[position]
+                if not ordered:
+                    del self._numeric[attribute]
+        else:
+            ordered = self._lexical.get(attribute)
+            if ordered is not None:
+                position = bisect_left(ordered, value)
+                if position < len(ordered) and ordered[position] == value:
+                    del ordered[position]
+                if not ordered:
+                    del self._lexical[attribute]
 
     def _remove_posting(self, node: NodeIndex, attribute: str,
                         value: str) -> None:
-        # Internal: caller holds the lock.
-        postings = self._postings.get((attribute, value))
+        by_value = self._postings.get(attribute)
+        if by_value is None:
+            return
+        postings = by_value.get(value)
         if postings is not None:
             postings.discard(node)
             if not postings:
-                del self._postings[(attribute, value)]
+                del by_value[value]
+                self._remove_sorted(attribute, value)
+                if not by_value:
+                    del self._postings[attribute]
 
     @property
     def posting_count(self) -> int:
         """Number of (attribute, value) keys currently indexed."""
         with self._lock:
-            return len(self._postings)
+            return sum(len(by_value)
+                       for by_value in self._postings.values())
+
+
+def _string_compare(op: CompareOp, left: str, right: str) -> bool:
+    if op is CompareOp.LT:
+        return left < right
+    if op is CompareOp.LE:
+        return left <= right
+    if op is CompareOp.GT:
+        return left > right
+    if op is CompareOp.GE:
+        return left >= right
+    raise ValueError(f"not a range operator: {op}")

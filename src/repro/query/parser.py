@@ -15,6 +15,11 @@ Grammar (lowest to highest precedence)::
 
 Examples from the paper: ``document = requirements``;
 richer forms: ``contentType = "Modula-2 source" and not codeType = procedure``.
+
+Every :class:`~repro.errors.PredicateSyntaxError` raised here names the
+character position and the offending fragment, so a browser user typing
+a predicate into the shell sees *where* the parse failed, not just that
+it did.
 """
 
 from __future__ import annotations
@@ -49,48 +54,60 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+_WHITESPACE_RE = re.compile(r"\s*")
+
 _KEYWORDS = {"and", "or", "not", "true", "false", "exists"}
 
+#: Token: (kind, value, position-in-source).
+_Token = tuple[str, str, int]
 
-def _tokenize(text: str) -> list[tuple[str, str]]:
-    tokens: list[tuple[str, str]] = []
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            remainder = text[position:].strip()
-            if not remainder:
+            start = _WHITESPACE_RE.match(text, position).end()
+            if start >= len(text):
                 break
+            fragment = text[start:start + 10]
+            if text[start] == '"':
+                raise PredicateSyntaxError(
+                    f"unterminated string starting at position {start}: "
+                    f"{text[start:]!r}")
             raise PredicateSyntaxError(
-                f"unexpected character at {position}: {remainder[:10]!r}")
+                f"unexpected character at position {start}: {fragment!r}")
+        start = match.start(1)
         position = match.end()
         for kind in ("op", "lparen", "rparen", "string", "word"):
             value = match.group(kind)
             if value is not None:
                 if kind == "word" and value.lower() in _KEYWORDS:
-                    tokens.append(("keyword", value.lower()))
+                    tokens.append(("keyword", value.lower(), start))
                 else:
-                    tokens.append((kind, value))
+                    tokens.append((kind, value, start))
                 break
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: list[tuple[str, str]], source: str):
+    def __init__(self, tokens: list[_Token], source: str):
         self._tokens = tokens
         self._source = source
         self._position = 0
 
-    def _peek(self) -> tuple[str, str] | None:
+    def _peek(self) -> _Token | None:
         if self._position < len(self._tokens):
             return self._tokens[self._position]
         return None
 
-    def _advance(self) -> tuple[str, str]:
+    def _advance(self, expected: str) -> _Token:
         token = self._peek()
         if token is None:
             raise PredicateSyntaxError(
-                f"unexpected end of predicate: {self._source!r}")
+                f"expected {expected} but the predicate ended at position "
+                f"{len(self._source)}: {self._source!r}")
         self._position += 1
         return token
 
@@ -103,12 +120,19 @@ class _Parser:
         self._position += 1
         return True
 
+    def _fail(self, expected: str, token: _Token) -> PredicateSyntaxError:
+        __, value, position = token
+        return PredicateSyntaxError(
+            f"expected {expected} at position {position}, got {value!r}")
+
     def parse(self) -> Predicate:
         predicate = self._disjunction()
-        if self._peek() is not None:
-            kind, value = self._peek()
+        token = self._peek()
+        if token is not None:
+            __, value, position = token
             raise PredicateSyntaxError(
-                f"trailing input after predicate: {value!r}")
+                f"trailing input after predicate at position {position}: "
+                f"{value!r}")
         return predicate
 
     def _disjunction(self) -> Predicate:
@@ -129,40 +153,39 @@ class _Parser:
         return self._primary()
 
     def _primary(self) -> Predicate:
+        open_paren = self._peek()
         if self._accept("lparen"):
             inner = self._disjunction()
             if not self._accept("rparen"):
                 raise PredicateSyntaxError(
-                    f"missing closing parenthesis in {self._source!r}")
+                    f"missing closing parenthesis for '(' at position "
+                    f"{open_paren[2]} in {self._source!r}")
             return inner
         if self._accept("keyword", "true"):
             return TruePredicate()
         if self._accept("keyword", "false"):
             return FalsePredicate()
         if self._accept("keyword", "exists"):
-            kind, name = self._advance()
-            if kind != "word":
-                raise PredicateSyntaxError(
-                    f"'exists' must be followed by an attribute name, "
-                    f"got {name!r}")
-            return Exists(name)
-        kind, name = self._advance()
-        if kind != "word":
-            raise PredicateSyntaxError(
-                f"expected an attribute name, got {name!r}")
-        kind, op_text = self._advance()
-        if kind != "op":
-            raise PredicateSyntaxError(
-                f"expected a comparison operator after {name!r}, "
-                f"got {op_text!r}")
-        kind, raw_value = self._advance()
+            token = self._advance("an attribute name after 'exists'")
+            if token[0] != "word":
+                raise self._fail("an attribute name after 'exists'", token)
+            return Exists(token[1])
+        token = self._advance("an attribute name")
+        if token[0] != "word":
+            raise self._fail("an attribute name", token)
+        name = token[1]
+        token = self._advance(f"a comparison operator after {name!r}")
+        if token[0] != "op":
+            raise self._fail(f"a comparison operator after {name!r}", token)
+        op_text = token[1]
+        token = self._advance(f"a value after {name!r} {op_text!r}")
+        kind, raw_value, __ = token
         if kind == "string":
             value = _unquote(raw_value)
         elif kind == "word":
             value = raw_value
         else:
-            raise PredicateSyntaxError(
-                f"expected a value after operator, got {raw_value!r}")
+            raise self._fail(f"a value after {name!r} {op_text!r}", token)
         return Comparison(name, CompareOp(op_text), value)
 
 

@@ -1,0 +1,220 @@
+"""Per-attribute cardinality and value-distribution statistics.
+
+The cost-based planner (:mod:`repro.query.planner`) needs to answer
+"how selective is this conjunct?" without touching a single record.
+This module maintains the numbers it asks for: how many nodes carry
+each attribute, how many distinct values the attribute takes, and how
+many nodes carry each specific value.
+
+Statistics are maintained exactly like the inverted index
+(:mod:`repro.query.index`): mutations queue on a transaction's
+write-set and apply at commit, inside the same apply-seqlock bracket
+that publishes the write-set into the shared store — so the stats are
+always consistent with the committed state the live index describes,
+and a snapshot reader that validates the index against its pinned
+apply sequence validates the stats with the same check.
+
+Like the index, statistics describe *current* committed state only.
+As-of-time queries still consult them — a stale selectivity estimate
+only affects evaluation *order*, never correctness, so historical
+plans simply order their residual conjuncts by present-day shape.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.types import NodeIndex
+from repro.query.predicate import CompareOp
+
+__all__ = ["AttributeStatistics", "DEFAULT_EQ_SELECTIVITY",
+           "DEFAULT_RANGE_SELECTIVITY", "DEFAULT_PRESENCE_SELECTIVITY"]
+
+#: Fallback estimates used when no statistics are available (planner
+#: running without stats, or an attribute the stats have never seen a
+#: committed row for in a graph with no tracked rows at all).
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_PRESENCE_SELECTIVITY = 0.5
+
+#: Above this many distinct values, range selectivity is approximated
+#: instead of computed by walking the value distribution.
+_RANGE_WALK_LIMIT = 4096
+
+
+def _as_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+class AttributeStatistics:
+    """Commit-maintained attribute statistics for one graph.
+
+    Mutation API mirrors :class:`repro.query.index.AttributeValueIndex`
+    (``set_value`` / ``delete_value`` / ``drop_node``) so the write-set
+    can feed both sinks from the same queued operations.  Thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: node → {attribute: value} mirror (to undo stale counts).
+        self._current: dict[NodeIndex, dict[str, str]] = {}
+        #: attribute → number of nodes carrying it.
+        self._rows: dict[str, int] = {}
+        #: attribute → value → number of nodes carrying that pair.
+        self._values: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # maintenance (same surface as AttributeValueIndex)
+
+    def set_value(self, node: NodeIndex, attribute: str, value: str) -> None:
+        with self._lock:
+            existing = self._current.setdefault(node, {})
+            old = existing.get(attribute)
+            if old == value:
+                return
+            if old is not None:
+                self._uncount(attribute, old)
+            else:
+                self._rows[attribute] = self._rows.get(attribute, 0) + 1
+            existing[attribute] = value
+            by_value = self._values.setdefault(attribute, {})
+            by_value[value] = by_value.get(value, 0) + 1
+
+    def delete_value(self, node: NodeIndex, attribute: str) -> None:
+        with self._lock:
+            existing = self._current.get(node, {})
+            old = existing.pop(attribute, None)
+            if old is not None:
+                self._uncount(attribute, old)
+                self._rows[attribute] -= 1
+                if not self._rows[attribute]:
+                    del self._rows[attribute]
+                if not existing:
+                    self._current.pop(node, None)
+
+    def drop_node(self, node: NodeIndex) -> None:
+        with self._lock:
+            for attribute, value in self._current.pop(node, {}).items():
+                self._uncount(attribute, value)
+                self._rows[attribute] -= 1
+                if not self._rows[attribute]:
+                    del self._rows[attribute]
+
+    def _uncount(self, attribute: str, value: str) -> None:
+        by_value = self._values.get(attribute)
+        if by_value is None:
+            return
+        count = by_value.get(value, 0) - 1
+        if count > 0:
+            by_value[value] = count
+        else:
+            by_value.pop(value, None)
+            if not by_value:
+                del self._values[attribute]
+
+    # ------------------------------------------------------------------
+    # cardinalities
+
+    @property
+    def tracked_nodes(self) -> int:
+        """Nodes currently carrying at least one attribute."""
+        with self._lock:
+            return len(self._current)
+
+    def attribute_rows(self, attribute: str) -> int:
+        """Nodes currently carrying ``attribute``."""
+        with self._lock:
+            return self._rows.get(attribute, 0)
+
+    def distinct_values(self, attribute: str) -> int:
+        """Distinct values ``attribute`` currently takes."""
+        with self._lock:
+            return len(self._values.get(attribute, ()))
+
+    def value_count(self, attribute: str, value: str) -> int:
+        """Nodes currently carrying ``attribute = value``."""
+        with self._lock:
+            return self._values.get(attribute, {}).get(value, 0)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every counter (tests, observability)."""
+        with self._lock:
+            return {
+                "tracked_nodes": len(self._current),
+                "rows": dict(self._rows),
+                "values": {attribute: dict(by_value)
+                           for attribute, by_value in self._values.items()},
+            }
+
+    # ------------------------------------------------------------------
+    # selectivity estimates (fractions of the tracked universe)
+
+    def _universe(self) -> int:
+        # Callers hold the lock.  Nodes with zero attributes are invisible
+        # to the stats; they can never match a comparison or exists, so
+        # the attribute-carrying population is the honest denominator for
+        # ordering decisions.
+        return max(len(self._current), 1)
+
+    def eq_selectivity(self, attribute: str, value: str) -> float:
+        """Estimated fraction of rows matching ``attribute = value``."""
+        with self._lock:
+            if attribute not in self._rows:
+                return 0.0 if self._current else DEFAULT_EQ_SELECTIVITY
+            return self._values[attribute].get(value, 0) / self._universe()
+
+    def ne_selectivity(self, attribute: str, value: str) -> float:
+        """Estimated fraction matching ``attribute != value``.
+
+        Matches must carry the attribute (absence is not inequality),
+        so this is the presence fraction minus the equality fraction.
+        """
+        with self._lock:
+            rows = self._rows.get(attribute)
+            if rows is None:
+                return 0.0 if self._current else DEFAULT_PRESENCE_SELECTIVITY
+            equal = self._values[attribute].get(value, 0)
+            return max(rows - equal, 0) / self._universe()
+
+    def presence_selectivity(self, attribute: str) -> float:
+        """Estimated fraction of rows carrying ``attribute`` at all."""
+        with self._lock:
+            rows = self._rows.get(attribute)
+            if rows is None:
+                return 0.0 if self._current else DEFAULT_PRESENCE_SELECTIVITY
+            return rows / self._universe()
+
+    def range_selectivity(self, attribute: str, op: CompareOp,
+                          bound: str) -> float:
+        """Estimated fraction matching ``attribute <op> bound``.
+
+        Computed exactly from the value distribution while it stays
+        small (the common case: attribute domains are tiny next to the
+        node population); approximated as a third of the presence
+        fraction beyond :data:`_RANGE_WALK_LIMIT` distinct values.
+        """
+        with self._lock:
+            rows = self._rows.get(attribute)
+            if rows is None:
+                return 0.0 if self._current else DEFAULT_RANGE_SELECTIVITY
+            by_value = self._values[attribute]
+            universe = self._universe()
+            if len(by_value) > _RANGE_WALK_LIMIT:
+                return (rows / universe) * DEFAULT_RANGE_SELECTIVITY
+            bound_num = _as_number(bound)
+            matching = 0
+            for value, count in by_value.items():
+                value_num = _as_number(value)
+                if bound_num is not None and value_num is not None:
+                    left, right = value_num, bound_num
+                else:
+                    left, right = value, bound
+                if ((op is CompareOp.LT and left < right)
+                        or (op is CompareOp.LE and left <= right)
+                        or (op is CompareOp.GT and left > right)
+                        or (op is CompareOp.GE and left >= right)):
+                    matching += count
+            return matching / universe

@@ -10,6 +10,13 @@ Out-links are followed "ordered by the links' offsets within the node"
 (§3) — the property that makes a hierarchy of sections linearize into
 document order, which is how the document browser and hardcopy extraction
 work (§4.1).
+
+Predicates may arrive either as plain ASTs or pre-compiled
+(:class:`~repro.query.planner.CompiledPredicate`); plain ASTs are
+compiled on entry, so traversal filtering always runs the same
+registry-resolved evaluation as the planned query path — one
+``{attribute index: value}`` lookup per visited entity, no per-row name
+materialization.
 """
 
 from __future__ import annotations
@@ -20,7 +27,6 @@ from repro.core.graph import GraphStore
 from repro.core.link import LinkEnd
 from repro.core.types import AttributeIndex, LinkIndex, NodeIndex, Time
 from repro.errors import VersionError
-from repro.query.evaluator import evaluate
 from repro.query.predicate import Predicate
 
 __all__ = ["linearize_graph", "TraversalResult", "named_attributes"]
@@ -59,6 +65,14 @@ class TraversalResult:
         return [index for index, __ in self.links]
 
 
+def _as_compiled(predicate, store: GraphStore, stats=None):
+    """Accept a plain AST or an already-compiled predicate."""
+    from repro.query.planner import CompiledPredicate, compile_predicate
+    if isinstance(predicate, CompiledPredicate):
+        return predicate
+    return compile_predicate(predicate, store.registry, stats)
+
+
 def linearize_graph(
     store: GraphStore,
     start: NodeIndex,
@@ -67,8 +81,17 @@ def linearize_graph(
     link_predicate: Predicate,
     node_attributes: list[AttributeIndex] | None = None,
     link_attributes: list[AttributeIndex] | None = None,
+    stats=None,
 ) -> TraversalResult:
-    """Depth-first, offset-ordered, predicate-pruned traversal."""
+    """Depth-first, offset-ordered, predicate-pruned traversal.
+
+    ``node_predicate``/``link_predicate`` may be plain predicate ASTs
+    or :class:`~repro.query.planner.CompiledPredicate` instances;
+    ``stats`` (when compiling here) orders conjunct evaluation by
+    estimated selectivity, exactly as the query path does.
+    """
+    node_predicate = _as_compiled(node_predicate, store, stats)
+    link_predicate = _as_compiled(link_predicate, store, stats)
     node_attributes = node_attributes or []
     link_attributes = link_attributes or []
     start_node = store.node(start)
@@ -82,7 +105,7 @@ def linearize_graph(
         node = store.node(index)
         if not node.alive_at(time):
             return False
-        return evaluate(node_predicate, named_attributes(node, store, time))
+        return node_predicate.matches(node.attributes.all_at(time))
 
     def ordered_out_links(index: NodeIndex) -> list[LinkIndex]:
         # Out-links ordered by their attachment offset within this node;
@@ -119,7 +142,7 @@ def linearize_graph(
             stack.pop()
             continue
         link = store.link(link_index)
-        if not evaluate(link_predicate, named_attributes(link, store, time)):
+        if not link_predicate.matches(link.attributes.all_at(time)):
             continue
         target = link.to_node
         if target in visited or not node_admitted(target):

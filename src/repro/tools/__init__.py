@@ -9,23 +9,43 @@
 - :mod:`repro.tools.metrics` — per-operation call counts and latency
   percentiles (plus a trace log), installed as dispatch middleware on
   local HAMs or remote clients.
+
+Submodules are loaded lazily (PEP 562): ``verify``/``stats``/``dump``
+import :class:`repro.core.ham.HAM`, while the core itself imports
+:mod:`repro.tools.metrics` (the planner counters) — eager package
+imports here would close that loop into a cycle.
 """
 
-from repro.tools.verify import verify_graph, Violation
-from repro.tools.stats import (
-    graph_stats,
-    GraphStats,
-    render_resilience,
-    render_wal,
-    resilience_stats,
-    wal_counters,
-    wal_stats,
-)
-from repro.tools.dump import dump_graph, import_graph, load_dump
-from repro.tools.metrics import CounterSet, OperationMetrics, TraceLog
+_EXPORTS = {
+    "verify_graph": "repro.tools.verify",
+    "Violation": "repro.tools.verify",
+    "graph_stats": "repro.tools.stats",
+    "GraphStats": "repro.tools.stats",
+    "render_resilience": "repro.tools.stats",
+    "render_wal": "repro.tools.stats",
+    "resilience_stats": "repro.tools.stats",
+    "wal_counters": "repro.tools.stats",
+    "wal_stats": "repro.tools.stats",
+    "dump_graph": "repro.tools.dump",
+    "import_graph": "repro.tools.dump",
+    "load_dump": "repro.tools.dump",
+    "CounterSet": "repro.tools.metrics",
+    "OperationMetrics": "repro.tools.metrics",
+    "TraceLog": "repro.tools.metrics",
+}
 
-__all__ = ["verify_graph", "Violation", "graph_stats", "GraphStats",
-           "dump_graph", "import_graph", "load_dump",
-           "CounterSet", "OperationMetrics", "TraceLog",
-           "render_resilience", "render_wal", "resilience_stats",
-           "wal_counters", "wal_stats"]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

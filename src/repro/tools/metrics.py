@@ -32,7 +32,7 @@ from time import perf_counter
 from typing import Callable
 
 __all__ = ["CONCURRENCY", "CounterSet", "OperationMetrics", "OperationStats",
-           "RESILIENCE", "SERVER", "TraceLog", "WAL"]
+           "PLANNER", "RESILIENCE", "SERVER", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -114,6 +114,26 @@ CONCURRENCY = CounterSet("lock_waits", "deadlock_victims", "lock_timeouts",
 #: :func:`repro.tools.stats.server_counters`.
 SERVER = CounterSet("accepted", "rejected", "timeouts", "pipelined_depth",
                     "queue_high_water", "paused_reads")
+
+#: Process-wide query-planner counters, incremented by
+#: :mod:`repro.query.graph_query` and :class:`repro.core.ham.HAM`:
+#: ``plans`` (queries planned), per-shape counters (``shape_full_scan``,
+#: ``shape_index_eq``, ``shape_index_range``, ``shape_index_present``,
+#: ``shape_index_intersect``, ``shape_index_union``, ``shape_empty``),
+#: ``index_probes`` (individual posting fetches executed),
+#: ``rows_scanned`` (candidate records the residual evaluator touched),
+#: ``rows_pruned`` (records the access path excluded without reading),
+#: ``rows_matched``, ``fallbacks`` (snapshot queries that had to abandon
+#: the live index because the apply seqlock proved it stale),
+#: ``compiled_traversals`` (``linearizeGraph`` calls run with compiled
+#: predicates), and ``explains``.  Surfaced by
+#: :func:`repro.tools.stats.planner_counters`.
+PLANNER = CounterSet("plans", "shape_full_scan", "shape_index_eq",
+                     "shape_index_range", "shape_index_present",
+                     "shape_index_intersect", "shape_index_union",
+                     "shape_empty", "index_probes", "rows_scanned",
+                     "rows_pruned", "rows_matched", "fallbacks",
+                     "compiled_traversals", "explains")
 
 
 class OperationStats:

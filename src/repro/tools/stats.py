@@ -31,6 +31,12 @@ process-wide :data:`repro.tools.metrics.SERVER` mirror (sessions
 accepted/rejected, idle reaps, backpressure pauses, pipelining
 high-water marks) and :func:`render_server` formats either that or one
 server's ``stats()`` dict.
+
+Query-planner accounting: :func:`planner_counters` snapshots the
+process-wide :data:`repro.tools.metrics.PLANNER` mirror (plans by
+shape, index probes, rows scanned/pruned/matched, seqlock fallbacks)
+and :func:`render_planner` formats it — the numbers behind "did the
+planner actually use the index, and how much did it prune?".
 """
 
 from __future__ import annotations
@@ -40,14 +46,14 @@ from dataclasses import dataclass
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
 from repro.storage.log import WalStats
-from repro.tools.metrics import CONCURRENCY, RESILIENCE, SERVER, WAL
+from repro.tools.metrics import CONCURRENCY, PLANNER, RESILIENCE, SERVER, WAL
 from repro.txn.locks import LockStats
 
 __all__ = ["GraphStats", "concurrency_counters", "graph_stats",
-           "lock_stats", "render_concurrency", "render_resilience",
-           "render_server", "render_wal", "resilience_stats",
-           "server_counters", "snapshot_stats", "wal_counters",
-           "wal_stats"]
+           "lock_stats", "planner_counters", "render_concurrency",
+           "render_planner", "render_resilience", "render_server",
+           "render_wal", "resilience_stats", "server_counters",
+           "snapshot_stats", "wal_counters", "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -214,6 +220,43 @@ def render_server(counters: dict[str, int] | None = None) -> str:
     for extra in ("dispatched", "active_sessions", "workers"):
         if extra in counters:
             rows.append((extra.replace("_", " "), counters[extra]))
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
+
+
+def planner_counters() -> dict[str, int]:
+    """Snapshot of the process-wide query-planner counters.
+
+    ``plans`` counts queries planned and the ``shape_*`` counters split
+    them by chosen access path; ``index_probes`` are individual posting
+    fetches, ``rows_scanned``/``rows_pruned``/``rows_matched`` account
+    for candidate records touched, skipped, and matched, ``fallbacks``
+    counts snapshot queries that abandoned the live index because the
+    apply seqlock proved it stale, ``compiled_traversals`` counts
+    ``linearizeGraph`` calls run with compiled predicates, and
+    ``explains`` counts plan renderings.
+    """
+    return PLANNER.snapshot()
+
+
+def render_planner(counters: dict[str, int] | None = None) -> str:
+    """Human-readable report of the query-planner counters."""
+    counters = planner_counters() if counters is None else counters
+    shapes = [(name[len("shape_"):].replace("_", "-"), value)
+              for name, value in sorted(counters.items())
+              if name.startswith("shape_")]
+    rows = [("plans", counters.get("plans", 0))]
+    rows.extend((f"  shape {shape}", value) for shape, value in shapes)
+    rows.extend([
+        ("index probes", counters.get("index_probes", 0)),
+        ("rows scanned", counters.get("rows_scanned", 0)),
+        ("rows pruned", counters.get("rows_pruned", 0)),
+        ("rows matched", counters.get("rows_matched", 0)),
+        ("seqlock fallbacks", counters.get("fallbacks", 0)),
+        ("compiled traversals", counters.get("compiled_traversals", 0)),
+        ("explains", counters.get("explains", 0)),
+    ])
     width = max(len(label) for label, __ in rows)
     return "\n".join(f"{label.ljust(width)}  {value}"
                      for label, value in rows)

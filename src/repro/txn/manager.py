@@ -200,6 +200,12 @@ class TransactionManager:
         #: Seqlock over commit-apply: odd while a write-set is
         #: publishing, bumped to even when it finishes.
         self._apply_seq = 0
+        #: Upper bound on the newest time any published write-set may
+        #: carry.  The watermark can trail this: a committer may publish
+        #: while an older writer is still in flight, leaving applied
+        #: effects *above* the watermark.  Snapshot readers use this to
+        #: tell whether the live store still equals their pinned time.
+        self._applied_high = clock.now if clock is not None else 0
         #: Set when a commit failed after its blob reached the log: the
         #: in-memory state may now diverge from the durable log, so the
         #: manager refuses new transactions (reopen the graph to
@@ -270,6 +276,20 @@ class TransactionManager:
         """Commit-apply seqlock value (odd = publication in progress)."""
         with self._time_lock:
             return self._apply_seq
+
+    @property
+    def applied_high(self) -> int:
+        """Upper bound on the newest published time.
+
+        ``applied_high <= watermark`` means every published effect is
+        at or below the watermark — the live store *is* the snapshot a
+        reader pinned there.  ``applied_high > watermark`` means some
+        commit published above the watermark (held back by an older
+        in-flight writer), so latest-state reads and pinned reads
+        diverge.
+        """
+        with self._time_lock:
+            return self._applied_high
 
     def assign_time(self, txn: Transaction) -> int:
         """Draw the next logical timestamp for ``txn``'s mutation.
@@ -389,6 +409,12 @@ class TransactionManager:
             finally:
                 with self._time_lock:
                     self._apply_seq += 1
+                    # Conservative bound: every time this write-set
+                    # stamped was drawn from the clock, so nothing
+                    # newer than ``clock.now`` can have been published.
+                    if self.clock is not None:
+                        self._applied_high = max(self._applied_high,
+                                                 self.clock.now)
 
     def finish_abort(self, txn: Transaction) -> None:
         """Discard the write-set and redo buffer, release locks.

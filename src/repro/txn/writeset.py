@@ -28,9 +28,13 @@ and the read paths use:
 - abort is simply dropping the WriteSet: the base store was never
   touched, and no undo machinery runs at all.
 
-Deferred index maintenance rides along: ``AttributeValueIndex`` updates
-queue on the write-set (:meth:`queue_index`) and run inside
-:meth:`apply`, so the index only ever reflects committed state.
+Deferred index maintenance rides along: ``AttributeValueIndex`` and
+``AttributeStatistics`` updates queue on the write-set
+(:meth:`queue_index`) and run inside :meth:`apply` — within the same
+apply-seqlock bracket the transaction manager wraps around publication —
+so both sinks only ever reflect committed state, and a snapshot reader
+that validates one against its pinned apply sequence has validated the
+other.
 """
 
 from __future__ import annotations
@@ -96,7 +100,7 @@ class _OverlayMap:
 class WriteSet:
     """One transaction's private view of (and pending changes to) a store."""
 
-    def __init__(self, base, index=None):
+    def __init__(self, base, index=None, stats=None):
         self.base = base
         self._nodes: dict = {}
         self._links: dict = {}
@@ -106,6 +110,7 @@ class WriteSet:
         self._next_node_index = None
         self._next_link_index = None
         self._index = index
+        self._stats = stats
         self._index_ops: list[tuple] = []
         #: Overlay mappings, for code that addresses the dicts directly.
         self.nodes = _OverlayMap(base.nodes, self._nodes)
@@ -225,8 +230,8 @@ class WriteSet:
     # deferred attribute-index maintenance
 
     def queue_index(self, op: str, *args) -> None:
-        """Queue an ``AttributeValueIndex`` update for commit-apply."""
-        if self._index is not None:
+        """Queue an index/statistics update for commit-apply."""
+        if self._index is not None or self._stats is not None:
             self._index_ops.append((op,) + args)
 
     # ------------------------------------------------------------------
@@ -290,15 +295,19 @@ class WriteSet:
         if self._next_link_index is not None:
             base.next_link_index = max(base.next_link_index,
                                        self._next_link_index)
-        index = self._index
-        if index is not None:
+        # The index and the statistics consume the same queued stream,
+        # inside the same seqlock bracket — they can never disagree
+        # about which commits they have absorbed.
+        sinks = [sink for sink in (self._index, self._stats)
+                 if sink is not None]
+        for sink in sinks:
             for op in self._index_ops:
                 kind = op[0]
                 if kind == "set":
-                    index.set_value(op[1], op[2], op[3])
+                    sink.set_value(op[1], op[2], op[3])
                 elif kind == "delete":
-                    index.delete_value(op[1], op[2])
+                    sink.delete_value(op[1], op[2])
                 elif kind == "drop":
-                    index.drop_node(op[1])
+                    sink.drop_node(op[1])
                 else:  # pragma: no cover - registry invariant
                     raise AssertionError(f"unknown index op {kind!r}")

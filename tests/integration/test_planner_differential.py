@@ -1,0 +1,230 @@
+"""Differential tests: the planner vs a naive reference evaluator.
+
+The reference here deliberately reimplements the seed's query
+semantics — evaluate the full predicate against every live node's
+named attributes, then keep links whose endpoints both matched — so a
+planner bug cannot hide behind shared code.  Every comparison demands
+byte-identical results: same indexes, same order, same projections.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.query.evaluator import evaluate
+from repro.query.graph_query import QueryResult
+from repro.query.parser import parse_predicate
+from repro.query.traversal import named_attributes
+from repro.server import HAMServer, RemoteHAM
+from repro.tools.metrics import PLANNER
+from repro.workloads.generator import GraphShape, build_random_graph
+
+ATTRIBUTES = ("document", "contentType", "status")
+VALUES = [f"value{i}" for i in range(5)] + ["missing-value"]
+OPERATORS = ["=", "!=", "<", "<=", ">", ">="]
+
+
+def naive_query(ham, time, node_text, link_text=None):
+    """The seed's semantics: full scan + naive per-record evaluation."""
+    store = ham.store
+    node_pred = parse_predicate(node_text)
+    link_pred = parse_predicate(link_text)
+    matched = {}
+    for record in store.live_nodes(time):
+        if evaluate(node_pred, named_attributes(record, store, time)):
+            matched[record.index] = ()
+    links = []
+    for link in store.live_links(time):
+        if (link.from_node in matched and link.to_node in matched
+                and evaluate(link_pred,
+                             named_attributes(link, store, time))):
+            links.append((link.index, ()))
+    return QueryResult(tuple(sorted(matched.items())), tuple(links))
+
+
+def random_predicate_text(rng, depth=0):
+    """A random predicate in the shell grammar over the graph's attrs."""
+    roll = rng.random()
+    if depth >= 3 or roll < 0.45:
+        attr = rng.choice(ATTRIBUTES + ("absent",))
+        if rng.random() < 0.15:
+            return f"exists {attr}"
+        op = rng.choice(OPERATORS)
+        return f"{attr} {op} {rng.choice(VALUES)}"
+    if roll < 0.6:
+        return f"not ({random_predicate_text(rng, depth + 1)})"
+    joiner = " and " if roll < 0.8 else " or "
+    arms = [random_predicate_text(rng, depth + 1)
+            for __ in range(rng.randrange(2, 4))]
+    return "(" + joiner.join(arms) + ")"
+
+
+def mutate_graph(ham, nodes, rng):
+    """One round of attribute churn and node deletion."""
+    with ham.begin() as txn:
+        attrs = {name: ham.get_attribute_index(name, txn)
+                 for name in ATTRIBUTES}
+        for __ in range(15):
+            node = rng.choice(nodes)
+            if ham.store.nodes[node].alive_at(0):
+                ham.set_node_attribute_value(
+                    txn, node=node, attribute=rng.choice(list(attrs.values())),
+                    value=rng.choice(VALUES[:-1]))
+    victim = rng.choice(nodes)
+    if ham.store.nodes[victim].alive_at(0):
+        ham.delete_node(node=victim)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_planner_matches_naive_reference_live_and_historical(seed):
+    rng = random.Random(seed)
+    with HAM.ephemeral() as ham:
+        nodes = build_random_graph(ham, GraphShape(nodes=60, seed=seed))
+        times = [ham.now]
+        for __ in range(4):
+            mutate_graph(ham, nodes, rng)
+            times.append(ham.now)
+        for __ in range(40):
+            node_text = random_predicate_text(rng)
+            link_text = (random_predicate_text(rng)
+                         if rng.random() < 0.3 else None)
+            # Live query goes through the index; historical queries go
+            # through the as-of-time scan.  Both must equal the naive
+            # reference exactly.
+            assert ham.get_graph_query(
+                node_predicate=node_text, link_predicate=link_text) == \
+                naive_query(ham, 0, node_text, link_text)
+            as_of = rng.choice(times)
+            assert ham.get_graph_query(
+                time=as_of, node_predicate=node_text,
+                link_predicate=link_text) == \
+                naive_query(ham, as_of, node_text, link_text)
+
+
+def test_planner_matches_naive_reference_over_tcp():
+    rng = random.Random(29)
+    with HAM.ephemeral() as ham:
+        nodes = build_random_graph(ham, GraphShape(nodes=40, seed=29))
+        server = HAMServer(ham).start()
+        try:
+            client = RemoteHAM(*server.address)
+            try:
+                mutate_graph(ham, nodes, rng)
+                for __ in range(15):
+                    node_text = random_predicate_text(rng)
+                    remote = client.get_graph_query(
+                        node_predicate=node_text)
+                    expected = naive_query(ham, 0, node_text)
+                    assert remote.nodes == expected.nodes
+                    assert remote.links == expected.links
+            finally:
+                client.close()
+        finally:
+            server.stop()
+
+
+def test_explain_query_works_over_tcp():
+    with HAM.ephemeral() as ham:
+        build_random_graph(ham, GraphShape(nodes=10, seed=5))
+        server = HAMServer(ham).start()
+        try:
+            client = RemoteHAM(*server.address)
+            try:
+                text = client.explain_query(
+                    node_predicate="document = value0 and status = value1")
+                assert "plan shape=index_intersect" in text
+                assert "eq-probe" in text
+            finally:
+                client.close()
+        finally:
+            server.stop()
+
+
+def test_seqlock_fallback_yields_the_pinned_snapshot():
+    """A commit between pin and query forces the pinned-time scan."""
+    with HAM.ephemeral() as ham:
+        nodes = build_random_graph(ham, GraphShape(nodes=30, seed=13))
+        reader = ham.begin(read_only=True)
+        pinned = reader.watermark
+        expected = naive_query(ham, pinned, "document = value0")
+
+        # An outside commit advances the apply seqlock past the pin.
+        with ham.begin() as txn:
+            doc = ham.get_attribute_index("document", txn)
+            ham.set_node_attribute_value(txn, node=nodes[0], attribute=doc,
+                                         value="value0")
+
+        before = PLANNER.snapshot()["fallbacks"]
+        result = ham.get_graph_query(node_predicate="document = value0",
+                                     txn=reader)
+        reader.commit()
+        assert PLANNER.snapshot()["fallbacks"] == before + 1
+        # The pinned reader must NOT see the outside commit.
+        assert result == expected
+
+
+def test_fresh_readonly_snapshot_uses_the_index_without_fallback():
+    with HAM.ephemeral() as ham:
+        build_random_graph(ham, GraphShape(nodes=30, seed=13))
+        reader = ham.begin(read_only=True)
+        before = PLANNER.snapshot()
+        result = ham.get_graph_query(node_predicate="document = value0",
+                                     txn=reader)
+        reader.commit()
+        after = PLANNER.snapshot()
+        assert after["fallbacks"] == before["fallbacks"]
+        assert after["shape_index_eq"] == before["shape_index_eq"] + 1
+        assert result == naive_query(ham, 0, "document = value0")
+
+
+def test_planner_consistent_under_concurrent_writers():
+    """Readers racing writers stay snapshot-consistent.
+
+    Each reader pins a read-only transaction, computes what its pinned
+    watermark should see, queries (racing commits may or may not force
+    the seqlock fallback), and demands the pinned answer either way.
+    """
+    with HAM.ephemeral() as ham:
+        nodes = build_random_graph(ham, GraphShape(nodes=50, seed=41))
+        stop = threading.Event()
+        failures = []
+
+        def writer(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                try:
+                    with ham.begin() as txn:
+                        doc = ham.get_attribute_index("document", txn)
+                        ham.set_node_attribute_value(
+                            txn, node=rng.choice(nodes), attribute=doc,
+                            value=rng.choice(VALUES[:-1]))
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer, args=(seed,))
+                   for seed in (1, 2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_no in range(30):
+                reader = ham.begin(read_only=True)
+                try:
+                    pinned = reader.watermark
+                    expected = naive_query(
+                        ham, pinned,
+                        "document = value0 or document = value1")
+                    result = ham.get_graph_query(
+                        node_predicate=(
+                            "document = value0 or document = value1"),
+                        txn=reader)
+                finally:
+                    reader.commit()
+                assert result == expected, f"round {round_no} diverged"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures

@@ -1,0 +1,183 @@
+"""Tests for commit-maintained attribute statistics."""
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.query.predicate import CompareOp
+from repro.query.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_PRESENCE_SELECTIVITY,
+    AttributeStatistics,
+)
+
+
+class TestMaintenance:
+    def test_set_counts_rows_and_values(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "document", "spec")
+        stats.set_value(2, "document", "spec")
+        stats.set_value(3, "document", "plan")
+        assert stats.tracked_nodes == 3
+        assert stats.attribute_rows("document") == 3
+        assert stats.distinct_values("document") == 2
+        assert stats.value_count("document", "spec") == 2
+        assert stats.value_count("document", "plan") == 1
+
+    def test_overwrite_moves_the_count(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "status", "draft")
+        stats.set_value(1, "status", "final")
+        assert stats.attribute_rows("status") == 1
+        assert stats.value_count("status", "draft") == 0
+        assert stats.value_count("status", "final") == 1
+        assert stats.distinct_values("status") == 1
+
+    def test_same_value_twice_is_idempotent(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "status", "draft")
+        stats.set_value(1, "status", "draft")
+        assert stats.value_count("status", "draft") == 1
+
+    def test_delete_unwinds_everything(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "status", "draft")
+        stats.delete_value(1, "status")
+        assert stats.tracked_nodes == 0
+        assert stats.attribute_rows("status") == 0
+        assert stats.distinct_values("status") == 0
+
+    def test_delete_absent_is_a_no_op(self):
+        stats = AttributeStatistics()
+        stats.delete_value(1, "status")
+        assert stats.snapshot() == {
+            "tracked_nodes": 0, "rows": {}, "values": {}}
+
+    def test_drop_node_unwinds_every_attribute(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "a", "x")
+        stats.set_value(1, "b", "y")
+        stats.set_value(2, "a", "x")
+        stats.drop_node(1)
+        assert stats.tracked_nodes == 1
+        assert stats.attribute_rows("a") == 1
+        assert stats.attribute_rows("b") == 0
+        assert stats.value_count("a", "x") == 1
+
+
+class TestSelectivity:
+    def build(self):
+        stats = AttributeStatistics()
+        for node in range(10):
+            stats.set_value(node, "document", f"doc{node % 5}")
+        for node in range(5):
+            stats.set_value(node, "revision", str(node))
+        return stats
+
+    def test_eq_selectivity_is_exact(self):
+        stats = self.build()
+        assert stats.eq_selectivity("document", "doc0") == pytest.approx(0.2)
+        assert stats.eq_selectivity("document", "missing") == 0.0
+
+    def test_unknown_attribute_is_zero_on_populated_graph(self):
+        stats = self.build()
+        assert stats.eq_selectivity("nope", "x") == 0.0
+        assert stats.presence_selectivity("nope") == 0.0
+
+    def test_empty_stats_fall_back_to_defaults(self):
+        stats = AttributeStatistics()
+        assert stats.eq_selectivity("a", "x") == DEFAULT_EQ_SELECTIVITY
+        assert stats.presence_selectivity("a") == \
+            DEFAULT_PRESENCE_SELECTIVITY
+
+    def test_presence_selectivity(self):
+        stats = self.build()
+        assert stats.presence_selectivity("revision") == pytest.approx(0.5)
+
+    def test_ne_excludes_absent_rows(self):
+        stats = self.build()
+        # 5 rows carry revision; 1 of them is "3".
+        assert stats.ne_selectivity("revision", "3") == pytest.approx(0.4)
+
+    def test_range_selectivity_numeric(self):
+        stats = self.build()
+        # revision values 0..4; > 2 matches 3 and 4 of 10 tracked nodes.
+        assert stats.range_selectivity(
+            "revision", CompareOp.GT, "2") == pytest.approx(0.2)
+        assert stats.range_selectivity(
+            "revision", CompareOp.LE, "0") == pytest.approx(0.1)
+
+    def test_range_selectivity_mixed_lexicographic(self):
+        stats = AttributeStatistics()
+        stats.set_value(1, "rev", "9")
+        stats.set_value(2, "rev", "10")
+        stats.set_value(3, "rev", "abc")
+        # numeric bound: "10" compares numerically (10 > 9), "abc"
+        # lexicographically ("abc" > "9") — both match, "9" does not.
+        assert stats.range_selectivity(
+            "rev", CompareOp.GT, "9") == pytest.approx(2 / 3)
+
+
+class TestCommitTimeVisibility:
+    """Stats change exactly when the index does: at commit, not before."""
+
+    def test_uncommitted_writes_are_invisible(self):
+        ham = HAM.ephemeral()
+        with ham.begin() as setup:
+            doc = ham.get_attribute_index("document", setup)
+            node, __ = ham.add_node(setup)
+            ham.set_node_attribute_value(setup, node=node, attribute=doc,
+                                         value="spec")
+        assert ham._stats.value_count("document", "spec") == 1
+
+        txn = ham.begin()
+        other, __ = ham.add_node(txn)
+        ham.set_node_attribute_value(txn, node=other, attribute=doc,
+                                     value="spec")
+        assert ham._stats.value_count("document", "spec") == 1
+        txn.commit()
+        assert ham._stats.value_count("document", "spec") == 2
+
+    def test_abort_leaves_stats_untouched(self):
+        ham = HAM.ephemeral()
+        with ham.begin() as setup:
+            doc = ham.get_attribute_index("document", setup)
+            node, __ = ham.add_node(setup)
+            ham.set_node_attribute_value(setup, node=node, attribute=doc,
+                                         value="spec")
+        before = ham._stats.snapshot()
+        txn = ham.begin()
+        other, __ = ham.add_node(txn)
+        ham.set_node_attribute_value(txn, node=other, attribute=doc,
+                                     value="plan")
+        txn.abort()
+        assert ham._stats.snapshot() == before
+
+    def test_delete_node_drops_its_rows(self):
+        ham = HAM.ephemeral()
+        with ham.begin() as setup:
+            doc = ham.get_attribute_index("document", setup)
+            node, __ = ham.add_node(setup)
+            ham.set_node_attribute_value(setup, node=node, attribute=doc,
+                                         value="spec")
+        ham.delete_node(node=node)
+        assert ham._stats.value_count("document", "spec") == 0
+        assert ham._stats.tracked_nodes == 0
+
+    def test_stats_track_the_index_state(self):
+        """Index postings and stats counts agree after arbitrary commits."""
+        ham = HAM.ephemeral()
+        with ham.begin() as txn:
+            doc = ham.get_attribute_index("document", txn)
+            nodes = []
+            for i in range(8):
+                node, __ = ham.add_node(txn)
+                ham.set_node_attribute_value(txn, node=node, attribute=doc,
+                                             value=f"doc{i % 3}")
+                nodes.append(node)
+        ham.delete_node(node=nodes[0])
+        with ham.begin() as txn:
+            ham.set_node_attribute_value(txn, node=nodes[1], attribute=doc,
+                                         value="doc2")
+        for value in ("doc0", "doc1", "doc2"):
+            assert (ham._stats.value_count("document", value)
+                    == len(ham._index.lookup("document", value)))

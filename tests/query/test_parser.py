@@ -101,6 +101,51 @@ class TestErrors:
             parse_predicate(text)
 
 
+class TestErrorDiagnostics:
+    """Errors carry the token position and the offending fragment."""
+
+    def fail(self, text):
+        with pytest.raises(PredicateSyntaxError) as excinfo:
+            parse_predicate(text)
+        return str(excinfo.value)
+
+    def test_unterminated_string_names_its_start(self):
+        message = self.fail('a = "abc')
+        assert "unterminated string" in message
+        assert "position 4" in message
+        assert '"abc' in message
+
+    def test_dangling_comparison_reports_the_end(self):
+        message = self.fail("a =")
+        assert "predicate ended at position 3" in message
+        assert "a =" in message
+
+    def test_dangling_and_reports_what_was_expected(self):
+        message = self.fail("a = 1 and")
+        assert "expected an attribute name" in message
+        assert "position 9" in message
+
+    def test_unexpected_token_is_quoted(self):
+        message = self.fail("a = 1 or or b = 2")
+        assert "position 9" in message
+        assert "'or'" in message
+
+    def test_unclosed_paren_names_the_opener(self):
+        message = self.fail("(a = 1")
+        assert "missing closing parenthesis" in message
+        assert "position 0" in message
+
+    def test_trailing_input_names_the_position(self):
+        message = self.fail("a = 1 b = 2")
+        assert "trailing input" in message
+        assert "position 6" in message
+
+    def test_bad_character_shows_the_fragment(self):
+        message = self.fail("a @ 1")
+        assert "unexpected character at position 2" in message
+        assert "@" in message
+
+
 class TestRecordRoundTrip:
     @pytest.mark.parametrize("text", [
         "a = 1",
