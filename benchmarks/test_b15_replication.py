@@ -1,0 +1,241 @@
+"""Experiment B15 — consistency-guaranteed read scale-out via replicas.
+
+The paper positions the HAM as one server shared by every workstation
+running CAD browsers (§2, §6): reads dominate, and the single server's
+write traffic — each commit holding a worker through its fsync — is
+what browsers queue behind.  WAL-shipping replication moves the browse
+load off the primary: replicas replay the shipped commit stream into
+their own MVCC store and serve lock-free snapshot reads at a bounded,
+observable staleness, while the replication-aware router keeps every
+session's guarantees (writes and read-your-writes go to the primary,
+plain browsing spreads over the replica tier).
+
+This experiment races R browser threads against W continuously
+committing editor threads in two topologies over real TCP:
+
+- **primary-only** — every browser session connects to the primary
+  server and competes with the editors for its worker pool;
+- **2-replicas**  — browsers go through :class:`ReplicatedHAM` with
+  two streaming replicas; editors still write to the primary.
+
+The primary server runs a deliberately small worker pool: it models
+the write-saturated shared server the replica tier exists to relieve.
+Rows report aggregate browser transactions/sec plus the editor commits
+that landed meanwhile.  The acceptance bar: two replicas must lift
+aggregate read throughput at least 1.7x over primary-only.
+
+``NEPTUNE_BENCH_QUICK=1`` shrinks the run and relaxes the bar to a
+sanity check (tiny quotas on shared CI boxes are too noisy for a
+strict ratio).
+"""
+
+import os
+import threading
+import time as clock
+
+from conftest import report
+from repro import HAM
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    StaleVersionError,
+)
+from repro.replication.replica import Replica
+from repro.replication.router import ReplicatedHAM
+from repro.server.client import RemoteHAM
+from repro.server.server import HAMServer, ServerConfig
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
+READERS = 4
+WRITERS = 1
+REPLICAS = 2
+HOT_NODES = 4
+READS = 12 if QUICK else 60
+#: The shared server's worker pool: small on purpose (see module doc).
+PRIMARY_WORKERS = 1
+#: Commit group-flush linger (seconds), identical in both topologies.
+#: A committing editor holds its worker through this window (the GIL is
+#: released while it lingers) — exactly the commit-latency shadow that
+#: browsers on the primary queue behind and browsers on replicas skip.
+GROUP_COMMIT_WINDOW = 0.01
+
+RETRYABLE = (StaleVersionError, DeadlockError, LockTimeoutError)
+
+
+def _open(tmp_path, tag):
+    directory = tmp_path / tag
+    project_id, __ = HAM.create_graph(directory)
+    return HAM.open_graph(project_id, directory,
+                          group_commit_window=GROUP_COMMIT_WINDOW)
+
+
+def _populate(ham):
+    attr = ham.get_attribute_index("kind")
+    nodes = []
+    with ham.begin() as txn:
+        for __ in range(HOT_NODES):
+            node, time = ham.add_node(txn)
+            ham.modify_node(txn, node=node, expected_time=time,
+                            contents=b"x" * 2048)
+            ham.set_node_attribute_value(txn, node=node, attribute=attr,
+                                         value="hot")
+            nodes.append(node)
+    return nodes
+
+
+def _await_catchup(ham, replicas, timeout=30.0):
+    target = ham._log.durable_end()
+    deadline = clock.monotonic() + timeout
+    for replica in replicas:
+        while replica.replayed_lsn < target:
+            assert clock.monotonic() < deadline, (
+                f"replica {replica.name} never caught up "
+                f"(failure: {replica.failure!r})")
+            clock.sleep(0.02)
+
+
+def _drive(ham, nodes, make_reader, primary_address):
+    """R browsers race W editors; returns (read txns/sec, commits)."""
+    stop = threading.Event()
+    barrier = threading.Barrier(WRITERS + READERS + 1)
+    failures = []
+    commits = [0] * WRITERS
+
+    def writer(worker_id):
+        session = RemoteHAM(*primary_address, timeout=30.0)
+        try:
+            node = nodes[worker_id % len(nodes)]
+            barrier.wait()
+            while not stop.is_set():
+                try:
+                    with session.begin() as txn:
+                        __, ___, ____, version = session.open_node(
+                            node, txn=txn)
+                        session.modify_node(
+                            txn, node=node, expected_time=version,
+                            contents=b"y" * 2048)
+                    commits[worker_id] += 1
+                except RETRYABLE:
+                    continue
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+        finally:
+            session.close()
+
+    def reader(worker_id):
+        session = make_reader(worker_id)
+        try:
+            barrier.wait()
+            completed = 0
+            while completed < READS:
+                try:
+                    txn = session.begin(read_only=True)
+                    try:
+                        for node in nodes:
+                            session.open_node(node, txn=txn)
+                    finally:
+                        txn.commit()
+                    completed += 1
+                except RETRYABLE:
+                    continue
+        except BaseException as exc:
+            failures.append(exc)
+        finally:
+            session.close()
+
+    pool = ([threading.Thread(target=writer, args=(worker_id,))
+             for worker_id in range(WRITERS)]
+            + [threading.Thread(target=reader, args=(worker_id,))
+               for worker_id in range(READERS)])
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    start = clock.perf_counter()
+    for thread in pool[WRITERS:]:  # the browsers
+        thread.join()
+    elapsed = clock.perf_counter() - start
+    stop.set()
+    for thread in pool[:WRITERS]:
+        thread.join()
+    if failures:
+        raise failures[0]
+    return READERS * READS / elapsed, sum(commits)
+
+
+def test_b15_read_scale_out(tmp_path):
+    results = {}
+
+    # -- topology 1: every browser session hits the primary -----------
+    ham = _open(tmp_path, "primary-only")
+    nodes = _populate(ham)
+    server = HAMServer(ham, config=ServerConfig(workers=PRIMARY_WORKERS))
+    server.start()
+    try:
+        results["primary-only"] = _drive(
+            ham, nodes,
+            lambda __: RemoteHAM(*server.address, timeout=30.0),
+            server.address)
+    finally:
+        server.stop(disconnect_clients=True)
+        ham.close()
+
+    # -- topology 2: browsers spread over two streaming replicas ------
+    ham = _open(tmp_path, "scale-out")
+    nodes = _populate(ham)
+    # A primary with subscribers provisions one worker per replica: a
+    # caught-up replica's long-poll fetch parks on a worker, and that
+    # capacity must not come out of the client-facing pool.
+    server = HAMServer(ham, config=ServerConfig(
+        workers=PRIMARY_WORKERS + REPLICAS))
+    server.start()
+    replicas, replica_servers = [], []
+    try:
+        for n in range(REPLICAS):
+            source = RemoteHAM(*server.address, timeout=30.0)
+            replica = Replica(source, tmp_path / f"replica-{n}",
+                              name=f"r{n}", poll_wait=0.5)
+            replicas.append(replica)
+            replica_servers.append(HAMServer(replica.ham).start())
+        _await_catchup(ham, replicas)
+        replica_addresses = tuple(s.address for s in replica_servers)
+
+        def scale_out_reader(worker_id):
+            # Bounded staleness, no per-session writes: plain browsing.
+            return ReplicatedHAM(server.address, replica_addresses,
+                                 read_your_writes=False,
+                                 staleness_budget=None,
+                                 timeout=30.0)
+
+        results["2-replicas"] = _drive(ham, nodes, scale_out_reader,
+                                       server.address)
+    finally:
+        for s in replica_servers:
+            s.stop(disconnect_clients=True)
+        for replica in replicas:
+            try:
+                replica.close()
+            except Exception:
+                pass
+        server.stop(disconnect_clients=True)
+        ham.close()
+
+    ratio = results["2-replicas"][0] / results["primary-only"][0]
+    rows = [f"{'topology':<14} {'readers':>7} {'read txns':>9} "
+            f"{'reads/s':>9} {'commits':>9}"]
+    for topology in ("primary-only", "2-replicas"):
+        rate, commits = results[topology]
+        rows.append(f"{topology:<14} {READERS:>7} {READERS * READS:>9} "
+                    f"{rate:>9.0f} {commits:>9}")
+    rows.append(f"scale-out ratio: {ratio:.2f}x "
+                f"(primary workers={PRIMARY_WORKERS})")
+    report(f"B15  read scale-out via WAL-shipping replicas "
+           f"({READS} read txns/browser)", rows)
+
+    if QUICK:
+        # Smoke bar only: the topology must function, not win big,
+        # on noisy shared CI boxes.
+        assert ratio > 0.5, f"scale-out collapsed: {ratio:.2f}x"
+    else:
+        assert ratio >= 1.7, (
+            f"two replicas lifted aggregate read throughput only "
+            f"{ratio:.2f}x over primary-only (bar: 1.7x)")

@@ -26,6 +26,7 @@ Commands::
     demons                      demon browser
     trail start NODE | follow LINK | back | save NAME | list
     stats                       graph statistics
+    repl                        replication status and counters
     verify                      run the integrity checker
     time                        current graph time
     help                        this text
@@ -197,6 +198,13 @@ class NeptuneShell:
     def _cmd_stats(self, args) -> str:
         from repro.tools.stats import graph_stats
         return graph_stats(self.ham).render()
+
+    def _cmd_repl(self, args) -> str:
+        from repro.tools.stats import render_replication
+        status = self.ham.repl_status()
+        counters = render_replication()
+        return (f"{render_replication(status)}\n"
+                f"-- process-wide counters --\n{counters}")
 
     def _cmd_verify(self, args) -> str:
         from repro.tools.verify import verify_graph

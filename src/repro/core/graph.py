@@ -34,6 +34,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.storage.heap import RecordHeap
+from repro.storage.log import MARK_SUFFIX
 from repro.storage.serializer import decode_value, encode_value
 
 __all__ = ["GraphStore", "GraphDirectory"]
@@ -241,7 +242,8 @@ class GraphDirectory:
             raise GraphNotFoundError(
                 f"{self.directory}: ProjectId does not match "
                 f"(given {project_id}, stored {meta['project']})")
-        for path in (self.meta_path, self.snapshots_path, self.wal_path):
+        for path in (self.meta_path, self.snapshots_path, self.wal_path,
+                     self.wal_path + MARK_SUFFIX):
             if os.path.exists(path):
                 os.remove(path)
 

@@ -55,7 +55,9 @@ from repro.core.types import (
 from repro.errors import (
     GraphNotFoundError,
     NeptuneError,
+    NotPrimaryError,
     RecoveryError,
+    StorageError,
     TransactionError,
     VersionError,
 )
@@ -82,10 +84,16 @@ _GRAPH_RESOURCE = ("graph",)
 class _NullLog:
     """Log stand-in for ephemeral (memory-only) graphs."""
 
+    base_lsn = 0
+    epoch = 0
+
     def append(self, record) -> int:  # noqa: D401 - trivial
         return 0
 
     def append_many(self, records) -> int:
+        return 0
+
+    def append_raw(self, data) -> int:
         return 0
 
     def force(self) -> None:
@@ -94,10 +102,19 @@ class _NullLog:
     def force_up_to(self, lsn: int) -> bool:
         return False
 
+    def durable_end(self) -> int:
+        return 0
+
+    def read_durable(self, from_lsn: int, max_bytes: int = 0) -> bytes:
+        return b""
+
     def stats(self) -> WalStats:
         return WalStats()
 
     def truncate(self) -> None:
+        pass
+
+    def rebase(self, base_lsn: int, epoch: int = 0) -> None:
         pass
 
     def scan(self):
@@ -323,6 +340,15 @@ class HAM:
         self.middleware = MiddlewareChain()
         self._closed = False
         self._state_lock = threading.RLock()
+        #: False on a replica: mutating ``begin`` raises
+        #: :class:`~repro.errors.NotPrimaryError` until promotion.
+        self._accept_writes = True
+        #: Primary-side log shipper, created lazily on the first
+        #: ``repl_subscribe`` (see :mod:`repro.replication.hub`).
+        self._repl_hub = None
+        #: Replica-side applier, attached by
+        #: :class:`repro.replication.replica.Replica`.
+        self._repl_applier = None
         self._index: AttributeValueIndex | None = (
             AttributeValueIndex() if use_attribute_index else None)
         #: Planner statistics ride with the index: both are maintained
@@ -532,6 +558,138 @@ class HAM:
             self._txns.checkpoint(snapshot_marker=snapshot_id)
 
     # ------------------------------------------------------------------
+    # replication (extension operations; see :mod:`repro.replication`)
+
+    @property
+    def accepts_writes(self) -> bool:
+        """False while this graph is a replica (mutations are refused)."""
+        return self._accept_writes
+
+    def _replication_hub(self):
+        """The primary-side log shipper, created on first use."""
+        with self._state_lock:
+            if self._repl_hub is None:
+                from repro.replication.hub import ReplicationHub
+                self._repl_hub = ReplicationHub(self)
+            return self._repl_hub
+
+    def repl_status(self) -> dict:
+        """``replStatus``: role, LSN watermarks, lag, and log epoch."""
+        applier = self._repl_applier
+        if applier is not None:
+            return applier.status()
+        log = self._log
+        durable = log.durable_end()
+        status = {
+            "role": "primary" if self._accept_writes else "replica",
+            "epoch": log.epoch,
+            "base_lsn": log.base_lsn,
+            "end_lsn": self.end_lsn,
+            "durable_lsn": durable,
+            # A primary trivially "replays" its own log as it commits.
+            "replayed_lsn": durable,
+            "lag_bytes": 0,
+            "watermark": self._txns.watermark,
+        }
+        hub = self._repl_hub
+        if hub is not None:
+            status["subscribers"] = hub.subscriber_acks()
+        return status
+
+    @property
+    def end_lsn(self) -> int:
+        """Global LSN one past this graph's last appended log byte."""
+        return (self._log.end_lsn if hasattr(self._log, "end_lsn")
+                else 0)
+
+    def repl_subscribe(self, from_lsn: int, epoch: int,
+                       max_bytes: int = 1 << 20, wait: float = 0.0,
+                       ack: int | None = None,
+                       subscriber: str | None = None) -> dict:
+        """``replSubscribe``: fetch durable log bytes for a replica.
+
+        Long-polls up to ``wait`` seconds when the subscriber is caught
+        up.  ``ack`` reports the subscriber's replayed LSN back to the
+        primary (the semi-sync gate and the lag counters feed on it).
+        An ``epoch`` mismatch, or a cursor outside the durable region,
+        answers ``resync=True``: the subscriber must bootstrap again
+        from :meth:`repl_snapshot`.
+        """
+        return self._replication_hub().fetch(
+            from_lsn, epoch, max_bytes=max_bytes, wait=wait, ack=ack,
+            subscriber=subscriber)
+
+    def repl_snapshot(self) -> dict:
+        """``replSnapshot``: the bootstrap payload for a new replica.
+
+        Serves the snapshot that anchors byte 0 of the current log
+        epoch, so a subscriber that loads it and replays the shipped
+        stream from ``lsn`` reconstructs exactly the primary's durable
+        state — the same contract crash recovery relies on.
+        """
+        if self._directory is None:
+            raise StorageError(
+                "ephemeral graphs cannot be replicated (no durable log)")
+        with self._state_lock:  # excludes a concurrent checkpoint
+            log = self._log
+            anchor = self._epoch_anchor()
+            store = self._directory.load_snapshot(anchor)
+            meta = self._directory.read_meta()
+            from repro.storage.serializer import encode_value
+            return {
+                "snapshot": encode_value(store.to_snapshot()),
+                "lsn": log.base_lsn,
+                "epoch": log.epoch,
+                "project": self._store.project_id,
+                "protections": meta.get("protections"),
+            }
+
+    def _epoch_anchor(self):
+        """Snapshot id anchoring byte 0 of the current log.
+
+        A truncated log opens with the CHECKPOINT record naming its
+        snapshot.  Without one, no checkpoint has truncated this log:
+        the meta pointer still names the anchor — unless the log carries
+        a checkpoint *intent* marker (crash between mark and truncate),
+        in which case recovery may have repaired the meta pointer
+        forward and ``previous`` names the byte-0 anchor.
+        """
+        from repro.storage.log import LogRecordKind
+        saw_intent = False
+        for record in self._log.scan():
+            if record.kind is LogRecordKind.CHECKPOINT:
+                if record.lsn == 0:
+                    return record.payload
+                saw_intent = True
+        meta = self._directory.read_meta()
+        if saw_intent and meta.get("previous") is not None:
+            return meta["previous"]
+        return meta.get("snapshot")
+
+    def repl_promote(self) -> dict:
+        """``replPromote``: make this graph accept writes.
+
+        Idempotent: promoting a primary is a no-op.  On a replica the
+        attached applier drains what it has already fetched, detaches,
+        and the graph starts accepting mutations at the LSN its replay
+        reached — the shipped byte stream guarantees that state equals
+        the dead primary's acknowledged history.
+        """
+        applier = self._repl_applier
+        if applier is not None:
+            applier.promote()
+        with self._state_lock:
+            self._accept_writes = True
+            if self._index is None:
+                # Replicas maintain their index from the shipped stream;
+                # a graph promoted without one rebuilds it now so the
+                # indexed query path works for its new writers.
+                self._index = AttributeValueIndex()
+                self._stats = AttributeStatistics()
+                self._rebuild_index()
+        return self.repl_status()
+
+    # ------------------------------------------------------------------
     # transactions
 
     def begin(self, read_only: bool = False) -> Transaction:
@@ -543,6 +701,10 @@ class HAM:
         """
         if self._closed:
             raise TransactionError("HAM is closed")
+        if not read_only and not self._accept_writes:
+            raise NotPrimaryError(
+                "this graph is a replica: it applies shipped log records "
+                "only; route mutations to the primary")
         txn = self._txns.begin(read_only=read_only)
         if not read_only:
             txn.writeset = WriteSet(self._store, self._index, self._stats)
@@ -554,6 +716,10 @@ class HAM:
         """A single-operation transaction (latest-committed reads)."""
         if self._closed:
             raise TransactionError("HAM is closed")
+        if not read_only and not self._accept_writes:
+            raise NotPrimaryError(
+                "this graph is a replica: it applies shipped log records "
+                "only; route mutations to the primary")
         txn = self._txns.begin(read_only=read_only, auto=True)
         if not read_only:
             txn.writeset = WriteSet(self._store, self._index, self._stats)

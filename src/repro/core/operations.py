@@ -66,8 +66,12 @@ __all__ = [
 #: the hand-written protocol whose ``ping`` returned the bare string
 #: ``"pong"``; version 2 introduced the registry-derived dispatch and
 #: ``call_batch``; version 3 added ``explainQuery`` (plan rendering for
-#: the cost-based query planner).
-PROTOCOL_VERSION = 3
+#: the cost-based query planner); version 4 added the replication
+#: vocabulary (``replSubscribe``/``replStatus``/``replSnapshot``/
+#: ``replPromote``) and changed ``commit`` to return the transaction's
+#: commit LSN (None for read-only transactions) so sessions can carry
+#: read-your-writes watermarks.
+PROTOCOL_VERSION = 4
 
 
 class _Required:
@@ -334,10 +338,12 @@ def _session_begin(session, read_only: bool = False) -> int:
     return transaction.txn_id
 
 
-def _session_commit(session, txn: int) -> None:
+def _session_commit(session, txn: int) -> int | None:
     transaction = session.resolve_txn(txn)
     try:
-        transaction.commit()
+        # The commit LSN travels back to the client: replication-aware
+        # sessions carry it as their read-your-writes watermark.
+        return transaction.commit()
     finally:
         # Drop the table entry even when commit() raises — otherwise the
         # dead transaction lingers in the session table (and its locks
@@ -552,6 +558,33 @@ _register(Operation(
      Param("link_predicate", default=None), _txn_param()),
     IDENTITY,
     doc="Render the access plan ``getGraphQuery`` would use."))
+
+# --- replication ------------------------------------------------------
+# Extension operations (no appendix_name): the log-shipping vocabulary
+# of :mod:`repro.replication`.  All four ride the ordinary protocol, so
+# a replica is just another client of the primary.
+_register(Operation(
+    "repl_status", (), IDENTITY,
+    doc="This graph's replication role, LSN watermarks, and epoch."))
+_register(Operation(
+    "repl_subscribe",
+    (Param("from_lsn"), Param("epoch"),
+     Param("max_bytes", default=1 << 20),
+     Param("wait", default=0.0),
+     Param("ack", default=None),
+     Param("subscriber", default=None)),
+    IDENTITY,
+    doc="Fetch durable log bytes from ``from_lsn`` (long-poll up to "
+        "``wait`` seconds when caught up); ``ack`` reports the "
+        "subscriber's replayed LSN back to the primary."))
+_register(Operation(
+    "repl_snapshot", (), IDENTITY,
+    doc="Bootstrap payload: an encoded store snapshot plus the LSN and "
+        "epoch it covers."))
+_register(Operation(
+    "repl_promote", (), IDENTITY, mutates=True, idempotent=True,
+    doc="Promote this replica to primary (idempotent; a no-op on a "
+        "graph that already accepts writes)."))
 
 
 # ======================================================================

@@ -117,6 +117,27 @@ class RetryableError(NeptuneError):
     """
 
 
+class ReplicaLagError(NeptuneError):
+    """A replica could not serve a read within its staleness budget.
+
+    Raised by a replica (or the replication-aware router) when the
+    replica's replay watermark is too far behind the primary for the
+    configured bounded-staleness budget, or has not yet reached the LSN
+    a read-your-writes session requires.  The read was *rejected*, not
+    answered stale; callers may retry, widen their budget, or fall back
+    to the primary.
+    """
+
+
+class NotPrimaryError(NeptuneError):
+    """A mutation was sent to a replica.
+
+    Replicas apply shipped log records only; they never originate
+    writes.  Routers catch this to re-route the mutation to the current
+    primary (possibly after a promotion they have not yet observed).
+    """
+
+
 class ServerBusyError(NeptuneError):
     """The server refused a new session: its connection cap is reached.
 

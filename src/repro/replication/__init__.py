@@ -1,0 +1,29 @@
+"""WAL-shipping replication (extension; see DESIGN.md).
+
+The primary ships its write-ahead log, byte for byte, to any number of
+replicas; each replica replays the stream through the same redo path
+crash recovery uses and serves MVCC snapshot reads from the result.
+Three pieces:
+
+- :class:`~repro.replication.hub.ReplicationHub` — primary side.  Tails
+  the :class:`~repro.storage.log.WriteAheadLog`, answers
+  ``replSubscribe`` long-polls with framed durable bytes, tracks
+  subscriber acknowledgements, and (optionally) gates commit
+  acknowledgement on a minimum replica count (semi-synchronous mode).
+- :class:`~repro.replication.replica.Replica` — replica side.
+  Bootstraps from ``replSnapshot``, appends the shipped bytes to its
+  own log, applies committed transactions through the write-set
+  publication path, and publishes an advancing replay watermark.
+  :meth:`~repro.replication.replica.Replica.promote` turns the replica
+  into a primary at exactly the state the shipped stream reached.
+- :class:`~repro.replication.router.ReplicatedHAM` — client side.
+  Routes reads to replicas and mutations to the primary with bounded
+  staleness and read-your-writes session guarantees, and fails over to
+  the most-caught-up replica when the primary dies.
+"""
+
+from repro.replication.hub import ReplicationHub
+from repro.replication.replica import Replica
+from repro.replication.router import ReplicaEndpoint, ReplicatedHAM
+
+__all__ = ["ReplicationHub", "Replica", "ReplicaEndpoint", "ReplicatedHAM"]

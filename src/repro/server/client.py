@@ -123,11 +123,22 @@ class RemoteTransaction:
         self.txn_id = txn_id
         self._client = client
         self.finished = False
+        #: Global LSN of this transaction's commit (None until committed,
+        #: and for read-only/no-op commits).  Feeds the session's
+        #: read-your-writes watermark.
+        self.commit_lsn: int | None = None
 
-    def commit(self) -> None:
-        """Commit on the server (durable when the call returns)."""
-        self._client._call("commit", txn=self.txn_id)
+    def commit(self) -> int | None:
+        """Commit on the server (durable when the call returns).
+
+        Returns the commit's global LSN (None for read-only and no-op
+        transactions) and advances the session's read-your-writes
+        watermark (:attr:`RemoteHAM.last_commit_lsn`).
+        """
+        self.commit_lsn = self._client._call("commit", txn=self.txn_id)
         self.finished = True
+        self._client._note_commit(self.commit_lsn)
+        return self.commit_lsn
 
     def abort(self) -> None:
         """Abort on the server."""
@@ -289,6 +300,10 @@ class RemoteHAM:
         self.middleware = MiddlewareChain()
         #: The server's ping reply ({"protocol": N, ...}) once known.
         self.server_info: dict | None = None
+        #: Highest commit LSN acknowledged to this session — the
+        #: read-your-writes watermark a replication-aware router holds
+        #: replica reads to (see :mod:`repro.replication.router`).
+        self.last_commit_lsn = 0
         with self._lock:
             self._connect_locked()
 
@@ -403,6 +418,11 @@ class RemoteHAM:
                 f"{method}: response does not match request "
                 f"{request_id} (got {response!r})"), sent=True)
         if response.get("ok"):
+            # Mutating replies carry the graph's commit watermark (see
+            # the server's dispatch): advance the session's
+            # read-your-writes watermark so auto-committed operations
+            # are covered, not just explicit ``commit`` calls.
+            self._note_commit(response.get("commit_lsn"))
             return response.get("result")
         _raise_remote(response.get("error") or {})
 
@@ -442,6 +462,11 @@ class RemoteHAM:
                             policy.backoff_base * 2 ** (attempt - 1))
                 delay *= 1 + policy.jitter * self._rng.random()
                 _time.sleep(delay)
+
+    def _note_commit(self, commit_lsn: int | None) -> None:
+        """Advance the session's read-your-writes watermark."""
+        if commit_lsn is not None and commit_lsn > self.last_commit_lsn:
+            self.last_commit_lsn = commit_lsn
 
     def _invoke(self, operation: Operation, wire_params: dict):
         """One registry operation: RPC + result decode, via middleware."""
@@ -747,8 +772,10 @@ class RemotePipeline:
 
     def commit(self, txn: RemoteTransaction) -> PipelineFuture:
         """Commit ``txn``; resolving the future acknowledges durability."""
-        def decode(__):
+        def decode(commit_lsn):
+            txn.commit_lsn = commit_lsn
             txn.finished = True
+            self._client._note_commit(commit_lsn)
         return self._issue("commit", {"txn": _txn_id(txn)}, decode)
 
     def abort(self, txn: RemoteTransaction) -> PipelineFuture:

@@ -219,7 +219,17 @@ class _Session:
         except Exception as exc:  # marshal any failure back to the client
             return {"id": request_id, "ok": False,
                     "error": _marshal_error(exc)}
-        return {"id": request_id, "ok": True, "result": result}
+        reply = {"id": request_id, "ok": True, "result": result}
+        # Mutating methods carry the graph's commit watermark so the
+        # session's read-your-writes guarantee covers auto-committed
+        # operations too (an explicit ``commit`` returns its LSN as the
+        # result; everything else would otherwise leave the session
+        # watermark behind).
+        if request["method"] not in _READ_ONLY:
+            ham = self.bound_ham  # host-level methods have none bound
+            if ham is not None and ham._txns.last_commit_lsn:
+                reply["commit_lsn"] = ham._txns.last_commit_lsn
+        return reply
 
     def _execute(self, method: object, params: object):
         if not isinstance(method, str) or not isinstance(params, dict):

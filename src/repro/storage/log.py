@@ -19,17 +19,46 @@ append lock, so concurrent committers keep appending while the disk head
 is busy.
 
 Recovery reads the log front-to-back.  A truncated or checksum-corrupt
-tail — the signature of a crash mid-write — terminates the scan cleanly
-rather than raising, because everything after the last valid record is by
-construction from unacknowledged work.
+*tail* — the signature of a crash mid-write — terminates the scan cleanly
+rather than raising, because everything after the durability point is by
+construction from unacknowledged work.  Where that point sits cannot be
+inferred from the log bytes alone: group commit lets several committers
+append complete blobs before one shared fsync, so a crash can leave
+valid frames *behind* damaged ones with none of them acknowledged.  The
+log therefore records its durability point in a tiny sidecar file
+(``<path>.mark``): after every fsync the forced watermark is published
+there with a checksum, without an fsync of its own.  The persisted mark
+is thus a *lower bound* of the acknowledged region — it was written only
+after an fsync covering it returned, and losing the mark write merely
+under-reports.  A checksum failure **below** the persisted mark is
+damage to acknowledged history: silently replaying past it would hand
+back a state missing committed work (or, on a replica, one that
+diverges from the primary), so the scanner raises
+:class:`repro.errors.RecoveryError` instead.  At or above the mark the
+damage is a torn tail and the scan stops cleanly.  A missing or
+unreadable sidecar degrades to mark 0 — full tolerance, the pre-sidecar
+behavior.
+
+For replication the log also exposes its durable byte region directly:
+:meth:`WriteAheadLog.durable_end` / :meth:`WriteAheadLog.read_durable`
+let a shipper stream exactly the fsync-covered prefix, and
+:meth:`WriteAheadLog.append_raw` lets a replica ingest shipped frames
+byte-for-byte.  LSNs handed out by the append/force API are *global*:
+``base_lsn + file offset``, where ``base_lsn`` anchors a replica's log in
+the primary's LSN space so promotion preserves LSN continuity.  ``epoch``
+increments whenever :meth:`WriteAheadLog.truncate` resets the offset
+space (checkpoint); a subscriber that observes an epoch change must
+resynchronize from a fresh snapshot rather than keep streaming.
 """
 
 from __future__ import annotations
 
 import enum
 import os
+import struct
 import threading
 import time as _time
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -43,7 +72,34 @@ from repro.storage.serializer import (
 )
 from repro.testing import faults
 
-__all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind", "WalStats"]
+__all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind", "WalStats",
+           "MARK_SUFFIX"]
+
+#: Sidecar next to the log file holding the persisted durability mark.
+MARK_SUFFIX = ".mark"
+
+#: Sidecar format: forced watermark (file offset) + CRC32 of that field.
+_MARK = struct.Struct("<QI")
+
+
+def _read_mark(path: str | os.PathLike) -> int:
+    """Persisted durability mark for the log at ``path`` (0 if absent).
+
+    A short, missing, or checksum-damaged sidecar reads as 0: the mark
+    only ever *adds* protection, so an unreadable one degrades to the
+    tolerate-everything behavior of a log that never had a sidecar.
+    """
+    try:
+        with open(os.fspath(path) + MARK_SUFFIX, "rb") as handle:
+            raw = handle.read(_MARK.size)
+    except OSError:
+        return 0
+    if len(raw) != _MARK.size:
+        return 0
+    value, crc = _MARK.unpack(raw)
+    if zlib.crc32(raw[:8]) != crc:
+        return 0
+    return value
 
 _METRICS = None
 
@@ -151,8 +207,17 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str | os.PathLike,
-                 group_commit_window: float = 0.0):
+                 group_commit_window: float = 0.0, base_lsn: int = 0):
         self._path = os.fspath(path)
+        #: Global-LSN anchor: every LSN this log hands out is
+        #: ``base_lsn + file offset``.  A replica opens its local log
+        #: with ``base_lsn`` set to the primary LSN its bootstrap
+        #: snapshot covered, so shipped bytes land at identical global
+        #: LSNs and promotion keeps the LSN space continuous.
+        self.base_lsn = int(base_lsn)
+        #: Incremented by :meth:`truncate`; an epoch change tells log
+        #: subscribers their cursor offsets are stale (resync needed).
+        self.epoch = 0
         self._lock = threading.Lock()
         #: Signalled whenever a group flush finishes (or the leader dies)
         #: so waiting committers can re-check the forced watermark.
@@ -165,6 +230,16 @@ class WriteAheadLog:
         #: corrupt bytes at or above it — acknowledged records are
         #: already on the medium.
         self._forced = self._end
+        self._mark_fd = os.open(self._path + MARK_SUFFIX,
+                                os.O_RDWR | os.O_CREAT, 0o644)
+        #: The durability point :meth:`scan` judges damage against: the
+        #: mark persisted by the *previous* incarnation, clamped to the
+        #: file (a stale mark beyond a recreated log protects nothing).
+        #: Unlike ``_forced`` — which treats everything that predates
+        #: this open as flushed, for shipping — this only covers bytes
+        #: an fsync *provably* returned for.  Each published mark
+        #: advances it.
+        self._acked_mark = min(_read_mark(self._path), self._end)
         #: True while a leader is inside a group flush.
         self._flushing = False
         #: How long a group-flush leader lingers before capturing the
@@ -191,18 +266,48 @@ class WriteAheadLog:
 
     @property
     def end_lsn(self) -> int:
-        """Byte offset one past the last appended record."""
+        """Global LSN one past the last appended record."""
         with self._lock:
-            return self._end
+            return self.base_lsn + self._end
+
+    def durable_end(self) -> int:
+        """Global LSN one past the last fsync-covered byte.
+
+        Everything below it is on the medium; this is the high bound a
+        log shipper may stream to subscribers (bytes above it could
+        still be lost in a crash, and must never reach a replica ahead
+        of the primary's own durability point).
+        """
+        with self._lock:
+            return self.base_lsn + self._forced
 
     def close(self) -> None:
         """Close the log file descriptor."""
         with self._lock:
             if not self._closed:
                 os.close(self._fd)
+                os.close(self._mark_fd)
                 self._closed = True
             # Waiting committers must not sleep forever on a dead log.
             self._cond.notify_all()
+
+    def _publish_mark_locked(self, value: int, sync: bool = False) -> None:
+        """Persist the durability mark; call with the lock held.
+
+        Runs *after* the fsync whose coverage it records, so a persisted
+        mark is always a lower bound of the acknowledged region — which
+        is why the write itself needs no fsync on the commit path (a
+        lost mark write only under-reports).  ``sync`` forces it down
+        for the shrink-to-zero case: :meth:`truncate`/:meth:`rebase`
+        must never leave an old, larger mark able to resurrect over a
+        restarted offset space.
+        """
+        body = struct.pack("<Q", value)
+        os.pwrite(self._mark_fd, body + struct.pack("<I", zlib.crc32(body)),
+                  0)
+        if sync:
+            os.fsync(self._mark_fd)
+        self._acked_mark = value
 
     def stats(self) -> WalStats:
         """Consistent snapshot of this log's write/flush counters."""
@@ -227,10 +332,10 @@ class WriteAheadLog:
     # writing
 
     def append(self, record: LogRecord) -> int:
-        """Append a record; returns its LSN.  Does not force."""
+        """Append a record; returns its global LSN.  Does not force."""
         framed = pack_record(record.encode())
         with self._lock:
-            return self._write_locked(framed, 1)
+            return self.base_lsn + self._write_locked(framed, 1)
 
     def append_many(self, records: Iterable[LogRecord]) -> int:
         """Append records as one pre-framed blob; one write, one lock.
@@ -239,7 +344,7 @@ class WriteAheadLog:
         (BEGIN, UPDATE*, COMMIT) are framed *outside* the log lock,
         concatenated, and land in a single ``os.write``.  Records of
         concurrent transactions therefore never interleave.  Returns the
-        byte offset one past the blob — the LSN to hand to
+        global LSN one past the blob — the LSN to hand to
         :meth:`force_up_to` as the commit's durability target.
         """
         framed = [pack_record(record.encode()) for record in records]
@@ -248,9 +353,23 @@ class WriteAheadLog:
             if not blob:
                 if self._closed:
                     raise StorageError(f"{self._path}: log is closed")
-                return self._end
+                return self.base_lsn + self._end
             self._write_locked(blob, len(framed))
-            return self._end
+            return self.base_lsn + self._end
+
+    def append_raw(self, data: bytes) -> int:
+        """Append already-framed bytes verbatim; returns the new end LSN.
+
+        The replica ingest path: shipped commit blobs are exactly the
+        primary's framed bytes, so they land here unmodified — replica
+        log content is byte-identical to the primary region it mirrors,
+        and the same recovery scanner replays both.
+        """
+        if not data:
+            return self.end_lsn
+        with self._lock:
+            self._write_locked(bytes(data), 0)
+            return self.base_lsn + self._end
 
     def _write_locked(self, framed: bytes, records: int) -> int:
         """One append write under ``self._lock``; returns the start LSN.
@@ -291,6 +410,7 @@ class WriteAheadLog:
             os.fsync(self._fd)
             self._fsyncs += 1
             self._forced = self._end
+            self._publish_mark_locked(self._forced)
 
     def force_up_to(self, lsn: int) -> bool:
         """Block until every byte below ``lsn`` is durable (group commit).
@@ -317,7 +437,7 @@ class WriteAheadLog:
             self._commit_forces += 1
             _metrics().increment("commit_forces")
             while True:
-                if self._forced >= lsn:
+                if self.base_lsn + self._forced >= lsn:
                     self._absorbed_commits += 1
                     _metrics().increment("absorbed_commits")
                     return False
@@ -342,6 +462,7 @@ class WriteAheadLog:
             with self._cond:
                 if target > self._forced:
                     self._forced = target
+                self._publish_mark_locked(self._forced)
                 self._fsyncs += 1
                 self._group_fsyncs += 1
                 self._bytes_flushed += target - base
@@ -355,32 +476,114 @@ class WriteAheadLog:
                 self._cond.notify_all()
 
     def truncate(self) -> None:
-        """Discard all records (used after a checkpoint)."""
+        """Discard all records (used after a checkpoint).
+
+        Bumps ``epoch``: byte offsets restart at zero, so any subscriber
+        streaming this log must resynchronize from a fresh snapshot.
+        """
         with self._lock:
             if self._closed:
                 raise StorageError(f"{self._path}: log is closed")
+            # Shrink the mark durably *before* the offset space restarts:
+            # a crash in between leaves mark 0 over the old bytes, which
+            # only under-protects.
+            self._publish_mark_locked(0, sync=True)
             os.ftruncate(self._fd, 0)
             os.lseek(self._fd, 0, os.SEEK_SET)
             self._end = 0
             self._forced = 0
+            self.epoch += 1
+
+    def rebase(self, base_lsn: int, epoch: int = 0) -> None:
+        """Empty the log and re-anchor it at global LSN ``base_lsn``.
+
+        A replica resynchronizing from a fresh primary snapshot calls
+        this: the old shipped bytes are discarded and byte 0 now
+        corresponds to the new bootstrap point, adopting the primary's
+        ``epoch`` so subsequent cursors compare directly.
+        """
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            self._publish_mark_locked(0, sync=True)
+            os.ftruncate(self._fd, 0)
+            os.lseek(self._fd, 0, os.SEEK_SET)
+            self._end = 0
+            self._forced = 0
+            self.base_lsn = int(base_lsn)
+            self.epoch = int(epoch)
+
+    def read_durable(self, from_lsn: int, max_bytes: int = 1 << 20) -> bytes:
+        """Raw framed bytes from ``from_lsn`` up to the durable end.
+
+        The shipper's fetch primitive: returns at most ``max_bytes`` of
+        the fsync-covered region starting at global LSN ``from_lsn``
+        (empty when the cursor already sits at the durable end).  A
+        cursor outside the durable region — behind ``base_lsn`` or ahead
+        of the forced watermark — raises :class:`StorageError`; the
+        caller must resynchronize from a snapshot.
+        """
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            offset = from_lsn - self.base_lsn
+            if offset < 0 or offset > self._forced:
+                raise StorageError(
+                    f"{self._path}: lsn {from_lsn} is outside the durable "
+                    f"region [{self.base_lsn}, "
+                    f"{self.base_lsn + self._forced}]")
+            length = min(self._forced - offset, max_bytes)
+            if length <= 0:
+                return b""
+            return os.pread(self._fd, length, offset)
 
     # ------------------------------------------------------------------
     # recovery scan
 
     def scan(self) -> Iterator[LogRecord]:
-        """Yield valid records front-to-back, stopping at a corrupt tail."""
+        """Yield valid records front-to-back.
+
+        Damage is judged against the persisted durability mark (module
+        docstring).  An unparsable frame **at or above** the mark is a
+        torn tail — an incomplete or corrupt artifact of an append that
+        was never acknowledged (group commit lets complete blobs of
+        *other* unacknowledged committers sit behind it; they are
+        dropped with it, all-or-nothing) — and the scan stops cleanly.
+        The same damage **below** the mark sits in a region an fsync
+        provably covered before a commit was acknowledged: replaying
+        past it would silently hand back a state missing committed work
+        (or, on a replica, one that diverges from the primary), so the
+        scan raises :class:`repro.errors.RecoveryError` instead.
+        """
         with self._lock:
             if self._closed:
                 raise StorageError(f"{self._path}: log is closed")
             os.lseek(self._fd, 0, os.SEEK_SET)
             data = os.read(self._fd, self._end)
+            acked = self._acked_mark
+        size = len(data)
         offset = 0
-        while offset < len(data):
-            if offset + RECORD_HEADER.size > len(data):
-                return  # torn header at the tail: crash artifact
-            try:
-                payload, next_offset = unpack_record(data, offset)
-            except (ChecksumError, StorageError):
-                return  # torn or corrupt tail: stop cleanly
+        while offset < size:
+            damage = None
+            if offset + RECORD_HEADER.size > size:
+                damage = "torn header"
+            else:
+                length, _crc = RECORD_HEADER.unpack_from(data, offset)
+                if offset + RECORD_HEADER.size + length > size:
+                    damage = "torn payload"
+            if damage is None:
+                try:
+                    payload, next_offset = unpack_record(data, offset)
+                except ChecksumError:
+                    damage = "checksum mismatch"
+                except StorageError:
+                    damage = "unframeable bytes"
+            if damage is not None:
+                if offset >= acked:
+                    return  # tail past the durability mark: crash debris
+                raise RecoveryError(
+                    f"{self._path}: {damage} at lsn {offset}, below the "
+                    f"durability mark {acked} — corruption of "
+                    "acknowledged history, not a torn tail")
             yield LogRecord.decode(payload, lsn=offset)
             offset = next_offset

@@ -44,10 +44,11 @@ from repro.workloads.crashmix import (
     run_crash_mix,
 )
 
-__all__ = ["CaseResult", "ConcurrentCaseResult", "PipelinedCaseResult",
-           "abandon", "run_concurrent_case", "run_local_case",
-           "run_pipelined_case", "run_remote_case", "verify_invariants",
-           "wal_record_boundaries"]
+__all__ = ["CaseResult", "ConcurrentCaseResult", "FailoverCaseResult",
+           "PipelinedCaseResult", "abandon", "run_concurrent_case",
+           "run_failover_case", "run_local_case", "run_pipelined_case",
+           "run_remote_case", "verify_invariants",
+           "wal_record_boundaries", "FAILOVER_SCENARIOS"]
 
 
 @dataclass
@@ -389,6 +390,323 @@ def run_pipelined_case(directory, point: str = "server.dispatch",
         point=point, action=action, hit=hit, fired=bool(injector.fired),
         acknowledged=len(oracle.committed), unresolved=len(unknown),
         max_depth=max(depths))
+
+
+# ======================================================================
+# replication failover cells
+
+
+FAILOVER_SCENARIOS = ("primary-kill", "replica-kill", "torn-frames",
+                      "bitflip-frames", "promote-during-replay")
+
+
+@dataclass
+class FailoverCaseResult:
+    """Outcome of one replication failover cell."""
+
+    scenario: str
+    seed: int
+    #: True when the armed fault (if any) actually triggered.
+    fired: bool
+    #: Commits acknowledged to the writer before the scenario's fault.
+    acknowledged: int
+    #: Structural fingerprint every surviving graph converged to.
+    fingerprint: str
+
+
+def _staged_failover_commit(ham, oracle: CommitOracle, node: int,
+                            attr: int, seed: int, step: int) -> None:
+    """One acknowledged write transaction, staged through the oracle."""
+    marker = f"failover-s{seed}-c{step}"
+    staged = StagedTxn(step=step, marker=marker)
+    oracle.stage(staged)
+    txn = ham.begin()
+    contents = f"{marker}-body".encode()
+    time = ham.modify_node(txn, node=node,
+                           expected_time=ham.get_node_timestamp(node),
+                           contents=contents)
+    staged.versions.append((node, time, contents))
+    value = f"{marker}-status"
+    ham.set_node_attribute_value(txn, node=node, attribute=attr,
+                                 value=value)
+    staged.attrs.append((node, attr, value, ham.now))
+    txn.commit()
+    oracle.record_commit(step)
+
+
+def _await_replayed(replica, target_lsn: int, timeout: float = 15.0) -> None:
+    """Block until ``replica`` has replayed past ``target_lsn``."""
+    import time as _time
+    deadline = _time.monotonic() + timeout
+    while replica.replayed_lsn < target_lsn:
+        if _time.monotonic() > deadline:
+            raise AssertionError(
+                f"replica {replica.name} stalled at "
+                f"{replica.replayed_lsn} < {target_lsn} "
+                f"(failure: {replica.failure!r})")
+        _time.sleep(0.02)
+
+
+def run_failover_case(directory, scenario: str = "primary-kill",
+                      seed: int = 0, commits: int = 12,
+                      ) -> FailoverCaseResult:
+    """One replication failover cell; asserts the failover contract.
+
+    Every cell drives acknowledged write transactions through a
+    replicated cluster while one well-placed disaster lands, then
+    checks the two replication invariants: **no acknowledged commit is
+    ever lost** (semi-sync acknowledgement means a replica replayed
+    it), and every surviving graph converges to a
+    **fingerprint-identical** state.
+
+    - ``primary-kill``: semi-sync primary with two replicas dies
+      abruptly with a commit racing the kill; the most-caught-up
+      replica is promoted, the survivor re-targets to it, and both must
+      hold every acknowledged commit and agree byte-for-byte.
+    - ``replica-kill``: a :class:`~repro.testing.faults.SimulatedCrash`
+      kills the apply loop mid-replay; a restarted replica re-bootstraps
+      and must converge to the primary's fingerprint.
+    - ``torn-frames`` / ``bitflip-frames``: the ``repl.fetch`` fault
+      damages a shipped chunk in flight; the replica must detect the
+      damage via frame checksums (resync) or torn-tail re-fetch and
+      still converge.
+    - ``promote-during-replay``: the replica is promoted while commits
+      are still streaming; acknowledged commits must all be present on
+      the promoted graph and it must serve as a valid source for a
+      fresh replica.
+    """
+    from repro.replication.replica import Replica
+    from repro.tools.verify import compare_graphs, fingerprint
+
+    if scenario not in FAILOVER_SCENARIOS:
+        raise ValueError(f"unknown failover scenario {scenario!r}")
+    base = os.fspath(directory)
+    path = os.path.join(base, "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    hub = ham._replication_hub()
+    oracle = CommitOracle()
+    with ham.begin() as setup:
+        node, __ = ham.add_node(setup)
+        attr = ham.get_attribute_index("status", setup)
+
+    if scenario == "primary-kill":
+        return _failover_primary_kill(base, ham, hub, oracle, node, attr,
+                                      seed, commits)
+    if scenario == "replica-kill":
+        return _failover_replica_kill(base, ham, oracle, node, attr,
+                                      seed, commits)
+    if scenario in ("torn-frames", "bitflip-frames"):
+        action = "truncate" if scenario == "torn-frames" else "bitflip"
+        return _failover_corrupt_frames(base, ham, oracle, node, attr,
+                                        seed, commits, scenario, action)
+    return _failover_promote_during_replay(base, ham, hub, oracle, node,
+                                           attr, seed, commits)
+
+
+def _failover_primary_kill(base, ham, hub, oracle, node, attr, seed,
+                           commits) -> FailoverCaseResult:
+    from repro.replication.replica import Replica
+    from repro.tools.verify import compare_graphs, fingerprint
+    rep_a = Replica(ham, os.path.join(base, "replica-a"), name="a",
+                    poll_wait=0.5)
+    rep_b = Replica(ham, os.path.join(base, "replica-b"), name="b",
+                    poll_wait=0.5)
+    hub.min_sync = 1
+    hub.sync_timeout = 1.0
+    try:
+        for step in range(commits):
+            _staged_failover_commit(ham, oracle, node, attr, seed, step)
+
+        def racing_commit() -> None:
+            try:
+                _staged_failover_commit(ham, oracle, node, attr, seed,
+                                        commits)
+            except (NeptuneError, OSError):
+                pass  # in flight at the kill: stays in oracle.maybe
+
+        racer = threading.Thread(target=racing_commit, daemon=True)
+        racer.start()
+        abandon(ham)  # the kill: no checkpoint, no goodbye
+        racer.join(timeout=10.0)
+        assert not racer.is_alive(), "commit wedged across primary death"
+
+        promoted = max((rep_a, rep_b), key=lambda rep: rep.replayed_lsn)
+        survivor = rep_b if promoted is rep_a else rep_a
+        promoted.promote()
+        verify_invariants(promoted.ham, oracle)
+        # The survivor re-routes to the promoted primary and catches up
+        # on its existing cursor (same global LSNs, same epoch).
+        survivor.retarget(promoted.ham)
+        for step in range(commits + 10, commits + 13):
+            _staged_failover_commit(promoted.ham, oracle, node, attr,
+                                    seed, step)
+        _await_replayed(survivor, promoted.ham._log.durable_end())
+        verify_invariants(survivor.ham, oracle)
+        mismatch = compare_graphs(promoted.ham, survivor.ham)
+        assert not mismatch, f"divergence after failover: {mismatch}"
+        digest = fingerprint(promoted.ham)
+        return FailoverCaseResult(
+            scenario="primary-kill", seed=seed, fired=True,
+            acknowledged=len(oracle.committed), fingerprint=digest)
+    finally:
+        for rep in (rep_a, rep_b):
+            try:
+                rep.close()
+            except NeptuneError:
+                pass
+
+
+def _failover_replica_kill(base, ham, oracle, node, attr, seed,
+                           commits) -> FailoverCaseResult:
+    from repro.replication.replica import Replica
+    from repro.tools.verify import compare_graphs, fingerprint
+    # Commit the workload first, then arm the fault and let a fresh
+    # replica replay into it: a crash fault is sticky process-wide, so
+    # arming it while the primary still commits would kill the writer
+    # at ``txn.apply`` too — a different cell's scenario.
+    for step in range(commits):
+        _staged_failover_commit(ham, oracle, node, attr, seed, step)
+    hit = max(2, commits // 2)
+    injector = faults.install(faults.FaultPlan(
+        specs=(faults.FaultSpec("repl.apply", "kill", hit=hit),),
+        seed=seed))
+    try:
+        rep = Replica(ham, os.path.join(base, "replica-a"), name="a",
+                      poll_wait=0.05)
+        import time as _time
+        end = _time.monotonic() + 15.0
+        while not injector.fired and _time.monotonic() < end:
+            _time.sleep(0.02)
+        assert injector.fired, "repl.apply fault never triggered"
+        rep._thread.join(timeout=10.0)
+        assert isinstance(rep.failure, faults.SimulatedCrash), (
+            f"expected the apply loop to die on SimulatedCrash, "
+            f"got {rep.failure!r}")
+    finally:
+        faults.uninstall()
+    rep.stop()
+    try:
+        rep.ham.close()
+    except NeptuneError:
+        pass
+    # Restart over the same directory: the replica re-bootstraps from
+    # the primary (a crashed replica's directory is not resumable) and
+    # must converge to an identical graph.
+    restarted = Replica(ham, os.path.join(base, "replica-a"), name="a2",
+                        poll_wait=0.05)
+    try:
+        _await_replayed(restarted, ham._log.durable_end())
+        verify_invariants(restarted.ham, oracle)
+        mismatch = compare_graphs(ham, restarted.ham)
+        assert not mismatch, f"replica diverged after restart: {mismatch}"
+        digest = fingerprint(ham)
+    finally:
+        restarted.close()
+        ham.close()
+    return FailoverCaseResult(
+        scenario="replica-kill", seed=seed, fired=True,
+        acknowledged=len(oracle.committed), fingerprint=digest)
+
+
+def _failover_corrupt_frames(base, ham, oracle, node, attr, seed,
+                             commits, scenario, action,
+                             ) -> FailoverCaseResult:
+    from repro.replication.replica import Replica
+    from repro.tools.verify import compare_graphs, fingerprint
+    injector = faults.install(faults.FaultPlan(
+        specs=(faults.FaultSpec("repl.fetch", action, hit=1),),
+        seed=seed))
+    try:
+        rep = Replica(ham, os.path.join(base, "replica-a"), name="a",
+                      poll_wait=0.05)
+        try:
+            for step in range(commits):
+                _staged_failover_commit(ham, oracle, node, attr, seed,
+                                        step)
+            import time as _time
+            end = _time.monotonic() + 15.0
+            while not injector.fired and _time.monotonic() < end:
+                _time.sleep(0.02)
+            assert injector.fired, f"repl.fetch {action} never triggered"
+        finally:
+            faults.uninstall()
+        _await_replayed(rep, ham._log.durable_end())
+        verify_invariants(rep.ham, oracle)
+        mismatch = compare_graphs(ham, rep.ham)
+        assert not mismatch, (
+            f"replica diverged after {scenario}: {mismatch}")
+        digest = fingerprint(ham)
+    finally:
+        faults.uninstall()
+        try:
+            rep.close()
+        except (NeptuneError, UnboundLocalError):
+            pass
+        ham.close()
+    return FailoverCaseResult(
+        scenario=scenario, seed=seed, fired=True,
+        acknowledged=len(oracle.committed), fingerprint=digest)
+
+
+def _failover_promote_during_replay(base, ham, hub, oracle, node, attr,
+                                    seed, commits) -> FailoverCaseResult:
+    from repro.errors import ReplicaLagError
+    from repro.replication.replica import Replica
+    from repro.tools.verify import compare_graphs, fingerprint
+    rep = Replica(ham, os.path.join(base, "replica-a"), name="a",
+                  poll_wait=0.05)
+    hub.min_sync = 1
+    hub.sync_timeout = 1.0
+    stop = threading.Event()
+
+    def writer() -> None:
+        step = 0
+        while not stop.is_set() and step < commits * 4:
+            try:
+                _staged_failover_commit(ham, oracle, node, attr, seed,
+                                        step)
+            except ReplicaLagError:
+                return  # the replica stopped acking: promotion landed
+            except (NeptuneError, OSError):
+                return
+            step += 1
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    import time as _time
+    end = _time.monotonic() + 15.0
+    while (len(oracle.committed) < max(2, commits // 2)
+           and thread.is_alive() and _time.monotonic() < end):
+        _time.sleep(0.01)
+    rep.promote()  # mid-stream: commits may still be in flight
+    stop.set()
+    thread.join(timeout=15.0)
+    assert not thread.is_alive(), "writer wedged across promotion"
+    abandon(ham)  # the old primary is fenced off
+    try:
+        # Every acknowledged commit must be on the promoted graph: the
+        # semi-sync gate only acked commits this replica replayed.
+        verify_invariants(rep.ham, oracle)
+        # The promoted graph accepts writes and serves as a source.
+        _staged_failover_commit(rep.ham, oracle, node, attr, seed,
+                                commits * 4 + 1)
+        fresh = Replica(rep.ham, os.path.join(base, "replica-b"),
+                        name="b", poll_wait=0.05)
+        try:
+            _await_replayed(fresh, rep.ham._log.durable_end())
+            verify_invariants(fresh.ham, oracle)
+            mismatch = compare_graphs(rep.ham, fresh.ham)
+            assert not mismatch, (
+                f"post-promotion divergence: {mismatch}")
+            digest = fingerprint(rep.ham)
+        finally:
+            fresh.close()
+    finally:
+        rep.close()
+    return FailoverCaseResult(
+        scenario="promote-during-replay", seed=seed, fired=True,
+        acknowledged=len(oracle.committed), fingerprint=digest)
 
 
 # ======================================================================

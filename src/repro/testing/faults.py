@@ -37,6 +37,13 @@ Injection points
 ``txn.apply``              after the commit blob is appended (and any
                            synchronous force paid), before the write-set
                            publishes into the in-memory store
+``repl.ship``              on the primary, before durable log bytes are
+                           served to a replication subscriber
+``repl.fetch``             on a replica, when a fetched chunk arrives —
+                           corruption actions tear or bit-flip the
+                           in-flight chunk (the replica must survive)
+``repl.apply``             on a replica, before a shipped commit group
+                           publishes into the replica's store
 ======================  ================================================
 
 Zero-cost when disabled: call sites guard with
@@ -86,6 +93,9 @@ POINTS = (
     "server.dispatch",
     "session.dispatch",
     "txn.apply",
+    "repl.ship",
+    "repl.fetch",
+    "repl.apply",
 )
 
 #: Supported fault actions.
@@ -196,6 +206,8 @@ class FaultInjector:
         # context the injection point supplied.
         if "sock" in ctx:
             self._corrupt_sock(spec, ctx)
+        elif "buffer" in ctx:
+            self._corrupt_buffer(spec, ctx)
         elif "data" in ctx:
             self._corrupt_pre_write(spec, ctx)
         elif ctx.get("length"):
@@ -260,6 +272,23 @@ class FaultInjector:
             os.close(fd)
         self.crashed = True
         raise SimulatedCrash(spec.point)
+
+    def _corrupt_buffer(self, spec: FaultSpec, ctx: dict) -> None:
+        """Corrupt an in-memory chunk in place (a torn network read).
+
+        Not a process crash, and — unlike every other corruption — not
+        an error either: the damaged chunk is *delivered*, exactly as a
+        torn read would deliver it, and the receiving side must detect
+        the damage itself (frame checksums) and recover.  The injector
+        does not go sticky.
+        """
+        buffer = ctx["buffer"]
+        if len(buffer):
+            if spec.action == "truncate":
+                del buffer[self._rng.randrange(len(buffer)):]
+            else:
+                buffer[self._rng.randrange(len(buffer))] ^= \
+                    1 << self._rng.randrange(8)
 
     def _corrupt_sock(self, spec: FaultSpec, ctx: dict) -> None:
         """Corrupt a wire frame and drop the connection.

@@ -32,7 +32,8 @@ from time import perf_counter
 from typing import Callable
 
 __all__ = ["CONCURRENCY", "CounterSet", "OperationMetrics", "OperationStats",
-           "PLANNER", "RESILIENCE", "SERVER", "TraceLog", "WAL"]
+           "PLANNER", "REPLICATION", "RESILIENCE", "SERVER", "TraceLog",
+           "WAL"]
 
 
 class CounterSet:
@@ -134,6 +135,20 @@ PLANNER = CounterSet("plans", "shape_full_scan", "shape_index_eq",
                      "shape_empty", "index_probes", "rows_scanned",
                      "rows_pruned", "rows_matched", "fallbacks",
                      "compiled_traversals", "explains")
+
+#: Process-wide replication counters, mirrored by every
+#: :class:`repro.replication.hub.ReplicationHub`,
+#: :class:`repro.replication.replica.Replica`, and
+#: :class:`repro.replication.router.ReplicatedHAM` in the process:
+#: ``lag_bytes`` (high-water of durable-minus-acknowledged bytes per
+#: subscriber), ``lag_commits`` (high-water of fetched-but-unapplied
+#: commit groups on a replica), ``replayed_lsn`` (high-water replay
+#: watermark), ``promotions`` (replicas promoted to primary), and
+#: ``stale_rejects`` (replica reads refused or re-routed because the
+#: staleness budget or a session's read-your-writes LSN was not met).
+#: Surfaced by :func:`repro.tools.stats.replication_counters`.
+REPLICATION = CounterSet("lag_bytes", "lag_commits", "replayed_lsn",
+                         "promotions", "stale_rejects")
 
 
 class OperationStats:

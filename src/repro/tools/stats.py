@@ -37,6 +37,13 @@ process-wide :data:`repro.tools.metrics.PLANNER` mirror (plans by
 shape, index probes, rows scanned/pruned/matched, seqlock fallbacks)
 and :func:`render_planner` formats it — the numbers behind "did the
 planner actually use the index, and how much did it prune?".
+
+Replication accounting: :func:`replication_counters` snapshots the
+process-wide :data:`repro.tools.metrics.REPLICATION` mirror (replay
+lag high-water marks, promotions, stale-read rejections) and
+:func:`render_replication` formats either that or one node's
+``replStatus`` dict — the operator's answer to "how far behind are the
+replicas, and has anyone failed over?".
 """
 
 from __future__ import annotations
@@ -46,14 +53,22 @@ from dataclasses import dataclass
 from repro.core.ham import HAM
 from repro.core.types import CURRENT
 from repro.storage.log import WalStats
-from repro.tools.metrics import CONCURRENCY, PLANNER, RESILIENCE, SERVER, WAL
+from repro.tools.metrics import (
+    CONCURRENCY,
+    PLANNER,
+    REPLICATION,
+    RESILIENCE,
+    SERVER,
+    WAL,
+)
 from repro.txn.locks import LockStats
 
 __all__ = ["GraphStats", "concurrency_counters", "graph_stats",
            "lock_stats", "planner_counters", "render_concurrency",
-           "render_planner", "render_resilience", "render_server",
-           "render_wal", "resilience_stats", "server_counters",
-           "snapshot_stats", "wal_counters", "wal_stats"]
+           "render_planner", "render_replication", "render_resilience",
+           "render_server", "render_wal", "replication_counters",
+           "resilience_stats", "server_counters", "snapshot_stats",
+           "wal_counters", "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -257,6 +272,63 @@ def render_planner(counters: dict[str, int] | None = None) -> str:
         ("compiled traversals", counters.get("compiled_traversals", 0)),
         ("explains", counters.get("explains", 0)),
     ])
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
+
+
+def replication_counters() -> dict[str, int]:
+    """Snapshot of the process-wide replication counters.
+
+    ``lag_bytes`` and ``lag_commits`` are high-water marks of how far a
+    replica's replay trailed the primary's durable log end (bytes) and
+    how many transaction groups sat undecided in its reorder buffer;
+    ``replayed_lsn`` is the highest watermark any replica reached;
+    ``promotions`` counts replica-to-primary failovers and
+    ``stale_rejects`` reads the router refused (or re-routed to the
+    primary) because every replica exceeded the staleness budget.
+    """
+    return REPLICATION.snapshot()
+
+
+def render_replication(status: dict | None = None) -> str:
+    """Human-readable replication report.
+
+    Renders the process-wide counters by default; pass one node's
+    ``replStatus`` dict (primary or replica) to report on it alone.
+    """
+    if status is None:
+        counters = replication_counters()
+        rows = [
+            ("lag bytes (high water)", counters.get("lag_bytes", 0)),
+            ("lag commits (high water)", counters.get("lag_commits", 0)),
+            ("replayed lsn (high water)",
+             counters.get("replayed_lsn", 0)),
+            ("promotions", counters.get("promotions", 0)),
+            ("stale reads rejected", counters.get("stale_rejects", 0)),
+        ]
+    else:
+        rows = [
+            ("role", status.get("role", "?")),
+            ("epoch", status.get("epoch", 0)),
+            ("base lsn", status.get("base_lsn", 0)),
+            ("end lsn", status.get("end_lsn", 0)),
+            ("durable lsn", status.get("durable_lsn", 0)),
+            ("replayed lsn", status.get("replayed_lsn", 0)),
+            ("lag bytes", status.get("lag_bytes", 0)),
+            ("commit watermark", status.get("watermark", 0)),
+        ]
+        if status.get("role") == "replica":
+            rows.extend([
+                ("source durable lsn",
+                 status.get("source_durable_lsn", 0)),
+                ("commits applied", status.get("commits_applied", 0)),
+                ("streaming", status.get("streaming", False)),
+            ])
+        else:
+            for name, ack in sorted(
+                    (status.get("subscribers") or {}).items()):
+                rows.append((f"  subscriber {name} acked", ack))
     width = max(len(label) for label, __ in rows)
     return "\n".join(f"{label.ljust(width)}  {value}"
                      for label, value in rows)

@@ -42,7 +42,7 @@ from __future__ import annotations
 import enum
 import threading
 
-from repro.errors import TransactionError
+from repro.errors import ReplicaLagError, TransactionError
 from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
 from repro.testing import faults
 from repro.txn.locks import LockManager, LockMode, _counters
@@ -85,6 +85,10 @@ class Transaction:
         #: single operation (such transactions read latest-committed
         #: state rather than pinning a snapshot).
         self.auto = False
+        #: Global LSN of this transaction's COMMIT blob, set by
+        #: ``commit()`` (None for read-only / no-op transactions).
+        #: Sessions carry it as their read-your-writes watermark.
+        self.commit_lsn: int | None = None
         self._manager = manager
         #: Buffered redo records (BEGIN + UPDATEs), flushed to the WAL
         #: as one blob at commit; discarded wholesale on abort.
@@ -133,11 +137,25 @@ class Transaction:
     # ------------------------------------------------------------------
     # outcome
 
-    def commit(self) -> None:
-        """Make every journaled update durable, publish it, release locks."""
+    def commit(self) -> int | None:
+        """Make every journaled update durable, publish it, release locks.
+
+        Returns the commit's global LSN (None when nothing was logged:
+        read-only and no-op transactions).
+        """
         self._require_active()
-        self._manager.finish_commit(self)
+        try:
+            self.commit_lsn = self._manager.finish_commit(self)
+        except ReplicaLagError:
+            # The semi-sync gate timed out *after* the commit became
+            # durable and published.  The transaction IS committed —
+            # only the acknowledgement is withheld — so record that
+            # before re-raising, or a later abort() would run against
+            # already-published state.
+            self.status = TxnStatus.COMMITTED
+            raise
         self.status = TxnStatus.COMMITTED
+        return self.commit_lsn
 
     def abort(self) -> None:
         """Drop the write-set and redo buffer, release locks."""
@@ -211,6 +229,21 @@ class TransactionManager:
         #: manager refuses new transactions (reopen the graph to
         #: recover).
         self._poisoned = False
+        #: Optional semi-synchronous replication gate: a callable
+        #: ``gate(commit_lsn)`` invoked after a commit is durable *and*
+        #: published, but before it is acknowledged to the caller.  A
+        #: primary's replication hub installs one that blocks until the
+        #: required replicas have replayed past ``commit_lsn`` — which is
+        #: what makes "acknowledged" imply "survives failover".  A gate
+        #: failure does not poison the manager: the commit itself is
+        #: complete; only its acknowledgement is withheld.
+        self.commit_gate = None
+        #: Global LSN of the newest commit blob this manager wrote
+        #: (monotonic).  The server stamps it on mutating-method replies
+        #: so remote sessions can advance their read-your-writes
+        #: watermark even for auto-committed operations, which never see
+        #: an explicit ``commit`` round trip.
+        self.last_commit_lsn = 0
         self._read_only_txns = 0
         self._snapshot_txns = 0
         self._lock_bypasses = 0
@@ -351,7 +384,7 @@ class TransactionManager:
     # ------------------------------------------------------------------
     # outcomes
 
-    def finish_commit(self, txn: Transaction) -> None:
+    def finish_commit(self, txn: Transaction) -> int | None:
         """Flush the redo buffer, force, publish the write-set, release.
 
         The buffered BEGIN + UPDATE records plus a COMMIT record land in
@@ -373,6 +406,7 @@ class TransactionManager:
         refuses until the graph is reopened.
         """
         logged = False
+        commit_lsn = None
         try:
             if not txn.read_only and txn._redo:
                 commit_lsn = self.log.append_many(
@@ -395,6 +429,18 @@ class TransactionManager:
             self.locks.release_all(txn.txn_id)
             with self._lock:
                 self._active.pop(txn.txn_id, None)
+        # Semi-sync acknowledgement gate: runs outside the poisoning
+        # try — the commit is durable and published either way; the
+        # gate only decides when the caller may learn that.  Record the
+        # LSN on the transaction first, so a gate timeout still leaves
+        # the committed transaction knowing where it landed.
+        txn.commit_lsn = commit_lsn
+        if commit_lsn is not None and commit_lsn > self.last_commit_lsn:
+            self.last_commit_lsn = commit_lsn
+        gate = self.commit_gate
+        if gate is not None and commit_lsn is not None:
+            gate(commit_lsn)
+        return commit_lsn
 
     def _publish(self, txn: Transaction) -> None:
         """Apply ``txn``'s write-set to the shared store (serialized)."""
@@ -415,6 +461,63 @@ class TransactionManager:
                     if self.clock is not None:
                         self._applied_high = max(self._applied_high,
                                                  self.clock.now)
+
+    def apply_replicated(self, writeset) -> None:
+        """Publish one replicated commit's write-set (replica side).
+
+        A replica replays shipped commits outside any local transaction:
+        no locks, no redo buffering, no in-flight-writer accounting —
+        the primary already serialized conflicting commits, and log
+        order preserves that serialization.  What *must* be identical to
+        the local commit path is publication: the write-set applies
+        inside the same apply-mutex/seqlock bracket, so the replica's
+        lock-free MVCC readers get exactly the torn-state guarantees
+        they get on a primary.  The watermark advances straight to the
+        clock (there are no in-flight local writers to hold it back),
+        which is the replica's replay watermark made visible to pinned
+        readers.
+        """
+        with self._apply_mutex:
+            with self._time_lock:
+                self._apply_seq += 1  # odd: publication in progress
+            try:
+                writeset.apply()
+            finally:
+                with self._time_lock:
+                    self._apply_seq += 1
+                    now = (self.clock.now if self.clock is not None
+                           else self._watermark)
+                    if now > self._applied_high:
+                        self._applied_high = now
+                    if now > self._watermark:
+                        self._watermark = now
+
+    def resync_base(self, clock, swap) -> None:
+        """Replace the entire base store under the apply seqlock.
+
+        A replica resynchronizing from a fresh snapshot cannot patch its
+        store incrementally — the whole object graph is new.  ``swap``
+        runs inside the same bracket :meth:`apply_replicated` uses, so a
+        concurrent lock-free reader either validates against the old
+        store or retries and sees the new one, never a mixture; the
+        manager adopts the new store's ``clock`` and advances the
+        watermark to it.
+        """
+        with self._apply_mutex:
+            with self._time_lock:
+                self._apply_seq += 1  # odd: publication in progress
+            try:
+                swap()
+            finally:
+                self.clock = clock
+                with self._time_lock:
+                    self._apply_seq += 1
+                    now = (clock.now if clock is not None
+                           else self._watermark)
+                    if now > self._applied_high:
+                        self._applied_high = now
+                    if now > self._watermark:
+                        self._watermark = now
 
     def finish_abort(self, txn: Transaction) -> None:
         """Discard the write-set and redo buffer, release locks.

@@ -6,7 +6,8 @@ import random
 import pytest
 
 from repro import HAM, LinkPt
-from repro.errors import NodeNotFoundError
+from repro.errors import NodeNotFoundError, RecoveryError
+from repro.storage.log import MARK_SUFFIX
 from repro.workloads.trace import EditTrace, generate_versions
 
 
@@ -86,7 +87,7 @@ class TestCrashPoints:
         assert recovered.open_node(nodes[1])[0] == b"winner b\n"
         assert recovered.open_node(nodes[2])[0] == b"node 2\n"
 
-    def test_wal_corruption_mid_file_loses_only_tail(self, tmp_path):
+    def test_wal_corruption_of_acked_history_detected(self, tmp_path):
         project_id, __ = HAM.create_graph(tmp_path / "g")
         ham = HAM.open_graph(project_id, tmp_path / "g")
         first, t1 = ham.add_node()
@@ -95,11 +96,21 @@ class TestCrashPoints:
         second, t2 = ham.add_node()
         ham.modify_node(node=second, expected_time=t2, contents=b"late\n")
         crash(ham)
-        # Corrupt one byte inside the tail region.
+        # Corrupt one byte of the second node's commits.  These were
+        # auto-commits — synchronous, fsynced, acknowledged — so the
+        # durability mark covers them and recovery must surface the
+        # damage instead of silently replaying a prefix missing
+        # committed work.
         wal = os.path.join(str(tmp_path / "g"), "wal.log")
         data = bytearray(open(wal, "rb").read())
         data[tail_start + 12] ^= 0xFF
         open(wal, "wb").write(bytes(data))
+        with pytest.raises(RecoveryError):
+            HAM.open_graph(project_id, tmp_path / "g")
+        # Without the sidecar (a log predating it, or a lost mark) the
+        # scan degrades to the tolerant mode: recover the prefix, lose
+        # the damaged tail.
+        os.remove(wal + MARK_SUFFIX)
         recovered = HAM.open_graph(project_id, tmp_path / "g")
         assert recovered.open_node(first)[0] == b"early\n"
         with pytest.raises(NodeNotFoundError):

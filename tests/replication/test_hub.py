@@ -1,0 +1,136 @@
+"""The log shipper and its semi-synchronous acknowledgement gate."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.errors import ReplicaLagError
+from repro.replication.replica import Replica
+
+
+@pytest.fixture
+def primary(tmp_path):
+    path = tmp_path / "primary"
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    yield ham
+    if not ham._closed:
+        ham.close()
+
+
+class TestFetch:
+    def test_fetch_serves_only_durable_bytes(self, primary):
+        hub = primary._replication_hub()
+        primary.add_node()
+        reply = hub.fetch(from_lsn=0, epoch=0)
+        assert not reply["resync"]
+        assert len(reply["data"]) == reply["next_lsn"]
+        assert reply["durable_lsn"] == primary._log.durable_end()
+        assert reply["next_lsn"] <= reply["durable_lsn"]
+
+    def test_caught_up_fetch_long_polls(self, primary):
+        hub = primary._replication_hub()
+        end = primary._log.durable_end()
+        started = time.monotonic()
+        reply = hub.fetch(from_lsn=end, epoch=0, wait=0.15)
+        elapsed = time.monotonic() - started
+        assert reply["data"] == b""
+        assert elapsed >= 0.1
+
+    def test_commit_wakes_parked_fetch(self, primary):
+        import threading
+        hub = primary._replication_hub()
+        end = primary._log.durable_end()
+        replies = []
+
+        def parked():
+            replies.append(hub.fetch(from_lsn=end, epoch=0, wait=5.0))
+
+        waiter = threading.Thread(target=parked, daemon=True)
+        waiter.start()
+        time.sleep(0.05)
+        primary.add_node()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive(), "fetch stayed parked across a commit"
+        assert replies[0]["data"]  # woke with the new commit's bytes
+
+    def test_stale_epoch_answers_resync(self, primary):
+        hub = primary._replication_hub()
+        primary.add_node()
+        primary.checkpoint()  # truncate: epoch bumps
+        reply = hub.fetch(from_lsn=0, epoch=0)
+        assert reply["resync"]
+        assert reply["epoch"] == primary._log.epoch
+
+    def test_cursor_past_durable_answers_resync(self, primary):
+        hub = primary._replication_hub()
+        reply = hub.fetch(from_lsn=primary._log.durable_end() + 4096,
+                          epoch=0)
+        assert reply["resync"]
+
+    def test_ack_recorded_per_subscriber(self, primary):
+        hub = primary._replication_hub()
+        primary.add_node()
+        hub.fetch(from_lsn=0, epoch=0, ack=17, subscriber="r1")
+        hub.fetch(from_lsn=0, epoch=0, ack=9, subscriber="r1")  # stale
+        assert hub.subscriber_acks() == {"r1": 17}
+
+
+class TestSemiSync:
+    def test_ack_waits_for_replica_replay(self, primary, tmp_path):
+        hub = primary._replication_hub()
+        with Replica(primary, tmp_path / "replica",
+                     poll_wait=0.05) as rep:
+            hub.min_sync = 1
+            hub.sync_timeout = 10.0
+            txn = primary.begin()
+            node, t = primary.add_node(txn)
+            commit_lsn = txn.commit()
+            # The gate held the acknowledgement until the replica
+            # replayed past the commit: no wait needed here.
+            assert rep.replayed_lsn >= commit_lsn
+            assert rep.ham.store.node(node) is not None
+
+    def test_no_replicas_raises_replica_lag_error(self, primary):
+        hub = primary._replication_hub()
+        hub.min_sync = 1
+        hub.sync_timeout = 0.2
+        txn = primary.begin()
+        node, __ = primary.add_node(txn)
+        with pytest.raises(ReplicaLagError):
+            txn.commit()
+        # The commit is durable and published — only the
+        # acknowledgement was withheld.
+        assert txn.commit_lsn is not None
+        assert primary.store.node(node) is not None
+        assert primary._log.durable_end() >= txn.commit_lsn
+
+    def test_lag_error_survives_recovery(self, primary, tmp_path):
+        hub = primary._replication_hub()
+        hub.min_sync = 1
+        hub.sync_timeout = 0.2
+        txn = primary.begin()
+        node, __ = primary.add_node(txn)
+        with pytest.raises(ReplicaLagError):
+            txn.commit()
+        from repro.testing.crashmatrix import abandon
+        project = primary.store.project_id
+        directory = primary._directory.directory
+        abandon(primary)
+        recovered = HAM.open_graph(project, directory)
+        try:
+            # Durable means durable: the unacknowledged-but-committed
+            # transaction survives a crash of the primary.
+            assert recovered.store.node(node) is not None
+        finally:
+            abandon(recovered)
+
+    def test_async_commit_never_blocks(self, primary):
+        hub = primary._replication_hub()
+        hub.min_sync = 0
+        started = time.monotonic()
+        primary.add_node()
+        assert time.monotonic() - started < 1.0

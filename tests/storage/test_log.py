@@ -5,7 +5,13 @@ import threading
 
 import pytest
 
-from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
+from repro.errors import RecoveryError
+from repro.storage.log import (
+    MARK_SUFFIX,
+    LogRecord,
+    LogRecordKind,
+    WriteAheadLog,
+)
 
 
 @pytest.fixture
@@ -163,15 +169,88 @@ class TestTornTail:
             assert [r.kind for r in records] == [
                 LogRecordKind.BEGIN, LogRecordKind.COMMIT]
 
-    def test_corrupt_middle_truncates_scan(self, tmp_path):
+    def test_corrupt_unforced_record_is_a_torn_tail(self, tmp_path):
         path = tmp_path / "wal.log"
         with WriteAheadLog(path) as log:
             log.append(LogRecord(LogRecordKind.BEGIN, 1))
-            second = log.append(LogRecord(LogRecordKind.COMMIT, 1))
             log.force()
+            second = log.append(LogRecord(LogRecordKind.COMMIT, 1))
         data = bytearray(path.read_bytes())
         data[second + 10] ^= 0xFF  # flip a payload byte of record 2
         path.write_bytes(bytes(data))
+        # The damaged frame sits above the durability mark (it was never
+        # forced): indistinguishable from a crash mid-append, so the
+        # scan stops cleanly before it.
         with WriteAheadLog(path) as log:
             records = _records(log)
             assert [r.kind for r in records] == [LogRecordKind.BEGIN]
+
+    def test_corrupt_record_below_durability_mark_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            first = log.append_many([
+                LogRecord(LogRecordKind.BEGIN, 1),
+                LogRecord(LogRecordKind.UPDATE, 1, {"op": "x", "args": {}}),
+                LogRecord(LogRecordKind.COMMIT, 1)])
+            log.append_many([
+                LogRecord(LogRecordKind.BEGIN, 2),
+                LogRecord(LogRecordKind.COMMIT, 2)])
+            log.force()
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF  # flip a payload byte inside blob 1
+        path.write_bytes(bytes(data))
+        assert first > 10
+        # The damaged frame lies below the persisted durability mark: an
+        # fsync provably covered it before commits were acknowledged, so
+        # this is corruption of acknowledged history, not a torn tail —
+        # the scan must refuse to replay past it.
+        with WriteAheadLog(path) as log:
+            with pytest.raises(RecoveryError):
+                _records(log)
+
+    def test_corrupt_unforced_group_is_dropped_whole(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append_many([
+                LogRecord(LogRecordKind.BEGIN, 1),
+                LogRecord(LogRecordKind.COMMIT, 1)])
+            log.force()
+            blob1_end = log.end_lsn
+            log.append_many([
+                LogRecord(LogRecordKind.BEGIN, 2),
+                LogRecord(LogRecordKind.COMMIT, 2)])
+            log.append_many([
+                LogRecord(LogRecordKind.BEGIN, 3),
+                LogRecord(LogRecordKind.COMMIT, 3)])
+        data = bytearray(path.read_bytes())
+        # Damage txn 2's blob: txn 3's complete blob survives behind the
+        # damage, exactly what a crash before the shared group fsync
+        # leaves on disk — several appended blobs, none acknowledged.
+        data[blob1_end + 10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        # Everything above the durability mark is unacknowledged: the
+        # scan stops at the damage and drops the whole group, intact
+        # later blobs included.
+        with WriteAheadLog(path) as log:
+            records = _records(log)
+            assert [r.txn_id for r in records] == [1, 1]
+
+    def test_lost_mark_sidecar_degrades_to_tolerance(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            first = log.append(LogRecord(LogRecordKind.BEGIN, 1))
+            log.append(LogRecord(LogRecordKind.CHECKPOINT, 0))
+            log.force()
+        data = bytearray(path.read_bytes())
+        data[first + 4] ^= 0x01  # flip a CRC byte of record 1
+        path.write_bytes(bytes(data))
+        # Below the mark: acknowledged history is damaged.
+        with WriteAheadLog(path) as log:
+            with pytest.raises(RecoveryError):
+                _records(log)
+        # Without the sidecar (a log that predates it, or a lost mark)
+        # the mark reads as zero and the scan degrades to the tolerant
+        # behavior: stop cleanly, replay the prefix.
+        os.remove(str(path) + MARK_SUFFIX)
+        with WriteAheadLog(path) as log:
+            assert _records(log) == []

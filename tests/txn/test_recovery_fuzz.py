@@ -1,21 +1,31 @@
 """Property-style recovery fuzzing over a real WAL.
 
 Builds a genuine log by running a workload against a persistent graph,
-then checks two properties over *every* byte of the file:
+then checks three properties over *every* byte of the file:
 
 - truncating the log at any offset never makes ``replay_log`` raise,
   and yields a subset of the fully-replayed committed transactions with
   each surviving transaction's updates complete (atomic prefix);
-- flipping any bit inside a record's checksum region makes the scanner
-  stop cleanly at that record, recovering exactly the prefix before it.
+- with the durability-mark sidecar present, flipping any bit inside a
+  record's checksum region either raises ``RecoveryError`` (the frame
+  lies below the persisted mark: acknowledged history must never be
+  silently replayed past) or stops the scanner cleanly at the
+  preceding prefix (the frame lies at or above the mark: a torn,
+  unacknowledged tail);
+- without the sidecar the same flips always degrade to the tolerant
+  clean stop — a mark-less log recovers exactly like the pre-sidecar
+  format.
 """
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
 from repro.core.ham import HAM
-from repro.storage.log import WriteAheadLog
+from repro.errors import RecoveryError
+from repro.storage.log import MARK_SUFFIX, WriteAheadLog, _read_mark
 from repro.storage.serializer import RECORD_HEADER
 from repro.testing.crashmatrix import abandon, wal_record_boundaries
 from repro.txn.recovery import replay_log
@@ -24,7 +34,7 @@ from repro.workloads.crashmix import CommitOracle, CrashMix, run_crash_mix
 
 @pytest.fixture(scope="module")
 def real_wal(tmp_path_factory):
-    """(wal bytes, full replay state, loser txn ids) from a real run."""
+    """(wal bytes, full replay state, wal path) from a real run."""
     root = tmp_path_factory.mktemp("fuzz")
     path = root / "graph"
     project_id, __ = HAM.create_graph(path)
@@ -44,9 +54,22 @@ def real_wal(tmp_path_factory):
     return data, full, wal_path
 
 
-def _replay_bytes(tmp_path, data: bytes):
+def _replay_bytes(tmp_path, data: bytes, mark_source=None):
+    """Replay ``data`` in a fresh directory, optionally with a sidecar.
+
+    ``mark_source`` is the original wal path whose ``.mark`` sidecar to
+    carry along; omitted, the copy recovers mark-less (tolerant mode).
+    """
     path = tmp_path / "wal.log"
     path.write_bytes(data)
+    sidecar = str(path) + MARK_SUFFIX
+    if mark_source is not None:
+        shutil.copyfile(str(mark_source) + MARK_SUFFIX, sidecar)
+    else:
+        # A WriteAheadLog open creates (and a force would update) the
+        # sidecar; scrub leftovers from the previous iteration so each
+        # replay is hermetic.
+        open(sidecar, "wb").close()
     log = WriteAheadLog(path)
     try:
         return replay_log(log)
@@ -78,22 +101,62 @@ def test_truncation_at_every_byte_offset(tmp_path, real_wal):
                 f"cut at {cut}: txn {txn_id} recovered partially")
 
 
-def test_bitflip_in_checksum_region_stops_scan_cleanly(tmp_path, real_wal):
+def test_bitflip_splits_at_the_durability_mark(tmp_path, real_wal):
+    """A CRC flip below the persisted mark raises; above it, torn tail.
+
+    The workload commits synchronously, so the sidecar's mark covers
+    every acknowledged commit blob; only trailing unforced records (late
+    aborts) sit above it.  With the sidecar present, recovery must
+    refuse to replay past damage in the fsync-covered region — that is
+    acknowledged history — while damage above the mark recovers as a
+    clean stop at the preceding prefix.
+    """
     data, __, wal_path = real_wal
+    mark = _read_mark(wal_path)
+    assert 0 < mark <= len(data)
     boundaries = wal_record_boundaries(wal_path)
     assert boundaries
     starts = [0] + boundaries[:-1]
+    # Fsync targets align to append (hence frame) boundaries: the mark
+    # never splits a frame.
+    assert mark in boundaries
     for start, end in zip(starts, boundaries):
-        prefix_state = _replay_bytes(tmp_path, data[:start])
         # The CRC field is bytes [start+4, start+8) of the frame.
         for crc_byte in range(start + 4, start + RECORD_HEADER.size):
             for bit in (0, 7):
                 mutated = bytearray(data)
                 mutated[crc_byte] ^= 1 << bit
-                state = _replay_bytes(tmp_path, bytes(mutated))
-                assert state.committed_txns \
-                    == prefix_state.committed_txns, (
-                        f"flip at byte {crc_byte} of record "
-                        f"[{start},{end}) did not truncate the scan to "
-                        f"the preceding prefix")
-                assert state.updates == prefix_state.updates
+                if start < mark:
+                    with pytest.raises(RecoveryError):
+                        _replay_bytes(tmp_path, bytes(mutated),
+                                      mark_source=wal_path)
+                    continue
+                # Above the mark: unacknowledged tail.  The scan stops
+                # at the damage, so replay equals the undamaged prefix.
+                state = _replay_bytes(tmp_path, bytes(mutated),
+                                      mark_source=wal_path)
+                prefix = _replay_bytes(tmp_path, data[:start])
+                assert state.committed_txns == prefix.committed_txns, (
+                    f"flip at byte {crc_byte} of frame [{start},{end}) "
+                    "above the mark did not truncate the scan to the "
+                    "preceding prefix")
+                assert state.updates == prefix.updates
+
+
+def test_bitflip_without_sidecar_always_tolerated(tmp_path, real_wal):
+    """Mark-less recovery degrades to the tolerant clean stop everywhere.
+
+    One flip per frame (the cross product is covered above) — the point
+    is the mode, not the coverage: without a sidecar no flip may raise,
+    and replay equals the prefix before the damaged frame.
+    """
+    data, __, wal_path = real_wal
+    boundaries = wal_record_boundaries(wal_path)
+    starts = [0] + boundaries[:-1]
+    for start in starts:
+        mutated = bytearray(data)
+        mutated[start + 4] ^= 1  # one CRC bit per frame
+        state = _replay_bytes(tmp_path, bytes(mutated))
+        prefix = _replay_bytes(tmp_path, data[:start])
+        assert state.committed_txns == prefix.committed_txns
+        assert state.updates == prefix.updates
