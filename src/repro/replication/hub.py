@@ -123,7 +123,7 @@ class ReplicationHub:
                 self._acks[subscriber] = ack
                 self._cond.notify_all()
         lag = max(0, self._log.durable_end() - ack)
-        REPLICATION.record_max("lag_bytes", lag)
+        REPLICATION.record("lag_bytes", lag)
 
     def subscriber_acks(self) -> dict[str, int]:
         """Replayed-LSN acknowledgement per known subscriber."""

@@ -215,7 +215,7 @@ class Replica:
             if data:
                 self._ingest(data)
             lag = max(0, self._source_durable - self.replayed_lsn)
-            REPLICATION.record_max("lag_bytes", lag)
+            REPLICATION.record("lag_bytes", lag)
 
     def _ingest(self, data: bytes) -> None:
         chunk = bytearray(data)
@@ -277,7 +277,7 @@ class Replica:
                 self._apply_commit(updates)
             self._commits += 1
         # CHECKPOINT: ignored — see the module docstring.
-        REPLICATION.record_max("lag_commits", len(self._pending))
+        REPLICATION.record("lag_commits", len(self._pending))
         self.replayed_lsn = end_lsn
         REPLICATION.record_max("replayed_lsn", end_lsn)
 
@@ -351,6 +351,18 @@ class Replica:
         with self._apply_lock:
             self.ham._repl_applier = None
             self.ham._txns.resume_after(self._max_txn_id)
+            # The shipped stream can end mid-frame: ingest appends (and
+            # fsyncs) bytes before parsing them, so the local log may
+            # carry a torn frame past the last complete-frame boundary.
+            # Cut it before accepting writes — post-promotion commits
+            # must append after a clean tail, or recovery and
+            # ``repl_snapshot``'s anchor scan would find damage below
+            # the durability mark, and re-shipping the log would feed
+            # surviving replicas a corrupt stream.
+            if self._buffer:
+                self.ham._log.discard_tail(self._parse_lsn)
+                self._buffer = bytearray()
+                self._stream_end = self._parse_lsn
             # Discard in-flight groups whose COMMIT never arrived: they
             # are the unacknowledged tail, exactly what crash recovery
             # would discard.

@@ -263,7 +263,6 @@ class ReplicatedHAM:
         else fall back to the primary (or raise)."""
         need = self._primary.last_commit_lsn if self.read_your_writes else 0
         deadline = _time.monotonic() + self.ryw_timeout
-        refreshed_once = False
         while True:
             candidates = [endpoint for endpoint in self._readers
                           if endpoint.healthy and endpoint.client is not None]
@@ -279,7 +278,6 @@ class ReplicatedHAM:
             # Nobody qualifies on cached state: refresh and re-check.
             for endpoint in candidates:
                 endpoint.refresh()
-            refreshed_once = True
             now = _time.monotonic()
             for offset in range(len(candidates)):
                 endpoint = candidates[
@@ -290,7 +288,11 @@ class ReplicatedHAM:
             if _time.monotonic() >= deadline:
                 break
             _time.sleep(0.02)
-        if refreshed_once or not self._readers:
+        # A stale reject means a replica tier exists but could not serve
+        # this read within its guarantees.  A router configured with no
+        # replicas at all routes every read to the primary by design —
+        # counting those would make the counter useless.
+        if self._readers:
             REPLICATION.increment("stale_rejects")
             self.stale_rejects += 1
         if self.fallback_to_primary or not any(

@@ -74,6 +74,17 @@ _DISPATCH = build_server_dispatch()
 #: not in this set is a scheduling barrier (runs alone, in order).
 _READ_ONLY = read_only_methods()
 
+#: Read-only methods served on a dedicated thread instead of the worker
+#: pool: they long-poll (park until new log bytes appear), and a parked
+#: call would otherwise occupy a bounded pool worker for its whole wait.
+#: A few subscribed replicas plus in-flight semi-sync commit gates could
+#: exhaust the pool — starving the very ack fetches the gates wait on.
+_DETACHED = frozenset({"repl_subscribe"})
+
+#: Cap on concurrent detached long-poll threads; beyond it the calls
+#: fall back to the worker pool rather than spawning without bound.
+_MAX_DETACHED = 64
+
 #: Selector-key markers for the non-session registrations.
 _LISTENER = object()
 _WAKE = object()
@@ -210,25 +221,31 @@ class _Session:
                     "error": {"type": "ProtocolError",
                               "message": "malformed request"}}
         request_id = request.get("id")
+        method = request["method"]
+        # Mutating replies carry the commit LSN *this request* produced
+        # so the session's read-your-writes guarantee covers
+        # auto-committed operations too (an explicit ``commit`` returns
+        # its LSN as the result; everything else would otherwise leave
+        # the session watermark behind).  Only the request's own commits
+        # count: the graph-wide watermark includes other sessions'
+        # commits and would over-advance this session's watermark.
+        captor = None
+        if (isinstance(method, str) and method not in _READ_ONLY
+                and self.bound_ham is not None):
+            captor = self.bound_ham._txns
+            captor.capture_commits()
         try:
             if faults.INJECTOR is not None:
-                faults.fire("server.dispatch",
-                            method=request.get("method"))
-            result = self._execute(request["method"],
-                                   request.get("params") or {})
+                faults.fire("server.dispatch", method=method)
+            result = self._execute(method, request.get("params") or {})
         except Exception as exc:  # marshal any failure back to the client
             return {"id": request_id, "ok": False,
                     "error": _marshal_error(exc)}
         reply = {"id": request_id, "ok": True, "result": result}
-        # Mutating methods carry the graph's commit watermark so the
-        # session's read-your-writes guarantee covers auto-committed
-        # operations too (an explicit ``commit`` returns its LSN as the
-        # result; everything else would otherwise leave the session
-        # watermark behind).
-        if request["method"] not in _READ_ONLY:
-            ham = self.bound_ham  # host-level methods have none bound
-            if ham is not None and ham._txns.last_commit_lsn:
-                reply["commit_lsn"] = ham._txns.last_commit_lsn
+        if captor is not None:
+            commit_lsn = captor.captured_commit_lsn()
+            if commit_lsn is not None:
+                reply["commit_lsn"] = commit_lsn
         return reply
 
     def _execute(self, method: object, params: object):
@@ -352,6 +369,9 @@ class HAMServer:
         self._stop_lock = threading.Lock()
         self._io_thread: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
+        #: Live dedicated long-poll threads (see ``_DETACHED``).
+        self._detached: set[threading.Thread] = set()
+        self._detached_lock = threading.Lock()
         self._tasks: queue.SimpleQueue = queue.SimpleQueue()
         self._sessions: list[_Session] = []
         self._sessions_lock = threading.Lock()
@@ -395,6 +415,8 @@ class HAMServer:
     def threads(self) -> list[threading.Thread]:
         """Every thread this server started (for clean-exit assertions)."""
         threads = list(self._workers)
+        with self._detached_lock:
+            threads.extend(self._detached)
         if self._io_thread is not None:
             threads.append(self._io_thread)
         return threads
@@ -447,6 +469,10 @@ class HAMServer:
             self._tasks.put(None)
         for worker in self._workers:
             worker.join(timeout=10.0)
+        with self._detached_lock:
+            parked = list(self._detached)
+        for thread in parked:
+            thread.join(timeout=10.0)
         # Any session whose cleanup task never ran (workers dead, or the
         # task was enqueued after the sentinels) is swept up here, so no
         # session — and no leftover transaction — outlives stop().
@@ -569,6 +595,28 @@ class HAMServer:
                 else:
                     self._pump_session_locked(session)
 
+    def _detach_capacity(self) -> bool:
+        with self._detached_lock:
+            return len(self._detached) < _MAX_DETACHED
+
+    def _spawn_detached(self, session: _Session, run: list) -> None:
+        """Run one long-poll request on its own thread (see _DETACHED)."""
+        thread = threading.Thread(
+            target=self._detached_task, args=(session, run),
+            name="ham-longpoll", daemon=True)
+        with self._detached_lock:
+            self._detached.add(thread)
+        thread.start()
+
+    def _detached_task(self, session: _Session, run: list) -> None:
+        try:
+            self._execute_task(session, run)
+        except faults.SimulatedCrash:
+            self._post(("die",))
+        finally:
+            with self._detached_lock:
+                self._detached.discard(threading.current_thread())
+
     def _cleanup_session(self, session: _Session) -> None:
         try:
             session.abort_leftovers()
@@ -605,13 +653,23 @@ class HAMServer:
                         or session.running_reads
                         >= self.config.max_pending):
                     break
+                # Long-poll methods get a dedicated thread: a parked
+                # fetch must not occupy a bounded pool worker (or stall
+                # this session's later reads behind its wait).
+                if (head.get("method") in _DETACHED
+                        and self._detach_capacity()):
+                    session.pending.popleft()
+                    session.running_reads += 1
+                    self._spawn_detached(session, [head])
+                    continue
                 # The whole consecutive run of reads becomes one worker
                 # task: runs still execute in arrival order, reads from
                 # other sessions (and later-arriving runs of this one)
                 # still overlap, and a deeply pipelined reader pays the
                 # scheduling cost once per run instead of once per
                 # request.
-                run = []
+                run = [session.pending.popleft()]
+                session.running_reads += 1
                 while (session.pending
                        and session.running_reads
                        < self.config.max_pending):
@@ -619,6 +677,8 @@ class HAMServer:
                     if not (isinstance(request, dict)
                             and request.get("method") in _READ_ONLY):
                         break
+                    if request.get("method") in _DETACHED:
+                        break  # scheduled alone, off-pool, next round
                     session.pending.popleft()
                     session.running_reads += 1
                     run.append(request)

@@ -45,10 +45,18 @@ let a shipper stream exactly the fsync-covered prefix, and
 :meth:`WriteAheadLog.append_raw` lets a replica ingest shipped frames
 byte-for-byte.  LSNs handed out by the append/force API are *global*:
 ``base_lsn + file offset``, where ``base_lsn`` anchors a replica's log in
-the primary's LSN space so promotion preserves LSN continuity.  ``epoch``
-increments whenever :meth:`WriteAheadLog.truncate` resets the offset
-space (checkpoint); a subscriber that observes an epoch change must
-resynchronize from a fresh snapshot rather than keep streaming.
+the primary's LSN space so promotion preserves LSN continuity.  Global
+LSNs are **monotonic for the life of the graph**:
+:meth:`WriteAheadLog.truncate` (checkpoint) advances ``base_lsn`` by the
+discarded length instead of restarting the LSN space, so a commit LSN
+handed to a session as its read-your-writes watermark stays comparable
+against replica replay watermarks across any number of checkpoints.
+``epoch`` still increments on every truncation — byte *offsets* into the
+file do restart — and a subscriber that observes an epoch change must
+resynchronize from a fresh snapshot rather than keep streaming.  The
+sidecar persists ``base_lsn`` and ``epoch`` alongside the durability
+mark, so reopening a log resumes the same global LSN space rather than
+restarting at zero.
 """
 
 from __future__ import annotations
@@ -78,28 +86,30 @@ __all__ = ["WriteAheadLog", "LogRecord", "LogRecordKind", "WalStats",
 #: Sidecar next to the log file holding the persisted durability mark.
 MARK_SUFFIX = ".mark"
 
-#: Sidecar format: forced watermark (file offset) + CRC32 of that field.
-_MARK = struct.Struct("<QI")
+#: Sidecar format: forced watermark (file offset), global-LSN anchor
+#: (``base_lsn``), truncation epoch, then CRC32 of those three fields.
+_MARK = struct.Struct("<QQQI")
 
 
-def _read_mark(path: str | os.PathLike) -> int:
-    """Persisted durability mark for the log at ``path`` (0 if absent).
+def _read_mark(path: str | os.PathLike) -> tuple[int, int, int]:
+    """Persisted ``(mark, base_lsn, epoch)`` for the log at ``path``.
 
-    A short, missing, or checksum-damaged sidecar reads as 0: the mark
-    only ever *adds* protection, so an unreadable one degrades to the
-    tolerate-everything behavior of a log that never had a sidecar.
+    A short, missing, or checksum-damaged sidecar reads as ``(0, 0, 0)``:
+    the mark only ever *adds* protection, so an unreadable one degrades
+    to the tolerate-everything behavior of a log that never had a
+    sidecar, anchored at LSN 0.
     """
     try:
         with open(os.fspath(path) + MARK_SUFFIX, "rb") as handle:
             raw = handle.read(_MARK.size)
     except OSError:
-        return 0
+        return 0, 0, 0
     if len(raw) != _MARK.size:
-        return 0
-    value, crc = _MARK.unpack(raw)
-    if zlib.crc32(raw[:8]) != crc:
-        return 0
-    return value
+        return 0, 0, 0
+    value, base, epoch, crc = _MARK.unpack(raw)
+    if zlib.crc32(raw[:24]) != crc:
+        return 0, 0, 0
+    return value, base, epoch
 
 _METRICS = None
 
@@ -232,6 +242,7 @@ class WriteAheadLog:
         self._forced = self._end
         self._mark_fd = os.open(self._path + MARK_SUFFIX,
                                 os.O_RDWR | os.O_CREAT, 0o644)
+        mark, saved_base, saved_epoch = _read_mark(self._path)
         #: The durability point :meth:`scan` judges damage against: the
         #: mark persisted by the *previous* incarnation, clamped to the
         #: file (a stale mark beyond a recreated log protects nothing).
@@ -239,7 +250,15 @@ class WriteAheadLog:
         #: this open as flushed, for shipping — this only covers bytes
         #: an fsync *provably* returned for.  Each published mark
         #: advances it.
-        self._acked_mark = min(_read_mark(self._path), self._end)
+        self._acked_mark = min(mark, self._end)
+        # Resume the global LSN space the previous incarnation published
+        # (checkpoints advance ``base_lsn``; restarting at zero would
+        # hand out commit LSNs below watermarks sessions already hold).
+        # A caller that anchors explicitly — a replica bootstrapping
+        # from a snapshot — wins over the sidecar.
+        if base_lsn == 0 and (saved_base or saved_epoch):
+            self.base_lsn = saved_base
+            self.epoch = saved_epoch
         #: True while a leader is inside a group flush.
         self._flushing = False
         #: How long a group-flush leader lingers before capturing the
@@ -300,9 +319,11 @@ class WriteAheadLog:
         lost mark write only under-reports).  ``sync`` forces it down
         for the shrink-to-zero case: :meth:`truncate`/:meth:`rebase`
         must never leave an old, larger mark able to resurrect over a
-        restarted offset space.
+        restarted offset space.  Every publish also records the current
+        ``base_lsn`` and ``epoch``, so a reopened log resumes the same
+        global LSN space.
         """
-        body = struct.pack("<Q", value)
+        body = struct.pack("<QQQ", value, self.base_lsn, self.epoch)
         os.pwrite(self._mark_fd, body + struct.pack("<I", zlib.crc32(body)),
                   0)
         if sync:
@@ -478,8 +499,13 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Discard all records (used after a checkpoint).
 
-        Bumps ``epoch``: byte offsets restart at zero, so any subscriber
-        streaming this log must resynchronize from a fresh snapshot.
+        Advances ``base_lsn`` by the discarded length, so global LSNs
+        stay monotonic across checkpoints — a commit LSN handed out
+        before the truncation is never reissued, and watermarks built
+        from them (session read-your-writes, replica replay) stay
+        comparable.  Bumps ``epoch``: byte *offsets* restart at zero, so
+        any subscriber streaming this log must resynchronize from a
+        fresh snapshot.
         """
         with self._lock:
             if self._closed:
@@ -490,9 +516,13 @@ class WriteAheadLog:
             self._publish_mark_locked(0, sync=True)
             os.ftruncate(self._fd, 0)
             os.lseek(self._fd, 0, os.SEEK_SET)
+            self.base_lsn += self._end
             self._end = 0
             self._forced = 0
             self.epoch += 1
+            # Persist the advanced anchor + epoch (the first publish
+            # above still carried the old ones).
+            self._publish_mark_locked(0, sync=True)
 
     def rebase(self, base_lsn: int, epoch: int = 0) -> None:
         """Empty the log and re-anchor it at global LSN ``base_lsn``.
@@ -512,6 +542,41 @@ class WriteAheadLog:
             self._forced = 0
             self.base_lsn = int(base_lsn)
             self.epoch = int(epoch)
+            # Re-publish with the new anchor + epoch in the sidecar.
+            self._publish_mark_locked(0, sync=True)
+
+    def discard_tail(self, lsn: int) -> None:
+        """Cut the log back to global LSN ``lsn``, discarding later bytes.
+
+        Promotion uses this: a replica's ingest path appends (and
+        fsyncs) shipped bytes *before* parsing them, so at promotion the
+        file can end with an incomplete frame.  The caller knows the
+        last complete-frame boundary; everything past it is stream
+        debris — bytes of frames never replayed, hence never part of any
+        acknowledged state — and must not sit under the durability mark
+        once local commits start appending after it.  ``lsn`` outside
+        ``[base_lsn, end_lsn]`` raises :class:`StorageError`.
+        """
+        with self._lock:
+            if self._closed:
+                raise StorageError(f"{self._path}: log is closed")
+            offset = lsn - self.base_lsn
+            if offset < 0 or offset > self._end:
+                raise StorageError(
+                    f"{self._path}: cannot cut the tail at lsn {lsn}: "
+                    f"outside [{self.base_lsn}, "
+                    f"{self.base_lsn + self._end}]")
+            if offset == self._end:
+                return
+            # Shrink the mark durably first: the old, larger mark must
+            # never claim fsync coverage of bytes about to be cut.
+            self._publish_mark_locked(min(self._acked_mark, offset),
+                                      sync=True)
+            os.ftruncate(self._fd, offset)
+            os.lseek(self._fd, 0, os.SEEK_END)
+            self._end = offset
+            if self._forced > offset:
+                self._forced = offset
 
     def read_durable(self, from_lsn: int, max_bytes: int = 1 << 20) -> bytes:
         """Raw framed bytes from ``from_lsn`` up to the durable end.

@@ -63,6 +63,17 @@ class CounterSet:
                 self._counts[name] = current = value
             return current
 
+    def record(self, name: str, value: int) -> int:
+        """Set ``name`` to ``value`` (gauge: the last observation wins).
+
+        For quantities that move both ways — replication lag, queue
+        depth — where a high-water mark would read as permanently bad
+        after one transient spike.
+        """
+        with self._lock:
+            self._counts[name] = value
+            return value
+
     def get(self, name: str) -> int:
         with self._lock:
             return self._counts.get(name, 0)
@@ -140,9 +151,9 @@ PLANNER = CounterSet("plans", "shape_full_scan", "shape_index_eq",
 #: :class:`repro.replication.hub.ReplicationHub`,
 #: :class:`repro.replication.replica.Replica`, and
 #: :class:`repro.replication.router.ReplicatedHAM` in the process:
-#: ``lag_bytes`` (high-water of durable-minus-acknowledged bytes per
-#: subscriber), ``lag_commits`` (high-water of fetched-but-unapplied
-#: commit groups on a replica), ``replayed_lsn`` (high-water replay
+#: ``lag_bytes`` (gauge: the last sampled durable-minus-acknowledged
+#: byte gap), ``lag_commits`` (gauge: transaction groups fetched but
+#: not yet decided on a replica), ``replayed_lsn`` (high-water replay
 #: watermark), ``promotions`` (replicas promoted to primary), and
 #: ``stale_rejects`` (replica reads refused or re-routed because the
 #: staleness budget or a session's read-your-writes LSN was not met).

@@ -280,13 +280,15 @@ def render_planner(counters: dict[str, int] | None = None) -> str:
 def replication_counters() -> dict[str, int]:
     """Snapshot of the process-wide replication counters.
 
-    ``lag_bytes`` and ``lag_commits`` are high-water marks of how far a
-    replica's replay trailed the primary's durable log end (bytes) and
-    how many transaction groups sat undecided in its reorder buffer;
+    ``lag_bytes`` and ``lag_commits`` are gauges — the last sampled gap
+    between a replica's replay and the primary's durable log end
+    (bytes), and the transaction groups last seen undecided in its
+    reorder buffer — so they fall back to zero as replicas catch up;
     ``replayed_lsn`` is the highest watermark any replica reached;
     ``promotions`` counts replica-to-primary failovers and
     ``stale_rejects`` reads the router refused (or re-routed to the
-    primary) because every replica exceeded the staleness budget.
+    primary) because a configured replica tier could not serve them
+    within the staleness budget / read-your-writes guarantees.
     """
     return REPLICATION.snapshot()
 
@@ -300,8 +302,8 @@ def render_replication(status: dict | None = None) -> str:
     if status is None:
         counters = replication_counters()
         rows = [
-            ("lag bytes (high water)", counters.get("lag_bytes", 0)),
-            ("lag commits (high water)", counters.get("lag_commits", 0)),
+            ("lag bytes (last sample)", counters.get("lag_bytes", 0)),
+            ("lag commits (last sample)", counters.get("lag_commits", 0)),
             ("replayed lsn (high water)",
              counters.get("replayed_lsn", 0)),
             ("promotions", counters.get("promotions", 0)),

@@ -239,11 +239,16 @@ class TransactionManager:
         #: complete; only its acknowledgement is withheld.
         self.commit_gate = None
         #: Global LSN of the newest commit blob this manager wrote
-        #: (monotonic).  The server stamps it on mutating-method replies
-        #: so remote sessions can advance their read-your-writes
-        #: watermark even for auto-committed operations, which never see
-        #: an explicit ``commit`` round trip.
+        #: (monotonic) — the graph-wide commit watermark.
         self.last_commit_lsn = 0
+        #: Per-thread commit capture.  The server brackets each request
+        #: with :meth:`capture_commits` / :meth:`captured_commit_lsn` so
+        #: a mutating reply carries only the commit LSN *this* request
+        #: produced: stamping the graph-wide watermark would fold other
+        #: sessions' commits into a session's read-your-writes
+        #: watermark, forcing its replica reads to wait for commits it
+        #: never made.
+        self._request_commits = threading.local()
         self._read_only_txns = 0
         self._snapshot_txns = 0
         self._lock_bypasses = 0
@@ -435,12 +440,31 @@ class TransactionManager:
         # LSN on the transaction first, so a gate timeout still leaves
         # the committed transaction knowing where it landed.
         txn.commit_lsn = commit_lsn
-        if commit_lsn is not None and commit_lsn > self.last_commit_lsn:
-            self.last_commit_lsn = commit_lsn
+        if commit_lsn is not None:
+            if commit_lsn > self.last_commit_lsn:
+                self.last_commit_lsn = commit_lsn
+            captured = getattr(self._request_commits, "lsn", None)
+            if captured is None or commit_lsn > captured:
+                self._request_commits.lsn = commit_lsn
         gate = self.commit_gate
         if gate is not None and commit_lsn is not None:
             gate(commit_lsn)
         return commit_lsn
+
+    def capture_commits(self) -> None:
+        """Begin per-request commit capture on the calling thread.
+
+        A request runs entirely on one worker thread, so the thread
+        local cleanly scopes "commits this request produced" — including
+        auto-commits and multi-commit batches, which never see an
+        explicit ``commit`` call.
+        """
+        self._request_commits.lsn = None
+
+    def captured_commit_lsn(self) -> int | None:
+        """Highest commit LSN this thread produced since capture began
+        (None when the request committed nothing)."""
+        return getattr(self._request_commits, "lsn", None)
 
     def _publish(self, txn: Transaction) -> None:
         """Apply ``txn``'s write-set to the shared store (serialized)."""

@@ -175,6 +175,37 @@ class TestPromotion:
         finally:
             rep.close()
 
+    def test_promote_with_torn_tail_cuts_partial_frame(self, primary,
+                                                       tmp_path):
+        # Ingest fsyncs shipped bytes before parsing them, and the
+        # primary cuts fetch replies at max_bytes regardless of frame
+        # boundaries — so a failover can catch the replica holding a
+        # torn frame on disk.  Promotion must cut it back to the last
+        # complete-frame boundary before accepting writes.
+        rep = Replica(primary, tmp_path / "replica",
+                      poll_wait=0.1, start=False)
+        try:
+            start = rep._stream_end
+            _seed_writes(primary, count=3)
+            data = primary._log.read_durable(start)
+            assert len(data) > 3
+            with rep._apply_lock:
+                rep._ingest(data[:-3])  # last frame arrives incomplete
+            assert rep._buffer, "setup failed: no torn frame pending"
+            rep.promote()
+            assert rep.ham._log.end_lsn == rep._parse_lsn
+            # The promoted graph is writable and its log re-scannable:
+            # with the torn bytes still under the durability mark, both
+            # would die with a RecoveryError.
+            node, t = rep.ham.add_node()
+            rep.ham.modify_node(node=node, expected_time=t,
+                                contents=b"after the cut")
+            assert rep.ham.open_node(node)[0] == b"after the cut"
+            assert not verify_graph(rep.ham)
+            assert rep.ham.repl_snapshot()["lsn"] >= start
+        finally:
+            rep.close()
+
     def test_transaction_ids_resume_above_stream(self, primary, tmp_path):
         _seed_writes(primary, count=3)
         rep = Replica(primary, tmp_path / "replica", poll_wait=0.1)

@@ -138,6 +138,25 @@ class TestReadRouting:
             router.close()
 
 
+class TestPrimaryOnlyRouting:
+    def test_no_replicas_means_no_stale_rejects(self, tmp_path):
+        # With no read replicas configured every read goes to the
+        # primary by construction — that is the topology working as
+        # designed, not a staleness fallback, and the lag alarm
+        # (``stale_rejects``) must stay silent.
+        cluster = Cluster(tmp_path, replicas=0)
+        router = cluster.router()
+        try:
+            node, t = router.add_node()
+            router.modify_node(node=node, expected_time=t,
+                               contents=b"primary only")
+            assert router.open_node(node)[0] == b"primary only"
+            assert router.stale_rejects == 0
+        finally:
+            router.close()
+            cluster.close()
+
+
 class TestSessionGuarantees:
     def test_all_replicas_lagging_falls_back_to_primary(self, cluster):
         router = cluster.router(ryw_timeout=0.3)

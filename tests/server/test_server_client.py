@@ -1,6 +1,7 @@
 """Integration tests: RemoteHAM against a live HAMServer."""
 
 import threading
+import time as _time
 
 import pytest
 
@@ -10,7 +11,7 @@ from repro.errors import (
     ProtocolError,
     StaleVersionError,
 )
-from repro.server import HAMServer, RemoteHAM
+from repro.server import HAMServer, RemoteHAM, ServerConfig
 
 
 @pytest.fixture
@@ -211,3 +212,71 @@ class TestConcurrentClients:
             thread.join(timeout=60)
         assert not errors
         assert len(ham.store.live_nodes(0)) == clients * nodes_per_client
+
+
+class TestCommitLsnStamping:
+    def test_watermark_tracks_only_own_commits(self, tmp_path):
+        # Ephemeral graphs have no LSN space; use a disk-backed one.
+        project_id, __ = HAM.create_graph(tmp_path)
+        ham = HAM.open_graph(project_id, tmp_path)
+        server = HAMServer(ham).start()
+        try:
+            with RemoteHAM(*server.address) as client_a, \
+                    RemoteHAM(*server.address) as client_b:
+                node, time = client_a.add_node()
+                client_a.modify_node(node=node, expected_time=time,
+                                     contents=b"session A's write")
+                assert client_a.last_commit_lsn > 0
+                # B issues a mutating-class request that commits
+                # nothing.  Its reply must not carry A's commit LSN: a
+                # session's read-your-writes watermark covers its *own*
+                # writes, and over-advancing it forces replica reads to
+                # wait on (or reject over) commits the session never
+                # observed.
+                client_b.begin().abort()
+                assert client_b.last_commit_lsn == 0
+                client_b.add_node()
+                assert client_b.last_commit_lsn > 0
+        finally:
+            server.stop()
+            ham.close()
+
+
+class TestLongPollDetachment:
+    def test_parked_subscribe_leaves_workers_free(self, tmp_path):
+        # A caught-up repl_subscribe parks for its full wait.  Served
+        # off the single pool worker it would starve every other
+        # session; detached onto a dedicated thread, ordinary requests
+        # keep flowing.
+        project_id, __ = HAM.create_graph(tmp_path)
+        ham = HAM.open_graph(project_id, tmp_path)
+        server = HAMServer(ham, config=ServerConfig(workers=1)).start()
+        subscriber = RemoteHAM(*server.address)
+        client = RemoteHAM(*server.address)
+        try:
+            status = ham.repl_status()
+            parked = threading.Thread(
+                target=subscriber.repl_subscribe,
+                kwargs={"from_lsn": status["durable_lsn"],
+                        "epoch": status["epoch"], "wait": 5.0},
+                daemon=True)
+            parked.start()
+            deadline = _time.monotonic() + 2.0
+            while not any(t.name == "ham-longpoll"
+                          for t in server.threads()):
+                assert _time.monotonic() < deadline, \
+                    "subscribe was never detached from the pool"
+                _time.sleep(0.01)
+            started = _time.monotonic()
+            node, time = client.add_node()
+            client.modify_node(node=node, expected_time=time,
+                               contents=b"not blocked")
+            assert _time.monotonic() - started < 2.0
+            # The commit wakes the parked fetch; it returns promptly.
+            parked.join(timeout=5.0)
+            assert not parked.is_alive()
+        finally:
+            client.close()
+            subscriber.close()
+            server.stop()
+            ham.close()

@@ -5,7 +5,7 @@ import threading
 
 import pytest
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageError
 from repro.storage.log import (
     MARK_SUFFIX,
     LogRecord,
@@ -56,9 +56,15 @@ class TestDurabilityOps:
 
     def test_truncate_discards_everything(self, log):
         log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        end = log.end_lsn
         log.truncate()
         assert _records(log) == []
-        assert log.end_lsn == 0
+        # Global LSNs never restart: truncation advances the anchor by
+        # the discarded length, so the end LSN is preserved and later
+        # appends land strictly above every LSN ever handed out.
+        assert log.end_lsn == end
+        assert log.base_lsn == end
+        assert log.append(LogRecord(LogRecordKind.BEGIN, 2)) >= end
 
     def test_records_survive_reopen(self, tmp_path):
         path = tmp_path / "wal.log"
@@ -69,6 +75,94 @@ class TestDurabilityOps:
             records = _records(log)
             assert len(records) == 1
             assert records[0].txn_id == 3
+
+
+class TestMonotonicLsns:
+    def test_truncate_bumps_epoch(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        epoch = log.epoch
+        log.truncate()
+        assert log.epoch == epoch + 1
+
+    def test_lsns_keep_climbing_across_truncations(self, log):
+        seen = []
+        for round_ in range(3):
+            seen.append(log.append(LogRecord(LogRecordKind.BEGIN, round_)))
+            log.truncate()
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_anchor_survives_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(LogRecord(LogRecordKind.BEGIN, 1))
+            log.truncate()
+            base, epoch = log.base_lsn, log.epoch
+            assert base > 0
+        # A reopened log resumes the same global LSN space: the sidecar
+        # carries the anchor, so post-checkpoint restarts cannot hand
+        # out LSNs the previous incarnation already used.
+        with WriteAheadLog(path) as log:
+            assert log.base_lsn == base
+            assert log.epoch == epoch
+            assert log.append(LogRecord(LogRecordKind.BEGIN, 2)) >= base
+
+    def test_explicit_base_overrides_sidecar(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(LogRecord(LogRecordKind.BEGIN, 1))
+            log.truncate()
+        # Replica bootstrap passes an explicit anchor; the sidecar must
+        # not override it.
+        with WriteAheadLog(path, base_lsn=7777) as log:
+            assert log.base_lsn == 7777
+            assert log.epoch == 0
+
+
+class TestDiscardTail:
+    def test_discard_tail_cuts_back_to_boundary(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        keep = log.end_lsn
+        log.append(LogRecord(LogRecordKind.UPDATE, 1,
+                             {"op": "x", "args": {}}))
+        log.discard_tail(keep)
+        assert log.end_lsn == keep
+        assert [r.kind for r in _records(log)] == [LogRecordKind.BEGIN]
+
+    def test_append_after_discard_lands_at_cut(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        keep = log.end_lsn
+        log.append(LogRecord(LogRecordKind.COMMIT, 1))
+        log.discard_tail(keep)
+        assert log.append(LogRecord(LogRecordKind.BEGIN, 2)) == keep
+        assert [r.txn_id for r in _records(log)] == [1, 2]
+
+    def test_discard_tail_at_end_is_noop(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        end = log.end_lsn
+        log.discard_tail(end)
+        assert log.end_lsn == end
+        assert len(_records(log)) == 1
+
+    def test_discard_tail_out_of_range_raises(self, log):
+        log.append(LogRecord(LogRecordKind.BEGIN, 1))
+        with pytest.raises(StorageError):
+            log.discard_tail(log.end_lsn + 1)
+        with pytest.raises(StorageError):
+            log.discard_tail(-1)
+
+    def test_discarded_tail_is_gone_after_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(LogRecord(LogRecordKind.BEGIN, 1))
+            keep = log.end_lsn
+            log.append(LogRecord(LogRecordKind.COMMIT, 1))
+            log.force()
+            log.discard_tail(keep)
+        # The durability mark was rolled back with the cut: the scan
+        # must not treat the missing bytes as damaged acked history.
+        with WriteAheadLog(path) as log:
+            assert [r.kind for r in _records(log)] == [LogRecordKind.BEGIN]
 
 
 class TestAppendMany:

@@ -92,6 +92,19 @@ class TestResilience:
         assert "retries" in text
         assert "injected_faults" in text
 
+    def test_record_is_a_gauge_not_a_high_water_mark(self):
+        from repro.tools.metrics import CounterSet
+
+        counters = CounterSet("test")
+        counters.record("lag_bytes", 500)
+        counters.record("lag_bytes", 3)
+        # Last observation wins: a replica that catches up must see its
+        # reported lag fall, not stick at the worst value ever seen.
+        assert counters.snapshot()["lag_bytes"] == 3
+        counters.record_max("peak", 500)
+        counters.record_max("peak", 3)
+        assert counters.snapshot()["peak"] == 500
+
 
 class TestConcurrency:
     def test_lock_stats_count_writer_acquires(self, ham):

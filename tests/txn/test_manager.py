@@ -156,3 +156,18 @@ class TestCheckpoint:
         with pytest.raises(TransactionError):
             manager.checkpoint()
         txn.abort()
+
+    def test_commit_lsns_climb_across_checkpoints(self, manager):
+        # Sessions compare commit LSNs against replica replay positions
+        # (read-your-writes); a checkpoint must not restart the LSN
+        # space or old watermarks would spuriously satisfy new reads.
+        lsns = []
+        for round_ in range(3):
+            txn = manager.begin()
+            txn.log_update("op", {})
+            txn.commit()
+            lsns.append(txn.commit_lsn)
+            manager.checkpoint()
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)
+        assert manager.last_commit_lsn == max(lsns)

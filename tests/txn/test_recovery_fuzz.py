@@ -112,7 +112,7 @@ def test_bitflip_splits_at_the_durability_mark(tmp_path, real_wal):
     clean stop at the preceding prefix.
     """
     data, __, wal_path = real_wal
-    mark = _read_mark(wal_path)
+    mark, __, __ = _read_mark(wal_path)
     assert 0 < mark <= len(data)
     boundaries = wal_record_boundaries(wal_path)
     assert boundaries
