@@ -6,11 +6,18 @@ O(1) (it is stored whole) while older versions pay K delta
 applications — the asymmetry the paper accepted deliberately, because
 current-version access dominates.  The full-copy baseline is flat but
 pays B1's storage bill.
+
+The ``delta`` and ``keyframed`` stores here run with their chain cache
+off, so the depth series measures the reconstruction walk itself; the
+``cached`` store is the same backward chain behind the block cache,
+which flattens the series to lookup cost (B16 measures that layer in
+isolation).
 """
 
 import pytest
 
 from conftest import report
+from repro.storage.blockcache import BlockCache
 from repro.storage.deltas import (
     DeltaStore,
     FullCopyStore,
@@ -29,20 +36,25 @@ def stores():
         EditTrace(initial_lines=300, versions=HISTORY,
                   edits_per_version=3))
     delta = DeltaStore(versions[0], time=1)
+    delta.cache = None
     copies = FullCopyStore(versions[0], time=1)
     keyframed = KeyframeDeltaStore(versions[0], time=1,
                                    interval=KEYFRAME_INTERVAL)
+    keyframed.cache = None
+    cached = DeltaStore(versions[0], time=1)
+    cached.cache = BlockCache(max_bytes=64 * 1024 * 1024)
     for position, contents in enumerate(versions[1:], start=2):
         delta.check_in(contents, time=position)
         copies.check_in(contents, time=position)
         keyframed.check_in(contents, time=position)
-    return delta, copies, versions, keyframed
+        cached.check_in(contents, time=position)
+    return delta, copies, versions, keyframed, cached
 
 
 @pytest.mark.benchmark(group="B2 version access")
 @pytest.mark.parametrize("depth", DEPTHS)
 def test_b2_delta_access_by_depth(benchmark, stores, depth):
-    delta, __, versions, ___ = stores
+    delta, __, versions, ___, ____ = stores
     target_time = len(versions) - depth  # time of the version K back
     contents = benchmark(delta.get, target_time)
     assert contents == versions[target_time - 1]
@@ -51,7 +63,7 @@ def test_b2_delta_access_by_depth(benchmark, stores, depth):
 @pytest.mark.benchmark(group="B2 version access")
 @pytest.mark.parametrize("depth", [0, 99])
 def test_b2_full_copy_access_by_depth(benchmark, stores, depth):
-    __, copies, versions, ___ = stores
+    __, copies, versions, ___, ____ = stores
     target_time = len(versions) - depth
     contents = benchmark(copies.get, target_time)
     assert contents == versions[target_time - 1]
@@ -61,42 +73,61 @@ def test_b2_full_copy_access_by_depth(benchmark, stores, depth):
 @pytest.mark.parametrize("depth", [10, 50, 99])
 def test_b2_keyframed_access_by_depth(benchmark, stores, depth):
     """Ablation: keyframes every 10 versions bound reconstruction."""
-    __, ___, versions, keyframed = stores
+    __, ___, versions, keyframed, ____ = stores
     target_time = len(versions) - depth
     contents = benchmark(keyframed.get, target_time)
     assert contents == versions[target_time - 1]
 
 
 @pytest.mark.benchmark(group="B2 version access")
+@pytest.mark.parametrize("depth", [10, 50, 99])
+def test_b2_cached_access_by_depth(benchmark, stores, depth):
+    """The same backward chain behind the block cache: after the first
+    materialization, depth stops mattering."""
+    __, ___, versions, ____, cached = stores
+    target_time = len(versions) - depth
+    cached.get(target_time)  # warm: the one walk the cache absorbs
+    contents = benchmark(cached.get, target_time)
+    assert contents == versions[target_time - 1]
+
+
+@pytest.mark.benchmark(group="B2 version access")
 def test_b2_access_cost_series(benchmark, stores):
     """The series itself: delta applications grow linearly with depth
-    for the pure chain; the keyframed chain plateaus (the ablation)."""
-    delta, __, versions, keyframed = stores
+    for the pure chain; the keyframed chain plateaus (the ablation);
+    the block cache flattens the whole series to lookup cost."""
+    delta, __, versions, keyframed, cached = stores
 
     def measure():
         import time as clock
         rows = []
         for depth in DEPTHS:
             target_time = len(versions) - depth
+            cached.get(target_time)  # warm the cache row
             timings = []
-            for store in (delta, keyframed):
+            for store in (delta, keyframed, cached):
                 start = clock.perf_counter()
                 for ___ in range(20):
                     store.get(target_time)
                 timings.append((clock.perf_counter() - start) / 20)
-            rows.append((depth, timings[0], timings[1]))
+            rows.append((depth, *timings))
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
-    lines = [f"{'depth':>6}  {'backward':>11}  {'keyframed/10':>13}"]
-    for depth, pure, keyframe in rows:
+    lines = [f"{'depth':>6}  {'backward':>11}  {'keyframed/10':>13}  "
+             f"{'cached':>9}"]
+    for depth, pure, keyframe, hot in rows:
         lines.append(f"{depth:>6}  {pure * 1e6:>9.1f}us  "
-                     f"{keyframe * 1e6:>11.1f}us")
-    report("B2  version access vs depth: pure vs keyframed deltas", lines)
+                     f"{keyframe * 1e6:>11.1f}us  "
+                     f"{hot * 1e6:>7.1f}us")
+    report("B2  version access vs depth: cache off (pure, keyframed) "
+           "vs on", lines)
 
     # Shape: pure chain grows with depth; keyframed is bounded, so at
-    # the deepest point it wins decisively.
+    # the deepest point it wins decisively; the cached chain stays
+    # flat — its deepest read beats even the keyframed walk.
     current = rows[0][1]
     deepest = rows[-1][1]
     assert deepest > current * 3
     assert rows[-1][2] < rows[-1][1] / 2
+    assert rows[-1][3] < rows[-1][2]

@@ -26,6 +26,7 @@ Commands::
     demons                      demon browser
     trail start NODE | follow LINK | back | save NAME | list
     stats                       graph statistics
+    cache                       block cache and blob catalog report
     repl                        replication status and counters
     verify                      run the integrity checker
     time                        current graph time
@@ -198,6 +199,10 @@ class NeptuneShell:
     def _cmd_stats(self, args) -> str:
         from repro.tools.stats import graph_stats
         return graph_stats(self.ham).render()
+
+    def _cmd_cache(self, args) -> str:
+        from repro.tools.stats import render_cache
+        return render_cache(self.ham)
 
     def _cmd_repl(self, args) -> str:
         from repro.tools.stats import render_replication

@@ -33,6 +33,7 @@ from repro.errors import (
     NodeNotFoundError,
     StorageError,
 )
+from repro.storage.cas import BlobCatalog
 from repro.storage.heap import RecordHeap
 from repro.storage.log import MARK_SUFFIX
 from repro.storage.serializer import decode_value, encode_value
@@ -58,6 +59,9 @@ class GraphStore:
         self.node_demons: dict[NodeIndex, DemonTable] = {}
         self.next_node_index: NodeIndex = 1
         self.next_link_index: LinkIndex = 1
+        #: Content-addressed intern pool for every payload this graph's
+        #: version chains retain whole (see :mod:`repro.storage.cas`).
+        self.catalog = BlobCatalog()
 
     # ------------------------------------------------------------------
     # lookups
@@ -157,6 +161,10 @@ class GraphStore:
         store.next_link_index = snapshot["next_link"]
         for record in snapshot["nodes"]:
             node = NodeRecord.from_record(record)
+            # Re-intern the retained payloads: the rebuilt store's
+            # catalog recovers its refcounts (and its dedup) from the
+            # records themselves.
+            node.attach_catalog(store.catalog)
             store.nodes[node.index] = node
         for record in snapshot["links"]:
             link = LinkRecord.from_record(record)
@@ -264,11 +272,19 @@ class GraphDirectory:
             heap.sync()
         return record_id
 
-    def load_snapshot(self, record_id: int) -> GraphStore:
-        """Load the snapshot stored at ``record_id``."""
+    def load_snapshot_record(self, record_id: int) -> dict:
+        """The raw (decoded, unhydrated) snapshot dict at ``record_id``.
+
+        Replica bootstrap harvests blob payloads from this without
+        paying for a full :class:`GraphStore` rebuild.
+        """
         with self._open_heap() as heap:
             snapshot = decode_value(heap.read(record_id))
         if not isinstance(snapshot, dict):
             raise StorageError(
                 f"{self.snapshots_path}: malformed snapshot record")
-        return GraphStore.from_snapshot(snapshot)
+        return snapshot
+
+    def load_snapshot(self, record_id: int) -> GraphStore:
+        """Load the snapshot stored at ``record_id``."""
+        return GraphStore.from_snapshot(self.load_snapshot_record(record_id))

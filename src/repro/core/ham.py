@@ -146,7 +146,11 @@ def _applies(name: str):
 @_applies("add_node")
 def _apply_add_node(store: GraphStore, args: dict) -> NodeRecord:
     index, time = args["index"], args["time"]
-    node = NodeRecord(index, NodeKind(args["kind"]), time)
+    # On a plain store the catalog is the graph's BlobCatalog; on a
+    # write-set overlay it is the transaction's CatalogJournal, so the
+    # refs a new node takes are released again if the txn aborts.
+    node = NodeRecord(index, NodeKind(args["kind"]), time,
+                      catalog=getattr(store, "catalog", None))
     store.nodes[index] = node
     store.next_node_index = max(store.next_node_index, index + 1)
     store.clock.advance_to(time)
@@ -395,7 +399,8 @@ class HAM:
                    synchronous: bool = True,
                    use_attribute_index: bool = True,
                    lock_timeout: float = 10.0,
-                   group_commit_window: float = 0.0) -> "HAM":
+                   group_commit_window: float = 0.0,
+                   cache_bytes: int | None = None) -> "HAM":
         """``openGraph``: open an existing graph, recovering if needed.
 
         Loads the last durable checkpoint snapshot, replays the
@@ -410,7 +415,15 @@ class HAM:
         leader linger before fsyncing so concurrent committers pile onto
         the same flush; 0.0 flushes immediately (see
         :meth:`repro.storage.log.WriteAheadLog.force_up_to`).
+
+        ``cache_bytes`` resizes the *process-wide* materialization
+        cache (:mod:`repro.storage.blockcache`) — it is shared by every
+        open graph and session, so the last configuration wins; None
+        leaves the current size alone.
         """
+        if cache_bytes is not None:
+            from repro.storage import blockcache
+            blockcache.configure(cache_bytes)
         graph_dir = GraphDirectory(directory)
         meta = graph_dir.read_meta()
         if meta["project"] != project_id:
@@ -491,8 +504,12 @@ class HAM:
     @classmethod
     def ephemeral(cls, demons: DemonRegistry | None = None,
                   use_attribute_index: bool = True,
-                  lock_timeout: float = 10.0) -> "HAM":
+                  lock_timeout: float = 10.0,
+                  cache_bytes: int | None = None) -> "HAM":
         """A memory-only graph (extension; handy for tests and browsers)."""
+        if cache_bytes is not None:
+            from repro.storage import blockcache
+            blockcache.configure(cache_bytes)
         store = GraphStore(project_id=secrets.randbits(63), created_at=1)
         return cls(store, directory=None, log=_NullLog(), demons=demons,
                    use_attribute_index=use_attribute_index,
@@ -619,13 +636,23 @@ class HAM:
             from_lsn, epoch, max_bytes=max_bytes, wait=wait, ack=ack,
             subscriber=subscriber)
 
-    def repl_snapshot(self) -> dict:
+    def repl_snapshot(self, have: list | None = None) -> dict:
         """``replSnapshot``: the bootstrap payload for a new replica.
 
         Serves the snapshot that anchors byte 0 of the current log
         epoch, so a subscriber that loads it and replays the shipped
         stream from ``lsn`` reconstructs exactly the primary's durable
         state — the same contract crash recovery relies on.
+
+        ``have`` (a list of content digests the subscriber already
+        holds — from its previous on-disk snapshot, or its live blob
+        catalog on a resync) switches the reply to manifest form: the
+        snapshot ships *stripped* (payload sites replaced by hash
+        references; see :mod:`repro.storage.cas`), ``manifest`` lists
+        every digest the snapshot needs, and ``blobs`` carries only
+        ``[digest, payload]`` pairs missing from ``have``.  A replica
+        that kept its catalog re-bootstraps on a near-empty diff;
+        ``have=None`` keeps the original whole-snapshot reply.
         """
         if self._directory is None:
             raise StorageError(
@@ -636,13 +663,25 @@ class HAM:
             store = self._directory.load_snapshot(anchor)
             meta = self._directory.read_meta()
             from repro.storage.serializer import encode_value
-            return {
-                "snapshot": encode_value(store.to_snapshot()),
+            reply = {
                 "lsn": log.base_lsn,
                 "epoch": log.epoch,
                 "project": self._store.project_id,
                 "protections": meta.get("protections"),
             }
+            snapshot = store.to_snapshot()
+            if have is None:
+                reply["snapshot"] = encode_value(snapshot)
+                return reply
+            from repro.storage.cas import strip_snapshot_blobs
+            blobs = strip_snapshot_blobs(snapshot)
+            held = {bytes(digest) for digest in have}
+            reply["snapshot"] = encode_value(snapshot)
+            reply["manifest"] = sorted(blobs)
+            reply["blobs"] = [[digest, payload]
+                              for digest, payload in sorted(blobs.items())
+                              if digest not in held]
+            return reply
 
     def _epoch_anchor(self):
         """Snapshot id anchoring byte 0 of the current log.

@@ -32,9 +32,21 @@ from repro.errors import (
     StaleVersionError,
     VersionError,
 )
-from repro.storage.deltas import DeltaStore
+from repro.storage.cas import content_hash
+from repro.storage.deltas import DeltaStore, KeyframeDeltaStore
 
 __all__ = ["NodeRecord"]
+
+
+def _chain_from_record(record: dict):
+    """Rebuild whichever chain type wrote ``record``.
+
+    Keyframe chains mark their records with an ``interval`` field;
+    either type can sit behind the catalog as a drop-in backend.
+    """
+    if "interval" in record:
+        return KeyframeDeltaStore.from_record(record)
+    return DeltaStore.from_record(record)
 
 
 class NodeRecord:
@@ -44,7 +56,8 @@ class NodeRecord:
     transaction layer.
     """
 
-    def __init__(self, index: NodeIndex, kind: NodeKind, created_at: Time):
+    def __init__(self, index: NodeIndex, kind: NodeKind, created_at: Time,
+                 catalog=None):
         self.index = index
         self.kind = kind
         self.created_at = created_at
@@ -57,12 +70,23 @@ class NodeRecord:
         self.in_links: set[int] = set()
         self._explanations: dict[Time, str] = {created_at: "created"}
         self._minor_events: list[Version] = []
+        #: The owning graph's blob catalog (or a transaction's journal
+        #: view of it); every payload this node retains whole holds a
+        #: ref there.  None for free-standing records (unit tests).
+        self._catalog = catalog
         # Contents storage: archives get a delta chain, files a plain pair.
         self._archive: DeltaStore | None = (
-            DeltaStore(b"", created_at) if kind is NodeKind.ARCHIVE else None
+            DeltaStore(b"", created_at, catalog=catalog)
+            if kind is NodeKind.ARCHIVE else None
         )
         self._file_contents: bytes = b""
         self._file_time: Time = created_at
+        self._file_hash: bytes | None = None
+        if kind is not NodeKind.ARCHIVE:
+            self._file_hash = content_hash(b"")
+            if catalog is not None:
+                self._file_contents, self._file_hash = catalog.intern(
+                    b"", self._file_hash)
 
     # ------------------------------------------------------------------
     # existence
@@ -133,7 +157,14 @@ class NodeRecord:
         if self._archive is not None:
             self._archive.check_in(contents, time)
         else:
-            self._file_contents = bytes(contents)
+            contents = bytes(contents)
+            digest = content_hash(contents)
+            if self._catalog is not None:
+                contents, digest = self._catalog.intern(contents, digest)
+                if self._file_hash is not None:
+                    self._catalog.release(self._file_hash)
+            self._file_contents = contents
+            self._file_hash = digest
             self._file_time = time
         self._explanations[time] = explanation
 
@@ -149,7 +180,15 @@ class NodeRecord:
         if self._archive is not None:
             self._archive.rollback_last()
         else:
+            previous_contents = bytes(previous_contents)
+            digest = content_hash(previous_contents)
+            if self._catalog is not None:
+                if self._file_hash is not None:
+                    self._catalog.release(self._file_hash)
+                previous_contents, digest = self._catalog.intern(
+                    previous_contents, digest)
             self._file_contents = previous_contents
+            self._file_hash = digest
             self._file_time = previous_time
         self._explanations.pop(dropped, None)
 
@@ -226,11 +265,39 @@ class NodeRecord:
         node.in_links = set(self.in_links)
         node._explanations = dict(self._explanations)
         node._minor_events = list(self._minor_events)
+        node._catalog = self._catalog
         node._archive = (self._archive.clone()
                          if self._archive is not None else None)
         node._file_contents = self._file_contents
         node._file_time = self._file_time
+        node._file_hash = self._file_hash
         return node
+
+    def rebind_catalog(self, catalog) -> None:
+        """Point future intern/release traffic at ``catalog``.
+
+        No refs move — the write-set overlay rebinds its clones to the
+        transaction's catalog journal on first touch, and back to the
+        base catalog when the commit publishes them.
+        """
+        self._catalog = catalog
+        if self._archive is not None:
+            self._archive.rebind_catalog(catalog)
+
+    def attach_catalog(self, catalog) -> None:
+        """Adopt ``catalog``, interning this node's retained payloads.
+
+        Used when a store is rebuilt from a snapshot: the rebuilt
+        records take their lineage's refs now.
+        """
+        self._catalog = catalog
+        if self._archive is not None:
+            self._archive.attach_catalog(catalog)
+        else:
+            if self._file_hash is None:
+                self._file_hash = content_hash(self._file_contents)
+            self._file_contents, self._file_hash = catalog.intern(
+                self._file_contents, self._file_hash)
 
     # ------------------------------------------------------------------
     # persistence
@@ -256,6 +323,7 @@ class NodeRecord:
                 else None),
             "file_contents": self._file_contents,
             "file_time": self._file_time,
+            "file_hash": self._file_hash,
         }
 
     @classmethod
@@ -278,9 +346,15 @@ class NodeRecord:
         node._minor_events = [
             Version.from_record(event) for event in record["minor"]
         ]
+        node._catalog = None
         node._archive = (
-            DeltaStore.from_record(record["archive"])
+            _chain_from_record(record["archive"])
             if record["archive"] is not None else None)
         node._file_contents = record["file_contents"]
         node._file_time = record["file_time"]
+        file_hash = record.get("file_hash")
+        if file_hash is None and node._archive is None:
+            # Pre-catalog record: derive the digest once.
+            file_hash = content_hash(node._file_contents)
+        node._file_hash = file_hash
         return node

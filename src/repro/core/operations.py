@@ -70,8 +70,10 @@ __all__ = [
 #: vocabulary (``replSubscribe``/``replStatus``/``replSnapshot``/
 #: ``replPromote``) and changed ``commit`` to return the transaction's
 #: commit LSN (None for read-only transactions) so sessions can carry
-#: read-your-writes watermarks.
-PROTOCOL_VERSION = 4
+#: read-your-writes watermarks.  Version 5 gave ``replSnapshot`` a
+#: ``have`` parameter (content digests the caller already holds) and a
+#: manifest-form reply that ships only the missing blobs.
+PROTOCOL_VERSION = 5
 
 
 class _Required:
@@ -578,9 +580,11 @@ _register(Operation(
         "``wait`` seconds when caught up); ``ack`` reports the "
         "subscriber's replayed LSN back to the primary."))
 _register(Operation(
-    "repl_snapshot", (), IDENTITY,
+    "repl_snapshot", (Param("have", default=None),), IDENTITY,
     doc="Bootstrap payload: an encoded store snapshot plus the LSN and "
-        "epoch it covers."))
+        "epoch it covers.  Pass ``have`` (a list of content digests the "
+        "caller already holds) to receive the manifest form: a stripped "
+        "snapshot plus only the blobs missing from ``have``."))
 _register(Operation(
     "repl_promote", (), IDENTITY, mutates=True, idempotent=True,
     doc="Promote this replica to primary (idempotent; a no-op on a "

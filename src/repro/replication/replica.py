@@ -45,6 +45,7 @@ from repro.core.types import Protections
 from repro.errors import NeptuneError, RecoveryError, StorageError
 from repro.query.index import AttributeValueIndex
 from repro.query.stats import AttributeStatistics
+from repro.storage.cas import collect_snapshot_blobs, inflate_snapshot_blobs
 from repro.storage.log import (
     MARK_SUFFIX,
     LogRecord,
@@ -93,6 +94,12 @@ class Replica:
         self._promoted = False
         #: Last exception that killed or stalled the apply loop.
         self.failure: BaseException | None = None
+        #: Transfer accounting for the most recent bootstrap/resync:
+        #: bytes actually shipped, blobs shipped, blobs satisfied from
+        #: payloads this replica already held (manifest reuse).
+        self.bootstrap_bytes = 0
+        self.bootstrap_blobs_shipped = 0
+        self.bootstrap_blobs_reused = 0
         self.ham: HAM
         self._bootstrap()
         if start:
@@ -101,9 +108,63 @@ class Replica:
     # ------------------------------------------------------------------
     # bootstrap and resynchronization
 
+    def _harvest_local_blobs(self) -> dict[bytes, bytes]:
+        """Payloads a previous incarnation's on-disk snapshot holds.
+
+        These seed the ``have`` manifest sent with ``replSnapshot``: the
+        primary then ships only blobs this replica is missing, so a
+        re-bootstrap after a brief disconnect transfers a near-empty
+        diff instead of the whole content history.
+        """
+        graph_dir = GraphDirectory(self._directory_path)
+        try:
+            meta = graph_dir.read_meta()
+            snapshot = graph_dir.load_snapshot_record(meta["snapshot"])
+            return collect_snapshot_blobs(snapshot)
+        except (NeptuneError, OSError, KeyError, TypeError):
+            # No previous incarnation (or one too damaged to read):
+            # bootstrap with an empty manifest and take the full ship.
+            return {}
+
+    def _build_store(self, snap: dict,
+                     have: dict[bytes, bytes]) -> GraphStore:
+        """Decode a ``replSnapshot`` reply into a live store.
+
+        Manifest-form replies arrive stripped: payload sites are hash
+        references, resolved from the shipped ``blobs`` first and the
+        locally held ``have`` pool second.  Legacy whole-snapshot
+        replies pass straight through.
+        """
+        snapshot = decode_value(snap["snapshot"])
+        shipped = {bytes(digest): bytes(payload)
+                   for digest, payload in (snap.get("blobs") or [])}
+        transferred = len(snap["snapshot"]) + sum(
+            len(digest) + len(payload)
+            for digest, payload in shipped.items())
+        reused = 0
+        if snap.get("manifest") is not None:
+            reused = sum(1 for digest in snap["manifest"]
+                         if bytes(digest) not in shipped)
+
+            def lookup(digest: bytes) -> bytes | None:
+                payload = shipped.get(digest)
+                if payload is None:
+                    payload = have.get(digest)
+                return payload
+
+            inflate_snapshot_blobs(snapshot, lookup)
+        self.bootstrap_bytes = transferred
+        self.bootstrap_blobs_shipped = len(shipped)
+        self.bootstrap_blobs_reused = reused
+        REPLICATION.record("bootstrap_bytes", transferred)
+        REPLICATION.record("bootstrap_blobs_shipped", len(shipped))
+        REPLICATION.record("bootstrap_blobs_reused", reused)
+        return GraphStore.from_snapshot(snapshot)
+
     def _bootstrap(self) -> None:
-        snap = self._source.repl_snapshot()
-        store = GraphStore.from_snapshot(decode_value(snap["snapshot"]))
+        have = self._harvest_local_blobs()
+        snap = self._source.repl_snapshot(have=sorted(have))
+        store = self._build_store(snap, have)
         os.makedirs(self._directory_path, exist_ok=True)
         graph_dir = GraphDirectory(self._directory_path)
         # A replica directory is always rebuilt from the primary: stale
@@ -147,9 +208,13 @@ class Replica:
 
     def _resync(self) -> None:
         """Rebuild from a fresh snapshot after corruption or truncation."""
-        snap = self._source.repl_snapshot()
         ham = self.ham
-        store = GraphStore.from_snapshot(decode_value(snap["snapshot"]))
+        # The live catalog is the richest ``have`` pool: it holds every
+        # payload the replayed state retains, so a resync ships only
+        # what the primary wrote since.
+        have = ham._store.catalog.payloads()
+        snap = self._source.repl_snapshot(have=sorted(have))
+        store = self._build_store(snap, have)
         graph_dir = ham._directory
         snapshot_id = graph_dir.append_snapshot(store)
         meta = graph_dir.read_meta()

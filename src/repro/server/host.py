@@ -35,13 +35,15 @@ class GraphHost:
                  demons: DemonRegistry | None = None,
                  synchronous: bool = True,
                  lock_timeout: float = 10.0,
-                 group_commit_window: float = 0.0):
+                 group_commit_window: float = 0.0,
+                 cache_bytes: int | None = None):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.demons = demons if demons is not None else DemonRegistry()
         self._synchronous = synchronous
         self._lock_timeout = lock_timeout
         self._group_commit_window = group_commit_window
+        self._cache_bytes = cache_bytes
         self._lock = threading.Lock()
         self._open: dict[str, HAM] = {}
 
@@ -75,7 +77,8 @@ class GraphHost:
                 demons=self.demons,
                 synchronous=self._synchronous,
                 lock_timeout=self._lock_timeout,
-                group_commit_window=self._group_commit_window)
+                group_commit_window=self._group_commit_window,
+                cache_bytes=self._cache_bytes)
             self._open[name] = ham
             return ham
 

@@ -1,0 +1,290 @@
+"""A process-wide, byte-sized block cache for materialized versions.
+
+Reconstructing an old archive version walks a backward-delta chain
+(:class:`repro.storage.deltas.DeltaStore`): O(depth) delta applications
+per read.  Version-dense workloads — as-of-time queries, context reads
+pinned at a fork time, replicas serving historical traversals — ask for
+the *same* materializations over and over, so the chains memoize them
+here.
+
+Design (one shared :class:`BlockCache` per process by default):
+
+- **Byte-sized, not entry-sized.**  Every entry's cost is its blob
+  length; ``max_bytes`` bounds the total residency, so one cache
+  setting means the same thing for ten-byte notes and megabyte CAD
+  meshes.
+
+- **Segmented LRU.**  Entries are admitted into a *probation* segment
+  and promoted to a *protected* segment on their first re-reference.
+  One-touch scans (a cold ``linearize_graph`` over the whole history)
+  wash through probation without displacing the protected working set.
+
+- **Frequency-based admission.**  A compact frequency sketch (a counter
+  map halved periodically, TinyLFU-style) estimates each key's recent
+  popularity; when the cache is full, a new blob is admitted only by
+  evicting victims it is at least as popular as.  A burst of
+  never-again-read materializations cannot flush blobs that keep
+  getting hit.
+
+- **Immutable facts.**  Keys are ``(chain identity, version hash)``
+  pairs (see :mod:`repro.storage.cas`): the hash pins the exact bytes,
+  so a cached entry can never go stale and no invalidation protocol —
+  seqlock or otherwise — is needed.  MVCC rollback and transaction
+  abort drop catalog refs only; stale-keyed entries simply age out.
+
+Counters (``hits``/``misses``/``admissions``/``rejections``/
+``evictions`` plus byte/entry gauges) mirror into the process-wide
+:data:`repro.tools.metrics.CACHE` set, surfaced by
+:func:`repro.tools.stats.render_cache` and the shell's ``cache``
+command.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.tools.metrics import CACHE
+
+__all__ = ["BlockCache", "CacheStats", "DEFAULT_MAX_BYTES",
+           "configure", "default_cache", "set_default"]
+
+#: Default residency bound of the process-wide cache (32 MiB).
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time accounting of one :class:`BlockCache`."""
+
+    max_bytes: int
+    current_bytes: int
+    entries: int
+    hits: int
+    misses: int
+    admissions: int
+    rejections: int
+    evictions: int
+    protected_bytes: int
+    probation_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        lookups = self.hits + self.misses
+        return (self.hits / lookups) if lookups else 0.0
+
+
+class BlockCache:
+    """Segmented-LRU byte cache with a frequency admission filter.
+
+    Thread-safe; one instance is shared by every delta chain in the
+    process (sessions included) unless a chain is given a private cache
+    or ``None`` (disabled) via its ``cache`` attribute.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES,
+                 protected_fraction: float = 0.8,
+                 decay_interval: int = 8192):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if not 0.0 < protected_fraction < 1.0:
+            raise ValueError("protected_fraction must be in (0, 1)")
+        self.max_bytes = int(max_bytes)
+        self._protected_cap = max(1, int(self.max_bytes * protected_fraction))
+        self._lock = threading.Lock()
+        #: key -> blob; insertion order is LRU order (oldest first).
+        self._probation: OrderedDict = OrderedDict()
+        self._protected: OrderedDict = OrderedDict()
+        self._probation_bytes = 0
+        self._protected_bytes = 0
+        #: TinyLFU-style frequency sketch: counts halve every
+        #: ``decay_interval`` touches, so popularity is *recent*
+        #: popularity and one-time floods decay away.
+        self._freq: dict = {}
+        self._decay_interval = int(decay_interval)
+        self._touches = 0
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.rejections = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _touch(self, key) -> int:
+        count = self._freq.get(key, 0) + 1
+        self._freq[key] = count
+        self._touches += 1
+        if self._touches >= self._decay_interval:
+            self._touches = 0
+            self._freq = {k: half for k, v in self._freq.items()
+                          if (half := v // 2) > 0}
+            count = self._freq.get(key, 0)
+        return count
+
+    def _shrink_protected(self) -> None:
+        # Demote protected-LRU entries back to probation's MRU end; the
+        # total residency is unchanged, so no counters move.
+        while self._protected_bytes > self._protected_cap:
+            key, blob = self._protected.popitem(last=False)
+            self._protected_bytes -= len(blob)
+            self._probation[key] = blob
+            self._probation_bytes += len(blob)
+
+    def _evict_one(self) -> None:
+        if self._probation:
+            key, blob = self._probation.popitem(last=False)
+            self._probation_bytes -= len(blob)
+        else:
+            key, blob = self._protected.popitem(last=False)
+            self._protected_bytes -= len(blob)
+        self.evictions += 1
+        CACHE.increment("evictions")
+
+    def _victim_key(self):
+        if self._probation:
+            return next(iter(self._probation))
+        return next(iter(self._protected))
+
+    def _gauges(self) -> None:
+        CACHE.record("cached_bytes",
+                     self._probation_bytes + self._protected_bytes)
+        CACHE.record("cached_entries",
+                     len(self._probation) + len(self._protected))
+
+    # ------------------------------------------------------------------
+
+    def get(self, key) -> bytes | None:
+        """The cached blob for ``key``, or None on a miss."""
+        with self._lock:
+            self._touch(key)
+            blob = self._protected.get(key)
+            if blob is not None:
+                self._protected.move_to_end(key)
+                self.hits += 1
+                CACHE.increment("hits")
+                return blob
+            blob = self._probation.pop(key, None)
+            if blob is not None:
+                # Second touch: promote out of probation.
+                self._probation_bytes -= len(blob)
+                self._protected[key] = blob
+                self._protected_bytes += len(blob)
+                self._shrink_protected()
+                self.hits += 1
+                CACHE.increment("hits")
+                return blob
+            self.misses += 1
+            CACHE.increment("misses")
+            return None
+
+    def put(self, key, blob: bytes) -> bool:
+        """Offer ``blob`` under ``key``; returns True when resident."""
+        cost = len(blob)
+        with self._lock:
+            if key in self._probation or key in self._protected:
+                return True
+            if cost > self.max_bytes:
+                self.rejections += 1
+                CACHE.increment("rejections")
+                return False
+            freq = self._touch(key)
+            while (self._probation_bytes + self._protected_bytes + cost
+                   > self.max_bytes):
+                # Admission duel: the newcomer must be at least as
+                # popular as each victim it displaces (ties go to the
+                # newcomer — recency breaks them).
+                if self._freq.get(self._victim_key(), 0) > freq:
+                    self.rejections += 1
+                    CACHE.increment("rejections")
+                    self._gauges()
+                    return False
+                self._evict_one()
+            self._probation[key] = blob
+            self._probation_bytes += cost
+            self.admissions += 1
+            CACHE.increment("admissions")
+            self._gauges()
+            return True
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._probation or key in self._protected
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._probation) + len(self._protected)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._probation_bytes + self._protected_bytes
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._probation.clear()
+            self._protected.clear()
+            self._probation_bytes = 0
+            self._protected_bytes = 0
+            self._freq.clear()
+            self._touches = 0
+            self._gauges()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                max_bytes=self.max_bytes,
+                current_bytes=self._probation_bytes + self._protected_bytes,
+                entries=len(self._probation) + len(self._protected),
+                hits=self.hits,
+                misses=self.misses,
+                admissions=self.admissions,
+                rejections=self.rejections,
+                evictions=self.evictions,
+                protected_bytes=self._protected_bytes,
+                probation_bytes=self._probation_bytes,
+            )
+
+
+# ----------------------------------------------------------------------
+# The process-wide default instance.  Delta chains resolve their cache
+# through :func:`default_cache` on every read, so reconfiguring takes
+# effect for every open graph and session at once.
+
+_default = BlockCache()
+_default_lock = threading.Lock()
+
+
+def default_cache() -> BlockCache:
+    """The process-wide shared cache instance."""
+    return _default
+
+
+def configure(max_bytes: int) -> BlockCache:
+    """Replace the process-wide cache with a fresh one of ``max_bytes``.
+
+    Called by ``HAM.open_graph(cache_bytes=...)``; returns the new
+    instance.  Existing chains pick it up on their next read.
+    """
+    global _default
+    with _default_lock:
+        _default = BlockCache(max_bytes=max_bytes)
+        return _default
+
+
+def set_default(cache: BlockCache) -> BlockCache:
+    """Install ``cache`` as the process-wide instance; returns the old one.
+
+    Test hook: lets a suite swap in a private instance and restore the
+    original afterwards.
+    """
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = cache
+        return previous

@@ -14,6 +14,21 @@ difference script against its successor, so:
 - checking in a new version costs one diff (new vs. previous current) and
   stores only the changed tokens.
 
+Two layers ride on top of the chains (see :mod:`repro.storage.cas` and
+:mod:`repro.storage.blockcache`):
+
+- every version is identified by a blake2b **content hash**, computed at
+  check-in and carried for the chain's whole life; payloads a chain
+  retains whole are interned (refcounted, deduplicated) in the owning
+  graph's :class:`~repro.storage.cas.BlobCatalog`;
+- old-version materializations are **memoized** in a process-wide block
+  cache keyed by ``(chain identity, version hash)`` — the hash pins the
+  exact bytes, so cached entries are immutable facts needing no
+  invalidation, even as transactions roll back and re-check-in at the
+  same chain position.  ``chain.cache = None`` disables memoization for
+  one chain; assigning a private
+  :class:`~repro.storage.blockcache.BlockCache` isolates it.
+
 :class:`FullCopyStore` is the baseline the benchmarks compare against: the
 naive design that stores every version whole.
 """
@@ -21,9 +36,12 @@ naive design that stores every version whole.
 from __future__ import annotations
 
 import bisect
+import itertools
 from dataclasses import dataclass
 
 from repro.errors import VersionError
+from repro.storage import blockcache
+from repro.storage.cas import content_hash
 from repro.storage.diff import (
     Difference,
     DiffKind,
@@ -34,6 +52,17 @@ from repro.storage.diff import (
 
 __all__ = ["DeltaStore", "FullCopyStore", "KeyframeDeltaStore",
            "DeltaChainStats", "encode_script", "decode_script"]
+
+#: Chain identities for cache keys.  A fresh id per constructed chain —
+#: ``id()`` would be reusable after garbage collection.  Clones *share*
+#: their original's id: the hash component makes every keyed value
+#: immutable, so two diverging chains can only ever agree on a key when
+#: they agree on the bytes.
+_CHAIN_IDS = itertools.count(1)
+
+#: Sentinel: "resolve the process-wide default cache at read time" —
+#: distinct from None (memoization disabled).
+_PROCESS_CACHE = object()
 
 
 @dataclass(frozen=True)
@@ -80,7 +109,46 @@ def _script_bytes(script: list[Difference]) -> int:
     )
 
 
-class DeltaStore:
+class _CachedChain:
+    """Shared cache plumbing for the two delta-chain classes."""
+
+    @property
+    def cache(self):
+        """The block cache memoizing this chain's materializations.
+
+        Resolved per read, so reconfiguring the process-wide cache
+        takes effect immediately.  Assign ``None`` to disable, or a
+        private :class:`~repro.storage.blockcache.BlockCache` to
+        isolate this chain (the differential suite runs all three).
+        """
+        if self._cache is _PROCESS_CACHE:
+            return blockcache.default_cache()
+        return self._cache
+
+    @cache.setter
+    def cache(self, value) -> None:
+        self._cache = value
+
+    def hash_at(self, index: int) -> bytes:
+        """Content hash of version ``index`` (0 = oldest)."""
+        return self._hashes[index]
+
+    def _read(self, index: int) -> bytes:
+        """Version ``index``, through the memoization cache."""
+        if index == len(self._times) - 1:
+            return self._current
+        cache = self.cache
+        if cache is None:
+            return self._materialize(index)
+        key = (self._chain_id, self._hashes[index])
+        blob = cache.get(key)
+        if blob is None:
+            blob = self._materialize(index)
+            cache.put(key, blob)
+        return blob
+
+
+class DeltaStore(_CachedChain):
     """All versions of one byte string, stored as backward deltas.
 
     Versions are identified by strictly increasing integer times (the HAM's
@@ -89,14 +157,24 @@ class DeltaStore:
     check-in time is <= ``t``).
     """
 
-    def __init__(self, initial: bytes, time: int):
+    def __init__(self, initial: bytes, time: int, catalog=None):
         if time <= 0:
             raise VersionError("version time must be positive")
-        self._current = bytes(initial)
+        initial = bytes(initial)
+        digest = content_hash(initial)
+        self._catalog = catalog
+        if catalog is not None:
+            initial, digest = catalog.intern(initial, digest)
+        self._current = initial
         self._times: list[int] = [time]
+        #: _hashes[i] is the content hash of version i — the cache key
+        #: component, and the catalog key while version i is current.
+        self._hashes: list[bytes] = [digest]
         # _deltas[i] transforms version i+1 back into version i
         # (both indices into _times); len(_deltas) == len(_times) - 1.
         self._deltas: list[list[Difference]] = []
+        self._chain_id = next(_CHAIN_IDS)
+        self._cache = _PROCESS_CACHE
 
     # ------------------------------------------------------------------
     # writing
@@ -108,10 +186,20 @@ class DeltaStore:
                 f"version time {time} does not advance past "
                 f"{self._times[-1]}")
         contents = bytes(contents)
+        digest = content_hash(contents)
+        previous_digest = self._hashes[-1]
+        if self._catalog is not None:
+            contents, digest = self._catalog.intern(contents, digest)
         forward = diff_bytes(self._current, contents)
         self._deltas.append(invert_differences(forward))
         self._times.append(time)
+        self._hashes.append(digest)
         self._current = contents
+        if self._catalog is not None:
+            # The predecessor is now delta-represented, not retained
+            # whole; its current-slot ref goes.  Under a transaction's
+            # CatalogJournal this release is deferred to commit.
+            self._catalog.release(previous_digest)
 
     # ------------------------------------------------------------------
     # reading
@@ -138,12 +226,8 @@ class DeltaStore:
         return bisect.bisect_right(self._times, time) - 1
 
     def get(self, time: int = 0) -> bytes:
-        """Contents at ``time`` (0 = current), walking backward deltas."""
-        index = self.version_index_at(time)
-        contents = self._current
-        for step in range(len(self._deltas) - 1, index - 1, -1):
-            contents = apply_differences_bytes(contents, self._deltas[step])
-        return contents
+        """Contents at ``time`` (0 = current); old versions memoized."""
+        return self._read(self.version_index_at(time))
 
     def get_exact(self, time: int) -> bytes:
         """Contents of the version checked in at exactly ``time``."""
@@ -154,6 +238,9 @@ class DeltaStore:
         index = bisect.bisect_left(self._times, time)
         if index == len(self._times) or self._times[index] != time:
             raise VersionError(f"no version was checked in at time {time}")
+        return self._read(index)
+
+    def _materialize(self, index: int) -> bytes:
         contents = self._current
         for step in range(len(self._deltas) - 1, index - 1, -1):
             contents = apply_differences_bytes(contents, self._deltas[step])
@@ -163,13 +250,21 @@ class DeltaStore:
         """Drop the current version, restoring its predecessor.
 
         Transaction-abort primitive: O(one delta application), unlike a
-        full-chain snapshot/restore.  Refuses to drop the initial version.
+        full-chain snapshot/restore.  Refuses to drop the initial
+        version.  Only catalog refs move — cached materializations are
+        keyed by content hash, so nothing needs invalidating even if a
+        later check-in reuses this chain position.
         """
         if not self._deltas:
             raise VersionError("cannot roll back the initial version")
         script = self._deltas.pop()
+        popped_digest = self._hashes.pop()
         self._times.pop()
-        self._current = apply_differences_bytes(self._current, script)
+        restored = apply_differences_bytes(self._current, script)
+        if self._catalog is not None:
+            self._catalog.release(popped_digest)
+            restored, __ = self._catalog.intern(restored, self._hashes[-1])
+        self._current = restored
 
     def clone(self) -> "DeltaStore":
         """Independent copy sharing the version payloads.
@@ -177,13 +272,41 @@ class DeltaStore:
         ``_current`` is immutable ``bytes`` and the stored delta scripts
         are never mutated after check-in, so only the list spines need
         copying — the clone and the original can then diverge freely
-        (copy-on-write transaction overlays rely on this).
+        (copy-on-write transaction overlays rely on this).  Catalog refs
+        are *shared*, owned by the logical chain lineage: the write-set
+        machinery rebinds the clone to its transaction's catalog journal,
+        which journals only the deltas the transaction itself makes.
         """
         copy = DeltaStore.__new__(DeltaStore)
         copy._current = self._current
         copy._times = list(self._times)
+        copy._hashes = list(self._hashes)
         copy._deltas = list(self._deltas)
+        copy._catalog = self._catalog
+        copy._chain_id = self._chain_id
+        copy._cache = self._cache
         return copy
+
+    # ------------------------------------------------------------------
+    # catalog attachment
+
+    def rebind_catalog(self, catalog) -> None:
+        """Point future intern/release traffic at ``catalog``.
+
+        No refs move: used when a transaction clones the chain behind
+        its catalog journal, and again when the commit publishes it back
+        onto the base catalog.
+        """
+        self._catalog = catalog
+
+    def attach_catalog(self, catalog) -> None:
+        """Adopt ``catalog``, interning the retained-whole payload.
+
+        Used when a chain is rebuilt from a record (snapshot load): the
+        rebuilt chain takes its lineage's refs now.
+        """
+        self._catalog = catalog
+        self._current, __ = catalog.intern(self._current, self._hashes[-1])
 
     # ------------------------------------------------------------------
     # accounting / persistence
@@ -201,20 +324,43 @@ class DeltaStore:
         return {
             "current": self._current,
             "times": list(self._times),
+            "hashes": list(self._hashes),
             "deltas": [_encode_script(s) for s in self._deltas],
         }
 
     @classmethod
     def from_record(cls, record: dict) -> "DeltaStore":
-        """Rebuild a chain from :meth:`to_record` output."""
+        """Rebuild a chain from :meth:`to_record` output.
+
+        Records written before content addressing carry no ``hashes``;
+        they are recomputed once here (one backward walk of the chain).
+        """
         store = cls.__new__(cls)
         store._current = record["current"]
         store._times = list(record["times"])
         store._deltas = [_decode_script(s) for s in record["deltas"]]
+        store._catalog = None
+        store._chain_id = next(_CHAIN_IDS)
+        store._cache = _PROCESS_CACHE
+        hashes = record.get("hashes")
+        if hashes:
+            store._hashes = [bytes(digest) for digest in hashes]
+        else:
+            store._hashes = store._recompute_hashes()
         return store
 
+    def _recompute_hashes(self) -> list[bytes]:
+        hashes: list[bytes] = [b""] * len(self._times)
+        contents = self._current
+        hashes[-1] = content_hash(contents)
+        for index in range(len(self._deltas) - 1, -1, -1):
+            contents = apply_differences_bytes(contents,
+                                               self._deltas[index])
+            hashes[index] = content_hash(contents)
+        return hashes
 
-class KeyframeDeltaStore:
+
+class KeyframeDeltaStore(_CachedChain):
     """Backward deltas with periodic full keyframes.
 
     The middle ground between :class:`DeltaStore` (minimal storage,
@@ -227,23 +373,39 @@ class KeyframeDeltaStore:
     backward chain; the current version is still O(1) because the last
     version of the last segment is also kept whole.
 
+    Interface parity with :class:`DeltaStore` (``get_exact``,
+    ``rollback_last``, ``clone``, ``to_record``/``from_record``,
+    catalog attachment, cache memoization) lets either chain type sit
+    behind the blob catalog as a drop-in backend; keyframe payloads
+    take one catalog ref each, on top of the current version's slot.
+
     The benchmark B2 ablation measures the resulting access-latency
     plateau against the pure backward chain.
     """
 
-    def __init__(self, initial: bytes, time: int, interval: int = 10):
+    def __init__(self, initial: bytes, time: int, interval: int = 10,
+                 catalog=None):
         if time <= 0:
             raise VersionError("version time must be positive")
         if interval < 2:
             raise VersionError("keyframe interval must be >= 2")
         self._interval = interval
+        self._catalog = catalog
+        initial = bytes(initial)
+        digest = content_hash(initial)
+        if catalog is not None:
+            initial, digest = catalog.intern(initial, digest)  # current
+            initial, digest = catalog.intern(initial, digest)  # keyframe
         self._times: list[int] = [time]
+        self._hashes: list[bytes] = [digest]
         #: Segment starts: version index → full contents.
-        self._keyframes: dict[int, bytes] = {0: bytes(initial)}
+        self._keyframes: dict[int, bytes] = {0: initial}
         #: Forward delta for version i (reconstructs i from i-1), absent
         #: for keyframe versions.
         self._forward: dict[int, list[Difference]] = {}
-        self._current = bytes(initial)
+        self._current = initial
+        self._chain_id = next(_CHAIN_IDS)
+        self._cache = _PROCESS_CACHE
 
     def check_in(self, contents: bytes, time: int) -> None:
         """Store a new current version with timestamp ``time``."""
@@ -252,13 +414,24 @@ class KeyframeDeltaStore:
                 f"version time {time} does not advance past "
                 f"{self._times[-1]}")
         contents = bytes(contents)
+        digest = content_hash(contents)
+        previous_digest = self._hashes[-1]
         index = len(self._times)
+        if self._catalog is not None:
+            contents, digest = self._catalog.intern(contents, digest)
         if index % self._interval == 0:
+            if self._catalog is not None:
+                # A keyframe is retained whole forever: its own ref, on
+                # top of the current-version slot's.
+                contents, digest = self._catalog.intern(contents, digest)
             self._keyframes[index] = contents
         else:
             self._forward[index] = diff_bytes(self._current, contents)
         self._times.append(time)
+        self._hashes.append(digest)
         self._current = contents
+        if self._catalog is not None:
+            self._catalog.release(previous_digest)
 
     @property
     def current_time(self) -> int:
@@ -271,7 +444,7 @@ class KeyframeDeltaStore:
         return list(self._times)
 
     def get(self, time: int = 0) -> bytes:
-        """Contents at ``time`` (0 = current)."""
+        """Contents at ``time`` (0 = current); old versions memoized."""
         if time == 0 or time >= self._times[-1]:
             if time != 0 and time < self._times[0]:
                 raise VersionError(f"no version exists at time {time}")
@@ -280,13 +453,77 @@ class KeyframeDeltaStore:
             raise VersionError(
                 f"no version exists at time {time} "
                 f"(first version is at {self._times[0]})")
-        index = bisect.bisect_right(self._times, time) - 1
+        return self._read(bisect.bisect_right(self._times, time) - 1)
+
+    def get_exact(self, time: int) -> bytes:
+        """Contents of the version checked in at exactly ``time``."""
+        if time == 0 or time == self._times[-1]:
+            return self._current
+        index = bisect.bisect_left(self._times, time)
+        if index == len(self._times) or self._times[index] != time:
+            raise VersionError(f"no version was checked in at time {time}")
+        return self._read(index)
+
+    def _materialize(self, index: int) -> bytes:
+        # Always the pure keyframe walk — no current-version shortcut:
+        # rollback_last materializes the new last version while
+        # ``_current`` still holds the payload being dropped.
         keyframe_index = index - (index % self._interval)
         contents = self._keyframes[keyframe_index]
         for step in range(keyframe_index + 1, index + 1):
             contents = apply_differences_bytes(contents,
                                                self._forward[step])
         return contents
+
+    def rollback_last(self) -> None:
+        """Drop the current version, restoring its predecessor."""
+        if len(self._times) == 1:
+            raise VersionError("cannot roll back the initial version")
+        index = len(self._times) - 1
+        popped_digest = self._hashes.pop()
+        self._times.pop()
+        if index in self._keyframes:
+            del self._keyframes[index]
+            if self._catalog is not None:
+                self._catalog.release(popped_digest)  # the keyframe ref
+        else:
+            del self._forward[index]
+        if self._catalog is not None:
+            self._catalog.release(popped_digest)  # the current slot's ref
+        restored = self._materialize(len(self._times) - 1)
+        if self._catalog is not None:
+            restored, __ = self._catalog.intern(restored, self._hashes[-1])
+        self._current = restored
+
+    def clone(self) -> "KeyframeDeltaStore":
+        """Independent copy sharing payloads (see :meth:`DeltaStore.clone`)."""
+        copy = KeyframeDeltaStore.__new__(KeyframeDeltaStore)
+        copy._interval = self._interval
+        copy._times = list(self._times)
+        copy._hashes = list(self._hashes)
+        copy._keyframes = dict(self._keyframes)
+        copy._forward = dict(self._forward)
+        copy._current = self._current
+        copy._catalog = self._catalog
+        copy._chain_id = self._chain_id
+        copy._cache = self._cache
+        return copy
+
+    def rebind_catalog(self, catalog) -> None:
+        """Point future intern/release traffic at ``catalog`` (no refs move)."""
+        self._catalog = catalog
+
+    def attach_catalog(self, catalog) -> None:
+        """Adopt ``catalog``, interning every retained-whole payload."""
+        self._catalog = catalog
+        self._current, __ = catalog.intern(self._current, self._hashes[-1])
+        for index in sorted(self._keyframes):
+            payload, __ = catalog.intern(self._keyframes[index],
+                                         self._hashes[index])
+            self._keyframes[index] = payload
+        if (len(self._times) - 1) in self._keyframes:
+            # Keep current and its keyframe slot the same object.
+            self._current = self._keyframes[len(self._times) - 1]
 
     def stats(self) -> DeltaChainStats:
         """Storage accounting: keyframes count toward history bytes."""
@@ -302,6 +539,42 @@ class KeyframeDeltaStore:
             delta_bytes=history,
         )
 
+    def to_record(self) -> dict:
+        """Encodable snapshot of the whole chain (for the record heap)."""
+        return {
+            "interval": self._interval,
+            "current": self._current,
+            "times": list(self._times),
+            "hashes": list(self._hashes),
+            "keyframes": {str(index): contents
+                          for index, contents in self._keyframes.items()},
+            "forward": {str(index): _encode_script(script)
+                        for index, script in self._forward.items()},
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "KeyframeDeltaStore":
+        """Rebuild a chain from :meth:`to_record` output."""
+        store = cls.__new__(cls)
+        store._interval = record["interval"]
+        store._current = record["current"]
+        store._times = list(record["times"])
+        store._keyframes = {int(index): contents
+                            for index, contents
+                            in record["keyframes"].items()}
+        store._forward = {int(index): _decode_script(script)
+                          for index, script in record["forward"].items()}
+        store._catalog = None
+        store._chain_id = next(_CHAIN_IDS)
+        store._cache = _PROCESS_CACHE
+        hashes = record.get("hashes")
+        if hashes:
+            store._hashes = [bytes(digest) for digest in hashes]
+        else:
+            store._hashes = [content_hash(store._materialize(index))
+                             for index in range(len(store._times))]
+        return store
+
 
 class FullCopyStore:
     """Baseline version store: every version kept whole.
@@ -313,43 +586,45 @@ class FullCopyStore:
     def __init__(self, initial: bytes, time: int):
         if time <= 0:
             raise VersionError("version time must be positive")
-        self._versions: list[tuple[int, bytes]] = [(time, bytes(initial))]
+        self._times: list[int] = [time]
+        self._payloads: list[bytes] = [bytes(initial)]
 
     def check_in(self, contents: bytes, time: int) -> None:
         """Store a new current version with timestamp ``time``."""
-        if time <= self._versions[-1][0]:
+        if time <= self._times[-1]:
             raise VersionError(
                 f"version time {time} does not advance past "
-                f"{self._versions[-1][0]}")
-        self._versions.append((time, bytes(contents)))
+                f"{self._times[-1]}")
+        self._times.append(time)
+        self._payloads.append(bytes(contents))
 
     @property
     def current_time(self) -> int:
         """Timestamp of the current version."""
-        return self._versions[-1][0]
+        return self._times[-1]
 
     @property
     def times(self) -> list[int]:
         """All version timestamps, oldest first."""
-        return [time for time, __ in self._versions]
+        return list(self._times)
 
     def get(self, time: int = 0) -> bytes:
-        """Contents at ``time`` (0 = current)."""
+        """Contents at ``time`` (0 = current).
+
+        A bisect probe, like :meth:`DeltaStore.version_index_at` — the
+        old linear reverse scan made long-history baselines quadratic.
+        """
         if time == 0:
-            return self._versions[-1][1]
-        if time < self._versions[0][0]:
+            return self._payloads[-1]
+        if time < self._times[0]:
             raise VersionError(f"no version exists at time {time}")
-        for stamp, contents in reversed(self._versions):
-            if stamp <= time:
-                return contents
-        raise AssertionError("unreachable")  # pragma: no cover
+        return self._payloads[bisect.bisect_right(self._times, time) - 1]
 
     def stats(self) -> DeltaChainStats:
         """Storage accounting (every version counted whole)."""
-        current = self._versions[-1][1]
         return DeltaChainStats(
-            version_count=len(self._versions),
-            current_bytes=len(current),
-            delta_bytes=sum(
-                len(contents) for __, contents in self._versions[:-1]),
+            version_count=len(self._times),
+            current_bytes=len(self._payloads[-1]),
+            delta_bytes=sum(len(contents)
+                            for contents in self._payloads[:-1]),
         )

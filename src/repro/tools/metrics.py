@@ -31,9 +31,9 @@ import threading
 from time import perf_counter
 from typing import Callable
 
-__all__ = ["CONCURRENCY", "CounterSet", "OperationMetrics", "OperationStats",
-           "PLANNER", "REPLICATION", "RESILIENCE", "SERVER", "TraceLog",
-           "WAL"]
+__all__ = ["CACHE", "CONCURRENCY", "CounterSet", "OperationMetrics",
+           "OperationStats", "PLANNER", "REPLICATION", "RESILIENCE",
+           "SERVER", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -159,7 +159,24 @@ PLANNER = CounterSet("plans", "shape_full_scan", "shape_index_eq",
 #: staleness budget or a session's read-your-writes LSN was not met).
 #: Surfaced by :func:`repro.tools.stats.replication_counters`.
 REPLICATION = CounterSet("lag_bytes", "lag_commits", "replayed_lsn",
-                         "promotions", "stale_rejects")
+                         "promotions", "stale_rejects",
+                         "bootstrap_bytes", "bootstrap_blobs_shipped",
+                         "bootstrap_blobs_reused")
+
+#: Process-wide content-addressable-storage counters, mirrored by every
+#: :class:`repro.storage.blockcache.BlockCache` and
+#: :class:`repro.storage.cas.BlobCatalog` in the process: ``hits`` /
+#: ``misses`` (block-cache lookups), ``admissions`` (blobs accepted into
+#: the cache), ``rejections`` (blobs the admission filter or the size
+#: bound turned away), ``evictions`` (resident blobs displaced),
+#: ``cached_bytes`` / ``cached_entries`` (gauges: current residency of
+#: the cache last touched), ``interned_blobs`` (distinct payloads a
+#: catalog stored), and ``dedup_hits`` (interns answered by an existing
+#: identical payload).  Surfaced by
+#: :func:`repro.tools.stats.cache_counters`.
+CACHE = CounterSet("hits", "misses", "admissions", "rejections",
+                   "evictions", "cached_bytes", "cached_entries",
+                   "interned_blobs", "dedup_hits")
 
 
 class OperationStats:

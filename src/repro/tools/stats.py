@@ -44,6 +44,16 @@ lag high-water marks, promotions, stale-read rejections) and
 :func:`render_replication` formats either that or one node's
 ``replStatus`` dict — the operator's answer to "how far behind are the
 replicas, and has anyone failed over?".
+
+Content-store accounting: :func:`cache_stats` snapshots the shared
+materialization block cache (:mod:`repro.storage.blockcache` — hit
+rate, admission/eviction traffic, resident bytes),
+:func:`catalog_stats` one graph's blob catalog
+(:mod:`repro.storage.cas` — interned blobs, refs, and the dedup ratio
+of logical to stored bytes), :func:`cache_counters` the process-wide
+:data:`repro.tools.metrics.CACHE` mirror, and :func:`render_cache`
+formats all three — the numbers behind "is the cache absorbing the
+deep-version reads, and how much is content addressing saving?".
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ from repro.core.ham import HAM
 from repro.core.types import CURRENT
 from repro.storage.log import WalStats
 from repro.tools.metrics import (
+    CACHE,
     CONCURRENCY,
     PLANNER,
     REPLICATION,
@@ -63,8 +74,10 @@ from repro.tools.metrics import (
 )
 from repro.txn.locks import LockStats
 
-__all__ = ["GraphStats", "concurrency_counters", "graph_stats",
-           "lock_stats", "planner_counters", "render_concurrency",
+__all__ = ["GraphStats", "cache_counters", "cache_stats",
+           "catalog_stats", "concurrency_counters", "graph_stats",
+           "lock_stats", "planner_counters", "render_cache",
+           "render_concurrency",
            "render_planner", "render_replication", "render_resilience",
            "render_server", "render_wal", "replication_counters",
            "resilience_stats", "server_counters", "snapshot_stats",
@@ -331,6 +344,75 @@ def render_replication(status: dict | None = None) -> str:
             for name, ack in sorted(
                     (status.get("subscribers") or {}).items()):
                 rows.append((f"  subscriber {name} acked", ack))
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
+
+
+def cache_counters() -> dict[str, int]:
+    """Snapshot of the process-wide content-store counters.
+
+    ``hits``/``misses`` count block-cache lookups across every cache
+    instance in the process, ``admissions``/``rejections`` the
+    frequency filter's verdicts on inserts, ``evictions`` entries
+    pushed out to make room, ``cached_bytes``/``cached_entries`` are
+    gauges of the default cache's residency, and
+    ``interned_blobs``/``dedup_hits`` count catalog interns and the
+    subset answered by an already-stored identical payload.
+    """
+    return CACHE.snapshot()
+
+
+def cache_stats(cache=None):
+    """Snapshot of one block cache's counters (the default by default).
+
+    Returns :class:`repro.storage.blockcache.CacheStats`.
+    """
+    from repro.storage.blockcache import default_cache
+    return (default_cache() if cache is None else cache).stats()
+
+
+def catalog_stats(ham: HAM):
+    """Snapshot of one opened graph's blob catalog.
+
+    Returns :class:`repro.storage.cas.CatalogStats`; the headline
+    number is ``dedup_ratio`` — logical bytes retained by version
+    chains over bytes actually stored once content addressing
+    collapses identical payloads.
+    """
+    return ham.store.catalog.stats()
+
+
+def render_cache(ham: HAM | None = None, cache=None) -> str:
+    """Human-readable content-store report.
+
+    Always renders the block cache (the process-default unless
+    ``cache`` is given); pass a ``ham`` to append its graph's catalog
+    accounting.
+    """
+    stats = cache_stats(cache)
+    rows = [
+        ("cache capacity bytes", str(stats.max_bytes)),
+        ("cache resident bytes", str(stats.current_bytes)),
+        ("  protected bytes", str(stats.protected_bytes)),
+        ("  probation bytes", str(stats.probation_bytes)),
+        ("cache entries", str(stats.entries)),
+        ("hits", str(stats.hits)),
+        ("misses", str(stats.misses)),
+        ("hit rate", f"{stats.hit_rate:.3f}"),
+        ("admissions", str(stats.admissions)),
+        ("rejections (filter)", str(stats.rejections)),
+        ("evictions", str(stats.evictions)),
+    ]
+    if ham is not None:
+        catalog = catalog_stats(ham)
+        rows.extend([
+            ("catalog blobs", str(catalog.blobs)),
+            ("catalog refs", str(catalog.refs)),
+            ("stored bytes", str(catalog.stored_bytes)),
+            ("logical bytes", str(catalog.logical_bytes)),
+            ("dedup ratio", f"{catalog.dedup_ratio:.2f}"),
+        ])
     width = max(len(label) for label, __ in rows)
     return "\n".join(f"{label.ljust(width)}  {value}"
                      for label, value in rows)

@@ -553,6 +553,10 @@ class TransactionManager:
         from logs written by earlier versions.)
         """
         txn._redo = []
+        if txn.writeset is not None:
+            # Release the blob-catalog refs the overlay's check-ins
+            # interned; the store itself was never touched.
+            txn.writeset.discard()
         txn.writeset = None
         self._retire(txn)
         self.locks.release_all(txn.txn_id)

@@ -26,7 +26,9 @@ and the read paths use:
   objects are never mutated again, so a reader holding one keeps a
   consistent (merely slightly stale) view;
 - abort is simply dropping the WriteSet: the base store was never
-  touched, and no undo machinery runs at all.
+  touched, and no undo machinery runs at all — only the blob-catalog
+  refs the transaction's check-ins interned are released
+  (:meth:`WriteSet.discard`).
 
 Deferred index maintenance rides along: ``AttributeValueIndex`` and
 ``AttributeStatistics`` updates queue on the write-set
@@ -41,6 +43,7 @@ from __future__ import annotations
 
 from repro.core.demons import DemonTable
 from repro.errors import LinkNotFoundError, NodeNotFoundError
+from repro.storage.cas import CatalogJournal
 
 __all__ = ["WriteSet"]
 
@@ -112,6 +115,14 @@ class WriteSet:
         self._index = index
         self._stats = stats
         self._index_ops: list[tuple] = []
+        #: Transaction-scoped view of the graph's blob catalog: interns
+        #: land in the shared catalog immediately (dedup works across
+        #: concurrent writers), releases wait for the transaction's
+        #: fate (:meth:`apply` commits them; :meth:`discard` instead
+        #: releases what this transaction interned).
+        base_catalog = getattr(base, "catalog", None)
+        self._catalog = (CatalogJournal(base_catalog)
+                         if base_catalog is not None else None)
         #: Overlay mappings, for code that addresses the dicts directly.
         self.nodes = _OverlayMap(base.nodes, self._nodes)
         self.links = _OverlayMap(base.links, self._links)
@@ -141,6 +152,13 @@ class WriteSet:
     def graph_demons(self):
         return (self._graph_demons if self._graph_demons is not None
                 else self.base.graph_demons)
+
+    @property
+    def catalog(self):
+        """The blob catalog a record created in this transaction uses."""
+        if self._catalog is not None:
+            return self._catalog
+        return getattr(self.base, "catalog", None)
 
     @property
     def next_node_index(self):
@@ -197,6 +215,10 @@ class WriteSet:
         record = self._nodes.get(index)
         if record is None:
             record = self.node(index).clone()
+            if self._catalog is not None:
+                # The clone shares its lineage's catalog refs; only the
+                # deltas this transaction makes go through the journal.
+                record.rebind_catalog(self._catalog)
             self._nodes[index] = record
         return record
 
@@ -269,6 +291,12 @@ class WriteSet:
         a missing node.
         """
         base = self.base
+        if self._catalog is not None:
+            # Published records rebind to the base catalog before they
+            # become reachable, so post-commit mutations (recovery
+            # replay, replicated applies) intern/release directly.
+            for record in self._nodes.values():
+                record.rebind_catalog(self._catalog.base)
         new_links = sorted(index for index in self._links
                            if index not in base.links)
         new_nodes = sorted(index for index in self._nodes
@@ -311,3 +339,17 @@ class WriteSet:
                     sink.drop_node(op[1])
                 else:  # pragma: no cover - registry invariant
                     raise AssertionError(f"unknown index op {kind!r}")
+        if self._catalog is not None:
+            # Superseded payloads really are no longer retained: apply
+            # the deferred releases.
+            self._catalog.commit()
+
+    def discard(self) -> None:
+        """Abort hook: un-intern everything this transaction staged.
+
+        The store was never touched, so dropping the overlay remains
+        free — only the catalog refs the staged check-ins took have to
+        come back out.
+        """
+        if self._catalog is not None:
+            self._catalog.abort()

@@ -1,0 +1,191 @@
+"""Differential oracle: the block cache never changes an answer.
+
+The memoization layer (:mod:`repro.storage.blockcache`) must be purely
+an accelerator.  One seeded workload of check-ins, rollbacks (aborts),
+context-style re-reads, and as-of-time queries is replayed under three
+cache configurations —
+
+1. the shared cache, amply sized (everything hits after first read),
+2. cache disabled (every historical read walks its delta chain),
+3. a one-entry-sized cache (pathological thrash: constant admission
+   duels and evictions) —
+
+locally and over real TCP, with concurrent writer threads churning the
+graph while historical readers replay.  Every configuration must
+produce byte-identical version reads; the cache-enabled run must
+actually have hit.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import HAM
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    StaleVersionError,
+)
+from repro.server import HAMServer, RemoteHAM
+from repro.storage import blockcache
+from repro.storage.blockcache import BlockCache
+
+NODES = 4
+VERSIONS = 25
+SEEDS = (7, 1986)
+
+RETRYABLE = (StaleVersionError, DeadlockError, LockTimeoutError)
+
+
+@pytest.fixture(params=["shared", "disabled", "one-entry"])
+def cache_mode(request):
+    """Install the configuration's cache process-wide for the test.
+
+    "disabled" swaps in a fresh default too — the tests then set each
+    chain's ``cache`` attribute to None, the supported off switch —
+    so a prior test's residency can never leak in.  "one-entry" is
+    sized to hold roughly one materialization at a time.
+    """
+    sizes = {"shared": 8 * 1024 * 1024, "one-entry": 4096,
+             "disabled": 1024}
+    previous = blockcache.set_default(
+        BlockCache(max_bytes=sizes[request.param]))
+    yield request.param
+    blockcache.set_default(previous)
+
+
+def _seeded_history(ham, seed):
+    """Build NODES archive nodes with interleaved, aborted, rolled-back
+    edits; returns the oracle: node -> list of (time, contents)."""
+    rng = random.Random(seed)
+    oracle = {}
+    nodes = []
+    for __ in range(NODES):
+        node, t = ham.add_node()
+        nodes.append(node)
+        oracle[node] = [(t, b"")]
+    for round_no in range(VERSIONS):
+        for node in nodes:
+            when, __ = oracle[node][-1]
+            body = bytes(rng.getrandbits(8)
+                         for __ in range(rng.randint(50, 400)))
+            if rng.random() < 0.2:
+                # An aborted edit: must leave no trace in any history.
+                txn = ham.begin()
+                ham.modify_node(txn, node=node, expected_time=when,
+                                contents=b"ABORTED" + body)
+                txn.abort()
+            new_time = ham.modify_node(node=node, expected_time=when,
+                                       contents=body)
+            oracle[node].append((new_time, body))
+    return oracle
+
+
+def _disable_chain_caches(ham):
+    for record in ham.store.nodes.values():
+        if record._archive is not None:
+            record._archive.cache = None
+
+
+def _read_all_history(reader, oracle, rng):
+    """Read every (time, contents) pair in shuffled order, twice."""
+    probes = [(node, when, contents)
+              for node, history in oracle.items()
+              for when, contents in history]
+    for __ in range(2):
+        rng.shuffle(probes)
+        for node, when, contents in probes:
+            got = reader.open_node(node, time=when)[0]
+            assert got == contents, (
+                f"node {node} at t={when}: cache changed the bytes")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_local_reads_identical_across_cache_modes(cache_mode, seed):
+    with HAM.ephemeral() as ham:
+        oracle = _seeded_history(ham, seed)
+        if cache_mode == "disabled":
+            _disable_chain_caches(ham)
+        _read_all_history(ham, oracle, random.Random(seed + 1))
+        if cache_mode == "shared":
+            assert blockcache.default_cache().stats().hits > 0
+        if cache_mode == "one-entry":
+            stats = blockcache.default_cache().stats()
+            assert stats.evictions + stats.rejections > 0, \
+                "thrash configuration never thrashed"
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_tcp_reads_identical_across_cache_modes(cache_mode, seed):
+    with HAM.ephemeral() as ham:
+        oracle = _seeded_history(ham, seed)
+        if cache_mode == "disabled":
+            _disable_chain_caches(ham)
+        server = HAMServer(ham).start()
+        try:
+            client = RemoteHAM(*server.address)
+            try:
+                _read_all_history(client, oracle, random.Random(seed + 1))
+            finally:
+                client.close()
+        finally:
+            server.stop()
+
+
+def test_historical_reads_stable_under_concurrent_writers(cache_mode):
+    """Old versions are immutable facts: readers replaying history while
+    writers stack new versions (and abort some) must see exactly the
+    oracle, hit or miss, thrash or not."""
+    with HAM.ephemeral() as ham:
+        oracle = _seeded_history(ham, seed=31)
+        if cache_mode == "disabled":
+            _disable_chain_caches(ham)
+        nodes = list(oracle)
+        stop = threading.Event()
+        failures = []
+
+        def writer(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                node = rng.choice(nodes)
+                try:
+                    __, ___, ____, when = ham.open_node(node)
+                    if rng.random() < 0.3:
+                        txn = ham.begin()
+                        ham.modify_node(
+                            txn, node=node, expected_time=when,
+                            contents=b"torn" * rng.randint(1, 50))
+                        txn.abort()
+                    else:
+                        ham.modify_node(
+                            node=node, expected_time=when,
+                            contents=bytes(rng.getrandbits(8)
+                                           for __ in range(100)))
+                except RETRYABLE:
+                    continue
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        def reader(seed):
+            try:
+                _read_all_history(ham, oracle, random.Random(seed))
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(s,))
+                   for s in (1, 2)]
+        readers = [threading.Thread(target=reader, args=(s,))
+                   for s in (3, 4, 5)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=120)
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in writers + readers)
+        assert not failures, failures[0]

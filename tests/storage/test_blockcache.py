@@ -1,0 +1,191 @@
+"""The shared materialization cache: SLRU segments, admission, sizing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.storage import blockcache
+from repro.storage.blockcache import BlockCache, DEFAULT_MAX_BYTES
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = BlockCache(max_bytes=1024)
+        assert cache.get("k") is None
+        assert cache.put("k", b"value")
+        assert cache.get("k") == b"value"
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_byte_sized_accounting(self):
+        cache = BlockCache(max_bytes=1024)
+        cache.put("a", b"x" * 100)
+        cache.put("b", b"y" * 50)
+        assert cache.current_bytes == 150
+        assert len(cache) == 2
+
+    def test_duplicate_put_is_a_noop(self):
+        cache = BlockCache(max_bytes=1024)
+        cache.put("k", b"v")
+        assert cache.put("k", b"v")
+        assert len(cache) == 1
+        assert cache.stats().admissions == 1
+
+    def test_oversized_blob_rejected(self):
+        cache = BlockCache(max_bytes=100)
+        assert not cache.put("huge", b"z" * 101)
+        assert "huge" not in cache
+        assert cache.stats().rejections == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = BlockCache(max_bytes=1024)
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.stats().hits == 1
+
+
+class TestSegmentedLru:
+    def test_second_touch_promotes_to_protected(self):
+        cache = BlockCache(max_bytes=1000)
+        cache.put("k", b"v" * 10)
+        assert cache.stats().probation_bytes == 10
+        cache.get("k")
+        stats = cache.stats()
+        assert stats.protected_bytes == 10
+        assert stats.probation_bytes == 0
+
+    def test_one_touch_scan_cannot_displace_protected(self):
+        cache = BlockCache(max_bytes=100, protected_fraction=0.8)
+        cache.put("hot", b"h" * 60)
+        cache.get("hot")  # promoted: protected
+        # A cold scan of never-reread blobs washes through probation.
+        for n in range(20):
+            cache.put(("cold", n), b"c" * 30)
+        assert cache.get("hot") == b"h" * 60
+
+    def test_protected_overflow_demotes_to_probation(self):
+        cache = BlockCache(max_bytes=100, protected_fraction=0.5)
+        cache.put("a", b"a" * 30)
+        cache.put("b", b"b" * 30)
+        cache.get("a")
+        cache.get("b")  # protected now over its 50-byte cap: "a" demotes
+        stats = cache.stats()
+        assert stats.protected_bytes == 30
+        assert stats.probation_bytes == 30
+        assert cache.get("a") == b"a" * 30  # still resident
+
+    def test_eviction_prefers_probation_lru(self):
+        cache = BlockCache(max_bytes=90)
+        cache.put("old", b"o" * 30)
+        cache.put("new", b"n" * 30)
+        cache.put("extra", b"e" * 30)
+        # All three fit; a fourth must evict the probation LRU ("old").
+        cache.put("fourth", b"f" * 30)
+        assert "old" not in cache
+        assert "new" in cache and "extra" in cache and "fourth" in cache
+        assert cache.stats().evictions == 1
+
+
+class TestAdmissionFilter:
+    def test_popular_resident_beats_one_shot_newcomer(self):
+        cache = BlockCache(max_bytes=50)
+        cache.put("hot", b"h" * 40)
+        for __ in range(5):
+            cache.get("hot")
+        # The newcomer's frequency (1) loses the duel against "hot".
+        assert not cache.put("cold", b"c" * 40)
+        assert "hot" in cache
+        assert cache.stats().rejections == 1
+
+    def test_newcomer_as_popular_as_victim_is_admitted(self):
+        cache = BlockCache(max_bytes=50)
+        cache.put("old", b"o" * 40)  # touched once at insert
+        for __ in range(3):
+            cache.get("new")  # misses, but they raise its frequency
+        assert cache.put("new", b"n" * 40)
+        assert "old" not in cache
+
+    def test_frequency_decays(self):
+        cache = BlockCache(max_bytes=50, decay_interval=8)
+        cache.put("hot", b"h" * 40)
+        for __ in range(5):
+            cache.get("hot")
+        # Burn through the decay interval with unrelated touches; the
+        # halvings bring "hot" down until a newcomer can displace it.
+        for n in range(40):
+            cache.get(("noise", n % 3))
+        assert cache.put("cold", b"c" * 40)
+        assert "hot" not in cache
+
+
+class TestSingleEntryThrash:
+    def test_capacity_one_entry_still_correct(self):
+        cache = BlockCache(max_bytes=10)
+        assert cache.put("a", b"x" * 10)
+        assert cache.get("a") == b"x" * 10
+        # "b" duels "a" (freq 1 at insert + 1 hit = 2 > 1): rejected.
+        assert not cache.put("b", b"y" * 10)
+        # After enough misses "b" out-scores the resident and takes over.
+        for __ in range(3):
+            cache.get("b")
+        assert cache.put("b", b"y" * 10)
+        assert cache.get("b") == b"y" * 10
+        assert "a" not in cache
+
+
+class TestProcessDefault:
+    def test_configure_replaces_default(self):
+        original = blockcache.default_cache()
+        try:
+            replacement = blockcache.configure(4096)
+            assert blockcache.default_cache() is replacement
+            assert replacement.max_bytes == 4096
+        finally:
+            blockcache.set_default(original)
+
+    def test_set_default_returns_previous(self):
+        original = blockcache.default_cache()
+        mine = BlockCache(max_bytes=1024)
+        previous = blockcache.set_default(mine)
+        try:
+            assert previous is original
+            assert blockcache.default_cache() is mine
+        finally:
+            blockcache.set_default(original)
+
+    def test_default_capacity(self):
+        assert DEFAULT_MAX_BYTES == 32 * 1024 * 1024
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_traffic(self):
+        cache = BlockCache(max_bytes=2000)
+        errors = []
+
+        def worker(seed):
+            try:
+                for n in range(300):
+                    key = ("k", (seed * 7 + n) % 40)
+                    blob = cache.get(key)
+                    if blob is None:
+                        cache.put(key, bytes([seed]) * 50)
+                    else:
+                        assert len(blob) == 50
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.current_bytes <= 2000

@@ -1,0 +1,175 @@
+"""Content-addressable blob catalog: intern, dedup, snapshot surgery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ham import HAM
+from repro.errors import StorageError
+from repro.storage.cas import (
+    DIGEST_SIZE,
+    MIN_SHIPPED_BLOB,
+    BlobCatalog,
+    CatalogJournal,
+    collect_snapshot_blobs,
+    content_hash,
+    inflate_snapshot_blobs,
+    strip_snapshot_blobs,
+)
+from repro.storage.serializer import decode_value, encode_value
+
+
+class TestContentHash:
+    def test_digest_width(self):
+        assert len(content_hash(b"")) == DIGEST_SIZE
+        assert len(content_hash(b"x" * 10_000)) == DIGEST_SIZE
+
+    def test_deterministic_and_content_sensitive(self):
+        assert content_hash(b"abc") == content_hash(b"abc")
+        assert content_hash(b"abc") != content_hash(b"abd")
+
+
+class TestBlobCatalog:
+    def test_intern_returns_canonical_object(self):
+        catalog = BlobCatalog()
+        first, digest = catalog.intern(b"payload one")
+        second, digest2 = catalog.intern(bytearray(b"payload one"))
+        assert digest == digest2
+        # Identical contents share one object, not just one entry.
+        assert second is first
+        assert len(catalog) == 1
+
+    def test_refcounted_release(self):
+        catalog = BlobCatalog()
+        __, digest = catalog.intern(b"twice")
+        catalog.intern(b"twice")
+        catalog.release(digest)
+        assert digest in catalog
+        catalog.release(digest)
+        assert digest not in catalog
+        assert catalog.get(digest) is None
+
+    def test_release_of_absent_digest_is_silent(self):
+        catalog = BlobCatalog()
+        catalog.release(content_hash(b"never interned"))
+        assert len(catalog) == 0
+
+    def test_manifest_is_sorted_digests(self):
+        catalog = BlobCatalog()
+        digests = set()
+        for word in (b"alpha", b"beta", b"gamma"):
+            __, digest = catalog.intern(word)
+            digests.add(digest)
+        assert catalog.manifest() == sorted(digests)
+
+    def test_payloads_copy(self):
+        catalog = BlobCatalog()
+        payload, digest = catalog.intern(b"held")
+        assert catalog.payloads() == {digest: payload}
+
+    def test_stats_measure_dedup(self):
+        catalog = BlobCatalog()
+        catalog.intern(b"x" * 100)
+        catalog.intern(b"x" * 100)
+        catalog.intern(b"x" * 100)
+        catalog.intern(b"y" * 50)
+        stats = catalog.stats()
+        assert stats.blobs == 2
+        assert stats.refs == 4
+        assert stats.stored_bytes == 150
+        assert stats.logical_bytes == 350
+        assert stats.dedup_ratio == pytest.approx(350 / 150)
+
+    def test_empty_catalog_dedup_ratio_is_one(self):
+        assert BlobCatalog().stats().dedup_ratio == 1.0
+
+
+class TestCatalogJournal:
+    def test_interns_land_immediately_releases_wait_for_commit(self):
+        catalog = BlobCatalog()
+        __, kept = catalog.intern(b"kept by the base")
+        journal = CatalogJournal(catalog)
+        __, added = journal.intern(b"added by the txn")
+        journal.release(kept)
+        # Visible to concurrent transactions right away...
+        assert added in catalog
+        # ...but the release is still pending.
+        assert kept in catalog
+        journal.commit()
+        assert kept not in catalog
+        assert added in catalog
+
+    def test_abort_uninterns_only_what_the_txn_added(self):
+        catalog = BlobCatalog()
+        __, kept = catalog.intern(b"pre-existing")
+        journal = CatalogJournal(catalog)
+        __, added = journal.intern(b"doomed")
+        journal.release(kept)
+        journal.abort()
+        assert added not in catalog
+        assert kept in catalog  # the deferred release never applied
+
+    def test_txn_dedup_against_base_survives_abort(self):
+        catalog = BlobCatalog()
+        __, digest = catalog.intern(b"shared payload")
+        journal = CatalogJournal(catalog)
+        journal.intern(b"shared payload")
+        journal.abort()
+        # The transaction's ref came back out; the base's remains.
+        assert digest in catalog
+        catalog.release(digest)
+        assert digest not in catalog
+
+
+def _graph_snapshot():
+    """A real graph snapshot with large and small payloads."""
+    ham = HAM.ephemeral()
+    big = b"B" * 400
+    small = b"s" * 8  # below MIN_SHIPPED_BLOB: must stay inline
+    node, t = ham.add_node()
+    t = ham.modify_node(node=node, expected_time=t, contents=big)
+    ham.modify_node(node=node, expected_time=t, contents=big + b"tail")
+    other, t2 = ham.add_node()
+    ham.modify_node(node=other, expected_time=t2, contents=small)
+    snapshot = ham.store.to_snapshot()
+    ham.close()
+    return snapshot
+
+
+class TestSnapshotSurgery:
+    def test_strip_inflate_round_trip(self):
+        snapshot = _graph_snapshot()
+        original = encode_value(snapshot)
+        working = decode_value(original)
+        blobs = strip_snapshot_blobs(working)
+        assert blobs  # the large payloads came out
+        assert all(len(payload) >= MIN_SHIPPED_BLOB
+                   for payload in blobs.values())
+        assert all(content_hash(payload) == digest
+                   for digest, payload in blobs.items())
+        # Stripped form is strictly smaller on the wire.
+        assert len(encode_value(working)) < len(original)
+        inflate_snapshot_blobs(working, blobs.get)
+        assert encode_value(working) == original
+
+    def test_small_payloads_stay_inline(self):
+        working = decode_value(encode_value(_graph_snapshot()))
+        strip_snapshot_blobs(working)
+        contents = {record["index"]: record["archive"]["current"]
+                    for record in working["nodes"]}
+        assert contents[2] == b"s" * 8  # small: shipped inline
+        assert contents[1] is None  # large: hash reference
+
+    def test_collect_matches_strip(self):
+        snapshot = _graph_snapshot()
+        collected = collect_snapshot_blobs(snapshot)
+        stripped = strip_snapshot_blobs(snapshot)
+        assert collected == stripped
+        # Already-stripped sites are skipped, not crashed on.
+        assert collect_snapshot_blobs(snapshot) == {}
+
+    def test_inflate_missing_blob_raises(self):
+        working = decode_value(encode_value(_graph_snapshot()))
+        strip_snapshot_blobs(working)
+        with pytest.raises(StorageError, match="neither shipped nor held"):
+            inflate_snapshot_blobs(working, lambda digest: None)

@@ -1,0 +1,94 @@
+"""Content-store observability: counters, render, the shell command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HAM
+from repro.browsers.shell import NeptuneShell
+from repro.storage import blockcache
+from repro.storage.blockcache import BlockCache
+from repro.tools.stats import (
+    cache_counters,
+    cache_stats,
+    catalog_stats,
+    render_cache,
+)
+
+
+@pytest.fixture
+def ham():
+    with HAM.ephemeral() as ham:
+        yield ham
+
+
+@pytest.fixture
+def private_cache():
+    previous = blockcache.set_default(BlockCache(max_bytes=1 << 20))
+    yield blockcache.default_cache()
+    blockcache.set_default(previous)
+
+
+def _layer_versions(ham, node, t, count=5):
+    for n in range(count):
+        t = ham.modify_node(node=node, expected_time=t,
+                            contents=f"version {n} ".encode() * 30)
+    return t
+
+
+class TestStats:
+    def test_cache_stats_reads_the_default(self, private_cache):
+        private_cache.put("k", b"blob")
+        assert cache_stats().entries == 1
+        assert cache_stats(BlockCache(max_bytes=64)).entries == 0
+
+    def test_deep_reads_populate_the_cache(self, ham, private_cache):
+        node, t = ham.add_node()
+        _layer_versions(ham, node, t)
+        first_time = ham.store.node(node).content_version_times()[0]
+        ham.open_node(node, time=first_time)
+        assert cache_stats().entries > 0
+        ham.open_node(node, time=first_time)
+        assert cache_stats().hits > 0
+
+    def test_catalog_stats_see_dedup(self, ham):
+        payload = b"same bytes " * 30
+        for __ in range(3):
+            node, t = ham.add_node()
+            ham.modify_node(node=node, expected_time=t, contents=payload)
+        stats = catalog_stats(ham)
+        assert stats.dedup_ratio > 1.0
+        assert stats.refs > stats.blobs
+
+    def test_cache_counters_mirror_process_wide(self, private_cache):
+        before = cache_counters()["misses"]
+        private_cache.get("absent")
+        assert cache_counters()["misses"] == before + 1
+
+
+class TestRender:
+    def test_render_mentions_every_figure(self, ham, private_cache):
+        node, t = ham.add_node()
+        _layer_versions(ham, node, t)
+        ham.open_node(
+            node, time=ham.store.node(node).content_version_times()[0])
+        output = render_cache(ham)
+        for label in ("hit rate", "resident bytes", "admissions",
+                      "evictions", "catalog blobs", "dedup ratio"):
+            assert label in output
+
+    def test_render_without_ham_omits_catalog(self, private_cache):
+        output = render_cache()
+        assert "hit rate" in output
+        assert "catalog" not in output
+
+
+class TestShellCommand:
+    def test_cache_command(self, ham, private_cache):
+        shell = NeptuneShell(ham)
+        output = shell.execute("cache")
+        assert "hit rate" in output
+        assert "dedup ratio" in output
+
+    def test_help_lists_cache(self, ham):
+        assert "cache" in NeptuneShell(ham).execute("help")
