@@ -1,0 +1,171 @@
+"""Experiment B17 — traversal: adjacency runs vs full-link scan.
+
+§3's browser and hardcopy workloads are traversal-shaped: follow the
+out-links of one node at a time (``linksFrom``, ``linearizeGraph``)
+through a document hierarchy.  The seed answered "which links leave this
+node?" by scanning the whole link table; the columnar core answers from
+the link table's per-node adjacency runs in O(degree).  Series: probe
+latency across graph sizes — the scan grows with the table, the
+adjacency run stays at the node's degree, so the gap widens with scale.
+The TCP variant includes the wire round-trip.
+"""
+
+import os
+import time as clock
+
+import pytest
+
+from conftest import report
+from repro import HAM
+from repro.core.types import LinkPt
+from repro.server import HAMServer, RemoteHAM
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
+
+#: Quaternary document trees: every section has ~4 subsections, so the
+#: probe's degree is constant while the link table grows 16x end to end.
+GRAPH_SIZES = [400, 1600, 6400]
+
+
+def _build(size):
+    ham = HAM.ephemeral()
+    nodes = []
+    with ham.begin() as txn:
+        for i in range(size):
+            node, __ = ham.add_node(txn)
+            nodes.append(node)
+            if i:
+                ham.add_link(txn, from_pt=LinkPt(nodes[(i - 1) // 4]),
+                             to_pt=LinkPt(node))
+    return ham, nodes
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {size: _build(size) for size in GRAPH_SIZES}
+
+
+def _naive_links_from(ham, node, time=0):
+    """The seed's access path: scan every row in the link table."""
+    return sorted(link.index for link in ham.store.links.values()
+                  if link.from_node == node and link.alive_at(time))
+
+
+def _probe_nodes(nodes):
+    """Interior nodes spread across the tree (all have out-degree 4)."""
+    interior = nodes[:(len(nodes) - 1) // 4]
+    step = max(1, len(interior) // 25)
+    return interior[::step][:25]
+
+
+@pytest.mark.benchmark(group="B17 traversal")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+def test_b17_links_from_adjacency(benchmark, graphs, size):
+    ham, nodes = graphs[size]
+    probes = _probe_nodes(nodes)
+
+    def run():
+        return [ham.links_from(node) for node in probes]
+
+    results = benchmark(run)
+    assert all(results)
+
+
+@pytest.mark.benchmark(group="B17 traversal")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+def test_b17_links_from_scan(benchmark, graphs, size):
+    ham, nodes = graphs[size]
+    probes = _probe_nodes(nodes)
+
+    def run():
+        return [_naive_links_from(ham, node) for node in probes]
+
+    results = benchmark(run)
+    assert all(results)
+
+
+@pytest.mark.benchmark(group="B17 traversal")
+def test_b17_speedup_table(benchmark, graphs):
+    """Adjacency vs scan, one row per size; the gap must widen."""
+
+    def measure():
+        rows = []
+        for size in GRAPH_SIZES:
+            ham, nodes = graphs[size]
+            probes = _probe_nodes(nodes)
+            start = clock.perf_counter()
+            for __ in range(5):
+                adjacency = [ham.links_from(node) for node in probes]
+            adjacency_time = (clock.perf_counter() - start) / 5
+            start = clock.perf_counter()
+            scanned = [_naive_links_from(ham, node) for node in probes]
+            scan_time = clock.perf_counter() - start
+            assert adjacency == scanned
+            rows.append((size, len(probes), adjacency_time, scan_time))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'nodes':>6}  {'probes':>6}  {'adjacency':>10}  "
+             f"{'scan':>10}  {'speedup':>8}"]
+    for size, probes, adjacency_time, scan_time in rows:
+        lines.append(
+            f"{size:>6}  {probes:>6}  {adjacency_time * 1e3:>8.3f}ms  "
+            f"{scan_time * 1e3:>8.3f}ms  "
+            f"{scan_time / adjacency_time:>7.1f}x")
+    report("B17 linksFrom: adjacency runs vs full-link scan (local)", lines)
+
+    # O(degree) vs O(table): the win must clear 5x at full size and
+    # keep growing with the table.  Quick mode only checks the shape.
+    floor = 1.0 if QUICK else 5.0
+    speedups = [scan / adjacency for __, ___, adjacency, scan in rows]
+    assert speedups[-1] > floor
+    assert speedups[-1] > speedups[0]
+
+
+@pytest.mark.benchmark(group="B17 traversal")
+@pytest.mark.parametrize("size", GRAPH_SIZES)
+def test_b17_linearize_subtree(benchmark, graphs, size):
+    """Subtree walk: every DFS step is one adjacency-run read."""
+    ham, nodes = graphs[size]
+    root = nodes[len(nodes) // 20]  # interior: ~2 levels below it
+    result = benchmark(ham.linearize_graph, root)
+    assert len(result.nodes) > 1
+
+
+def test_b17_traversal_over_tcp(graphs):
+    """The same probes through the TCP server: wire cost included."""
+    rows = []
+    for size in GRAPH_SIZES:
+        ham, nodes = graphs[size]
+        probes = _probe_nodes(nodes)
+        server = HAMServer(ham).start()
+        try:
+            client = RemoteHAM(*server.address)
+            try:
+                start = clock.perf_counter()
+                remote = [client.links_from(node) for node in probes]
+                remote_time = clock.perf_counter() - start
+                assert remote == [_naive_links_from(ham, node)
+                                  for node in probes]
+                root = nodes[len(nodes) // 20]
+                start = clock.perf_counter()
+                walk = client.linearize_graph(root)
+                walk_time = clock.perf_counter() - start
+                assert len(walk.nodes) > 1
+                rows.append((size, len(probes), remote_time, walk_time))
+            finally:
+                client.close()
+        finally:
+            server.stop()
+
+    lines = [f"{'nodes':>6}  {'probes':>6}  {'linksFrom':>10}  "
+             f"{'linearize':>10}"]
+    for size, probes, remote_time, walk_time in rows:
+        lines.append(
+            f"{size:>6}  {probes:>6}  {remote_time * 1e3:>8.2f}ms  "
+            f"{walk_time * 1e3:>8.2f}ms")
+    report("B17 traversal over TCP (round-trips included)", lines)
+
+    # Per-probe linksFrom cost must stay near-flat as the table grows
+    # 16x — the wire round-trip dominates, not the access path.
+    assert rows[-1][2] < rows[0][2] * 4

@@ -222,6 +222,27 @@ class VersionedAttributes:
                 f"attribute index {index} has no value at time {time}")
         return value
 
+    def values_at(self, indexes, time: Time) -> list[str | None]:
+        """Values for ``indexes`` as of ``time``; ``None`` marks absence.
+
+        The columnar batch evaluator's probe: touches only the
+        referenced timelines instead of materializing the full
+        :meth:`all_at` dict, so the cost tracks the predicate's
+        attribute count, not the entity's.
+        """
+        timelines = self._timelines
+        values: list[str | None] = []
+        for index in indexes:
+            timeline = timelines.get(index)
+            value: str | None = _DELETED
+            if timeline is not None:
+                try:
+                    value = timeline.at(time)
+                except VersionError:
+                    value = _DELETED
+            values.append(value)
+        return values
+
     def all_at(self, time: Time) -> dict[AttributeIndex, str]:
         """Every attached (index → value) as of ``time``."""
         result: dict[AttributeIndex, str] = {}

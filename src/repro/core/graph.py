@@ -25,6 +25,7 @@ from repro.core.clock import LogicalClock
 from repro.core.demons import DemonTable
 from repro.core.link import LinkRecord
 from repro.core.node import NodeRecord
+from repro.core.table import LinkTable, NodeTable
 from repro.core.types import LinkIndex, NodeIndex, ProjectId, Time
 from repro.errors import (
     GraphExistsError,
@@ -37,6 +38,7 @@ from repro.storage.cas import BlobCatalog
 from repro.storage.heap import RecordHeap
 from repro.storage.log import MARK_SUFFIX
 from repro.storage.serializer import decode_value, encode_value
+from repro.tools.metrics import GRAPH
 
 __all__ = ["GraphStore", "GraphDirectory"]
 
@@ -52,8 +54,14 @@ class GraphStore:
         self.project_id = project_id
         self.created_at = created_at
         self.clock = LogicalClock(start=created_at)
-        self.nodes: dict[NodeIndex, NodeRecord] = {}
-        self.links: dict[LinkIndex, LinkRecord] = {}
+        # Slotted struct-of-arrays tables (see repro.core.table): rows
+        # append in strictly increasing index order, point lookups stay
+        # O(1) through the position map, and the link table maintains
+        # CSR-style per-node adjacency runs so traversal is O(degree).
+        # Both keep the read-side dict protocol the rest of the system
+        # was written against.
+        self.nodes: NodeTable = NodeTable()
+        self.links: LinkTable = LinkTable()
         self.registry = AttributeRegistry()
         self.graph_demons = DemonTable()
         self.node_demons: dict[NodeIndex, DemonTable] = {}
@@ -81,26 +89,46 @@ class GraphStore:
             raise LinkNotFoundError(f"link {index} does not exist") from None
 
     def live_nodes(self, time: Time) -> list[NodeRecord]:
-        """All nodes alive at ``time`` (0 = now), by index order."""
-        # list(dict.values()) is a single atomic snapshot under the GIL,
-        # so lock-free readers can scan while a commit inserts records.
-        records = list(self.nodes.values())
-        records.sort(key=lambda record: record.index)
-        return [node for node in records if node.alive_at(time)]
+        """All nodes alive at ``time`` (0 = now), by index order.
+
+        The node table stores rows in index order (strictly increasing
+        inserts, enforced), so this is a single filtered column scan —
+        no copy-and-sort.  Lock-free readers are safe: the table
+        publishes each row with GIL-atomic appends and bumps its row
+        count last, so a concurrent commit is seen as a consistent
+        prefix.
+        """
+        GRAPH.increment("column_scans")
+        return self.nodes.live_records(time)
 
     def live_links(self, time: Time) -> list[LinkRecord]:
         """All links alive at ``time`` (0 = now), by index order."""
-        records = list(self.links.values())
-        records.sort(key=lambda record: record.index)
-        return [link for link in records if link.alive_at(time)]
+        GRAPH.increment("column_scans")
+        return self.links.live_records(time)
 
-    def demon_table_for_node(self, index: NodeIndex) -> DemonTable:
-        """Node demon table, created on first use."""
-        table = self.node_demons.get(index)
-        if table is None:
-            table = DemonTable()
-            self.node_demons[index] = table
-        return table
+    def links_from(self, node: NodeIndex, time: Time) -> list[LinkRecord]:
+        """Links alive at ``time`` leaving ``node``, by index order.
+
+        O(degree): reads the link table's per-node adjacency run instead
+        of scanning every live link.
+        """
+        GRAPH.increment("adjacency_hits")
+        return self.links.live_from(node, time)
+
+    def links_to(self, node: NodeIndex, time: Time) -> list[LinkRecord]:
+        """Links alive at ``time`` entering ``node``, by index order."""
+        GRAPH.increment("adjacency_hits")
+        return self.links.live_to(node, time)
+
+    def demon_table_for_node(self, index: NodeIndex) -> DemonTable | None:
+        """The node's demon table, or ``None`` if none was registered.
+
+        Read-side probes must not allocate: persisting an empty
+        ``DemonTable`` for every node a probe touches bloats snapshots
+        and node-demon iteration.  Registration goes through
+        :meth:`demon_table_for_write`, which creates on first use.
+        """
+        return self.node_demons.get(index)
 
     # ------------------------------------------------------------------
     # write access
@@ -129,6 +157,14 @@ class GraphStore:
         """The graph-level demon table, writable in place."""
         return self.graph_demons
 
+    def demon_table_for_write(self, index: NodeIndex) -> DemonTable:
+        """The node's demon table, created on first registration."""
+        table = self.node_demons.get(index)
+        if table is None:
+            table = DemonTable()
+            self.node_demons[index] = table
+        return table
+
     # ------------------------------------------------------------------
     # snapshots
 
@@ -140,10 +176,11 @@ class GraphStore:
             "now": self.clock.now,
             "next_node": self.next_node_index,
             "next_link": self.next_link_index,
-            "nodes": [node.to_record() for __, node in
-                      sorted(self.nodes.items())],
-            "links": [link.to_record() for __, link in
-                      sorted(self.links.items())],
+            # Table iteration is already in index order (the sorted
+            # invariant), so the snapshot stays byte-identical to the
+            # old sorted-dict encoding without a sort.
+            "nodes": [node.to_record() for node in self.nodes.values()],
+            "links": [link.to_record() for link in self.links.values()],
             "registry": self.registry.to_record(),
             "graph_demons": self.graph_demons.to_record(),
             "node_demons": {

@@ -275,7 +275,7 @@ def _apply_set_graph_demon(store: GraphStore, args: dict) -> None:
 @_applies("set_node_demon")
 def _apply_set_node_demon(store: GraphStore, args: dict) -> None:
     time = args["time"]
-    table = store.demon_table_for_node(args["node"])
+    table = store.demon_table_for_write(args["node"])
     table.set(EventKind(args["event"]), args["demon"], time)
     store.clock.advance_to(time)
 
@@ -1236,6 +1236,40 @@ class HAM:
                 f"node {pt.node} had no version at time {time}")
         return pt.node, stamps[-1]
 
+    def links_from(self, node: NodeIndex, time: Time = CURRENT,
+                   txn: Transaction | None = None) -> list[LinkIndex]:
+        """``linksFrom``: indexes of links leaving ``node`` at ``time``.
+
+        O(degree): answered from the link table's per-node adjacency
+        run (or, inside a writer transaction, the overlay's endpoint
+        sets) — never a scan over every link in the graph.  Results are
+        ascending by link index.
+        """
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(("node", node), LockMode.SHARED)
+            store = self._store_for(t)
+            pinned = self._snapshot_time(t)
+            if pinned is not None and time == CURRENT:
+                time = pinned
+            store.node(node).require_alive(time)
+            return [link.index for link in store.links_from(node, time)]
+
+    def links_to(self, node: NodeIndex, time: Time = CURRENT,
+                 txn: Transaction | None = None) -> list[LinkIndex]:
+        """``linksTo``: indexes of links entering ``node`` at ``time``.
+
+        The mirror of :meth:`links_from`, served from the incoming
+        adjacency run.
+        """
+        with self._in_txn(txn, read_only=True) as t:
+            t.lock(("node", node), LockMode.SHARED)
+            store = self._store_for(t)
+            pinned = self._snapshot_time(t)
+            if pinned is not None and time == CURRENT:
+                time = pinned
+            store.node(node).require_alive(time)
+            return [link.index for link in store.links_to(node, time)]
+
     # ==================================================================
     # Attribute operations (Appendix A.4)
 
@@ -1463,6 +1497,8 @@ class HAM:
     getNodeDifferences = get_node_differences
     getToNode = get_to_node
     getFromNode = get_from_node
+    linksFrom = links_from
+    linksTo = links_to
     getAttributes = get_attributes
     getAttributeValues = get_attribute_values
     getAttributeIndex = get_attribute_index

@@ -72,8 +72,10 @@ __all__ = [
 #: commit LSN (None for read-only transactions) so sessions can carry
 #: read-your-writes watermarks.  Version 5 gave ``replSnapshot`` a
 #: ``have`` parameter (content digests the caller already holds) and a
-#: manifest-form reply that ships only the missing blobs.
-PROTOCOL_VERSION = 5
+#: manifest-form reply that ships only the missing blobs.  Version 6 added
+#: ``linksFrom``/``linksTo`` (O(degree) adjacency traversal over the
+#: columnar graph core).
+PROTOCOL_VERSION = 6
 
 
 class _Required:
@@ -463,6 +465,20 @@ _register(Operation(
 _register(Operation(
     "get_from_node", (Param("link"), Param("time", default=CURRENT)),
     INT_PAIR, appendix_name="getFromNode"))
+# Not Appendix operations — columnar-core extensions, so they carry no
+# appendix_name (the conformance suite pins that set to the paper).
+_register(Operation(
+    "links_from",
+    (Param("node"), Param("time", default=CURRENT), _txn_param()),
+    IDENTITY,
+    doc="Indexes of links leaving ``node`` at ``time``, ascending; "
+        "O(degree) via the link table's adjacency runs."))
+_register(Operation(
+    "links_to",
+    (Param("node"), Param("time", default=CURRENT), _txn_param()),
+    IDENTITY,
+    doc="Indexes of links entering ``node`` at ``time``, ascending; "
+        "O(degree) via the link table's adjacency runs."))
 
 # --- attribute operations --------------------------------------------
 _register(Operation(

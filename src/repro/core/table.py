@@ -1,0 +1,315 @@
+"""Struct-of-arrays record tables for the in-memory graph core.
+
+The graph used to hold one Python object per record in plain dicts; every
+``live_nodes``/``live_links`` call copied and re-sorted the whole record
+set, and every traversal scanned *all* links.  These tables keep the
+records in **slotted struct-of-arrays form** instead:
+
+- parallel columns (``array('q')`` where the domain is integral, plain
+  lists elsewhere) for record index, creation time, deletion time, link
+  endpoints, and attribute-set handles, appended in one fixed row order;
+- a position map (``index -> row``) for O(1) point lookups;
+- for links, incrementally maintained CSR-style adjacency: per-node
+  ``array('q')`` runs of link indexes, appended at insert time, so
+  ``linksFrom``/``linksTo`` are O(degree) instead of O(total links).
+
+**Sorted invariant.**  Rows are appended in strictly increasing index
+order and never re-ordered, so every column — and every adjacency run —
+is ascending by construction and no consumer ever sorts.  The invariant
+holds structurally: index allocation is monotonic under the exclusive
+graph resource lock (held through commit *and* publish), recovery and
+replication replay the WAL in commit order, and snapshots serialize rows
+in index order.  ``insert`` enforces it with a ``ValueError`` rather
+than silently degrading to re-sort behaviour.
+
+**Publication discipline.**  Commit publishes rows while lock-free MVCC
+snapshot readers scan.  Each step of an insert is a single GIL-atomic
+list/array/dict operation, ordered so a concurrent reader only ever sees
+a consistent prefix: row columns are appended first, then the position
+map entry, then adjacency runs, and the published row count ``_count``
+is bumped **last**.  Readers snapshot ``_count`` once and scan that
+prefix; point lookups through the position map are safe because the
+record object is always in place before its map entry appears.  (The
+write-set layer additionally brackets the whole batch in the seqlock, so
+optimistic readers retry across multi-row commits.)
+
+**Liveness stays on the record.**  Recovery replay, replica apply, and
+the delete cascade all tombstone *the record object in place* through
+the ``*_for_write`` seams — a deletion-time column updated only on
+``__setitem__`` would go stale.  The deletion column therefore exists
+for diagnostics and column-oriented consumers that refresh it, but every
+liveness decision calls ``record.alive_at(time)`` on the row facade;
+the columns buy ordering and iteration wins, never liveness truth.
+
+The public :class:`~repro.core.node.NodeRecord` and
+:class:`~repro.core.link.LinkRecord` objects remain the row facades:
+everything above ``core/`` keeps passing records around unchanged.  The
+tables also keep the full read-side dict protocol (``[]``, ``in``,
+``len``, iteration, ``get``/``keys``/``values``/``items``) so existing
+consumers work against them verbatim.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator
+
+from repro.core.link import LinkRecord
+from repro.core.node import NodeRecord
+from repro.core.types import LinkIndex, NodeIndex, Time
+
+__all__ = ["LinkTable", "NodeTable"]
+
+_EMPTY_RUN = array("q")
+
+
+class _RecordTable:
+    """Shared struct-of-arrays machinery for node and link tables.
+
+    Subclasses declare extra columns by overriding :meth:`_append_row`
+    and :meth:`_refresh_row`; the base class owns the index/time columns,
+    the record column, the position map, and the published row count.
+    """
+
+    __slots__ = ("_indexes", "_created", "_deleted", "_records", "_pos",
+                 "_count")
+
+    #: Raised message prefix — subclasses set the record noun.
+    _noun = "record"
+
+    def __init__(self) -> None:
+        #: Record index column, ascending by the sorted invariant.
+        self._indexes = array("q")
+        #: Creation-time column, parallel to ``_indexes``.
+        self._created = array("q")
+        #: Deletion-time column (``None`` while undeleted).  Advisory —
+        #: see the module docstring; liveness reads the record.
+        self._deleted: list[Time | None] = []
+        #: Row facades, parallel to the columns.
+        self._records: list = []
+        #: index -> row position.
+        self._pos: dict[int, int] = {}
+        #: Published row count; bumped last so readers scan a prefix.
+        self._count = 0
+
+    # -- write side ----------------------------------------------------
+
+    def insert(self, record) -> None:
+        """Append ``record`` as a new row; index must be strictly rising."""
+        n = self._count
+        if n and record.index <= self._indexes[n - 1]:
+            raise ValueError(
+                f"{self._noun} {record.index} breaks the sorted table "
+                f"invariant (last stored index {self._indexes[n - 1]}); "
+                f"rows must be inserted in strictly increasing index order")
+        # Publication order matters — see the module docstring.
+        self._records.append(record)
+        self._indexes.append(record.index)
+        self._created.append(record.created_at)
+        self._deleted.append(record.deleted_at)
+        self._append_row(record)
+        self._pos[record.index] = n
+        self._adjacency_row(record)
+        self._count = n + 1
+
+    def _append_row(self, record) -> None:
+        """Append subclass columns for a new row."""
+
+    def _adjacency_row(self, record) -> None:
+        """Publish adjacency for a new row (after the position map)."""
+
+    def _refresh_row(self, position: int, record) -> None:
+        """Refresh subclass columns when a row is replaced."""
+
+    def __setitem__(self, index: int, record) -> None:
+        """Insert a new row, or replace the record at an existing one.
+
+        Replacement keeps the row position (the write-set publishes
+        cloned records over their base rows) and refreshes the advisory
+        columns; it never touches adjacency.
+        """
+        position = self._pos.get(index)
+        if position is None:
+            self.insert(record)
+            return
+        self._created[position] = record.created_at
+        self._deleted[position] = record.deleted_at
+        self._refresh_row(position, record)
+        self._records[position] = record
+
+    def __delitem__(self, index: int) -> None:
+        """Remove a row outright (test/corruption tooling only).
+
+        Real deletion is a tombstone; physically removing a row compacts
+        every column and rebuilds the position map, and is not safe
+        against concurrent readers.
+        """
+        position = self._pos.pop(index)
+        self._count -= 1
+        del self._records[position]
+        self._indexes.pop(position)
+        self._created.pop(position)
+        del self._deleted[position]
+        self._pop_row(position)
+        for moved in range(position, self._count):
+            self._pos[self._indexes[moved]] = moved
+
+    def _pop_row(self, position: int) -> None:
+        """Remove subclass columns for a physically deleted row."""
+
+    # -- read side (dict protocol) -------------------------------------
+
+    def __getitem__(self, index: int):
+        return self._records[self._pos[index]]
+
+    def get(self, index: int, default=None):
+        position = self._pos.get(index)
+        if position is None:
+            return default
+        return self._records[position]
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._pos
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._indexes[:self._count])
+
+    def keys(self) -> list[int]:
+        """Record indexes, ascending (never sorted — stored that way)."""
+        return list(self._indexes[:self._count])
+
+    def values(self) -> list:
+        """Row facades in index order."""
+        return self._records[:self._count]
+
+    def items(self) -> list[tuple[int, object]]:
+        """``(index, record)`` pairs in index order."""
+        n = self._count
+        return list(zip(self._indexes[:n], self._records[:n]))
+
+    # -- columnar scans ------------------------------------------------
+
+    def live_records(self, time: Time) -> list:
+        """Records alive at ``time``, in index order, without sorting."""
+        return [record for record in self._records[:self._count]
+                if record.alive_at(time)]
+
+
+class NodeTable(_RecordTable):
+    """Slotted node table: index/created/deleted/attribute-handle columns."""
+
+    __slots__ = ("_attrs",)
+
+    _noun = "node"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Attribute-set handles (:class:`VersionedAttributes`), parallel
+        #: to the index column; the batch evaluator probes these instead
+        #: of materializing per-object attribute dicts.
+        self._attrs: list = []
+
+    def _append_row(self, record: NodeRecord) -> None:
+        self._attrs.append(record.attributes)
+
+    def _refresh_row(self, position: int, record: NodeRecord) -> None:
+        self._attrs[position] = record.attributes
+
+    def _pop_row(self, position: int) -> None:
+        del self._attrs[position]
+
+    def attribute_handles(self) -> list:
+        """The attribute-set handle column, in index order."""
+        return self._attrs[:self._count]
+
+
+class LinkTable(_RecordTable):
+    """Slotted link table with CSR-style per-node adjacency runs."""
+
+    __slots__ = ("_from", "_to", "_out", "_in")
+
+    _noun = "link"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Endpoint columns, parallel to the index column.
+        self._from = array("q")
+        self._to = array("q")
+        #: CSR-style adjacency: node -> ascending run of link indexes.
+        #: Append-only (tombstoned links stay in their runs and are
+        #: filtered by ``alive_at`` at read time), so each run is sorted
+        #: by the same invariant as the table itself.
+        self._out: dict[NodeIndex, array] = {}
+        self._in: dict[NodeIndex, array] = {}
+
+    def _append_row(self, record: LinkRecord) -> None:
+        self._from.append(record.from_node)
+        self._to.append(record.to_node)
+
+    def _adjacency_row(self, record: LinkRecord) -> None:
+        run = self._out.get(record.from_node)
+        if run is None:
+            run = self._out[record.from_node] = array("q")
+        run.append(record.index)
+        run = self._in.get(record.to_node)
+        if run is None:
+            run = self._in[record.to_node] = array("q")
+        run.append(record.index)
+
+    def _refresh_row(self, position: int, record: LinkRecord) -> None:
+        # Link endpoints are immutable after creation (LinkRecord shares
+        # its endpoint map across clones); adjacency runs rely on that.
+        if (record.from_node != self._from[position]
+                or record.to_node != self._to[position]):
+            raise ValueError(
+                f"link {record.index} replacement changes its endpoints "
+                f"({self._from[position]}->{self._to[position]} vs "
+                f"{record.from_node}->{record.to_node}); endpoints are "
+                f"immutable and adjacency runs depend on it")
+
+    def _pop_row(self, position: int) -> None:
+        self._from.pop(position)
+        self._to.pop(position)
+
+    def __delitem__(self, index: LinkIndex) -> None:
+        position = self._pos[index]
+        from_node = self._from[position]
+        to_node = self._to[position]
+        super().__delitem__(index)
+        for node, runs in ((from_node, self._out), (to_node, self._in)):
+            run = runs.get(node)
+            if run is not None and index in run:
+                run.remove(index)
+
+    # -- adjacency -----------------------------------------------------
+
+    def out_link_indexes(self, node: NodeIndex) -> Iterable[LinkIndex]:
+        """Ascending run of link indexes leaving ``node`` (incl. dead)."""
+        run = self._out.get(node)
+        if run is None:
+            return _EMPTY_RUN
+        return run[:len(run)]
+
+    def in_link_indexes(self, node: NodeIndex) -> Iterable[LinkIndex]:
+        """Ascending run of link indexes entering ``node`` (incl. dead)."""
+        run = self._in.get(node)
+        if run is None:
+            return _EMPTY_RUN
+        return run[:len(run)]
+
+    def live_from(self, node: NodeIndex, time: Time) -> list[LinkRecord]:
+        """Links alive at ``time`` leaving ``node`` — O(degree)."""
+        records = self._records
+        pos = self._pos
+        return [record for index in self.out_link_indexes(node)
+                if (record := records[pos[index]]).alive_at(time)]
+
+    def live_to(self, node: NodeIndex, time: Time) -> list[LinkRecord]:
+        """Links alive at ``time`` entering ``node`` — O(degree)."""
+        records = self._records
+        pos = self._pos
+        return [record for index in self.in_link_indexes(node)
+                if (record := records[pos[index]]).alive_at(time)]

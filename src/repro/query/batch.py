@@ -33,15 +33,24 @@ from repro.query.predicate import CompareOp
 __all__ = ["batch_positions", "batch_filter"]
 
 
-def _build_columns(records, attributes: frozenset[AttributeIndex],
+def _build_columns(records, attributes: tuple[AttributeIndex, ...],
                    time: Time) -> dict[AttributeIndex, list[str | None]]:
-    """One pass over the candidate records: referenced columns only."""
+    """One pass over the candidate records: referenced columns only.
+
+    Each record contributes one targeted timeline probe per referenced
+    attribute (:meth:`VersionedAttributes.values_at`) — never a full
+    attached-attribute dict, so cost tracks the predicate's attribute
+    count rather than how many attributes the record carries.
+    """
     columns: dict[AttributeIndex, list[str | None]] = {
         attribute: [] for attribute in attributes}
+    if not attributes:
+        return columns
+    column_lists = [columns[attribute] for attribute in attributes]
     for record in records:
-        attached = record.attributes.all_at(time)
-        for attribute, column in columns.items():
-            column.append(attached.get(attribute))
+        values = record.attributes.values_at(attributes, time)
+        for column, value in zip(column_lists, values):
+            column.append(value)
     return columns
 
 
@@ -97,13 +106,13 @@ def batch_positions(records, compiled: CompiledPredicate,
                     time: Time) -> list[int]:
     """Positions (ascending) of the records matching ``compiled``."""
     records = list(records)
-    columns = _build_columns(records, compiled.attributes, time)
+    columns = _build_columns(records, compiled.ordered_attributes, time)
     return _evaluate(compiled.tree, list(range(len(records))), columns)
 
 
 def batch_filter(records, compiled: CompiledPredicate, time: Time) -> list:
     """The records themselves, filtered, original order preserved."""
     records = list(records)
-    columns = _build_columns(records, compiled.attributes, time)
+    columns = _build_columns(records, compiled.ordered_attributes, time)
     rows = _evaluate(compiled.tree, list(range(len(records))), columns)
     return [records[row] for row in rows]

@@ -111,10 +111,27 @@ def get_graph_query(
         from repro.query.planner import compile_predicate
         link_compiled = compile_predicate(link_predicate, store.registry,
                                           stats)
-    link_records = [
-        link for link in store.live_links(time)
-        if link.from_node in matched and link.to_node in matched
-    ]
+    # Interconnecting links: a link qualifies when both endpoints
+    # matched.  With a small match set, gathering each matched node's
+    # outgoing adjacency run is O(sum of matched degrees); a full live
+    # column scan is O(total links).  Either path yields exactly the
+    # same set — every qualifying link leaves a matched node — so this
+    # is purely an access-path choice (each link appears once: in its
+    # unique from-node's run).
+    if matched and 4 * len(matched) <= len(store.nodes):
+        PLANNER.increment("adjacency_gathers")
+        link_records = [
+            link
+            for node_index in matched
+            for link in store.links_from(node_index, time)
+            if link.to_node in matched
+        ]
+        link_records.sort(key=lambda link: link.index)
+    else:
+        link_records = [
+            link for link in store.live_links(time)
+            if link.from_node in matched and link.to_node in matched
+        ]
     links_out = [
         (link.index, tuple(attribute_values(link, link_attributes, time)))
         for link in batch_filter(link_records, link_compiled, time)

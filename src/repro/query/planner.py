@@ -175,7 +175,7 @@ class CompiledPredicate:
     out, skipping per-row name resolution entirely.
     """
 
-    __slots__ = ("predicate", "tree", "attributes")
+    __slots__ = ("predicate", "tree", "attributes", "ordered_attributes")
 
     def __init__(self, predicate: Predicate, tree: tuple,
                  attributes: frozenset[AttributeIndex]):
@@ -184,9 +184,30 @@ class CompiledPredicate:
         self.tree = tree
         #: Every registry index the tree references (batch columns).
         self.attributes = attributes
+        #: The same indexes as a sorted tuple — the deterministic column
+        #: order the batch evaluator probes attribute timelines in.
+        self.ordered_attributes = tuple(sorted(attributes))
 
     def matches(self, attached: dict[AttributeIndex, str]) -> bool:
         """True when the attached-attribute dict satisfies the tree."""
+        return _matches(self.tree, attached)
+
+    def matches_record(self, attributes, time) -> bool:
+        """Evaluate against a record's versioned attribute store.
+
+        Probes only the timelines the tree references
+        (:meth:`VersionedAttributes.values_at`) instead of materializing
+        the record's full attached-attribute dict — same result as
+        ``matches(attributes.all_at(time))`` for every predicate,
+        because the tree can only inspect its own attributes.
+        """
+        ordered = self.ordered_attributes
+        if not ordered:
+            return _matches(self.tree, {})
+        values = attributes.values_at(ordered, time)
+        attached = {index: value
+                    for index, value in zip(ordered, values)
+                    if value is not None}
         return _matches(self.tree, attached)
 
     def __str__(self) -> str:

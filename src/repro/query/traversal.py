@@ -28,12 +28,14 @@ from repro.core.link import LinkEnd
 from repro.core.types import AttributeIndex, LinkIndex, NodeIndex, Time
 from repro.errors import VersionError
 from repro.query.predicate import Predicate
+from repro.tools.metrics import GRAPH
 
 __all__ = ["linearize_graph", "TraversalResult", "named_attributes"]
 
 
 def named_attributes(entity, store: GraphStore, time: Time) -> dict[str, str]:
     """(name → value) attribute set of a node/link record as of ``time``."""
+    GRAPH.increment("facade_materializations")
     return {
         store.registry.name_of(index): value
         for index, value in entity.attributes.all_at(time).items()
@@ -42,9 +44,14 @@ def named_attributes(entity, store: GraphStore, time: Time) -> dict[str, str]:
 
 def attribute_values(entity, requested: list[AttributeIndex],
                      time: Time) -> list[str | None]:
-    """``Value^m`` for the requested attribute indexes (None if absent)."""
-    attached = entity.attributes.all_at(time)
-    return [attached.get(index) for index in requested]
+    """``Value^m`` for the requested attribute indexes (None if absent).
+
+    Probes only the requested timelines — projecting two attributes off
+    a record carrying forty never materializes the other thirty-eight.
+    """
+    if not requested:
+        return []
+    return entity.attributes.values_at(requested, time)
 
 
 @dataclass(frozen=True)
@@ -105,21 +112,21 @@ def linearize_graph(
         node = store.node(index)
         if not node.alive_at(time):
             return False
-        return node_predicate.matches(node.attributes.all_at(time))
+        return node_predicate.matches_record(node.attributes, time)
 
     def ordered_out_links(index: NodeIndex) -> list[LinkIndex]:
         # Out-links ordered by their attachment offset within this node;
-        # ties broken by link index for determinism.
+        # ties broken by link index for determinism.  ``links_from``
+        # serves the link table's adjacency run (or the transaction
+        # overlay's endpoint set): O(degree), already alive-filtered —
+        # only this node's links are ever touched, not the whole table.
         candidates = []
-        for link_index in store.node(index).out_links:
-            link = store.link(link_index)
-            if not link.alive_at(time):
-                continue
+        for link in store.links_from(index, time):
             try:
                 offset = link.position_at(LinkEnd.FROM, time)
             except VersionError:
                 continue  # endpoint had no attachment yet at `time`
-            candidates.append((offset, link_index))
+            candidates.append((offset, link.index))
         return [link_index for __, link_index in sorted(candidates)]
 
     def enter(index: NodeIndex) -> None:
@@ -142,7 +149,7 @@ def linearize_graph(
             stack.pop()
             continue
         link = store.link(link_index)
-        if not link_predicate.matches(link.attributes.all_at(time)):
+        if not link_predicate.matches_record(link.attributes, time):
             continue
         target = link.to_node
         if target in visited or not node_admitted(target):

@@ -19,8 +19,10 @@ imports here would close that loop into a cycle.
 _EXPORTS = {
     "verify_graph": "repro.tools.verify",
     "Violation": "repro.tools.verify",
+    "graph_counters": "repro.tools.stats",
     "graph_stats": "repro.tools.stats",
     "GraphStats": "repro.tools.stats",
+    "render_graph": "repro.tools.stats",
     "render_resilience": "repro.tools.stats",
     "render_wal": "repro.tools.stats",
     "resilience_stats": "repro.tools.stats",

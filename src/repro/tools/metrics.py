@@ -31,9 +31,9 @@ import threading
 from time import perf_counter
 from typing import Callable
 
-__all__ = ["CACHE", "CONCURRENCY", "CounterSet", "OperationMetrics",
-           "OperationStats", "PLANNER", "REPLICATION", "RESILIENCE",
-           "SERVER", "TraceLog", "WAL"]
+__all__ = ["CACHE", "CONCURRENCY", "CounterSet", "GRAPH",
+           "OperationMetrics", "OperationStats", "PLANNER", "REPLICATION",
+           "RESILIENCE", "SERVER", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -177,6 +177,19 @@ REPLICATION = CounterSet("lag_bytes", "lag_commits", "replayed_lsn",
 CACHE = CounterSet("hits", "misses", "admissions", "rejections",
                    "evictions", "cached_bytes", "cached_entries",
                    "interned_blobs", "dedup_hits")
+
+#: Process-wide columnar-graph-core counters, incremented by
+#: :class:`repro.core.graph.GraphStore` and the query layer:
+#: ``adjacency_hits`` (``linksFrom``/``linksTo``-style reads answered
+#: from a per-node adjacency run instead of a full link scan),
+#: ``column_scans`` (``live_nodes``/``live_links`` passes over the
+#: index-ordered record columns), and ``facade_materializations``
+#: (full ``{attribute: value}`` dicts built off a row facade — the
+#: per-object path the columnar refactor exists to avoid; a hot system
+#: should see this stay near zero while adjacency hits climb).
+#: Surfaced by :func:`repro.tools.stats.graph_counters`.
+GRAPH = CounterSet("adjacency_hits", "column_scans",
+                   "facade_materializations")
 
 
 class OperationStats:

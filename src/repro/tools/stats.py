@@ -45,6 +45,12 @@ lag high-water marks, promotions, stale-read rejections) and
 ``replStatus`` dict — the operator's answer to "how far behind are the
 replicas, and has anyone failed over?".
 
+Columnar-graph-core accounting: :func:`graph_counters` snapshots the
+process-wide :data:`repro.tools.metrics.GRAPH` mirror (adjacency-run
+hits, ordered column scans, row-facade dict materializations) and
+:func:`render_graph` formats it — the numbers behind "are traversals
+really O(degree), and has anything regressed to per-object dicts?".
+
 Content-store accounting: :func:`cache_stats` snapshots the shared
 materialization block cache (:mod:`repro.storage.blockcache` — hit
 rate, admission/eviction traffic, resident bytes),
@@ -66,6 +72,7 @@ from repro.storage.log import WalStats
 from repro.tools.metrics import (
     CACHE,
     CONCURRENCY,
+    GRAPH,
     PLANNER,
     REPLICATION,
     RESILIENCE,
@@ -75,9 +82,10 @@ from repro.tools.metrics import (
 from repro.txn.locks import LockStats
 
 __all__ = ["GraphStats", "cache_counters", "cache_stats",
-           "catalog_stats", "concurrency_counters", "graph_stats",
+           "catalog_stats", "concurrency_counters", "graph_counters",
+           "graph_stats",
            "lock_stats", "planner_counters", "render_cache",
-           "render_concurrency",
+           "render_concurrency", "render_graph",
            "render_planner", "render_replication", "render_resilience",
            "render_server", "render_wal", "replication_counters",
            "resilience_stats", "server_counters", "snapshot_stats",
@@ -285,6 +293,37 @@ def render_planner(counters: dict[str, int] | None = None) -> str:
         ("compiled traversals", counters.get("compiled_traversals", 0)),
         ("explains", counters.get("explains", 0)),
     ])
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
+
+
+def graph_counters() -> dict[str, int]:
+    """Snapshot of the process-wide columnar-graph-core counters.
+
+    ``adjacency_hits`` counts traversal-style reads answered from a
+    per-node adjacency run (``linksFrom``/``linksTo``, the traversal's
+    out-link walk, the query layer's interconnection gather) —
+    O(degree) paths that would otherwise scan every link;
+    ``column_scans`` counts full ``live_nodes``/``live_links`` passes
+    over the index-ordered record columns (sort-free, but still linear
+    in table size); ``facade_materializations`` counts full
+    ``{attribute: value}`` dict builds off a row facade — the
+    per-object pattern the columnar core exists to avoid, so a hot
+    system should see it stay flat while adjacency hits climb.
+    """
+    return GRAPH.snapshot()
+
+
+def render_graph(counters: dict[str, int] | None = None) -> str:
+    """Human-readable report of the columnar-graph-core counters."""
+    counters = graph_counters() if counters is None else counters
+    rows = [
+        ("adjacency hits (O(degree))", counters.get("adjacency_hits", 0)),
+        ("column scans (live_*)", counters.get("column_scans", 0)),
+        ("facade materializations",
+         counters.get("facade_materializations", 0)),
+    ]
     width = max(len(label) for label, __ in rows)
     return "\n".join(f"{label.ljust(width)}  {value}"
                      for label, value in rows)

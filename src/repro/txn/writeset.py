@@ -14,17 +14,22 @@ and the read paths use:
   writer sees its own uncommitted effects;
 - write accessors (``node_for_write``, ``link_for_write``,
   ``registry_for_write``, ``graph_demons_for_write``,
-  ``demon_table_for_node``) clone the base record into the private view
+  ``demon_table_for_write``) clone the base record into the private view
   on first touch (:meth:`NodeRecord.clone` and friends are structural-
   sharing copies, so this is cheap), and all mutation happens on the
   clone;
 - :meth:`WriteSet.apply` publishes the private records into the base
-  store at commit, *after* the WAL blob is durable.  Publication is a
-  series of dict/attribute assignments — atomic pointer swaps under the
-  GIL — ordered so that any record a concurrent reader can see only
-  references records that are already present.  The replaced record
-  objects are never mutated again, so a reader holding one keeps a
-  consistent (merely slightly stale) view;
+  store at commit, *after* the WAL blob is durable.  The base store's
+  record tables (:mod:`repro.core.table`) publish each row as a series
+  of GIL-atomic column appends with the row count bumped last, and row
+  replacement is a single record-pointer swap — ordered so that any
+  record a concurrent reader can see only references records that are
+  already present.  New links also append their index to the per-node
+  adjacency runs here, inside the same seqlock bracket the manager
+  wraps around :meth:`apply`, so an optimistic reader that raced an
+  adjacency append fails its seqlock validation and retries.  The
+  replaced record objects are never mutated again, so a reader holding
+  one keeps a consistent (merely slightly stale) view;
 - abort is simply dropping the WriteSet: the base store was never
   touched, and no undo machinery runs at all — only the blob-catalog
   refs the transaction's check-ins interned are released
@@ -78,7 +83,10 @@ class _OverlayMap:
         return iter(self._merged_keys())
 
     def __len__(self) -> int:
-        return len(self._merged_keys())
+        # Counting is size-of-base plus genuinely-new private keys; no
+        # need to materialize (and sort) the merged key list.
+        return len(self._base) + sum(
+            1 for key in self._private if key not in self._base)
 
     def get(self, key, default=None):
         if key in self._private:
@@ -197,16 +205,49 @@ class WriteSet:
             raise LinkNotFoundError(f"link {index} does not exist") from None
 
     def live_nodes(self, time):
-        records = {node.index: node for node in self.base.nodes.values()}
-        records.update(self._nodes)
-        return [record for __, record in sorted(records.items())
-                if record.alive_at(time)]
+        return self._live_merge(self.base.nodes, self._nodes, time)
 
     def live_links(self, time):
-        records = {link.index: link for link in self.base.links.values()}
-        records.update(self._links)
-        return [record for __, record in sorted(records.items())
-                if record.alive_at(time)]
+        return self._live_merge(self.base.links, self._links, time)
+
+    @staticmethod
+    def _live_merge(base, private, time):
+        """Overlay-aware live scan, in index order without sorting.
+
+        The base table iterates in index order already (the sorted
+        invariant); private replacements substitute in place, and
+        brand-new records — whose indexes are allocated monotonically
+        above everything the base holds — append after.  Only the small
+        private set is ever sorted.
+        """
+        if not private:
+            return base.live_records(time)
+        records = [private.get(record.index, record)
+                   for record in base.values()]
+        records.extend(private[index]
+                       for index in sorted(private)
+                       if index not in base)
+        return [record for record in records if record.alive_at(time)]
+
+    def links_from(self, node, time):
+        """Links alive at ``time`` leaving ``node``, overlay-aware.
+
+        Still O(degree): the node record's endpoint set already reflects
+        links staged in this transaction, so no table scan is needed.
+        """
+        if not self._links and not self._nodes:
+            return self.base.links_from(node, time)
+        record = self.node(node)
+        return [link for index in sorted(record.out_links)
+                if (link := self.link(index)).alive_at(time)]
+
+    def links_to(self, node, time):
+        """Links alive at ``time`` entering ``node``, overlay-aware."""
+        if not self._links and not self._nodes:
+            return self.base.links_to(node, time)
+        record = self.node(node)
+        return [link for index in sorted(record.in_links)
+                if (link := self.link(index)).alive_at(time)]
 
     # ------------------------------------------------------------------
     # store protocol: copy-on-write write accessors
@@ -240,6 +281,14 @@ class WriteSet:
         return self._graph_demons
 
     def demon_table_for_node(self, index):
+        """Read-side probe: the node's demon table, or ``None``.
+
+        Never allocates (mirrors the base store) — registration goes
+        through :meth:`demon_table_for_write`.
+        """
+        return self.node_demons.get(index)
+
+    def demon_table_for_write(self, index):
         table = self._node_demons.get(index)
         if table is None:
             base_table = self.base.node_demons.get(index)
@@ -277,7 +326,10 @@ class WriteSet:
         lock-free reader never follows a reference to a record that is
         not yet published:
 
-        1. brand-new links (referenced by updated/new node records);
+        1. brand-new links (referenced by updated/new node records) —
+           the link table appends their rows *and* their adjacency-run
+           entries here, in ascending index order so the table's sorted
+           invariant holds;
         2. brand-new nodes (may list the links from step 1);
         3. replacement records for pre-existing nodes/links (the only
            records whose indices readers could already be holding);

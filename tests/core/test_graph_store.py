@@ -33,9 +33,17 @@ class TestGraphStore:
         assert store.live_nodes(0) == []
         assert store.live_nodes(7) == [node]
 
-    def test_demon_table_created_on_first_use(self):
+    def test_demon_probe_never_allocates(self):
+        # Regression: the read-side probe used to persist an empty
+        # DemonTable for every node it touched, bloating snapshots.
         store = GraphStore(project_id=1)
-        table = store.demon_table_for_node(3)
+        assert store.demon_table_for_node(3) is None
+        assert store.node_demons == {}
+
+    def test_demon_table_created_on_first_registration(self):
+        store = GraphStore(project_id=1)
+        table = store.demon_table_for_write(3)
+        assert store.demon_table_for_write(3) is table
         assert store.demon_table_for_node(3) is table
 
     def test_snapshot_round_trip_preserves_counters(self):

@@ -1,0 +1,168 @@
+"""Tests for the struct-of-arrays node/link tables.
+
+Covers the columnar core's contracts directly: the strictly-increasing
+insert invariant (the reason ``live_nodes``/``live_links`` never sort),
+the dict-protocol surface the rest of the system consumes, CSR-style
+adjacency maintenance, the endpoint-immutability check on row
+replacement, and the in-place-tombstone hazard (liveness must come from
+the row facade, not from a deletion column).
+"""
+
+import pytest
+
+from repro.core.graph import GraphStore
+from repro.core.link import LinkRecord
+from repro.core.node import NodeRecord
+from repro.core.table import LinkTable, NodeTable
+from repro.core.types import CURRENT, LinkPt, NodeKind
+
+
+def _node(index, created_at=1):
+    return NodeRecord(index, NodeKind.ARCHIVE, created_at=created_at)
+
+
+def _link(index, from_node, to_node, created_at=1):
+    return LinkRecord(index, LinkPt(from_node), LinkPt(to_node),
+                      created_at=created_at)
+
+
+class TestSortedInvariant:
+    def test_out_of_order_insert_rejected(self):
+        table = NodeTable()
+        table.insert(_node(5))
+        with pytest.raises(ValueError, match="sorted table invariant"):
+            table.insert(_node(3))
+        with pytest.raises(ValueError, match="sorted table invariant"):
+            table.insert(_node(5))  # duplicates break strict ordering too
+
+    def test_iteration_is_ascending_without_sorting(self):
+        table = NodeTable()
+        for index in (1, 4, 9, 12):
+            table.insert(_node(index))
+        assert list(table) == [1, 4, 9, 12]
+        assert table.keys() == [1, 4, 9, 12]
+        assert [record.index for record in table.values()] == [1, 4, 9, 12]
+        assert [index for index, __ in table.items()] == [1, 4, 9, 12]
+
+    def test_live_records_preserve_index_order(self):
+        store = GraphStore(project_id=1)
+        for index in (1, 2, 3, 4):
+            store.nodes[index] = _node(index, created_at=index)
+        store.nodes[2].tombstone(9)
+        live = store.live_nodes(CURRENT)
+        assert [record.index for record in live] == [1, 3, 4]
+        as_of = store.live_nodes(3)
+        assert [record.index for record in as_of] == [1, 2, 3]
+
+    def test_setitem_replaces_without_reordering(self):
+        table = NodeTable()
+        table.insert(_node(1))
+        table.insert(_node(2))
+        replacement = _node(1, created_at=1)
+        table[1] = replacement
+        assert table[1] is replacement
+        assert list(table) == [1, 2]
+        assert len(table) == 2
+
+
+class TestDictProtocol:
+    def test_mapping_surface(self):
+        table = NodeTable()
+        node = _node(7)
+        table[7] = node
+        assert 7 in table
+        assert 8 not in table
+        assert table[7] is node
+        assert table.get(7) is node
+        assert table.get(8) is None
+        assert len(table) == 1
+        with pytest.raises(KeyError):
+            table[8]
+
+    def test_delitem_compacts_and_remaps(self):
+        # `del` exists for corruption tooling (tools.verify tests); it
+        # must leave a consistent table behind.
+        table = NodeTable()
+        for index in (1, 2, 3):
+            table.insert(_node(index))
+        del table[2]
+        assert list(table) == [1, 3]
+        assert len(table) == 2
+        assert table[3].index == 3
+        table.insert(_node(4))
+        assert list(table) == [1, 3, 4]
+
+
+class TestInPlaceTombstones:
+    def test_liveness_reads_the_record_not_the_column(self):
+        # Recovery replay and replica apply tombstone records *in
+        # place* through the *_for_write seams — after insertion.  The
+        # table must reflect that immediately, proving liveness is
+        # answered by the row facade, never by a stale deletion column.
+        table = NodeTable()
+        node = _node(1, created_at=5)
+        table.insert(node)
+        assert table.live_records(CURRENT) == [node]
+        node.tombstone(9)
+        assert table.live_records(CURRENT) == []
+        assert table.live_records(7) == [node]
+
+    def test_adjacency_respects_in_place_tombstones(self):
+        table = LinkTable()
+        link = _link(1, 10, 11)
+        table.insert(link)
+        assert [l.index for l in table.live_from(10, CURRENT)] == [1]
+        link.tombstone(9)
+        assert table.live_from(10, CURRENT) == []
+        assert [l.index for l in table.live_from(10, 5)] == [1]
+
+
+class TestAdjacency:
+    def test_runs_are_per_node_and_ascending(self):
+        table = LinkTable()
+        table.insert(_link(1, 10, 11))
+        table.insert(_link(2, 10, 12))
+        table.insert(_link(3, 12, 10))
+        assert list(table.out_link_indexes(10)) == [1, 2]
+        assert list(table.in_link_indexes(10)) == [3]
+        assert list(table.out_link_indexes(12)) == [3]
+        assert list(table.in_link_indexes(12)) == [2]
+        assert list(table.out_link_indexes(99)) == []
+
+    def test_self_link_appears_in_both_runs(self):
+        table = LinkTable()
+        table.insert(_link(1, 10, 10))
+        assert list(table.out_link_indexes(10)) == [1]
+        assert list(table.in_link_indexes(10)) == [1]
+
+    def test_replacement_keeps_adjacency_and_checks_endpoints(self):
+        table = LinkTable()
+        table.insert(_link(1, 10, 11))
+        table[1] = _link(1, 10, 11)  # clone-style replacement: fine
+        assert list(table.out_link_indexes(10)) == [1]
+        with pytest.raises(ValueError, match="endpoints"):
+            table[1] = _link(1, 10, 12)
+
+    def test_store_links_from_to_filter_liveness(self):
+        store = GraphStore(project_id=1)
+        for index in (1, 2, 3):
+            store.nodes[index] = _node(index)
+        store.links[1] = _link(1, 1, 2, created_at=2)
+        store.links[2] = _link(2, 1, 3, created_at=4)
+        store.links[2].tombstone(6)
+        assert [l.index for l in store.links_from(1, CURRENT)] == [1]
+        assert [l.index for l in store.links_from(1, 5)] == [1, 2]
+        assert [l.index for l in store.links_from(1, 3)] == [1]
+        assert [l.index for l in store.links_to(3, CURRENT)] == []
+        assert [l.index for l in store.links_to(2, CURRENT)] == [1]
+
+
+class TestAttributeHandles:
+    def test_handle_column_tracks_replacements(self):
+        table = NodeTable()
+        node = _node(1)
+        table.insert(node)
+        assert table.attribute_handles() == [node.attributes]
+        replacement = node.clone()
+        table[1] = replacement
+        assert table.attribute_handles() == [replacement.attributes]
