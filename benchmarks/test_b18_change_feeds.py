@@ -1,0 +1,188 @@
+"""Experiment B18 — change-feed fan-out and delivery latency.
+
+The paper's demon mechanism (§3.4) fires application code on node and
+link mutations; the push-based change feeds extend it across the wire:
+sessions subscribe over the pipelined protocol and the server pushes
+DemonEvent-shaped frames as commits publish, after WAL durability.
+The cost model this experiment pins down: every commit is fanned out
+to every matching subscriber from the committing worker, so delivery
+work scales with subscriber count while the commit path itself must
+not.
+
+One writer commits ``EVENTS`` marker transactions while N subscribers
+(1, 8, 32) consume the full stream concurrently, in two transports:
+
+- **local** — in-process :meth:`HAM.watch` queues (no serialization,
+  no sockets): the fan-out ceiling;
+- **TCP**   — one :class:`RemoteHAM` connection per subscriber against
+  a real served graph: wire codec + per-session outbuf included.
+
+Each event's payload carries its commit timestamp, so subscribers
+measure commit-to-delivery latency directly (same process, same
+clock).  Rows report writer commit throughput, aggregate delivered
+events/sec across the fan-out, and p50/p95 delivery latency.
+
+The acceptance bar: delivery must keep up — every subscriber receives
+the complete stream, and aggregate fan-out throughput must *grow* with
+subscriber count (fan-out parallelism is real, not serialized into a
+fixed event budget).  ``NEPTUNE_BENCH_QUICK=1`` shrinks the run for CI
+smoke and drops the growth bar (single-core runners serialize
+everything).
+"""
+
+import os
+import threading
+import time as clock
+
+from conftest import report
+from repro import HAM
+from repro.server import HAMServer, RemoteHAM
+
+QUICK = os.environ.get("NEPTUNE_BENCH_QUICK") == "1"
+EVENTS = 40 if QUICK else 240
+FANOUTS = (1, 8) if QUICK else (1, 8, 32)
+LAST = EVENTS - 1
+
+
+def _open(tmp_path, tag):
+    directory = tmp_path / tag
+    project_id, __ = HAM.create_graph(directory)
+    return HAM.open_graph(project_id, directory)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       int(fraction * len(ordered)))]
+
+
+class _Consumer(threading.Thread):
+    """Drains one watch until the final marker; records latencies."""
+
+    def __init__(self, make_watch):
+        super().__init__(daemon=True)
+        self.make_watch = make_watch
+        self.latencies = []
+        self.count = 0
+        self.error = None
+        self.attached = threading.Event()
+
+    def run(self):
+        try:
+            watch, cleanup = self.make_watch()
+            try:
+                self.attached.set()
+                while True:
+                    event = watch.poll(timeout=60.0)
+                    assert event is not None, (
+                        f"feed went quiet after {self.count} events")
+                    index, sent = event["detail"]["value"].split(":")
+                    self.latencies.append(clock.perf_counter()
+                                          - float(sent))
+                    self.count += 1
+                    if int(index) == LAST:
+                        return
+            finally:
+                watch.close()
+                cleanup()
+        except BaseException as exc:  # surfaced after join
+            self.attached.set()
+            self.error = exc
+
+
+def _drive(ham, consumers, write):
+    """Commit the event stream; return (commit/s, elapsed seconds)."""
+    for consumer in consumers:
+        consumer.start()
+    for consumer in consumers:
+        consumer.attached.wait(timeout=30.0)
+    start = clock.perf_counter()
+    for i in range(EVENTS):
+        write(f"{i}:{clock.perf_counter()}")
+    committed = clock.perf_counter() - start
+    for consumer in consumers:
+        consumer.join(timeout=120.0)
+        assert not consumer.is_alive(), "consumer never finished"
+        assert consumer.error is None, consumer.error
+        assert consumer.count == EVENTS
+    elapsed = clock.perf_counter() - start
+    assert ham.subscription_status()["active"] == 0
+    return EVENTS / committed, elapsed
+
+
+def _run_local(tmp_path, fanout):
+    ham = _open(tmp_path, f"local-{fanout}")
+    try:
+        attr = ham.get_attribute_index("marker")
+
+        def make_watch():
+            return ham.watch(events=["setAttribute"],
+                             max_events=EVENTS + 16), (lambda: None)
+
+        def write(value):
+            with ham.begin() as txn:
+                node, __ = ham.add_node(txn)
+                ham.set_node_attribute_value(txn, node=node,
+                                             attribute=attr, value=value)
+
+        consumers = [_Consumer(make_watch) for __ in range(fanout)]
+        commit_rate, elapsed = _drive(ham, consumers, write)
+        return commit_rate, elapsed, consumers
+    finally:
+        ham.close()
+
+
+def _run_tcp(tmp_path, fanout):
+    ham = _open(tmp_path, f"tcp-{fanout}")
+    server = HAMServer(ham).start()
+    writer = RemoteHAM(*server.address, timeout=30.0)
+    try:
+        attr = writer.get_attribute_index("marker")
+
+        def make_watch():
+            session = RemoteHAM(*server.address, timeout=60.0)
+            return (session.watch(events=["setAttribute"]),
+                    session.close)
+
+        def write(value):
+            txn = writer.begin()
+            node, __ = writer.add_node(txn)
+            writer.set_node_attribute_value(txn, node=node,
+                                            attribute=attr, value=value)
+            txn.commit()
+
+        consumers = [_Consumer(make_watch) for __ in range(fanout)]
+        commit_rate, elapsed = _drive(ham, consumers, write)
+        return commit_rate, elapsed, consumers
+    finally:
+        writer.close()
+        server.stop(disconnect_clients=True)
+        ham.close()
+
+
+def test_b18_change_feed_fanout(tmp_path):
+    rows = [f"{'transport':<9} {'subs':>4} {'commit/s':>9} "
+            f"{'events/s':>9} {'p50 ms':>8} {'p95 ms':>8}"]
+    aggregate = {"local": [], "tcp": []}
+    for transport, runner in (("local", _run_local), ("tcp", _run_tcp)):
+        for fanout in FANOUTS:
+            commit_rate, elapsed, consumers = runner(tmp_path, fanout)
+            delivered = sum(c.count for c in consumers)
+            latencies = [s for c in consumers for s in c.latencies]
+            aggregate[transport].append(delivered / elapsed)
+            rows.append(
+                f"{transport:<9} {fanout:>4} {commit_rate:>9.0f} "
+                f"{delivered / elapsed:>9.0f} "
+                f"{_percentile(latencies, 0.50) * 1e3:>8.2f} "
+                f"{_percentile(latencies, 0.95) * 1e3:>8.2f}")
+    report(f"B18  change-feed fan-out ({EVENTS} commits, "
+           f"subscribers x{'/'.join(map(str, FANOUTS))})", rows)
+
+    if not QUICK:
+        for transport in ("local", "tcp"):
+            rates = aggregate[transport]
+            assert rates[-1] > rates[0] * 2, (
+                f"{transport}: fan-out did not scale — aggregate "
+                f"delivery went {rates[0]:.0f} -> {rates[-1]:.0f} "
+                f"events/s from {FANOUTS[0]} to {FANOUTS[-1]} "
+                f"subscribers")

@@ -27,7 +27,8 @@ from repro.core.timeline import Timeline
 from repro.core.types import LinkIndex, NodeIndex, ProjectId, Time, CURRENT
 from repro.errors import DemonError, VersionError
 
-__all__ = ["EventKind", "DemonEvent", "DemonTable", "DemonRegistry"]
+__all__ = ["EventKind", "DemonEvent", "DemonTable", "DemonRegistry",
+           "MUTATION_EVENTS"]
 
 
 class EventKind(enum.Enum):
@@ -48,6 +49,19 @@ class EventKind(enum.Enum):
     MODIFY_NODE = "modifyNode"
     SET_ATTRIBUTE = "setAttribute"
     DELETE_ATTRIBUTE = "deleteAttribute"
+
+
+#: The event kinds that represent a *change* to the graph — the ones a
+#: change-feed subscription can observe.  ``OPEN_GRAPH``/``OPEN_NODE``
+#: are read events: demons still fire for them in-process, but they
+#: never publish anything at commit, so pushing them over a feed would
+#: leak read activity without a commit LSN to order it by.
+MUTATION_EVENTS = frozenset({
+    EventKind.ADD_NODE, EventKind.DELETE_NODE,
+    EventKind.ADD_LINK, EventKind.COPY_LINK, EventKind.DELETE_LINK,
+    EventKind.MODIFY_NODE,
+    EventKind.SET_ATTRIBUTE, EventKind.DELETE_ATTRIBUTE,
+})
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,8 @@ import secrets
 import threading
 from typing import Callable, Iterable, Sequence
 
-from repro.core.demons import DemonEvent, DemonRegistry, EventKind
+from repro.core.demons import (MUTATION_EVENTS, DemonEvent, DemonRegistry,
+                               EventKind)
 from repro.core.graph import GraphDirectory, GraphStore
 from repro.core.operations import MiddlewareChain, install_local_dispatch
 from repro.core.link import LinkEnd, LinkRecord
@@ -353,6 +354,11 @@ class HAM:
         #: Replica-side applier, attached by
         #: :class:`repro.replication.replica.Replica`.
         self._repl_applier = None
+        #: Change-feed fan-out point, created lazily on the first
+        #: ``subscribe``/``watch`` (see :mod:`repro.subscriptions`).
+        #: While None, the commit path collects nothing — subscriptions
+        #: cost zero until someone actually watches.
+        self._subscriptions = None
         self._index: AttributeValueIndex | None = (
             AttributeValueIndex() if use_attribute_index else None)
         #: Planner statistics ride with the index: both are maintained
@@ -613,6 +619,56 @@ class HAM:
             status["subscribers"] = hub.subscriber_acks()
         return status
 
+    # ------------------------------------------------------------------
+    # change feeds (extension operations; see :mod:`repro.subscriptions`)
+
+    def subscription_hub(self):
+        """The change-feed fan-out point, created on first use.
+
+        Creation installs the hub as the transaction manager's
+        ``event_feed``, which switches the commit path into
+        collect-and-stage mode; until then subscriptions cost nothing.
+        """
+        with self._state_lock:
+            if self._subscriptions is None:
+                from repro.subscriptions import SubscriptionHub
+                hub = SubscriptionHub(self._store)
+                # Publish the feed only after the hub is fully built:
+                # committers read ``event_feed`` without the state lock.
+                self._txns.event_feed = hub
+                self._subscriptions = hub
+            return self._subscriptions
+
+    def compile_watch_predicate(self, predicate):
+        """Compile a watch predicate against this graph's registry."""
+        if predicate is None:
+            return None
+        return compile_predicate(parse_predicate(predicate),
+                                 self._store.registry, self._stats)
+
+    def watch(self, events=None, predicate=None, max_events: int = 1024):
+        """Open an in-process change feed (a ``LocalWatch``).
+
+        ``events`` limits the feed to specific :class:`EventKind`
+        values (None = every mutation kind); ``predicate`` is a query
+        predicate evaluated against the event's node at the event's
+        time.  Events arrive only after their commit is durable and
+        published, stamped with the commit LSN — the same stream a
+        remote subscriber sees, minus the network.
+        """
+        from repro.subscriptions import LocalWatch
+        return LocalWatch(self.subscription_hub(), events=events,
+                          predicate=self.compile_watch_predicate(predicate),
+                          max_events=max_events)
+
+    def subscription_status(self) -> dict:
+        """``subscriptionStatus``: hub queue depths and counters."""
+        hub = self._subscriptions
+        if hub is None:
+            return {"active": 0, "staged": 0, "last_emitted_lsn": 0,
+                    "replay_depth": 0, "replay_floor": 0}
+        return hub.status()
+
     @property
     def end_lsn(self) -> int:
         """Global LSN one past this graph's last appended log byte."""
@@ -836,13 +892,23 @@ class HAM:
                 node_demon = table.demon_at(kind)
                 if node_demon is not None:
                     names.append(node_demon)
-        if not names:
+        # Change-feed collection is independent of demon bindings: a
+        # subscriber needs no demon registered.  Only mutation kinds
+        # are collected (read events publish nothing at commit), and
+        # only once a hub exists.  Demons themselves still fire inline
+        # below — a raising demon vetoes the transaction, and then the
+        # buffered events abort with the write-set.
+        collect = (self._subscriptions is not None and txn is not None
+                   and txn.writeset is not None and kind in MUTATION_EVENTS)
+        if not names and not collect:
             return
         event = DemonEvent(
             kind=kind, time=time, project=self._store.project_id,
             node=node, link=link,
             transaction=txn.txn_id if txn is not None else None,
             detail=detail or {}, txn_handle=txn)
+        if collect:
+            txn.writeset.record_event(event)
         for name in names:
             self.demons.fire(name, event)
 

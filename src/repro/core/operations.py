@@ -74,8 +74,12 @@ __all__ = [
 #: ``have`` parameter (content digests the caller already holds) and a
 #: manifest-form reply that ships only the missing blobs.  Version 6 added
 #: ``linksFrom``/``linksTo`` (O(degree) adjacency traversal over the
-#: columnar graph core).
-PROTOCOL_VERSION = 6
+#: columnar graph core).  Version 7 added change-feed subscriptions
+#: (``subscribe``/``unsubscribe``/``subscription_status``) and with them
+#: *unsolicited push frames*: a server may now interleave id-less
+#: ``{"push": ...}`` messages between responses on any session that
+#: subscribed (clients that never subscribe never see one).
+PROTOCOL_VERSION = 7
 
 
 class _Required:
@@ -175,6 +179,13 @@ PROTECTION_BITS = Codec("protections",
 #: Demon event kinds travel as their string value.
 EVENT_KIND = Codec("event-kind", to_wire=lambda e: EventKind(e).value,
                    from_wire=EventKind)
+#: An optional event-kind set (subscription filters): None = all.
+EVENT_KIND_SEQ = Codec(
+    "event-kind-seq",
+    to_wire=lambda kinds: (None if kinds is None else
+                           [EventKind(k).value for k in kinds]),
+    from_wire=lambda kinds: (None if kinds is None else
+                             [EventKind(k) for k in kinds]))
 #: ``modifyNode`` attachment moves: optional list of (link, end, pos).
 ATTACHMENT_SEQ = Codec("attachments", to_wire=_attachments_to_wire,
                        from_wire=_attachments_from_wire)
@@ -361,6 +372,20 @@ def _session_abort(session, txn: int) -> None:
         transaction.abort()
     finally:
         session.release_txn(txn)
+
+
+def _session_subscribe(session, events=None, predicate=None,
+                       from_lsn=None) -> dict:
+    return session.subscribe_feed(events=events, predicate=predicate,
+                                  from_lsn=from_lsn)
+
+
+def _session_unsubscribe(session, sub: int) -> bool:
+    return session.unsubscribe_feed(sub)
+
+
+def _session_subscription_status(session) -> dict:
+    return session.subscription_feed_status()
 
 
 # ======================================================================
@@ -605,6 +630,33 @@ _register(Operation(
     "repl_promote", (), IDENTITY, mutates=True, idempotent=True,
     doc="Promote this replica to primary (idempotent; a no-op on a "
         "graph that already accepts writes)."))
+
+# --- change feeds -----------------------------------------------------
+# Extension operations (no appendix_name): server-side subscriptions
+# over the demon mechanism (see :mod:`repro.subscriptions`).  These are
+# session operations — a subscription lives and dies with the session
+# that registered it, and its push frames ride that session's socket.
+_register(Operation(
+    "subscribe",
+    (Param("events", EVENT_KIND_SEQ, default=None),
+     Param("predicate", default=None),
+     Param("from_lsn", default=None)),
+    IDENTITY, kind="session", session_invoke=_session_subscribe,
+    doc="Register a change-feed watch on this session: matching "
+        "committed events arrive as unsolicited push frames.  "
+        "``from_lsn`` asks for replay of retained commits above it "
+        "(resubscribe-after-reconnect); the reply says whether the "
+        "stream is gap-free from there (``resync`` False) or not.  "
+        "Not idempotent — a blind retry would double-subscribe."))
+_register(Operation(
+    "unsubscribe", (Param("sub"),), IDENTITY, kind="session",
+    session_invoke=_session_unsubscribe, idempotent=True,
+    doc="Cancel a change-feed watch; True when it was still attached."))
+_register(Operation(
+    "subscription_status", (), IDENTITY, kind="session",
+    session_invoke=_session_subscription_status, idempotent=True,
+    read_only=True,
+    doc="Hub and per-session subscription counters and queue depths."))
 
 
 # ======================================================================

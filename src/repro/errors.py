@@ -98,6 +98,22 @@ class DemonError(NeptuneError):
     """A demon could not be registered, resolved, or executed."""
 
 
+class SubscriptionError(NeptuneError):
+    """A change-feed subscription could not be created or has failed."""
+
+
+class SubscriptionOverflowError(SubscriptionError):
+    """A subscriber fell too far behind and its feed was cancelled.
+
+    Delivery must never stall commits: when a subscriber's outbound
+    queue would exceed the server's ``max_outbuf_bytes`` bound, the hub
+    drops the whole feed (not individual events — a silent gap would
+    break the gap-free stream guarantee) and pushes one final typed
+    cancel frame carrying this error's name.  The client may resubscribe
+    and resynchronize from its last-seen LSN.
+    """
+
+
 class FaultError(NeptuneError):
     """An injected fault fired (see :mod:`repro.testing.faults`).
 

@@ -40,6 +40,7 @@ workstation session survives a server restart.  ``reconnects`` and
 
 from __future__ import annotations
 
+import collections
 import itertools
 import select
 import socket
@@ -49,6 +50,7 @@ from dataclasses import dataclass
 from random import Random
 
 from repro import errors
+from repro.core.demons import EventKind
 from repro.core.operations import (
     PROTOCOL_VERSION,
     MiddlewareChain,
@@ -63,12 +65,15 @@ from repro.errors import (
     RemoteError,
     RetryableError,
     StorageError,
+    SubscriptionError,
+    SubscriptionOverflowError,
 )
 from repro.server.protocol import FrameDecoder, encode_message, read_message
-from repro.tools.metrics import RESILIENCE
+from repro.tools.metrics import RESILIENCE, SUBSCRIPTIONS
 
 __all__ = ["BatchFuture", "PipelineBatch", "PipelineFuture", "RemoteBatch",
-           "RemoteHAM", "RemoteTransaction", "RemotePipeline", "RetryPolicy"]
+           "RemoteHAM", "RemoteTransaction", "RemotePipeline", "RemoteWatch",
+           "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -304,6 +309,13 @@ class RemoteHAM:
         #: read-your-writes watermark a replication-aware router holds
         #: replica reads to (see :mod:`repro.replication.router`).
         self.last_commit_lsn = 0
+        #: Active change-feed watches: server sub id -> RemoteWatch.
+        #: Re-registered (with their last-seen LSN) after a reconnect.
+        self._watches: dict[int, RemoteWatch] = {}
+        #: Push frames that arrived before their subscription id was
+        #: known (a subscribe's replay frames precede its reply on the
+        #: wire).  Re-routed once the watch registers; bounded.
+        self._orphan_pushes: list[dict] = []
         with self._lock:
             self._connect_locked()
 
@@ -347,6 +359,8 @@ class RemoteHAM:
                 self._transact_locked("host_open_graph",
                                       {"project_id": project_id,
                                        "name": name})
+            if self._watches:
+                self._resubscribe_locked()
         except _TransportFailure as failure:
             # A handshake failure is a *connect* failure from the outer
             # call's point of view — its own request was never sent.
@@ -407,6 +421,12 @@ class RemoteHAM:
             # execute the request even if we never see the reply.
             sent = True
             response = read_message(self._sock)
+            # Unsolicited push frames (change-feed events; protocol v7)
+            # may interleave ahead of the response: route them to their
+            # watches and keep reading for the reply.
+            while isinstance(response, dict) and "push" in response:
+                self._route_push(response)
+                response = read_message(self._sock)
         except (ConnectionError, TimeoutError, OSError,
                 ChecksumError, StorageError, ProtocolError) as exc:
             self._teardown_locked()
@@ -564,6 +584,276 @@ class RemoteHAM:
     def host_destroy_graph(self, project_id: int, name: str) -> None:
         """Destroy a hosted graph."""
         self._call("host_destroy_graph", project_id=project_id, name=name)
+
+    # ------------------------------------------------------------------
+    # change feeds (protocol v7)
+
+    def watch(self, events=None, predicate=None,
+              from_lsn=None) -> "RemoteWatch":
+        """Subscribe to the served graph's change feed.
+
+        ``events`` limits the feed to specific
+        :class:`~repro.core.demons.EventKind` values (names or enum
+        members; None = every mutation kind); ``predicate`` is a query
+        predicate evaluated server-side against the event's node.
+        Returns a :class:`RemoteWatch` — iterate it (or ``poll``) for
+        wire-form event dicts carrying the commit LSN.  The watch
+        survives reconnects: the client re-subscribes with its
+        last-seen LSN and the server replays what the ring retained
+        (``watch.resync`` turns True when the gap was too old to
+        replay).  ``from_lsn`` starts the feed with a replay of
+        already-emitted commits past that LSN — the manual-resume hook
+        after a cancelled feed (pass the dead watch's ``last_lsn``).
+        """
+        wire_events = (None if events is None
+                       else [EventKind(event).value for event in events])
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if self._sock is None:
+                self._connect_locked()
+                self.reconnects += 1
+                RESILIENCE.increment("reconnects")
+            try:
+                reply = self._transact_locked(
+                    "subscribe",
+                    {"events": wire_events, "predicate": predicate,
+                     "from_lsn": from_lsn})
+            except _TransportFailure as failure:
+                raise failure.cause
+            watch = RemoteWatch(self, wire_events, predicate)
+            watch.sub_id = reply["sub"]
+            # With a replay request, any caught-up frames (buffered as
+            # orphans below) carry LSNs at or below the reply's "last
+            # emitted" — starting from from_lsn keeps them in order.
+            watch.last_lsn = (from_lsn if from_lsn is not None
+                              else reply.get("lsn") or 0)
+            watch.resync = bool(reply.get("resync"))
+            self._watches[watch.sub_id] = watch
+            self._drain_orphans_locked(watch)
+        return watch
+
+    def unsubscribe(self, sub: int) -> bool:
+        """Cancel a subscription by id (``RemoteWatch.close`` does this)."""
+        with self._lock:
+            self._watches.pop(sub, None)
+        return self._call("unsubscribe", _idempotent=True, sub=sub)
+
+    def subscription_status(self) -> dict:
+        """Server-side hub counters and this session's queue depth."""
+        return self._call("subscription_status", _idempotent=True)
+
+    def _route_push(self, message: dict) -> None:
+        """Hand one unsolicited push frame to its watch (lock held)."""
+        watch = self._watches.get(message.get("sub"))
+        if watch is None:
+            # Replay frames outrun their subscribe reply (the id is not
+            # known yet) — park them for registration to claim.  Frames
+            # for long-gone subscriptions age out of the same buffer.
+            self._orphan_pushes.append(message)
+            del self._orphan_pushes[:-256]
+            return
+        watch._on_push(message)
+
+    def _drain_orphans_locked(self, watch: "RemoteWatch") -> None:
+        if not self._orphan_pushes:
+            return
+        keep = []
+        for message in self._orphan_pushes:
+            if message.get("sub") == watch.sub_id:
+                watch._on_push(message)
+            else:
+                keep.append(message)
+        self._orphan_pushes = keep
+
+    def _resubscribe_locked(self) -> None:
+        """Re-register every live watch on a fresh connection.
+
+        Each watch re-subscribes carrying its last-seen LSN; the
+        server's replay ring fills the disconnection gap (the replayed
+        frames arrive ahead of the subscribe reply and are claimed at
+        registration).  Runs inside :meth:`_connect_locked`, so a
+        failure here fails the reconnect as a whole.
+        """
+        watches = [watch for watch in self._watches.values()
+                   if not watch.closed]
+        self._watches = {}
+        try:
+            for watch in watches:
+                reply = self._transact_locked("subscribe", {
+                    "events": watch._wire_events,
+                    "predicate": watch._predicate,
+                    "from_lsn": watch.last_lsn})
+                watch.sub_id = reply["sub"]
+                watch.seq = 0  # a new subscription numbers from 1
+                if reply.get("resync"):
+                    watch.resync = True
+                watch.resubscribes += 1
+                SUBSCRIPTIONS.increment("resubscribes")
+                self._watches[watch.sub_id] = watch
+                self._drain_orphans_locked(watch)
+        except BaseException:
+            # Keep the not-yet-re-registered watches addressable so the
+            # next reconnect attempt picks them up again.
+            for watch in watches:
+                self._watches.setdefault(watch.sub_id, watch)
+            raise
+
+    def _pump_push(self, timeout: float) -> bool:
+        """Read one frame's worth of push traffic; True when any arrived.
+
+        A clean timeout (no byte of a frame consumed — see
+        :func:`repro.server.protocol.read_message`) means "no pushes
+        right now".  A dead connection tears down quietly; the next
+        pump reconnects, which re-subscribes every live watch.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if self._sock is None:
+                self._connect_locked()
+                self.reconnects += 1
+                RESILIENCE.increment("reconnects")
+                return True  # resubscribe replay may have routed frames
+            try:
+                self._sock.settimeout(max(timeout, 0.001))
+                message = read_message(self._sock)
+            except TimeoutError:
+                return False
+            except (ConnectionError, OSError, ChecksumError,
+                    StorageError):
+                self._teardown_locked()
+                return False
+            if isinstance(message, dict) and "push" in message:
+                self._route_push(message)
+                return True
+            self._teardown_locked()
+            raise ProtocolError(
+                f"unsolicited non-push message {message!r}")
+
+
+class RemoteWatch:
+    """A server-pushed change feed, consumed as an iterator.
+
+    Created by :meth:`RemoteHAM.watch`.  Each item is one event as a
+    wire dict (``kind``/``node``/``link``/``transaction``/``detail``/
+    ``time``) augmented with the commit ``lsn`` and the subscription's
+    delivery ``seq``.  Events of one commit are contiguous and LSNs are
+    non-decreasing; a sequence gap (which the dense per-subscription
+    ``seq`` makes detectable even under predicate filtering) or a
+    server-pushed cancel surfaces as :class:`SubscriptionError` /
+    :class:`SubscriptionOverflowError` — only after already-buffered
+    events have been consumed.
+    """
+
+    def __init__(self, client: RemoteHAM, wire_events, predicate) -> None:
+        self._client = client
+        self._wire_events = wire_events
+        self._predicate = predicate
+        self.sub_id: int | None = None
+        self.seq = 0
+        self.last_lsn = 0
+        self.resync = False
+        self.resubscribes = 0
+        self.closed = False
+        self._buffer: collections.deque = collections.deque()
+        self._cancel: tuple | None = None  # (reason, dropped, message)
+        self._broken: str | None = None
+
+    # -- frame intake (client lock held) -------------------------------
+
+    def _on_push(self, message: dict) -> None:
+        if message.get("push") == "cancel":
+            self._cancel = (message.get("reason"),
+                            message.get("dropped", 0),
+                            message.get("message", ""))
+            return
+        lsn = message.get("lsn", 0)
+        seq = message.get("seq", 0)
+        if seq != self.seq + 1:
+            self._broken = (f"change feed gap: expected seq "
+                            f"{self.seq + 1}, got {seq}")
+            return
+        if lsn < self.last_lsn:
+            self._broken = (f"change feed went backwards: lsn {lsn} "
+                            f"after {self.last_lsn}")
+            return
+        self.seq = seq
+        self.last_lsn = lsn
+        for event in message.get("events") or ():
+            entry = dict(event)
+            entry["lsn"] = lsn
+            entry["seq"] = seq
+            self._buffer.append(entry)
+
+    # -- consumption ---------------------------------------------------
+
+    def _raise_feed_failure(self) -> None:
+        if self._broken is not None:
+            raise SubscriptionError(self._broken)
+        reason, dropped, message = self._cancel
+        if reason == "overflow":
+            raise SubscriptionOverflowError(
+                f"subscription {self.sub_id} dropped after {dropped} "
+                f"lost events at lsn {self.last_lsn}: {message}")
+        raise SubscriptionError(
+            f"subscription {self.sub_id} cancelled ({reason}): {message}")
+
+    def poll(self, timeout: float | None = 0.0):
+        """Next event dict, or None when ``timeout`` elapses.
+
+        ``timeout=None`` blocks until an event arrives or the feed
+        fails.  Buffered events are always drained before a cancel or
+        gap raises.
+        """
+        deadline = (None if timeout is None
+                    else _time.monotonic() + (timeout or 0.0))
+        while True:
+            if self._buffer:
+                return self._buffer.popleft()
+            if self._cancel is not None or self._broken is not None:
+                self._raise_feed_failure()
+            if self.closed:
+                return None
+            if deadline is None:
+                wait = 0.25
+            else:
+                wait = deadline - _time.monotonic()
+                if wait < 0.0:
+                    return None
+            self._client._pump_push(min(wait, 0.25))
+            if (deadline is not None and not self._buffer
+                    and _time.monotonic() >= deadline):
+                if self._cancel is not None or self._broken is not None:
+                    self._raise_feed_failure()
+                return None
+
+    def __iter__(self):
+        while True:
+            event = self.poll(timeout=None)
+            if event is None:
+                return
+            yield event
+
+    def close(self) -> None:
+        """Stop the feed; unsubscribes server-side on a best effort."""
+        if self.closed:
+            return
+        self.closed = True
+        with self._client._lock:
+            self._client._watches.pop(self.sub_id, None)
+        if self._cancel is None:
+            try:
+                self._client._call("unsubscribe", _idempotent=True,
+                                   sub=self.sub_id)
+            except Exception:
+                pass
+
+    def __enter__(self) -> "RemoteWatch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class PipelineFuture:
@@ -857,6 +1147,11 @@ class RemotePipeline:
     def _dispatch(self, message: object) -> None:
         if not isinstance(message, dict):
             raise ProtocolError(f"malformed response {message!r}")
+        if "push" in message:
+            # Change-feed frames interleave freely with pipelined
+            # responses; they are id-less and route by subscription.
+            self._client._route_push(message)
+            return
         future = self._futures.pop(message.get("id"), None)
         if future is None:
             raise ProtocolError(

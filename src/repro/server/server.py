@@ -58,10 +58,15 @@ from repro.core.operations import (
     read_only_methods,
     release_active,
 )
-from repro.errors import NeptuneError, ProtocolError
+from repro.errors import (
+    NeptuneError,
+    ProtocolError,
+    SubscriptionError,
+    SubscriptionOverflowError,
+)
 from repro.server.protocol import FrameDecoder, encode_message
 from repro.testing import faults
-from repro.tools.metrics import SERVER
+from repro.tools.metrics import SERVER, SUBSCRIPTIONS
 from repro.txn.manager import Transaction
 
 __all__ = ["HAMServer", "ServerConfig"]
@@ -143,6 +148,9 @@ class _Session:
         self.bound_ham: HAM | None = server.ham
         #: Over the connection cap: answer everything with ServerBusy.
         self.busy = busy
+        #: Change-feed watches this session registered: sub_id -> the
+        #: hub that owns it (push frames ride this session's socket).
+        self.subscriptions: dict[int, object] = {}
 
         self.lock = threading.Lock()
         self.decoder = FrameDecoder()
@@ -179,10 +187,17 @@ class _Session:
                 and not self.running_mutation)
 
     def abort_leftovers(self) -> None:
-        """Abort transactions left open by a vanished client."""
+        """Abort transactions (and detach subscriptions) left behind
+        by a vanished client."""
         for transaction in list(self.transactions.values()):
             release_active(transaction)
         self.transactions.clear()
+        for sub_id, hub in list(self.subscriptions.items()):
+            try:
+                hub.unsubscribe(sub_id)
+            except Exception:  # pragma: no cover - hub teardown races
+                pass
+        self.subscriptions.clear()
 
     # ------------------------------------------------------------------
     # the session surface the registry handlers dispatch against
@@ -211,6 +226,84 @@ class _Session:
     def release_txn(self, txn_id: int) -> None:
         """Drop a transaction from the table, aborting it if still live."""
         release_active(self.transactions.pop(txn_id, None))
+
+    # ------------------------------------------------------------------
+    # change feeds (protocol v7): push frames interleave with responses
+
+    def subscribe_feed(self, events=None, predicate=None,
+                       from_lsn=None) -> dict:
+        """Register a watch whose events push over this session's socket.
+
+        Delivery runs on committer threads: the closure encodes one
+        ``{"push": "events", ...}`` frame and posts it to the I/O
+        thread, which interleaves it with ordinary responses through
+        the same bounded outbuf.  A frame that would push the outbuf
+        past ``max_outbuf_bytes`` raises the typed overflow error
+        instead — the hub then cancels the feed (the slow consumer
+        loses its subscription, never stalls the commit) and the
+        ``fail`` closure best-effort ships one final cancel frame,
+        which always queues: the overflow check does not apply to it,
+        and a closed session simply drops it.
+        """
+        ham = self.ham
+        hub = ham.subscription_hub()
+        compiled = ham.compile_watch_predicate(predicate)
+
+        def deliver(sub, lsn, seq, wire_events) -> None:
+            self._push_frame(encode_message({
+                "push": "events", "sub": sub.sub_id, "lsn": lsn,
+                "seq": seq, "events": wire_events}))
+
+        def fail(sub, reason, dropped, lsn, message) -> None:
+            self.subscriptions.pop(sub.sub_id, None)
+            self._push_frame(encode_message({
+                "push": "cancel", "sub": sub.sub_id, "reason": reason,
+                "dropped": dropped, "lsn": lsn, "message": message}),
+                unchecked=True)
+
+        sub_id, resync = hub.subscribe(
+            deliver, fail, events=events, predicate=compiled,
+            from_lsn=from_lsn)
+        sub = hub.subscription(sub_id)
+        if sub is not None:  # a replay overflow may have cancelled it
+            self.subscriptions[sub_id] = hub
+        return {"sub": sub_id, "resync": resync,
+                "lsn": hub.status()["last_emitted_lsn"]}
+
+    def unsubscribe_feed(self, sub_id: int) -> bool:
+        hub = self.subscriptions.pop(sub_id, None)
+        if hub is None:
+            return False
+        return hub.unsubscribe(sub_id)
+
+    def subscription_feed_status(self) -> dict:
+        status = self.ham.subscription_status()
+        status["session_subscriptions"] = len(self.subscriptions)
+        with self.lock:
+            status["outbuf_bytes"] = self.out_bytes
+        status["counters"] = SUBSCRIPTIONS.snapshot()
+        return status
+
+    def _push_frame(self, frame: bytes, unchecked: bool = False) -> None:
+        """Queue one unsolicited frame (called from committer threads).
+
+        Raises the typed overflow error when the frame would exceed the
+        session's response-byte bound; the projected size is advisory
+        (frames already posted but not yet queued by the I/O thread are
+        invisible here), which bounds the overshoot at one task batch.
+        """
+        with self.lock:
+            if self.closed or self.closing:
+                raise SubscriptionError("session is closing")
+            if not unchecked:
+                projected = self.out_bytes + len(frame)
+                limit = self.server.config.max_outbuf_bytes
+                if projected > limit:
+                    raise SubscriptionOverflowError(
+                        f"subscriber backlog {projected} bytes exceeds "
+                        f"max_outbuf_bytes={limit}")
+                SUBSCRIPTIONS.record_max("queue_high_water", projected)
+        self.server._post(("write", self, [frame]))
 
     # ------------------------------------------------------------------
     # request dispatch (runs on a worker thread)

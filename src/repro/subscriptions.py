@@ -1,0 +1,443 @@
+"""Push-based change feeds: commit-ordered subscriptions over demons.
+
+The paper's demons (§3, §5) invoke code "when a specific HAM event
+occurs" — but only in-process.  This module lifts them into
+*subscriptions*: a watcher registers an event-kind set and an optional
+predicate, and receives every matching change event **after the commit
+that produced it is durable and published**, stamped with the commit
+LSN.  The server (protocol v7) forwards these as unsolicited push
+frames; :meth:`repro.core.ham.HAM.watch` consumes them in-process.
+
+Guarantees (see HAM_SPEC "Subscriptions and change feeds"):
+
+- **Durability.** An event is emitted only after its commit's WAL blob
+  is durable and its write-set has published — never for aborted,
+  crashed, or unacknowledged work.  Crash recovery can therefore never
+  discard a commit a subscriber was told about (no phantom
+  notifications).
+- **Order.** Each subscription's stream is non-decreasing in commit
+  LSN, and events inside one commit arrive in firing order.  Commit
+  *publication* is not LSN-ordered (two committers may publish either
+  way around), so the hub re-serializes: committers stage their LSN
+  while still holding the log-append bracket (stage order = LSN order)
+  and seal it with the fired events after publication; the hub emits
+  strictly from the head of the staging queue.
+- **Gap-freedom.** Every frame carries a per-subscription sequence
+  number incremented only when that subscription is actually sent a
+  frame, so a consumer detects a lost frame even though predicate
+  filtering legitimately skips commits.
+- **Non-blocking.** Delivery must never stall a commit.  A subscriber
+  that cannot keep up loses its *whole feed* with a typed
+  :class:`~repro.errors.SubscriptionOverflowError` cancel — never a
+  silent gap — and may resubscribe from its last-seen LSN; a bounded
+  replay ring answers the catch-up when the gap is short enough.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from collections import OrderedDict, deque
+
+from repro.core.demons import MUTATION_EVENTS, DemonEvent, EventKind
+from repro.errors import (
+    NodeNotFoundError,
+    SubscriptionError,
+    SubscriptionOverflowError,
+)
+from repro.testing import faults
+from repro.tools.metrics import SUBSCRIPTIONS
+
+__all__ = ["SubscriptionHub", "Subscription", "LocalWatch", "wire_event",
+           "CANCEL_OVERFLOW", "CANCEL_ERROR", "CANCEL_CLOSED"]
+
+#: Reasons a feed-cancel notification can carry.
+CANCEL_OVERFLOW = "overflow"
+CANCEL_ERROR = "error"
+CANCEL_CLOSED = "closed"
+
+#: Staging-queue sentinels: a staged LSN whose commit has not decided
+#: yet, and one whose commit failed after staging (poisoned manager).
+_PENDING = object()
+_DISCARDED = object()
+
+
+def _unresolved(tree) -> bool:
+    """Does a compiled predicate tree reference an un-interned name?"""
+    op = tree[0]
+    if op in ("cmp", "exists"):
+        return tree[1] is None
+    if op in ("and", "or"):
+        return any(_unresolved(child) for child in tree[1])
+    if op == "not":
+        return _unresolved(tree[1])
+    return False
+
+
+def wire_event(event: DemonEvent) -> dict:
+    """Encode one fired event as its wire/document form."""
+    return {
+        "kind": event.kind.value,
+        "time": event.time,
+        "node": event.node,
+        "link": event.link,
+        "transaction": event.transaction,
+        "detail": dict(event.detail) if event.detail else {},
+    }
+
+
+class Subscription:
+    """One attached watcher: filter + delivery callbacks + sequence.
+
+    ``deliver(sub, lsn, seq, events)`` receives this subscription and
+    wire-form event dicts; it must be non-blocking and may raise
+    :class:`SubscriptionOverflowError` to signal that the consumer's
+    bounded queue is full — the hub then cancels the feed.  ``fail``
+    (best-effort, never raises into the hub) is invoked exactly once
+    with ``(sub, reason, dropped, lsn, message)`` when the feed dies.
+    """
+
+    __slots__ = ("sub_id", "kinds", "predicate", "predicate_stale",
+                 "deliver", "fail",
+                 "seq", "last_lsn", "delivered", "dropped", "cancelled")
+
+    def __init__(self, sub_id, kinds, predicate, deliver, fail):
+        self.sub_id = sub_id
+        self.kinds = kinds          # frozenset[EventKind] | None (= all)
+        #: True while the compiled predicate references an attribute
+        #: name nobody has interned yet — a long-lived subscription may
+        #: legitimately predate its attribute's first use, so the hub
+        #: re-resolves against the live registry until every name binds.
+        self.predicate_stale = (predicate is not None
+                                and _unresolved(predicate.tree))
+        self.predicate = predicate  # CompiledPredicate | None
+        self.deliver = deliver
+        self.fail = fail
+        self.seq = 0
+        self.last_lsn = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.cancelled = False
+
+
+class SubscriptionHub:
+    """Per-graph fan-out point between committers and subscribers.
+
+    The transaction manager drives the staging protocol
+    (:meth:`stage` under :attr:`append_lock` → :meth:`seal` /
+    :meth:`discard`); :meth:`subscribe` / :meth:`unsubscribe` attach
+    and detach watchers.  Emission happens on whichever committer
+    thread seals the oldest staged LSN, under the hub lock, so every
+    subscriber observes one globally serialized, LSN-ordered stream.
+    """
+
+    def __init__(self, store, replay_limit: int = 512):
+        #: The shared (post-publish) store predicates evaluate against.
+        self._store = store
+        #: Held by committers around ``log.append_many`` + :meth:`stage`
+        #: so staging order equals LSN order.
+        self.append_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: OrderedDict = OrderedDict()
+        self._subs: dict[int, Subscription] = {}
+        self._ids = itertools.count(1)
+        #: Stage tickets key :attr:`_pending` instead of the LSN itself
+        #: because ephemeral graphs log to a null WAL where every
+        #: commit reports LSN 0 — duplicate keys would drop events.
+        self._tickets = itertools.count(1)
+        #: Bounded replay history: (lsn, tuple[DemonEvent]) of emitted
+        #: commits, answering resubscribe-with-``from_lsn`` catch-up.
+        self._replay: deque = deque(maxlen=replay_limit)
+        #: Highest LSN ever evicted from the replay ring: a ``from_lsn``
+        #: below this cannot be caught up and forces a resync.
+        self._evicted_lsn = 0
+        self._last_emitted_lsn = 0
+
+    # ------------------------------------------------------------------
+    # committer side (driven by TransactionManager.finish_commit)
+
+    def stage(self, lsn: int) -> int:
+        """Reserve ``lsn``'s emission slot (call under append_lock).
+
+        Returns a ticket to pass to :meth:`seal` or :meth:`discard`.
+        Ticket order equals staging order equals LSN order.
+        """
+        with self._lock:
+            ticket = next(self._tickets)
+            self._pending[ticket] = (lsn, _PENDING)
+            return ticket
+
+    def seal(self, ticket: int, events) -> None:
+        """The ticket's commit is durable and published: emit in order."""
+        with self._lock:
+            entry = self._pending.get(ticket)
+            if entry is not None:
+                self._pending[ticket] = (entry[0], tuple(events))
+            self._drain_locked()
+
+    def discard(self, ticket: int) -> None:
+        """The ticket's commit failed after staging: unblock the queue."""
+        with self._lock:
+            entry = self._pending.get(ticket)
+            if entry is not None and entry[1] is _PENDING:
+                self._pending[ticket] = (entry[0], _DISCARDED)
+            self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        while self._pending:
+            ticket, (lsn, outcome) = next(iter(self._pending.items()))
+            if outcome is _PENDING:
+                return  # an older commit is still deciding
+            del self._pending[ticket]
+            if outcome is _DISCARDED or not outcome:
+                continue
+            self._emit_locked(lsn, outcome)
+
+    def _emit_locked(self, lsn: int, events) -> None:
+        if len(self._replay) == self._replay.maxlen:
+            self._evicted_lsn = self._replay[0][0]
+        self._replay.append((lsn, events))
+        self._last_emitted_lsn = lsn
+        for sub in list(self._subs.values()):
+            self._offer_locked(sub, lsn, events)
+
+    def _offer_locked(self, sub: Subscription, lsn: int, events) -> None:
+        if sub.cancelled:
+            return
+        matched = [event for event in events if self._matches(sub, event)]
+        if not matched:
+            return
+        SUBSCRIPTIONS.increment("fired", len(matched))
+        try:
+            if faults.INJECTOR is not None:
+                faults.fire("sub.deliver")
+            sub.seq += 1
+            sub.deliver(sub, lsn, sub.seq,
+                        [wire_event(event) for event in matched])
+        except SubscriptionOverflowError as exc:
+            SUBSCRIPTIONS.increment("overflows")
+            self._cancel_locked(sub, CANCEL_OVERFLOW, len(matched), lsn,
+                                str(exc))
+            return
+        except Exception as exc:
+            # A commit must never fail because one watcher's delivery
+            # did (an injected sub.deliver fault, a torn socket): the
+            # feed dies, the commit proceeds.  SimulatedCrash is a
+            # BaseException and still propagates — a crash is a crash.
+            self._cancel_locked(sub, CANCEL_ERROR, len(matched), lsn,
+                                f"{type(exc).__name__}: {exc}")
+            return
+        sub.last_lsn = lsn
+        sub.delivered += len(matched)
+        SUBSCRIPTIONS.increment("delivered", len(matched))
+
+    def _cancel_locked(self, sub: Subscription, reason: str, count: int,
+                       lsn: int, message: str) -> None:
+        sub.cancelled = True
+        self._subs.pop(sub.sub_id, None)
+        SUBSCRIPTIONS.record("active", len(self._subs))
+        sub.dropped += count
+        SUBSCRIPTIONS.increment("dropped", count)
+        try:
+            sub.fail(sub, reason, count, lsn, message)
+        except Exception:
+            pass  # best-effort: the consumer may already be gone
+
+    def _matches(self, sub: Subscription, event: DemonEvent) -> bool:
+        if sub.kinds is not None and event.kind not in sub.kinds:
+            return False
+        if sub.predicate is None:
+            return True
+        if sub.predicate_stale:
+            # The predicate names an attribute that had never been
+            # interned when the subscription compiled it; re-resolve
+            # against the live registry until every name binds.
+            from repro.query.planner import compile_predicate
+            recompiled = compile_predicate(sub.predicate.predicate,
+                                           self._store.registry)
+            sub.predicate = recompiled
+            sub.predicate_stale = _unresolved(recompiled.tree)
+        if event.node is None:
+            return False  # a node predicate cannot match a node-less event
+        try:
+            record = self._store.node(event.node)
+        except NodeNotFoundError:
+            return False
+        return sub.predicate.matches_record(record.attributes, event.time)
+
+    # ------------------------------------------------------------------
+    # subscriber side
+
+    def subscribe(self, deliver, fail, events=None, predicate=None,
+                  from_lsn: int | None = None) -> tuple[int, bool]:
+        """Attach a watcher; returns ``(sub_id, resync_required)``.
+
+        ``events`` is an iterable of :class:`EventKind` (None = every
+        mutation kind); ``predicate`` a compiled predicate or None.
+        With ``from_lsn``, retained commits above it replay through the
+        filter *before* the subscription attaches — atomically under
+        the hub lock, so no live emission can interleave with (or be
+        missed after) the catch-up.  ``resync_required`` is True when
+        the ring no longer reaches back to ``from_lsn``: the stream is
+        gap-free only from now on, and the consumer must re-read state.
+        """
+        kinds = None
+        if events is not None:
+            kinds = frozenset(EventKind(event) for event in events)
+            for kind in kinds:
+                if kind not in MUTATION_EVENTS:
+                    raise SubscriptionError(
+                        f"cannot subscribe to non-mutation event "
+                        f"{kind.value!r}")
+        with self._lock:
+            sub = Subscription(next(self._ids), kinds, predicate,
+                               deliver, fail)
+            resync = False
+            if from_lsn is not None:
+                resync = from_lsn < self._evicted_lsn
+                for lsn, events_ in self._replay:
+                    if lsn <= from_lsn:
+                        continue
+                    self._offer_locked(sub, lsn, events_)
+                    if sub.cancelled:
+                        break
+            if not sub.cancelled:
+                # A replay overflow already cancelled the feed (and told
+                # the consumer); the id is still reported so the caller
+                # can correlate the cancel frame.
+                self._subs[sub.sub_id] = sub
+            SUBSCRIPTIONS.record("active", len(self._subs))
+            return sub.sub_id, resync
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Detach ``sub_id``; True when it was attached."""
+        with self._lock:
+            existed = self._subs.pop(sub_id, None) is not None
+            SUBSCRIPTIONS.record("active", len(self._subs))
+            return existed
+
+    def subscription(self, sub_id: int) -> Subscription | None:
+        with self._lock:
+            return self._subs.get(sub_id)
+
+    def status(self) -> dict:
+        """Observability snapshot (one plain dict)."""
+        with self._lock:
+            return {
+                "active": len(self._subs),
+                "staged": len(self._pending),
+                "last_emitted_lsn": self._last_emitted_lsn,
+                "replay_depth": len(self._replay),
+                "replay_floor": self._evicted_lsn,
+            }
+
+
+class LocalWatch:
+    """In-process change feed over a :class:`SubscriptionHub`.
+
+    Events queue up to ``max_events`` frames; a slower consumer loses
+    the feed with :class:`SubscriptionOverflowError` on the next read,
+    exactly like a remote subscriber.  Iterate it, or :meth:`poll`
+    with a timeout; each item is one wire-form event dict augmented
+    with ``lsn`` and ``seq``.
+    """
+
+    def __init__(self, hub: SubscriptionHub, events=None, predicate=None,
+                 max_events: int = 1024):
+        self._hub = hub
+        self._queue: queue.Queue = queue.Queue(maxsize=max_events)
+        self._cancel: tuple | None = None
+        self._buffer: deque = deque()
+        self.closed = False
+        self.sub_id, self.resync = hub.subscribe(
+            self._deliver, self._fail, events=events, predicate=predicate)
+
+    # hub-side callbacks (committing threads) --------------------------
+
+    def _deliver(self, sub, lsn, seq, events) -> None:
+        try:
+            self._queue.put_nowait(("events", lsn, seq, events))
+        except queue.Full:
+            raise SubscriptionOverflowError(
+                f"local watch queue full ({self._queue.maxsize} frames)"
+            ) from None
+
+    def _fail(self, sub, reason, dropped, lsn, message) -> None:
+        try:
+            self._queue.put_nowait(("cancel", reason, dropped, message))
+        except queue.Full:
+            self._cancel = ("cancel", reason, dropped, message)
+
+    # consumer side ----------------------------------------------------
+
+    def poll(self, timeout: float | None = 0.0) -> dict | None:
+        """Next event (or None when none arrives within ``timeout``)."""
+        if self._buffer:
+            return self._buffer.popleft()
+        while True:
+            if self._queue.empty():
+                if self._cancel is not None:
+                    self._raise_cancel()
+                if self.closed:
+                    return None
+            try:
+                item = self._queue.get(
+                    timeout=timeout if timeout is not None else None,
+                    block=timeout != 0.0)
+            except queue.Empty:
+                if self._cancel is not None and self._queue.empty():
+                    self._raise_cancel()
+                return None
+            if item[0] == "stop":
+                self.closed = True
+                return None
+            if item[0] == "cancel":
+                self._cancel = item
+                self.closed = True
+                self._raise_cancel()
+            _, lsn, seq, events = item
+            for event in events:
+                entry = dict(event)
+                entry["lsn"] = lsn
+                entry["seq"] = seq
+                self._buffer.append(entry)
+            if self._buffer:
+                return self._buffer.popleft()
+
+    def _raise_cancel(self):
+        if self._cancel is None:
+            return
+        _, reason, dropped, message = self._cancel
+        self._cancel = None
+        if reason == CANCEL_OVERFLOW:
+            raise SubscriptionOverflowError(
+                f"feed cancelled after dropping {dropped} event(s): "
+                f"{message}")
+        raise SubscriptionError(
+            f"feed cancelled ({reason}) after dropping {dropped} "
+            f"event(s): {message}")
+
+    def __iter__(self):
+        while True:
+            event = self.poll(timeout=None)
+            if event is None:
+                return
+            yield event
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._hub.unsubscribe(self.sub_id)
+            try:
+                # Wake a reader blocked in poll(timeout=None).
+                self._queue.put_nowait(("stop",))
+            except queue.Full:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

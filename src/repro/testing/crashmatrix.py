@@ -45,9 +45,11 @@ from repro.workloads.crashmix import (
 )
 
 __all__ = ["CaseResult", "ConcurrentCaseResult", "FailoverCaseResult",
-           "PipelinedCaseResult", "abandon", "run_concurrent_case",
+           "PipelinedCaseResult", "SubscriptionCaseResult", "abandon",
+           "run_concurrent_case",
            "run_failover_case", "run_local_case", "run_pipelined_case",
-           "run_remote_case", "verify_invariants",
+           "run_remote_case", "run_subscription_case",
+           "verify_invariants",
            "wal_record_boundaries", "FAILOVER_SCENARIOS"]
 
 
@@ -390,6 +392,107 @@ def run_pipelined_case(directory, point: str = "server.dispatch",
         point=point, action=action, hit=hit, fired=bool(injector.fired),
         acknowledged=len(oracle.committed), unresolved=len(unknown),
         max_depth=max(depths))
+
+
+# ======================================================================
+# change-feed cells
+
+
+@dataclass
+class SubscriptionCaseResult:
+    """Outcome of one change-feed cell (no-phantom check passed)."""
+
+    point: str
+    action: str
+    hit: int
+    fired: bool
+    #: (node, attribute name, value, time) of every pushed event.
+    pushed: list
+    #: Marker commits acknowledged to the writer before the fault.
+    acknowledged: int
+
+
+def run_subscription_case(directory, point: str = "sub.deliver",
+                          action: str = "raise", hit: int = 1,
+                          seed: int = 0, commits: int = 10,
+                          ) -> SubscriptionCaseResult:
+    """One matrix cell with a live TCP subscriber at the fault.
+
+    The no-phantom invariant: events are emitted only after their
+    commit is durable and published, so everything the server ever
+    *pushed* must survive recovery — a subscriber can never have been
+    told about work the recovered graph discards.  (The converse is
+    allowed: a crashed commit's events are simply never pushed, and a
+    delivery fault costs the subscriber its feed, not the writer its
+    commit.)
+    """
+    from repro.errors import SubscriptionError
+
+    path = os.path.join(os.fspath(directory), "graph")
+    project_id, __ = HAM.create_graph(path)
+    ham = HAM.open_graph(project_id, path)
+    server = HAMServer(ham)
+    server.start()
+    acknowledged = 0
+    pushed: list = []
+    try:
+        subscriber = RemoteHAM(*server.address, timeout=5.0)
+        try:
+            watch = subscriber.watch(events=["setAttribute"])
+            attr = ham.get_attribute_index("marker")
+            injector = faults.install(faults.FaultPlan(
+                specs=(faults.FaultSpec(point, action, hit=hit),),
+                seed=seed))
+            try:
+                for step in range(commits):
+                    try:
+                        txn = ham.begin()
+                        node, __ = ham.add_node(txn)
+                        ham.set_node_attribute_value(
+                            txn, node=node, attribute=attr,
+                            value=f"sub-s{seed}-c{step}")
+                        txn.commit()
+                    except (faults.SimulatedCrash, NeptuneError,
+                            OSError):
+                        break
+                    acknowledged += 1
+            finally:
+                faults.uninstall()
+            # Drain everything the server actually pushed before the
+            # crash; a fault-cancelled feed raises after its prefix.
+            try:
+                while True:
+                    event = watch.poll(timeout=0.5)
+                    if event is None:
+                        break
+                    pushed.append((event["node"],
+                                   event["detail"]["attribute"],
+                                   event["detail"]["value"],
+                                   event["time"]))
+            except SubscriptionError:
+                pass
+        finally:
+            subscriber.close()
+    finally:
+        server.stop(disconnect_clients=True)
+    abandon(ham)
+    recovered = HAM.open_graph(project_id, path)
+    try:
+        registry = recovered.store.registry
+        for node, name, value, stamp in pushed:
+            attr_index = registry.lookup(name)
+            assert attr_index is not None, (
+                f"pushed attribute {name!r} unknown after recovery")
+            got = recovered.store.node(node).attributes.value_at(
+                attr_index, stamp, default=None)
+            assert got == value, (
+                f"phantom notification: pushed {value!r} for node "
+                f"{node}@{stamp} but recovery holds {got!r}")
+    finally:
+        abandon(recovered)
+    return SubscriptionCaseResult(
+        point=point, action=action, hit=hit, fired=bool(injector.fired),
+        pushed=pushed, acknowledged=acknowledged)
 
 
 # ======================================================================

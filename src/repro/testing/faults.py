@@ -44,6 +44,9 @@ Injection points
                            in-flight chunk (the replica must survive)
 ``repl.apply``             on a replica, before a shipped commit group
                            publishes into the replica's store
+``sub.deliver``            in the subscription hub, after a commit is
+                           durable and published, before its events are
+                           handed to one subscriber's delivery callback
 ======================  ================================================
 
 Zero-cost when disabled: call sites guard with
@@ -96,6 +99,7 @@ POINTS = (
     "repl.ship",
     "repl.fetch",
     "repl.apply",
+    "sub.deliver",
 )
 
 #: Supported fault actions.

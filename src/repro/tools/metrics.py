@@ -33,7 +33,7 @@ from typing import Callable
 
 __all__ = ["CACHE", "CONCURRENCY", "CounterSet", "GRAPH",
            "OperationMetrics", "OperationStats", "PLANNER", "REPLICATION",
-           "RESILIENCE", "SERVER", "TraceLog", "WAL"]
+           "RESILIENCE", "SERVER", "SUBSCRIPTIONS", "TraceLog", "WAL"]
 
 
 class CounterSet:
@@ -177,6 +177,21 @@ REPLICATION = CounterSet("lag_bytes", "lag_commits", "replayed_lsn",
 CACHE = CounterSet("hits", "misses", "admissions", "rejections",
                    "evictions", "cached_bytes", "cached_entries",
                    "interned_blobs", "dedup_hits")
+
+#: Process-wide change-feed counters, mirrored by every
+#: :class:`repro.subscriptions.SubscriptionHub` in the process:
+#: ``fired`` (events that matched an attached subscription's filter),
+#: ``delivered`` (events actually handed to a consumer), ``dropped``
+#: (events lost when a feed was cancelled — the hub cancels a whole
+#: feed rather than skip events, so ``delivered + dropped == fired``),
+#: ``overflows`` (feeds cancelled because a subscriber's bounded queue
+#: filled), ``queue_high_water`` (deepest per-subscriber outbound
+#: backlog seen, bytes), ``resubscribes`` (client watches re-attached
+#: after a reconnect), and ``active`` (gauge: currently attached
+#: subscriptions on the hub last touched).  Surfaced by
+#: :func:`repro.tools.stats.subscription_counters`.
+SUBSCRIPTIONS = CounterSet("fired", "delivered", "dropped", "overflows",
+                           "queue_high_water", "resubscribes", "active")
 
 #: Process-wide columnar-graph-core counters, incremented by
 #: :class:`repro.core.graph.GraphStore` and the query layer:

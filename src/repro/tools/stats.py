@@ -51,6 +51,14 @@ hits, ordered column scans, row-facade dict materializations) and
 :func:`render_graph` formats it — the numbers behind "are traversals
 really O(degree), and has anything regressed to per-object dicts?".
 
+Change-feed accounting: :func:`subscription_counters` snapshots the
+process-wide :data:`repro.tools.metrics.SUBSCRIPTIONS` mirror (events
+fired/delivered/dropped, overflow cancellations, outbuf high water,
+client resubscribes) and :func:`render_subscriptions` formats either
+that or one graph's ``subscriptionStatus`` dict — with the invariant
+``delivered + dropped == fired`` making "no event silently vanished"
+an assertable property.
+
 Content-store accounting: :func:`cache_stats` snapshots the shared
 materialization block cache (:mod:`repro.storage.blockcache` — hit
 rate, admission/eviction traffic, resident bytes),
@@ -77,6 +85,7 @@ from repro.tools.metrics import (
     REPLICATION,
     RESILIENCE,
     SERVER,
+    SUBSCRIPTIONS,
     WAL,
 )
 from repro.txn.locks import LockStats
@@ -87,9 +96,10 @@ __all__ = ["GraphStats", "cache_counters", "cache_stats",
            "lock_stats", "planner_counters", "render_cache",
            "render_concurrency", "render_graph",
            "render_planner", "render_replication", "render_resilience",
-           "render_server", "render_wal", "replication_counters",
+           "render_server", "render_subscriptions", "render_wal",
+           "replication_counters",
            "resilience_stats", "server_counters", "snapshot_stats",
-           "wal_counters", "wal_stats"]
+           "subscription_counters", "wal_counters", "wal_stats"]
 
 
 @dataclass(frozen=True)
@@ -383,6 +393,57 @@ def render_replication(status: dict | None = None) -> str:
             for name, ack in sorted(
                     (status.get("subscribers") or {}).items()):
                 rows.append((f"  subscriber {name} acked", ack))
+    width = max(len(label) for label, __ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}"
+                     for label, value in rows)
+
+
+def subscription_counters() -> dict[str, int]:
+    """Snapshot of the process-wide change-feed counters.
+
+    ``fired`` counts events that matched some subscription's filter,
+    ``delivered`` the subset handed to a live consumer and ``dropped``
+    the subset lost when a feed was cancelled — ``delivered + dropped
+    == fired`` always, because overflow cancels a whole feed rather
+    than skipping events.  ``overflows`` counts those cancellations,
+    ``queue_high_water`` is the largest projected per-session outbuf a
+    push was admitted into, ``resubscribes`` counts client-side
+    re-registrations after a reconnect, and ``active`` is a gauge of
+    currently attached subscriptions.
+    """
+    return SUBSCRIPTIONS.snapshot()
+
+
+def render_subscriptions(status: dict | None = None) -> str:
+    """Human-readable change-feed report.
+
+    Renders the process-wide counters by default; pass one graph's
+    ``subscriptionStatus`` dict to report on its hub (and, over RPC,
+    the calling session) alone.
+    """
+    if status is None:
+        counters = subscription_counters()
+        rows = [
+            ("events fired", counters.get("fired", 0)),
+            ("events delivered", counters.get("delivered", 0)),
+            ("events dropped", counters.get("dropped", 0)),
+            ("overflow cancellations", counters.get("overflows", 0)),
+            ("outbuf high water (bytes)",
+             counters.get("queue_high_water", 0)),
+            ("client resubscribes", counters.get("resubscribes", 0)),
+            ("active subscriptions", counters.get("active", 0)),
+        ]
+    else:
+        rows = [
+            ("active subscriptions", status.get("active", 0)),
+            ("staged commits", status.get("staged", 0)),
+            ("last emitted lsn", status.get("last_emitted_lsn", 0)),
+            ("replay ring depth", status.get("replay_depth", 0)),
+            ("replay floor lsn", status.get("replay_floor", 0)),
+        ]
+        for extra in ("session_subscriptions", "outbuf_bytes"):
+            if extra in status:
+                rows.append((extra.replace("_", " "), status[extra]))
     width = max(len(label) for label, __ in rows)
     return "\n".join(f"{label.ljust(width)}  {value}"
                      for label, value in rows)

@@ -238,6 +238,14 @@ class TransactionManager:
         #: failure does not poison the manager: the commit itself is
         #: complete; only its acknowledgement is withheld.
         self.commit_gate = None
+        #: Optional subscription hub
+        #: (:class:`repro.subscriptions.SubscriptionHub`).  When set,
+        #: commits that collected change events stage their LSN inside
+        #: the log-append bracket and seal it (handing over the events)
+        #: only after durability *and* publication — the hub re-derives
+        #: LSN order from the staging sequence, because publication
+        #: order across committers is not LSN order.
+        self.event_feed = None
         #: Global LSN of the newest commit blob this manager wrote
         #: (monotonic) — the graph-wide commit watermark.
         self.last_commit_lsn = 0
@@ -412,11 +420,26 @@ class TransactionManager:
         """
         logged = False
         commit_lsn = None
+        feed = self.event_feed
+        events = (txn.writeset.events
+                  if feed is not None and txn.writeset is not None
+                  else None)
+        stage_ticket = None
         try:
             if not txn.read_only and txn._redo:
-                commit_lsn = self.log.append_many(
-                    txn._redo + [LogRecord(
-                        kind=LogRecordKind.COMMIT, txn_id=txn.txn_id)])
+                records = txn._redo + [LogRecord(
+                    kind=LogRecordKind.COMMIT, txn_id=txn.txn_id)]
+                if events:
+                    # Stage while still inside the append bracket:
+                    # appends hand out LSNs in append order, so holding
+                    # the feed's append_lock across both makes staging
+                    # order equal LSN order — the invariant the hub's
+                    # in-order emission queue rests on.
+                    with feed.append_lock:
+                        commit_lsn = self.log.append_many(records)
+                        stage_ticket = feed.stage(commit_lsn)
+                else:
+                    commit_lsn = self.log.append_many(records)
                 txn._redo = []
                 logged = True
                 if self.synchronous:
@@ -424,7 +447,15 @@ class TransactionManager:
                 if faults.INJECTOR is not None:
                     faults.fire("txn.apply")
                 self._publish(txn)
+                if stage_ticket is not None:
+                    # Durable and published: release the events.  A
+                    # crash beyond this point may push a commit that
+                    # recovery *keeps* — never one it discards.
+                    ticket, stage_ticket = stage_ticket, None
+                    feed.seal(ticket, events)
         except BaseException:
+            if stage_ticket is not None:
+                feed.discard(stage_ticket)
             if logged:
                 with self._lock:
                     self._poisoned = True

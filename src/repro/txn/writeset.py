@@ -123,6 +123,12 @@ class WriteSet:
         self._index = index
         self._stats = stats
         self._index_ops: list[tuple] = []
+        #: Change events this transaction fired (in firing order), kept
+        #: for the subscription hub to push *after* commit durability
+        #: and publication.  Demons still fire inline — they can veto —
+        #: but remote subscribers only ever learn of committed work.
+        #: Aborts drop the overlay, events included.
+        self.events: list = []
         #: Transaction-scoped view of the graph's blob catalog: interns
         #: land in the shared catalog immediately (dedup works across
         #: concurrent writers), releases wait for the transaction's
@@ -304,6 +310,13 @@ class WriteSet:
         """Queue an index/statistics update for commit-apply."""
         if self._index is not None or self._stats is not None:
             self._index_ops.append((op,) + args)
+
+    # ------------------------------------------------------------------
+    # deferred change-event collection (subscription feeds)
+
+    def record_event(self, event) -> None:
+        """Buffer a fired change event for post-commit feed emission."""
+        self.events.append(event)
 
     # ------------------------------------------------------------------
     # outcome

@@ -1,0 +1,94 @@
+"""Edge cases in the demon tables and registry.
+
+These pin behaviors the change-feed layer now leans on: rollback as an
+abort primitive, disabled (``None``) bindings at as-of times, and the
+command-demon failure path.
+"""
+
+import sys
+
+import pytest
+
+from repro import DemonRegistry, EventKind, HAM
+from repro.core.demons import DemonEvent, DemonTable
+from repro.errors import DemonError
+
+
+def make_event(kind=EventKind.ADD_NODE):
+    return DemonEvent(kind=kind, time=1, project=1, node=1)
+
+
+class TestDemonTableRollback:
+    def test_rollback_without_any_timeline_raises(self):
+        table = DemonTable()
+        with pytest.raises(DemonError, match="no demon timeline"):
+            table.rollback(EventKind.ADD_NODE)
+
+    def test_rollback_past_first_entry_raises(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "d", time=5)
+        table.rollback(EventKind.ADD_NODE)
+        # The timeline emptied and was dropped: a second rollback is
+        # the "rollback past the first version" error, not a KeyError.
+        with pytest.raises(DemonError, match="no demon timeline"):
+            table.rollback(EventKind.ADD_NODE)
+
+    def test_rollback_only_touches_the_named_event(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "a", time=5)
+        table.set(EventKind.DELETE_NODE, "b", time=6)
+        table.rollback(EventKind.ADD_NODE)
+        assert table.demons_at() == [(EventKind.DELETE_NODE, "b")]
+
+    def test_rollback_restores_the_previous_binding(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "old", time=5)
+        table.set(EventKind.ADD_NODE, "new", time=9)
+        table.rollback(EventKind.ADD_NODE)
+        assert table.demon_at(EventKind.ADD_NODE) == "old"
+
+
+class TestDemonTableAsOf:
+    def test_disabled_none_entries_hide_from_demons_at(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "d", time=5)
+        table.set(EventKind.ADD_NODE, None, time=9)
+        assert table.demons_at() == []
+        assert table.demons_at(time=5) == [(EventKind.ADD_NODE, "d")]
+        assert table.demons_at(time=8) == [(EventKind.ADD_NODE, "d")]
+        assert table.demons_at(time=9) == []
+
+    def test_demon_at_before_first_binding_is_none(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "d", time=5)
+        assert table.demon_at(EventKind.ADD_NODE, time=4) is None
+
+    def test_round_trip_preserves_disabled_entries(self):
+        table = DemonTable()
+        table.set(EventKind.ADD_NODE, "d", time=5)
+        table.set(EventKind.ADD_NODE, None, time=9)
+        restored = DemonTable.from_record(table.to_record())
+        assert restored.demon_at(EventKind.ADD_NODE, time=5) == "d"
+        assert restored.demon_at(EventKind.ADD_NODE) is None
+
+
+class TestRegistryCommands:
+    def test_nonzero_exit_surfaces_stderr_in_demon_error(self):
+        registry = DemonRegistry()
+        registry.register_command("boom", [
+            sys.executable, "-c",
+            "import sys; sys.stderr.write('policy says no'); sys.exit(2)"])
+        with pytest.raises(DemonError, match="policy says no"):
+            registry.fire("boom", make_event())
+
+    def test_unregistered_demon_name_is_ignored_by_ham(self):
+        # Binding a name with no implementation must not break commits:
+        # the event is still collected for change feeds, nothing fires.
+        ham = HAM.ephemeral(demons=DemonRegistry())
+        ham.set_graph_demon_value(event=EventKind.ADD_NODE,
+                                  demon="ghost")
+        with ham.watch() as watch:
+            node, __ = ham.add_node()
+            got = watch.poll(timeout=2.0)
+            assert got is not None and got["node"] == node
+        ham.close()

@@ -1,0 +1,340 @@
+"""Delivery-oracle differential test for push-based change feeds.
+
+One seeded workload runs against a served durable graph: N writer
+threads commit (and sometimes abort) transactions over their own
+connections while TCP subscribers consume pushed change frames
+concurrently.  The ground truth is the demon mechanism itself — an
+in-process recording demon on the server's HAM observes every firing,
+and the writers record which of their markers actually committed
+(acked) versus aborted.
+
+The pushed stream must then be, for every subscriber:
+
+- **complete and exact** — the set of delivered markers equals the set
+  of acked markers, each exactly once; no marker of an aborted
+  transaction ever appears (the no-phantom guarantee);
+- **LSN-ordered** — frame LSNs never decrease, and each writer's own
+  markers arrive in its commit order;
+- **gap-free** — the per-subscription delivery sequence is dense
+  (:class:`repro.server.client.RemoteWatch` raises on any gap);
+- **filter-correct** — a kind-filtered subscriber sees exactly the
+  kind-projection of the full stream, and a predicate subscriber sees
+  exactly the events whose node matched at event time;
+- a **subset of the oracle** — nothing is pushed that no demon fired.
+
+A mid-run reconnect (the subscriber's socket is killed under it) and a
+seeded ``sub.deliver`` fault variant exercise the recovery paths: the
+client resubscribes carrying its last-seen LSN and the replay ring
+fills the gap.
+"""
+
+import threading
+from random import Random
+
+import pytest
+
+from repro import HAM, DemonRegistry, EventKind
+from repro.errors import SubscriptionError
+from repro.server import HAMServer, RemoteHAM
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultSpec
+
+SENTINEL = "sentinel"
+
+
+def start_served(tmp_path, registry=None):
+    project_id, __ = HAM.create_graph(tmp_path / "g")
+    ham = HAM.open_graph(project_id, tmp_path / "g", demons=registry)
+    server = HAMServer(ham).start()
+    return ham, server
+
+
+def install_oracle(registry, fired):
+    """Record every SET_ATTRIBUTE firing (committed or not)."""
+    registry.register("oracle", fired.append)
+
+
+def bind_oracle(ham):
+    ham.set_graph_demon_value(event=EventKind.SET_ATTRIBUTE,
+                              demon="oracle")
+
+
+class Writer(threading.Thread):
+    """Commits `iterations` marker transactions; aborts some of them."""
+
+    def __init__(self, address, index, iterations, seed):
+        super().__init__(daemon=True)
+        self.address = address
+        self.index = index
+        self.iterations = iterations
+        self.rng = Random(seed * 1000 + index)
+        self.acked = []    # (marker, team) in commit order
+        self.aborted = []  # markers of transactions we rolled back
+        self.error = None
+
+    def run(self):
+        try:
+            client = RemoteHAM(*self.address)
+            try:
+                team_attr = client.get_attribute_index("team")
+                marker_attr = client.get_attribute_index("marker")
+                for j in range(self.iterations):
+                    marker = f"w{self.index}-{j}"
+                    team = self.rng.choice(["hot", "cold"])
+                    abort = self.rng.random() < 0.2
+                    txn = client.begin()
+                    node, __ = client.add_node(txn)
+                    client.set_node_attribute_value(
+                        txn, node=node, attribute=team_attr, value=team)
+                    client.set_node_attribute_value(
+                        txn, node=node, attribute=marker_attr,
+                        value=marker)
+                    if abort:
+                        txn.abort()
+                        self.aborted.append(marker)
+                    else:
+                        txn.commit()
+                        self.acked.append((marker, team))
+            finally:
+                client.close()
+        except Exception as exc:  # surfaced by the main thread
+            self.error = exc
+
+
+def drain_until_sentinel(watch, deadline_s=30.0, into=None):
+    """Consume a watch until the sentinel marker arrives.
+
+    Appends into ``into`` as events arrive (so a feed failure raised
+    mid-drain does not lose what was already consumed) and returns it.
+    """
+    events = [] if into is None else into
+    while True:
+        event = watch.poll(timeout=deadline_s)
+        assert event is not None, (
+            f"feed went quiet before the sentinel; got {len(events)}")
+        events.append(event)
+        if (event["kind"] == "setAttribute"
+                and event["detail"].get("value") == SENTINEL):
+            return events
+
+
+def markers_of(events):
+    return [e["detail"]["value"] for e in events
+            if e["kind"] == "setAttribute"
+            and e["detail"].get("attribute") == "marker"]
+
+
+def assert_lsn_ordered(events):
+    lsns = [e["lsn"] for e in events]
+    assert lsns == sorted(lsns)
+    assert all(lsn > 0 for lsn in lsns), "durable graphs push real LSNs"
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_pushed_stream_matches_the_demon_oracle(tmp_path, seed):
+    registry = DemonRegistry()
+    oracle_fired = []
+    install_oracle(registry, oracle_fired)
+    ham, server = start_served(tmp_path, registry)
+    try:
+        bind_oracle(ham)
+        full_sub = RemoteHAM(*server.address)
+        kind_sub = RemoteHAM(*server.address)
+        pred_sub = RemoteHAM(*server.address)
+        admin = RemoteHAM(*server.address)
+        try:
+            full = full_sub.watch()
+            kinds = kind_sub.watch(events=["setAttribute"])
+            pred = pred_sub.watch(events=["setAttribute"],
+                                  predicate="team = hot")
+
+            writers = [Writer(server.address, i, iterations=24, seed=seed)
+                       for i in range(3)]
+            for w in writers:
+                w.start()
+
+            # Consume concurrently; kill the full subscriber's socket
+            # mid-run to force a reconnect + replay catch-up.
+            consumed = []
+            reconnected = False
+            while any(w.is_alive() for w in writers):
+                event = full.poll(timeout=0.1)
+                if event is not None:
+                    consumed.append(event)
+                if len(consumed) >= 20 and not reconnected:
+                    full_sub._sock.close()
+                    reconnected = True
+            for w in writers:
+                w.join()
+                assert w.error is None, w.error
+
+            # Quiesce: one sentinel commit every subscriber can see.
+            team_attr = admin.get_attribute_index("team")
+            marker_attr = admin.get_attribute_index("marker")
+            txn = admin.begin()
+            node, __ = admin.add_node(txn)
+            admin.set_node_attribute_value(
+                txn, node=node, attribute=team_attr, value="hot")
+            admin.set_node_attribute_value(
+                txn, node=node, attribute=marker_attr, value=SENTINEL)
+            txn.commit()
+
+            consumed += drain_until_sentinel(full)
+            kind_events = drain_until_sentinel(kinds)
+            pred_events = drain_until_sentinel(pred)
+
+            assert reconnected and full.resubscribes >= 1
+            assert not full.resync, "the replay ring covered the gap"
+
+            acked = {m for w in writers for m, __ in w.acked}
+            aborted = {m for w in writers for m in w.aborted}
+            fired = {e.detail["value"] for e in oracle_fired
+                     if e.detail.get("attribute") == "marker"}
+
+            # The oracle saw every marker attempt, committed or not.
+            assert fired == acked | aborted | {SENTINEL}
+
+            for name, events in (("full", consumed),
+                                 ("kind-filtered", kind_events),
+                                 ("predicate", pred_events)):
+                assert_lsn_ordered(events)
+                delivered = markers_of(events)
+                assert len(delivered) == len(set(delivered)), (
+                    f"{name}: duplicate deliveries")
+                assert not (set(delivered) & aborted), (
+                    f"{name}: phantom events for aborted transactions")
+                assert set(delivered) <= fired | {SENTINEL}
+
+            # Full + kind-filtered streams: exactly the acked markers,
+            # in each writer's commit order.
+            for name, events in (("full", consumed),
+                                 ("kind-filtered", kind_events)):
+                delivered = markers_of(events)
+                assert set(delivered) == acked | {SENTINEL}, name
+                for w in writers:
+                    order = [m for m in delivered
+                             if m.startswith(f"w{w.index}-")]
+                    assert order == [m for m, __ in w.acked], (
+                        f"{name}: writer {w.index} out of commit order")
+
+            # The kind-filtered stream is the full stream's projection.
+            project = [(e["lsn"], e["node"], e["detail"])
+                       for e in consumed if e["kind"] == "setAttribute"]
+            assert [(e["lsn"], e["node"], e["detail"])
+                    for e in kind_events] == project
+
+            # The predicate stream is exactly the hot subset.
+            hot = {m for w in writers for m, team in w.acked
+                   if team == "hot"}
+            assert set(markers_of(pred_events)) == hot | {SENTINEL}
+
+            full.close(), kinds.close(), pred.close()
+        finally:
+            for c in (full_sub, kind_sub, pred_sub, admin):
+                c.close()
+    finally:
+        server.stop()
+        ham.close()
+
+
+@pytest.mark.parametrize("seed", [5, 9])
+def test_seeded_delivery_fault_is_recoverable(tmp_path, seed):
+    """A fault at ``sub.deliver`` cancels the feed, never the commit.
+
+    The subscriber resumes with ``watch(from_lsn=dead.last_lsn)`` and
+    the replay ring must restore a complete, exactly-once stream.
+    """
+    ham, server = start_served(tmp_path)
+    try:
+        sub = RemoteHAM(*server.address)
+        writer = RemoteHAM(*server.address)
+        try:
+            marker_attr = writer.get_attribute_index("marker")
+
+            def commit(value):
+                txn = writer.begin()
+                node, __ = writer.add_node(txn)
+                writer.set_node_attribute_value(
+                    txn, node=node, attribute=marker_attr, value=value)
+                txn.commit()
+
+            watch = sub.watch(events=["setAttribute"])
+            plan = FaultPlan(
+                (FaultSpec("sub.deliver", "raise", hit=4),), seed=seed)
+            delivered = []
+            cancelled = False
+            with faults.injected(plan):
+                for i in range(10):
+                    commit(f"m{i}")
+                commit(SENTINEL)
+                try:
+                    drain_until_sentinel(watch, into=delivered)
+                except SubscriptionError:
+                    cancelled = True
+            assert cancelled, "the injected fault must cancel the feed"
+
+            # Every commit survived the fault (delivery never blocks
+            # or aborts a committer).
+            assert ham.subscription_status()["staged"] == 0
+
+            resumed = sub.watch(events=["setAttribute"],
+                                from_lsn=watch.last_lsn)
+            drain_until_sentinel(resumed, into=delivered)
+            got = markers_of(delivered)
+            assert got == [f"m{i}" for i in range(10)] + [SENTINEL]
+            assert_lsn_ordered(delivered)
+            resumed.close()
+        finally:
+            sub.close()
+            writer.close()
+    finally:
+        server.stop()
+        ham.close()
+
+
+def test_subscriber_churn_under_concurrent_writers(tmp_path):
+    """Subscribers attach and detach mid-stream without disturbing
+    each other; each sees a suffix-complete, gap-free stream from its
+    subscription point on."""
+    ham, server = start_served(tmp_path)
+    try:
+        writer_stop = threading.Event()
+        count = [0]
+
+        def write_forever():
+            client = RemoteHAM(*server.address)
+            attr = client.get_attribute_index("marker")
+            try:
+                while not writer_stop.is_set():
+                    txn = client.begin()
+                    node, __ = client.add_node(txn)
+                    client.set_node_attribute_value(
+                        txn, node=node, attribute=attr,
+                        value=f"m{count[0]}")
+                    txn.commit()
+                    count[0] += 1
+            finally:
+                client.close()
+
+        writer = threading.Thread(target=write_forever, daemon=True)
+        writer.start()
+        try:
+            for __ in range(3):  # churn: join, consume a bit, leave
+                client = RemoteHAM(*server.address)
+                with client.watch(events=["setAttribute"]) as watch:
+                    seen = [watch.poll(timeout=10.0) for __ in range(5)]
+                    assert all(e is not None for e in seen)
+                    assert_lsn_ordered(seen)
+                    indexes = [int(e["detail"]["value"][1:])
+                               for e in seen]
+                    # Consecutive from this subscriber's start point.
+                    assert indexes == list(range(indexes[0],
+                                                 indexes[0] + 5))
+                client.close()
+        finally:
+            writer_stop.set()
+            writer.join()
+        assert ham.subscription_status()["active"] == 0
+    finally:
+        server.stop()
+        ham.close()

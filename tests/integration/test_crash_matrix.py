@@ -98,6 +98,32 @@ def test_pipelined_matrix(tmp_path, action, hit):
         assert result.acknowledged + result.unresolved <= total
 
 
+@pytest.mark.parametrize("action", ("raise", "kill"))
+@pytest.mark.parametrize("point,hit", (
+    ("sub.deliver", 1), ("sub.deliver", 4),
+    ("txn.apply", 1), ("txn.apply", 4),
+))
+def test_subscription_matrix(tmp_path, point, action, hit):
+    """Fault delivery (``sub.deliver``) or mid-commit (``txn.apply``)
+    with a live TCP subscriber attached.  The recovered graph must hold
+    every value the server ever pushed — no phantom notifications for
+    work recovery discards — and a delivery fault may only cost the
+    subscriber its feed, never the writer its commit."""
+    result = cm.run_subscription_case(tmp_path, point, action, hit=hit,
+                                      seed=SEED)
+    assert result.fired, (
+        f"fault at {point} hit={hit} never triggered with a subscriber "
+        f"attached")
+    if point == "sub.deliver" and action == "raise":
+        # The feed died, the commits did not.
+        assert result.acknowledged == 10
+        assert len(result.pushed) == hit - 1
+    if point == "txn.apply":
+        # The fault lands before events seal: the faulted commit (and
+        # anything after the poisoned manager) was never pushed.
+        assert len(result.pushed) == min(result.acknowledged, hit - 1)
+
+
 @pytest.mark.parametrize("action", faults.ACTIONS)
 @pytest.mark.parametrize("hit", (1, 3))
 def test_concurrent_committer_matrix(tmp_path, action, hit):

@@ -1,0 +1,130 @@
+"""Backpressure and fairness under a stalled subscriber.
+
+One subscriber stops reading its socket entirely while healthy
+subscribers keep consuming and writers keep committing.  The contract
+(HAM_SPEC "Subscriptions and change feeds"):
+
+- commits never stall or fail because a subscriber is slow;
+- healthy subscribers' deliveries continue unimpeded;
+- the stalled feed is cancelled with a *typed* overflow — a final
+  ``SubscriptionOverflowError`` cancel frame after a gap-free prefix,
+  never a silent hole in the stream;
+- the process-wide counters reconcile: every fired event was either
+  delivered or accounted as dropped (``delivered + dropped == fired``).
+"""
+
+import threading
+
+import pytest
+
+from repro import HAM
+from repro.errors import SubscriptionOverflowError
+from repro.server import HAMServer, RemoteHAM, ServerConfig
+from repro.tools.metrics import SUBSCRIPTIONS
+from repro.tools.stats import subscription_counters
+
+SENTINEL = "sentinel"
+PAYLOAD = "x" * 65536  # one event frame outweighs the outbuf cap / 4
+
+
+class HealthyConsumer(threading.Thread):
+    def __init__(self, address):
+        super().__init__(daemon=True)
+        self.address = address
+        self.markers = []
+        self.error = None
+
+    def run(self):
+        try:
+            client = RemoteHAM(*self.address)
+            try:
+                with client.watch(events=["setAttribute"]) as watch:
+                    while True:
+                        event = watch.poll(timeout=30.0)
+                        assert event is not None, "healthy feed starved"
+                        marker = event["detail"]["value"].split(":")[0]
+                        self.markers.append(marker)
+                        if marker == SENTINEL:
+                            return
+            finally:
+                client.close()
+        except Exception as exc:
+            self.error = exc
+
+
+def test_stalled_subscriber_loses_its_feed_not_the_commits(tmp_path):
+    project_id, __ = HAM.create_graph(tmp_path / "g")
+    ham = HAM.open_graph(project_id, tmp_path / "g")
+    config = ServerConfig(max_outbuf_bytes=256 * 1024)
+    server = HAMServer(ham, config=config).start()
+    SUBSCRIPTIONS.reset()
+    try:
+        stalled_client = RemoteHAM(*server.address)
+        stalled = stalled_client.watch(events=["setAttribute"])
+
+        healthy = [HealthyConsumer(server.address) for __ in range(3)]
+        for consumer in healthy:
+            consumer.start()
+        # The healthy watches must be attached before writing starts,
+        # or early markers would legitimately miss their streams.
+        deadline = threading.Event()
+        while ham.subscription_status()["active"] < 4:
+            assert not deadline.wait(0.01)
+
+        writer = RemoteHAM(*server.address)
+        attr = writer.get_attribute_index("marker")
+
+        def commit(value):
+            txn = writer.begin()
+            node, ___ = writer.add_node(txn)
+            writer.set_node_attribute_value(
+                txn, node=node, attribute=attr, value=value)
+            txn.commit()
+
+        committed = 0
+        for i in range(400):
+            commit(f"m{i}:{PAYLOAD}")
+            committed += 1
+            if subscription_counters()["overflows"] >= 1:
+                break
+        assert subscription_counters()["overflows"] >= 1, (
+            f"{committed} commits never overflowed the stalled session")
+
+        # Commits kept succeeding after the overflow, and the healthy
+        # feeds deliver everything — including post-overflow commits.
+        commit(f"post-overflow:{PAYLOAD}")
+        committed += 1
+        commit(f"{SENTINEL}:x")
+        committed += 1
+        for consumer in healthy:
+            consumer.join(timeout=60.0)
+            assert not consumer.is_alive() and consumer.error is None, (
+                consumer.error)
+            expected = [f"m{i}" for i in range(committed - 2)]
+            expected += ["post-overflow", SENTINEL]
+            assert consumer.markers == expected
+
+        # The stalled consumer finally reads: a gap-free prefix of the
+        # stream, then the typed overflow cancel — never a silent gap.
+        seen = []
+        with pytest.raises(SubscriptionOverflowError):
+            while True:
+                event = stalled.poll(timeout=30.0)
+                assert event is not None, "expected the cancel frame"
+                seen.append(event["detail"]["value"].split(":")[0])
+        assert seen == [f"m{i}" for i in range(len(seen))]
+        assert len(seen) < committed
+
+        # Only the stalled subscription died.
+        status = ham.subscription_status()
+        assert status["active"] == 0  # healthy consumers already left
+        counters = subscription_counters()
+        assert counters["delivered"] + counters["dropped"] == \
+            counters["fired"]
+        assert counters["dropped"] >= 1
+
+        writer.close()
+        stalled_client.close()
+    finally:
+        server.stop()
+        ham.close()
